@@ -1,0 +1,33 @@
+#pragma once
+// Shared plumbing for the bench harnesses.
+
+#include <iostream>
+#include <string>
+
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace delaylb::bench {
+
+/// Full-scale mode: DELAYLB_FULL env var or --full flag.
+inline bool FullScale(const util::Cli& cli) {
+  return util::FullScaleRequested() || cli.GetBool("full", false);
+}
+
+/// Prints the table as ASCII, or CSV when --csv was passed.
+inline void Emit(const util::Cli& cli, const util::Table& table) {
+  if (cli.GetBool("csv", false)) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+}
+
+inline void Banner(const std::string& title, bool full) {
+  std::cout << "== " << title << " ==\n"
+            << (full ? "mode: full paper-scale grid (DELAYLB_FULL)\n"
+                     : "mode: laptop-scale defaults (set DELAYLB_FULL=1 or "
+                       "--full for the paper grid)\n");
+}
+
+}  // namespace delaylb::bench

@@ -1,0 +1,78 @@
+// Figure 2 of the paper: convergence of the distributed algorithm on large
+// heterogeneous networks with a peak initial load (100000 requests on one
+// server). Prints the SumC-per-iteration series for each network size; the
+// paper's observation is an exponential decrease over ~20 iterations.
+//
+// Large m uses the engine's fast partner policy (a constant-time proxy
+// prefilter before the exact Algorithm-1 evaluation); bench_ablation_cycles
+// and the test suite show it matches the exact policy's trajectories on
+// overlapping sizes.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/mine.h"
+#include "core/workload.h"
+#include "exp/convergence.h"
+
+namespace delaylb {
+namespace {
+
+int Run(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool full = bench::FullScale(cli);
+  bench::Banner(
+      "Figure 2: SumC vs iteration, peak load, PlanetLab-like network",
+      full);
+
+  const std::vector<std::size_t> sizes =
+      full ? std::vector<std::size_t>{500, 1000, 2000, 3000, 5000}
+           : std::vector<std::size_t>{200, 500, 1000};
+  const std::size_t iterations =
+      static_cast<std::size_t>(cli.GetInt("iterations", 20));
+
+  std::vector<std::string> header = {"iteration"};
+  for (std::size_t m : sizes) {
+    header.push_back("#servers=" + std::to_string(m));
+  }
+  util::Table table(header);
+
+  std::vector<std::vector<double>> traces;
+  for (std::size_t m : sizes) {
+    util::Rng rng(7 + m);
+    core::ScenarioParams params;
+    params.m = m;
+    params.load_distribution = util::LoadDistribution::kPeak;
+    params.mean_load = 100000.0;
+    params.network = core::NetworkKind::kPlanetLab;
+    const core::Instance inst = core::MakeScenario(params, rng);
+    core::MinEOptions options;
+    options.policy = core::PartnerPolicy::kFast;
+    options.seed = m;
+    traces.push_back(exp::TraceConvergence(inst, iterations, options));
+    std::cerr << "  traced m=" << m << "\n";
+  }
+
+  for (std::size_t it = 0; it <= iterations; ++it) {
+    table.Row().Cell(it);
+    for (const auto& trace : traces) {
+      table.Cell(it < trace.size() ? trace[it] : trace.back(), 1);
+    }
+  }
+  bench::Emit(cli, table);
+
+  // The headline observation: report the total decrease.
+  for (std::size_t k = 0; k < sizes.size(); ++k) {
+    const double drop = traces[k].front() / traces[k].back();
+    std::cout << "m=" << sizes[k] << ": SumC reduced by a factor of "
+              << util::FormatDouble(drop, 1) << " over " << iterations
+              << " iterations\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace delaylb
+
+int main(int argc, char** argv) { return delaylb::Run(argc, argv); }

@@ -1,0 +1,94 @@
+// Gossip-frequency ablation. The paper (Section IV) argues the loads must
+// be disseminated by gossip run "about O(log m) times more frequently than
+// our algorithm" so every server balances against accurate loads. This
+// bench sweeps the gossip-to-balance period ratio on the message-passing
+// runtime and reports the SumC the distributed system reaches in a fixed
+// simulated time — too little gossip means stale views, wasted balance
+// attempts, and a worse operating point.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/cost.h"
+#include "core/mine.h"
+#include "core/workload.h"
+#include "dist/runtime.h"
+
+namespace delaylb {
+namespace {
+
+int Run(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool full = bench::FullScale(cli);
+  bench::Banner(
+      "Gossip ablation: distributed SumC vs gossip/balance frequency ratio",
+      full);
+
+  const std::size_t m =
+      static_cast<std::size_t>(cli.GetInt("m", full ? 64 : 24));
+  const double horizon = cli.GetDouble("horizon", full ? 30000.0 : 15000.0);
+  const std::size_t seeds =
+      static_cast<std::size_t>(cli.GetInt("seeds", full ? 5 : 3));
+  // Gossip runs `ratio` times per balance period; the paper's
+  // recommendation is ~log2(m).
+  const std::vector<double> ratios = {0.25, 1.0, 2.0,
+                                      std::log2(static_cast<double>(m)),
+                                      2.0 * std::log2(static_cast<double>(m))};
+
+  // The interesting regime is *early*: with sparse gossip the views are
+  // still empty/stale when balancing starts, so the first rounds are
+  // wasted. Over a long horizon everything converges (and fully accurate
+  // views even cause mild partner herding), so both checkpoints are shown.
+  const double early = 10.0 * 100.0;  // 10 balance periods
+  util::Table table({"gossip/balance ratio", "vs optimum @10 periods",
+                     "vs optimum @end", "messages"});
+  for (double ratio : ratios) {
+    double early_sum = 0.0, end_sum = 0.0, opt_sum = 0.0;
+    std::size_t messages = 0;
+    for (std::size_t seed = 1; seed <= seeds; ++seed) {
+      util::Rng rng(seed * 131);
+      core::ScenarioParams params;
+      params.m = m;
+      params.network = core::NetworkKind::kPlanetLab;
+      params.load_distribution = util::LoadDistribution::kExponential;
+      params.mean_load = 120.0;
+      const core::Instance inst = core::MakeScenario(params, rng);
+
+      dist::RuntimeOptions options;
+      options.seed = seed;
+      options.auto_gossip_period = false;
+      options.agent.balance_period = 100.0;
+      options.agent.gossip_period = 100.0 / ratio;
+      dist::DistributedRuntime runtime(inst, options);
+      runtime.RunUntil(early);
+      early_sum += runtime.Snapshot().total_cost;
+      runtime.RunUntil(horizon);
+      const dist::RuntimeSnapshot snap = runtime.Snapshot();
+      end_sum += snap.total_cost;
+      opt_sum += core::TotalCost(
+          inst, core::SolveWithMinE(inst, {}, 200, 1e-12));
+      messages += snap.messages_sent;
+    }
+    table.Row()
+        .Cell(ratio, 2)
+        .Cell(early_sum / opt_sum, 4)
+        .Cell(end_sum / opt_sum, 4)
+        .Cell(messages / seeds);
+  }
+  bench::Emit(cli, table);
+  std::cout << "(the paper's recommended ratio is ~log2(m) = "
+            << util::FormatDouble(std::log2(static_cast<double>(m)), 1)
+            << " for m = " << m
+            << "; with the agents' exploration probes the end state is "
+               "insensitive to the gossip rate — the budget only buys "
+               "slightly faster early convergence, at a linear message "
+               "cost)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace delaylb
+
+int main(int argc, char** argv) { return delaylb::Run(argc, argv); }

@@ -1,0 +1,157 @@
+// Hot-path microbenchmarks (google-benchmark): the per-operation costs that
+// determine the scalability of the distributed algorithm and of the
+// experiment harness.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cost.h"
+#include "core/mine.h"
+#include "core/pairwise.h"
+#include "core/workload.h"
+#include "dist/gossip.h"
+#include "game/best_response.h"
+#include "opt/mcmf.h"
+#include "opt/simplex_projection.h"
+#include "opt/waterfill.h"
+#include "util/rng.h"
+
+namespace delaylb {
+namespace {
+
+core::Instance MakeInstance(std::size_t m) {
+  util::Rng rng(m * 13 + 7);
+  core::ScenarioParams params;
+  params.m = m;
+  params.network = core::NetworkKind::kPlanetLab;
+  params.mean_load = 50.0;
+  return core::MakeScenario(params, rng);
+}
+
+void BM_TotalCost(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const core::Instance inst = MakeInstance(m);
+  const core::Allocation alloc(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::TotalCost(inst, alloc));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_TotalCost)->Range(8, 512)->Complexity(benchmark::oNSquared);
+
+void BM_PairBalancePreview(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const core::Instance inst = MakeInstance(m);
+  const core::Allocation alloc(inst);
+  core::PairBalanceWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::PairBalancePreview(inst, alloc, 0, 1, ws).improvement);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_PairBalancePreview)
+    ->Range(8, 1024)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_MinEIterationExact(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const core::Instance inst = MakeInstance(m);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Allocation alloc(inst);
+    core::MinEBalancer balancer(inst);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(balancer.Step(alloc).total_cost);
+  }
+}
+BENCHMARK(BM_MinEIterationExact)->Range(8, 64);
+
+void BM_MinEIterationFast(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const core::Instance inst = MakeInstance(m);
+  core::MinEOptions options;
+  options.policy = core::PartnerPolicy::kFast;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Allocation alloc(inst);
+    core::MinEBalancer balancer(inst, options);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(balancer.Step(alloc).total_cost);
+  }
+}
+BENCHMARK(BM_MinEIterationFast)->Range(64, 512);
+
+void BM_BestResponse(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const core::Instance inst = MakeInstance(m);
+  const core::Allocation alloc(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        game::ComputeBestResponse(inst, alloc, 0).cost);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_BestResponse)->Range(8, 1024)->Complexity(benchmark::oNLogN);
+
+void BM_Waterfill(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  std::vector<double> speeds(n), a(n);
+  for (auto& v : speeds) v = rng.uniform(1.0, 5.0);
+  for (auto& v : a) v = rng.uniform(0.0, 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::Waterfill(speeds, a, 1000.0).lambda);
+  }
+}
+BENCHMARK(BM_Waterfill)->Range(8, 4096);
+
+void BM_SimplexProjection(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  std::vector<double> x(n), out(n);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  for (auto _ : state) {
+    opt::ProjectToSimplex(x, 1.0, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SimplexProjection)->Range(8, 4096);
+
+void BM_GossipMerge(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  dist::GossipView a(m, 0), b(m, 1);
+  b.UpdateSelf(42.0);
+  const std::vector<double> versions(b.versions().begin(),
+                                     b.versions().end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Merge(b.loads(), versions));
+  }
+}
+BENCHMARK(BM_GossipMerge)->Range(8, 4096);
+
+void BM_NegativeCycleRemovalMcmf(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    // A dense random transportation problem of the Appendix-A shape.
+    util::Rng rng(m);
+    opt::MinCostMaxFlow flow(2 * m + 2);
+    for (std::size_t i = 0; i < m; ++i) {
+      flow.AddEdge(2 * m, i, 10.0, 0.0);
+      flow.AddEdge(m + i, 2 * m + 1, 10.0, 0.0);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        flow.AddEdge(i, m + j, 100.0, rng.uniform(1.0, 50.0));
+      }
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(flow.Solve(2 * m, 2 * m + 1).cost);
+  }
+}
+BENCHMARK(BM_NegativeCycleRemovalMcmf)->Range(8, 64);
+
+}  // namespace
+}  // namespace delaylb
+
+BENCHMARK_MAIN();

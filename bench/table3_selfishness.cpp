@@ -1,0 +1,52 @@
+// Table III of the paper: the cost of selfishness — the ratio between the
+// total processing times of the (approximate) Nash equilibrium and the
+// cooperative optimum, aggregated per cell of {speed model} x {load band} x
+// {network kind}. The paper's findings to reproduce: averages below ~1.06,
+// maxima below ~1.15, the homogeneous network with constant speeds and
+// medium load (l_av ~ 2x the delay) being the worst cell, and PlanetLab
+// cells being nearly 1.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "exp/selfishness.h"
+
+namespace delaylb {
+namespace {
+
+int Run(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool full = bench::FullScale(cli);
+  bench::Banner(
+      "Table III: cost of selfishness (SumC at Nash / SumC at optimum)",
+      full);
+
+  const std::vector<std::size_t> sizes =
+      full ? std::vector<std::size_t>{20, 50, 100}
+           : std::vector<std::size_t>{20, 50};
+  const std::size_t repetitions =
+      static_cast<std::size_t>(cli.GetInt("seeds", full ? 3 : 1));
+
+  util::Table table({"speeds", "load band", "network", "avg", "max",
+                     "st. dev.", "runs"});
+  for (const exp::SelfishnessCell& cell : exp::TableThreeCells(sizes)) {
+    const util::Summary s = exp::MeasureCell(cell, repetitions, 0x5EED);
+    table.Row()
+        .Cell(cell.speed_label)
+        .Cell(cell.load_label)
+        .Cell(cell.network_label)
+        .Cell(s.mean, 3)
+        .Cell(s.max, 3)
+        .Cell(s.stddev, 3)
+        .Cell(s.count);
+    std::cerr << "  measured cell: " << cell.speed_label << " / "
+              << cell.load_label << " / " << cell.network_label << "\n";
+  }
+  bench::Emit(cli, table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace delaylb
+
+int main(int argc, char** argv) { return delaylb::Run(argc, argv); }

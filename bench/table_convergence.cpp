@@ -1,0 +1,106 @@
+// Tables I and II of the paper: iterations of the distributed algorithm
+// needed to bring SumC within a relative tolerance (2% for Table I, 0.1%
+// for Table II) of the optimum, aggregated (avg / max / stddev) over
+// instance families. One source file builds both binaries; the tolerance
+// and title come from compile definitions.
+//
+// Paper protocol (Section VI-B): m-groups {<=50, 100, 200, 300}; initial
+// loads uniform / exponential with l_av in {10, 20, 50, 200, 1000} or a
+// single 100000-request peak; speeds U[1,5]; homogeneous (c=20) and
+// PlanetLab-like networks; random server order per iteration.
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/workload.h"
+#include "exp/convergence.h"
+#include "exp/scenarios.h"
+#include "util/stats.h"
+
+#ifndef DELAYLB_TABLE_TOLERANCE
+#define DELAYLB_TABLE_TOLERANCE 0.02
+#endif
+#ifndef DELAYLB_TABLE_NAME
+#define DELAYLB_TABLE_NAME "Table I"
+#endif
+
+namespace delaylb {
+namespace {
+
+struct DistSpec {
+  util::LoadDistribution distribution;
+  std::vector<double> means;
+};
+
+int Run(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool full = bench::FullScale(cli);
+  const double tolerance =
+      cli.GetDouble("tolerance", DELAYLB_TABLE_TOLERANCE);
+  const std::size_t seeds =
+      static_cast<std::size_t>(cli.GetInt("seeds", full ? 5 : 2));
+  bench::Banner(std::string(DELAYLB_TABLE_NAME) +
+                    ": iterations to reach " +
+                    util::FormatDouble(100.0 * tolerance, 1) +
+                    "% relative error in SumC",
+                full);
+
+  const std::vector<double> load_means =
+      full ? std::vector<double>{10.0, 20.0, 50.0, 200.0, 1000.0}
+           : std::vector<double>{10.0, 1000.0};
+  const std::vector<DistSpec> dists = {
+      {util::LoadDistribution::kUniform, load_means},
+      {util::LoadDistribution::kExponential, load_means},
+      {util::LoadDistribution::kPeak, {100000.0}},
+  };
+  const std::vector<core::NetworkKind> networks = {
+      core::NetworkKind::kHomogeneous, core::NetworkKind::kPlanetLab};
+
+  util::Table table({"m", "distribution", "avg", "max", "st. dev.", "runs"});
+  for (const exp::MGroup& group : exp::ConvergenceTableGroups(full)) {
+    for (const DistSpec& dist : dists) {
+      util::Accumulator acc;
+      for (std::size_t m : group.sizes) {
+        for (double mean : dist.means) {
+          for (core::NetworkKind net : networks) {
+            core::ScenarioParams params;
+            params.m = m;
+            params.load_distribution = dist.distribution;
+            params.mean_load = mean;
+            params.network = net;
+            for (std::size_t rep = 0; rep < seeds; ++rep) {
+              const std::uint64_t seed =
+                  1 + rep * 7919 + m * 104729 +
+                  static_cast<std::uint64_t>(mean);
+              util::Rng rng(seed);
+              const core::Instance inst = core::MakeScenario(params, rng);
+              core::MinEOptions options;
+              options.seed = seed ^ 0xABCDu;
+              const exp::IterationsToTolerance result =
+                  exp::MeasureIterationsToTolerance(inst, tolerance,
+                                                    options, 60);
+              acc.Add(static_cast<double>(result.iterations));
+            }
+          }
+        }
+      }
+      const util::Summary s = acc.summary();
+      table.Row()
+          .Cell(group.label)
+          .Cell(util::ToString(dist.distribution))
+          .Cell(s.mean, 2)
+          .Cell(s.max, 0)
+          .Cell(s.stddev, 2)
+          .Cell(s.count);
+    }
+  }
+  bench::Emit(cli, table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace delaylb
+
+int main(int argc, char** argv) { return delaylb::Run(argc, argv); }

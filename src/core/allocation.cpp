@@ -1,0 +1,141 @@
+#include "core/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace delaylb::core {
+
+Allocation::Allocation(const Instance& instance)
+    : m_(instance.size()),
+      r_(m_ * m_, 0.0),
+      loads_(m_, 0.0),
+      n_(instance.loads().begin(), instance.loads().end()) {
+  for (std::size_t i = 0; i < m_; ++i) {
+    r_[i * m_ + i] = n_[i];
+    loads_[i] = n_[i];
+  }
+}
+
+Allocation::Allocation(const Instance& instance, std::vector<double> r,
+                       double tol)
+    : m_(instance.size()),
+      r_(std::move(r)),
+      loads_(m_, 0.0),
+      n_(instance.loads().begin(), instance.loads().end()) {
+  if (r_.size() != m_ * m_) {
+    throw std::invalid_argument("Allocation: r size != m*m");
+  }
+  for (std::size_t i = 0; i < m_; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < m_; ++j) {
+      const double v = r_[i * m_ + j];
+      if (v < -tol) throw std::invalid_argument("Allocation: negative r_ij");
+      row_sum += v;
+    }
+    const double scale = std::max(1.0, n_[i]);
+    if (std::fabs(row_sum - n_[i]) > tol * scale) {
+      throw std::invalid_argument("Allocation: row sum != n_i");
+    }
+  }
+  RebuildLoads();
+}
+
+double Allocation::rho(std::size_t i, std::size_t j) const noexcept {
+  return n_[i] > 0.0 ? r_[i * m_ + j] / n_[i] : 0.0;
+}
+
+void Allocation::Move(std::size_t k, std::size_t i, std::size_t j,
+                      double amount) {
+  if (amount < 0.0) {
+    Move(k, j, i, -amount);
+    return;
+  }
+  if (i == j || amount == 0.0) return;
+  double& from = r_[k * m_ + i];
+  const double moved = std::min(amount, from);
+  from -= moved;
+  r_[k * m_ + j] += moved;
+  loads_[i] -= moved;
+  loads_[j] += moved;
+}
+
+void Allocation::SetRow(std::size_t i, std::span<const double> new_row,
+                        double tol) {
+  if (new_row.size() != m_) {
+    throw std::invalid_argument("Allocation::SetRow: wrong length");
+  }
+  double sum = 0.0;
+  for (double v : new_row) {
+    if (v < -tol) throw std::invalid_argument("Allocation::SetRow: negative");
+    sum += v;
+  }
+  const double scale = std::max(1.0, n_[i]);
+  if (std::fabs(sum - n_[i]) > tol * scale) {
+    throw std::invalid_argument("Allocation::SetRow: sum != n_i");
+  }
+  for (std::size_t j = 0; j < m_; ++j) {
+    const double v = std::max(0.0, new_row[j]);
+    loads_[j] += v - r_[i * m_ + j];
+    r_[i * m_ + j] = v;
+  }
+}
+
+std::vector<double> Allocation::FlattenRho() const {
+  std::vector<double> rho_vec(m_ * m_, 0.0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (n_[i] <= 0.0) {
+      // Degenerate organization: by convention keep rho_ii = 1 so the
+      // simplex constraint holds.
+      rho_vec[i * m_ + i] = 1.0;
+      continue;
+    }
+    for (std::size_t j = 0; j < m_; ++j) {
+      rho_vec[i * m_ + j] = r_[i * m_ + j] / n_[i];
+    }
+  }
+  return rho_vec;
+}
+
+double Allocation::L1Distance(const Allocation& a, const Allocation& b) {
+  if (a.m_ != b.m_) {
+    throw std::invalid_argument("Allocation::L1Distance: size mismatch");
+  }
+  double d = 0.0;
+  for (std::size_t idx = 0; idx < a.r_.size(); ++idx) {
+    d += std::fabs(a.r_[idx] - b.r_[idx]);
+  }
+  return d;
+}
+
+void Allocation::RebuildLoads() {
+  std::fill(loads_.begin(), loads_.end(), 0.0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (std::size_t j = 0; j < m_; ++j) {
+      loads_[j] += r_[i * m_ + j];
+    }
+  }
+}
+
+bool Allocation::Valid(const Instance& instance, double tol) const {
+  if (instance.size() != m_) return false;
+  for (std::size_t i = 0; i < m_; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < m_; ++j) {
+      const double v = r_[i * m_ + j];
+      if (v < -tol) return false;
+      row_sum += v;
+    }
+    const double scale = std::max(1.0, instance.load(i));
+    if (std::fabs(row_sum - instance.load(i)) > tol * scale) return false;
+  }
+  for (std::size_t j = 0; j < m_; ++j) {
+    double col_sum = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) col_sum += r_[i * m_ + j];
+    const double scale = std::max(1.0, col_sum);
+    if (std::fabs(col_sum - loads_[j]) > tol * scale) return false;
+  }
+  return true;
+}
+
+}  // namespace delaylb::core

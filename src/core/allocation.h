@@ -1,0 +1,87 @@
+#pragma once
+// Allocation of requests to servers: the r and rho matrices.
+//
+// r[i][j] = number of organization-i requests executed on server j (the
+// paper's r_ij = n_i * rho_ij). Allocation keeps r as the primary
+// representation (the distributed algorithm moves absolute request counts)
+// and exposes rho as a derived view. Server loads l_j are maintained
+// incrementally so pairwise exchanges stay O(1) per update.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace delaylb::core {
+
+/// Mutable assignment of every organization's requests to servers.
+class Allocation {
+ public:
+  Allocation() = default;
+
+  /// The identity allocation: every organization runs all of its requests on
+  /// its own server (r_ii = n_i). This is the paper's starting state.
+  explicit Allocation(const Instance& instance);
+
+  /// Builds from an explicit row-major r matrix (m*m entries). Throws if the
+  /// shape is wrong, an entry is negative, or row sums differ from n_i by
+  /// more than `tol` (relative).
+  Allocation(const Instance& instance, std::vector<double> r,
+             double tol = 1e-6);
+
+  std::size_t size() const noexcept { return m_; }
+
+  /// r_ij: requests of organization i executed on server j.
+  double r(std::size_t i, std::size_t j) const noexcept {
+    return r_[i * m_ + j];
+  }
+
+  /// rho_ij = r_ij / n_i; 0 when n_i == 0.
+  double rho(std::size_t i, std::size_t j) const noexcept;
+
+  /// Current load of server j: l_j = sum_i r_ij.
+  double load(std::size_t j) const noexcept { return loads_[j]; }
+
+  std::span<const double> loads() const noexcept { return loads_; }
+  std::span<const double> raw() const noexcept { return r_; }
+
+  /// Row i of the r matrix (organization i's placement).
+  std::span<const double> row(std::size_t i) const noexcept {
+    return std::span<const double>(r_).subspan(i * m_, m_);
+  }
+
+  /// Moves `amount` of organization k's requests from server i to server j.
+  /// Requires 0 <= amount <= r(k, i) (within a small numeric slack; the
+  /// moved amount is clamped so r(k, i) never becomes negative).
+  void Move(std::size_t k, std::size_t i, std::size_t j, double amount);
+
+  /// Overwrites organization i's whole row (used by best-response moves).
+  /// new_row must have m entries summing to n_i (checked to `tol`).
+  void SetRow(std::size_t i, std::span<const double> new_row,
+              double tol = 1e-6);
+
+  /// The rho vector in the paper's flattened (i*m + j) order; used by the
+  /// QP formulation.
+  std::vector<double> FlattenRho() const;
+
+  /// L1 distance between two allocations' r matrices (the paper's Manhattan
+  /// metric on rho is this divided by loads; we report request units).
+  static double L1Distance(const Allocation& a, const Allocation& b);
+
+  /// Recomputes loads from scratch (defensive; used by tests to check the
+  /// incremental maintenance).
+  void RebuildLoads();
+
+  /// Validates internal consistency: non-negative entries, row sums equal
+  /// n_i, loads consistent. Returns false instead of throwing.
+  bool Valid(const Instance& instance, double tol = 1e-6) const;
+
+ private:
+  std::size_t m_ = 0;
+  std::vector<double> r_;       // row-major m*m
+  std::vector<double> loads_;   // l_j
+  std::vector<double> n_;       // copy of initial loads for rho()
+};
+
+}  // namespace delaylb::core

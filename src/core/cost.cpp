@@ -1,0 +1,73 @@
+#include "core/cost.h"
+
+#include <algorithm>
+
+namespace delaylb::core {
+
+double OrganizationCost(const Instance& instance, const Allocation& alloc,
+                        std::size_t i) {
+  const std::size_t m = instance.size();
+  double cost = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    const double rij = alloc.r(i, j);
+    if (rij == 0.0) continue;
+    cost += rij * (alloc.load(j) / (2.0 * instance.speed(j)) +
+                   instance.latency(i, j));
+  }
+  return cost;
+}
+
+double TotalCost(const Instance& instance, const Allocation& alloc) {
+  const CostBreakdown b = BreakdownCost(instance, alloc);
+  return b.total();
+}
+
+std::vector<double> AllOrganizationCosts(const Instance& instance,
+                                         const Allocation& alloc) {
+  const std::size_t m = instance.size();
+  std::vector<double> costs(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    costs[i] = OrganizationCost(instance, alloc, i);
+  }
+  return costs;
+}
+
+CostBreakdown BreakdownCost(const Instance& instance,
+                            const Allocation& alloc) {
+  const std::size_t m = instance.size();
+  CostBreakdown out;
+  for (std::size_t j = 0; j < m; ++j) {
+    const double lj = alloc.load(j);
+    out.processing += lj * lj / (2.0 * instance.speed(j));
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double rij = alloc.r(i, j);
+      if (rij != 0.0) out.communication += rij * instance.latency(i, j);
+    }
+  }
+  return out;
+}
+
+double WeightedMakespan(const Instance& instance, const Allocation& alloc) {
+  const std::size_t m = instance.size();
+  double makespan = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    makespan = std::max(makespan, alloc.load(j) / instance.speed(j));
+  }
+  return makespan;
+}
+
+double MakespanLowerBound(const Instance& instance) {
+  return instance.total_speed() > 0.0
+             ? instance.total_load() / instance.total_speed()
+             : 0.0;
+}
+
+double IdealBalanceLowerBound(const Instance& instance) {
+  const double total = instance.total_load();
+  const double speed = instance.total_speed();
+  return speed > 0.0 ? total * total / (2.0 * speed) : 0.0;
+}
+
+}  // namespace delaylb::core

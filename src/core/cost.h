@@ -1,0 +1,57 @@
+#pragma once
+// Cost functions of the model (paper Section II).
+//
+// C_i        = sum_j r_ij (l_j / (2 s_j) + c_ij)
+// SumC       = sum_i C_i = sum_j l_j^2/(2 s_j) + sum_{i,j} c_ij r_ij
+//
+// TotalCost uses the aggregated second form (O(m^2)); OrganizationCost the
+// per-organization first form.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/instance.h"
+
+namespace delaylb::core {
+
+/// Expected total completion time of organization i's own requests (C_i).
+double OrganizationCost(const Instance& instance, const Allocation& alloc,
+                        std::size_t i);
+
+/// System objective SumC = sum_i C_i.
+double TotalCost(const Instance& instance, const Allocation& alloc);
+
+/// All C_i at once (O(m^2), cheaper than m calls to OrganizationCost).
+std::vector<double> AllOrganizationCosts(const Instance& instance,
+                                         const Allocation& alloc);
+
+/// Decomposition of the objective into processing and communication parts:
+/// processing = sum_j l_j^2/(2 s_j), communication = sum_{i,j} c_ij r_ij.
+struct CostBreakdown {
+  double processing = 0.0;
+  double communication = 0.0;
+  double total() const noexcept { return processing + communication; }
+};
+
+CostBreakdown BreakdownCost(const Instance& instance,
+                            const Allocation& alloc);
+
+/// The weighted-makespan view the paper contrasts with SumC (Section II's
+/// Cmax-vs-SumC discussion): the largest server drain time max_j l_j / s_j.
+/// Linear in rho (unlike SumC), hence a different optimization problem;
+/// exposed so users can quantify how a SumC-optimal allocation fares on
+/// makespan and vice versa.
+double WeightedMakespan(const Instance& instance, const Allocation& alloc);
+
+/// Lower bound on the weighted makespan of any allocation:
+/// total load / total speed (perfect fractional balance).
+double MakespanLowerBound(const Instance& instance);
+
+/// Lower bound used in Theorem 1's proof: the cost of perfectly balanced
+/// weighted loads with zero communication,
+///   sum_j (l*_j)^2 / (2 s_j)  with  l*_j = s_j * L / sum_k s_k,
+/// which equals L^2 / (2 sum_k s_k). Valid for any instance.
+double IdealBalanceLowerBound(const Instance& instance);
+
+}  // namespace delaylb::core

@@ -1,0 +1,33 @@
+#include "core/error_bound.h"
+
+#include <algorithm>
+
+#include "core/pairwise.h"
+
+namespace delaylb::core {
+
+ErrorEstimate EstimateDistanceToOptimum(const Instance& instance,
+                                        const Allocation& alloc) {
+  const std::size_t m = instance.size();
+  ErrorEstimate est;
+  PairBalanceWorkspace ws;
+  for (std::size_t j = 0; j < m; ++j) {
+    double best = 0.0;
+    for (std::size_t k = 0; k < m; ++k) {
+      if (k == j) continue;
+      const PairBalanceResult r = PairBalancePreview(instance, alloc, j, k, ws);
+      // dr_jk: volume leaving j towards k (0 when the flow goes k -> j).
+      const double outgoing = std::max(0.0, alloc.load(j) - r.new_load_i);
+      est.max_pair_transfer = std::max(est.max_pair_transfer, outgoing);
+      const double weighted =
+          (1.0 / instance.speed(j) + 1.0 / instance.speed(k)) * outgoing;
+      best = std::max(best, weighted);
+    }
+    est.delta_r += best;
+  }
+  est.l1_bound = (4.0 * static_cast<double>(m) + 1.0) * est.delta_r *
+                 instance.total_speed();
+  return est;
+}
+
+}  // namespace delaylb::core

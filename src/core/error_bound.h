@@ -1,0 +1,33 @@
+#pragma once
+// Proposition 1: distance-to-optimum estimation from pending transfers.
+//
+// While the distributed algorithm runs, each server can bound how far the
+// current solution is from the optimum using only the transfers Algorithm 1
+// *would* perform right now: with
+//   DeltaR = sum_j max_k ( (1/s_j + 1/s_k) * dr_jk ),
+// where dr_jk is the volume Algorithm 1 would move from server j to server k
+// in the current state, the paper proves
+//   || rho - rho' ||_1 <= (4m + 1) * DeltaR * sum_i s_i
+// (assuming the error graph has no negative cycles; run
+// RemoveNegativeCycles first when that matters). A small DeltaR certifies
+// that continuing to iterate is not worthwhile.
+
+#include "core/allocation.h"
+#include "core/instance.h"
+
+namespace delaylb::core {
+
+/// The Proposition-1 estimate.
+struct ErrorEstimate {
+  double delta_r = 0.0;    ///< the aggregated pending-transfer term
+  double l1_bound = 0.0;   ///< (4m+1) * delta_r * sum_i s_i
+  double max_pair_transfer = 0.0;  ///< largest single pending transfer
+};
+
+/// Evaluates DeltaR by previewing Algorithm 1 on every ordered pair
+/// (O(m^2) previews, O(m^3 log m) total). Intended as an on-demand
+/// certificate, not a per-iteration cost.
+ErrorEstimate EstimateDistanceToOptimum(const Instance& instance,
+                                        const Allocation& alloc);
+
+}  // namespace delaylb::core

@@ -1,0 +1,89 @@
+#include "core/error_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace delaylb::core {
+
+ErrorGraph::ErrorGraph(const Allocation& current, const Allocation& target) {
+  if (current.size() != target.size()) {
+    throw std::invalid_argument("ErrorGraph: size mismatch");
+  }
+  m_ = current.size();
+  delta_.assign(m_ * m_, 0.0);
+
+  std::vector<std::pair<std::size_t, double>> surplus;   // (server, amount)
+  std::vector<std::pair<std::size_t, double>> deficit;
+  for (std::size_t k = 0; k < m_; ++k) {
+    surplus.clear();
+    deficit.clear();
+    for (std::size_t s = 0; s < m_; ++s) {
+      const double diff = current.r(k, s) - target.r(k, s);
+      if (diff > 0.0) surplus.emplace_back(s, diff);
+      else if (diff < 0.0) deficit.emplace_back(s, -diff);
+    }
+    // Greedy matching; the total volume is invariant to the matching order.
+    std::size_t di = 0;
+    for (auto& [from, amount] : surplus) {
+      while (amount > 1e-15 && di < deficit.size()) {
+        auto& [to, need] = deficit[di];
+        const double moved = std::min(amount, need);
+        delta_[from * m_ + to] += moved;
+        total_ += moved;
+        amount -= moved;
+        need -= moved;
+        if (need <= 1e-15) ++di;
+      }
+    }
+  }
+}
+
+std::vector<std::size_t> ErrorGraph::successors(std::size_t i) const {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < m_; ++j) {
+    if (delta(i, j) > 0.0) out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<std::size_t> ErrorGraph::predecessors(std::size_t i) const {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < m_; ++j) {
+    if (delta(j, i) > 0.0) out.push_back(j);
+  }
+  return out;
+}
+
+bool ErrorGraph::HasCycle() const {
+  // Iterative three-colour DFS over positive-delta edges.
+  enum : unsigned char { kWhite, kGray, kBlack };
+  std::vector<unsigned char> colour(m_, kWhite);
+  std::vector<std::pair<std::size_t, std::size_t>> stack;  // (node, next j)
+  for (std::size_t start = 0; start < m_; ++start) {
+    if (colour[start] != kWhite) continue;
+    stack.emplace_back(start, 0);
+    colour[start] = kGray;
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      bool descended = false;
+      while (next < m_) {
+        const std::size_t v = next++;
+        if (delta(u, v) <= 0.0) continue;
+        if (colour[v] == kGray) return true;
+        if (colour[v] == kWhite) {
+          colour[v] = kGray;
+          stack.emplace_back(v, 0);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended && next >= m_) {
+        colour[u] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace delaylb::core

@@ -1,0 +1,56 @@
+#pragma once
+// The error graph (P, delta-rho) of Section IV-B.
+//
+// Given the current allocation rho' and a target (e.g. optimal) allocation
+// rho, the error graph records how many requests must move between each
+// server pair to turn rho' into rho. We derive it per organization (the
+// moved requests on an edge (i, j) always belong to an organization that is
+// currently placed on i and should be on j), matching the paper's
+// requirement that delta_rho[i][j] requests "either belong to i, or to j, or
+// to another owner k" whose flow decomposes across edges.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/instance.h"
+
+namespace delaylb::core {
+
+/// Directed transfer plan between two allocations of the same instance.
+class ErrorGraph {
+ public:
+  /// Builds the plan that converts `current` into `target`: for every
+  /// organization k, k's surplus on each server is matched greedily against
+  /// k's deficit on other servers. delta(i, j) sums over organizations.
+  ErrorGraph(const Allocation& current, const Allocation& target);
+
+  std::size_t size() const noexcept { return m_; }
+
+  /// Requests to move from server i to server j (>= 0).
+  double delta(std::size_t i, std::size_t j) const noexcept {
+    return delta_[i * m_ + j];
+  }
+
+  /// Total volume of the plan = L1 distance between the allocations / 2
+  /// per organization (each moved request counts once).
+  double total_volume() const noexcept { return total_; }
+
+  /// Successors of i: servers receiving requests from i.
+  std::vector<std::size_t> successors(std::size_t i) const;
+
+  /// Predecessors of i.
+  std::vector<std::size_t> predecessors(std::size_t i) const;
+
+  /// True if the directed graph of positive-delta edges contains a cycle
+  /// (Proposition 1 requires the optimal target to induce an acyclic error
+  /// graph after negative cycles are removed).
+  bool HasCycle() const;
+
+ private:
+  std::size_t m_ = 0;
+  std::vector<double> delta_;
+  double total_ = 0.0;
+};
+
+}  // namespace delaylb::core

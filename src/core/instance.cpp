@@ -1,0 +1,42 @@
+#include "core/instance.h"
+
+#include <cmath>
+
+namespace delaylb::core {
+
+Instance::Instance(std::vector<double> speeds, std::vector<double> loads,
+                   net::LatencyMatrix latency)
+    : speeds_(std::move(speeds)),
+      loads_(std::move(loads)),
+      latency_(std::move(latency)) {
+  if (speeds_.size() != loads_.size() || speeds_.size() != latency_.size()) {
+    throw std::invalid_argument("Instance: size mismatch");
+  }
+  for (double s : speeds_) {
+    if (!(s > 0.0)) throw std::invalid_argument("Instance: speed must be > 0");
+    total_speed_ += s;
+  }
+  for (double n : loads_) {
+    if (n < 0.0) throw std::invalid_argument("Instance: negative load");
+    total_load_ += n;
+  }
+}
+
+bool Instance::IsHomogeneous(double tol) const noexcept {
+  const std::size_t m = size();
+  if (m == 0) return true;
+  for (std::size_t i = 1; i < m; ++i) {
+    if (std::fabs(speeds_[i] - speeds_[0]) > tol) return false;
+  }
+  if (m < 2) return true;
+  const double c0 = latency_(0, 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i == j) continue;
+      if (std::fabs(latency_(i, j) - c0) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace delaylb::core

@@ -1,0 +1,73 @@
+#pragma once
+// Problem instance: organizations, servers, loads, speeds, latencies.
+//
+// Mirrors the paper's Section II model: m organizations, each owning one
+// server of speed s_i and an initial workload of n_i unit requests, plus the
+// latency matrix c_ij. An Instance is immutable after construction; all
+// algorithms take it by const reference.
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "net/latency_matrix.h"
+
+namespace delaylb::core {
+
+/// Immutable problem instance.
+class Instance {
+ public:
+  Instance() = default;
+
+  /// Builds an instance. Requires speeds.size() == loads.size() ==
+  /// latency.size(), every speed > 0, every load >= 0.
+  Instance(std::vector<double> speeds, std::vector<double> loads,
+           net::LatencyMatrix latency);
+
+  /// Number of organizations / servers (the paper's m).
+  std::size_t size() const noexcept { return speeds_.size(); }
+
+  /// Processing speed of server i (the paper's s_i).
+  double speed(std::size_t i) const noexcept { return speeds_[i]; }
+
+  /// Initial load (number of own requests) of organization i (n_i).
+  double load(std::size_t i) const noexcept { return loads_[i]; }
+
+  /// One-way communication latency c_ij.
+  double latency(std::size_t i, std::size_t j) const noexcept {
+    return latency_(i, j);
+  }
+
+  const net::LatencyMatrix& latency_matrix() const noexcept {
+    return latency_;
+  }
+
+  std::span<const double> speeds() const noexcept { return speeds_; }
+  std::span<const double> loads() const noexcept { return loads_; }
+
+  /// Total initial load sum_i n_i.
+  double total_load() const noexcept { return total_load_; }
+
+  /// Average initial load per server (the paper's l_av).
+  double average_load() const noexcept {
+    return speeds_.empty() ? 0.0
+                           : total_load_ / static_cast<double>(size());
+  }
+
+  /// Sum of server speeds (appears in Proposition 1's bound).
+  double total_speed() const noexcept { return total_speed_; }
+
+  /// True if all speeds are equal and all off-diagonal latencies are equal
+  /// (the homogeneous setting of Section V-A).
+  bool IsHomogeneous(double tol = 1e-12) const noexcept;
+
+ private:
+  std::vector<double> speeds_;
+  std::vector<double> loads_;
+  net::LatencyMatrix latency_;
+  double total_load_ = 0.0;
+  double total_speed_ = 0.0;
+};
+
+}  // namespace delaylb::core

@@ -1,0 +1,127 @@
+#include "core/io.h"
+
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace delaylb::core {
+namespace {
+
+void Expect(std::istream& is, const std::string& token,
+            const std::string& context) {
+  std::string got;
+  if (!(is >> got) || got != token) {
+    throw std::runtime_error("delaylb io: expected '" + token + "' in " +
+                             context + ", got '" + got + "'");
+  }
+}
+
+double ReadValue(std::istream& is, const std::string& context) {
+  std::string token;
+  if (!(is >> token)) {
+    throw std::runtime_error("delaylb io: unexpected end of input in " +
+                             context);
+  }
+  if (token == "inf") return std::numeric_limits<double>::infinity();
+  try {
+    return std::stod(token);
+  } catch (const std::exception&) {
+    throw std::runtime_error("delaylb io: bad number '" + token + "' in " +
+                             context);
+  }
+}
+
+void WriteValue(std::ostream& os, double v) {
+  if (std::isinf(v)) {
+    os << "inf";
+  } else {
+    os << v;
+  }
+}
+
+}  // namespace
+
+void WriteInstance(std::ostream& os, const Instance& instance) {
+  const std::size_t m = instance.size();
+  os << std::setprecision(17);
+  os << "delaylb-instance v1\n";
+  os << "m " << m << "\n";
+  os << "speeds";
+  for (std::size_t i = 0; i < m; ++i) os << ' ' << instance.speed(i);
+  os << "\nloads";
+  for (std::size_t i = 0; i < m; ++i) os << ' ' << instance.load(i);
+  os << "\nlatency\n";
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j) os << ' ';
+      WriteValue(os, instance.latency(i, j));
+    }
+    os << '\n';
+  }
+}
+
+Instance ReadInstance(std::istream& is) {
+  Expect(is, "delaylb-instance", "header");
+  Expect(is, "v1", "version");
+  Expect(is, "m", "size");
+  std::size_t m = 0;
+  if (!(is >> m)) throw std::runtime_error("delaylb io: bad size");
+  Expect(is, "speeds", "speeds");
+  std::vector<double> speeds(m);
+  for (double& s : speeds) s = ReadValue(is, "speeds");
+  Expect(is, "loads", "loads");
+  std::vector<double> loads(m);
+  for (double& n : loads) n = ReadValue(is, "loads");
+  Expect(is, "latency", "latency");
+  std::vector<double> lat(m * m);
+  for (double& c : lat) c = ReadValue(is, "latency");
+  return Instance(std::move(speeds), std::move(loads),
+                  net::LatencyMatrix(m, std::move(lat)));
+}
+
+void WriteAllocation(std::ostream& os, const Allocation& alloc) {
+  const std::size_t m = alloc.size();
+  os << std::setprecision(17);
+  os << "delaylb-allocation v1\n";
+  os << "m " << m << "\n";
+  os << "r\n";
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j) os << ' ';
+      os << alloc.r(i, j);
+    }
+    os << '\n';
+  }
+}
+
+Allocation ReadAllocation(std::istream& is, const Instance& instance) {
+  Expect(is, "delaylb-allocation", "header");
+  Expect(is, "v1", "version");
+  Expect(is, "m", "size");
+  std::size_t m = 0;
+  if (!(is >> m)) throw std::runtime_error("delaylb io: bad size");
+  if (m != instance.size()) {
+    throw std::runtime_error("delaylb io: allocation size mismatch");
+  }
+  Expect(is, "r", "matrix");
+  std::vector<double> r(m * m);
+  for (double& v : r) v = ReadValue(is, "r");
+  return Allocation(instance, std::move(r), /*tol=*/1e-6);
+}
+
+std::string InstanceToString(const Instance& instance) {
+  std::ostringstream oss;
+  WriteInstance(oss, instance);
+  return oss.str();
+}
+
+Instance InstanceFromString(const std::string& text) {
+  std::istringstream iss(text);
+  return ReadInstance(iss);
+}
+
+}  // namespace delaylb::core

@@ -1,0 +1,45 @@
+#pragma once
+// Plain-text serialization of instances and allocations.
+//
+// A small line-oriented format so experiments are reproducible outside the
+// process that generated them (and so the bench harnesses can dump the
+// exact instances behind a published table). The format is versioned and
+// self-describing:
+//
+//   delaylb-instance v1
+//   m <count>
+//   speeds  s_0 ... s_{m-1}
+//   loads   n_0 ... n_{m-1}
+//   latency <m rows of m entries; "inf" for unreachable>
+//
+//   delaylb-allocation v1
+//   m <count>
+//   r <m rows of m entries>
+
+#include <iosfwd>
+#include <string>
+
+#include "core/allocation.h"
+#include "core/instance.h"
+
+namespace delaylb::core {
+
+/// Writes `instance` to `os`. Latencies use max precision; kUnreachable is
+/// written as "inf".
+void WriteInstance(std::ostream& os, const Instance& instance);
+
+/// Parses an instance written by WriteInstance. Throws std::runtime_error
+/// with a line diagnostic on malformed input.
+Instance ReadInstance(std::istream& is);
+
+/// Writes the r matrix of `alloc`.
+void WriteAllocation(std::ostream& os, const Allocation& alloc);
+
+/// Parses an allocation for `instance` (validates shape and row sums).
+Allocation ReadAllocation(std::istream& is, const Instance& instance);
+
+/// Convenience round-trips through strings (used by tests and examples).
+std::string InstanceToString(const Instance& instance);
+Instance InstanceFromString(const std::string& text);
+
+}  // namespace delaylb::core

@@ -1,0 +1,97 @@
+#pragma once
+// The distributed Min-Error (MinE) load balancing algorithm
+// (paper Section IV, Algorithm 2) and its iteration engine.
+//
+// In one *iteration*, every server (visited in random order, as in the
+// paper's Section VI-B) picks the partner j maximizing the exact improvement
+// impr(id, j) of a full Algorithm-1 balance, then executes the balance. The
+// engine tracks the SumC trace, supports the paper's ablation of periodic
+// negative-cycle removal, and offers a "fast" partner-selection policy that
+// pre-filters candidates with a constant-time proxy before the exact
+// evaluation — needed for the paper's Figure 2 sizes (m up to 5000) on one
+// machine.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/instance.h"
+#include "core/pairwise.h"
+#include "util/rng.h"
+
+namespace delaylb::core {
+
+/// How a server selects its balancing partner.
+enum class PartnerPolicy {
+  kExact,  ///< evaluate impr(id, j) for every j (the paper's Algorithm 2)
+  kFast,   ///< evaluate impr only on top candidates by a bulk-transfer proxy
+};
+
+struct MinEOptions {
+  PartnerPolicy policy = PartnerPolicy::kExact;
+  /// Number of candidates evaluated exactly under kFast.
+  std::size_t fast_candidates = 24;
+  /// Remove negative cycles every `cycle_removal_period` iterations
+  /// (0 = never; the paper found removal unnecessary in practice).
+  std::size_t cycle_removal_period = 0;
+  /// Seed for the per-iteration random server order.
+  std::uint64_t seed = 1;
+};
+
+/// Statistics of one engine iteration.
+struct IterationStats {
+  std::size_t iteration = 0;      ///< 1-based
+  double total_cost = 0.0;        ///< SumC after the iteration
+  double improvement = 0.0;       ///< SumC decrease achieved this iteration
+  double transferred = 0.0;       ///< total |load| moved this iteration
+  std::size_t balances = 0;       ///< number of executed pair balances
+};
+
+/// Outcome of a full run.
+struct MinERun {
+  std::vector<IterationStats> trace;
+  double initial_cost = 0.0;
+  double final_cost = 0.0;
+  bool converged = false;  ///< stopped by tolerance rather than iteration cap
+};
+
+/// The MinE iteration engine. Construct once per instance; Step/Run mutate a
+/// caller-owned Allocation.
+class MinEBalancer {
+ public:
+  MinEBalancer(const Instance& instance, MinEOptions options = {});
+
+  /// Executes one full iteration (every server balances once). Returns the
+  /// iteration statistics.
+  IterationStats Step(Allocation& alloc);
+
+  /// Runs until the relative SumC improvement over one iteration drops below
+  /// `relative_tolerance`, or `max_iterations` is reached. The trace has one
+  /// entry per executed iteration.
+  MinERun Run(Allocation& alloc, std::size_t max_iterations,
+              double relative_tolerance = 1e-12);
+
+  const MinEOptions& options() const noexcept { return options_; }
+
+ private:
+  /// Best partner for `id` under the configured policy; returns id itself
+  /// when no partner improves.
+  std::size_t SelectPartner(const Allocation& alloc, std::size_t id);
+
+  const Instance& instance_;
+  MinEOptions options_;
+  util::Rng rng_;
+  PairBalanceWorkspace ws_;
+  std::size_t iteration_ = 0;
+  // kFast scratch: (score, candidate) pairs.
+  std::vector<std::pair<double, std::size_t>> candidates_;
+};
+
+/// One-call convenience: runs MinE from the identity allocation until
+/// convergence and returns the final allocation.
+Allocation SolveWithMinE(const Instance& instance, MinEOptions options = {},
+                         std::size_t max_iterations = 200,
+                         double relative_tolerance = 1e-12);
+
+}  // namespace delaylb::core

@@ -1,0 +1,114 @@
+#include "core/negative_cycle.h"
+
+#include <cmath>
+#include <vector>
+
+#include "opt/bellman_ford.h"
+#include "opt/mcmf.h"
+
+namespace delaylb::core {
+namespace {
+
+constexpr double kFlowEps = 1e-9;
+
+}  // namespace
+
+bool HasNegativeCycle(const Instance& instance, const Allocation& alloc,
+                      double tol) {
+  const std::size_t m = instance.size();
+  // Residual network of the relay transportation problem, with front nodes
+  // [0, m) and back nodes [m, 2m). Forward arcs can always carry more flow;
+  // backward arcs exist where flow is currently positive.
+  std::vector<opt::Edge> edges;
+  edges.reserve(2 * m * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double c = instance.latency(i, j);  // c_ii == 0: "run at home"
+      if (std::isfinite(c)) {
+        edges.push_back({i, m + j, c});
+      }
+      if (alloc.r(i, j) > kFlowEps && std::isfinite(c)) {
+        edges.push_back({m + j, i, -c});
+      }
+    }
+  }
+  const opt::BellmanFordResult r = opt::FindNegativeCycle(2 * m, edges, tol);
+  return r.negative_cycle.has_value();
+}
+
+CycleRemovalResult RemoveNegativeCycles(const Instance& instance,
+                                        Allocation& alloc, double tol) {
+  CycleRemovalResult result;
+  const std::size_t m = instance.size();
+  if (m < 2) return result;
+
+  // Unlike the literal Appendix-A text we include the self edges
+  // (i_f, i_b) with cost c_ii = 0: they let a server take its own
+  // previously-relayed requests back home, which is required to dismantle
+  // pure swap cycles (two servers relaying equal volumes to each other).
+  // out/in therefore count *all* assignments, with r_ii contributing to
+  // both sides at zero cost.
+  std::vector<double> out(m, 0.0), in(m, 0.0);
+  double total_out = 0.0;
+  double relayed = 0.0;
+  double old_comm = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double r = alloc.r(i, j);
+      if (r <= 0.0) continue;
+      out[i] += r;
+      in[j] += r;
+      total_out += r;
+      if (i != j) {
+        relayed += r;
+        old_comm += r * instance.latency(i, j);
+      }
+    }
+  }
+  if (relayed <= kFlowEps) return result;
+
+  // Appendix-A construction: source = 0, fronts = 1..m, backs = m+1..2m,
+  // sink = 2m+1.
+  const std::size_t source = 0;
+  const std::size_t sink = 2 * m + 1;
+  opt::MinCostMaxFlow flow(2 * m + 2);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (out[i] > 0.0) flow.AddEdge(source, 1 + i, out[i], 0.0);
+    if (in[i] > 0.0) flow.AddEdge(m + 1 + i, sink, in[i], 0.0);
+  }
+  std::vector<std::size_t> edge_id(m * m, static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < m; ++i) {
+    if (out[i] <= 0.0) continue;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (in[j] <= 0.0) continue;
+      const double c = instance.latency(i, j);
+      if (!std::isfinite(c)) continue;
+      edge_id[i * m + j] = flow.AddEdge(1 + i, m + 1 + j, total_out, c);
+    }
+  }
+  const opt::MinCostMaxFlow::Result solved = flow.Solve(source, sink);
+  // The max flow always equals total_out (the current pattern itself is a
+  // feasible flow); a numeric shortfall means we should not touch anything.
+  if (std::fabs(solved.flow - total_out) > 1e-6 * std::max(1.0, total_out)) {
+    return result;
+  }
+  if (solved.cost >= old_comm - tol * std::max(1.0, old_comm)) {
+    return result;  // already optimal: no negative cycles
+  }
+
+  // Commit: every entry (including home execution) is the rerouted flow.
+  std::vector<double> new_row(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::size_t id = edge_id[i * m + j];
+      new_row[j] =
+          id == static_cast<std::size_t>(-1) ? 0.0 : flow.flow_on(id);
+    }
+    alloc.SetRow(i, new_row, /*tol=*/1e-5);
+  }
+  result.communication_saved = old_comm - solved.cost;
+  result.changed = true;
+  return result;
+}
+
+}  // namespace delaylb::core

@@ -1,0 +1,39 @@
+#pragma once
+// Negative relay cycles and their removal (paper Section IV-B, Appendix A).
+//
+// A negative cycle is a set of servers that effectively relay requests to
+// one another in a circle: dismantling it keeps every server's load
+// unchanged but strictly reduces communication cost. The paper reduces the
+// removal to a min-cost max-flow problem on a bipartite graph with front and
+// back copies of each server: source -> front_i with capacity out(i),
+// back_j -> sink with capacity in(j), and front_i -> back_j arcs with cost
+// c_ij and unbounded capacity. We implement both the detection (negative
+// cycle in the residual network of the current relay pattern, via
+// Bellman-Ford) and the removal (re-routing with MCMF). r_ii (requests
+// executed at home) is never touched — only relayed requests are re-routed.
+
+#include "core/allocation.h"
+#include "core/instance.h"
+
+namespace delaylb::core {
+
+/// True if the current relay pattern admits a cheaper re-routing with the
+/// same per-server loads, i.e. the residual network of the relay
+/// transportation problem contains a negative-cost cycle.
+bool HasNegativeCycle(const Instance& instance, const Allocation& alloc,
+                      double tol = 1e-9);
+
+/// Result of a removal pass.
+struct CycleRemovalResult {
+  double communication_saved = 0.0;  ///< SumC decrease (communication only)
+  bool changed = false;
+};
+
+/// Re-routes all relayed requests with the Appendix-A min-cost max-flow
+/// reduction. Per-server loads are preserved exactly; the total
+/// communication cost becomes minimal for the current loads. Mutates
+/// `alloc` only when a strict improvement is found.
+CycleRemovalResult RemoveNegativeCycles(const Instance& instance,
+                                        Allocation& alloc, double tol = 1e-9);
+
+}  // namespace delaylb::core

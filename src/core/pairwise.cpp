@@ -1,0 +1,196 @@
+#include "core/pairwise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace delaylb::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Communication cost of placing `amount` requests at latency `latency`;
+/// treats 0 * inf as 0 (no requests => no communication).
+inline double CommCost(double amount, double latency) {
+  return amount == 0.0 ? 0.0 : amount * latency;
+}
+
+}  // namespace
+
+double OptimalTransferUnclamped(double s_i, double s_j, double l_i,
+                                double l_j, double c_ki, double c_kj) {
+  if (!std::isfinite(c_kj)) return -kInf;  // target unreachable for k
+  if (!std::isfinite(c_ki)) return kInf;   // source unreachable: move all
+  return ((s_j * l_i - s_i * l_j) - s_i * s_j * (c_kj - c_ki)) /
+         (s_i + s_j);
+}
+
+PairBalanceResult BalanceColumns(const ColumnBalanceInput& input,
+                                 PairBalanceWorkspace& ws) {
+  PairBalanceResult result;
+  const std::size_t m = input.r_i.size();
+  const double s_i = input.s_i;
+  const double s_j = input.s_j;
+
+  ws.pool.resize(m);
+  ws.new_rki.resize(m);
+  ws.new_rkj.resize(m);
+  ws.order.clear();
+
+  double old_li = 0.0;
+  double old_lj = 0.0;
+  double old_comm = 0.0;
+
+  // Phase 1 (Algorithm 1, first loop): pool each organization's requests
+  // currently on i or j, virtually placing everything on i. Organizations
+  // that cannot reach i (or j) are pinned to the reachable side.
+  double li = 0.0;
+  double lj = 0.0;
+  for (std::size_t k = 0; k < m; ++k) {
+    const double rki = input.r_i[k];
+    const double rkj = input.r_j[k];
+    const double c_ki = input.c_i[k];
+    const double c_kj = input.c_j[k];
+    old_li += rki;
+    old_lj += rkj;
+    old_comm += CommCost(rki, c_ki) + CommCost(rkj, c_kj);
+    const double pool = rki + rkj;
+    ws.pool[k] = pool;
+    if (pool == 0.0) {
+      ws.new_rki[k] = 0.0;
+      ws.new_rkj[k] = 0.0;
+      continue;
+    }
+    const bool can_i = std::isfinite(c_ki);
+    const bool can_j = std::isfinite(c_kj);
+    if (can_i && can_j) {
+      ws.new_rki[k] = pool;
+      ws.new_rkj[k] = 0.0;
+      li += pool;
+      ws.order.push_back(k);
+    } else if (can_i) {
+      ws.new_rki[k] = pool;
+      ws.new_rkj[k] = 0.0;
+      li += pool;
+    } else if (can_j) {
+      ws.new_rki[k] = 0.0;
+      ws.new_rkj[k] = pool;
+      lj += pool;
+    } else {
+      // Neither side reachable: leave the (invalid) split untouched.
+      ws.new_rki[k] = rki;
+      ws.new_rkj[k] = rkj;
+      li += rki;
+      lj += rkj;
+    }
+  }
+
+  // Phase 2: sort by latency advantage of j over i, ascending; the smaller
+  // c_kj - c_ki, the more profitable it is to run k's requests on j.
+  std::sort(ws.order.begin(), ws.order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return (input.c_j[a] - input.c_i[a]) <
+                     (input.c_j[b] - input.c_i[b]);
+            });
+
+  // Phase 3 (Algorithm 1, second loop): per organization, apply Lemma 1.
+  for (std::size_t k : ws.order) {
+    const double unclamped = OptimalTransferUnclamped(
+        s_i, s_j, li, lj, input.c_i[k], input.c_j[k]);
+    const double dr = std::min(unclamped, ws.new_rki[k]);
+    if (dr > 0.0) {
+      ws.new_rki[k] -= dr;
+      ws.new_rkj[k] += dr;
+      li -= dr;
+      lj += dr;
+    }
+  }
+
+  // Improvement = old pair contribution - new pair contribution. All other
+  // terms of SumC are unaffected by a pairwise exchange.
+  double new_comm = 0.0;
+  for (std::size_t k = 0; k < m; ++k) {
+    if (ws.pool[k] == 0.0) continue;
+    new_comm += CommCost(ws.new_rki[k], input.c_i[k]) +
+                CommCost(ws.new_rkj[k], input.c_j[k]);
+  }
+  const double old_cost = old_li * old_li / (2.0 * s_i) +
+                          old_lj * old_lj / (2.0 * s_j) + old_comm;
+  const double new_cost =
+      li * li / (2.0 * s_i) + lj * lj / (2.0 * s_j) + new_comm;
+  result.improvement = old_cost - new_cost;
+  result.transferred = std::fabs(li - old_li);
+  result.new_load_i = li;
+  result.new_load_j = lj;
+  return result;
+}
+
+PairBalanceResult PairBalancePreview(const Instance& instance,
+                                     const Allocation& alloc, std::size_t i,
+                                     std::size_t j,
+                                     PairBalanceWorkspace& ws) {
+  const std::size_t m = instance.size();
+  if (i == j || m == 0) {
+    PairBalanceResult result;
+    result.new_load_i = m ? alloc.load(i) : 0.0;
+    result.new_load_j = m ? alloc.load(j) : 0.0;
+    return result;
+  }
+  ws.col_i.resize(m);
+  ws.col_j.resize(m);
+  ws.lat_i.resize(m);
+  ws.lat_j.resize(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    ws.col_i[k] = alloc.r(k, i);
+    ws.col_j[k] = alloc.r(k, j);
+    ws.lat_i[k] = instance.latency(k, i);
+    ws.lat_j[k] = instance.latency(k, j);
+  }
+  ColumnBalanceInput input;
+  input.s_i = instance.speed(i);
+  input.s_j = instance.speed(j);
+  input.c_i = ws.lat_i;
+  input.c_j = ws.lat_j;
+  input.r_i = ws.col_i;
+  input.r_j = ws.col_j;
+  return BalanceColumns(input, ws);
+}
+
+PairBalanceResult PairBalanceApply(const Instance& instance,
+                                   Allocation& alloc, std::size_t i,
+                                   std::size_t j, PairBalanceWorkspace& ws) {
+  PairBalanceResult result = PairBalancePreview(instance, alloc, i, j, ws);
+  if (result.improvement <= 0.0) {
+    // Numerically neutral or worse (Lemma 2 guarantees >= 0 up to fp
+    // noise): keep the current allocation to stay strictly monotone.
+    result.improvement = 0.0;
+    result.transferred = 0.0;
+    result.new_load_i = alloc.load(i);
+    result.new_load_j = alloc.load(j);
+    return result;
+  }
+  const std::size_t m = instance.size();
+  for (std::size_t k = 0; k < m; ++k) {
+    const double delta_to_j = ws.new_rkj[k] - alloc.r(k, j);
+    if (delta_to_j > 0.0) {
+      alloc.Move(k, i, j, delta_to_j);
+    } else if (delta_to_j < 0.0) {
+      alloc.Move(k, j, i, -delta_to_j);
+    }
+  }
+  return result;
+}
+
+double PairImprovement(const Instance& instance, const Allocation& alloc,
+                       std::size_t i, std::size_t j) {
+  PairBalanceWorkspace ws;
+  return PairBalancePreview(instance, alloc, i, j, ws).improvement;
+}
+
+PairBalanceResult BalancePair(const Instance& instance, Allocation& alloc,
+                              std::size_t i, std::size_t j) {
+  PairBalanceWorkspace ws;
+  return PairBalanceApply(instance, alloc, i, j, ws);
+}
+
+}  // namespace delaylb::core

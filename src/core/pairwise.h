@@ -1,0 +1,91 @@
+#pragma once
+// Optimal pairwise load exchange: Lemma 1 and Algorithm 1 of the paper.
+//
+// Lemma 1 gives the exact amount of organization k's requests to shift from
+// server i to server j so that SumC cannot be improved by moving more (or
+// fewer) of k's requests between that pair. Algorithm 1
+// (calcBestTransfer) balances an entire server pair: it virtually pools all
+// requests currently on i and j, sorts owning organizations by the latency
+// advantage c_kj - c_ki, and applies Lemma 1 per organization. After it
+// completes, no transfer of any requests between i and j can reduce SumC
+// (the paper's Lemma 2) — a property the test suite checks numerically.
+//
+// PairBalance{Preview,Apply} share one implementation; Preview computes the
+// improvement without touching the allocation (it is the impr() oracle of
+// Algorithm 2), Apply commits the result.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/instance.h"
+
+namespace delaylb::core {
+
+/// Lemma 1: the unclamped optimal transfer of organization k's requests
+/// from server i to server j, given current loads l_i, l_j:
+///   dr' = ((s_j l_i - s_i l_j) - s_i s_j (c_kj - c_ki)) / (s_i + s_j).
+/// The caller clamps to [0, r_ki]. If either latency is infinite the
+/// transfer is -inf (never profitable) — callers must handle that.
+double OptimalTransferUnclamped(double s_i, double s_j, double l_i,
+                                double l_j, double c_ki, double c_kj);
+
+/// Reusable buffers for pair balancing; pass one per thread to avoid
+/// allocations inside the O(m^2)-pair loops of the MinE engine.
+struct PairBalanceWorkspace {
+  std::vector<double> pool;          // per-organization pooled requests
+  std::vector<double> new_rki;       // result: k's requests on i
+  std::vector<double> new_rkj;       // result: k's requests on j
+  std::vector<std::size_t> order;    // organizations sorted by c_kj - c_ki
+  std::vector<double> col_i, col_j;  // strided-column copies (internal)
+  std::vector<double> lat_i, lat_j;  // latency-column copies (internal)
+};
+
+/// Inputs of a pair balance expressed as raw columns; this is the form the
+/// distributed runtime uses, where each server owns one column of the
+/// allocation and ships it to its partner inside a message.
+struct ColumnBalanceInput {
+  double s_i = 1.0;                  ///< speed of server i
+  double s_j = 1.0;                  ///< speed of server j
+  std::span<const double> c_i;       ///< latencies c_ki for every k
+  std::span<const double> c_j;       ///< latencies c_kj for every k
+  std::span<const double> r_i;       ///< current column of i (r_ki)
+  std::span<const double> r_j;       ///< current column of j (r_kj)
+};
+
+/// Outcome of balancing the pair (i, j).
+struct PairBalanceResult {
+  double improvement = 0.0;   ///< SumC(before) - SumC(after), >= 0
+  double transferred = 0.0;   ///< |net load change of server i| in requests
+  double new_load_i = 0.0;
+  double new_load_j = 0.0;
+};
+
+/// Algorithm 1 on raw columns: computes the balanced columns into
+/// `ws.new_rki` / `ws.new_rkj` and returns the improvement. This is the
+/// single implementation backing both the shared-memory and the
+/// message-passing paths.
+PairBalanceResult BalanceColumns(const ColumnBalanceInput& input,
+                                 PairBalanceWorkspace& ws);
+
+/// Computes the balanced state for servers (i, j) without mutating `alloc`.
+/// The per-organization result rows are left in `ws.new_rki` / `ws.new_rkj`.
+PairBalanceResult PairBalancePreview(const Instance& instance,
+                                     const Allocation& alloc, std::size_t i,
+                                     std::size_t j,
+                                     PairBalanceWorkspace& ws);
+
+/// Balances servers (i, j) in place (Algorithm 1). Returns the same result
+/// as the preview. No-op (zero improvement) when i == j.
+PairBalanceResult PairBalanceApply(const Instance& instance,
+                                   Allocation& alloc, std::size_t i,
+                                   std::size_t j, PairBalanceWorkspace& ws);
+
+/// Convenience wrappers that manage a private workspace.
+double PairImprovement(const Instance& instance, const Allocation& alloc,
+                       std::size_t i, std::size_t j);
+PairBalanceResult BalancePair(const Instance& instance, Allocation& alloc,
+                              std::size_t i, std::size_t j);
+
+}  // namespace delaylb::core

@@ -1,0 +1,171 @@
+#include "core/qp_form.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace delaylb::core {
+
+std::vector<double> BuildDenseQ(const Instance& instance) {
+  const std::size_t m = instance.size();
+  const std::size_t n = m * m;
+  std::vector<double> q(n * n, 0.0);
+  // q_(i,j),(k,l) = n_i n_k / s_j   if j == l and i < k
+  //              = n_i n_k / (2 s_j) if j == l and i == k
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::size_t row = i * m + j;
+      for (std::size_t k = i; k < m; ++k) {
+        const std::size_t col = k * m + j;  // l == j
+        const double nink = instance.load(i) * instance.load(k);
+        q[row * n + col] =
+            (i == k) ? nink / (2.0 * instance.speed(j))
+                     : nink / instance.speed(j);
+      }
+    }
+  }
+  return q;
+}
+
+std::vector<double> BuildDenseB(const Instance& instance) {
+  const std::size_t m = instance.size();
+  std::vector<double> b(m * m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      b[i * m + j] = instance.latency(i, j) * instance.load(i);
+    }
+  }
+  return b;
+}
+
+double EvaluateDenseObjective(const std::vector<double>& q,
+                              const std::vector<double>& b,
+                              const std::vector<double>& rho) {
+  const std::size_t n = rho.size();
+  if (q.size() != n * n || b.size() != n) {
+    throw std::invalid_argument("EvaluateDenseObjective: size mismatch");
+  }
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (rho[r] == 0.0) continue;
+    double row_dot = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (q[r * n + c] != 0.0) row_dot += q[r * n + c] * rho[c];
+    }
+    total += rho[r] * row_dot;
+    // b may hold +inf for unreachable pairs; 0 * inf must not poison the sum.
+    if (rho[r] != 0.0) total += b[r] * rho[r];
+  }
+  return total;
+}
+
+opt::SimplexQpProblem MakeRequestSpaceProblem(const Instance& instance) {
+  const std::size_t m = instance.size();
+  opt::SimplexQpProblem problem;
+  problem.rows = m;
+  problem.cols = m;
+  problem.row_totals.assign(instance.loads().begin(), instance.loads().end());
+  problem.allowed.assign(m * m, 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!instance.latency_matrix().Reachable(i, j)) {
+        problem.allowed[i * m + j] = 0;
+      }
+    }
+  }
+
+  // Capture speeds/latencies by value: the problem object may outlive the
+  // caller's instance reference scope in tests.
+  std::vector<double> speeds(instance.speeds().begin(),
+                             instance.speeds().end());
+  const net::LatencyMatrix lat = instance.latency_matrix();
+
+  problem.value = [m, speeds, lat](std::span<const double> x) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      double lj = 0.0;
+      for (std::size_t i = 0; i < m; ++i) lj += x[i * m + j];
+      total += lj * lj / (2.0 * speeds[j]);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        const double v = x[i * m + j];
+        if (v != 0.0) total += v * lat(i, j);
+      }
+    }
+    return total;
+  };
+  problem.gradient = [m, speeds, lat](std::span<const double> x,
+                                      std::span<double> grad) {
+    std::vector<double> loads(m, 0.0);
+    for (std::size_t j = 0; j < m; ++j) {
+      for (std::size_t i = 0; i < m; ++i) loads[j] += x[i * m + j];
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        const double c = lat(i, j);
+        grad[i * m + j] =
+            loads[j] / speeds[j] + (std::isfinite(c) ? c : 0.0);
+      }
+    }
+  };
+  problem.curvature = [m, speeds](std::span<const double> d) {
+    double curv = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      double dl = 0.0;
+      for (std::size_t i = 0; i < m; ++i) dl += d[i * m + j];
+      curv += dl * dl / speeds[j];
+    }
+    return curv;
+  };
+  double min_speed = std::numeric_limits<double>::infinity();
+  for (double s : speeds) min_speed = std::min(min_speed, s);
+  problem.lipschitz = static_cast<double>(m) / min_speed;
+  return problem;
+}
+
+Allocation AllocationFromVector(const Instance& instance,
+                                const std::vector<double>& x) {
+  return Allocation(instance, x, /*tol=*/1e-5);
+}
+
+std::vector<double> VectorFromAllocation(const Allocation& alloc) {
+  return std::vector<double>(alloc.raw().begin(), alloc.raw().end());
+}
+
+Allocation SolveCentralized(const Instance& instance,
+                            const opt::ProjectedGradientOptions& options) {
+  const opt::SimplexQpProblem problem = MakeRequestSpaceProblem(instance);
+  const Allocation start(instance);
+  const opt::SolveResult result = SolveProjectedGradient(
+      problem, VectorFromAllocation(start), options);
+  return AllocationFromVector(instance, result.x);
+}
+
+opt::BlockQpModel MakeBlockQpModel(const Instance& instance) {
+  const std::size_t m = instance.size();
+  opt::BlockQpModel model;
+  model.m = m;
+  model.speeds.assign(instance.speeds().begin(), instance.speeds().end());
+  model.row_totals.assign(instance.loads().begin(), instance.loads().end());
+  model.latencies.resize(m * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      model.latencies[i * m + j] = instance.latency(i, j);
+    }
+  }
+  return model;
+}
+
+Allocation SolveCentralizedCoordinateDescent(
+    const Instance& instance,
+    const opt::CoordinateDescentOptions& options) {
+  const opt::BlockQpModel model = MakeBlockQpModel(instance);
+  const Allocation start(instance);
+  const opt::CoordinateDescentResult result = opt::SolveCoordinateDescent(
+      model, VectorFromAllocation(start), options);
+  return AllocationFromVector(instance, result.x);
+}
+
+}  // namespace delaylb::core

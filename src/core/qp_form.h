@@ -1,0 +1,65 @@
+#pragma once
+// The centralized optimization problem in matrix form (paper Section III).
+//
+// SumC(rho) = rho^T Q rho + b^T rho with the paper's m^2-by-m^2 upper
+// triangular Q (eq. 2) and b_(i,j) = c_ij n_i. This header provides:
+//  * dense builders for Q, b (small m; used by tests to validate the
+//    construction against the closed-form cost),
+//  * an O(m^2) adapter that exposes the same objective in *request space*
+//    (x_ij = r_ij) to the generic solvers in opt/ — the natural choice for a
+//    solver because the gradient Lipschitz constant (m / min_j s_j) does not
+//    depend on the loads,
+//  * helpers to convert between solver vectors and Allocations.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/instance.h"
+#include "opt/coordinate_descent.h"
+#include "opt/projected_gradient.h"
+
+namespace delaylb::core {
+
+/// Dense Q (size (m^2)^2, row-major over flattened (i*m+j) indices) as
+/// defined by the paper's eq. (2). Intended for m <= ~30 (tests).
+std::vector<double> BuildDenseQ(const Instance& instance);
+
+/// Dense b (size m^2): b_(i,j) = c_ij * n_i. Unreachable pairs give +inf.
+std::vector<double> BuildDenseB(const Instance& instance);
+
+/// Evaluates rho^T Q rho + b^T rho from the dense matrices (O(m^4); test
+/// oracle only).
+double EvaluateDenseObjective(const std::vector<double>& q,
+                              const std::vector<double>& b,
+                              const std::vector<double>& rho);
+
+/// Builds the request-space QP for the generic solvers:
+///   minimize sum_j l_j^2/(2 s_j) + sum_{i,j} c_ij x_ij,
+///   rows = organizations (row total n_i), x_ij >= 0,
+///   unreachable pairs masked out.
+opt::SimplexQpProblem MakeRequestSpaceProblem(const Instance& instance);
+
+/// Converts a solver vector (request space, row-major) to an Allocation.
+Allocation AllocationFromVector(const Instance& instance,
+                                const std::vector<double>& x);
+
+/// Flattens an Allocation into a request-space solver vector.
+std::vector<double> VectorFromAllocation(const Allocation& alloc);
+
+/// Convenience: solve the centralized problem with projected gradient from
+/// the identity allocation; returns the optimized allocation.
+Allocation SolveCentralized(const Instance& instance,
+                            const opt::ProjectedGradientOptions& options = {});
+
+/// Adapter for the exact block-coordinate-descent solver.
+opt::BlockQpModel MakeBlockQpModel(const Instance& instance);
+
+/// Solve the centralized problem by exact row minimization (water-filling
+/// coordinate descent) from the identity allocation. Usually the fastest
+/// centralized path because it exploits the model's diagonal row structure.
+Allocation SolveCentralizedCoordinateDescent(
+    const Instance& instance,
+    const opt::CoordinateDescentOptions& options = {});
+
+}  // namespace delaylb::core

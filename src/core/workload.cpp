@@ -1,0 +1,30 @@
+#include "core/workload.h"
+
+namespace delaylb::core {
+
+std::string ToString(NetworkKind k) {
+  switch (k) {
+    case NetworkKind::kHomogeneous:
+      return "c=20";
+    case NetworkKind::kPlanetLab:
+      return "PL";
+  }
+  return "?";
+}
+
+Instance MakeScenario(const ScenarioParams& params, util::Rng& rng) {
+  std::vector<double> speeds =
+      params.constant_speeds
+          ? util::ConstantSpeeds(params.m, params.constant_speed)
+          : util::SampleSpeeds(params.m, params.speed_lo, params.speed_hi,
+                               rng);
+  std::vector<double> loads = util::SampleLoads(
+      params.load_distribution, params.m, params.mean_load, rng);
+  net::LatencyMatrix latency =
+      params.network == NetworkKind::kHomogeneous
+          ? net::Homogeneous(params.m, params.homogeneous_c)
+          : net::PlanetLabLike(params.m, rng);
+  return Instance(std::move(speeds), std::move(loads), std::move(latency));
+}
+
+}  // namespace delaylb::core

@@ -1,0 +1,50 @@
+#pragma once
+// Scenario construction: the paper's experimental settings as data.
+//
+// Section VI-A evaluates on homogeneous networks (c_ij = 20) and on
+// PlanetLab-derived heterogeneous latencies, with server speeds U[1,5] (or
+// constant, in Table III), and initial loads drawn uniform / exponential /
+// peak. MakeScenario assembles a full Instance from those choices; the
+// bench binaries and tests share it so every experiment cell is described by
+// one small struct.
+
+#include <cstddef>
+#include <string>
+
+#include "core/instance.h"
+#include "net/generators.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace delaylb::core {
+
+/// Which latency structure to generate.
+enum class NetworkKind {
+  kHomogeneous,  ///< c_ij = homogeneous_c for all pairs (paper: 20)
+  kPlanetLab,    ///< synthetic PlanetLab-like heterogeneous latencies
+};
+
+std::string ToString(NetworkKind k);
+
+/// Full description of one experiment cell.
+struct ScenarioParams {
+  std::size_t m = 50;
+  util::LoadDistribution load_distribution =
+      util::LoadDistribution::kUniform;
+  /// Mean initial load per organization; for kPeak, the total load placed
+  /// on the single loaded server (paper: 100000).
+  double mean_load = 50.0;
+  NetworkKind network = NetworkKind::kHomogeneous;
+  double homogeneous_c = 20.0;
+  /// When true all speeds equal `constant_speed`; otherwise U[speed_lo,
+  /// speed_hi] (paper: U[1,5]).
+  bool constant_speeds = false;
+  double constant_speed = 1.0;
+  double speed_lo = 1.0;
+  double speed_hi = 5.0;
+};
+
+/// Builds an Instance for the scenario, drawing randomness from `rng`.
+Instance MakeScenario(const ScenarioParams& params, util::Rng& rng);
+
+}  // namespace delaylb::core

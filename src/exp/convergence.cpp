@@ -1,0 +1,51 @@
+#include "exp/convergence.h"
+
+#include "core/cost.h"
+#include "exp/scenarios.h"
+
+namespace delaylb::exp {
+
+IterationsToTolerance MeasureIterationsToTolerance(
+    const core::Instance& instance, double relative_error,
+    core::MinEOptions options, std::size_t max_iterations) {
+  IterationsToTolerance result;
+  const core::Allocation reference = ReferenceOptimum(instance);
+  result.reference_cost = core::TotalCost(instance, reference);
+  const double threshold =
+      result.reference_cost * (1.0 + relative_error);
+
+  core::Allocation alloc(instance);
+  result.final_cost = core::TotalCost(instance, alloc);
+  if (result.final_cost <= threshold) {
+    result.reached = true;
+    return result;
+  }
+  core::MinEBalancer balancer(instance, options);
+  for (std::size_t it = 1; it <= max_iterations; ++it) {
+    const core::IterationStats stats = balancer.Step(alloc);
+    result.final_cost = stats.total_cost;
+    if (stats.total_cost <= threshold) {
+      result.iterations = it;
+      result.reached = true;
+      return result;
+    }
+  }
+  result.iterations = max_iterations;
+  return result;
+}
+
+std::vector<double> TraceConvergence(const core::Instance& instance,
+                                     std::size_t iterations,
+                                     core::MinEOptions options) {
+  std::vector<double> trace;
+  trace.reserve(iterations + 1);
+  core::Allocation alloc(instance);
+  trace.push_back(core::TotalCost(instance, alloc));
+  core::MinEBalancer balancer(instance, options);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    trace.push_back(balancer.Step(alloc).total_cost);
+  }
+  return trace;
+}
+
+}  // namespace delaylb::exp

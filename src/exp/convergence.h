@@ -1,0 +1,40 @@
+#pragma once
+// Convergence measurement of the distributed algorithm (Tables I-II,
+// Figure 2).
+//
+// The paper counts the iterations the distributed algorithm needs until the
+// total processing time is within a relative tolerance (2% / 0.1%) of the
+// optimum. MeasureIterationsToTolerance runs a fresh MinE trajectory from
+// the identity allocation against an independently computed reference
+// optimum and reports the first iteration inside the tolerance.
+// TraceConvergence returns the full SumC-per-iteration series for Figure 2.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/mine.h"
+
+namespace delaylb::exp {
+
+struct IterationsToTolerance {
+  std::size_t iterations = 0;   ///< first iteration within tolerance
+  bool reached = false;
+  double reference_cost = 0.0;
+  double final_cost = 0.0;
+};
+
+/// Counts iterations until SumC <= reference * (1 + relative_error).
+/// The initial (identity) allocation counts as iteration 0; if it already
+/// satisfies the tolerance, iterations == 0.
+IterationsToTolerance MeasureIterationsToTolerance(
+    const core::Instance& instance, double relative_error,
+    core::MinEOptions options = {}, std::size_t max_iterations = 100);
+
+/// SumC after each iteration (index 0 = initial allocation), for Figure 2.
+std::vector<double> TraceConvergence(const core::Instance& instance,
+                                     std::size_t iterations,
+                                     core::MinEOptions options = {});
+
+}  // namespace delaylb::exp

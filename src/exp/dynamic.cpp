@@ -1,0 +1,92 @@
+#include "exp/dynamic.h"
+
+#include <cmath>
+
+#include "core/cost.h"
+#include "core/mine.h"
+#include "exp/scenarios.h"
+#include "util/rng.h"
+
+namespace delaylb::exp {
+
+core::Allocation CarryOverAllocation(const core::Instance& new_instance,
+                                     const core::Allocation& previous) {
+  const std::size_t m = new_instance.size();
+  std::vector<double> r(m * m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double n_new = new_instance.load(i);
+    if (n_new <= 0.0) continue;
+    double previous_total = 0.0;
+    for (std::size_t j = 0; j < m; ++j) previous_total += previous.r(i, j);
+    if (previous_total <= 0.0) {
+      r[i * m + i] = n_new;  // nothing to carry over: start at home
+      continue;
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      r[i * m + j] = n_new * previous.r(i, j) / previous_total;
+    }
+  }
+  return core::Allocation(new_instance, std::move(r), /*tol=*/1e-6);
+}
+
+std::vector<EpochStats> RunDynamicTracking(const core::ScenarioParams& params,
+                                           const DynamicOptions& options) {
+  util::Rng rng(options.seed);
+  core::Instance instance = core::MakeScenario(params, rng);
+
+  std::vector<EpochStats> stats;
+  stats.reserve(options.epochs);
+  core::Allocation warm(instance);
+
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    if (epoch > 0) {
+      // Drift the loads multiplicatively, keep machines and latencies.
+      std::vector<double> loads(instance.loads().begin(),
+                                instance.loads().end());
+      for (double& n : loads) {
+        n *= std::exp(rng.normal(0.0, options.drift));
+      }
+      core::Instance next(
+          std::vector<double>(instance.speeds().begin(),
+                              instance.speeds().end()),
+          std::move(loads), instance.latency_matrix());
+      warm = CarryOverAllocation(next, warm);
+      instance = std::move(next);
+    }
+
+    EpochStats s;
+    s.epoch = epoch;
+    s.optimal_cost =
+        core::TotalCost(instance, ReferenceOptimum(instance, 200, 1e-12));
+
+    core::MinEOptions engine_options;
+    engine_options.seed = options.seed + epoch;
+    // Warm: continue from the carried-over allocation.
+    {
+      core::MinEBalancer balancer(instance, engine_options);
+      for (std::size_t it = 0; it < options.iterations_per_epoch; ++it) {
+        balancer.Step(warm);
+      }
+      s.warm_cost = core::TotalCost(instance, warm);
+    }
+    // Cold: restart from identity every epoch.
+    {
+      core::Allocation cold(instance);
+      core::MinEBalancer balancer(instance, engine_options);
+      for (std::size_t it = 0; it < options.iterations_per_epoch; ++it) {
+        balancer.Step(cold);
+      }
+      s.cold_cost = core::TotalCost(instance, cold);
+    }
+    s.warm_gap = s.optimal_cost > 0.0
+                     ? s.warm_cost / s.optimal_cost - 1.0
+                     : 0.0;
+    s.cold_gap = s.optimal_cost > 0.0
+                     ? s.cold_cost / s.optimal_cost - 1.0
+                     : 0.0;
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+}  // namespace delaylb::exp

@@ -1,0 +1,55 @@
+#pragma once
+// Dynamically changing loads: the operational regime the paper motivates
+// ("the distributed algorithm is efficient, therefore it can be used in
+// networks with dynamically changing loads", abstract / Section I).
+//
+// Every epoch the organizations' demand drifts; the distributed algorithm
+// resumes from the previous epoch's relay fractions (warm start) and runs a
+// small number of iterations. The experiment tracks how close the warm
+// trajectory stays to the per-epoch optimum and compares against restarting
+// from scratch (cold start) — the warm start should need fewer iterations,
+// which is precisely why a distributed, incremental balancer beats
+// re-solving the QP on every change.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/instance.h"
+#include "core/workload.h"
+
+namespace delaylb::exp {
+
+struct DynamicOptions {
+  std::size_t epochs = 10;
+  /// Relative magnitude of the per-epoch multiplicative load drift: each
+  /// n_i is multiplied by exp(N(0, drift)).
+  double drift = 0.4;
+  /// MinE iterations allowed per epoch (warm and cold alike).
+  std::size_t iterations_per_epoch = 2;
+  std::uint64_t seed = 1;
+};
+
+struct EpochStats {
+  std::size_t epoch = 0;
+  double optimal_cost = 0.0;       ///< converged reference for this epoch
+  double warm_cost = 0.0;          ///< after iterations_per_epoch, warm start
+  double cold_cost = 0.0;          ///< after iterations_per_epoch, cold start
+  double warm_gap = 0.0;           ///< warm_cost / optimal_cost - 1
+  double cold_gap = 0.0;           ///< cold_cost / optimal_cost - 1
+};
+
+/// Runs the dynamic-tracking experiment. The initial instance comes from
+/// `params`; subsequent epochs drift the loads (speeds and latencies are
+/// fixed — machines and geography do not move).
+std::vector<EpochStats> RunDynamicTracking(const core::ScenarioParams& params,
+                                           const DynamicOptions& options);
+
+/// Rescales an allocation's rows to new loads, preserving each
+/// organization's relay *fractions* — how a running system carries its
+/// routing table across a demand change.
+core::Allocation CarryOverAllocation(const core::Instance& new_instance,
+                                     const core::Allocation& previous);
+
+}  // namespace delaylb::exp

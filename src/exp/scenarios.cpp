@@ -1,0 +1,42 @@
+#include "exp/scenarios.h"
+
+namespace delaylb::exp {
+
+core::Allocation ReferenceOptimum(const core::Instance& instance,
+                                  std::size_t max_iterations,
+                                  double tolerance) {
+  // A distinct seed from any measured run, so that the reference trajectory
+  // is independent of the trajectory being evaluated.
+  core::MinEOptions options;
+  options.seed = 0xFEEDFACEull;
+  return core::SolveWithMinE(instance, options, max_iterations, tolerance);
+}
+
+util::Summary RepeatScenario(
+    const core::ScenarioParams& params, std::size_t repetitions,
+    std::uint64_t base_seed,
+    const std::function<double(const core::Instance&, std::uint64_t)>&
+        measure) {
+  util::Accumulator acc;
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    const std::uint64_t seed = base_seed + 1000003ull * rep;
+    util::Rng rng(seed);
+    const core::Instance instance = core::MakeScenario(params, rng);
+    acc.Add(measure(instance, seed));
+  }
+  return acc.summary();
+}
+
+std::vector<MGroup> ConvergenceTableGroups(bool full_scale) {
+  if (full_scale) {
+    return {{"m <= 50", {20, 30, 50}},
+            {"m = 100", {100}},
+            {"m = 200", {200}},
+            {"m = 300", {300}}};
+  }
+  // Laptop-scale defaults keep the bench binaries fast on one core while
+  // preserving the size progression.
+  return {{"m <= 50", {20, 30, 50}}, {"m = 100", {100}}, {"m = 200", {200}}};
+}
+
+}  // namespace delaylb::exp

@@ -1,0 +1,47 @@
+#pragma once
+// Shared experiment plumbing for the bench harnesses and integration tests.
+//
+// The reproduced tables all follow the same pattern: build a grid of
+// ScenarioParams cells, run several seeded repetitions per cell, aggregate
+// with util::Summary. This header centralizes the reference-optimum
+// computation (the paper approximates the optimum with the converged
+// distributed algorithm, Section VI-A) and the seeded repetition loop.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/instance.h"
+#include "core/mine.h"
+#include "core/workload.h"
+#include "util/stats.h"
+
+namespace delaylb::exp {
+
+/// The paper's reference optimum: MinE run to (near) fixpoint. For the
+/// instance sizes of Tables I-III this is indistinguishable from the QP
+/// optimum (validated in tests against the projected-gradient solver).
+core::Allocation ReferenceOptimum(const core::Instance& instance,
+                                  std::size_t max_iterations = 300,
+                                  double tolerance = 1e-13);
+
+/// Runs `repetitions` seeded instances of one scenario and feeds the metric
+/// produced by `measure` into a Summary. `measure` receives the instance
+/// and the repetition's base seed.
+util::Summary RepeatScenario(
+    const core::ScenarioParams& params, std::size_t repetitions,
+    std::uint64_t base_seed,
+    const std::function<double(const core::Instance&, std::uint64_t)>&
+        measure);
+
+/// The m-groups of Tables I-II: label -> list of network sizes. The
+/// "m <= 50" group aggregates {20, 30, 50} like the paper.
+struct MGroup {
+  std::string label;
+  std::vector<std::size_t> sizes;
+};
+std::vector<MGroup> ConvergenceTableGroups(bool full_scale);
+
+}  // namespace delaylb::exp

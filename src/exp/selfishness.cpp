@@ -1,0 +1,79 @@
+#include "exp/selfishness.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace delaylb::exp {
+namespace {
+
+/// The load means representing each Table-III band.
+std::vector<double> BandMeans(const std::string& band) {
+  if (band == "lav <= 30") return {10.0, 20.0};
+  if (band == "lav = 50") return {50.0};
+  return {200.0, 1000.0};  // "lav >= 200"
+}
+
+}  // namespace
+
+std::vector<SelfishnessCell> TableThreeCells(
+    const std::vector<std::size_t>& sizes) {
+  std::vector<SelfishnessCell> cells;
+  const std::vector<std::string> speed_labels = {"const s_i", "uniform s_i"};
+  const std::vector<std::string> load_labels = {"lav <= 30", "lav = 50",
+                                                "lav >= 200"};
+  const std::vector<core::NetworkKind> networks = {
+      core::NetworkKind::kHomogeneous, core::NetworkKind::kPlanetLab};
+  for (const std::string& speed : speed_labels) {
+    for (const std::string& band : load_labels) {
+      for (core::NetworkKind net : networks) {
+        SelfishnessCell cell;
+        cell.speed_label = speed;
+        cell.load_label = band;
+        cell.network_label = core::ToString(net);
+        for (std::size_t m : sizes) {
+          for (double mean : BandMeans(band)) {
+            // Both load distributions contribute to every cell (the paper
+            // reports selfishness is insensitive to the distribution).
+            for (util::LoadDistribution dist :
+                 {util::LoadDistribution::kUniform,
+                  util::LoadDistribution::kExponential}) {
+              core::ScenarioParams params;
+              params.m = m;
+              params.load_distribution = dist;
+              params.mean_load = mean;
+              params.network = net;
+              params.constant_speeds = (speed == "const s_i");
+              params.constant_speed = 1.0;
+              cell.scenarios.push_back(params);
+            }
+          }
+        }
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return cells;
+}
+
+util::Summary MeasureCell(const SelfishnessCell& cell,
+                          std::size_t repetitions, std::uint64_t base_seed,
+                          const game::SelfishnessOptions& options) {
+  util::Accumulator acc;
+  std::uint64_t cell_seed = base_seed;
+  for (const core::ScenarioParams& params : cell.scenarios) {
+    for (std::size_t rep = 0; rep < repetitions; ++rep) {
+      util::Rng rng(cell_seed);
+      cell_seed += 0x9E3779B9ull;
+      const core::Instance instance = core::MakeScenario(params, rng);
+      game::SelfishnessOptions opts = options;
+      opts.nash.seed = cell_seed;
+      const game::SelfishnessResult r =
+          game::MeasureSelfishness(instance, opts);
+      acc.Add(std::max(1.0, r.ratio));
+    }
+  }
+  return acc.summary();
+}
+
+}  // namespace delaylb::exp

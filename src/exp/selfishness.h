@@ -1,0 +1,39 @@
+#pragma once
+// Cost-of-selfishness sweeps (Table III).
+//
+// Table III groups instances by speed model (constant vs uniform), average
+// initial load band, and network kind, then reports avg/max/stddev of the
+// ratio between the selfish equilibrium's SumC and the cooperative
+// optimum's. These helpers enumerate the paper's cells and run the seeded
+// repetitions; the bench binary formats them.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/workload.h"
+#include "game/poa.h"
+#include "util/stats.h"
+
+namespace delaylb::exp {
+
+/// One Table-III row descriptor.
+struct SelfishnessCell {
+  std::string speed_label;   ///< "const s_i" / "uniform s_i"
+  std::string load_label;    ///< "lav <= 30" / "lav = 50" / "lav >= 200"
+  std::string network_label; ///< "c=20" / "PL"
+  std::vector<core::ScenarioParams> scenarios;  ///< cell members
+};
+
+/// The paper's full Table-III grid over the given network sizes.
+std::vector<SelfishnessCell> TableThreeCells(
+    const std::vector<std::size_t>& sizes);
+
+/// Runs every scenario of a cell `repetitions` times; the metric is the
+/// ratio SumC(Nash) / SumC(optimum), floored at 1 (the optimum is a global
+/// lower bound; tiny negative excursions are solver noise).
+util::Summary MeasureCell(const SelfishnessCell& cell,
+                          std::size_t repetitions, std::uint64_t base_seed,
+                          const game::SelfishnessOptions& options = {});
+
+}  // namespace delaylb::exp

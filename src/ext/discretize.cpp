@@ -1,0 +1,72 @@
+#include "ext/discretize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/cost.h"
+
+namespace delaylb::ext {
+
+std::vector<double> RoundRowLargestRemainder(const std::vector<double>& row,
+                                             double tol) {
+  const std::size_t m = row.size();
+  double sum = 0.0;
+  for (double v : row) {
+    if (v < -tol) {
+      throw std::invalid_argument("RoundRowLargestRemainder: negative entry");
+    }
+    sum += v;
+  }
+  const double target = std::round(sum);
+  std::vector<double> floors(m);
+  std::vector<std::pair<double, std::size_t>> remainders(m);
+  double floor_sum = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    floors[j] = std::floor(std::max(0.0, row[j]));
+    floor_sum += floors[j];
+    remainders[j] = {row[j] - floors[j], j};
+  }
+  auto missing = static_cast<long long>(std::llround(target - floor_sum));
+  // Give one extra request to the `missing` largest remainders.
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (long long k = 0; k < missing && k < static_cast<long long>(m); ++k) {
+    floors[remainders[static_cast<std::size_t>(k)].second] += 1.0;
+  }
+  return floors;
+}
+
+core::Allocation DiscretizeAllocation(const core::Instance& instance,
+                                      const core::Allocation& fractional,
+                                      double tol) {
+  const std::size_t m = instance.size();
+  std::vector<double> r(m * m, 0.0);
+  std::vector<double> row(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) row[j] = fractional.r(i, j);
+    const std::vector<double> rounded = RoundRowLargestRemainder(row, tol);
+    for (std::size_t j = 0; j < m; ++j) r[i * m + j] = rounded[j];
+  }
+  return core::Allocation(instance, std::move(r), /*tol=*/1e-6);
+}
+
+DiscretizationPenalty MeasureDiscretizationPenalty(
+    const core::Instance& instance, const core::Allocation& fractional) {
+  DiscretizationPenalty penalty;
+  penalty.fractional_cost = core::TotalCost(instance, fractional);
+  const core::Allocation discrete =
+      DiscretizeAllocation(instance, fractional);
+  penalty.discrete_cost = core::TotalCost(instance, discrete);
+  penalty.absolute = penalty.discrete_cost - penalty.fractional_cost;
+  penalty.relative = penalty.fractional_cost > 0.0
+                         ? penalty.absolute / penalty.fractional_cost
+                         : 0.0;
+  return penalty;
+}
+
+}  // namespace delaylb::ext

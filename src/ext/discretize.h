@@ -1,0 +1,44 @@
+#pragma once
+// Discretization of the fractional solution for unit requests
+// (paper Section VII, the simple case before sized tasks).
+//
+// The fractional model assigns r_ij real-valued unit requests. When
+// requests are indivisible, each row must be rounded to integers that
+// still sum to n_i. RoundRowLargestRemainder implements the classic
+// largest-remainder (Hamilton) rounding, which is optimal in L1 for a
+// fixed-sum integerization; DiscretizationPenalty quantifies the SumC
+// degradation the rounding causes — O(m) requests per organization, so
+// negligible once n_i >> m, which is the paper's regime.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/instance.h"
+
+namespace delaylb::ext {
+
+/// Rounds a non-negative row to integers preserving the (integer) sum.
+/// `row` entries must be >= 0 and sum to an integer within `tol`;
+/// otherwise the target sum is the nearest integer. Ties broken by index.
+std::vector<double> RoundRowLargestRemainder(const std::vector<double>& row,
+                                             double tol = 1e-6);
+
+/// Rounds every organization's row of `fractional`; n_i must be integral
+/// (within tol) for an exact result. Returns the discrete allocation.
+core::Allocation DiscretizeAllocation(const core::Instance& instance,
+                                      const core::Allocation& fractional,
+                                      double tol = 1e-6);
+
+/// SumC penalty of the discretization.
+struct DiscretizationPenalty {
+  double fractional_cost = 0.0;
+  double discrete_cost = 0.0;
+  double absolute = 0.0;  ///< discrete - fractional (>= 0 up to noise)
+  double relative = 0.0;  ///< absolute / fractional
+};
+
+DiscretizationPenalty MeasureDiscretizationPenalty(
+    const core::Instance& instance, const core::Allocation& fractional);
+
+}  // namespace delaylb::ext

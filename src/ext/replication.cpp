@@ -1,0 +1,151 @@
+#include "ext/replication.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/qp_form.h"
+#include "opt/simplex_projection.h"
+
+namespace delaylb::ext {
+
+core::Allocation SolveWithReplication(const core::Instance& instance,
+                                      const ReplicationOptions& options) {
+  const std::size_t m = instance.size();
+  const std::size_t r = options.replicas;
+  if (r == 0 || r > m) {
+    throw std::invalid_argument("SolveWithReplication: need 1 <= R <= m");
+  }
+  const opt::SimplexQpProblem problem =
+      core::MakeRequestSpaceProblem(instance);
+
+  // Projected gradient with per-row capped-simplex projection; caps are
+  // n_i / R in request space (rho_ij <= 1/R).
+  std::vector<double> x(m * m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    // Feasible start: spread each organization's load over the R cheapest
+    // reachable servers... uniform over all reachable servers is simpler
+    // and feasible whenever at least R are reachable.
+    std::size_t reachable = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (problem.allowed[i * m + j]) ++reachable;
+    }
+    if (reachable < r && instance.load(i) > 0.0) {
+      throw std::invalid_argument(
+          "SolveWithReplication: fewer than R reachable servers");
+    }
+    if (reachable == 0) continue;
+    const double share = instance.load(i) / static_cast<double>(reachable);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (problem.allowed[i * m + j]) x[i * m + j] = share;
+    }
+  }
+
+  const double step = 1.0 / problem.lipschitz;
+  std::vector<double> grad(m * m, 0.0);
+  std::vector<double> row(m, 0.0);
+  double value = problem.value(x);
+  for (std::size_t iter = 0; iter < options.solver.max_iterations; ++iter) {
+    problem.gradient(x, grad);
+    for (std::size_t k = 0; k < m * m; ++k) x[k] -= step * grad[k];
+    for (std::size_t i = 0; i < m; ++i) {
+      const double n_i = instance.load(i);
+      const double cap = n_i / static_cast<double>(r);
+      // Pack the allowed coordinates, project, unpack.
+      std::vector<double> packed;
+      std::vector<std::size_t> idx;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (problem.allowed[i * m + j]) {
+          packed.push_back(x[i * m + j]);
+          idx.push_back(j);
+        } else {
+          x[i * m + j] = 0.0;
+        }
+      }
+      if (packed.empty()) continue;
+      const std::vector<double> projected =
+          opt::ProjectToCappedSimplex(packed, n_i, cap);
+      for (std::size_t k = 0; k < idx.size(); ++k) {
+        x[i * m + idx[k]] = projected[k];
+      }
+    }
+    const double new_value = problem.value(x);
+    const double scale = std::max(1.0, std::fabs(value));
+    if (value - new_value >= 0.0 &&
+        value - new_value < options.solver.relative_tolerance * scale) {
+      value = new_value;
+      break;
+    }
+    value = new_value;
+  }
+  return core::Allocation(instance, std::move(x), /*tol=*/1e-5);
+}
+
+std::vector<std::size_t> SampleReplicaSet(const std::vector<double>& prob,
+                                          std::size_t replicas,
+                                          util::Rng& rng) {
+  double total = 0.0;
+  for (double p : prob) {
+    if (p < -1e-9 || p > 1.0 + 1e-9) {
+      throw std::invalid_argument("SampleReplicaSet: marginal outside [0,1]");
+    }
+    total += p;
+  }
+  if (std::fabs(total - static_cast<double>(replicas)) > 1e-6 * total) {
+    throw std::invalid_argument("SampleReplicaSet: marginals must sum to R");
+  }
+  // Systematic sampling: one uniform start, R equally spaced pointers into
+  // the cumulative distribution. Because each marginal is <= 1, no server
+  // is selected twice.
+  const double u = rng.uniform();
+  std::vector<std::size_t> chosen;
+  chosen.reserve(replicas);
+  double cumulative = 0.0;
+  std::size_t next = 0;
+  for (std::size_t j = 0; j < prob.size() && next < replicas; ++j) {
+    cumulative += prob[j];
+    while (next < replicas && cumulative > u + static_cast<double>(next)) {
+      chosen.push_back(j);
+      ++next;
+    }
+  }
+  // Numeric slack: if the last pointer fell off the end, take the last
+  // positive-marginal server.
+  while (chosen.size() < replicas) {
+    for (std::size_t j = prob.size(); j-- > 0;) {
+      if (prob[j] > 0.0 &&
+          (chosen.empty() || chosen.back() != j)) {
+        chosen.push_back(j);
+        break;
+      }
+    }
+  }
+  return chosen;
+}
+
+std::vector<std::vector<std::size_t>> PlaceReplicas(
+    const core::Instance& instance, const core::Allocation& alloc,
+    std::size_t organization, std::size_t task_count, std::size_t replicas,
+    util::Rng& rng) {
+  const std::size_t m = instance.size();
+  std::vector<double> prob(m, 0.0);
+  double total = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    prob[j] = static_cast<double>(replicas) * alloc.rho(organization, j);
+    prob[j] = std::min(prob[j], 1.0);  // numeric guard
+    total += prob[j];
+  }
+  // Renormalize tiny drift so the marginals sum to exactly R.
+  if (total > 0.0) {
+    const double scale = static_cast<double>(replicas) / total;
+    for (double& p : prob) p = std::min(1.0, p * scale);
+  }
+  std::vector<std::vector<std::size_t>> placements;
+  placements.reserve(task_count);
+  for (std::size_t t = 0; t < task_count; ++t) {
+    placements.push_back(SampleReplicaSet(prob, replicas, rng));
+  }
+  return placements;
+}
+
+}  // namespace delaylb::ext

@@ -1,0 +1,48 @@
+#pragma once
+// Replication: every task must run at R distinct locations
+// (paper Section VII, the CDN replica-placement reading of the model).
+//
+// The fractional problem gains the constraint rho_ij <= 1/R, so that
+// R * rho_ij is a valid marginal probability of placing a copy of each of
+// i's tasks on server j (expected copies: sum_j R rho_ij = R). We solve the
+// constrained problem with projected gradient over *capped* simplices, and
+// provide a dependent-rounding sampler that draws exactly R distinct servers
+// per task with those marginals (systematic sampling).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/instance.h"
+#include "opt/projected_gradient.h"
+#include "util/rng.h"
+
+namespace delaylb::ext {
+
+struct ReplicationOptions {
+  std::size_t replicas = 2;  ///< R
+  opt::ProjectedGradientOptions solver;
+};
+
+/// Solves the centralized problem under rho_ij <= 1/R. Requires R <= m
+/// (otherwise infeasible; throws). Returns the constrained-optimal
+/// fractional allocation.
+core::Allocation SolveWithReplication(const core::Instance& instance,
+                                      const ReplicationOptions& options);
+
+/// Draws R distinct servers for one task with marginal inclusion
+/// probabilities prob[j] (sum == R, each <= 1) using systematic sampling.
+/// The returned indices are sorted and unique.
+std::vector<std::size_t> SampleReplicaSet(const std::vector<double>& prob,
+                                          std::size_t replicas,
+                                          util::Rng& rng);
+
+/// Per-task replica placement for organization i: draws a replica set for
+/// each of `task_count` tasks from the marginals R * rho_i*.
+std::vector<std::vector<std::size_t>> PlaceReplicas(
+    const core::Instance& instance, const core::Allocation& alloc,
+    std::size_t organization, std::size_t task_count, std::size_t replicas,
+    util::Rng& rng);
+
+}  // namespace delaylb::ext

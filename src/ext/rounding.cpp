@@ -1,0 +1,126 @@
+#include "ext/rounding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace delaylb::ext {
+namespace {
+
+double TotalError(const std::vector<double>& assigned,
+                  const std::vector<double>& targets) {
+  double err = 0.0;
+  for (std::size_t j = 0; j < assigned.size(); ++j) {
+    err += std::fabs(assigned[j] - targets[j]);
+  }
+  return err;
+}
+
+/// Error delta of moving volume `p` from server a to server b.
+double MoveDelta(const std::vector<double>& assigned,
+                 const std::vector<double>& targets, std::size_t a,
+                 std::size_t b, double p) {
+  const double before = std::fabs(assigned[a] - targets[a]) +
+                        std::fabs(assigned[b] - targets[b]);
+  const double after = std::fabs(assigned[a] - p - targets[a]) +
+                       std::fabs(assigned[b] + p - targets[b]);
+  return after - before;
+}
+
+}  // namespace
+
+double RoundingErrorLowerBound(const TaskSet& tasks,
+                               const std::vector<double>& targets) {
+  const double target_total =
+      std::accumulate(targets.begin(), targets.end(), 0.0);
+  return std::fabs(tasks.total() - target_total);
+}
+
+RoundingResult RoundTasks(const TaskSet& tasks,
+                          const std::vector<double>& targets,
+                          const RoundingOptions& options) {
+  const std::size_t n = tasks.count();
+  const std::size_t m = targets.size();
+  if (m == 0) throw std::invalid_argument("RoundTasks: no servers");
+
+  RoundingResult result;
+  result.assignment.assign(n, 0);
+  result.assigned_totals.assign(m, 0.0);
+
+  // Greedy phase: largest tasks first, each into the server with the
+  // largest remaining deficit (target - assigned).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return tasks.sizes[a] > tasks.sizes[b];
+  });
+  for (std::size_t k : order) {
+    std::size_t best = 0;
+    double best_deficit = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < m; ++j) {
+      const double deficit = targets[j] - result.assigned_totals[j];
+      if (deficit > best_deficit) {
+        best_deficit = deficit;
+        best = j;
+      }
+    }
+    result.assignment[k] = best;
+    result.assigned_totals[best] += tasks.sizes[k];
+  }
+
+  // Local search: single-task relocations and pairwise swaps,
+  // first-improvement sweeps.
+  for (std::size_t sweep = 0; sweep < options.local_search_sweeps; ++sweep) {
+    bool improved = false;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t from = result.assignment[k];
+      const double p = tasks.sizes[k];
+      double best_delta = -1e-12;  // strictly improving only
+      std::size_t best_to = from;
+      for (std::size_t to = 0; to < m; ++to) {
+        if (to == from) continue;
+        const double delta =
+            MoveDelta(result.assigned_totals, targets, from, to, p);
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_to = to;
+        }
+      }
+      if (best_to != from) {
+        result.assigned_totals[from] -= p;
+        result.assigned_totals[best_to] += p;
+        result.assignment[k] = best_to;
+        improved = true;
+      }
+    }
+    // Pairwise swaps: exchanging two tasks between servers changes each
+    // server's total by the size difference, which single moves can't
+    // express.
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t a = result.assignment[k];
+      for (std::size_t l = k + 1; l < n; ++l) {
+        const std::size_t b = result.assignment[l];
+        if (a == b) continue;
+        const double diff = tasks.sizes[k] - tasks.sizes[l];
+        if (diff == 0.0) continue;
+        // Swapping moves `diff` from server a to server b.
+        const double delta =
+            MoveDelta(result.assigned_totals, targets, a, b, diff);
+        if (delta < -1e-12) {
+          result.assigned_totals[a] -= diff;
+          result.assigned_totals[b] += diff;
+          std::swap(result.assignment[k], result.assignment[l]);
+          improved = true;
+          break;  // k's server changed; restart its inner scan
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  result.total_error = TotalError(result.assigned_totals, targets);
+  return result;
+}
+
+}  // namespace delaylb::ext

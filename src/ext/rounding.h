@@ -1,0 +1,45 @@
+#pragma once
+// Rounding the fractional solution to discrete task placements
+// (paper Section VII).
+//
+// Given organization i's fractional targets t_j = rho_ij * n_i and its
+// discrete task sizes, assign every task to exactly one server so the total
+// deviation sum_j |assigned_j - t_j| is small. The underlying problem is the
+// multiple subset sum with different knapsack capacities (NP-complete, PTAS
+// exists); we implement the practical pipeline: largest-first greedy into
+// the most under-filled server, followed by first-improvement local search
+// (single-task moves and pairwise swaps).
+
+#include <cstddef>
+#include <vector>
+
+#include "ext/tasks.h"
+
+namespace delaylb::ext {
+
+/// Assignment of one organization's tasks: assignment[k] = server of task k.
+struct RoundingResult {
+  std::vector<std::size_t> assignment;
+  std::vector<double> assigned_totals;  ///< per-server assigned volume
+  double total_error = 0.0;             ///< sum_j |assigned_j - target_j|
+};
+
+struct RoundingOptions {
+  /// Local-search sweeps after the greedy phase (0 disables).
+  std::size_t local_search_sweeps = 4;
+};
+
+/// Rounds one organization's tasks to the fractional targets. `targets`
+/// must have one entry per server and sum to ~ the task total; servers with
+/// target 0 can still receive tasks if that lowers the error. Throws on a
+/// size mismatch.
+RoundingResult RoundTasks(const TaskSet& tasks,
+                          const std::vector<double>& targets,
+                          const RoundingOptions& options = {});
+
+/// The trivial lower bound on the achievable error for the given instance:
+/// |sum sizes - sum targets| (mass mismatch can never be fixed).
+double RoundingErrorLowerBound(const TaskSet& tasks,
+                               const std::vector<double>& targets);
+
+}  // namespace delaylb::ext

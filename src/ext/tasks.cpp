@@ -1,0 +1,55 @@
+#include "ext/tasks.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace delaylb::ext {
+
+double TaskSet::total() const {
+  return std::accumulate(sizes.begin(), sizes.end(), 0.0);
+}
+
+TaskSet UniformTasks(std::size_t count, double lo, double hi,
+                     util::Rng& rng) {
+  if (lo <= 0.0 || hi < lo) {
+    throw std::invalid_argument("UniformTasks: invalid size range");
+  }
+  TaskSet set;
+  set.sizes.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    set.sizes.push_back(rng.uniform(lo, hi));
+  }
+  return set;
+}
+
+TaskSet HeavyTailTasks(std::size_t count, double min_size, double max_size,
+                       double alpha, util::Rng& rng) {
+  if (min_size <= 0.0 || max_size < min_size || alpha <= 1.0) {
+    throw std::invalid_argument("HeavyTailTasks: invalid parameters");
+  }
+  TaskSet set;
+  set.sizes.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    // Inverse-CDF sampling of a bounded Pareto.
+    const double u = rng.uniform();
+    const double la = std::pow(min_size, alpha);
+    const double ha = std::pow(max_size, alpha);
+    const double x =
+        std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+    set.sizes.push_back(x);
+  }
+  return set;
+}
+
+core::Instance InstanceFromTasks(std::vector<double> speeds,
+                                 const TaskSets& tasks,
+                                 net::LatencyMatrix latency) {
+  std::vector<double> loads;
+  loads.reserve(tasks.size());
+  for (const TaskSet& set : tasks) loads.push_back(set.total());
+  return core::Instance(std::move(speeds), std::move(loads),
+                        std::move(latency));
+}
+
+}  // namespace delaylb::ext

@@ -1,0 +1,46 @@
+#pragma once
+// Sized tasks: the Section-VII extension to heterogeneous request durations.
+//
+// The base model treats an organization's load as n_i unit requests. Here an
+// organization owns a set of discrete tasks J_i = {J_i(k)} with sizes
+// p_i(k); the fractional problem is solved with n_i = sum_k p_i(k), and the
+// fractional solution is then discretized (rounding.h). TaskSet also
+// supports generating realistic size mixes (uniform, Zipf-popularity CDN
+// chunks) used by the examples and tests.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "util/rng.h"
+
+namespace delaylb::ext {
+
+/// The discrete tasks of one organization.
+struct TaskSet {
+  std::vector<double> sizes;  ///< p_i(k) > 0
+
+  double total() const;
+  std::size_t count() const noexcept { return sizes.size(); }
+};
+
+/// Tasks for all organizations.
+using TaskSets = std::vector<TaskSet>;
+
+/// Draws `count` task sizes uniformly from [lo, hi].
+TaskSet UniformTasks(std::size_t count, double lo, double hi, util::Rng& rng);
+
+/// Draws task sizes from a (bounded) Pareto-like heavy-tail distribution —
+/// the classic CDN object-size mix: many small objects, few large ones.
+/// `alpha` > 1 controls the tail (smaller = heavier).
+TaskSet HeavyTailTasks(std::size_t count, double min_size, double max_size,
+                       double alpha, util::Rng& rng);
+
+/// Builds an Instance whose n_i are the task-set totals (the Section-VII
+/// reduction to the fractional problem).
+core::Instance InstanceFromTasks(std::vector<double> speeds,
+                                 const TaskSets& tasks,
+                                 net::LatencyMatrix latency);
+
+}  // namespace delaylb::ext

@@ -1,0 +1,58 @@
+#include "game/best_response.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/cost.h"
+#include "opt/waterfill.h"
+
+namespace delaylb::game {
+
+BestResponse ComputeBestResponse(const core::Instance& instance,
+                                 const core::Allocation& alloc,
+                                 std::size_t i) {
+  const std::size_t m = instance.size();
+  BestResponse response;
+  response.current_cost = core::OrganizationCost(instance, alloc, i);
+  const double n_i = instance.load(i);
+  if (n_i <= 0.0) {
+    response.row.assign(m, 0.0);
+    return response;
+  }
+
+  // Marginal-cost intercepts a_j = l^{-i}_j / (2 s_j) + c_ij; +inf for
+  // unreachable servers so the water-filling skips them.
+  std::vector<double> speeds(instance.speeds().begin(),
+                             instance.speeds().end());
+  std::vector<double> a(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    const double c = instance.latency(i, j);
+    if (!std::isfinite(c)) {
+      a[j] = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    const double l_other = alloc.load(j) - alloc.r(i, j);
+    a[j] = l_other / (2.0 * speeds[j]) + c;
+  }
+  opt::WaterfillResult wf = opt::Waterfill(speeds, a, n_i);
+  response.row = std::move(wf.x);
+  response.cost = wf.objective;
+
+  double l1 = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    l1 += std::fabs(response.row[j] - alloc.r(i, j));
+  }
+  response.relative_change = l1 / n_i;
+  return response;
+}
+
+BestResponse ApplyBestResponse(const core::Instance& instance,
+                               core::Allocation& alloc, std::size_t i) {
+  BestResponse response = ComputeBestResponse(instance, alloc, i);
+  if (!response.row.empty() && instance.load(i) > 0.0) {
+    alloc.SetRow(i, response.row, /*tol=*/1e-6);
+  }
+  return response;
+}
+
+}  // namespace delaylb::game

@@ -1,0 +1,38 @@
+#pragma once
+// Exact selfish best response of a single organization (paper Section V).
+//
+// Organization i controls only its own row of the allocation and minimizes
+//   C_i(r_i*) = sum_j [ r_ij^2/(2 s_j) + r_ij ( l^{-i}_j/(2 s_j) + c_ij ) ],
+// where l^{-i}_j is server j's load excluding i's own requests. This is a
+// diagonal QP over a scaled simplex, solved exactly in closed form by
+// opt::Waterfill. The best response is the building block of the Nash
+// dynamics (nash.h) and of the epsilon-Nash verification used in tests.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/instance.h"
+
+namespace delaylb::game {
+
+/// The best-response row and its value.
+struct BestResponse {
+  std::vector<double> row;     ///< optimal r_i* (length m, sums to n_i)
+  double cost = 0.0;           ///< C_i at the best response
+  double current_cost = 0.0;   ///< C_i at the current allocation
+  /// Relative L1 change ||row - current_row||_1 / n_i (0 when n_i == 0).
+  double relative_change = 0.0;
+};
+
+/// Computes organization i's exact best response against the rest of
+/// `alloc` (i's current placement is excluded from the opposing loads).
+BestResponse ComputeBestResponse(const core::Instance& instance,
+                                 const core::Allocation& alloc,
+                                 std::size_t i);
+
+/// Applies the best response in place; returns it.
+BestResponse ApplyBestResponse(const core::Instance& instance,
+                               core::Allocation& alloc, std::size_t i);
+
+}  // namespace delaylb::game

@@ -1,0 +1,64 @@
+#include "game/homogeneous.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "net/generators.h"
+
+namespace delaylb::game {
+
+PoABounds TheoremOneBounds(const core::Instance& instance) {
+  if (!instance.IsHomogeneous()) {
+    throw std::invalid_argument("TheoremOneBounds: instance not homogeneous");
+  }
+  const double l_av = instance.average_load();
+  if (l_av <= 0.0) {
+    throw std::invalid_argument("TheoremOneBounds: zero average load");
+  }
+  const double s = instance.speed(0);
+  const double c = instance.size() > 1 ? instance.latency(0, 1) : 0.0;
+  PoABounds bounds;
+  bounds.cs_over_lav = c * s / l_av;
+  const double x = bounds.cs_over_lav;
+  bounds.upper = 1.0 + 2.0 * x + x * x;
+  bounds.lower = 1.0 + 2.0 * x - 4.0 * x * x;
+  return bounds;
+}
+
+double LemmaThreeBound(const core::Instance& instance) {
+  if (!instance.IsHomogeneous()) {
+    throw std::invalid_argument("LemmaThreeBound: instance not homogeneous");
+  }
+  const double s = instance.speed(0);
+  const double c = instance.size() > 1 ? instance.latency(0, 1) : 0.0;
+  return c * s;
+}
+
+core::Instance MakeTightnessInstance(std::size_t m, double s, double c,
+                                     double l_av) {
+  if (l_av < 2.0 * c * s) {
+    throw std::invalid_argument(
+        "MakeTightnessInstance: requires l_av >= 2*c*s");
+  }
+  return core::Instance(std::vector<double>(m, s),
+                        std::vector<double>(m, l_av),
+                        net::Homogeneous(m, c));
+}
+
+core::Allocation TightnessEquilibrium(const core::Instance& instance) {
+  const std::size_t m = instance.size();
+  if (m == 0) return core::Allocation(instance);
+  const double s = instance.speed(0);
+  const double c = m > 1 ? instance.latency(0, 1) : 0.0;
+  const double l_av = instance.average_load();
+  const double shared = (l_av - 2.0 * c * s) / static_cast<double>(m);
+  std::vector<double> r(m * m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      r[i * m + j] = (i == j) ? 2.0 * c * s + shared : shared;
+    }
+  }
+  return core::Allocation(instance, std::move(r), /*tol=*/1e-6);
+}
+
+}  // namespace delaylb::game

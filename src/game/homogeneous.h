@@ -1,0 +1,46 @@
+#pragma once
+// Homogeneous-network theory: Lemma 3 and Theorem 1 of the paper.
+//
+// When all speeds equal s and all off-diagonal latencies equal c, the paper
+// proves:
+//  * Lemma 3: at a Nash equilibrium, |l_i - l_j| <= c * s for all pairs;
+//  * Theorem 1: 1 + 2cs/l_av - 4(cs/l_av)^2 <= PoA <= 1 + 2cs/l_av +
+//    (cs/l_av)^2.
+// This header evaluates those bounds for an instance and constructs the
+// tightness instance from the proof (all organizations with equal initial
+// load l_av) together with its symmetric-equilibrium allocation, where each
+// organization relays (l_av - 2cs)/m to every other server and keeps
+// 2cs + (l_av - 2cs)/m at home.
+
+#include "core/allocation.h"
+#include "core/instance.h"
+
+namespace delaylb::game {
+
+/// Theorem 1's analytic bounds for a homogeneous instance.
+struct PoABounds {
+  double lower = 1.0;  ///< 1 + 2cs/l_av - 4 (cs/l_av)^2
+  double upper = 1.0;  ///< 1 + 2cs/l_av + (cs/l_av)^2
+  double cs_over_lav = 0.0;
+};
+
+/// Computes the bounds from the instance's (homogeneous) parameters. Throws
+/// std::invalid_argument if the instance is not homogeneous or has zero
+/// average load.
+PoABounds TheoremOneBounds(const core::Instance& instance);
+
+/// Lemma 3's load-disparity bound c*s. At any Nash equilibrium of a
+/// homogeneous instance, max_i l_i - min_i l_j must not exceed this.
+double LemmaThreeBound(const core::Instance& instance);
+
+/// Builds the tightness instance of Theorem 1: m organizations, speed s,
+/// latency c, every initial load equal to l_av. Requires l_av >= 2 c s for
+/// the proof's equilibrium to be feasible (checked).
+core::Instance MakeTightnessInstance(std::size_t m, double s, double c,
+                                     double l_av);
+
+/// The symmetric Nash equilibrium allocation from the tightness proof:
+/// r_ij = (l_av - 2cs)/m for i != j, r_ii = 2cs + (l_av - 2cs)/m.
+core::Allocation TightnessEquilibrium(const core::Instance& instance);
+
+}  // namespace delaylb::game

@@ -1,0 +1,58 @@
+#include "game/nash.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/cost.h"
+#include "game/best_response.h"
+#include "util/rng.h"
+
+namespace delaylb::game {
+
+NashResult FindNashEquilibrium(const core::Instance& instance,
+                               core::Allocation& alloc,
+                               const NashOptions& options) {
+  NashResult result;
+  const std::size_t m = instance.size();
+  util::Rng rng(options.seed);
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  std::size_t stable_streak = 0;
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    if (options.randomize_order) rng.shuffle(order);
+    double max_change = 0.0;
+    for (std::size_t i : order) {
+      const BestResponse br = ApplyBestResponse(instance, alloc, i);
+      max_change = std::max(max_change, br.relative_change);
+    }
+    result.rounds = round + 1;
+    if (max_change < options.stability_threshold) {
+      if (++stable_streak >= options.stable_rounds_required) {
+        result.converged = true;
+        break;
+      }
+    } else {
+      stable_streak = 0;
+    }
+  }
+  result.total_cost = core::TotalCost(instance, alloc);
+  result.epsilon = NashEpsilon(instance, alloc);
+  return result;
+}
+
+double NashEpsilon(const core::Instance& instance,
+                   const core::Allocation& alloc) {
+  const std::size_t m = instance.size();
+  double epsilon = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (instance.load(i) <= 0.0) continue;
+    const BestResponse br = ComputeBestResponse(instance, alloc, i);
+    if (br.current_cost <= 0.0) continue;
+    const double gain = (br.current_cost - br.cost) / br.current_cost;
+    epsilon = std::max(epsilon, gain);
+  }
+  return epsilon;
+}
+
+}  // namespace delaylb::game

@@ -1,0 +1,53 @@
+#pragma once
+// Nash equilibrium search by iterated best response (paper Section VI-C).
+//
+// The paper approximates the Nash equilibrium with the natural heuristic:
+// every organization repeatedly plays its exact best response to the current
+// request distribution; the dynamics stop once every organization changed
+// its distribution by less than 1% in two consecutive rounds. Because the
+// best response is exact (closed form), the fixed points of these dynamics
+// are exactly the Nash equilibria of the continuous game.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/instance.h"
+
+namespace delaylb::game {
+
+struct NashOptions {
+  /// An organization counts as "stable" in a round when its relative L1
+  /// change is below this threshold (paper: 1%).
+  double stability_threshold = 0.01;
+  /// Rounds in a row in which *all* organizations must be stable (paper: 2).
+  std::size_t stable_rounds_required = 2;
+  std::size_t max_rounds = 500;
+  /// Visit organizations in random order each round (seeded); when false,
+  /// round-robin order.
+  bool randomize_order = true;
+  std::uint64_t seed = 1;
+};
+
+struct NashResult {
+  std::size_t rounds = 0;
+  bool converged = false;
+  double total_cost = 0.0;        ///< SumC at the final state
+  /// Largest relative improvement any organization could still achieve by
+  /// deviating (epsilon of the epsilon-Nash certificate; 0 = exact).
+  double epsilon = 0.0;
+};
+
+/// Runs best-response dynamics in place from the given starting allocation.
+NashResult FindNashEquilibrium(const core::Instance& instance,
+                               core::Allocation& alloc,
+                               const NashOptions& options = {});
+
+/// Certificate: the largest relative gain any single organization can still
+/// obtain by unilaterally deviating. 0 (up to numerics) at a Nash
+/// equilibrium.
+double NashEpsilon(const core::Instance& instance,
+                   const core::Allocation& alloc);
+
+}  // namespace delaylb::game

@@ -1,0 +1,27 @@
+#include "game/poa.h"
+
+#include "core/cost.h"
+#include "core/mine.h"
+
+namespace delaylb::game {
+
+SelfishnessResult MeasureSelfishness(const core::Instance& instance,
+                                     const SelfishnessOptions& options) {
+  SelfishnessResult result;
+
+  core::Allocation optimal = core::SolveWithMinE(
+      instance, core::MinEOptions{}, options.optimum_max_iterations,
+      options.optimum_tolerance);
+  result.optimal_cost = core::TotalCost(instance, optimal);
+
+  core::Allocation selfish(instance);
+  result.nash = FindNashEquilibrium(instance, selfish, options.nash);
+  result.nash_cost = result.nash.total_cost;
+
+  result.ratio = result.optimal_cost > 0.0
+                     ? result.nash_cost / result.optimal_cost
+                     : 1.0;
+  return result;
+}
+
+}  // namespace delaylb::game

@@ -1,0 +1,35 @@
+#pragma once
+// Price of anarchy / cost of selfishness measurement (paper Section VI-C).
+//
+// For one instance: run the cooperative optimizer (MinE to convergence, the
+// paper's own reference for the optimum) and the selfish best-response
+// dynamics, then report the ratio of total processing times. Table III
+// aggregates this ratio over instance families.
+
+#include <cstdint>
+
+#include "core/instance.h"
+#include "game/nash.h"
+
+namespace delaylb::game {
+
+struct SelfishnessOptions {
+  NashOptions nash;
+  std::size_t optimum_max_iterations = 200;
+  double optimum_tolerance = 1e-12;
+};
+
+/// Both endpoints of the comparison, plus the ratio.
+struct SelfishnessResult {
+  double optimal_cost = 0.0;    ///< SumC of the cooperative solution
+  double nash_cost = 0.0;       ///< SumC at the (approximate) equilibrium
+  double ratio = 1.0;           ///< nash_cost / optimal_cost (>= 1 - eps)
+  NashResult nash;              ///< convergence details of the dynamics
+};
+
+/// Measures the cost of selfishness on one instance. Both searches start
+/// from the identity allocation (everyone at home), like the paper.
+SelfishnessResult MeasureSelfishness(const core::Instance& instance,
+                                     const SelfishnessOptions& options = {});
+
+}  // namespace delaylb::game

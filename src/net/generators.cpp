@@ -1,0 +1,107 @@
+#include "net/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "net/metric_repair.h"
+
+namespace delaylb::net {
+
+LatencyMatrix Homogeneous(std::size_t m, double c) {
+  if (c < 0.0) throw std::invalid_argument("Homogeneous: negative latency");
+  return LatencyMatrix(m, c);
+}
+
+LatencyMatrix PlanetLabLike(std::size_t m, util::Rng& rng,
+                            const PlanetLabLikeParams& params) {
+  if (m == 0) return LatencyMatrix();
+  // Place cluster centres uniformly in the area, then scatter nodes around
+  // a random centre each.
+  const std::size_t k = std::max<std::size_t>(1, params.clusters);
+  std::vector<Point2D> centres(k);
+  for (auto& c : centres) {
+    c.x = rng.uniform(0.0, params.area_size);
+    c.y = rng.uniform(0.0, params.area_size);
+  }
+  std::vector<Point2D> nodes(m);
+  for (auto& p : nodes) {
+    const Point2D& c = centres[rng.below(k)];
+    p.x = c.x + rng.normal(0.0, params.cluster_radius);
+    p.y = c.y + rng.normal(0.0, params.cluster_radius);
+  }
+  std::vector<double> access(m);
+  for (double& a : access) {
+    a = rng.uniform(params.access_min_ms, params.access_max_ms);
+  }
+
+  LatencyMatrix lat(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const double dx = nodes[i].x - nodes[j].x;
+      const double dy = nodes[i].y - nodes[j].y;
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      double rtt = dist / params.km_per_ms + access[i] + access[j];
+      rtt *= 1.0 + params.jitter_frac * std::fabs(rng.normal());
+      lat.SetSymmetric(i, j, rtt);
+    }
+  }
+
+  // Simulate the paper's incomplete dataset: knock out a fraction of the
+  // measurements, then complete them with shortest paths (footnote 3).
+  if (params.missing_fraction > 0.0 && m > 2) {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = i + 1; j < m; ++j) {
+        if (rng.bernoulli(params.missing_fraction)) {
+          lat.SetSymmetric(i, j, kUnreachable);
+        }
+      }
+    }
+    lat = CompleteByShortestPaths(lat);
+  }
+  return lat;
+}
+
+LatencyMatrix FromCoordinates(const std::vector<Point2D>& points,
+                              double km_per_ms, double base_ms) {
+  if (km_per_ms <= 0.0) {
+    throw std::invalid_argument("FromCoordinates: km_per_ms must be > 0");
+  }
+  const std::size_t m = points.size();
+  LatencyMatrix lat(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const double dx = points[i].x - points[j].x;
+      const double dy = points[i].y - points[j].y;
+      lat.SetSymmetric(i, j,
+                       base_ms + std::sqrt(dx * dx + dy * dy) / km_per_ms);
+    }
+  }
+  return lat;
+}
+
+LatencyMatrix RestrictToNearestNeighbors(const LatencyMatrix& base,
+                                         std::size_t k) {
+  const std::size_t m = base.size();
+  LatencyMatrix out(m, kUnreachable);
+  std::vector<std::size_t> order(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return base(i, a) < base(i, b);
+    });
+    std::size_t taken = 0;
+    for (std::size_t j : order) {
+      if (j == i) continue;
+      if (taken >= k) break;
+      if (!base.Reachable(i, j)) break;
+      out.Set(i, j, base(i, j));
+      out.Set(j, i, base(j, i));  // symmetric closure
+      ++taken;
+    }
+  }
+  return out;
+}
+
+}  // namespace delaylb::net

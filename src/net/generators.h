@@ -1,0 +1,61 @@
+#pragma once
+// Topology generators for the experiment harness.
+//
+// The paper evaluates on (a) homogeneous networks with c_ij = 20 ms and
+// (b) heterogeneous latencies derived from PlanetLab measurements (iPlane
+// dataset). The dataset is no longer distributed, so PlanetLabLike()
+// synthesizes a latency matrix with the same qualitative structure:
+// geographically clustered nodes (metro areas), distance-proportional
+// propagation delay plus per-node access penalty and jitter, a fraction of
+// missing measurements re-completed by all-pairs shortest paths — exactly
+// the completion step the paper applied to its own incomplete data
+// (Section VI-A, footnote 3).
+
+#include <cstddef>
+#include <vector>
+
+#include "net/latency_matrix.h"
+#include "util/rng.h"
+
+namespace delaylb::net {
+
+/// All off-diagonal latencies equal to `c` (paper: c = 20).
+LatencyMatrix Homogeneous(std::size_t m, double c);
+
+/// Parameters of the synthetic PlanetLab-like generator.
+struct PlanetLabLikeParams {
+  std::size_t clusters = 8;          ///< number of metro areas
+  double area_size = 3000.0;         ///< bounding square side, km
+  double cluster_radius = 60.0;      ///< node scatter inside a metro, km
+  double km_per_ms = 100.0;          ///< signal propagation (~0.5c in fiber)
+  double access_min_ms = 0.5;        ///< per-node access-link penalty range
+  double access_max_ms = 5.0;
+  double jitter_frac = 0.10;         ///< multiplicative lognormal-ish jitter
+  double missing_fraction = 0.25;    ///< entries dropped then re-completed
+};
+
+/// Synthesizes an m-node PlanetLab-like latency matrix (milliseconds,
+/// symmetric, zero diagonal, triangle inequality holds after completion).
+LatencyMatrix PlanetLabLike(std::size_t m, util::Rng& rng,
+                            const PlanetLabLikeParams& params = {});
+
+/// 2-D point used by the Euclidean generator.
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Latency proportional to Euclidean distance between given coordinates:
+/// c_ij = base + distance(i,j) / km_per_ms.
+LatencyMatrix FromCoordinates(const std::vector<Point2D>& points,
+                              double km_per_ms, double base_ms);
+
+/// Restricts `base` so that each server can relay only to its `k` nearest
+/// neighbours (and itself); all other entries become kUnreachable. Models
+/// the paper's trust-relationship restriction (Section II). The relation is
+/// made symmetric (i allowed to j iff j allowed to i => union of both
+/// k-nearest sets).
+LatencyMatrix RestrictToNearestNeighbors(const LatencyMatrix& base,
+                                         std::size_t k);
+
+}  // namespace delaylb::net

@@ -1,0 +1,106 @@
+#include "net/latency_matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace delaylb::net {
+
+LatencyMatrix::LatencyMatrix(std::size_t m, double fill)
+    : m_(m), data_(m * m, fill) {
+  for (std::size_t i = 0; i < m_; ++i) data_[i * m_ + i] = 0.0;
+}
+
+LatencyMatrix::LatencyMatrix(std::size_t m, std::vector<double> data)
+    : m_(m), data_(std::move(data)) {
+  if (data_.size() != m_ * m_) {
+    throw std::invalid_argument("LatencyMatrix: data size != m*m");
+  }
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (std::size_t j = 0; j < m_; ++j) {
+      if (i == j) {
+        data_[i * m_ + j] = 0.0;
+      } else if (data_[i * m_ + j] < 0.0) {
+        throw std::invalid_argument("LatencyMatrix: negative latency");
+      }
+    }
+  }
+}
+
+void LatencyMatrix::Set(std::size_t i, std::size_t j, double value) {
+  if (i == j) {
+    if (value != 0.0) {
+      throw std::invalid_argument("LatencyMatrix: diagonal must be zero");
+    }
+    return;
+  }
+  if (value < 0.0) {
+    throw std::invalid_argument("LatencyMatrix: negative latency");
+  }
+  data_[i * m_ + j] = value;
+}
+
+void LatencyMatrix::SetSymmetric(std::size_t i, std::size_t j, double value) {
+  Set(i, j, value);
+  Set(j, i, value);
+}
+
+bool LatencyMatrix::IsSymmetric(double tol) const noexcept {
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (std::size_t j = i + 1; j < m_; ++j) {
+      const double a = operator()(i, j);
+      const double b = operator()(j, i);
+      if (a == kUnreachable || b == kUnreachable) {
+        if (a != b) return false;
+        continue;
+      }
+      if (std::fabs(a - b) > tol) return false;
+    }
+  }
+  return true;
+}
+
+bool LatencyMatrix::SatisfiesTriangleInequality(double tol) const {
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (std::size_t k = 0; k < m_; ++k) {
+      const double cik = operator()(i, k);
+      if (cik == kUnreachable) continue;
+      for (std::size_t j = 0; j < m_; ++j) {
+        const double cij = operator()(i, j);
+        const double cjk = operator()(j, k);
+        if (cij == kUnreachable || cjk == kUnreachable) continue;
+        if (cik > cij + cjk + tol) return false;
+      }
+    }
+  }
+  return true;
+}
+
+double LatencyMatrix::MeanOffDiagonal() const noexcept {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (std::size_t j = 0; j < m_; ++j) {
+      if (i == j) continue;
+      const double c = operator()(i, j);
+      if (c == kUnreachable) continue;
+      sum += c;
+      ++count;
+    }
+  }
+  return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+double LatencyMatrix::MaxOffDiagonal() const noexcept {
+  double mx = 0.0;
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (std::size_t j = 0; j < m_; ++j) {
+      if (i == j) continue;
+      const double c = operator()(i, j);
+      if (c == kUnreachable) continue;
+      if (c > mx) mx = c;
+    }
+  }
+  return mx;
+}
+
+}  // namespace delaylb::net

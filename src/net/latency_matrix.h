@@ -1,0 +1,72 @@
+#pragma once
+// Pairwise communication latencies between servers.
+//
+// The model (paper Section II) treats the latency c_ij of relaying one
+// request from server i to server j as a constant, independent of the
+// exchanged volume (validated in the paper's appendix and reproduced by our
+// sim::RttExperiment). LatencyMatrix is a dense m-by-m matrix with zero
+// diagonal; an entry of kUnreachable (infinity) restricts relaying (the
+// paper's trust-relationship extension).
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace delaylb::net {
+
+/// Marker for "relaying not allowed between these servers".
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+/// Dense, row-major matrix of one-way communication latencies.
+class LatencyMatrix {
+ public:
+  LatencyMatrix() = default;
+
+  /// Creates an m-by-m matrix with all off-diagonal entries = `fill` and a
+  /// zero diagonal.
+  explicit LatencyMatrix(std::size_t m, double fill = 0.0);
+
+  /// Builds from a row-major buffer of m*m entries. Diagonal entries are
+  /// forced to zero. Throws std::invalid_argument if data.size() != m*m or
+  /// an off-diagonal entry is negative.
+  LatencyMatrix(std::size_t m, std::vector<double> data);
+
+  std::size_t size() const noexcept { return m_; }
+
+  double operator()(std::size_t i, std::size_t j) const noexcept {
+    return data_[i * m_ + j];
+  }
+
+  /// Sets c(i,j). Setting a diagonal entry to a non-zero value throws.
+  void Set(std::size_t i, std::size_t j, double value);
+
+  /// Sets both c(i,j) and c(j,i) (convenience for symmetric topologies).
+  void SetSymmetric(std::size_t i, std::size_t j, double value);
+
+  bool Reachable(std::size_t i, std::size_t j) const noexcept {
+    return operator()(i, j) != kUnreachable;
+  }
+
+  /// True if c(i,j) == c(j,i) for all pairs.
+  bool IsSymmetric(double tol = 0.0) const noexcept;
+
+  /// True if the triangle inequality c(i,k) <= c(i,j) + c(j,k) holds for all
+  /// triples (within `tol`). Unreachable entries are skipped.
+  bool SatisfiesTriangleInequality(double tol = 1e-9) const;
+
+  /// Mean of the finite off-diagonal entries (the paper's "mean
+  /// communication delay"); 0 if there are none.
+  double MeanOffDiagonal() const noexcept;
+
+  /// Maximum finite off-diagonal entry; 0 if there are none.
+  double MaxOffDiagonal() const noexcept;
+
+  std::span<const double> raw() const noexcept { return data_; }
+
+ private:
+  std::size_t m_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace delaylb::net

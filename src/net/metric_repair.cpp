@@ -1,0 +1,41 @@
+#include "net/metric_repair.h"
+
+#include <vector>
+
+namespace delaylb::net {
+
+LatencyMatrix CompleteByShortestPaths(const LatencyMatrix& input) {
+  const std::size_t m = input.size();
+  std::vector<double> d(input.raw().begin(), input.raw().end());
+  for (std::size_t k = 0; k < m; ++k) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const double dik = d[i * m + k];
+      if (dik == kUnreachable) continue;
+      const double* row_k = &d[k * m];
+      double* row_i = &d[i * m];
+      for (std::size_t j = 0; j < m; ++j) {
+        const double through = dik + row_k[j];
+        if (through < row_i[j]) row_i[j] = through;
+      }
+    }
+  }
+  return LatencyMatrix(m, std::move(d));
+}
+
+bool IsShortestPathClosed(const LatencyMatrix& input, double tol) {
+  const std::size_t m = input.size();
+  for (std::size_t k = 0; k < m; ++k) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const double dik = input(i, k);
+      if (dik == kUnreachable) continue;
+      for (std::size_t j = 0; j < m; ++j) {
+        const double dkj = input(k, j);
+        if (dkj == kUnreachable) continue;
+        if (input(i, j) > dik + dkj + tol) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace delaylb::net

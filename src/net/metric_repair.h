@@ -1,0 +1,25 @@
+#pragma once
+// Shortest-path completion and metric repair of latency matrices.
+//
+// The paper's iPlane dataset lacked latencies for some node pairs; the
+// authors "complement the data by calculating minimal distances"
+// (Section VI-A, footnote 3). CompleteByShortestPaths implements that step
+// with Floyd-Warshall. It also serves as a metric repair: after completion,
+// no entry exceeds the best relay path, which is exactly the paper's
+// Section II assumption that the network layer has already optimized routes
+// (so c_ij <= c_ik + c_kj always holds).
+
+#include "net/latency_matrix.h"
+
+namespace delaylb::net {
+
+/// Replaces every entry by the shortest-path distance over the finite
+/// entries (Floyd-Warshall, O(m^3)). Unreachable pairs in a disconnected
+/// graph stay kUnreachable. The diagonal stays zero.
+LatencyMatrix CompleteByShortestPaths(const LatencyMatrix& input);
+
+/// True if no entry can be improved by relaying through a third node, i.e.
+/// the matrix is already shortest-path closed (within `tol`).
+bool IsShortestPathClosed(const LatencyMatrix& input, double tol = 1e-9);
+
+}  // namespace delaylb::net

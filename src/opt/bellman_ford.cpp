@@ -1,0 +1,50 @@
+#include "opt/bellman_ford.h"
+
+#include <algorithm>
+
+namespace delaylb::opt {
+
+BellmanFordResult FindNegativeCycle(std::size_t num_nodes,
+                                    const std::vector<Edge>& edges,
+                                    double tol) {
+  BellmanFordResult result;
+  result.distance.assign(num_nodes, 0.0);  // super-source: dist 0 everywhere
+  result.parent.assign(num_nodes, kNoParent);
+
+  std::size_t touched = 0;
+  std::size_t last_relaxed_node = kNoParent;
+  for (std::size_t pass = 0; pass < num_nodes; ++pass) {
+    last_relaxed_node = kNoParent;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      const Edge& edge = edges[e];
+      const double candidate = result.distance[edge.from] + edge.weight;
+      if (candidate < result.distance[edge.to] - tol) {
+        result.distance[edge.to] = candidate;
+        result.parent[edge.to] = e;
+        last_relaxed_node = edge.to;
+        ++touched;
+      }
+    }
+    if (last_relaxed_node == kNoParent) return result;  // converged
+  }
+  (void)touched;
+  if (last_relaxed_node == kNoParent) return result;
+
+  // A relaxation happened on the n-th pass: a negative cycle exists. Walk
+  // parents n times to land inside the cycle, then extract it.
+  std::size_t v = last_relaxed_node;
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    v = edges[result.parent[v]].from;
+  }
+  std::vector<std::size_t> cycle;
+  std::size_t u = v;
+  do {
+    cycle.push_back(u);
+    u = edges[result.parent[u]].from;
+  } while (u != v);
+  std::reverse(cycle.begin(), cycle.end());
+  result.negative_cycle = std::move(cycle);
+  return result;
+}
+
+}  // namespace delaylb::opt

@@ -1,0 +1,43 @@
+#pragma once
+// Bellman-Ford shortest paths with negative-cycle extraction.
+//
+// Used by core/negative_cycle to detect when the current relay pattern
+// contains a "negative cycle" in the paper's sense (Section IV-B): a cyclic
+// redirection of requests whose dismantling keeps all server loads fixed but
+// strictly reduces communication cost. The detection runs on the residual
+// graph of the relay transportation problem, which has negative arcs, hence
+// Bellman-Ford rather than Dijkstra.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace delaylb::opt {
+
+/// A directed weighted edge.
+struct Edge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  double weight = 0.0;
+};
+
+/// Result of a Bellman-Ford run.
+struct BellmanFordResult {
+  std::vector<double> distance;       ///< from the virtual super-source
+  std::vector<std::size_t> parent;    ///< predecessor edge index (npos = none)
+  std::optional<std::vector<std::size_t>> negative_cycle;  ///< node sequence
+};
+
+inline constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+/// Runs Bellman-Ford from a virtual super-source connected to all nodes with
+/// zero-weight arcs (so every negative cycle anywhere is found). If a
+/// negative cycle exists, `negative_cycle` holds its node sequence
+/// (first == last is NOT repeated; the cycle is c[0] -> c[1] -> ... -> c[0]).
+/// `tol` guards against floating-point jitter: only cycles with total weight
+/// < -tol are reported.
+BellmanFordResult FindNegativeCycle(std::size_t num_nodes,
+                                    const std::vector<Edge>& edges,
+                                    double tol = 1e-9);
+
+}  // namespace delaylb::opt

@@ -1,0 +1,87 @@
+#include "opt/coordinate_descent.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "opt/waterfill.h"
+
+namespace delaylb::opt {
+namespace {
+
+double Objective(const BlockQpModel& model, std::span<const double> x) {
+  const std::size_t m = model.m;
+  double total = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    double lj = 0.0;
+    for (std::size_t i = 0; i < m; ++i) lj += x[i * m + j];
+    total += lj * lj / (2.0 * model.speeds[j]);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double v = x[i * m + j];
+      if (v != 0.0) total += v * model.latencies[i * m + j];
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+CoordinateDescentResult SolveCoordinateDescent(
+    const BlockQpModel& model, std::span<const double> x0,
+    const CoordinateDescentOptions& options) {
+  const std::size_t m = model.m;
+  if (x0.size() != m * m || model.speeds.size() != m ||
+      model.row_totals.size() != m || model.latencies.size() != m * m) {
+    throw std::invalid_argument("SolveCoordinateDescent: shape mismatch");
+  }
+  CoordinateDescentResult result;
+  result.x.assign(x0.begin(), x0.end());
+
+  std::vector<double> loads(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t i = 0; i < m; ++i) loads[j] += result.x[i * m + j];
+  }
+
+  std::vector<double> a(m, 0.0);
+  double value = Objective(model, result.x);
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const double n_i = model.row_totals[i];
+      if (n_i <= 0.0) continue;
+      // Social marginal intercepts: a_j = l^{-i}_j / s_j + c_ij. The
+      // quadratic coefficient matches Waterfill's x^2/(2 s_j) exactly
+      // because the row's own contribution to l_j^2/(2 s_j) expands to
+      // x^2/(2 s_j) + x l^{-i}_j / s_j + const.
+      for (std::size_t j = 0; j < m; ++j) {
+        const double c = model.latencies[i * m + j];
+        if (!std::isfinite(c)) {
+          a[j] = std::numeric_limits<double>::infinity();
+          continue;
+        }
+        const double l_other = loads[j] - result.x[i * m + j];
+        a[j] = l_other / model.speeds[j] + c;
+      }
+      const WaterfillResult wf = Waterfill(model.speeds, a, n_i);
+      for (std::size_t j = 0; j < m; ++j) {
+        loads[j] += wf.x[j] - result.x[i * m + j];
+        result.x[i * m + j] = wf.x[j];
+      }
+    }
+    const double new_value = Objective(model, result.x);
+    result.rounds = round + 1;
+    const double scale = std::max(1.0, std::fabs(value));
+    if (value - new_value >= 0.0 &&
+        value - new_value < options.relative_tolerance * scale) {
+      value = new_value;
+      result.converged = true;
+      break;
+    }
+    value = new_value;
+  }
+  result.value = Objective(model, result.x);
+  return result;
+}
+
+}  // namespace delaylb::opt

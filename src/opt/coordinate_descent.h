@@ -1,0 +1,50 @@
+#pragma once
+// Exact block-coordinate descent for the cooperative objective.
+//
+// A third centralized solver, exploiting the model's structure instead of
+// generic convex machinery: minimizing SumC over one organization's row
+// with all other rows fixed is again a diagonal QP over a scaled simplex,
+//   min_x sum_j [ x_j^2/(2 s_j) + x_j ( l^{-i}_j / s_j + c_ij ) ],
+// solved exactly by water-filling. Note the intercept uses l/s (the
+// *social* marginal cost) where the selfish best response uses l/(2s) —
+// the factor-of-two gap is precisely what the price of anarchy measures.
+// Cycling through rows converges to the global optimum of the smooth
+// convex objective over the product of simplices.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace delaylb::opt {
+
+struct CoordinateDescentOptions {
+  std::size_t max_rounds = 2000;
+  /// Stop when a full round improves the objective by less than this,
+  /// relatively.
+  double relative_tolerance = 1e-12;
+};
+
+struct CoordinateDescentResult {
+  std::vector<double> x;
+  double value = 0.0;
+  std::size_t rounds = 0;
+  bool converged = false;
+};
+
+/// Model data for the coordinate-descent solver (kept independent of
+/// core::Instance so opt/ stays below core/ in the layering).
+struct BlockQpModel {
+  std::size_t m = 0;                 ///< servers == organizations
+  std::vector<double> speeds;        ///< s_j, size m
+  std::vector<double> row_totals;    ///< n_i, size m
+  std::vector<double> latencies;     ///< row-major c_ij, m*m (may hold +inf)
+};
+
+/// Minimizes SumC(x) = sum_j l_j^2/(2 s_j) + sum_ij c_ij x_ij over the
+/// product of scaled simplices by exact row minimization. x0 must be
+/// feasible (row sums match, non-negative, zero on unreachable pairs).
+CoordinateDescentResult SolveCoordinateDescent(
+    const BlockQpModel& model, std::span<const double> x0,
+    const CoordinateDescentOptions& options = {});
+
+}  // namespace delaylb::opt

@@ -1,0 +1,85 @@
+#include "opt/frank_wolfe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace delaylb::opt {
+
+FrankWolfeResult SolveFrankWolfe(const SimplexQpProblem& problem,
+                                 std::span<const double> x0,
+                                 const FrankWolfeOptions& options) {
+  const std::size_t n = problem.rows * problem.cols;
+  if (x0.size() != n) {
+    throw std::invalid_argument("SolveFrankWolfe: x0 size mismatch");
+  }
+  if (!problem.curvature) {
+    throw std::invalid_argument("SolveFrankWolfe: curvature callback needed");
+  }
+
+  FrankWolfeResult result;
+  result.x.assign(x0.begin(), x0.end());
+  std::vector<double> grad(n, 0.0);
+  std::vector<double> direction(n, 0.0);
+
+  double value = problem.value(result.x);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    problem.gradient(result.x, grad);
+
+    // Linear minimization oracle: per row, all mass on the smallest
+    // (allowed) gradient coordinate. direction = s - x.
+    double gap = 0.0;
+    for (std::size_t i = 0; i < problem.rows; ++i) {
+      std::size_t best = problem.cols;  // invalid
+      double best_g = std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < problem.cols; ++j) {
+        const std::size_t k = i * problem.cols + j;
+        if (!problem.allowed.empty() && !problem.allowed[k]) continue;
+        if (grad[k] < best_g) {
+          best_g = grad[k];
+          best = j;
+        }
+      }
+      if (best == problem.cols) {
+        if (problem.row_totals[i] > 0.0) {
+          throw std::invalid_argument("SolveFrankWolfe: row fully masked");
+        }
+        for (std::size_t j = 0; j < problem.cols; ++j) {
+          direction[i * problem.cols + j] = -result.x[i * problem.cols + j];
+        }
+        continue;
+      }
+      for (std::size_t j = 0; j < problem.cols; ++j) {
+        const std::size_t k = i * problem.cols + j;
+        const double s = (j == best) ? problem.row_totals[i] : 0.0;
+        direction[k] = s - result.x[k];
+        gap += grad[k] * (result.x[k] - s);
+      }
+    }
+    result.duality_gap = gap;
+    result.iterations = iter + 1;
+    const double scale = std::max(1.0, std::fabs(value));
+    if (gap <= options.gap_tolerance * scale) {
+      result.converged = true;
+      break;
+    }
+
+    // Exact line search for the quadratic: gamma* = gap / (d^T H d).
+    const double curv = problem.curvature(direction);
+    double gamma = 1.0;
+    if (curv > 0.0) gamma = std::clamp(gap / curv, 0.0, 1.0);
+    if (gamma <= 0.0) {  // numeric dead end
+      result.converged = true;
+      break;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      result.x[k] += gamma * direction[k];
+    }
+    value = problem.value(result.x);
+  }
+  result.value = problem.value(result.x);
+  return result;
+}
+
+}  // namespace delaylb::opt

@@ -1,0 +1,35 @@
+#pragma once
+// Frank-Wolfe (conditional gradient) solver for simplex-constrained QPs.
+//
+// The second "standard solver" baseline. On a product of simplices the
+// linear minimization oracle is trivial (put the whole row mass on the
+// coordinate with the smallest gradient entry), and for quadratics the
+// optimal step is available in closed form from the curvature callback, so
+// each iteration costs one gradient + one curvature evaluation. The duality
+// gap <g, x - s> provides a certified optimality bound, which the solver
+// reports.
+
+#include <span>
+
+#include "opt/projected_gradient.h"  // SimplexQpProblem, SolveResult
+
+namespace delaylb::opt {
+
+struct FrankWolfeOptions {
+  std::size_t max_iterations = 20000;
+  /// Stop when the Frank-Wolfe duality gap falls below
+  /// gap_tolerance * max(1, |f|).
+  double gap_tolerance = 1e-9;
+};
+
+struct FrankWolfeResult : SolveResult {
+  double duality_gap = 0.0;  ///< certified upper bound on f(x) - f(x*)
+};
+
+/// Minimizes the problem starting from x0 (must be feasible). Requires
+/// problem.curvature to be set.
+FrankWolfeResult SolveFrankWolfe(const SimplexQpProblem& problem,
+                                 std::span<const double> x0,
+                                 const FrankWolfeOptions& options = {});
+
+}  // namespace delaylb::opt

@@ -1,0 +1,93 @@
+#include "opt/mcmf.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace delaylb::opt {
+
+MinCostMaxFlow::MinCostMaxFlow(std::size_t num_nodes) : graph_(num_nodes) {}
+
+std::size_t MinCostMaxFlow::AddEdge(std::size_t from, std::size_t to,
+                                    double capacity, double cost) {
+  if (from >= graph_.size() || to >= graph_.size()) {
+    throw std::invalid_argument("MinCostMaxFlow::AddEdge: node out of range");
+  }
+  if (capacity < 0.0 || cost < 0.0) {
+    throw std::invalid_argument(
+        "MinCostMaxFlow::AddEdge: negative capacity or cost");
+  }
+  graph_[from].push_back(
+      {to, graph_[to].size(), capacity, cost, /*forward=*/true});
+  graph_[to].push_back(
+      {from, graph_[from].size() - 1, 0.0, -cost, /*forward=*/false});
+  edge_index_.emplace_back(from, graph_[from].size() - 1);
+  initial_capacity_.push_back(capacity);
+  return edge_index_.size() - 1;
+}
+
+MinCostMaxFlow::Result MinCostMaxFlow::Solve(std::size_t source,
+                                             std::size_t sink) {
+  const std::size_t n = graph_.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> potential(n, 0.0);
+  std::vector<double> dist(n);
+  std::vector<std::size_t> prev_node(n), prev_edge(n);
+  Result result;
+
+  for (;;) {
+    // Dijkstra with reduced costs cost + pot[u] - pot[v] (>= 0 inductively).
+    std::fill(dist.begin(), dist.end(), kInf);
+    dist[source] = 0.0;
+    using Item = std::pair<double, std::size_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    heap.emplace(0.0, source);
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u] + kEps) continue;
+      for (std::size_t e = 0; e < graph_[u].size(); ++e) {
+        const InternalEdge& edge = graph_[u][e];
+        if (edge.capacity <= kEps) continue;
+        const double reduced =
+            edge.cost + potential[u] - potential[edge.to];
+        const double nd = dist[u] + std::max(0.0, reduced);
+        if (nd < dist[edge.to] - kEps) {
+          dist[edge.to] = nd;
+          prev_node[edge.to] = u;
+          prev_edge[edge.to] = e;
+          heap.emplace(nd, edge.to);
+        }
+      }
+    }
+    if (dist[sink] == kInf) break;  // no augmenting path remains
+
+    for (std::size_t v = 0; v < n; ++v) {
+      if (dist[v] < kInf) potential[v] += dist[v];
+    }
+
+    // Bottleneck along the path.
+    double bottleneck = kInf;
+    for (std::size_t v = sink; v != source; v = prev_node[v]) {
+      bottleneck =
+          std::min(bottleneck, graph_[prev_node[v]][prev_edge[v]].capacity);
+    }
+    if (bottleneck <= kEps) break;  // numeric exhaustion
+
+    for (std::size_t v = sink; v != source; v = prev_node[v]) {
+      InternalEdge& edge = graph_[prev_node[v]][prev_edge[v]];
+      edge.capacity -= bottleneck;
+      graph_[edge.to][edge.rev].capacity += bottleneck;
+      result.cost += bottleneck * edge.cost;
+    }
+    result.flow += bottleneck;
+  }
+  return result;
+}
+
+double MinCostMaxFlow::flow_on(std::size_t id) const {
+  const auto [node, pos] = edge_index_.at(id);
+  return initial_capacity_[id] - graph_[node][pos].capacity;
+}
+
+}  // namespace delaylb::opt

@@ -1,0 +1,59 @@
+#pragma once
+// Minimum-cost maximum-flow with real-valued capacities.
+//
+// The paper's Appendix A reduces negative-cycle removal to a min-cost
+// max-flow on a bipartite graph (front/back copies of every server). This is
+// a successive-shortest-paths implementation with Johnson potentials: all
+// edge costs in our reductions are non-negative, so Dijkstra applies from
+// the first augmentation onwards. Capacities and flows are doubles, matching
+// the fractional request model.
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace delaylb::opt {
+
+/// Min-cost max-flow solver on a directed graph built incrementally.
+class MinCostMaxFlow {
+ public:
+  explicit MinCostMaxFlow(std::size_t num_nodes);
+
+  /// Adds a directed edge and its residual twin. Returns the edge id, usable
+  /// with flow_on() after Solve. Requires capacity >= 0 and cost >= 0
+  /// (the reductions in this library never need negative costs).
+  std::size_t AddEdge(std::size_t from, std::size_t to, double capacity,
+                      double cost);
+
+  struct Result {
+    double flow = 0.0;
+    double cost = 0.0;
+  };
+
+  /// Computes the maximum flow of minimum cost from `source` to `sink`.
+  /// May be called once per instance.
+  Result Solve(std::size_t source, std::size_t sink);
+
+  /// Flow pushed through edge `id` (as returned by AddEdge).
+  double flow_on(std::size_t id) const;
+
+  std::size_t num_nodes() const noexcept { return graph_.size(); }
+
+ private:
+  struct InternalEdge {
+    std::size_t to;
+    std::size_t rev;   // index of the reverse edge in graph_[to]
+    double capacity;   // residual capacity
+    double cost;
+    bool forward;      // true for user-added edges
+  };
+
+  // Numeric slack below which residual capacity is treated as zero.
+  static constexpr double kEps = 1e-12;
+
+  std::vector<std::vector<InternalEdge>> graph_;
+  std::vector<std::pair<std::size_t, std::size_t>> edge_index_;  // (node, pos)
+  std::vector<double> initial_capacity_;
+};
+
+}  // namespace delaylb::opt

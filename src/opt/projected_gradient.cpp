@@ -1,0 +1,126 @@
+#include "opt/projected_gradient.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "opt/simplex_projection.h"
+
+namespace delaylb::opt {
+namespace {
+
+void CheckProblem(const SimplexQpProblem& problem, std::size_t x_size) {
+  const std::size_t n = problem.rows * problem.cols;
+  if (x_size != n) {
+    throw std::invalid_argument("SolveProjectedGradient: x0 size mismatch");
+  }
+  if (problem.row_totals.size() != problem.rows) {
+    throw std::invalid_argument("SolveProjectedGradient: row_totals mismatch");
+  }
+  if (!problem.allowed.empty() && problem.allowed.size() != n) {
+    throw std::invalid_argument("SolveProjectedGradient: mask size mismatch");
+  }
+  if (!problem.value || !problem.gradient) {
+    throw std::invalid_argument("SolveProjectedGradient: missing callbacks");
+  }
+  if (!(problem.lipschitz > 0.0)) {
+    throw std::invalid_argument("SolveProjectedGradient: lipschitz <= 0");
+  }
+}
+
+}  // namespace
+
+void ProjectRows(const SimplexQpProblem& problem, std::span<double> x) {
+  std::vector<double> packed;
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < problem.rows; ++i) {
+    auto row = x.subspan(i * problem.cols, problem.cols);
+    if (problem.allowed.empty()) {
+      ProjectToSimplex(row, problem.row_totals[i], row);
+      continue;
+    }
+    // Project only over the allowed coordinates of this row.
+    packed.clear();
+    indices.clear();
+    for (std::size_t j = 0; j < problem.cols; ++j) {
+      if (problem.allowed[i * problem.cols + j]) {
+        packed.push_back(row[j]);
+        indices.push_back(j);
+      } else {
+        row[j] = 0.0;
+      }
+    }
+    if (packed.empty()) {
+      if (problem.row_totals[i] > 0.0) {
+        throw std::invalid_argument("ProjectRows: row fully masked");
+      }
+      continue;
+    }
+    const std::vector<double> projected =
+        ProjectToSimplex(packed, problem.row_totals[i]);
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      row[indices[k]] = projected[k];
+    }
+  }
+}
+
+SolveResult SolveProjectedGradient(const SimplexQpProblem& problem,
+                                   std::span<const double> x0,
+                                   const ProjectedGradientOptions& options) {
+  CheckProblem(problem, x0.size());
+  const std::size_t n = x0.size();
+  const double step = 1.0 / problem.lipschitz;
+
+  SolveResult result;
+  result.x.assign(x0.begin(), x0.end());
+  std::vector<double> y(result.x);   // extrapolation point
+  std::vector<double> x_prev(result.x);
+  std::vector<double> grad(n, 0.0);
+
+  double value = problem.value(result.x);
+  double t = 1.0;  // FISTA momentum parameter
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    problem.gradient(y, grad);
+    x_prev = result.x;
+    for (std::size_t k = 0; k < n; ++k) {
+      result.x[k] = y[k] - step * grad[k];
+    }
+    ProjectRows(problem, result.x);
+
+    const double new_value = problem.value(result.x);
+    result.iterations = iter + 1;
+
+    if (options.use_momentum) {
+      if (new_value > value) {
+        // Objective increased: restart momentum from the last good point
+        // (adaptive restart keeps FISTA monotone on our QPs).
+        t = 1.0;
+        y = x_prev;
+        result.x = x_prev;
+        continue;
+      }
+      const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
+      const double beta = (t - 1.0) / t_next;
+      for (std::size_t k = 0; k < n; ++k) {
+        y[k] = result.x[k] + beta * (result.x[k] - x_prev[k]);
+      }
+      t = t_next;
+    } else {
+      y = result.x;
+    }
+
+    const double scale = std::max(1.0, std::fabs(value));
+    if (value - new_value >= 0.0 &&
+        value - new_value < options.relative_tolerance * scale) {
+      value = new_value;
+      result.converged = true;
+      break;
+    }
+    value = new_value;
+  }
+  result.value = problem.value(result.x);
+  return result;
+}
+
+}  // namespace delaylb::opt

@@ -1,0 +1,64 @@
+#pragma once
+// Projected-gradient solver for convex QPs over products of simplices.
+//
+// This is one of the library's two "standard solver" baselines for the
+// centralized problem (paper Section III): minimize a convex quadratic over
+// { x : x >= 0, per-row sum fixed }. The problem is supplied through
+// callbacks so the solver stays independent of the model types; core/qp_form
+// adapts an Instance into this interface. Optional Nesterov momentum (FISTA)
+// is enabled by default.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace delaylb::opt {
+
+/// A convex QP over a product of `rows` simplices with `cols` variables
+/// each. Variables are flattened row-major: x[row * cols + col].
+struct SimplexQpProblem {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  /// Required sum of each row (the simplex scale), size == rows.
+  std::vector<double> row_totals;
+  /// Feasibility mask, size rows*cols; false entries are pinned to 0
+  /// (models unreachable server pairs). Empty means all-allowed.
+  std::vector<std::uint8_t> allowed;
+  /// Objective value at x.
+  std::function<double(std::span<const double>)> value;
+  /// Writes the gradient at x into `grad` (pre-sized rows*cols).
+  std::function<void(std::span<const double>, std::span<double>)> gradient;
+  /// Curvature d^T H d of the quadratic part along direction d (>= 0).
+  /// Required by Frank-Wolfe's exact line search; optional here.
+  std::function<double(std::span<const double>)> curvature;
+  /// Upper bound on the gradient's Lipschitz constant (step = 1/L).
+  double lipschitz = 1.0;
+};
+
+struct ProjectedGradientOptions {
+  std::size_t max_iterations = 5000;
+  /// Stop when the relative objective improvement over an iteration falls
+  /// below this threshold.
+  double relative_tolerance = 1e-12;
+  bool use_momentum = true;  ///< FISTA acceleration
+};
+
+struct SolveResult {
+  std::vector<double> x;
+  double value = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes the problem starting from x0 (must be feasible). Throws
+/// std::invalid_argument on shape mismatches.
+SolveResult SolveProjectedGradient(const SimplexQpProblem& problem,
+                                   std::span<const double> x0,
+                                   const ProjectedGradientOptions& options = {});
+
+/// Projects each row of x onto its (masked) simplex in place. Exposed for
+/// reuse by the replication extension and tests.
+void ProjectRows(const SimplexQpProblem& problem, std::span<double> x);
+
+}  // namespace delaylb::opt

@@ -1,0 +1,94 @@
+#include "opt/simplex_projection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace delaylb::opt {
+
+void ProjectToSimplex(std::span<const double> x, double z,
+                      std::span<double> out) {
+  if (z < 0.0) throw std::invalid_argument("ProjectToSimplex: z < 0");
+  if (out.size() != x.size()) {
+    throw std::invalid_argument("ProjectToSimplex: size mismatch");
+  }
+  const std::size_t n = x.size();
+  if (n == 0) return;
+  if (z == 0.0) {
+    // {y >= 0, sum y = 0} contains only the origin.
+    for (double& v : out) v = 0.0;
+    return;
+  }
+  // Sort descending; find the largest k with u_k - (sum_{<=k} u - z)/k > 0.
+  std::vector<double> u(x.begin(), x.end());
+  std::sort(u.begin(), u.end(), std::greater<double>());
+  double cumsum = 0.0;
+  double theta = 0.0;
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cumsum += u[i];
+    const double candidate = (cumsum - z) / static_cast<double>(i + 1);
+    if (u[i] - candidate > 0.0) {
+      k = i + 1;
+      theta = candidate;
+    }
+  }
+  if (k == 0) theta = (cumsum - z) / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::max(0.0, x[i] - theta);
+  }
+}
+
+std::vector<double> ProjectToSimplex(std::span<const double> x, double z) {
+  std::vector<double> out(x.size());
+  ProjectToSimplex(x, z, out);
+  return out;
+}
+
+std::vector<double> ProjectToCappedSimplex(std::span<const double> x,
+                                           double z, double cap,
+                                           double tol) {
+  const std::size_t n = x.size();
+  if (cap < 0.0 || z < -tol || z > cap * static_cast<double>(n) + tol) {
+    throw std::invalid_argument("ProjectToCappedSimplex: infeasible");
+  }
+  // y_i(theta) = clamp(x_i - theta, 0, cap); sum is non-increasing in theta.
+  auto sum_at = [&](double theta) {
+    double s = 0.0;
+    for (double xi : x) s += std::clamp(xi - theta, 0.0, cap);
+    return s;
+  };
+  double lo = -cap, hi = 0.0;
+  for (double xi : x) {
+    lo = std::min(lo, xi - cap);
+    hi = std::max(hi, xi);
+  }
+  // sum_at(lo) = cap*n >= z, sum_at(hi) = 0 <= z.
+  for (int iter = 0; iter < 200 && hi - lo > tol; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (sum_at(mid) >= z) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double theta = 0.5 * (lo + hi);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::clamp(x[i] - theta, 0.0, cap);
+  }
+  // Repair the (tiny) residual so the constraint holds exactly: distribute
+  // it over coordinates with slack.
+  double residual = z;
+  for (double v : out) residual -= v;
+  for (std::size_t i = 0; i < n && std::fabs(residual) > 0.0; ++i) {
+    const double room = residual > 0.0 ? cap - out[i] : out[i];
+    const double adjust = std::copysign(std::min(std::fabs(residual), room),
+                                        residual);
+    out[i] += adjust;
+    residual -= adjust;
+  }
+  return out;
+}
+
+}  // namespace delaylb::opt

@@ -1,0 +1,32 @@
+#pragma once
+// Euclidean projection onto (capped) simplices.
+//
+// The centralized QP solvers (Section III of the paper) optimize the relay
+// fractions over a product of per-organization simplices
+//   { rho_i* : rho_ij >= 0, sum_j rho_ij = 1 }.
+// The replication extension (Section VII) adds the box constraint
+// rho_ij <= 1/R, turning each factor into a *capped* simplex. Both
+// projections have exact O(n log n) algorithms based on sorting.
+
+#include <span>
+#include <vector>
+
+namespace delaylb::opt {
+
+/// Projects `x` onto { y >= 0, sum y = z } in Euclidean norm (Held et al.).
+/// Requires z >= 0. Returns the projection.
+std::vector<double> ProjectToSimplex(std::span<const double> x, double z);
+
+/// In-place variant writing into `out` (out.size() == x.size()).
+void ProjectToSimplex(std::span<const double> x, double z,
+                      std::span<double> out);
+
+/// Projects `x` onto { 0 <= y <= cap, sum y = z }. Requires
+/// 0 <= z <= cap * x.size() (otherwise the set is empty and the function
+/// throws std::invalid_argument). Uses bisection on the dual variable, exact
+/// to `tol`.
+std::vector<double> ProjectToCappedSimplex(std::span<const double> x,
+                                           double z, double cap,
+                                           double tol = 1e-12);
+
+}  // namespace delaylb::opt

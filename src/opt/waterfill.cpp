@@ -1,0 +1,70 @@
+#include "opt/waterfill.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace delaylb::opt {
+
+WaterfillResult Waterfill(std::span<const double> speeds,
+                          std::span<const double> a, double total) {
+  const std::size_t n = speeds.size();
+  if (a.size() != n) throw std::invalid_argument("Waterfill: size mismatch");
+  if (total < 0.0) throw std::invalid_argument("Waterfill: negative total");
+  WaterfillResult result;
+  result.x.assign(n, 0.0);
+  if (total == 0.0) return result;
+
+  // Sort candidate servers by marginal cost a_j ascending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t p, std::size_t q) { return a[p] < a[q]; });
+
+  // Grow the active set: with set A, lambda = (N + sum_{A} s_j a_j) /
+  // sum_{A} s_j; A is correct once the next a exceeds lambda.
+  double sum_s = 0.0;
+  double sum_sa = 0.0;
+  double lambda = std::numeric_limits<double>::infinity();
+  std::size_t active = 0;
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    const std::size_t j = order[idx];
+    if (!std::isfinite(a[j])) break;  // unreachable servers never activate
+    sum_s += speeds[j];
+    sum_sa += speeds[j] * a[j];
+    lambda = (total + sum_sa) / sum_s;
+    active = idx + 1;
+    if (idx + 1 < n && std::isfinite(a[order[idx + 1]]) &&
+        a[order[idx + 1]] < lambda) {
+      continue;  // the next server also wants load; keep growing
+    }
+    break;
+  }
+  if (active == 0) {
+    throw std::invalid_argument("Waterfill: no reachable server");
+  }
+  result.lambda = lambda;
+  for (std::size_t idx = 0; idx < active; ++idx) {
+    const std::size_t j = order[idx];
+    result.x[j] = std::max(0.0, speeds[j] * (lambda - a[j]));
+  }
+  // Normalize the rounding residue onto the active coordinates so the
+  // equality constraint holds to machine precision.
+  double assigned = 0.0;
+  for (double v : result.x) assigned += v;
+  if (assigned > 0.0) {
+    const double scale = total / assigned;
+    for (double& v : result.x) v *= scale;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    const double xj = result.x[j];
+    if (xj > 0.0) {
+      result.objective += xj * xj / (2.0 * speeds[j]) + a[j] * xj;
+    }
+  }
+  return result;
+}
+
+}  // namespace delaylb::opt

@@ -1,0 +1,30 @@
+#pragma once
+// Exact minimizer of a diagonal quadratic over a scaled simplex
+// ("water-filling").
+//
+// Solves  min_x  sum_j [ x_j^2 / (2 s_j) + a_j x_j ]
+//         s.t.   sum_j x_j = N,  x >= 0,
+// which is exactly the selfish best-response problem of organization i
+// (paper Section V) with a_j = l^{-i}_j / (2 s_j) + c_ij and N = n_i.
+// KKT gives x_j = s_j * max(0, lambda - a_j); lambda is found in closed form
+// after sorting the a_j. Entries with a_j = +infinity (unreachable servers)
+// never receive load.
+
+#include <span>
+#include <vector>
+
+namespace delaylb::opt {
+
+/// Result of the water-filling solve.
+struct WaterfillResult {
+  std::vector<double> x;     ///< the optimal allocation
+  double lambda = 0.0;       ///< the water level (KKT multiplier)
+  double objective = 0.0;    ///< value of the minimized objective
+};
+
+/// Solves the problem above. Requires speeds.size() == a.size(), all speeds
+/// > 0, N >= 0, and at least one finite a_j when N > 0 (else throws).
+WaterfillResult Waterfill(std::span<const double> speeds,
+                          std::span<const double> a, double total);
+
+}  // namespace delaylb::opt

@@ -1,0 +1,24 @@
+#include "sim/des.h"
+
+#include <stdexcept>
+
+namespace delaylb::sim {
+
+PacketNetwork::PacketNetwork(const net::LatencyMatrix& latency,
+                             std::vector<double> uplink_rates,
+                             std::vector<double> downlink_rates,
+                             double buffer_bytes)
+    : latency_(latency) {
+  const std::size_t m = latency.size();
+  if (uplink_rates.size() != m || downlink_rates.size() != m) {
+    throw std::invalid_argument("PacketNetwork: rate vector size mismatch");
+  }
+  uplinks_.reserve(m);
+  downlinks_.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    uplinks_.emplace_back(uplink_rates[i], buffer_bytes);
+    downlinks_.emplace_back(downlink_rates[i], buffer_bytes);
+  }
+}
+
+}  // namespace delaylb::sim

@@ -1,0 +1,64 @@
+#pragma once
+// Packet-level network model: nodes with access links + propagation delays.
+//
+// Each node has an uplink and a downlink FifoLink (finite capacity) and
+// pairwise propagation delays come from a net::LatencyMatrix (one-way =
+// RTT/2). A one-way packet transfer is a three-stage journey:
+//   uplink(src) serialization -> propagation -> downlink(dst) serialization.
+// The two serializations happen at different simulated times, so they are
+// separate events — PacketNetwork only owns the links; the driver (e.g.
+// RttExperiment) owns the event loop and calls the per-hop helpers in event
+// order.
+
+#include <cstddef>
+#include <vector>
+
+#include "net/latency_matrix.h"
+#include "sim/link.h"
+
+namespace delaylb::sim {
+
+class PacketNetwork {
+ public:
+  /// `latency` holds pairwise RTTs in ms (propagation one-way = RTT / 2).
+  /// Each node's uplink and downlink get the corresponding rate (bytes/ms)
+  /// and a drop-tail buffer of `buffer_bytes`.
+  PacketNetwork(const net::LatencyMatrix& latency,
+                std::vector<double> uplink_rates,
+                std::vector<double> downlink_rates,
+                double buffer_bytes =
+                    std::numeric_limits<double>::infinity());
+
+  std::size_t size() const noexcept { return uplinks_.size(); }
+
+  /// Serializes `bytes` on src's uplink at `now`; returns the time the last
+  /// byte leaves the uplink, or nullopt on a buffer drop.
+  std::optional<double> TransmitUplink(std::size_t src, double now,
+                                       double bytes) {
+    return uplinks_[src].Transmit(now, bytes);
+  }
+
+  /// Serializes `bytes` on dst's downlink at `now` (the arrival of the last
+  /// byte after propagation); returns full delivery time or nullopt on drop.
+  std::optional<double> TransmitDownlink(std::size_t dst, double now,
+                                         double bytes) {
+    return downlinks_[dst].Transmit(now, bytes);
+  }
+
+  /// One-way propagation delay between two nodes (RTT / 2).
+  double Propagation(std::size_t src, std::size_t dst) const {
+    return latency_(src, dst) / 2.0;
+  }
+
+  const FifoLink& uplink(std::size_t node) const { return uplinks_[node]; }
+  const FifoLink& downlink(std::size_t node) const {
+    return downlinks_[node];
+  }
+
+ private:
+  const net::LatencyMatrix& latency_;
+  std::vector<FifoLink> uplinks_;
+  std::vector<FifoLink> downlinks_;
+};
+
+}  // namespace delaylb::sim

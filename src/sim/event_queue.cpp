@@ -1,0 +1,26 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <limits>
+
+namespace delaylb::sim {
+
+void EventQueue::Push(SimEvent event) {
+  heap_.push({event, next_seq_++});
+}
+
+SimEvent EventQueue::Pop() {
+  assert(!heap_.empty());
+  Entry top = heap_.top();
+  heap_.pop();
+  now_ = top.event.time;
+  ++processed_;
+  return top.event;
+}
+
+double EventQueue::PeekTime() const noexcept {
+  return heap_.empty() ? std::numeric_limits<double>::infinity()
+                       : heap_.top().event.time;
+}
+
+}  // namespace delaylb::sim

@@ -1,0 +1,61 @@
+#pragma once
+// Discrete-event simulation kernel.
+//
+// A minimal, allocation-light event queue for the packet-level network
+// simulator (Appendix-B RTT experiment). Events are POD records dispatched
+// by the owner; equal timestamps break ties by insertion order so runs are
+// deterministic.
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace delaylb::sim {
+
+/// A simulation event. The meaning of type/a/b/x is defined by the driver
+/// (see rtt_experiment.cpp); the kernel only orders and delivers them.
+struct SimEvent {
+  double time = 0.0;
+  int type = 0;
+  std::uint64_t a = 0;  ///< driver payload (e.g. source node, flow id)
+  std::uint64_t b = 0;  ///< driver payload (e.g. destination node)
+  double x = 0.0;       ///< driver payload (e.g. original send time)
+};
+
+/// Time-ordered event queue with FIFO tie-breaking.
+class EventQueue {
+ public:
+  void Push(SimEvent event);
+
+  bool Empty() const noexcept { return heap_.empty(); }
+  std::size_t Size() const noexcept { return heap_.size(); }
+
+  /// Removes and returns the earliest event; advances now(). Calling on an
+  /// empty queue is undefined (assert in debug).
+  SimEvent Pop();
+
+  /// Earliest pending timestamp (infinity when empty).
+  double PeekTime() const noexcept;
+
+  double now() const noexcept { return now_; }
+
+  std::size_t processed() const noexcept { return processed_; }
+
+ private:
+  struct Entry {
+    SimEvent event;
+    std::uint64_t seq;
+    bool operator>(const Entry& other) const noexcept {
+      if (event.time != other.event.time) return event.time > other.event.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace delaylb::sim

@@ -1,0 +1,35 @@
+#include "sim/link.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace delaylb::sim {
+
+FifoLink::FifoLink(double rate_bytes_per_ms, double buffer_bytes)
+    : rate_(rate_bytes_per_ms), buffer_bytes_(buffer_bytes) {
+  if (!(rate_ > 0.0)) {
+    throw std::invalid_argument("FifoLink: rate must be > 0");
+  }
+  if (!(buffer_bytes_ > 0.0)) {
+    throw std::invalid_argument("FifoLink: buffer must be > 0");
+  }
+}
+
+std::optional<double> FifoLink::Transmit(double arrival, double bytes) {
+  if (bytes < 0.0) throw std::invalid_argument("FifoLink: negative size");
+  const double queued = busy_until_ > arrival
+                            ? (busy_until_ - arrival) * rate_
+                            : 0.0;
+  if (queued + bytes > buffer_bytes_) {
+    ++dropped_;
+    return std::nullopt;
+  }
+  const double start = std::max(arrival, busy_until_);
+  max_backlog_ = std::max(max_backlog_, start - arrival);
+  busy_until_ = start + bytes / rate_;
+  ++packets_;
+  bytes_ += bytes;
+  return busy_until_;
+}
+
+}  // namespace delaylb::sim

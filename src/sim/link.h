@@ -1,0 +1,58 @@
+#pragma once
+// FIFO transmission link with finite capacity.
+//
+// Models one direction of a node's access link: packets are serialized at
+// `rate` bytes per millisecond, queueing behind earlier traffic. The
+// analytic FIFO update (departure = max(arrival, busy_until) + size/rate)
+// avoids per-byte events; correctness requires arrivals to be presented in
+// non-decreasing time order, which the event-driven drivers guarantee.
+//
+// This is the component that makes the Appendix-B experiment work: below
+// saturation busy_until trails the arrivals and the queueing delay is ~0
+// (constant RTT — the paper's modelling assumption); past saturation the
+// backlog grows without bound and RTT deviations explode.
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+
+namespace delaylb::sim {
+
+class FifoLink {
+ public:
+  /// rate in bytes per millisecond (1 MB/s == 1000 bytes/ms). buffer_bytes
+  /// bounds the queued backlog (drop-tail, like a router buffer); infinity
+  /// means unbounded.
+  explicit FifoLink(double rate_bytes_per_ms,
+                    double buffer_bytes =
+                        std::numeric_limits<double>::infinity());
+
+  /// Transmits a packet arriving at `arrival`; returns its departure time,
+  /// or nullopt when the buffer overflows and the packet is dropped.
+  /// Arrivals must be non-decreasing across calls.
+  std::optional<double> Transmit(double arrival, double bytes);
+
+  double rate() const noexcept { return rate_; }
+  double busy_until() const noexcept { return busy_until_; }
+
+  /// Queueing delay a hypothetical packet arriving now would experience.
+  double Backlog(double now) const noexcept {
+    return busy_until_ > now ? busy_until_ - now : 0.0;
+  }
+
+  std::size_t packets() const noexcept { return packets_; }
+  std::size_t dropped() const noexcept { return dropped_; }
+  double bytes() const noexcept { return bytes_; }
+  double max_backlog() const noexcept { return max_backlog_; }
+
+ private:
+  double rate_;
+  double buffer_bytes_;
+  double busy_until_ = 0.0;
+  std::size_t packets_ = 0;
+  std::size_t dropped_ = 0;
+  double bytes_ = 0.0;
+  double max_backlog_ = 0.0;
+};
+
+}  // namespace delaylb::sim

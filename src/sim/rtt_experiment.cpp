@@ -1,0 +1,236 @@
+#include "sim/rtt_experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/des.h"
+#include "sim/event_queue.h"
+#include "util/anova.h"
+#include "util/stats.h"
+
+namespace delaylb::sim {
+namespace {
+
+// Event types of the experiment driver.
+enum : int {
+  kBgGenerate = 0,   // a = flow index; generate one background packet
+  kBgDownlink = 1,   // a = flow index; packet reached destination downlink
+  kProbeSend = 2,    // a = pair index; x = nominal send time
+  kProbeArrive = 3,  // a = pair index; x = original send time
+  kProbeReplySend = 4,
+  kProbeReturn = 5,
+};
+
+}  // namespace
+
+double PairSamples::mean() const { return util::Mean(rtts_ms); }
+
+RttExperiment::RttExperiment(const net::LatencyMatrix& latency,
+                             RttExperimentParams params)
+    : latency_(latency), params_(params) {
+  if (latency.size() < params_.servers) {
+    throw std::invalid_argument("RttExperiment: latency matrix too small");
+  }
+  // Fix the neighbour choices once; all throughput levels measure the same
+  // pairs, exactly like the paper's protocol.
+  util::Rng rng(params_.seed);
+  for (std::size_t s = 0; s < params_.servers; ++s) {
+    std::vector<std::size_t> others;
+    others.reserve(params_.servers - 1);
+    for (std::size_t t = 0; t < params_.servers; ++t) {
+      if (t != s) others.push_back(t);
+    }
+    rng.shuffle(others);
+    const std::size_t count = std::min(params_.neighbors, others.size());
+    for (std::size_t k = 0; k < count; ++k) {
+      pairs_.emplace_back(s, others[k]);
+    }
+  }
+}
+
+ThroughputRun RttExperiment::Run(double background_bytes_per_ms) const {
+  const std::size_t m = params_.servers;
+  ThroughputRun run;
+  run.throughput_bytes_per_ms = background_bytes_per_ms;
+
+  // Drop-tail router buffer bounding worst-case queueing delay, standing in
+  // (together with the sender cap below) for the congestion control the
+  // paper's streams applied.
+  const double buffer_bytes = params_.buffer_ms * params_.downlink_bytes_per_ms;
+  PacketNetwork network(
+      latency_, std::vector<double>(m, params_.uplink_bytes_per_ms),
+      std::vector<double>(m, params_.downlink_bytes_per_ms), buffer_bytes);
+
+  // Paper protocol: a sender that cannot sustain the requested throughput
+  // falls back to its maximal achievable rate (fair share of its uplink).
+  double effective_rate = background_bytes_per_ms;
+  if (params_.cap_at_achievable && params_.neighbors > 0) {
+    effective_rate = std::min(
+        effective_rate,
+        params_.uplink_bytes_per_ms / static_cast<double>(params_.neighbors));
+  }
+
+  const double warmup =
+      10.0 * params_.probe_interval_ms;  // let queues reach steady state
+  const double horizon =
+      warmup + static_cast<double>(params_.probes) * params_.probe_interval_ms;
+  const double bg_interval =
+      effective_rate > 0.0
+          ? params_.background_packet_bytes / effective_rate
+          : std::numeric_limits<double>::infinity();
+
+  run.pairs.resize(pairs_.size());
+  for (std::size_t p = 0; p < pairs_.size(); ++p) {
+    run.pairs[p].src = pairs_[p].first;
+    run.pairs[p].dst = pairs_[p].second;
+    run.pairs[p].rtts_ms.reserve(params_.probes);
+  }
+
+  EventQueue queue;
+  util::Rng rng(params_.seed ^ 0x5bd1e995u);
+
+  // Background flows start with a random phase inside one interval.
+  if (std::isfinite(bg_interval)) {
+    for (std::size_t f = 0; f < pairs_.size(); ++f) {
+      queue.Push({rng.uniform(0.0, bg_interval), kBgGenerate, f, 0, 0.0});
+    }
+  }
+  // Probes: every pair pings every probe_interval, staggered per pair.
+  for (std::size_t p = 0; p < pairs_.size(); ++p) {
+    const double phase = rng.uniform(0.0, params_.probe_interval_ms);
+    for (std::size_t i = 0; i < params_.probes; ++i) {
+      const double t =
+          warmup + static_cast<double>(i) * params_.probe_interval_ms + phase;
+      queue.Push({t, kProbeSend, p, 0, t});
+    }
+  }
+
+  while (!queue.Empty()) {
+    const SimEvent ev = queue.Pop();
+    const std::size_t pair_index = static_cast<std::size_t>(ev.a);
+    switch (ev.type) {
+      case kBgGenerate: {
+        const auto [src, dst] = pairs_[pair_index];
+        if (ev.time + bg_interval <= horizon) {
+          queue.Push(
+              {ev.time + bg_interval, kBgGenerate, ev.a, 0, 0.0});
+        }
+        const std::optional<double> dep = network.TransmitUplink(
+            src, ev.time, params_.background_packet_bytes);
+        if (dep) {
+          queue.Push({*dep + network.Propagation(src, dst), kBgDownlink,
+                      ev.a, 0, 0.0});
+        }
+        break;
+      }
+      case kBgDownlink: {
+        const auto [src, dst] = pairs_[pair_index];
+        network.TransmitDownlink(dst, ev.time,
+                                 params_.background_packet_bytes);
+        break;
+      }
+      case kProbeSend: {
+        const auto [src, dst] = pairs_[pair_index];
+        const std::optional<double> dep =
+            network.TransmitUplink(src, ev.time, params_.probe_bytes);
+        if (dep) {
+          queue.Push({*dep + network.Propagation(src, dst), kProbeArrive,
+                      ev.a, 0, ev.x});
+        }
+        break;
+      }
+      case kProbeArrive: {
+        const auto [src, dst] = pairs_[pair_index];
+        const std::optional<double> dep =
+            network.TransmitDownlink(dst, ev.time, params_.probe_bytes);
+        if (dep) {
+          queue.Push({*dep, kProbeReplySend, ev.a, 0, ev.x});
+        }
+        break;
+      }
+      case kProbeReplySend: {
+        const auto [src, dst] = pairs_[pair_index];
+        const std::optional<double> dep =
+            network.TransmitUplink(dst, ev.time, params_.probe_bytes);
+        if (dep) {
+          queue.Push({*dep + network.Propagation(dst, src), kProbeReturn,
+                      ev.a, 0, ev.x});
+        }
+        break;
+      }
+      case kProbeReturn: {
+        const auto [src, dst] = pairs_[pair_index];
+        const std::optional<double> dep =
+            network.TransmitDownlink(src, ev.time, params_.probe_bytes);
+        if (dep) {
+          double rtt = *dep - ev.x;
+          if (params_.probe_jitter_ms > 0.0) {
+            rtt += rng.exponential(params_.probe_jitter_ms);
+          }
+          run.pairs[pair_index].rtts_ms.push_back(rtt);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  run.events_processed = queue.processed();
+  return run;
+}
+
+std::vector<DeviationRow> RttExperiment::Table(
+    const std::vector<double>& levels_bytes_per_ms) const {
+  if (levels_bytes_per_ms.empty()) return {};
+  std::vector<ThroughputRun> runs;
+  runs.reserve(levels_bytes_per_ms.size());
+  for (double level : levels_bytes_per_ms) runs.push_back(Run(level));
+
+  std::vector<DeviationRow> rows;
+  rows.reserve(runs.size());
+  const ThroughputRun& baseline = runs.front();
+
+  for (std::size_t level = 0; level < runs.size(); ++level) {
+    DeviationRow row;
+    row.throughput_bytes_per_ms = levels_bytes_per_ms[level];
+    // e(si, sj, tb) = (rtt(tb) - rtt(base)) / rtt(base), per pair.
+    std::vector<double> deviations;
+    deviations.reserve(pairs_.size());
+    std::size_t anova_constant = 0;
+    std::size_t anova_total = 0;
+    for (std::size_t p = 0; p < pairs_.size(); ++p) {
+      const double base = baseline.pairs[p].mean();
+      if (base <= 0.0 || runs[level].pairs[p].rtts_ms.empty()) continue;
+      deviations.push_back((runs[level].pairs[p].mean() - base) / base);
+      // ANOVA over the RTT samples of all levels up to this one (the paper
+      // reports "for bt <= X the test confirmed the null hypothesis for Y%
+      // of the pairs").
+      std::vector<std::vector<double>> groups;
+      for (std::size_t l = 0; l <= level; ++l) {
+        if (!runs[l].pairs[p].rtts_ms.empty()) {
+          groups.push_back(runs[l].pairs[p].rtts_ms);
+        }
+      }
+      if (groups.size() >= 2) {
+        ++anova_total;
+        const util::AnovaResult a = util::OneWayAnova(groups);
+        if (a.p_value >= 0.05) ++anova_constant;
+      }
+    }
+    // Trim the 5% largest deviations, then mean / stddev (paper protocol).
+    const std::vector<double> trimmed = util::TrimLargest(deviations, 0.05);
+    const util::Summary s = util::Summarize(trimmed);
+    row.mu = s.mean;
+    row.sigma = s.stddev;
+    row.anova_constant_fraction =
+        anova_total > 0
+            ? static_cast<double>(anova_constant) /
+                  static_cast<double>(anova_total)
+            : 1.0;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace delaylb::sim

@@ -1,0 +1,116 @@
+#include "util/anova.h"
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace delaylb::util {
+namespace {
+
+// Continued fraction for the incomplete beta function, from Numerical
+// Recipes' betacf, using modified Lentz's method.
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEps = 3.0e-14;
+  constexpr double kFpMin = 1.0e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  // Use the symmetry relation for faster convergence.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - std::exp(std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                        a * std::log(x) + b * std::log1p(-x)) *
+                   BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double FDistributionSf(double f, double d1, double d2) {
+  if (f <= 0.0) return 1.0;
+  // P(F >= f) = I_{d2/(d2 + d1 f)}(d2/2, d1/2).
+  const double x = d2 / (d2 + d1 * f);
+  return RegularizedIncompleteBeta(d2 / 2.0, d1 / 2.0, x);
+}
+
+AnovaResult OneWayAnova(std::span<const std::vector<double>> groups) {
+  AnovaResult result;
+  std::size_t k = 0;
+  std::size_t total_n = 0;
+  double grand_sum = 0.0;
+  for (const auto& g : groups) {
+    if (g.empty()) continue;
+    ++k;
+    total_n += g.size();
+    for (double x : g) grand_sum += x;
+  }
+  if (k < 2 || total_n <= k) return result;  // degenerate: p = 1
+  const double grand_mean = grand_sum / static_cast<double>(total_n);
+
+  double ss_between = 0.0;
+  double ss_within = 0.0;
+  for (const auto& g : groups) {
+    if (g.empty()) continue;
+    double sum = 0.0;
+    for (double x : g) sum += x;
+    const double mean = sum / static_cast<double>(g.size());
+    ss_between += static_cast<double>(g.size()) * (mean - grand_mean) *
+                  (mean - grand_mean);
+    for (double x : g) ss_within += (x - mean) * (x - mean);
+  }
+
+  result.df_between = static_cast<double>(k - 1);
+  result.df_within = static_cast<double>(total_n - k);
+  if (ss_within <= 0.0) {
+    // Zero within-group variance: identical values within each group.
+    result.f_statistic = ss_between > 0.0
+                             ? std::numeric_limits<double>::infinity()
+                             : 0.0;
+    result.p_value = ss_between > 0.0 ? 0.0 : 1.0;
+    return result;
+  }
+  const double ms_between = ss_between / result.df_between;
+  const double ms_within = ss_within / result.df_within;
+  result.f_statistic = ms_between / ms_within;
+  result.p_value =
+      FDistributionSf(result.f_statistic, result.df_between, result.df_within);
+  return result;
+}
+
+}  // namespace delaylb::util

@@ -1,0 +1,38 @@
+#pragma once
+// One-way analysis of variance (ANOVA).
+//
+// The paper's appendix runs an ANOVA test per server pair to check whether
+// the measured RTT depends on the background throughput level; for low
+// throughputs the null hypothesis (no dependency) is not rejected. We
+// implement the classic one-way fixed-effects F test, including an F
+// distribution CDF via the regularized incomplete beta function, so the
+// Table IV bench can report the fraction of pairs for which the null
+// hypothesis holds.
+
+#include <span>
+#include <vector>
+
+namespace delaylb::util {
+
+/// Result of a one-way ANOVA over k groups.
+struct AnovaResult {
+  double f_statistic = 0.0;  ///< between-group MS / within-group MS
+  double df_between = 0.0;   ///< k - 1
+  double df_within = 0.0;    ///< N - k
+  double p_value = 1.0;      ///< P(F >= f) under the null hypothesis
+};
+
+/// One-way ANOVA across groups of observations. Groups with fewer than one
+/// observation are ignored; if fewer than two non-empty groups remain, or the
+/// within-group variance is zero, the test degenerates (p_value = 1 when the
+/// group means are equal, 0 otherwise).
+AnovaResult OneWayAnova(std::span<const std::vector<double>> groups);
+
+/// Regularized incomplete beta function I_x(a, b), continued-fraction
+/// implementation (Lentz). Domain: x in [0,1], a > 0, b > 0.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// Survival function of the F(d1, d2) distribution: P(F >= f).
+double FDistributionSf(double f, double d1, double d2);
+
+}  // namespace delaylb::util

@@ -1,0 +1,43 @@
+#pragma once
+// Tiny command-line flag parser shared by bench and example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`. Also reads
+// the DELAYLB_FULL environment variable used by the bench harnesses to
+// switch from laptop-scale defaults to the paper's full parameter grid.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace delaylb::util {
+
+/// Parsed command line: flags plus positional arguments.
+class Cli {
+ public:
+  /// Parses argv. Unknown flags are retained (queryable); positionals are
+  /// anything not starting with "--".
+  Cli(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  std::int64_t GetInt(const std::string& name, std::int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+/// True when the DELAYLB_FULL environment variable is set to a truthy value
+/// ("1", "true", "yes", "on"). Bench binaries use this to enable the paper's
+/// full-scale parameter grids.
+bool FullScaleRequested();
+
+}  // namespace delaylb::util

@@ -1,0 +1,57 @@
+#include "util/distributions.h"
+
+#include <stdexcept>
+
+namespace delaylb::util {
+
+LoadDistribution ParseLoadDistribution(const std::string& name) {
+  if (name == "uniform") return LoadDistribution::kUniform;
+  if (name == "exp" || name == "exponential") {
+    return LoadDistribution::kExponential;
+  }
+  if (name == "peak") return LoadDistribution::kPeak;
+  throw std::invalid_argument("unknown load distribution: " + name);
+}
+
+std::string ToString(LoadDistribution d) {
+  switch (d) {
+    case LoadDistribution::kUniform:
+      return "uniform";
+    case LoadDistribution::kExponential:
+      return "exp";
+    case LoadDistribution::kPeak:
+      return "peak";
+  }
+  return "?";
+}
+
+std::vector<double> SampleLoads(LoadDistribution d, std::size_t n, double mean,
+                                Rng& rng) {
+  if (n == 0) return {};
+  std::vector<double> loads(n, 0.0);
+  switch (d) {
+    case LoadDistribution::kUniform:
+      for (double& v : loads) v = rng.uniform(0.0, 2.0 * mean);
+      break;
+    case LoadDistribution::kExponential:
+      for (double& v : loads) v = rng.exponential(mean);
+      break;
+    case LoadDistribution::kPeak:
+      loads[rng.below(n)] = mean;
+      break;
+  }
+  return loads;
+}
+
+std::vector<double> SampleSpeeds(std::size_t n, double lo, double hi,
+                                 Rng& rng) {
+  std::vector<double> speeds(n);
+  for (double& s : speeds) s = rng.uniform(lo, hi);
+  return speeds;
+}
+
+std::vector<double> ConstantSpeeds(std::size_t n, double value) {
+  return std::vector<double>(n, value);
+}
+
+}  // namespace delaylb::util

@@ -1,0 +1,46 @@
+#pragma once
+// Named distribution samplers used by the workload and topology generators.
+//
+// The paper's experiments (Section VI-A) draw the initial load of each
+// organization from uniform, exponential, or "peak" distributions, and the
+// server speeds from U[1,5]. These helpers generate whole vectors at once so
+// that generators can be enumerated, printed, and swept by the experiment
+// harness.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace delaylb::util {
+
+/// The family of initial-load distributions evaluated in the paper.
+enum class LoadDistribution {
+  kUniform,      ///< load_i ~ U[0, 2*mean]   (mean preserved)
+  kExponential,  ///< load_i ~ Exp(mean)
+  kPeak,         ///< one server holds the entire load; all others hold zero
+};
+
+/// Parses "uniform" | "exp" | "peak" (case-sensitive). Throws
+/// std::invalid_argument on unknown names.
+LoadDistribution ParseLoadDistribution(const std::string& name);
+
+/// Human-readable name, matching the paper's table rows.
+std::string ToString(LoadDistribution d);
+
+/// Samples `n` initial loads with the given mean.
+///
+/// For kPeak, `mean` is interpreted as the *total* system load placed on a
+/// single random server (the paper uses 100000 requests on one server); the
+/// remaining entries are zero.
+std::vector<double> SampleLoads(LoadDistribution d, std::size_t n, double mean,
+                                Rng& rng);
+
+/// Samples `n` server speeds uniformly from [lo, hi] (paper: U[1,5]).
+std::vector<double> SampleSpeeds(std::size_t n, double lo, double hi, Rng& rng);
+
+/// Constant speeds (the paper's "const s_i" rows of Table III).
+std::vector<double> ConstantSpeeds(std::size_t n, double value);
+
+}  // namespace delaylb::util

@@ -1,0 +1,44 @@
+#pragma once
+// Minimal leveled logging to stderr.
+//
+// The distributed-runtime substrate logs message traffic at kDebug when
+// enabled; bench harnesses log sweep progress at kInfo. Logging defaults to
+// kWarn so test output stays clean.
+
+#include <sstream>
+#include <string>
+
+namespace delaylb::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level (messages below it are dropped).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one log line (thread-safe).
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine LogDebug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine LogInfo() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine LogWarn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine LogError() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace delaylb::util

@@ -1,0 +1,48 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace delaylb::util {
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  // Lemire-style rejection: draw until the value falls in the largest
+  // multiple of n representable in 64 bits. The expected number of draws is
+  // below 2 for any n.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = operator()();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse-CDF; uniform() < 1 so the log argument is strictly positive.
+  return -mean * std::log1p(-uniform());
+}
+
+double Rng::normal() noexcept {
+  if (!std::isnan(spare_normal_)) {
+    const double v = spare_normal_;
+    spare_normal_ = std::numeric_limits<double>::quiet_NaN();
+    return v;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  return u * factor;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  shuffle(p);
+  return p;
+}
+
+}  // namespace delaylb::util

@@ -1,0 +1,103 @@
+#pragma once
+// Deterministic, splittable random number generation.
+//
+// All stochastic components of delaylb (workload generators, topology
+// generators, iteration schedules, gossip) draw from an explicit Rng instance
+// so that every experiment is reproducible from a single seed. Rng wraps the
+// SplitMix64 generator: it is tiny, fast, passes BigCrush when used as a
+// 64-bit stream, and supports cheap "splitting" into independent streams,
+// which we use to give each parallel experiment its own generator.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace delaylb::util {
+
+/// Deterministic 64-bit pseudo-random generator (SplitMix64).
+///
+/// Satisfies the C++ UniformRandomBitGenerator concept, so it can be used
+/// with <random> distributions, but the member helpers below are preferred:
+/// they are guaranteed stable across standard library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs a generator from a seed. Two Rng objects constructed from
+  /// the same seed produce identical streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept
+      : state_(seed) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Standard normal variate (Marsaglia polar method).
+  double normal() noexcept;
+
+  /// Normal variate with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Returns an independent generator derived from this one. Advances this
+  /// generator by one step. Splitting is how parallel experiments obtain
+  /// per-task streams from a single experiment seed.
+  Rng split() noexcept { return Rng(operator()() ^ 0xD1B54A32D192ED03ull); }
+
+  /// Fisher-Yates shuffle of an index-addressable container.
+  template <typename Container>
+  void shuffle(Container& c) noexcept {
+    const std::size_t n = c.size();
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+  /// A random permutation of {0, 1, ..., n-1}.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::uint64_t state_;
+  // Cached second variate for the polar method; NaN when empty.
+  double spare_normal_ = std::numeric_limits<double>::quiet_NaN();
+};
+
+}  // namespace delaylb::util

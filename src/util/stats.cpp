@@ -1,0 +1,91 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace delaylb::util {
+
+Summary Summarize(std::span<const double> xs) {
+  Accumulator acc;
+  for (double x : xs) acc.Add(x);
+  return acc.summary();
+}
+
+double Mean(std::span<const double> xs) { return Summarize(xs).mean; }
+
+double Variance(std::span<const double> xs) {
+  Accumulator acc;
+  for (double x : xs) acc.Add(x);
+  return acc.variance();
+}
+
+double Stddev(std::span<const double> xs) { return Summarize(xs).stddev; }
+
+double Max(std::span<const double> xs) { return Summarize(xs).max; }
+
+double Quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+std::vector<double> TrimLargest(std::span<const double> xs, double fraction) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto drop = static_cast<std::size_t>(
+      std::floor(fraction * static_cast<double>(sorted.size())));
+  sorted.resize(sorted.size() - std::min(drop, sorted.size()));
+  return sorted;
+}
+
+void Accumulator::Add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::Merge(const Accumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+Summary Accumulator::summary() const noexcept {
+  Summary s;
+  s.count = n_;
+  s.mean = mean();
+  s.min = min();
+  s.max = max();
+  s.stddev = stddev();
+  s.sample_stddev =
+      n_ > 1 ? std::sqrt(m2_ / static_cast<double>(n_ - 1)) : 0.0;
+  return s;
+}
+
+}  // namespace delaylb::util

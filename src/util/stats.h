@@ -1,0 +1,75 @@
+#pragma once
+// Descriptive statistics used throughout the experiment harness.
+//
+// The paper reports average / max / standard deviation for its convergence
+// tables (Tables I-II), ratio statistics for the cost of selfishness
+// (Table III), and trimmed means of relative deviations for the RTT
+// experiment (Table IV). This header provides exactly those reductions plus
+// a streaming accumulator for memory-frugal sweeps.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace delaylb::util {
+
+/// Summary of a sample: count, mean, min, max, population/ sample stddev.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;          ///< population standard deviation (paper's)
+  double sample_stddev = 0.0;   ///< Bessel-corrected
+};
+
+/// Computes a Summary over a sample. Empty input yields a zeroed Summary.
+Summary Summarize(std::span<const double> xs);
+
+/// Arithmetic mean; 0 on empty input.
+double Mean(std::span<const double> xs);
+
+/// Population variance; 0 on empty input.
+double Variance(std::span<const double> xs);
+
+/// Population standard deviation; 0 on empty input.
+double Stddev(std::span<const double> xs);
+
+/// Maximum; 0 on empty input.
+double Max(std::span<const double> xs);
+
+/// Quantile with linear interpolation, q in [0,1]. Copies and sorts.
+double Quantile(std::span<const double> xs, double q);
+
+/// Removes the `fraction` largest values (by magnitude of value, descending)
+/// and returns the remainder in unspecified order. The paper trims the 5%
+/// largest RTT deviations before averaging (Appendix B).
+std::vector<double> TrimLargest(std::span<const double> xs, double fraction);
+
+/// Numerically stable streaming accumulator (Welford). Use when samples are
+/// produced one at a time inside long sweeps.
+class Accumulator {
+ public:
+  void Add(double x) noexcept;
+  void Merge(const Accumulator& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Population variance.
+  double variance() const noexcept {
+    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  double stddev() const noexcept;
+  Summary summary() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace delaylb::util

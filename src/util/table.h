@@ -1,0 +1,54 @@
+#pragma once
+// Lightweight table rendering (ASCII and CSV) for the benchmark harnesses.
+//
+// Every bench binary prints its paper table through this class so that all
+// reproduced tables share one visual format and can be diffed run-to-run.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace delaylb::util {
+
+/// A rectangular table of strings with a header row. Cells are appended
+/// row-by-row; rendering right-aligns numeric-looking cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row. Subsequent Cell() calls fill it left to right.
+  Table& Row();
+
+  /// Appends a string cell to the current row.
+  Table& Cell(std::string value);
+
+  /// Appends a formatted double (fixed, `precision` decimals).
+  Table& Cell(double value, int precision = 3);
+
+  /// Appends an integer cell.
+  Table& Cell(std::int64_t value);
+  Table& Cell(std::size_t value);
+  Table& Cell(int value);
+
+  std::size_t rows() const noexcept { return cells_.size(); }
+  std::size_t columns() const noexcept { return header_.size(); }
+
+  /// Renders an ASCII table with column separators and a header rule.
+  void Print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (fields containing comma/quote are quoted).
+  void PrintCsv(std::ostream& os) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Formats a double with fixed precision, trimming trailing zeros is NOT
+/// performed (tables align better with constant width).
+std::string FormatDouble(double value, int precision);
+
+}  // namespace delaylb::util

@@ -1,0 +1,64 @@
+#pragma once
+// Fixed-size thread pool with a parallel-for helper.
+//
+// Experiment sweeps (many independent (instance, seed) cells) are
+// embarrassingly parallel; the pool lets bench binaries use every core while
+// each task keeps its own split Rng stream for determinism regardless of the
+// execution order. The pool is also exercised by the distributed-runtime
+// substrate's tests.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace delaylb::util {
+
+/// A minimal fixed-size thread pool. Tasks are std::function<void()> executed
+/// FIFO. Destruction drains the queue (all submitted tasks complete).
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Submits a task; returns a future for its result.
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(i) for i in [0, n), distributing indices across the pool and
+  /// blocking until all complete. Exceptions propagate (first one wins).
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace delaylb::util

@@ -1,0 +1,150 @@
+#include "core/allocation.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/instances.h"
+
+namespace delaylb::core {
+namespace {
+
+TEST(Allocation, IdentityPlacesEverythingAtHome) {
+  const Instance inst = testing::TwoServers(1.0, 1.0, 10.0, 4.0, 1.0);
+  const Allocation alloc(inst);
+  EXPECT_DOUBLE_EQ(alloc.r(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(alloc.r(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(alloc.r(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(alloc.load(0), 10.0);
+  EXPECT_DOUBLE_EQ(alloc.load(1), 4.0);
+  EXPECT_TRUE(alloc.Valid(inst));
+}
+
+TEST(Allocation, ExplicitMatrixValidated) {
+  const Instance inst = testing::TwoServers(1.0, 1.0, 10.0, 0.0, 1.0);
+  const Allocation alloc(inst, {6.0, 4.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(alloc.load(0), 6.0);
+  EXPECT_DOUBLE_EQ(alloc.load(1), 4.0);
+  EXPECT_DOUBLE_EQ(alloc.rho(0, 1), 0.4);
+}
+
+TEST(Allocation, BadRowSumThrows) {
+  const Instance inst = testing::TwoServers(1.0, 1.0, 10.0, 0.0, 1.0);
+  EXPECT_THROW(Allocation(inst, {6.0, 3.0, 0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Allocation, NegativeEntryThrows) {
+  const Instance inst = testing::TwoServers(1.0, 1.0, 10.0, 0.0, 1.0);
+  EXPECT_THROW(Allocation(inst, {11.0, -1.0, 0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Allocation, WrongShapeThrows) {
+  const Instance inst = testing::TwoServers();
+  EXPECT_THROW(Allocation(inst, {1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Allocation, MoveTransfersAndUpdatesLoads) {
+  const Instance inst = testing::TwoServers(1.0, 1.0, 10.0, 0.0, 1.0);
+  Allocation alloc(inst);
+  alloc.Move(0, 0, 1, 3.0);
+  EXPECT_DOUBLE_EQ(alloc.r(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(alloc.r(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(alloc.load(0), 7.0);
+  EXPECT_DOUBLE_EQ(alloc.load(1), 3.0);
+  EXPECT_TRUE(alloc.Valid(inst));
+}
+
+TEST(Allocation, MoveNegativeAmountReverses) {
+  const Instance inst = testing::TwoServers(1.0, 1.0, 10.0, 0.0, 1.0);
+  Allocation alloc(inst);
+  alloc.Move(0, 0, 1, 4.0);
+  alloc.Move(0, 0, 1, -1.0);  // equivalent to moving 1 back from 1 to 0
+  EXPECT_DOUBLE_EQ(alloc.r(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(alloc.r(0, 1), 3.0);
+}
+
+TEST(Allocation, MoveClampsAtAvailable) {
+  const Instance inst = testing::TwoServers(1.0, 1.0, 5.0, 0.0, 1.0);
+  Allocation alloc(inst);
+  alloc.Move(0, 0, 1, 100.0);  // only 5 available
+  EXPECT_DOUBLE_EQ(alloc.r(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(alloc.r(0, 1), 5.0);
+  EXPECT_TRUE(alloc.Valid(inst));
+}
+
+TEST(Allocation, MoveSameServerNoop) {
+  const Instance inst = testing::TwoServers(1.0, 1.0, 5.0, 0.0, 1.0);
+  Allocation alloc(inst);
+  alloc.Move(0, 0, 0, 3.0);
+  EXPECT_DOUBLE_EQ(alloc.r(0, 0), 5.0);
+}
+
+TEST(Allocation, SetRowReplacesPlacement) {
+  const Instance inst = testing::TwoServers(1.0, 1.0, 10.0, 0.0, 1.0);
+  Allocation alloc(inst);
+  const std::vector<double> row = {2.5, 7.5};
+  alloc.SetRow(0, row);
+  EXPECT_DOUBLE_EQ(alloc.r(0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(alloc.load(1), 7.5);
+  EXPECT_TRUE(alloc.Valid(inst));
+}
+
+TEST(Allocation, SetRowWrongSumThrows) {
+  const Instance inst = testing::TwoServers(1.0, 1.0, 10.0, 0.0, 1.0);
+  Allocation alloc(inst);
+  const std::vector<double> row = {2.0, 2.0};
+  EXPECT_THROW(alloc.SetRow(0, row), std::invalid_argument);
+}
+
+TEST(Allocation, FlattenRhoRowsSumToOne) {
+  const Instance inst = testing::RandomInstance(8, 3);
+  const Allocation alloc = testing::RandomAllocation(inst, 4);
+  const std::vector<double> rho = alloc.FlattenRho();
+  for (std::size_t i = 0; i < 8; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < 8; ++j) sum += rho[i * 8 + j];
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Allocation, FlattenRhoZeroLoadConvention) {
+  const Instance inst = testing::TwoServers(1.0, 1.0, 0.0, 5.0, 1.0);
+  const Allocation alloc(inst);
+  const std::vector<double> rho = alloc.FlattenRho();
+  EXPECT_DOUBLE_EQ(rho[0], 1.0);  // rho_00 = 1 by convention for n_0 = 0
+}
+
+TEST(Allocation, L1DistanceSymmetricAndZero) {
+  const Instance inst = testing::RandomInstance(6, 5);
+  const Allocation a = testing::RandomAllocation(inst, 1);
+  const Allocation b = testing::RandomAllocation(inst, 2);
+  EXPECT_DOUBLE_EQ(Allocation::L1Distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(Allocation::L1Distance(a, b),
+                   Allocation::L1Distance(b, a));
+  EXPECT_GT(Allocation::L1Distance(a, b), 0.0);
+}
+
+TEST(Allocation, RebuildLoadsMatchesIncremental) {
+  const Instance inst = testing::RandomInstance(7, 9);
+  Allocation alloc = testing::RandomAllocation(inst, 10);
+  std::vector<double> before(alloc.loads().begin(), alloc.loads().end());
+  alloc.Move(2, 2, 3, alloc.r(2, 2) / 2.0);
+  alloc.Move(4, 4, 1, alloc.r(4, 4));
+  std::vector<double> incremental(alloc.loads().begin(),
+                                  alloc.loads().end());
+  alloc.RebuildLoads();
+  for (std::size_t j = 0; j < 7; ++j) {
+    EXPECT_NEAR(alloc.load(j), incremental[j], 1e-9);
+  }
+}
+
+TEST(Allocation, ValidDetectsCorruptedLoads) {
+  const Instance inst = testing::TwoServers(1.0, 1.0, 10.0, 0.0, 1.0);
+  Allocation a(inst);
+  const Allocation b(inst, {20.0, -10.0, 0.0, 0.0}, /*tol=*/1e9);
+  EXPECT_TRUE(a.Valid(inst));
+  EXPECT_FALSE(b.Valid(inst));
+}
+
+}  // namespace
+}  // namespace delaylb::core

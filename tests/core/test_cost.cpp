@@ -1,0 +1,79 @@
+#include "core/cost.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/instances.h"
+
+namespace delaylb::core {
+namespace {
+
+TEST(Cost, HandComputedTwoServers) {
+  // n0 = 10 on server 0 only: SumC = l^2 / (2 s) = 100 / 2 = 50.
+  const Instance inst = testing::TwoServers(1.0, 1.0, 10.0, 0.0, 1.0);
+  const Allocation home(inst);
+  EXPECT_DOUBLE_EQ(TotalCost(inst, home), 50.0);
+
+  // Split 5/5 with latency 1 for the relayed half:
+  // 25/2 + 25/2 + 5*1 = 30.
+  const Allocation split(inst, {5.0, 5.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(TotalCost(inst, split), 30.0);
+}
+
+TEST(Cost, OrganizationCostsSumToTotal) {
+  const Instance inst = testing::RandomInstance(10, 2);
+  const Allocation alloc = testing::RandomAllocation(inst, 3);
+  const auto costs = AllOrganizationCosts(inst, alloc);
+  double sum = 0.0;
+  for (double c : costs) sum += c;
+  EXPECT_NEAR(sum, TotalCost(inst, alloc), 1e-6 * sum);
+}
+
+TEST(Cost, OrganizationCostMatchesDefinition) {
+  const Instance inst = testing::TwoServers(2.0, 1.0, 8.0, 4.0, 3.0);
+  const Allocation alloc(inst, {6.0, 2.0, 0.0, 4.0});
+  // l0 = 6, l1 = 6.
+  // C_0 = 6*(6/(2*2)) + 2*(6/(2*1) + 3) = 9 + 12 = 21.
+  EXPECT_DOUBLE_EQ(OrganizationCost(inst, alloc, 0), 21.0);
+  // C_1 = 4*(6/2) = 12.
+  EXPECT_DOUBLE_EQ(OrganizationCost(inst, alloc, 1), 12.0);
+}
+
+TEST(Cost, BreakdownSumsToTotal) {
+  const Instance inst = testing::RandomInstance(12, 7);
+  const Allocation alloc = testing::RandomAllocation(inst, 8);
+  const CostBreakdown b = BreakdownCost(inst, alloc);
+  EXPECT_GT(b.processing, 0.0);
+  EXPECT_GT(b.communication, 0.0);
+  EXPECT_NEAR(b.total(), TotalCost(inst, alloc), 1e-9 * b.total());
+}
+
+TEST(Cost, IdentityAllocationHasZeroCommunication) {
+  const Instance inst = testing::RandomInstance(8, 11);
+  const Allocation alloc(inst);
+  EXPECT_DOUBLE_EQ(BreakdownCost(inst, alloc).communication, 0.0);
+}
+
+TEST(Cost, IdealBalanceLowerBoundHolds) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance inst = testing::RandomInstance(10, seed);
+    const Allocation alloc = testing::RandomAllocation(inst, seed + 100);
+    EXPECT_GE(TotalCost(inst, alloc), IdealBalanceLowerBound(inst) - 1e-9);
+  }
+}
+
+TEST(Cost, IdealBalanceExactForBalancedHomogeneous) {
+  // Equal loads, equal speeds, identity allocation: the bound is tight.
+  const Instance inst({1.0, 1.0}, {5.0, 5.0}, net::Homogeneous(2, 20.0));
+  const Allocation alloc(inst);
+  EXPECT_DOUBLE_EQ(TotalCost(inst, alloc), IdealBalanceLowerBound(inst));
+}
+
+TEST(Cost, ScalesQuadraticallyWithLoad) {
+  const Instance small = testing::TwoServers(1.0, 1.0, 10.0, 0.0, 0.0);
+  const Instance big = testing::TwoServers(1.0, 1.0, 20.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(TotalCost(big, Allocation(big)),
+                   4.0 * TotalCost(small, Allocation(small)));
+}
+
+}  // namespace
+}  // namespace delaylb::core

@@ -1,0 +1,114 @@
+// Proposition 1: the distance-to-optimum certificate.
+#include "core/error_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error_graph.h"
+#include "core/mine.h"
+#include "testing/instances.h"
+
+namespace delaylb::core {
+namespace {
+
+TEST(ErrorBound, ZeroAtConvergedSolution) {
+  const Instance inst = testing::RandomInstance(10, 1);
+  const Allocation optimum = SolveWithMinE(inst, {}, 300, 1e-14);
+  const ErrorEstimate est = EstimateDistanceToOptimum(inst, optimum);
+  // At a pairwise-balanced fixpoint no pair wants to transfer anything.
+  EXPECT_NEAR(est.delta_r, 0.0, 1e-5 * inst.total_load());
+  EXPECT_NEAR(est.max_pair_transfer, 0.0, 1e-5 * inst.total_load());
+}
+
+TEST(ErrorBound, PositiveAwayFromOptimum) {
+  const Instance inst = testing::RandomInstance(10, 2);
+  const Allocation start(inst);  // identity: generally unbalanced
+  const ErrorEstimate est = EstimateDistanceToOptimum(inst, start);
+  EXPECT_GT(est.delta_r, 0.0);
+  EXPECT_GT(est.l1_bound, 0.0);
+}
+
+TEST(ErrorBound, BoundDominatesTrueDistance) {
+  // Proposition 1: ||rho - rho'||_1 <= (4m+1) DeltaR sum s_i. Compare the
+  // bound against the measured L1 distance to the converged optimum.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance inst = testing::RandomInstance(8, seed);
+    const Allocation optimum = SolveWithMinE(inst, {}, 300, 1e-14);
+    Allocation current(inst);
+    MinEBalancer balancer(inst);
+    for (int it = 0; it < 2; ++it) balancer.Step(current);  // partial run
+    const ErrorEstimate est = EstimateDistanceToOptimum(inst, current);
+    const double true_distance = Allocation::L1Distance(current, optimum);
+    EXPECT_LE(true_distance, est.l1_bound + 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(ErrorBound, FormulaUsesPaperCoefficients) {
+  const Instance inst = testing::RandomInstance(6, 11);
+  const Allocation start(inst);
+  const ErrorEstimate est = EstimateDistanceToOptimum(inst, start);
+  EXPECT_NEAR(est.l1_bound,
+              (4.0 * 6.0 + 1.0) * est.delta_r * inst.total_speed(), 1e-9);
+}
+
+TEST(ErrorBound, ShrinksAlongTheTrajectory) {
+  const Instance inst = testing::RandomInstance(10, 13);
+  Allocation alloc(inst);
+  MinEBalancer balancer(inst);
+  double previous = EstimateDistanceToOptimum(inst, alloc).delta_r;
+  for (int it = 0; it < 4; ++it) {
+    balancer.Step(alloc);
+    const double current = EstimateDistanceToOptimum(inst, alloc).delta_r;
+    EXPECT_LE(current, previous * 1.5 + 1e-6);  // broadly decreasing
+    previous = current;
+  }
+  EXPECT_LT(previous, 0.2 * inst.total_load());
+}
+
+TEST(ErrorGraph, IdenticalAllocationsEmpty) {
+  const Instance inst = testing::RandomInstance(6, 17);
+  const Allocation a = testing::RandomAllocation(inst, 18);
+  const ErrorGraph g(a, a);
+  EXPECT_DOUBLE_EQ(g.total_volume(), 0.0);
+  EXPECT_FALSE(g.HasCycle());
+}
+
+TEST(ErrorGraph, SimpleTransferPlan) {
+  const Instance inst = testing::TwoServers(1.0, 1.0, 10.0, 0.0, 1.0);
+  const Allocation current(inst);                    // all on 0
+  const Allocation target(inst, {4.0, 6.0, 0.0, 0.0});
+  const ErrorGraph g(current, target);
+  EXPECT_DOUBLE_EQ(g.delta(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(g.delta(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(g.total_volume(), 6.0);
+  EXPECT_EQ(g.successors(0), std::vector<std::size_t>{1});
+  EXPECT_EQ(g.predecessors(1), std::vector<std::size_t>{0});
+}
+
+TEST(ErrorGraph, DetectsCycle) {
+  // Org 0: move from server 0 to 1; org 1: move from server 1 to 0.
+  net::LatencyMatrix lat(2, 1.0);
+  const Instance inst({1.0, 1.0}, {4.0, 4.0}, std::move(lat));
+  const Allocation current(inst, {4.0, 0.0, 0.0, 4.0});
+  const Allocation target(inst, {0.0, 4.0, 4.0, 0.0});
+  const ErrorGraph g(current, target);
+  EXPECT_TRUE(g.HasCycle());
+}
+
+TEST(ErrorGraph, VolumeMatchesHalfL1) {
+  const Instance inst = testing::RandomInstance(7, 19);
+  const Allocation a = testing::RandomAllocation(inst, 20);
+  const Allocation b = testing::RandomAllocation(inst, 21);
+  const ErrorGraph g(a, b);
+  EXPECT_NEAR(g.total_volume(), Allocation::L1Distance(a, b) / 2.0, 1e-6);
+}
+
+TEST(ErrorGraph, SizeMismatchThrows) {
+  const Instance small = testing::RandomInstance(4, 22);
+  const Instance large = testing::RandomInstance(6, 23);
+  const Allocation a(small);
+  const Allocation b(large);
+  EXPECT_THROW(ErrorGraph(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace delaylb::core

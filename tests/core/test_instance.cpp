@@ -1,0 +1,75 @@
+#include "core/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "net/generators.h"
+#include "testing/instances.h"
+
+namespace delaylb::core {
+namespace {
+
+TEST(Instance, BasicAccessors) {
+  const Instance inst({1.0, 2.0}, {10.0, 5.0}, net::Homogeneous(2, 20.0));
+  EXPECT_EQ(inst.size(), 2u);
+  EXPECT_DOUBLE_EQ(inst.speed(1), 2.0);
+  EXPECT_DOUBLE_EQ(inst.load(0), 10.0);
+  EXPECT_DOUBLE_EQ(inst.latency(0, 1), 20.0);
+  EXPECT_DOUBLE_EQ(inst.latency(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(inst.total_load(), 15.0);
+  EXPECT_DOUBLE_EQ(inst.total_speed(), 3.0);
+  EXPECT_DOUBLE_EQ(inst.average_load(), 7.5);
+}
+
+TEST(Instance, SizeMismatchThrows) {
+  EXPECT_THROW(Instance({1.0}, {1.0, 2.0}, net::Homogeneous(2, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(Instance({1.0, 1.0}, {1.0, 2.0}, net::Homogeneous(3, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(Instance, NonPositiveSpeedThrows) {
+  EXPECT_THROW(Instance({0.0}, {1.0}, net::Homogeneous(1, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(Instance({-1.0}, {1.0}, net::Homogeneous(1, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(Instance, NegativeLoadThrows) {
+  EXPECT_THROW(Instance({1.0}, {-0.5}, net::Homogeneous(1, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(Instance, HomogeneousDetection) {
+  const Instance homo({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0},
+                      net::Homogeneous(3, 5.0));
+  EXPECT_TRUE(homo.IsHomogeneous());
+
+  const Instance hetero_speed({1.0, 2.0}, {1.0, 1.0},
+                              net::Homogeneous(2, 5.0));
+  EXPECT_FALSE(hetero_speed.IsHomogeneous());
+
+  net::LatencyMatrix lat = net::Homogeneous(2, 5.0);
+  lat.SetSymmetric(0, 1, 7.0);
+  const Instance homo2({1.0, 1.0}, {1.0, 1.0}, std::move(lat));
+  EXPECT_TRUE(homo2.IsHomogeneous());  // still uniform, just different c
+}
+
+TEST(Instance, HeterogeneousLatencyDetected) {
+  const Instance inst = testing::RandomInstance(10, 1);
+  EXPECT_FALSE(inst.IsHomogeneous());
+}
+
+TEST(Instance, EmptyInstance) {
+  const Instance inst;
+  EXPECT_EQ(inst.size(), 0u);
+  EXPECT_DOUBLE_EQ(inst.average_load(), 0.0);
+  EXPECT_TRUE(inst.IsHomogeneous());
+}
+
+TEST(Instance, SingleServerIsHomogeneous) {
+  const Instance inst({1.5}, {3.0}, net::Homogeneous(1, 0.0));
+  EXPECT_TRUE(inst.IsHomogeneous());
+}
+
+}  // namespace
+}  // namespace delaylb::core

@@ -1,0 +1,82 @@
+#include "core/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/cost.h"
+#include "testing/instances.h"
+
+namespace delaylb::core {
+namespace {
+
+TEST(Io, InstanceRoundTrip) {
+  const Instance original = testing::RandomInstance(9, 1);
+  const Instance parsed = InstanceFromString(InstanceToString(original));
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed.speed(i), original.speed(i));
+    EXPECT_DOUBLE_EQ(parsed.load(i), original.load(i));
+    for (std::size_t j = 0; j < original.size(); ++j) {
+      EXPECT_DOUBLE_EQ(parsed.latency(i, j), original.latency(i, j));
+    }
+  }
+}
+
+TEST(Io, UnreachableLatencySerializedAsInf) {
+  net::LatencyMatrix lat(2, 5.0);
+  lat.Set(0, 1, net::kUnreachable);
+  const Instance inst({1.0, 1.0}, {1.0, 2.0}, std::move(lat));
+  const std::string text = InstanceToString(inst);
+  EXPECT_NE(text.find("inf"), std::string::npos);
+  const Instance parsed = InstanceFromString(text);
+  EXPECT_FALSE(parsed.latency_matrix().Reachable(0, 1));
+  EXPECT_TRUE(parsed.latency_matrix().Reachable(1, 0));
+}
+
+TEST(Io, AllocationRoundTrip) {
+  const Instance inst = testing::RandomInstance(7, 3);
+  const Allocation original = testing::RandomAllocation(inst, 4);
+  std::stringstream stream;
+  WriteAllocation(stream, original);
+  const Allocation parsed = ReadAllocation(stream, inst);
+  EXPECT_NEAR(Allocation::L1Distance(original, parsed), 0.0, 1e-9);
+  EXPECT_NEAR(TotalCost(inst, parsed), TotalCost(inst, original), 1e-9);
+}
+
+TEST(Io, MalformedHeaderThrows) {
+  std::istringstream bad("not-a-delaylb-file v1");
+  EXPECT_THROW(ReadInstance(bad), std::runtime_error);
+}
+
+TEST(Io, TruncatedInputThrows) {
+  const Instance inst = testing::RandomInstance(4, 5);
+  std::string text = InstanceToString(inst);
+  text.resize(text.size() / 2);
+  EXPECT_THROW(InstanceFromString(text), std::runtime_error);
+}
+
+TEST(Io, BadNumberThrows) {
+  std::istringstream bad(
+      "delaylb-instance v1\nm 1\nspeeds banana\nloads 1\nlatency\n0\n");
+  EXPECT_THROW(ReadInstance(bad), std::runtime_error);
+}
+
+TEST(Io, AllocationSizeMismatchThrows) {
+  const Instance small = testing::RandomInstance(3, 7);
+  const Instance large = testing::RandomInstance(5, 8);
+  std::stringstream stream;
+  WriteAllocation(stream, Allocation(large));
+  EXPECT_THROW(ReadAllocation(stream, small), std::runtime_error);
+}
+
+TEST(Io, CostPreservedThroughRoundTrip) {
+  const Instance inst = testing::RandomInstance(10, 9);
+  const Instance parsed = InstanceFromString(InstanceToString(inst));
+  const Allocation a(inst);
+  const Allocation b(parsed);
+  EXPECT_DOUBLE_EQ(TotalCost(inst, a), TotalCost(parsed, b));
+}
+
+}  // namespace
+}  // namespace delaylb::core

@@ -1,0 +1,55 @@
+// The weighted-makespan view (paper Section II's Cmax-vs-SumC discussion).
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "core/mine.h"
+#include "testing/instances.h"
+
+namespace delaylb::core {
+namespace {
+
+TEST(Makespan, HandComputed) {
+  const Instance inst = testing::TwoServers(2.0, 1.0, 8.0, 3.0, 1.0);
+  const Allocation alloc(inst);
+  // l0/s0 = 8/2 = 4, l1/s1 = 3/1 = 3.
+  EXPECT_DOUBLE_EQ(WeightedMakespan(inst, alloc), 4.0);
+}
+
+TEST(Makespan, LowerBoundHolds) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance inst = testing::RandomInstance(10, seed);
+    const Allocation alloc = testing::RandomAllocation(inst, seed + 9);
+    EXPECT_GE(WeightedMakespan(inst, alloc),
+              MakespanLowerBound(inst) - 1e-9);
+  }
+}
+
+TEST(Makespan, LowerBoundTightAtPerfectBalance) {
+  // Two servers, speeds 1 and 3; loads split proportionally to speeds.
+  const Instance inst({1.0, 3.0}, {4.0, 0.0}, net::Homogeneous(2, 0.0));
+  const Allocation balanced(inst, {1.0, 3.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(WeightedMakespan(inst, balanced),
+                   MakespanLowerBound(inst));
+}
+
+TEST(Makespan, SumCOptimizationAlsoShrinksMakespan) {
+  // Balancing SumC equalizes marginal loads, which drags the makespan down
+  // towards its bound (they are not the same objective, but on loaded
+  // instances the SumC optimum is a good makespan solution).
+  const Instance inst = testing::RandomInstance(12, 7, /*mean_load=*/500.0);
+  const Allocation identity(inst);
+  const Allocation balanced = SolveWithMinE(inst);
+  EXPECT_LT(WeightedMakespan(inst, balanced),
+            WeightedMakespan(inst, identity));
+  EXPECT_LT(WeightedMakespan(inst, balanced),
+            1.3 * MakespanLowerBound(inst));
+}
+
+TEST(Makespan, ZeroLoadInstance) {
+  const Instance inst({1.0, 1.0}, {0.0, 0.0}, net::Homogeneous(2, 1.0));
+  EXPECT_DOUBLE_EQ(WeightedMakespan(inst, Allocation(inst)), 0.0);
+  EXPECT_DOUBLE_EQ(MakespanLowerBound(inst), 0.0);
+}
+
+}  // namespace
+}  // namespace delaylb::core

@@ -1,0 +1,179 @@
+// The distributed Min-Error algorithm (Algorithm 2) and its engine.
+#include "core/mine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cost.h"
+#include "core/qp_form.h"
+#include "testing/instances.h"
+
+namespace delaylb::core {
+namespace {
+
+TEST(MinE, MonotoneDecreasingCost) {
+  const Instance inst = testing::RandomInstance(15, 1);
+  Allocation alloc(inst);
+  MinEBalancer balancer(inst);
+  double cost = TotalCost(inst, alloc);
+  for (int it = 0; it < 10; ++it) {
+    const IterationStats stats = balancer.Step(alloc);
+    EXPECT_LE(stats.total_cost, cost + 1e-9);
+    cost = stats.total_cost;
+    EXPECT_TRUE(alloc.Valid(inst));
+  }
+}
+
+TEST(MinE, ReachesQpOptimumOnSmallInstances) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Instance inst = testing::RandomInstance(8, seed);
+    const Allocation mine = SolveWithMinE(inst);
+    opt::ProjectedGradientOptions pg_options;
+    pg_options.max_iterations = 30000;
+    const Allocation qp = SolveCentralized(inst, pg_options);
+    const double mine_cost = TotalCost(inst, mine);
+    const double qp_cost = TotalCost(inst, qp);
+    // MinE must match the convex optimum within a small relative gap.
+    EXPECT_NEAR(mine_cost, qp_cost, 2e-3 * qp_cost) << "seed " << seed;
+  }
+}
+
+TEST(MinE, ConvergesInFewIterationsLikePaper) {
+  // Table I: uniform loads need ~2-3 iterations to reach 2%.
+  const Instance inst = testing::RandomHomogeneous(30, 5, 50.0, false);
+  Allocation alloc(inst);
+  MinEBalancer balancer(inst);
+  const Allocation reference = SolveWithMinE(inst);
+  const double target = 1.02 * TotalCost(inst, reference);
+  std::size_t needed = 0;
+  for (std::size_t it = 1; it <= 20; ++it) {
+    if (balancer.Step(alloc).total_cost <= target) {
+      needed = it;
+      break;
+    }
+  }
+  EXPECT_GT(needed, 0u);
+  EXPECT_LE(needed, 6u);
+}
+
+TEST(MinE, RunStopsOnTolerance) {
+  const Instance inst = testing::RandomInstance(12, 9);
+  Allocation alloc(inst);
+  MinEBalancer balancer(inst);
+  const MinERun run = balancer.Run(alloc, 100, 1e-12);
+  EXPECT_TRUE(run.converged);
+  EXPECT_LT(run.trace.size(), 100u);
+  EXPECT_LE(run.final_cost, run.initial_cost);
+}
+
+TEST(MinE, TraceIterationNumbersSequential) {
+  const Instance inst = testing::RandomInstance(10, 11);
+  Allocation alloc(inst);
+  MinEBalancer balancer(inst);
+  const MinERun run = balancer.Run(alloc, 20, 1e-9);
+  for (std::size_t k = 0; k < run.trace.size(); ++k) {
+    EXPECT_EQ(run.trace[k].iteration, k + 1);
+  }
+}
+
+TEST(MinE, FastPolicyMatchesExactOnCost) {
+  const Instance inst = testing::RandomInstance(30, 13);
+  MinEOptions exact;
+  exact.policy = PartnerPolicy::kExact;
+  MinEOptions fast;
+  fast.policy = PartnerPolicy::kFast;
+  fast.fast_candidates = 8;
+  const Allocation a = SolveWithMinE(inst, exact);
+  const Allocation b = SolveWithMinE(inst, fast);
+  const double ca = TotalCost(inst, a);
+  const double cb = TotalCost(inst, b);
+  EXPECT_NEAR(ca, cb, 5e-3 * ca);
+}
+
+TEST(MinE, PeakLoadSpreadsAcrossServers) {
+  util::Rng rng(17);
+  ScenarioParams params;
+  params.m = 20;
+  params.load_distribution = util::LoadDistribution::kPeak;
+  params.mean_load = 1e5;
+  params.network = NetworkKind::kPlanetLab;
+  const Instance inst = MakeScenario(params, rng);
+  const Allocation balanced = SolveWithMinE(inst);
+  std::size_t busy = 0;
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    if (balanced.load(j) > 1.0) ++busy;
+  }
+  EXPECT_GT(busy, 15u);  // the peak must be spread widely
+}
+
+TEST(MinE, DifferentSeedsSameFinalCost) {
+  const Instance inst = testing::RandomInstance(12, 19);
+  MinEOptions a, b;
+  a.seed = 1;
+  b.seed = 99;
+  const double ca = TotalCost(inst, SolveWithMinE(inst, a));
+  const double cb = TotalCost(inst, SolveWithMinE(inst, b));
+  EXPECT_NEAR(ca, cb, 1e-3 * ca);  // convex problem: same optimum
+}
+
+TEST(MinE, HandlesZeroLoadInstance) {
+  const Instance inst({1.0, 2.0}, {0.0, 0.0}, net::Homogeneous(2, 20.0));
+  Allocation alloc(inst);
+  MinEBalancer balancer(inst);
+  const IterationStats stats = balancer.Step(alloc);
+  EXPECT_DOUBLE_EQ(stats.total_cost, 0.0);
+}
+
+TEST(MinE, SingleServerNoop) {
+  const Instance inst({1.0}, {10.0}, net::Homogeneous(1, 0.0));
+  Allocation alloc(inst);
+  MinEBalancer balancer(inst);
+  EXPECT_DOUBLE_EQ(balancer.Step(alloc).total_cost, 50.0);
+}
+
+TEST(MinE, CycleRemovalDoesNotChangeConvergence) {
+  // The paper's ablation (Section VI-B): removal every 2 iterations gives
+  // the same costs as never removing.
+  const Instance inst = testing::RandomInstance(15, 23);
+  MinEOptions without;
+  without.seed = 5;
+  MinEOptions with = without;
+  with.cycle_removal_period = 2;
+  Allocation a(inst), b(inst);
+  MinEBalancer ba(inst, without), bb(inst, with);
+  for (int it = 0; it < 8; ++it) {
+    const double ca = ba.Step(a).total_cost;
+    const double cb = bb.Step(b).total_cost;
+    EXPECT_NEAR(ca, cb, 1e-2 * std::max(1.0, ca));
+  }
+}
+
+class MinEScenarioSweep
+    : public ::testing::TestWithParam<std::tuple<int, const char*>> {};
+
+TEST_P(MinEScenarioSweep, ConvergesOnAllDistributions) {
+  const auto [m, dist_name] = GetParam();
+  util::Rng rng(101);
+  ScenarioParams params;
+  params.m = static_cast<std::size_t>(m);
+  params.load_distribution = util::ParseLoadDistribution(dist_name);
+  params.mean_load =
+      params.load_distribution == util::LoadDistribution::kPeak ? 1e4 : 50.0;
+  params.network = NetworkKind::kPlanetLab;
+  const Instance inst = MakeScenario(params, rng);
+  Allocation alloc(inst);
+  MinEBalancer balancer(inst);
+  const MinERun run = balancer.Run(alloc, 60, 1e-10);
+  EXPECT_TRUE(run.converged);
+  EXPECT_LE(run.final_cost, run.initial_cost);
+  EXPECT_TRUE(alloc.Valid(inst));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MinEScenarioSweep,
+    ::testing::Combine(::testing::Values(10, 20),
+                       ::testing::Values("uniform", "exp", "peak")));
+
+}  // namespace
+}  // namespace delaylb::core

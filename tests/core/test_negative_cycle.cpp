@@ -1,0 +1,117 @@
+// Negative relay cycles: detection and MCMF-based removal (Appendix A).
+#include "core/negative_cycle.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "core/mine.h"
+#include "testing/instances.h"
+
+namespace delaylb::core {
+namespace {
+
+/// A hand-built instance with an obvious negative cycle: servers 0 and 1
+/// relay the same volume to each other at positive cost; swapping (each
+/// keeps its own requests) removes all communication.
+Instance SwapInstance(double c = 5.0) {
+  return Instance({1.0, 1.0}, {10.0, 10.0}, net::Homogeneous(2, c));
+}
+
+Allocation SwappedAllocation(const Instance& inst) {
+  // Org 0 runs everything on server 1 and vice versa; loads balanced but
+  // communication is pure waste.
+  return Allocation(inst, {0.0, 10.0, 10.0, 0.0});
+}
+
+TEST(NegativeCycle, DetectsTheSwap) {
+  const Instance inst = SwapInstance();
+  EXPECT_TRUE(HasNegativeCycle(inst, SwappedAllocation(inst)));
+}
+
+TEST(NegativeCycle, CleanAllocationHasNone) {
+  const Instance inst = SwapInstance();
+  EXPECT_FALSE(HasNegativeCycle(inst, Allocation(inst)));
+}
+
+TEST(NegativeCycle, RemovalFixesTheSwap) {
+  const Instance inst = SwapInstance(5.0);
+  Allocation alloc = SwappedAllocation(inst);
+  const double before = TotalCost(inst, alloc);
+  const CycleRemovalResult r = RemoveNegativeCycles(inst, alloc);
+  EXPECT_TRUE(r.changed);
+  EXPECT_NEAR(r.communication_saved, 100.0, 1e-6);  // 20 requests * c=5
+  EXPECT_NEAR(TotalCost(inst, alloc), before - 100.0, 1e-6);
+  // Loads unchanged.
+  EXPECT_NEAR(alloc.load(0), 10.0, 1e-9);
+  EXPECT_NEAR(alloc.load(1), 10.0, 1e-9);
+  EXPECT_FALSE(HasNegativeCycle(inst, alloc));
+  EXPECT_TRUE(alloc.Valid(inst));
+}
+
+TEST(NegativeCycle, RemovalPreservesLoadsOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance inst = testing::RandomInstance(8, seed);
+    Allocation alloc = testing::RandomAllocation(inst, seed + 77);
+    std::vector<double> loads_before(alloc.loads().begin(),
+                                     alloc.loads().end());
+    const double before = TotalCost(inst, alloc);
+    const CycleRemovalResult r = RemoveNegativeCycles(inst, alloc);
+    for (std::size_t j = 0; j < inst.size(); ++j) {
+      EXPECT_NEAR(alloc.load(j), loads_before[j], 1e-6)
+          << "seed " << seed << " server " << j;
+    }
+    EXPECT_LE(TotalCost(inst, alloc), before + 1e-6);
+    EXPECT_GE(r.communication_saved, -1e-9);
+    EXPECT_TRUE(alloc.Valid(inst));
+  }
+}
+
+TEST(NegativeCycle, RemovalIsIdempotent) {
+  const Instance inst = testing::RandomInstance(8, 9);
+  Allocation alloc = testing::RandomAllocation(inst, 10);
+  RemoveNegativeCycles(inst, alloc);
+  const CycleRemovalResult second = RemoveNegativeCycles(inst, alloc);
+  EXPECT_FALSE(second.changed);
+  EXPECT_NEAR(second.communication_saved, 0.0, 1e-9);
+}
+
+TEST(NegativeCycle, AfterRemovalResidualIsClean) {
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    const Instance inst = testing::RandomInstance(7, seed);
+    Allocation alloc = testing::RandomAllocation(inst, seed * 3);
+    RemoveNegativeCycles(inst, alloc);
+    EXPECT_FALSE(HasNegativeCycle(inst, alloc)) << "seed " << seed;
+  }
+}
+
+TEST(NegativeCycle, MinEFixpointsAreCycleFreeInPractice) {
+  // The paper observed negative cycles are rare and that plain Algorithm 2
+  // removes them; at a converged state none should remain.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Instance inst = testing::RandomInstance(10, seed);
+    const Allocation converged = SolveWithMinE(inst, {}, 300, 1e-14);
+    EXPECT_FALSE(HasNegativeCycle(inst, converged)) << "seed " << seed;
+  }
+}
+
+TEST(NegativeCycle, PartialSwapFullyReturnsHome) {
+  // A partial swap (6 home + 4 relayed each way) dismantles to everyone
+  // running at home: same loads, zero communication.
+  const Instance inst = SwapInstance();
+  Allocation alloc(inst, {6.0, 4.0, 4.0, 6.0});
+  const CycleRemovalResult r = RemoveNegativeCycles(inst, alloc);
+  EXPECT_TRUE(r.changed);
+  EXPECT_NEAR(alloc.r(0, 0), 10.0, 1e-9);
+  EXPECT_NEAR(alloc.r(1, 1), 10.0, 1e-9);
+  EXPECT_NEAR(BreakdownCost(inst, alloc).communication, 0.0, 1e-9);
+}
+
+TEST(NegativeCycle, TinyInstancesNoop) {
+  const Instance one({1.0}, {5.0}, net::Homogeneous(1, 0.0));
+  Allocation alloc(one);
+  EXPECT_FALSE(RemoveNegativeCycles(one, alloc).changed);
+  EXPECT_FALSE(HasNegativeCycle(one, alloc));
+}
+
+}  // namespace
+}  // namespace delaylb::core

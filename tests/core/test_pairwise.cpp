@@ -1,0 +1,204 @@
+// Lemma 1 and Algorithm 1: optimal pairwise transfers.
+#include "core/pairwise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cost.h"
+#include "testing/instances.h"
+
+namespace delaylb::core {
+namespace {
+
+TEST(Lemma1, BalancedPairNeedsNoTransfer) {
+  // Equal speeds and loads, zero latency difference: dr' = 0.
+  EXPECT_DOUBLE_EQ(OptimalTransferUnclamped(1.0, 1.0, 5.0, 5.0, 0.0, 0.0),
+                   0.0);
+}
+
+TEST(Lemma1, PureLoadBalancing) {
+  // No latency: moves half the imbalance for equal speeds.
+  EXPECT_DOUBLE_EQ(OptimalTransferUnclamped(1.0, 1.0, 10.0, 0.0, 0.0, 0.0),
+                   5.0);
+}
+
+TEST(Lemma1, LatencyReducesTransfer) {
+  // dr' = (l_i - l_j - c) / 2 for unit speeds with c_ki = 0.
+  EXPECT_DOUBLE_EQ(OptimalTransferUnclamped(1.0, 1.0, 10.0, 0.0, 0.0, 4.0),
+                   3.0);
+}
+
+TEST(Lemma1, SpeedWeighting) {
+  // dr' = (s_j l_i - s_i l_j - s_i s_j (c_kj - c_ki)) / (s_i + s_j).
+  EXPECT_DOUBLE_EQ(OptimalTransferUnclamped(1.0, 3.0, 8.0, 0.0, 0.0, 2.0),
+                   (3.0 * 8.0 - 1.0 * 3.0 * 2.0) / 4.0);
+}
+
+TEST(Lemma1, MinimizesTheQuadratic) {
+  // Numeric check: f(dr) from the paper's proof is minimized at dr'.
+  const double s_i = 2.0, s_j = 3.0, l_i = 20.0, l_j = 4.0;
+  const double c_ki = 1.0, c_kj = 2.5;
+  const double dr =
+      OptimalTransferUnclamped(s_i, s_j, l_i, l_j, c_ki, c_kj);
+  auto f = [&](double x) {
+    return (l_i - x) * (l_i - x) / (2.0 * s_i) +
+           (l_j + x) * (l_j + x) / (2.0 * s_j) - x * c_ki + x * c_kj;
+  };
+  for (double delta : {-1.0, -0.1, 0.1, 1.0}) {
+    EXPECT_LE(f(dr), f(dr + delta) + 1e-9);
+  }
+}
+
+TEST(Algorithm1, TwoServerSplitMatchesClosedForm) {
+  // 10 requests at server 0, c = 4: final loads (7, 3).
+  const Instance inst = testing::TwoServers(1.0, 1.0, 10.0, 0.0, 4.0);
+  Allocation alloc(inst);
+  const PairBalanceResult r = BalancePair(inst, alloc, 0, 1);
+  EXPECT_NEAR(alloc.load(0), 7.0, 1e-9);
+  EXPECT_NEAR(alloc.load(1), 3.0, 1e-9);
+  EXPECT_NEAR(r.transferred, 3.0, 1e-9);
+  // Old cost 50; new cost 49/2 + 9/2 + 3*4 = 41.
+  EXPECT_NEAR(r.improvement, 9.0, 1e-9);
+}
+
+TEST(Algorithm1, ImprovementMatchesCostDelta) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Instance inst = testing::RandomInstance(10, seed);
+    Allocation alloc = testing::RandomAllocation(inst, seed + 7);
+    const double before = TotalCost(inst, alloc);
+    const PairBalanceResult r = BalancePair(inst, alloc, 1, 4);
+    const double after = TotalCost(inst, alloc);
+    EXPECT_NEAR(before - after, r.improvement,
+                1e-6 * std::max(1.0, before));
+    EXPECT_GE(r.improvement, 0.0);
+    EXPECT_TRUE(alloc.Valid(inst));
+  }
+}
+
+TEST(Algorithm1, PreviewDoesNotMutate) {
+  const Instance inst = testing::RandomInstance(8, 3);
+  const Allocation alloc = testing::RandomAllocation(inst, 4);
+  PairBalanceWorkspace ws;
+  const std::vector<double> before(alloc.raw().begin(), alloc.raw().end());
+  PairBalancePreview(inst, alloc, 2, 5, ws);
+  const std::vector<double> after(alloc.raw().begin(), alloc.raw().end());
+  EXPECT_EQ(before, after);
+}
+
+// Lemma 2 (the paper's correctness claim): after Algorithm 1 on (i, j), no
+// transfer of any organization's requests between i and j can improve SumC.
+TEST(Algorithm1, Lemma2NoResidualImprovement) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance inst = testing::RandomInstance(9, seed);
+    Allocation alloc = testing::RandomAllocation(inst, seed * 13);
+    BalancePair(inst, alloc, 0, 3);
+    const double base = TotalCost(inst, alloc);
+    // Probe every organization and direction with several step sizes.
+    for (std::size_t k = 0; k < inst.size(); ++k) {
+      for (double step : {1e-3, 0.1, 1.0}) {
+        for (int dir = 0; dir < 2; ++dir) {
+          Allocation probe = alloc;
+          const std::size_t from = dir == 0 ? 0 : 3;
+          const std::size_t to = dir == 0 ? 3 : 0;
+          const double amount = std::min(step, probe.r(k, from));
+          if (amount <= 0.0) continue;
+          probe.Move(k, from, to, amount);
+          EXPECT_GE(TotalCost(inst, probe), base - 1e-7)
+              << "k=" << k << " dir=" << dir << " step=" << step;
+        }
+      }
+    }
+  }
+}
+
+TEST(Algorithm1, SecondApplicationIsNoop) {
+  const Instance inst = testing::RandomInstance(10, 21);
+  Allocation alloc = testing::RandomAllocation(inst, 22);
+  BalancePair(inst, alloc, 2, 7);
+  const PairBalanceResult again = BalancePair(inst, alloc, 2, 7);
+  EXPECT_NEAR(again.improvement, 0.0, 1e-9);
+}
+
+TEST(Algorithm1, SymmetricInServerOrder) {
+  // Balancing (i, j) and (j, i) must give identical final loads.
+  const Instance inst = testing::RandomInstance(8, 31);
+  Allocation a = testing::RandomAllocation(inst, 32);
+  Allocation b = a;
+  BalancePair(inst, a, 1, 6);
+  BalancePair(inst, b, 6, 1);
+  EXPECT_NEAR(a.load(1), b.load(1), 1e-6);
+  EXPECT_NEAR(a.load(6), b.load(6), 1e-6);
+  EXPECT_NEAR(TotalCost(inst, a), TotalCost(inst, b), 1e-6);
+}
+
+TEST(Algorithm1, RespectsUnreachablePairs) {
+  // Organization 2 cannot reach server 1: its requests must stay put.
+  net::LatencyMatrix lat(3, 1.0);
+  lat.Set(2, 1, net::kUnreachable);
+  lat.Set(1, 2, net::kUnreachable);
+  const Instance inst({1.0, 1.0, 1.0}, {0.0, 0.0, 30.0}, std::move(lat));
+  Allocation alloc(inst);
+  BalancePair(inst, alloc, 2, 1);
+  EXPECT_DOUBLE_EQ(alloc.r(2, 1), 0.0);
+  // But 2 can still offload to server 0.
+  BalancePair(inst, alloc, 2, 0);
+  EXPECT_GT(alloc.r(2, 0), 0.0);
+  EXPECT_TRUE(alloc.Valid(inst));
+}
+
+TEST(Algorithm1, SameServerIsNoop) {
+  const Instance inst = testing::RandomInstance(5, 41);
+  Allocation alloc(inst);
+  const PairBalanceResult r = BalancePair(inst, alloc, 2, 2);
+  EXPECT_DOUBLE_EQ(r.improvement, 0.0);
+}
+
+TEST(Algorithm1, ThreeOwnersSortedByLatencyAdvantage) {
+  // Organizations 0,1,2 all executing on server 0; server 1 idle. The
+  // organization with the smallest c_k1 - c_k0 must be moved first (and
+  // therefore gets the largest share).
+  net::LatencyMatrix lat(4, 0.0);
+  lat.SetSymmetric(0, 1, 2.0);
+  lat.SetSymmetric(1, 2, 3.0);
+  lat.SetSymmetric(2, 3, 4.0);
+  lat.SetSymmetric(0, 2, 5.0);
+  lat.SetSymmetric(0, 3, 1.0);   // org 3 has the cheapest path to server 3
+  lat.SetSymmetric(1, 3, 9.0);
+  const Instance inst({1.0, 1.0, 1.0, 1.0}, {12.0, 12.0, 0.0, 0.0},
+                      std::move(lat));
+  Allocation alloc(inst);
+  // Balance pair (0, 3): org 0 has c_03 = 1, org 1 has c_13 = 9.
+  BalancePair(inst, alloc, 0, 3);
+  EXPECT_GT(alloc.r(0, 3), alloc.r(1, 3));
+  EXPECT_TRUE(alloc.Valid(inst));
+}
+
+class PairBalanceSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PairBalanceSweep, MonotoneAndValidOnGrid) {
+  const auto [m, seed] = GetParam();
+  const Instance inst =
+      testing::RandomInstance(static_cast<std::size_t>(m), seed);
+  Allocation alloc = testing::RandomAllocation(inst, seed + 1000);
+  double cost = TotalCost(inst, alloc);
+  PairBalanceWorkspace ws;
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    for (std::size_t j = i + 1; j < inst.size(); ++j) {
+      PairBalanceApply(inst, alloc, i, j, ws);
+      const double next = TotalCost(inst, alloc);
+      EXPECT_LE(next, cost + 1e-7);
+      cost = next;
+    }
+  }
+  EXPECT_TRUE(alloc.Valid(inst));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PairBalanceSweep,
+    ::testing::Combine(::testing::Values(4, 8, 16),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace delaylb::core

@@ -1,0 +1,154 @@
+// Validates the paper's Section-III matrix formulation against the direct
+// cost computation, and the request-space solver adapter.
+#include "core/qp_form.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cost.h"
+#include "opt/frank_wolfe.h"
+#include "testing/instances.h"
+
+namespace delaylb::core {
+namespace {
+
+TEST(QpForm, DenseObjectiveMatchesDirectCost) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance inst = testing::RandomInstance(6, seed);
+    const Allocation alloc = testing::RandomAllocation(inst, seed + 50);
+    const auto q = BuildDenseQ(inst);
+    const auto b = BuildDenseB(inst);
+    const double via_matrix =
+        EvaluateDenseObjective(q, b, alloc.FlattenRho());
+    const double direct = TotalCost(inst, alloc);
+    EXPECT_NEAR(via_matrix, direct, 1e-6 * std::max(1.0, direct))
+        << "seed " << seed;
+  }
+}
+
+TEST(QpForm, DenseQIsUpperTriangularPattern) {
+  const Instance inst = testing::RandomInstance(4, 3);
+  const auto q = BuildDenseQ(inst);
+  const std::size_t n = 16;
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      for (std::size_t k = 0; k < 4; ++k) {
+        for (std::size_t l = 0; l < 4; ++l) {
+          const double v = q[(i * 4 + j) * n + (k * 4 + l)];
+          if (j != l || k < i) {
+            EXPECT_DOUBLE_EQ(v, 0.0);  // eq. (2): zero off the column blocks
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(QpForm, DenseQDiagonal) {
+  const Instance inst = testing::TwoServers(2.0, 4.0, 3.0, 5.0, 1.0);
+  const auto q = BuildDenseQ(inst);
+  // q_(i,j),(i,j) = n_i^2 / (2 s_j).
+  const std::size_t n = 4;
+  EXPECT_DOUBLE_EQ(q[0 * n + 0], 9.0 / 4.0);   // i=0,j=0: 9/(2*2)
+  EXPECT_DOUBLE_EQ(q[1 * n + 1], 9.0 / 8.0);   // i=0,j=1: 9/(2*4)
+  EXPECT_DOUBLE_EQ(q[2 * n + 2], 25.0 / 4.0);  // i=1,j=0
+  EXPECT_DOUBLE_EQ(q[3 * n + 3], 25.0 / 8.0);  // i=1,j=1
+}
+
+TEST(QpForm, DenseBFromLatencies) {
+  const Instance inst = testing::TwoServers(1.0, 1.0, 3.0, 5.0, 7.0);
+  const auto b = BuildDenseB(inst);
+  EXPECT_DOUBLE_EQ(b[0], 0.0);        // c_00 * n_0
+  EXPECT_DOUBLE_EQ(b[1], 21.0);       // c_01 * n_0 = 7*3
+  EXPECT_DOUBLE_EQ(b[2], 35.0);       // c_10 * n_1 = 7*5
+  EXPECT_DOUBLE_EQ(b[3], 0.0);
+}
+
+TEST(QpForm, RequestSpaceValueMatchesCost) {
+  const Instance inst = testing::RandomInstance(8, 9);
+  const Allocation alloc = testing::RandomAllocation(inst, 10);
+  const auto problem = MakeRequestSpaceProblem(inst);
+  EXPECT_NEAR(problem.value(VectorFromAllocation(alloc)),
+              TotalCost(inst, alloc), 1e-6);
+}
+
+TEST(QpForm, RequestSpaceGradientMatchesFiniteDifference) {
+  const Instance inst = testing::RandomInstance(5, 13);
+  const Allocation alloc = testing::RandomAllocation(inst, 14);
+  const auto problem = MakeRequestSpaceProblem(inst);
+  std::vector<double> x = VectorFromAllocation(alloc);
+  std::vector<double> grad(x.size());
+  problem.gradient(x, grad);
+  const double h = 1e-5;
+  for (std::size_t k = 0; k < x.size(); k += 7) {  // sample coordinates
+    std::vector<double> xp = x, xm = x;
+    xp[k] += h;
+    xm[k] -= h;
+    const double fd = (problem.value(xp) - problem.value(xm)) / (2.0 * h);
+    EXPECT_NEAR(grad[k], fd, 1e-4 * std::max(1.0, std::fabs(fd)));
+  }
+}
+
+TEST(QpForm, CurvatureMatchesSecondDifference) {
+  const Instance inst = testing::RandomInstance(4, 17);
+  const auto problem = MakeRequestSpaceProblem(inst);
+  const Allocation alloc(inst);
+  std::vector<double> x = VectorFromAllocation(alloc);
+  std::vector<double> d(x.size());
+  util::Rng rng(21);
+  for (double& v : d) v = rng.uniform(-1.0, 1.0);
+  // f(x + t d) = f(x) + t g.d + t^2/2 * curvature(d) for our quadratic.
+  std::vector<double> grad(x.size());
+  problem.gradient(x, grad);
+  double gd = 0.0;
+  for (std::size_t k = 0; k < x.size(); ++k) gd += grad[k] * d[k];
+  const double t = 0.5;
+  std::vector<double> xt = x;
+  for (std::size_t k = 0; k < x.size(); ++k) xt[k] += t * d[k];
+  const double predicted = problem.value(x) + t * gd +
+                           0.5 * t * t * problem.curvature(d);
+  EXPECT_NEAR(problem.value(xt), predicted,
+              1e-6 * std::max(1.0, predicted));
+}
+
+TEST(QpForm, SolveCentralizedReachesKnownOptimum) {
+  // Two equal servers, zero latency: optimum splits the load in half.
+  const Instance inst = testing::TwoServers(1.0, 1.0, 10.0, 0.0, 0.0);
+  const Allocation opt = SolveCentralized(inst);
+  EXPECT_NEAR(opt.load(0), 5.0, 1e-3);
+  EXPECT_NEAR(opt.load(1), 5.0, 1e-3);
+  EXPECT_NEAR(TotalCost(inst, opt), 25.0, 1e-3);
+}
+
+TEST(QpForm, SolveCentralizedRespectsLatencyBarrier) {
+  // Latency so high that relaying is never worth it.
+  const Instance inst = testing::TwoServers(1.0, 1.0, 10.0, 0.0, 1000.0);
+  const Allocation opt = SolveCentralized(inst);
+  EXPECT_NEAR(opt.load(0), 10.0, 1e-4);
+  EXPECT_NEAR(TotalCost(inst, opt), 50.0, 1e-3);
+}
+
+TEST(QpForm, FrankWolfeAgreesWithProjectedGradient) {
+  const Instance inst = testing::RandomInstance(6, 23);
+  const auto problem = MakeRequestSpaceProblem(inst);
+  const Allocation start(inst);
+  const auto x0 = VectorFromAllocation(start);
+  const opt::SolveResult pg = opt::SolveProjectedGradient(problem, x0);
+  const opt::FrankWolfeResult fw = opt::SolveFrankWolfe(problem, x0);
+  EXPECT_NEAR(pg.value, fw.value, 1e-4 * std::max(1.0, pg.value));
+}
+
+TEST(QpForm, UnreachablePairsMasked) {
+  net::LatencyMatrix lat(2, net::kUnreachable);
+  const Instance inst({1.0, 1.0}, {10.0, 0.0}, std::move(lat));
+  const auto problem = MakeRequestSpaceProblem(inst);
+  EXPECT_EQ(problem.allowed[0 * 2 + 1], 0);
+  EXPECT_EQ(problem.allowed[0 * 2 + 0], 1);
+  // Solving must keep everything at home.
+  const Allocation opt = SolveCentralized(inst);
+  EXPECT_DOUBLE_EQ(opt.r(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace delaylb::core

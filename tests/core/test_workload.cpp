@@ -1,0 +1,91 @@
+#include "core/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace delaylb::core {
+namespace {
+
+TEST(Workload, HomogeneousScenario) {
+  util::Rng rng(1);
+  ScenarioParams params;
+  params.m = 25;
+  params.network = NetworkKind::kHomogeneous;
+  params.homogeneous_c = 20.0;
+  params.constant_speeds = true;
+  params.constant_speed = 2.0;
+  const Instance inst = MakeScenario(params, rng);
+  EXPECT_EQ(inst.size(), 25u);
+  EXPECT_TRUE(inst.IsHomogeneous());
+  EXPECT_DOUBLE_EQ(inst.latency(0, 1), 20.0);
+  EXPECT_DOUBLE_EQ(inst.speed(7), 2.0);
+}
+
+TEST(Workload, UniformSpeedsInPaperRange) {
+  util::Rng rng(2);
+  ScenarioParams params;
+  params.m = 200;
+  const Instance inst = MakeScenario(params, rng);
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_GE(inst.speed(i), 1.0);
+    EXPECT_LT(inst.speed(i), 5.0);
+  }
+}
+
+TEST(Workload, PlanetLabScenarioHeterogeneous) {
+  util::Rng rng(3);
+  ScenarioParams params;
+  params.m = 30;
+  params.network = NetworkKind::kPlanetLab;
+  const Instance inst = MakeScenario(params, rng);
+  EXPECT_FALSE(inst.IsHomogeneous());
+  EXPECT_TRUE(inst.latency_matrix().IsSymmetric(1e-9));
+}
+
+TEST(Workload, PeakScenarioTotalLoad) {
+  util::Rng rng(4);
+  ScenarioParams params;
+  params.m = 50;
+  params.load_distribution = util::LoadDistribution::kPeak;
+  params.mean_load = 100000.0;
+  const Instance inst = MakeScenario(params, rng);
+  EXPECT_DOUBLE_EQ(inst.total_load(), 100000.0);
+  std::size_t loaded = 0;
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    if (inst.load(i) > 0.0) ++loaded;
+  }
+  EXPECT_EQ(loaded, 1u);
+}
+
+TEST(Workload, MeanLoadApproximatelyPreserved) {
+  util::Rng rng(5);
+  ScenarioParams params;
+  params.m = 2000;
+  params.load_distribution = util::LoadDistribution::kExponential;
+  params.mean_load = 50.0;
+  const Instance inst = MakeScenario(params, rng);
+  EXPECT_NEAR(inst.average_load(), 50.0, 3.0);
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  ScenarioParams params;
+  params.m = 10;
+  params.network = NetworkKind::kPlanetLab;
+  util::Rng rng1(9), rng2(9);
+  const Instance a = MakeScenario(params, rng1);
+  const Instance b = MakeScenario(params, rng2);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.load(i), b.load(i));
+    EXPECT_DOUBLE_EQ(a.speed(i), b.speed(i));
+    for (std::size_t j = 0; j < 10; ++j) {
+      EXPECT_DOUBLE_EQ(a.latency(i, j), b.latency(i, j));
+    }
+  }
+}
+
+TEST(Workload, NetworkKindNames) {
+  EXPECT_EQ(ToString(NetworkKind::kHomogeneous), "c=20");
+  EXPECT_EQ(ToString(NetworkKind::kPlanetLab), "PL");
+}
+
+}  // namespace
+}  // namespace delaylb::core

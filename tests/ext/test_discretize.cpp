@@ -1,0 +1,110 @@
+#include "ext/discretize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mine.h"
+#include "net/generators.h"
+#include "testing/instances.h"
+
+namespace delaylb::ext {
+namespace {
+
+TEST(Discretize, RowRoundingPreservesSum) {
+  const std::vector<double> row = {2.3, 1.4, 0.3};  // sums to 4
+  const auto rounded = RoundRowLargestRemainder(row);
+  double sum = 0.0;
+  for (double v : rounded) {
+    EXPECT_DOUBLE_EQ(v, std::round(v));
+    sum += v;
+  }
+  EXPECT_DOUBLE_EQ(sum, 4.0);
+}
+
+TEST(Discretize, LargestRemaindersGetTheExtras) {
+  const std::vector<double> row = {2.6, 1.3, 0.1};  // floors 2,1,0; sum 4
+  const auto rounded = RoundRowLargestRemainder(row);
+  EXPECT_DOUBLE_EQ(rounded[0], 3.0);  // remainder 0.6 wins the extra
+  EXPECT_DOUBLE_EQ(rounded[1], 1.0);
+  EXPECT_DOUBLE_EQ(rounded[2], 0.0);
+}
+
+TEST(Discretize, IntegerRowUnchanged) {
+  const std::vector<double> row = {3.0, 0.0, 7.0};
+  EXPECT_EQ(RoundRowLargestRemainder(row), row);
+}
+
+TEST(Discretize, L1OptimalAgainstExhaustive) {
+  // Largest remainder is L1-optimal: compare against all integerizations
+  // with the same sum on a small row.
+  const std::vector<double> row = {1.7, 0.9, 1.4};  // sum 4
+  const auto rounded = RoundRowLargestRemainder(row);
+  double best_error = 0.0;
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    best_error += std::fabs(rounded[j] - row[j]);
+  }
+  for (int a = 0; a <= 4; ++a) {
+    for (int b = 0; a + b <= 4; ++b) {
+      const int c = 4 - a - b;
+      const double err = std::fabs(a - row[0]) + std::fabs(b - row[1]) +
+                         std::fabs(c - row[2]);
+      EXPECT_GE(err, best_error - 1e-12);
+    }
+  }
+}
+
+TEST(Discretize, NegativeEntryThrows) {
+  EXPECT_THROW(RoundRowLargestRemainder({1.0, -0.5}),
+               std::invalid_argument);
+}
+
+TEST(Discretize, AllocationRemainsValid) {
+  // Integral loads so row sums survive rounding exactly.
+  util::Rng rng(3);
+  std::vector<double> loads(8);
+  for (double& n : loads) n = std::floor(rng.uniform(10.0, 200.0));
+  const core::Instance inst(util::SampleSpeeds(8, 1.0, 5.0, rng),
+                            std::move(loads), net::PlanetLabLike(8, rng));
+  const core::Allocation fractional = core::SolveWithMinE(inst);
+  const core::Allocation discrete =
+      DiscretizeAllocation(inst, fractional);
+  EXPECT_TRUE(discrete.Valid(inst));
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    for (std::size_t j = 0; j < inst.size(); ++j) {
+      EXPECT_DOUBLE_EQ(discrete.r(i, j), std::round(discrete.r(i, j)));
+    }
+  }
+}
+
+TEST(Discretize, PenaltyNegligibleForLargeLoads) {
+  // Section VII regime: n_i >> m, so moving O(m) requests to integers
+  // changes SumC by a vanishing fraction.
+  util::Rng rng(5);
+  std::vector<double> loads(10);
+  for (double& n : loads) n = std::floor(rng.uniform(500.0, 2000.0));
+  const core::Instance inst(util::SampleSpeeds(10, 1.0, 5.0, rng),
+                            std::move(loads), net::PlanetLabLike(10, rng));
+  const core::Allocation fractional = core::SolveWithMinE(inst);
+  const DiscretizationPenalty penalty =
+      MeasureDiscretizationPenalty(inst, fractional);
+  EXPECT_GE(penalty.absolute, -1e-6);
+  EXPECT_LT(penalty.relative, 1e-3);
+}
+
+TEST(Discretize, PenaltyLargerForTinyLoads) {
+  util::Rng rng(7);
+  std::vector<double> small_loads(6);
+  for (double& n : small_loads) n = std::floor(rng.uniform(2.0, 6.0));
+  const core::Instance inst(util::SampleSpeeds(6, 1.0, 5.0, rng),
+                            std::move(small_loads),
+                            net::PlanetLabLike(6, rng));
+  const core::Allocation fractional = core::SolveWithMinE(inst);
+  const DiscretizationPenalty penalty =
+      MeasureDiscretizationPenalty(inst, fractional);
+  // Not asserting a specific value — only that the measurement is sane.
+  EXPECT_GE(penalty.discrete_cost, penalty.fractional_cost - 1e-9);
+}
+
+}  // namespace
+}  // namespace delaylb::ext

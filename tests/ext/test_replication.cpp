@@ -1,0 +1,129 @@
+// Replication constraint rho_ij <= 1/R and randomized replica placement.
+#include "ext/replication.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/cost.h"
+#include "core/mine.h"
+#include "testing/instances.h"
+
+namespace delaylb::ext {
+namespace {
+
+TEST(Replication, SolutionRespectsRhoCap) {
+  const core::Instance inst = testing::RandomInstance(8, 1);
+  ReplicationOptions options;
+  options.replicas = 3;
+  const core::Allocation alloc = SolveWithReplication(inst, options);
+  EXPECT_TRUE(alloc.Valid(inst, 1e-4));
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    for (std::size_t j = 0; j < inst.size(); ++j) {
+      EXPECT_LE(alloc.rho(i, j), 1.0 / 3.0 + 1e-6)
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(Replication, RequiresFeasibleR) {
+  const core::Instance inst = testing::RandomInstance(4, 2);
+  ReplicationOptions options;
+  options.replicas = 5;  // > m
+  EXPECT_THROW(SolveWithReplication(inst, options), std::invalid_argument);
+  options.replicas = 0;
+  EXPECT_THROW(SolveWithReplication(inst, options), std::invalid_argument);
+}
+
+TEST(Replication, RequalsOneMatchesUnconstrained) {
+  const core::Instance inst = testing::RandomInstance(6, 3);
+  ReplicationOptions options;
+  options.replicas = 1;
+  options.solver.max_iterations = 20000;
+  const core::Allocation constrained = SolveWithReplication(inst, options);
+  const core::Allocation free = core::SolveWithMinE(inst);
+  const double cc = core::TotalCost(inst, constrained);
+  const double cf = core::TotalCost(inst, free);
+  EXPECT_NEAR(cc, cf, 5e-3 * cf);
+}
+
+TEST(Replication, TighterRCostsMore) {
+  const core::Instance inst = testing::RandomInstance(8, 5);
+  double previous = 0.0;
+  for (std::size_t r = 1; r <= 4; ++r) {
+    ReplicationOptions options;
+    options.replicas = r;
+    const double cost =
+        core::TotalCost(inst, SolveWithReplication(inst, options));
+    if (r > 1) {
+      EXPECT_GE(cost, previous - 1e-6 * previous)
+          << "R=" << r << " should not be cheaper than R=" << r - 1;
+    }
+    previous = cost;
+  }
+}
+
+TEST(SampleReplicaSet, ExactlyRDistinct) {
+  util::Rng rng(1);
+  const std::vector<double> prob = {0.5, 0.5, 0.5, 0.5};  // R = 2
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto set = SampleReplicaSet(prob, 2, rng);
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_NE(set[0], set[1]);
+  }
+}
+
+TEST(SampleReplicaSet, MarginalsRespected) {
+  util::Rng rng(2);
+  const std::vector<double> prob = {0.9, 0.6, 0.3, 0.2};  // sums to 2
+  std::map<std::size_t, int> hits;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t j : SampleReplicaSet(prob, 2, rng)) hits[j]++;
+  }
+  for (std::size_t j = 0; j < prob.size(); ++j) {
+    EXPECT_NEAR(static_cast<double>(hits[j]) / trials, prob[j], 0.02)
+        << "server " << j;
+  }
+}
+
+TEST(SampleReplicaSet, DeterministicCaseAllOnes) {
+  util::Rng rng(3);
+  const std::vector<double> prob = {1.0, 1.0, 0.0};
+  const auto set = SampleReplicaSet(prob, 2, rng);
+  EXPECT_EQ(set, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(SampleReplicaSet, InvalidMarginalsThrow) {
+  util::Rng rng(4);
+  EXPECT_THROW(SampleReplicaSet({1.5, 0.5}, 2, rng), std::invalid_argument);
+  EXPECT_THROW(SampleReplicaSet({0.5, 0.5}, 2, rng), std::invalid_argument);
+}
+
+TEST(PlaceReplicas, PlacementsMatchAllocation) {
+  const core::Instance inst = testing::RandomInstance(6, 7);
+  ReplicationOptions options;
+  options.replicas = 2;
+  const core::Allocation alloc = SolveWithReplication(inst, options);
+  util::Rng rng(8);
+  const auto placements = PlaceReplicas(inst, alloc, 0, 500, 2, rng);
+  EXPECT_EQ(placements.size(), 500u);
+  std::vector<int> counts(inst.size(), 0);
+  for (const auto& p : placements) {
+    EXPECT_EQ(p.size(), 2u);
+    const std::set<std::size_t> unique(p.begin(), p.end());
+    EXPECT_EQ(unique.size(), 2u);  // distinct locations per task
+    for (std::size_t j : p) counts[j]++;
+  }
+  // Empirical placement frequency tracks R * rho within sampling noise.
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    const double expected = 2.0 * alloc.rho(0, j);
+    EXPECT_NEAR(static_cast<double>(counts[j]) / 500.0,
+                std::min(expected, 1.0), 0.08)
+        << "server " << j;
+  }
+}
+
+}  // namespace
+}  // namespace delaylb::ext

@@ -1,0 +1,104 @@
+// Fractional-to-discrete rounding (multiple subset sum heuristic).
+#include "ext/rounding.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace delaylb::ext {
+namespace {
+
+TEST(Rounding, ExactFitAchievesZeroError) {
+  TaskSet tasks;
+  tasks.sizes = {3.0, 2.0, 5.0, 4.0};
+  const std::vector<double> targets = {5.0, 9.0};  // {3,2} and {5,4}
+  const RoundingResult r = RoundTasks(tasks, targets);
+  EXPECT_NEAR(r.total_error, 0.0, 1e-9);
+  EXPECT_NEAR(r.assigned_totals[0] + r.assigned_totals[1], 14.0, 1e-9);
+}
+
+TEST(Rounding, EveryTaskAssignedExactlyOnce) {
+  TaskSet tasks;
+  tasks.sizes = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> targets = {7.0, 8.0};
+  const RoundingResult r = RoundTasks(tasks, targets);
+  ASSERT_EQ(r.assignment.size(), 5u);
+  double total = 0.0;
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_LT(r.assignment[k], 2u);
+    total += tasks.sizes[k];
+  }
+  EXPECT_NEAR(std::accumulate(r.assigned_totals.begin(),
+                              r.assigned_totals.end(), 0.0),
+              total, 1e-9);
+}
+
+TEST(Rounding, ErrorAtLeastMassMismatch) {
+  TaskSet tasks;
+  tasks.sizes = {10.0};
+  const std::vector<double> targets = {4.0, 4.0};  // total 8 != 10
+  const RoundingResult r = RoundTasks(tasks, targets);
+  EXPECT_GE(r.total_error, RoundingErrorLowerBound(tasks, targets) - 1e-9);
+  EXPECT_NEAR(RoundingErrorLowerBound(tasks, targets), 2.0, 1e-12);
+}
+
+TEST(Rounding, LocalSearchImprovesGreedy) {
+  // Greedy (largest first into biggest deficit) places {6,4} and {5}
+  // (error 2); swapping the 6 and the 5 reaches the perfect {5,4} / {6}.
+  TaskSet tasks;
+  tasks.sizes = {6.0, 5.0, 4.0};
+  const std::vector<double> targets = {9.0, 6.0};
+  RoundingOptions no_search;
+  no_search.local_search_sweeps = 0;
+  const RoundingResult greedy = RoundTasks(tasks, targets, no_search);
+  EXPECT_NEAR(greedy.total_error, 2.0, 1e-9);
+  const RoundingResult searched = RoundTasks(tasks, targets);
+  EXPECT_NEAR(searched.total_error, 0.0, 1e-9);
+}
+
+TEST(Rounding, ManySmallTasksTrackTargetsClosely) {
+  TaskSet tasks;
+  for (int i = 0; i < 200; ++i) tasks.sizes.push_back(1.0);
+  const std::vector<double> targets = {120.0, 50.0, 30.0};
+  const RoundingResult r = RoundTasks(tasks, targets);
+  // Unit tasks: error 0 achievable for integer targets.
+  EXPECT_NEAR(r.total_error, 0.0, 1e-9);
+  EXPECT_NEAR(r.assigned_totals[0], 120.0, 1e-9);
+}
+
+TEST(Rounding, RelativeErrorSmallForFineTasks) {
+  // Section VII: with small tasks the rounding error is negligible
+  // relative to the load.
+  util::Rng rng(7);
+  const TaskSet tasks = UniformTasks(1000, 0.5, 1.5, rng);
+  const double total = tasks.total();
+  const std::vector<double> targets = {0.4 * total, 0.35 * total,
+                                       0.25 * total};
+  const RoundingResult r = RoundTasks(tasks, targets);
+  EXPECT_LT(r.total_error / total, 0.01);
+}
+
+TEST(Rounding, SingleServerGetsEverything) {
+  TaskSet tasks;
+  tasks.sizes = {1.0, 2.0};
+  const RoundingResult r = RoundTasks(tasks, {3.0});
+  EXPECT_EQ(r.assignment[0], 0u);
+  EXPECT_EQ(r.assignment[1], 0u);
+  EXPECT_NEAR(r.total_error, 0.0, 1e-12);
+}
+
+TEST(Rounding, NoServersThrows) {
+  TaskSet tasks;
+  tasks.sizes = {1.0};
+  EXPECT_THROW(RoundTasks(tasks, {}), std::invalid_argument);
+}
+
+TEST(Rounding, EmptyTasksZeroAssignment) {
+  const TaskSet tasks;
+  const RoundingResult r = RoundTasks(tasks, {5.0, 5.0});
+  EXPECT_TRUE(r.assignment.empty());
+  EXPECT_NEAR(r.total_error, 10.0, 1e-12);  // unfilled targets
+}
+
+}  // namespace
+}  // namespace delaylb::ext

@@ -1,0 +1,73 @@
+#include "ext/tasks.h"
+
+#include <gtest/gtest.h>
+
+#include "net/generators.h"
+
+namespace delaylb::ext {
+namespace {
+
+TEST(Tasks, UniformSizesInRange) {
+  util::Rng rng(1);
+  const TaskSet set = UniformTasks(500, 1.0, 3.0, rng);
+  EXPECT_EQ(set.count(), 500u);
+  for (double p : set.sizes) {
+    EXPECT_GE(p, 1.0);
+    EXPECT_LT(p, 3.0);
+  }
+  EXPECT_NEAR(set.total() / 500.0, 2.0, 0.1);
+}
+
+TEST(Tasks, UniformInvalidRangeThrows) {
+  util::Rng rng(2);
+  EXPECT_THROW(UniformTasks(10, 0.0, 1.0, rng), std::invalid_argument);
+  EXPECT_THROW(UniformTasks(10, 2.0, 1.0, rng), std::invalid_argument);
+}
+
+TEST(Tasks, HeavyTailBounded) {
+  util::Rng rng(3);
+  const TaskSet set = HeavyTailTasks(2000, 1.0, 1000.0, 1.5, rng);
+  for (double p : set.sizes) {
+    EXPECT_GE(p, 1.0 - 1e-9);
+    EXPECT_LE(p, 1000.0 + 1e-9);
+  }
+}
+
+TEST(Tasks, HeavyTailIsSkewed) {
+  util::Rng rng(4);
+  const TaskSet set = HeavyTailTasks(5000, 1.0, 1000.0, 1.5, rng);
+  // Median far below mean for a heavy-tailed mix.
+  std::vector<double> sorted = set.sizes;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  const double mean = set.total() / static_cast<double>(set.count());
+  EXPECT_LT(median, 0.6 * mean);
+}
+
+TEST(Tasks, HeavyTailInvalidParamsThrow) {
+  util::Rng rng(5);
+  EXPECT_THROW(HeavyTailTasks(10, 1.0, 10.0, 1.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(HeavyTailTasks(10, -1.0, 10.0, 2.0, rng),
+               std::invalid_argument);
+}
+
+TEST(Tasks, InstanceFromTasksUsesTotals) {
+  util::Rng rng(6);
+  TaskSets sets;
+  sets.push_back(UniformTasks(10, 1.0, 2.0, rng));
+  sets.push_back(UniformTasks(5, 2.0, 4.0, rng));
+  const core::Instance inst = InstanceFromTasks(
+      {1.0, 2.0}, sets, net::Homogeneous(2, 20.0));
+  EXPECT_DOUBLE_EQ(inst.load(0), sets[0].total());
+  EXPECT_DOUBLE_EQ(inst.load(1), sets[1].total());
+}
+
+TEST(Tasks, EmptyTaskSet) {
+  const TaskSet set;
+  EXPECT_EQ(set.count(), 0u);
+  EXPECT_DOUBLE_EQ(set.total(), 0.0);
+}
+
+}  // namespace
+}  // namespace delaylb::ext

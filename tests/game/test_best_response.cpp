@@ -1,0 +1,113 @@
+#include "game/best_response.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cost.h"
+#include "testing/instances.h"
+
+namespace delaylb::game {
+namespace {
+
+using core::Allocation;
+using core::Instance;
+using core::OrganizationCost;
+
+TEST(BestResponse, ImprovesOrAtLeastMatchesCurrentCost) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance inst = testing::RandomInstance(10, seed);
+    Allocation alloc = testing::RandomAllocation(inst, seed + 5);
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+      const BestResponse br = ComputeBestResponse(inst, alloc, i);
+      EXPECT_LE(br.cost, br.current_cost + 1e-6) << "org " << i;
+    }
+  }
+}
+
+TEST(BestResponse, AppliedRowAchievesPredictedCost) {
+  const Instance inst = testing::RandomInstance(8, 3);
+  Allocation alloc = testing::RandomAllocation(inst, 4);
+  const std::size_t i = 2;
+  const BestResponse br = ApplyBestResponse(inst, alloc, i);
+  EXPECT_NEAR(OrganizationCost(inst, alloc, i), br.cost,
+              1e-6 * std::max(1.0, br.cost));
+}
+
+TEST(BestResponse, BeatsRandomDeviations) {
+  const Instance inst = testing::RandomInstance(7, 9);
+  Allocation alloc = testing::RandomAllocation(inst, 10);
+  const std::size_t i = 3;
+  ApplyBestResponse(inst, alloc, i);
+  const double best = OrganizationCost(inst, alloc, i);
+  util::Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    Allocation probe = alloc;
+    std::vector<double> row(inst.size());
+    double total = 0.0;
+    for (double& v : row) {
+      v = rng.uniform(0.0, 1.0);
+      total += v;
+    }
+    for (double& v : row) v *= inst.load(i) / total;
+    probe.SetRow(i, row);
+    EXPECT_GE(OrganizationCost(inst, probe, i), best - 1e-6);
+  }
+}
+
+TEST(BestResponse, HomeOnlyWhenLatencyProhibitive) {
+  // Huge latency: serving at home is optimal regardless of load.
+  const Instance inst = testing::TwoServers(1.0, 1.0, 10.0, 0.0, 1e6);
+  Allocation alloc(inst);
+  const BestResponse br = ComputeBestResponse(inst, alloc, 0);
+  EXPECT_NEAR(br.row[0], 10.0, 1e-9);
+  EXPECT_NEAR(br.row[1], 0.0, 1e-9);
+  EXPECT_NEAR(br.relative_change, 0.0, 1e-12);
+}
+
+TEST(BestResponse, OffloadsToIdleFastServer) {
+  // Zero latency, idle fast server: the response must use it heavily.
+  const Instance inst = testing::TwoServers(1.0, 4.0, 10.0, 0.0, 0.0);
+  Allocation alloc(inst);
+  const BestResponse br = ComputeBestResponse(inst, alloc, 0);
+  EXPECT_GT(br.row[1], br.row[0]);
+}
+
+TEST(BestResponse, AccountsForOthersLoadWithoutOwnRequests) {
+  // Server 1 looks busy, but all of its load is organization 0's own: the
+  // best response must treat server 1 as empty (l^{-0}_1 = 0).
+  const Instance inst = testing::TwoServers(1.0, 1.0, 10.0, 0.0, 0.0);
+  Allocation alloc(inst, {0.0, 10.0, 0.0, 0.0});
+  const BestResponse br = ComputeBestResponse(inst, alloc, 0);
+  // Symmetric empty servers: even split.
+  EXPECT_NEAR(br.row[0], 5.0, 1e-9);
+  EXPECT_NEAR(br.row[1], 5.0, 1e-9);
+}
+
+TEST(BestResponse, ZeroLoadOrganizationIsTrivial) {
+  const Instance inst = testing::TwoServers(1.0, 1.0, 0.0, 5.0, 1.0);
+  Allocation alloc(inst);
+  const BestResponse br = ComputeBestResponse(inst, alloc, 0);
+  EXPECT_DOUBLE_EQ(br.cost, 0.0);
+  EXPECT_DOUBLE_EQ(br.relative_change, 0.0);
+}
+
+TEST(BestResponse, UnreachableServerNeverUsed) {
+  net::LatencyMatrix lat(3, 0.0);
+  lat.Set(0, 1, net::kUnreachable);
+  const Instance inst({1.0, 1.0, 1.0}, {12.0, 0.0, 0.0}, std::move(lat));
+  Allocation alloc(inst);
+  const BestResponse br = ComputeBestResponse(inst, alloc, 0);
+  EXPECT_DOUBLE_EQ(br.row[1], 0.0);
+  EXPECT_NEAR(br.row[0] + br.row[2], 12.0, 1e-9);
+}
+
+TEST(BestResponse, RelativeChangeMetric) {
+  const Instance inst = testing::TwoServers(1.0, 1.0, 10.0, 0.0, 0.0);
+  Allocation alloc(inst);  // all at home; best response = 5/5
+  const BestResponse br = ComputeBestResponse(inst, alloc, 0);
+  EXPECT_NEAR(br.relative_change, 1.0, 1e-9);  // 10 units moved / n_i = 10
+}
+
+}  // namespace
+}  // namespace delaylb::game

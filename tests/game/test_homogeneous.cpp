@@ -1,0 +1,106 @@
+// Theorem 1 and Lemma 3: analytic PoA bounds on homogeneous networks.
+#include "game/homogeneous.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "game/nash.h"
+#include "game/poa.h"
+#include "testing/instances.h"
+
+namespace delaylb::game {
+namespace {
+
+TEST(TheoremOne, BoundsFormula) {
+  // s = 1, c = 20, l_av = 100 => x = 0.2.
+  const core::Instance inst = MakeTightnessInstance(10, 1.0, 20.0, 100.0);
+  const PoABounds b = TheoremOneBounds(inst);
+  EXPECT_NEAR(b.cs_over_lav, 0.2, 1e-12);
+  EXPECT_NEAR(b.upper, 1.0 + 0.4 + 0.04, 1e-12);
+  EXPECT_NEAR(b.lower, 1.0 + 0.4 - 0.16, 1e-12);
+  EXPECT_LE(b.lower, b.upper);
+}
+
+TEST(TheoremOne, RejectsHeterogeneousInstances) {
+  const core::Instance inst = testing::RandomInstance(6, 1);
+  EXPECT_THROW(TheoremOneBounds(inst), std::invalid_argument);
+}
+
+TEST(TheoremOne, RejectsZeroLoad) {
+  const core::Instance inst({1.0, 1.0}, {0.0, 0.0},
+                            net::Homogeneous(2, 5.0));
+  EXPECT_THROW(TheoremOneBounds(inst), std::invalid_argument);
+}
+
+TEST(LemmaThree, BoundIsCs) {
+  const core::Instance inst = MakeTightnessInstance(5, 2.0, 10.0, 100.0);
+  EXPECT_DOUBLE_EQ(LemmaThreeBound(inst), 20.0);
+}
+
+TEST(Tightness, InstanceRequiresFeasibleLoad) {
+  EXPECT_THROW(MakeTightnessInstance(5, 1.0, 10.0, 5.0),
+               std::invalid_argument);
+  EXPECT_NO_THROW(MakeTightnessInstance(5, 1.0, 10.0, 20.0));
+}
+
+TEST(Tightness, EquilibriumAllocationIsValid) {
+  const core::Instance inst = MakeTightnessInstance(8, 1.0, 5.0, 100.0);
+  const core::Allocation eq = TightnessEquilibrium(inst);
+  EXPECT_TRUE(eq.Valid(inst));
+  // Every server ends with exactly l_av.
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    EXPECT_NEAR(eq.load(j), 100.0, 1e-9);
+  }
+}
+
+TEST(Tightness, EquilibriumIsNash) {
+  // The proof's construction must certify as an (epsilon-)Nash equilibrium.
+  const core::Instance inst = MakeTightnessInstance(6, 1.0, 5.0, 100.0);
+  const core::Allocation eq = TightnessEquilibrium(inst);
+  EXPECT_LT(NashEpsilon(inst, eq), 1e-9);
+}
+
+TEST(Tightness, CostApproachesLowerBound) {
+  // The tightness equilibrium's PoA must sit within Theorem 1's bounds.
+  const core::Instance inst = MakeTightnessInstance(20, 1.0, 5.0, 200.0);
+  const core::Allocation eq = TightnessEquilibrium(inst);
+  const double nash_cost = core::TotalCost(inst, eq);
+  // Optimal: everyone at home (equal loads, no communication).
+  const double opt_cost = core::TotalCost(inst, core::Allocation(inst));
+  const double poa = nash_cost / opt_cost;
+  const PoABounds b = TheoremOneBounds(inst);
+  // The paper's lower bound drops an O(1/m) term (tightness is asymptotic
+  // in m); at finite m allow that slack. Exact finite-m PoA of this
+  // construction: 1 + 2cs(l_av - 2cs)(m-1) / (m l_av^2).
+  const double m = static_cast<double>(inst.size());
+  const double c = inst.latency(0, 1), s = inst.speed(0);
+  const double lav = inst.average_load();
+  const double exact =
+      1.0 + 2.0 * c * s * (lav - 2.0 * c * s) * (m - 1.0) / (m * lav * lav);
+  EXPECT_NEAR(poa, exact, 1e-9);
+  EXPECT_GE(poa, b.lower - 3.0 / m);
+  EXPECT_LE(poa, b.upper + 1e-9);
+  EXPECT_GT(poa, 1.0);  // selfishness has a real cost here
+}
+
+class TheoremOneSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TheoremOneSweep, MeasuredPoAWithinBounds) {
+  // Sweep cs/l_av; best-response dynamics from identity must land within
+  // [1, upper-bound]. (The lower bound is worst-case over instances, not a
+  // per-instance guarantee, so only the upper bound binds here.)
+  const double lav = 100.0;
+  const double c = GetParam();
+  const core::Instance inst = MakeTightnessInstance(10, 1.0, c, lav);
+  const game::SelfishnessOptions options;
+  const SelfishnessResult r = MeasureSelfishness(inst, options);
+  const PoABounds b = TheoremOneBounds(inst);
+  EXPECT_GE(r.ratio, 1.0 - 1e-6);
+  EXPECT_LE(r.ratio, b.upper + 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(CsOverLav, TheoremOneSweep,
+                         ::testing::Values(1.0, 5.0, 10.0, 20.0, 40.0));
+
+}  // namespace
+}  // namespace delaylb::game

@@ -1,0 +1,102 @@
+#include "game/nash.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "game/best_response.h"
+#include "testing/instances.h"
+
+namespace delaylb::game {
+namespace {
+
+using core::Allocation;
+using core::Instance;
+
+TEST(Nash, DynamicsConverge) {
+  const Instance inst = testing::RandomInstance(12, 1);
+  Allocation alloc(inst);
+  const NashResult r = FindNashEquilibrium(inst, alloc);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.rounds, 0u);
+  EXPECT_TRUE(alloc.Valid(inst));
+}
+
+TEST(Nash, FixedPointIsEpsilonNash) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance inst = testing::RandomInstance(10, seed);
+    Allocation alloc(inst);
+    NashOptions options;
+    options.stability_threshold = 1e-6;  // tight: near-exact equilibrium
+    options.max_rounds = 2000;
+    const NashResult r = FindNashEquilibrium(inst, alloc, options);
+    EXPECT_TRUE(r.converged) << "seed " << seed;
+    EXPECT_LT(r.epsilon, 1e-4) << "seed " << seed;
+  }
+}
+
+TEST(Nash, EpsilonZeroExactlyAtEquilibrium) {
+  // Two identical organizations on a homogeneous network: the symmetric
+  // allocation where both stay home with equal loads is a Nash equilibrium
+  // (no deviation helps since the other server is equally loaded and
+  // relaying costs latency).
+  const Instance inst({1.0, 1.0}, {10.0, 10.0}, net::Homogeneous(2, 5.0));
+  const Allocation alloc(inst);
+  EXPECT_NEAR(NashEpsilon(inst, alloc), 0.0, 1e-9);
+}
+
+TEST(Nash, UnbalancedStartHasPositiveEpsilon) {
+  const Instance inst({1.0, 1.0}, {20.0, 0.0}, net::Homogeneous(2, 1.0));
+  const Allocation alloc(inst);  // org 0 all at home, idle cheap neighbour
+  EXPECT_GT(NashEpsilon(inst, alloc), 0.01);
+}
+
+TEST(Nash, PaperTerminationRule) {
+  // Default options implement the paper's rule: < 1% change in two
+  // consecutive rounds.
+  NashOptions options;
+  EXPECT_DOUBLE_EQ(options.stability_threshold, 0.01);
+  EXPECT_EQ(options.stable_rounds_required, 2u);
+}
+
+TEST(Nash, RandomAndRoundRobinOrdersAgreeOnCost) {
+  const Instance inst = testing::RandomInstance(10, 7);
+  Allocation a(inst), b(inst);
+  NashOptions random_order;
+  random_order.randomize_order = true;
+  random_order.stability_threshold = 1e-5;
+  random_order.max_rounds = 2000;
+  NashOptions fixed_order = random_order;
+  fixed_order.randomize_order = false;
+  const NashResult ra = FindNashEquilibrium(inst, a, random_order);
+  const NashResult rb = FindNashEquilibrium(inst, b, fixed_order);
+  EXPECT_NEAR(ra.total_cost, rb.total_cost,
+              5e-3 * std::max(ra.total_cost, rb.total_cost));
+}
+
+TEST(Nash, TotalCostReported) {
+  const Instance inst = testing::RandomInstance(8, 9);
+  Allocation alloc(inst);
+  const NashResult r = FindNashEquilibrium(inst, alloc);
+  EXPECT_NEAR(r.total_cost, core::TotalCost(inst, alloc), 1e-9);
+}
+
+TEST(Nash, HomogeneousLoadDisparityBoundedByLemma3) {
+  // Lemma 3: at equilibrium |l_i - l_j| <= c * s.
+  const Instance inst = testing::RandomHomogeneous(15, 11, 100.0, true);
+  Allocation alloc(inst);
+  NashOptions options;
+  options.stability_threshold = 1e-6;
+  options.max_rounds = 3000;
+  FindNashEquilibrium(inst, alloc, options);
+  const double c = inst.latency(0, 1);
+  const double s = inst.speed(0);
+  double max_load = 0.0, min_load = 1e18;
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    max_load = std::max(max_load, alloc.load(j));
+    min_load = std::min(min_load, alloc.load(j));
+  }
+  EXPECT_LE(max_load - min_load, c * s + 1e-3);
+}
+
+}  // namespace
+}  // namespace delaylb::game

@@ -1,0 +1,66 @@
+// Cost of selfishness measurement (Table III machinery).
+#include "game/poa.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/selfishness.h"
+#include "testing/instances.h"
+
+namespace delaylb::game {
+namespace {
+
+TEST(Selfishness, RatioAtLeastOne) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const core::Instance inst = testing::RandomInstance(10, seed);
+    const SelfishnessResult r = MeasureSelfishness(inst);
+    EXPECT_GE(r.ratio, 1.0 - 1e-3) << "seed " << seed;
+    EXPECT_GT(r.optimal_cost, 0.0);
+    EXPECT_GT(r.nash_cost, 0.0);
+  }
+}
+
+TEST(Selfishness, LowCostLikePaper) {
+  // Table III: the cost of selfishness stays below ~1.15 everywhere.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const core::Instance hetero = testing::RandomInstance(15, seed);
+    EXPECT_LT(MeasureSelfishness(hetero).ratio, 1.20) << "PL seed " << seed;
+    const core::Instance homo =
+        testing::RandomHomogeneous(15, seed, 50.0, true);
+    EXPECT_LT(MeasureSelfishness(homo).ratio, 1.20) << "homo seed " << seed;
+  }
+}
+
+TEST(Selfishness, HighLoadShrinksTheGap) {
+  // Theorem 1: PoA -> 1 as l_av grows relative to c*s.
+  const core::Instance lightly =
+      testing::RandomHomogeneous(10, 5, 50.0, true);
+  const core::Instance heavily =
+      testing::RandomHomogeneous(10, 5, 5000.0, true);
+  const double light_ratio = MeasureSelfishness(lightly).ratio;
+  const double heavy_ratio = MeasureSelfishness(heavily).ratio;
+  EXPECT_LE(heavy_ratio, light_ratio + 1e-6);
+  EXPECT_NEAR(heavy_ratio, 1.0, 0.01);
+}
+
+TEST(Selfishness, TableThreeCellsCoverPaperGrid) {
+  const auto cells = exp::TableThreeCells({10});
+  // 2 speed models x 3 load bands x 2 networks.
+  EXPECT_EQ(cells.size(), 12u);
+  for (const auto& cell : cells) {
+    EXPECT_FALSE(cell.scenarios.empty());
+  }
+}
+
+TEST(Selfishness, MeasureCellProducesSaneSummary) {
+  auto cells = exp::TableThreeCells({8});
+  // Pick one cell and shrink it for speed.
+  exp::SelfishnessCell cell = cells.front();
+  cell.scenarios.resize(2);
+  const util::Summary s = exp::MeasureCell(cell, 1, 42);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_GE(s.min, 1.0);
+  EXPECT_LT(s.max, 1.5);
+}
+
+}  // namespace
+}  // namespace delaylb::game

@@ -1,0 +1,99 @@
+// Asymmetric latencies: the model never requires c_ij == c_ji (real routes
+// differ by direction); every pipeline must behave correctly when they
+// diverge.
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "core/mine.h"
+#include "core/negative_cycle.h"
+#include "core/qp_form.h"
+#include "game/nash.h"
+#include "testing/instances.h"
+
+namespace delaylb {
+namespace {
+
+core::Instance AsymmetricInstance(std::uint64_t seed, std::size_t m = 8) {
+  util::Rng rng(seed);
+  net::LatencyMatrix lat(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i != j) lat.Set(i, j, rng.uniform(1.0, 40.0));
+    }
+  }
+  return core::Instance(util::SampleSpeeds(m, 1.0, 5.0, rng),
+                        util::SampleLoads(util::LoadDistribution::kUniform,
+                                          m, 80.0, rng),
+                        std::move(lat));
+}
+
+TEST(Asymmetric, MatrixReallyAsymmetric) {
+  const core::Instance inst = AsymmetricInstance(1);
+  EXPECT_FALSE(inst.latency_matrix().IsSymmetric(1e-6));
+}
+
+TEST(Asymmetric, MinEMatchesQpOptimum) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const core::Instance inst = AsymmetricInstance(seed);
+    const double mine =
+        core::TotalCost(inst, core::SolveWithMinE(inst, {}, 300, 1e-13));
+    const double cd = core::TotalCost(
+        inst, core::SolveCentralizedCoordinateDescent(inst));
+    EXPECT_NEAR(mine, cd, 2e-3 * cd) << "seed " << seed;
+  }
+}
+
+TEST(Asymmetric, CostUsesDirectedLatency) {
+  // c_01 = 10 but c_10 = 2: relaying 0 -> 1 pays 10, relaying 1 -> 0 pays 2.
+  net::LatencyMatrix lat(2, 0.0);
+  lat.Set(0, 1, 10.0);
+  lat.Set(1, 0, 2.0);
+  const core::Instance inst({1.0, 1.0}, {4.0, 4.0}, std::move(lat));
+  const core::Allocation a(inst, {0.0, 4.0, 0.0, 4.0});  // 0 relays to 1
+  const core::Allocation b(inst, {4.0, 0.0, 4.0, 0.0});  // 1 relays to 0
+  EXPECT_DOUBLE_EQ(core::BreakdownCost(inst, a).communication, 40.0);
+  EXPECT_DOUBLE_EQ(core::BreakdownCost(inst, b).communication, 8.0);
+}
+
+TEST(Asymmetric, NashStillCertifies) {
+  const core::Instance inst = AsymmetricInstance(5);
+  core::Allocation alloc(inst);
+  game::NashOptions options;
+  options.stability_threshold = 1e-5;
+  options.max_rounds = 2000;
+  const game::NashResult r = game::FindNashEquilibrium(inst, alloc, options);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.epsilon, 1e-3);
+}
+
+TEST(Asymmetric, CycleRemovalExploitsCheapDirection) {
+  // Cheap ring one way, expensive the other: the MCMF reroute must settle
+  // on a no-worse communication pattern with identical loads.
+  const core::Instance inst = AsymmetricInstance(9);
+  core::Allocation alloc = testing::RandomAllocation(inst, 10);
+  const double before = core::TotalCost(inst, alloc);
+  std::vector<double> loads(alloc.loads().begin(), alloc.loads().end());
+  core::RemoveNegativeCycles(inst, alloc);
+  EXPECT_LE(core::TotalCost(inst, alloc), before + 1e-6);
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    EXPECT_NEAR(alloc.load(j), loads[j], 1e-6);
+  }
+  EXPECT_FALSE(core::HasNegativeCycle(inst, alloc));
+}
+
+TEST(Asymmetric, PairBalanceDirectional) {
+  // Organization 0's requests are cheap to push to server 1 but expensive
+  // to pull back; Algorithm 1 must still terminate at a bilateral optimum.
+  net::LatencyMatrix lat(2, 0.0);
+  lat.Set(0, 1, 1.0);
+  lat.Set(1, 0, 30.0);
+  const core::Instance inst({1.0, 1.0}, {20.0, 0.0}, std::move(lat));
+  core::Allocation alloc(inst);
+  core::BalancePair(inst, alloc, 0, 1);
+  // Lemma 1 with c = 1: transfer (20 - 1) / 2 = 9.5.
+  EXPECT_NEAR(alloc.r(0, 1), 9.5, 1e-9);
+  EXPECT_NEAR(core::PairImprovement(inst, alloc, 0, 1), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace delaylb

@@ -1,0 +1,96 @@
+// Dynamic-load tracking (the paper's motivating operational regime).
+#include "exp/dynamic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "core/mine.h"
+#include "testing/instances.h"
+
+namespace delaylb::exp {
+namespace {
+
+TEST(Dynamic, CarryOverPreservesFractions) {
+  const core::Instance old_inst = testing::RandomInstance(6, 1);
+  const core::Allocation previous = testing::RandomAllocation(old_inst, 2);
+  // Double every load.
+  std::vector<double> loads(old_inst.loads().begin(),
+                            old_inst.loads().end());
+  for (double& n : loads) n *= 2.0;
+  const core::Instance new_inst(
+      std::vector<double>(old_inst.speeds().begin(),
+                          old_inst.speeds().end()),
+      std::move(loads), old_inst.latency_matrix());
+  const core::Allocation carried =
+      CarryOverAllocation(new_inst, previous);
+  EXPECT_TRUE(carried.Valid(new_inst));
+  for (std::size_t i = 0; i < new_inst.size(); ++i) {
+    for (std::size_t j = 0; j < new_inst.size(); ++j) {
+      EXPECT_NEAR(carried.rho(i, j), previous.rho(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(Dynamic, CarryOverHandlesFreshLoad) {
+  // An organization that had zero load gets demand: it starts at home.
+  const core::Instance old_inst = testing::TwoServers(1.0, 1.0, 0.0, 5.0);
+  const core::Allocation previous(old_inst);
+  const core::Instance new_inst({1.0, 1.0}, {10.0, 5.0},
+                                old_inst.latency_matrix());
+  const core::Allocation carried =
+      CarryOverAllocation(new_inst, previous);
+  EXPECT_DOUBLE_EQ(carried.r(0, 0), 10.0);
+}
+
+TEST(Dynamic, TrackingStaysNearOptimum) {
+  core::ScenarioParams params;
+  params.m = 15;
+  params.network = core::NetworkKind::kPlanetLab;
+  params.mean_load = 100.0;
+  DynamicOptions options;
+  options.epochs = 6;
+  options.iterations_per_epoch = 2;
+  options.seed = 3;
+  const std::vector<EpochStats> stats = RunDynamicTracking(params, options);
+  ASSERT_EQ(stats.size(), 6u);
+  for (const EpochStats& s : stats) {
+    EXPECT_GE(s.warm_gap, -1e-6);
+    EXPECT_LT(s.warm_gap, 0.05) << "epoch " << s.epoch;
+  }
+}
+
+TEST(Dynamic, WarmStartAtLeastAsGoodOnAverage) {
+  core::ScenarioParams params;
+  params.m = 12;
+  params.network = core::NetworkKind::kPlanetLab;
+  params.mean_load = 80.0;
+  DynamicOptions options;
+  options.epochs = 8;
+  options.iterations_per_epoch = 1;  // tight budget shows the difference
+  options.seed = 11;
+  const std::vector<EpochStats> stats = RunDynamicTracking(params, options);
+  double warm = 0.0, cold = 0.0;
+  for (std::size_t e = 1; e < stats.size(); ++e) {  // skip identical epoch 0
+    warm += stats[e].warm_gap;
+    cold += stats[e].cold_gap;
+  }
+  EXPECT_LE(warm, cold + 1e-6);
+}
+
+TEST(Dynamic, DeterministicPerSeed) {
+  core::ScenarioParams params;
+  params.m = 8;
+  DynamicOptions options;
+  options.epochs = 3;
+  options.seed = 21;
+  const auto a = RunDynamicTracking(params, options);
+  const auto b = RunDynamicTracking(params, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    EXPECT_DOUBLE_EQ(a[e].warm_cost, b[e].warm_cost);
+    EXPECT_DOUBLE_EQ(a[e].cold_cost, b[e].cold_cost);
+  }
+}
+
+}  // namespace
+}  // namespace delaylb::exp

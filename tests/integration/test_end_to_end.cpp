@@ -1,0 +1,133 @@
+// Cross-module integration: the full pipelines a user of the library runs.
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "core/error_bound.h"
+#include "core/mine.h"
+#include "core/negative_cycle.h"
+#include "core/qp_form.h"
+#include "dist/runtime.h"
+#include "exp/convergence.h"
+#include "exp/scenarios.h"
+#include "exp/selfishness.h"
+#include "ext/rounding.h"
+#include "ext/tasks.h"
+#include "game/poa.h"
+#include "testing/instances.h"
+
+namespace delaylb {
+namespace {
+
+// Pipeline 1 (Tables I-II): scenario -> MinE -> iterations to tolerance.
+TEST(EndToEnd, ConvergenceMeasurementPipeline) {
+  util::Rng rng(1);
+  core::ScenarioParams params;
+  params.m = 30;
+  params.network = core::NetworkKind::kPlanetLab;
+  const core::Instance inst = core::MakeScenario(params, rng);
+  const exp::IterationsToTolerance at2 =
+      exp::MeasureIterationsToTolerance(inst, 0.02);
+  const exp::IterationsToTolerance at01 =
+      exp::MeasureIterationsToTolerance(inst, 0.001);
+  EXPECT_TRUE(at2.reached);
+  EXPECT_TRUE(at01.reached);
+  // Tighter tolerance can only need more iterations (same trajectory seed).
+  EXPECT_LE(at2.iterations, at01.iterations);
+  // Paper magnitude: both converge within a dozen iterations.
+  EXPECT_LE(at01.iterations, 15u);
+}
+
+// Pipeline 2 (Figure 2): peak load, cost trace decreasing roughly
+// geometrically.
+TEST(EndToEnd, PeakConvergenceTrace) {
+  util::Rng rng(2);
+  core::ScenarioParams params;
+  params.m = 60;
+  params.load_distribution = util::LoadDistribution::kPeak;
+  params.mean_load = 100000.0;
+  params.network = core::NetworkKind::kPlanetLab;
+  const core::Instance inst = core::MakeScenario(params, rng);
+  core::MinEOptions options;
+  options.policy = core::PartnerPolicy::kFast;
+  const std::vector<double> trace = exp::TraceConvergence(inst, 12, options);
+  ASSERT_EQ(trace.size(), 13u);
+  EXPECT_LT(trace.back(), 0.05 * trace.front());  // orders of magnitude drop
+  for (std::size_t k = 1; k < trace.size(); ++k) {
+    EXPECT_LE(trace[k], trace[k - 1] + 1e-6);
+  }
+}
+
+// Pipeline 3 (Table III): selfishness cell measurement end to end.
+TEST(EndToEnd, SelfishnessCellPipeline) {
+  auto cells = exp::TableThreeCells({10});
+  exp::SelfishnessCell cell;
+  for (auto& c : cells) {
+    if (c.speed_label == "const s_i" && c.load_label == "lav = 50" &&
+        c.network_label == "c=20") {
+      cell = c;
+      break;
+    }
+  }
+  ASSERT_FALSE(cell.scenarios.empty());
+  cell.scenarios.resize(2);
+  const util::Summary s = exp::MeasureCell(cell, 2, 7);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_GE(s.min, 1.0);
+  EXPECT_LT(s.max, 1.3);  // paper: < 1.15; generous margin for small m
+}
+
+// Pipeline 4: distributed runtime vs synchronous engine vs QP solver — all
+// three views of the same problem must agree.
+TEST(EndToEnd, ThreeSolversAgree) {
+  const core::Instance inst = testing::RandomInstance(10, 3);
+  const double mine =
+      core::TotalCost(inst, core::SolveWithMinE(inst, {}, 300, 1e-13));
+  opt::ProjectedGradientOptions pg;
+  pg.max_iterations = 30000;
+  const double qp = core::TotalCost(inst, core::SolveCentralized(inst, pg));
+  dist::DistributedRuntime runtime(inst);
+  runtime.RunUntil(30000.0);
+  const double distributed =
+      core::TotalCost(inst, runtime.AssembleAllocation());
+  EXPECT_NEAR(mine, qp, 5e-3 * qp);
+  EXPECT_LT(distributed, 1.10 * mine);
+}
+
+// Pipeline 5 (Section VII): fractional solve -> discrete rounding.
+TEST(EndToEnd, SizedTasksPipeline) {
+  util::Rng rng(4);
+  const std::size_t m = 6;
+  ext::TaskSets tasks;
+  for (std::size_t i = 0; i < m; ++i) {
+    tasks.push_back(ext::HeavyTailTasks(300, 0.1, 10.0, 1.5, rng));
+  }
+  const core::Instance inst = ext::InstanceFromTasks(
+      util::SampleSpeeds(m, 1.0, 5.0, rng), tasks,
+      net::PlanetLabLike(m, rng));
+  const core::Allocation fractional = core::SolveWithMinE(inst);
+  // Round each organization's tasks to its fractional row.
+  double total_error = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<double> targets(m);
+    for (std::size_t j = 0; j < m; ++j) targets[j] = fractional.r(i, j);
+    const ext::RoundingResult r = ext::RoundTasks(tasks[i], targets);
+    total_error += r.total_error;
+  }
+  EXPECT_LT(total_error / inst.total_load(), 0.02);
+}
+
+// Pipeline 6: the error bound is usable as a stopping rule.
+TEST(EndToEnd, ErrorBoundStoppingRule) {
+  const core::Instance inst = testing::RandomInstance(8, 5);
+  core::Allocation alloc(inst);
+  core::MinEBalancer balancer(inst);
+  balancer.Run(alloc, 100, 1e-13);
+  core::RemoveNegativeCycles(inst, alloc);
+  const core::ErrorEstimate est =
+      core::EstimateDistanceToOptimum(inst, alloc);
+  // Converged: the certificate confirms we are essentially there.
+  EXPECT_LT(est.l1_bound, 0.05 * inst.total_load() * inst.size());
+}
+
+}  // namespace
+}  // namespace delaylb

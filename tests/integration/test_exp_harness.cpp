@@ -1,0 +1,96 @@
+// The experiment harness itself (exp/): the machinery behind the bench
+// binaries must be trustworthy, since EXPERIMENTS.md is built on it.
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "core/mine.h"
+#include "exp/convergence.h"
+#include "exp/scenarios.h"
+#include "testing/instances.h"
+
+namespace delaylb::exp {
+namespace {
+
+TEST(Harness, ReferenceOptimumIsAFixpoint) {
+  const core::Instance inst = testing::RandomInstance(10, 3);
+  const core::Allocation reference = ReferenceOptimum(inst);
+  // One more engine iteration must not improve it measurably.
+  core::Allocation probe = reference;
+  core::MinEBalancer balancer(inst);
+  const double before = core::TotalCost(inst, probe);
+  const double after = balancer.Step(probe).total_cost;
+  EXPECT_NEAR(after, before, 1e-6 * before);
+}
+
+TEST(Harness, RepeatScenarioAggregatesAllRepetitions) {
+  core::ScenarioParams params;
+  params.m = 8;
+  const util::Summary s = RepeatScenario(
+      params, 5, 42,
+      [](const core::Instance& inst, std::uint64_t) {
+        return inst.average_load();
+      });
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_GT(s.mean, 0.0);
+}
+
+TEST(Harness, RepeatScenarioSeedsDiffer) {
+  core::ScenarioParams params;
+  params.m = 8;
+  std::vector<std::uint64_t> seeds;
+  RepeatScenario(params, 4, 1,
+                 [&](const core::Instance&, std::uint64_t seed) {
+                   seeds.push_back(seed);
+                   return 0.0;
+                 });
+  ASSERT_EQ(seeds.size(), 4u);
+  for (std::size_t a = 0; a < seeds.size(); ++a) {
+    for (std::size_t b = a + 1; b < seeds.size(); ++b) {
+      EXPECT_NE(seeds[a], seeds[b]);
+    }
+  }
+}
+
+TEST(Harness, ConvergenceGroupsMatchPaper) {
+  const auto full = ConvergenceTableGroups(true);
+  ASSERT_EQ(full.size(), 4u);
+  EXPECT_EQ(full[0].label, "m <= 50");
+  EXPECT_EQ(full[0].sizes, (std::vector<std::size_t>{20, 30, 50}));
+  EXPECT_EQ(full[3].sizes, (std::vector<std::size_t>{300}));
+  const auto fast = ConvergenceTableGroups(false);
+  EXPECT_LT(fast.size(), full.size());
+}
+
+TEST(Harness, IterationsToToleranceZeroWhenAlreadyOptimal) {
+  // Prohibitive latencies: the identity allocation is optimal, so zero
+  // iterations are needed.
+  const core::Instance inst =
+      testing::TwoServers(1.0, 1.0, 10.0, 10.0, 1e9);
+  const IterationsToTolerance r = MeasureIterationsToTolerance(inst, 0.02);
+  EXPECT_TRUE(r.reached);
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(Harness, IterationsMonotoneInTolerance) {
+  const core::Instance inst = testing::RandomInstance(20, 5);
+  core::MinEOptions options;
+  options.seed = 9;
+  const IterationsToTolerance loose =
+      MeasureIterationsToTolerance(inst, 0.05, options);
+  const IterationsToTolerance tight =
+      MeasureIterationsToTolerance(inst, 0.0005, options);
+  EXPECT_TRUE(loose.reached);
+  EXPECT_TRUE(tight.reached);
+  EXPECT_LE(loose.iterations, tight.iterations);
+}
+
+TEST(Harness, TraceStartsAtIdentityCost) {
+  const core::Instance inst = testing::RandomInstance(10, 7);
+  const std::vector<double> trace = TraceConvergence(inst, 5);
+  ASSERT_EQ(trace.size(), 6u);
+  EXPECT_DOUBLE_EQ(trace[0],
+                   core::TotalCost(inst, core::Allocation(inst)));
+}
+
+}  // namespace
+}  // namespace delaylb::exp

@@ -1,0 +1,118 @@
+// Property-based sweeps over random instances: the model's invariants must
+// hold across the whole scenario grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/cost.h"
+#include "core/mine.h"
+#include "core/negative_cycle.h"
+#include "core/qp_form.h"
+#include "game/best_response.h"
+#include "game/nash.h"
+#include "testing/instances.h"
+
+namespace delaylb {
+namespace {
+
+using Param = std::tuple<int /*m*/, int /*seed*/, const char* /*net*/>;
+
+core::Instance MakeParamInstance(const Param& param) {
+  const auto [m, seed, net] = param;
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  core::ScenarioParams params;
+  params.m = static_cast<std::size_t>(m);
+  params.network = std::string(net) == "PL"
+                       ? core::NetworkKind::kPlanetLab
+                       : core::NetworkKind::kHomogeneous;
+  params.mean_load = 50.0;
+  return core::MakeScenario(params, rng);
+}
+
+class ModelProperties : public ::testing::TestWithParam<Param> {};
+
+// Invariant 1: the QP matrix form equals the direct cost for arbitrary
+// feasible points (the Section-III derivation).
+TEST_P(ModelProperties, MatrixFormEqualsDirectCost) {
+  const core::Instance inst = MakeParamInstance(GetParam());
+  if (inst.size() > 8) GTEST_SKIP() << "dense Q only for small m";
+  const core::Allocation alloc = testing::RandomAllocation(inst, 99);
+  const auto q = core::BuildDenseQ(inst);
+  const auto b = core::BuildDenseB(inst);
+  const double direct = core::TotalCost(inst, alloc);
+  EXPECT_NEAR(core::EvaluateDenseObjective(q, b, alloc.FlattenRho()),
+              direct, 1e-6 * std::max(1.0, direct));
+}
+
+// Invariant 2: MinE never increases the objective and ends cycle-free.
+TEST_P(ModelProperties, MinEMonotoneAndCycleFree) {
+  const core::Instance inst = MakeParamInstance(GetParam());
+  core::Allocation alloc(inst);
+  core::MinEBalancer balancer(inst);
+  double cost = core::TotalCost(inst, alloc);
+  for (int it = 0; it < 12; ++it) {
+    const double next = balancer.Step(alloc).total_cost;
+    EXPECT_LE(next, cost + 1e-7 * std::max(1.0, cost));
+    cost = next;
+  }
+  EXPECT_TRUE(alloc.Valid(inst));
+}
+
+// Invariant 3: total load is conserved by every optimizer.
+TEST_P(ModelProperties, LoadConservation) {
+  const core::Instance inst = MakeParamInstance(GetParam());
+  const core::Allocation mine = core::SolveWithMinE(inst, {}, 50, 1e-10);
+  double total = 0.0;
+  for (std::size_t j = 0; j < inst.size(); ++j) total += mine.load(j);
+  EXPECT_NEAR(total, inst.total_load(),
+              1e-9 * std::max(1.0, inst.total_load()));
+}
+
+// Invariant 4: the cooperative optimum lower-bounds the Nash equilibrium
+// (price of anarchy >= 1) and the ideal-balance bound lower-bounds both.
+TEST_P(ModelProperties, CostOrdering) {
+  const core::Instance inst = MakeParamInstance(GetParam());
+  const double optimum =
+      core::TotalCost(inst, core::SolveWithMinE(inst, {}, 100, 1e-12));
+  core::Allocation selfish(inst);
+  game::FindNashEquilibrium(inst, selfish);
+  const double nash = core::TotalCost(inst, selfish);
+  const double ideal = core::IdealBalanceLowerBound(inst);
+  EXPECT_LE(ideal, optimum + 1e-6 * optimum);
+  EXPECT_LE(optimum, nash * (1.0 + 1e-3));
+}
+
+// Invariant 5: at a Nash fixpoint no organization can improve (epsilon ~ 0)
+// and the PoA stays in the paper's empirical band.
+TEST_P(ModelProperties, NashIsStableAndCheap) {
+  const core::Instance inst = MakeParamInstance(GetParam());
+  core::Allocation selfish(inst);
+  game::NashOptions options;
+  options.stability_threshold = 1e-5;
+  options.max_rounds = 2000;
+  game::FindNashEquilibrium(inst, selfish, options);
+  EXPECT_LT(game::NashEpsilon(inst, selfish), 1e-3);
+  const double optimum =
+      core::TotalCost(inst, core::SolveWithMinE(inst, {}, 100, 1e-12));
+  EXPECT_LT(core::TotalCost(inst, selfish) / optimum, 1.25);
+}
+
+// Invariant 6: relayed communication is never irrational after cycle
+// removal (no negative cycles remain).
+TEST_P(ModelProperties, CycleRemovalLeavesCleanState) {
+  const core::Instance inst = MakeParamInstance(GetParam());
+  core::Allocation alloc = testing::RandomAllocation(inst, 1234);
+  core::RemoveNegativeCycles(inst, alloc);
+  EXPECT_FALSE(core::HasNegativeCycle(inst, alloc));
+  EXPECT_TRUE(alloc.Valid(inst));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelProperties,
+    ::testing::Combine(::testing::Values(5, 8, 14),
+                       ::testing::Values(1, 2, 3),
+                       ::testing::Values("PL", "homo")));
+
+}  // namespace
+}  // namespace delaylb

@@ -1,0 +1,119 @@
+#include "net/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "net/metric_repair.h"
+#include "util/rng.h"
+
+namespace delaylb::net {
+namespace {
+
+TEST(Generators, HomogeneousMatchesPaperSetting) {
+  const LatencyMatrix lat = Homogeneous(10, 20.0);
+  EXPECT_EQ(lat.size(), 10u);
+  EXPECT_DOUBLE_EQ(lat(3, 7), 20.0);
+  EXPECT_DOUBLE_EQ(lat(3, 3), 0.0);
+  EXPECT_TRUE(lat.IsSymmetric());
+}
+
+TEST(Generators, HomogeneousNegativeThrows) {
+  EXPECT_THROW(Homogeneous(3, -1.0), std::invalid_argument);
+}
+
+TEST(Generators, PlanetLabLikeBasicProperties) {
+  util::Rng rng(1);
+  const LatencyMatrix lat = PlanetLabLike(40, rng);
+  EXPECT_EQ(lat.size(), 40u);
+  EXPECT_TRUE(lat.IsSymmetric(1e-9));
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = 0; j < 40; ++j) {
+      if (i == j) continue;
+      EXPECT_TRUE(lat.Reachable(i, j));
+      EXPECT_GT(lat(i, j), 0.0);
+    }
+  }
+}
+
+TEST(Generators, PlanetLabLikeShortestPathClosed) {
+  // The completion step must leave no relay shortcut (paper Section II:
+  // routing already optimized).
+  util::Rng rng(2);
+  const LatencyMatrix lat = PlanetLabLike(30, rng);
+  EXPECT_TRUE(IsShortestPathClosed(lat, 1e-6));
+}
+
+TEST(Generators, PlanetLabLikeHeterogeneous) {
+  util::Rng rng(3);
+  const LatencyMatrix lat = PlanetLabLike(30, rng);
+  // A clustered topology must show a wide latency spread.
+  EXPECT_GT(lat.MaxOffDiagonal(), 3.0 * lat.MeanOffDiagonal() / 2.0);
+}
+
+TEST(Generators, PlanetLabLikeDeterministicPerSeed) {
+  util::Rng rng1(5), rng2(5);
+  const LatencyMatrix a = PlanetLabLike(15, rng1);
+  const LatencyMatrix b = PlanetLabLike(15, rng2);
+  for (std::size_t i = 0; i < 15; ++i) {
+    for (std::size_t j = 0; j < 15; ++j) {
+      EXPECT_DOUBLE_EQ(a(i, j), b(i, j));
+    }
+  }
+}
+
+TEST(Generators, PlanetLabLikeMillisecondScale) {
+  util::Rng rng(7);
+  const LatencyMatrix lat = PlanetLabLike(50, rng);
+  // Continental-scale RTTs: a few ms to a few hundred ms.
+  EXPECT_GT(lat.MeanOffDiagonal(), 1.0);
+  EXPECT_LT(lat.MaxOffDiagonal(), 500.0);
+}
+
+TEST(Generators, FromCoordinatesDistanceProportional) {
+  const std::vector<Point2D> pts = {{0.0, 0.0}, {300.0, 0.0}, {0.0, 400.0}};
+  const LatencyMatrix lat = FromCoordinates(pts, 100.0, 1.0);
+  EXPECT_NEAR(lat(0, 1), 1.0 + 3.0, 1e-12);
+  EXPECT_NEAR(lat(0, 2), 1.0 + 4.0, 1e-12);
+  EXPECT_NEAR(lat(1, 2), 1.0 + 5.0, 1e-12);
+}
+
+TEST(Generators, FromCoordinatesInvalidSpeedThrows) {
+  EXPECT_THROW(FromCoordinates({{0, 0}}, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Generators, RestrictToNearestNeighbors) {
+  util::Rng rng(11);
+  const LatencyMatrix base = PlanetLabLike(20, rng);
+  const LatencyMatrix restricted = RestrictToNearestNeighbors(base, 3);
+  // Symmetric and with at least k reachable neighbours per node.
+  EXPECT_TRUE(restricted.IsSymmetric(1e-9));
+  std::size_t reachable_pairs = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    std::size_t neighbors = 0;
+    for (std::size_t j = 0; j < 20; ++j) {
+      if (i != j && restricted.Reachable(i, j)) {
+        ++neighbors;
+        ++reachable_pairs;
+        EXPECT_DOUBLE_EQ(restricted(i, j), base(i, j));
+      }
+    }
+    EXPECT_GE(neighbors, 3u);
+  }
+  // Must actually restrict: fewer reachable pairs than the full clique.
+  EXPECT_LT(reachable_pairs, 20u * 19u);
+}
+
+class PlanetLabSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PlanetLabSizeSweep, ValidAtEverySize) {
+  util::Rng rng(GetParam());
+  const LatencyMatrix lat = PlanetLabLike(GetParam(), rng);
+  EXPECT_EQ(lat.size(), GetParam());
+  EXPECT_TRUE(lat.IsSymmetric(1e-9));
+  EXPECT_TRUE(IsShortestPathClosed(lat, 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PlanetLabSizeSweep,
+                         ::testing::Values(1, 2, 3, 5, 10, 25, 60));
+
+}  // namespace
+}  // namespace delaylb::net

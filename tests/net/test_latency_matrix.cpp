@@ -1,0 +1,99 @@
+#include "net/latency_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace delaylb::net {
+namespace {
+
+TEST(LatencyMatrix, FillConstructorZeroDiagonal) {
+  LatencyMatrix lat(4, 20.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(lat(i, i), 0.0);
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i != j) {
+        EXPECT_DOUBLE_EQ(lat(i, j), 20.0);
+      }
+    }
+  }
+}
+
+TEST(LatencyMatrix, BufferConstructorForcesDiagonal) {
+  std::vector<double> data = {5.0, 1.0, 2.0, 5.0};  // diagonal nonzero
+  LatencyMatrix lat(2, std::move(data));
+  EXPECT_DOUBLE_EQ(lat(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(lat(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(lat(0, 1), 1.0);
+}
+
+TEST(LatencyMatrix, BufferSizeMismatchThrows) {
+  EXPECT_THROW(LatencyMatrix(3, std::vector<double>(8, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(LatencyMatrix, NegativeEntryThrows) {
+  std::vector<double> data = {0.0, -1.0, 1.0, 0.0};
+  EXPECT_THROW(LatencyMatrix(2, std::move(data)), std::invalid_argument);
+  LatencyMatrix lat(2, 1.0);
+  EXPECT_THROW(lat.Set(0, 1, -2.0), std::invalid_argument);
+}
+
+TEST(LatencyMatrix, DiagonalSetNonZeroThrows) {
+  LatencyMatrix lat(2, 1.0);
+  EXPECT_THROW(lat.Set(0, 0, 3.0), std::invalid_argument);
+  EXPECT_NO_THROW(lat.Set(0, 0, 0.0));
+}
+
+TEST(LatencyMatrix, SetSymmetric) {
+  LatencyMatrix lat(3, 0.0);
+  lat.SetSymmetric(0, 2, 7.5);
+  EXPECT_DOUBLE_EQ(lat(0, 2), 7.5);
+  EXPECT_DOUBLE_EQ(lat(2, 0), 7.5);
+  EXPECT_TRUE(lat.IsSymmetric());
+}
+
+TEST(LatencyMatrix, AsymmetryDetected) {
+  LatencyMatrix lat(2, 1.0);
+  lat.Set(0, 1, 3.0);
+  EXPECT_FALSE(lat.IsSymmetric());
+}
+
+TEST(LatencyMatrix, UnreachableEntries) {
+  LatencyMatrix lat(2, 1.0);
+  lat.Set(0, 1, kUnreachable);
+  EXPECT_FALSE(lat.Reachable(0, 1));
+  EXPECT_TRUE(lat.Reachable(1, 0));
+  EXPECT_TRUE(lat.Reachable(0, 0));
+}
+
+TEST(LatencyMatrix, TriangleInequalityHomogeneousHolds) {
+  EXPECT_TRUE(LatencyMatrix(5, 20.0).SatisfiesTriangleInequality());
+}
+
+TEST(LatencyMatrix, TriangleInequalityViolationDetected) {
+  LatencyMatrix lat(3, 1.0);
+  lat.SetSymmetric(0, 2, 10.0);  // 10 > 1 + 1
+  EXPECT_FALSE(lat.SatisfiesTriangleInequality());
+}
+
+TEST(LatencyMatrix, MeanAndMaxOffDiagonal) {
+  LatencyMatrix lat(3, 2.0);
+  lat.SetSymmetric(0, 1, 4.0);
+  EXPECT_DOUBLE_EQ(lat.MaxOffDiagonal(), 4.0);
+  EXPECT_NEAR(lat.MeanOffDiagonal(), (4.0 * 2 + 2.0 * 4) / 6.0, 1e-12);
+}
+
+TEST(LatencyMatrix, MeanSkipsUnreachable) {
+  LatencyMatrix lat(2, 5.0);
+  lat.Set(0, 1, kUnreachable);
+  EXPECT_DOUBLE_EQ(lat.MeanOffDiagonal(), 5.0);  // only (1,0) remains
+}
+
+TEST(LatencyMatrix, EmptyMatrix) {
+  LatencyMatrix lat;
+  EXPECT_EQ(lat.size(), 0u);
+  EXPECT_DOUBLE_EQ(lat.MeanOffDiagonal(), 0.0);
+  EXPECT_TRUE(lat.IsSymmetric());
+}
+
+}  // namespace
+}  // namespace delaylb::net

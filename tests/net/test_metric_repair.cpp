@@ -1,0 +1,85 @@
+#include "net/metric_repair.h"
+
+#include <gtest/gtest.h>
+
+#include "net/generators.h"
+#include "util/rng.h"
+
+namespace delaylb::net {
+namespace {
+
+TEST(MetricRepair, CompletesMissingEntryThroughRelay) {
+  LatencyMatrix lat(3, kUnreachable);
+  lat.SetSymmetric(0, 1, 2.0);
+  lat.SetSymmetric(1, 2, 3.0);
+  const LatencyMatrix fixed = CompleteByShortestPaths(lat);
+  EXPECT_DOUBLE_EQ(fixed(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(fixed(2, 0), 5.0);
+}
+
+TEST(MetricRepair, ShortensViolatingEntry) {
+  LatencyMatrix lat(3, 0.0);
+  lat.SetSymmetric(0, 1, 1.0);
+  lat.SetSymmetric(1, 2, 1.0);
+  lat.SetSymmetric(0, 2, 10.0);  // should become 2 via node 1
+  const LatencyMatrix fixed = CompleteByShortestPaths(lat);
+  EXPECT_DOUBLE_EQ(fixed(0, 2), 2.0);
+  EXPECT_TRUE(IsShortestPathClosed(fixed));
+}
+
+TEST(MetricRepair, AlreadyClosedUnchanged) {
+  LatencyMatrix lat(4, 20.0);
+  const LatencyMatrix fixed = CompleteByShortestPaths(lat);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(fixed(i, j), lat(i, j));
+    }
+  }
+}
+
+TEST(MetricRepair, DisconnectedStaysUnreachable) {
+  LatencyMatrix lat(4, kUnreachable);
+  lat.SetSymmetric(0, 1, 1.0);
+  lat.SetSymmetric(2, 3, 1.0);
+  const LatencyMatrix fixed = CompleteByShortestPaths(lat);
+  EXPECT_FALSE(fixed.Reachable(0, 2));
+  EXPECT_FALSE(fixed.Reachable(1, 3));
+  EXPECT_DOUBLE_EQ(fixed(0, 1), 1.0);
+}
+
+TEST(MetricRepair, DiagonalStaysZero) {
+  LatencyMatrix lat(3, 5.0);
+  const LatencyMatrix fixed = CompleteByShortestPaths(lat);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(fixed(i, i), 0.0);
+}
+
+TEST(MetricRepair, IsShortestPathClosedDetectsViolation) {
+  LatencyMatrix lat(3, 0.0);
+  lat.SetSymmetric(0, 1, 1.0);
+  lat.SetSymmetric(1, 2, 1.0);
+  lat.SetSymmetric(0, 2, 10.0);
+  EXPECT_FALSE(IsShortestPathClosed(lat));
+}
+
+TEST(MetricRepair, RandomMatricesCloseUnderRepair) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    util::Rng rng(seed);
+    LatencyMatrix lat(12, 0.0);
+    for (std::size_t i = 0; i < 12; ++i) {
+      for (std::size_t j = i + 1; j < 12; ++j) {
+        lat.SetSymmetric(i, j, rng.uniform(1.0, 100.0));
+      }
+    }
+    const LatencyMatrix fixed = CompleteByShortestPaths(lat);
+    EXPECT_TRUE(IsShortestPathClosed(fixed, 1e-9));
+    // Completion can only shrink entries.
+    for (std::size_t i = 0; i < 12; ++i) {
+      for (std::size_t j = 0; j < 12; ++j) {
+        EXPECT_LE(fixed(i, j), lat(i, j) + 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace delaylb::net

@@ -1,0 +1,89 @@
+#include "opt/bellman_ford.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace delaylb::opt {
+namespace {
+
+TEST(BellmanFord, NoCycleOnDag) {
+  const std::vector<Edge> edges = {{0, 1, 1.0}, {1, 2, 2.0}, {0, 2, 5.0}};
+  const auto r = FindNegativeCycle(3, edges);
+  EXPECT_FALSE(r.negative_cycle.has_value());
+}
+
+TEST(BellmanFord, PositiveCycleNotReported) {
+  const std::vector<Edge> edges = {{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}};
+  EXPECT_FALSE(FindNegativeCycle(3, edges).negative_cycle.has_value());
+}
+
+TEST(BellmanFord, ZeroCycleNotReported) {
+  const std::vector<Edge> edges = {{0, 1, 2.0}, {1, 0, -2.0}};
+  EXPECT_FALSE(FindNegativeCycle(2, edges).negative_cycle.has_value());
+}
+
+TEST(BellmanFord, SimpleNegativeCycleFound) {
+  const std::vector<Edge> edges = {{0, 1, 1.0}, {1, 2, -3.0}, {2, 0, 1.0}};
+  const auto r = FindNegativeCycle(3, edges);
+  ASSERT_TRUE(r.negative_cycle.has_value());
+  const std::set<std::size_t> nodes(r.negative_cycle->begin(),
+                                    r.negative_cycle->end());
+  EXPECT_EQ(nodes.size(), 3u);
+}
+
+TEST(BellmanFord, CycleWeightIsActuallyNegative) {
+  const std::vector<Edge> edges = {{0, 1, 4.0},  {1, 2, -2.0}, {2, 3, -3.0},
+                                   {3, 1, 4.5},  {3, 0, 1.0},  {2, 0, 2.0}};
+  const auto r = FindNegativeCycle(4, edges);
+  ASSERT_TRUE(r.negative_cycle.has_value());
+  // Sum the weights along the reported cycle.
+  const auto& cycle = *r.negative_cycle;
+  double total = 0.0;
+  for (std::size_t k = 0; k < cycle.size(); ++k) {
+    const std::size_t from = cycle[k];
+    const std::size_t to = cycle[(k + 1) % cycle.size()];
+    double best = 1e18;
+    for (const Edge& e : edges) {
+      if (e.from == from && e.to == to) best = std::min(best, e.weight);
+    }
+    ASSERT_LT(best, 1e18) << "cycle uses a non-existent edge";
+    total += best;
+  }
+  EXPECT_LT(total, 0.0);
+}
+
+TEST(BellmanFord, DisconnectedNegativeCycleStillFound) {
+  // Component {3,4} holds the cycle; super-source reaches everything.
+  const std::vector<Edge> edges = {
+      {0, 1, 1.0}, {3, 4, -1.0}, {4, 3, 0.5}};
+  const auto r = FindNegativeCycle(5, edges);
+  ASSERT_TRUE(r.negative_cycle.has_value());
+  const std::set<std::size_t> nodes(r.negative_cycle->begin(),
+                                    r.negative_cycle->end());
+  EXPECT_TRUE(nodes.count(3));
+  EXPECT_TRUE(nodes.count(4));
+}
+
+TEST(BellmanFord, SelfLoopNegative) {
+  const std::vector<Edge> edges = {{1, 1, -0.5}};
+  const auto r = FindNegativeCycle(2, edges);
+  ASSERT_TRUE(r.negative_cycle.has_value());
+  EXPECT_EQ(r.negative_cycle->size(), 1u);
+  EXPECT_EQ((*r.negative_cycle)[0], 1u);
+}
+
+TEST(BellmanFord, ToleranceSuppressesNoise) {
+  // Tiny negative cycle below tolerance must not be reported.
+  const std::vector<Edge> edges = {{0, 1, 1.0}, {1, 0, -1.0 - 1e-12}};
+  EXPECT_FALSE(
+      FindNegativeCycle(2, edges, 1e-9).negative_cycle.has_value());
+}
+
+TEST(BellmanFord, EmptyGraph) {
+  EXPECT_FALSE(FindNegativeCycle(0, {}).negative_cycle.has_value());
+  EXPECT_FALSE(FindNegativeCycle(5, {}).negative_cycle.has_value());
+}
+
+}  // namespace
+}  // namespace delaylb::opt

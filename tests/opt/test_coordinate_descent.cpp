@@ -1,0 +1,110 @@
+#include "opt/coordinate_descent.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "core/mine.h"
+#include "core/qp_form.h"
+#include "testing/instances.h"
+
+namespace delaylb::opt {
+namespace {
+
+TEST(CoordinateDescent, MatchesMinEOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const core::Instance inst = testing::RandomInstance(10, seed);
+    const core::Allocation cd =
+        core::SolveCentralizedCoordinateDescent(inst);
+    const core::Allocation mine = core::SolveWithMinE(inst, {}, 300, 1e-13);
+    const double c_cd = core::TotalCost(inst, cd);
+    const double c_mine = core::TotalCost(inst, mine);
+    EXPECT_NEAR(c_cd, c_mine, 2e-3 * c_mine) << "seed " << seed;
+  }
+}
+
+TEST(CoordinateDescent, MatchesProjectedGradient) {
+  const core::Instance inst = testing::RandomInstance(8, 11);
+  opt::ProjectedGradientOptions pg_options;
+  pg_options.max_iterations = 30000;
+  const double pg =
+      core::TotalCost(inst, core::SolveCentralized(inst, pg_options));
+  const double cd = core::TotalCost(
+      inst, core::SolveCentralizedCoordinateDescent(inst));
+  EXPECT_NEAR(cd, pg, 2e-3 * pg);
+}
+
+TEST(CoordinateDescent, TwoServerClosedForm) {
+  // 10 requests at server 0, c = 4: cooperative optimum splits (7, 3).
+  const core::Instance inst = testing::TwoServers(1.0, 1.0, 10.0, 0.0, 4.0);
+  const core::Allocation opt =
+      core::SolveCentralizedCoordinateDescent(inst);
+  EXPECT_NEAR(opt.load(0), 7.0, 1e-6);
+  EXPECT_NEAR(opt.load(1), 3.0, 1e-6);
+}
+
+TEST(CoordinateDescent, MonotoneRounds) {
+  const core::Instance inst = testing::RandomInstance(12, 3);
+  const BlockQpModel model = core::MakeBlockQpModel(inst);
+  const core::Allocation start(inst);
+  std::vector<double> x = core::VectorFromAllocation(start);
+  double previous = core::TotalCost(inst, start);
+  for (int round = 0; round < 5; ++round) {
+    CoordinateDescentOptions options;
+    options.max_rounds = 1;
+    const CoordinateDescentResult r = SolveCoordinateDescent(model, x, options);
+    EXPECT_LE(r.value, previous + 1e-7 * previous);
+    previous = r.value;
+    x = r.x;
+  }
+}
+
+TEST(CoordinateDescent, ConvergesFlagSet) {
+  const core::Instance inst = testing::RandomInstance(6, 7);
+  const BlockQpModel model = core::MakeBlockQpModel(inst);
+  const core::Allocation start(inst);
+  const CoordinateDescentResult r =
+      SolveCoordinateDescent(model, core::VectorFromAllocation(start));
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.rounds, 2000u);
+}
+
+TEST(CoordinateDescent, RespectsUnreachablePairs) {
+  net::LatencyMatrix lat(3, 1.0);
+  lat.Set(0, 2, net::kUnreachable);
+  const core::Instance inst({1.0, 1.0, 1.0}, {30.0, 0.0, 0.0},
+                            std::move(lat));
+  const core::Allocation opt =
+      core::SolveCentralizedCoordinateDescent(inst);
+  EXPECT_DOUBLE_EQ(opt.r(0, 2), 0.0);
+  EXPECT_TRUE(opt.Valid(inst));
+}
+
+TEST(CoordinateDescent, ShapeMismatchThrows) {
+  BlockQpModel model;
+  model.m = 2;
+  model.speeds = {1.0, 1.0};
+  model.row_totals = {1.0};  // wrong size
+  model.latencies = std::vector<double>(4, 0.0);
+  EXPECT_THROW(
+      SolveCoordinateDescent(model, std::vector<double>(4, 0.25)),
+      std::invalid_argument);
+}
+
+TEST(CoordinateDescent, SocialVsSelfishIntercepts) {
+  // The cooperative row solve spreads less aggressively than the selfish
+  // one onto loaded servers (factor-2 intercept): with server 1 heavily
+  // loaded by others, CD sends less there than the selfish best response.
+  net::LatencyMatrix lat(3, 0.0);
+  const core::Instance inst({1.0, 1.0, 1.0}, {12.0, 30.0, 0.0},
+                            std::move(lat));
+  // Freeze org 1's requests on server 1.
+  const core::Allocation cd = core::SolveCentralizedCoordinateDescent(inst);
+  // Cooperative optimum equalizes *marginal* costs l_j/s_j; with total 42
+  // over 3 unit-speed servers: loads (14, 14, 14).
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(cd.load(j), 14.0, 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace delaylb::opt

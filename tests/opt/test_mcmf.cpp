@@ -1,0 +1,139 @@
+#include "opt/mcmf.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace delaylb::opt {
+namespace {
+
+TEST(Mcmf, SingleEdge) {
+  MinCostMaxFlow flow(2);
+  flow.AddEdge(0, 1, 5.0, 2.0);
+  const auto r = flow.Solve(0, 1);
+  EXPECT_DOUBLE_EQ(r.flow, 5.0);
+  EXPECT_DOUBLE_EQ(r.cost, 10.0);
+}
+
+TEST(Mcmf, PrefersCheapPath) {
+  // Two parallel paths: cheap with capacity 3, expensive with capacity 10.
+  MinCostMaxFlow flow(4);
+  flow.AddEdge(0, 1, 3.0, 1.0);
+  flow.AddEdge(1, 3, 3.0, 0.0);
+  flow.AddEdge(0, 2, 10.0, 5.0);
+  flow.AddEdge(2, 3, 10.0, 0.0);
+  const auto r = flow.Solve(0, 3);
+  EXPECT_DOUBLE_EQ(r.flow, 13.0);
+  EXPECT_DOUBLE_EQ(r.cost, 3.0 * 1.0 + 10.0 * 5.0);
+}
+
+TEST(Mcmf, FlowOnReportsPerEdge) {
+  MinCostMaxFlow flow(3);
+  const std::size_t cheap = flow.AddEdge(0, 1, 4.0, 1.0);
+  const std::size_t last = flow.AddEdge(1, 2, 2.0, 0.0);
+  flow.Solve(0, 2);
+  EXPECT_DOUBLE_EQ(flow.flow_on(last), 2.0);
+  EXPECT_DOUBLE_EQ(flow.flow_on(cheap), 2.0);  // bottleneck limits it
+}
+
+TEST(Mcmf, DisconnectedHasZeroFlow) {
+  MinCostMaxFlow flow(4);
+  flow.AddEdge(0, 1, 5.0, 1.0);
+  flow.AddEdge(2, 3, 5.0, 1.0);
+  const auto r = flow.Solve(0, 3);
+  EXPECT_DOUBLE_EQ(r.flow, 0.0);
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+}
+
+TEST(Mcmf, TransportationProblemOptimal) {
+  // 2 suppliers (10, 5), 2 consumers (8, 7); costs:
+  //   s0->c0: 1, s0->c1: 4, s1->c0: 6, s1->c1: 2.
+  // Optimum: s0 sends 8 to c0 (8), 2 to c1 (8); s1 sends 5 to c1 (10).
+  MinCostMaxFlow flow(6);
+  const std::size_t src = 4, sink = 5;
+  flow.AddEdge(src, 0, 10.0, 0.0);
+  flow.AddEdge(src, 1, 5.0, 0.0);
+  flow.AddEdge(2, sink, 8.0, 0.0);
+  flow.AddEdge(3, sink, 7.0, 0.0);
+  const std::size_t e00 = flow.AddEdge(0, 2, 100.0, 1.0);
+  const std::size_t e01 = flow.AddEdge(0, 3, 100.0, 4.0);
+  const std::size_t e10 = flow.AddEdge(1, 2, 100.0, 6.0);
+  const std::size_t e11 = flow.AddEdge(1, 3, 100.0, 2.0);
+  const auto r = flow.Solve(src, sink);
+  EXPECT_DOUBLE_EQ(r.flow, 15.0);
+  EXPECT_DOUBLE_EQ(r.cost, 8.0 * 1.0 + 2.0 * 4.0 + 5.0 * 2.0);
+  EXPECT_DOUBLE_EQ(flow.flow_on(e00), 8.0);
+  EXPECT_DOUBLE_EQ(flow.flow_on(e01), 2.0);
+  EXPECT_DOUBLE_EQ(flow.flow_on(e10), 0.0);
+  EXPECT_DOUBLE_EQ(flow.flow_on(e11), 5.0);
+}
+
+TEST(Mcmf, FractionalCapacities) {
+  MinCostMaxFlow flow(3);
+  flow.AddEdge(0, 1, 0.75, 1.0);
+  flow.AddEdge(1, 2, 0.5, 1.0);
+  const auto r = flow.Solve(0, 2);
+  EXPECT_NEAR(r.flow, 0.5, 1e-9);
+  EXPECT_NEAR(r.cost, 1.0, 1e-9);
+}
+
+TEST(Mcmf, RejectsNegativeInputs) {
+  MinCostMaxFlow flow(2);
+  EXPECT_THROW(flow.AddEdge(0, 1, -1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(flow.AddEdge(0, 1, 1.0, -2.0), std::invalid_argument);
+  EXPECT_THROW(flow.AddEdge(0, 5, 1.0, 0.0), std::invalid_argument);
+}
+
+// Random transportation instances: MCMF cost must match a brute-force over
+// discretized assignments... instead we check optimality via complementary
+// slackness-style bound: cost <= cost of any feasible greedy assignment.
+TEST(Mcmf, NeverWorseThanGreedyOnRandomInstances) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 4;
+    std::vector<double> supply(n), demand(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      supply[i] = rng.uniform(1.0, 10.0);
+      total += supply[i];
+    }
+    double left = total;
+    for (std::size_t j = 0; j + 1 < n; ++j) {
+      demand[j] = rng.uniform(0.0, left);
+      left -= demand[j];
+    }
+    demand[n - 1] = left;
+    std::vector<double> cost(n * n);
+    for (double& c : cost) c = rng.uniform(0.0, 9.0);
+
+    MinCostMaxFlow flow(2 * n + 2);
+    const std::size_t src = 2 * n, sink = 2 * n + 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      flow.AddEdge(src, i, supply[i], 0.0);
+      flow.AddEdge(n + i, sink, demand[i], 0.0);
+      for (std::size_t j = 0; j < n; ++j) {
+        flow.AddEdge(i, n + j, total, cost[i * n + j]);
+      }
+    }
+    const auto r = flow.Solve(src, sink);
+    EXPECT_NEAR(r.flow, total, 1e-6);
+
+    // Greedy feasible baseline: fill demands in order from suppliers in
+    // order.
+    double greedy_cost = 0.0;
+    std::vector<double> s_left = supply;
+    for (std::size_t j = 0; j < n; ++j) {
+      double need = demand[j];
+      for (std::size_t i = 0; i < n && need > 1e-12; ++i) {
+        const double take = std::min(need, s_left[i]);
+        greedy_cost += take * cost[i * n + j];
+        s_left[i] -= take;
+        need -= take;
+      }
+    }
+    EXPECT_LE(r.cost, greedy_cost + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace delaylb::opt

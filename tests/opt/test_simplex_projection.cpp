@@ -1,0 +1,127 @@
+#include "opt/simplex_projection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace delaylb::opt {
+namespace {
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(SimplexProjection, AlreadyFeasibleIsFixed) {
+  const std::vector<double> x = {0.2, 0.3, 0.5};
+  const auto p = ProjectToSimplex(x, 1.0);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(p[i], x[i], 1e-12);
+}
+
+TEST(SimplexProjection, SumConstraintHolds) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> x(10);
+    for (double& v : x) v = rng.uniform(-5.0, 5.0);
+    const double z = rng.uniform(0.1, 10.0);
+    const auto p = ProjectToSimplex(x, z);
+    EXPECT_NEAR(Sum(p), z, 1e-9);
+    for (double v : p) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(SimplexProjection, NegativeInputClampsToVertexMass) {
+  const std::vector<double> x = {-1.0, -2.0, 5.0};
+  const auto p = ProjectToSimplex(x, 1.0);
+  EXPECT_NEAR(p[2], 1.0, 1e-12);
+  EXPECT_NEAR(p[0], 0.0, 1e-12);
+}
+
+TEST(SimplexProjection, ProjectionIsIdempotent) {
+  util::Rng rng(2);
+  std::vector<double> x(8);
+  for (double& v : x) v = rng.uniform(-3.0, 3.0);
+  const auto p1 = ProjectToSimplex(x, 2.0);
+  const auto p2 = ProjectToSimplex(p1, 2.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(p1[i], p2[i], 1e-9);
+  }
+}
+
+// Optimality: for a Euclidean projection p of x, <x - p, q - p> <= 0 for
+// every feasible q. Check against random feasible points.
+TEST(SimplexProjection, VariationalInequalityHolds) {
+  util::Rng rng(3);
+  std::vector<double> x(6);
+  for (double& v : x) v = rng.uniform(-2.0, 2.0);
+  const auto p = ProjectToSimplex(x, 1.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> q(6);
+    double total = 0.0;
+    for (double& v : q) {
+      v = rng.uniform(0.0, 1.0);
+      total += v;
+    }
+    for (double& v : q) v /= total;  // feasible point
+    double inner = 0.0;
+    for (std::size_t i = 0; i < 6; ++i) {
+      inner += (x[i] - p[i]) * (q[i] - p[i]);
+    }
+    EXPECT_LE(inner, 1e-9);
+  }
+}
+
+TEST(SimplexProjection, ZeroTotal) {
+  const std::vector<double> x = {1.0, 2.0};
+  const auto p = ProjectToSimplex(x, 0.0);
+  EXPECT_NEAR(Sum(p), 0.0, 1e-12);
+}
+
+TEST(SimplexProjection, NegativeTotalThrows) {
+  EXPECT_THROW(ProjectToSimplex(std::vector<double>{1.0}, -1.0),
+               std::invalid_argument);
+}
+
+TEST(CappedSimplex, RespectsCapAndSum) {
+  util::Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> x(10);
+    for (double& v : x) v = rng.uniform(-2.0, 4.0);
+    const double cap = 0.3;
+    const double z = 2.0;
+    const auto p = ProjectToCappedSimplex(x, z, cap);
+    EXPECT_NEAR(Sum(p), z, 1e-9);
+    for (double v : p) {
+      EXPECT_GE(v, -1e-12);
+      EXPECT_LE(v, cap + 1e-9);
+    }
+  }
+}
+
+TEST(CappedSimplex, InfeasibleThrows) {
+  const std::vector<double> x = {1.0, 1.0};
+  EXPECT_THROW(ProjectToCappedSimplex(x, 3.0, 1.0), std::invalid_argument);
+}
+
+TEST(CappedSimplex, CapBindingDistributesEvenly) {
+  // All coordinates hit the cap when z == cap * n.
+  const std::vector<double> x = {5.0, -1.0, 0.3};
+  const auto p = ProjectToCappedSimplex(x, 1.5, 0.5);
+  for (double v : p) EXPECT_NEAR(v, 0.5, 1e-9);
+}
+
+TEST(CappedSimplex, MatchesUncappedWhenCapLoose) {
+  util::Rng rng(5);
+  std::vector<double> x(7);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  const auto capped = ProjectToCappedSimplex(x, 1.0, 100.0);
+  const auto plain = ProjectToSimplex(x, 1.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(capped[i], plain[i], 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace delaylb::opt

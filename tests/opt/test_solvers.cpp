@@ -1,0 +1,156 @@
+// Projected gradient and Frank-Wolfe on synthetic simplex QPs with known
+// optima, plus cross-checks between the two solvers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "opt/frank_wolfe.h"
+#include "opt/projected_gradient.h"
+#include "opt/simplex_projection.h"
+#include "util/rng.h"
+
+namespace delaylb::opt {
+namespace {
+
+/// min sum_i (x_i - t_i)^2 over the simplex (rows = 1): classic projection
+/// problem whose optimum is ProjectToSimplex(t).
+SimplexQpProblem TargetProblem(std::vector<double> target) {
+  SimplexQpProblem p;
+  p.rows = 1;
+  p.cols = target.size();
+  p.row_totals = {1.0};
+  auto t = std::make_shared<std::vector<double>>(std::move(target));
+  p.value = [t](std::span<const double> x) {
+    double v = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      v += (x[i] - (*t)[i]) * (x[i] - (*t)[i]);
+    }
+    return v;
+  };
+  p.gradient = [t](std::span<const double> x, std::span<double> g) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      g[i] = 2.0 * (x[i] - (*t)[i]);
+    }
+  };
+  p.curvature = [](std::span<const double> d) {
+    double c = 0.0;
+    for (double v : d) c += 2.0 * v * v;
+    return c;
+  };
+  p.lipschitz = 2.0;
+  return p;
+}
+
+TEST(ProjectedGradient, SolvesProjectionProblem) {
+  const std::vector<double> target = {0.5, 0.4, -0.2, 0.6};
+  const SimplexQpProblem p = TargetProblem(target);
+  const std::vector<double> x0 = {0.25, 0.25, 0.25, 0.25};
+  const SolveResult r = SolveProjectedGradient(p, x0);
+  EXPECT_TRUE(r.converged);
+  // Optimum = Euclidean projection of target onto the simplex.
+  const auto expected = ProjectToSimplex(target, 1.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(r.x[i], expected[i], 1e-5);
+  }
+}
+
+TEST(ProjectedGradient, RespectsMask) {
+  SimplexQpProblem p = TargetProblem({0.9, 0.9, 0.1});
+  p.allowed = {1, 0, 1};  // middle coordinate pinned to zero
+  const std::vector<double> x0 = {0.5, 0.0, 0.5};
+  const SolveResult r = SolveProjectedGradient(p, x0);
+  EXPECT_DOUBLE_EQ(r.x[1], 0.0);
+  EXPECT_NEAR(r.x[0] + r.x[2], 1.0, 1e-9);
+}
+
+TEST(ProjectedGradient, MomentumAndPlainAgree) {
+  const SimplexQpProblem p = TargetProblem({0.1, 0.7, 0.3, -0.5, 0.8});
+  const std::vector<double> x0(5, 0.2);
+  ProjectedGradientOptions plain;
+  plain.use_momentum = false;
+  plain.max_iterations = 20000;
+  const SolveResult a = SolveProjectedGradient(p, x0);
+  const SolveResult b = SolveProjectedGradient(p, x0, plain);
+  EXPECT_NEAR(a.value, b.value, 1e-6);
+}
+
+TEST(ProjectedGradient, ShapeMismatchThrows) {
+  const SimplexQpProblem p = TargetProblem({0.5, 0.5});
+  EXPECT_THROW(SolveProjectedGradient(p, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(FrankWolfe, SolvesProjectionProblem) {
+  const std::vector<double> target = {0.3, 0.3, 0.2, 0.2};
+  const SimplexQpProblem p = TargetProblem(target);
+  const std::vector<double> x0 = {1.0, 0.0, 0.0, 0.0};
+  const FrankWolfeResult r = SolveFrankWolfe(p, x0);
+  EXPECT_TRUE(r.converged);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(r.x[i], target[i], 1e-4);  // target is interior => optimum
+  }
+}
+
+TEST(FrankWolfe, DualityGapCertifiesOptimality) {
+  const SimplexQpProblem p = TargetProblem({0.6, 0.1, 0.2});
+  const std::vector<double> x0 = {1.0 / 3, 1.0 / 3, 1.0 / 3};
+  FrankWolfeOptions options;
+  options.gap_tolerance = 1e-10;
+  const FrankWolfeResult r = SolveFrankWolfe(p, x0, options);
+  EXPECT_LE(r.duality_gap, 1e-9);
+}
+
+TEST(FrankWolfe, RequiresCurvature) {
+  SimplexQpProblem p = TargetProblem({0.5, 0.5});
+  p.curvature = nullptr;
+  EXPECT_THROW(SolveFrankWolfe(p, std::vector<double>{0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(Solvers, AgreeOnRandomQuadratics) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> target(6);
+    for (double& t : target) t = rng.uniform(-1.0, 1.0);
+    const SimplexQpProblem p = TargetProblem(target);
+    const std::vector<double> x0(6, 1.0 / 6);
+    const SolveResult pg = SolveProjectedGradient(p, x0);
+    const FrankWolfeResult fw = SolveFrankWolfe(p, x0);
+    EXPECT_NEAR(pg.value, fw.value, 1e-4);
+  }
+}
+
+TEST(Solvers, MultiRowProblem) {
+  // Two independent rows with different totals.
+  SimplexQpProblem p;
+  p.rows = 2;
+  p.cols = 2;
+  p.row_totals = {1.0, 4.0};
+  p.value = [](std::span<const double> x) {
+    // min (x00 - 1)^2 + x01^2 + x10^2 + (x11 - 4)^2
+    return (x[0] - 1.0) * (x[0] - 1.0) + x[1] * x[1] + x[2] * x[2] +
+           (x[3] - 4.0) * (x[3] - 4.0);
+  };
+  p.gradient = [](std::span<const double> x, std::span<double> g) {
+    g[0] = 2.0 * (x[0] - 1.0);
+    g[1] = 2.0 * x[1];
+    g[2] = 2.0 * x[2];
+    g[3] = 2.0 * (x[3] - 4.0);
+  };
+  p.curvature = [](std::span<const double> d) {
+    double c = 0.0;
+    for (double v : d) c += 2.0 * v * v;
+    return c;
+  };
+  p.lipschitz = 2.0;
+  const std::vector<double> x0 = {0.5, 0.5, 2.0, 2.0};
+  const SolveResult r = SolveProjectedGradient(p, x0);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-5);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-5);
+  EXPECT_NEAR(r.x[2], 0.0, 1e-5);
+  EXPECT_NEAR(r.x[3], 4.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace delaylb::opt

@@ -1,0 +1,139 @@
+#include "opt/waterfill.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace delaylb::opt {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double Objective(const std::vector<double>& x,
+                 const std::vector<double>& s,
+                 const std::vector<double>& a) {
+  double total = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (x[j] > 0.0) total += x[j] * x[j] / (2.0 * s[j]) + a[j] * x[j];
+  }
+  return total;
+}
+
+TEST(Waterfill, SingleServerTakesAll) {
+  const auto r = Waterfill(std::vector<double>{2.0},
+                           std::vector<double>{3.0}, 10.0);
+  ASSERT_EQ(r.x.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.x[0], 10.0);
+}
+
+TEST(Waterfill, SymmetricSplitsEvenly) {
+  const std::vector<double> s = {1.0, 1.0};
+  const std::vector<double> a = {0.0, 0.0};
+  const auto r = Waterfill(s, a, 8.0);
+  EXPECT_NEAR(r.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 4.0, 1e-9);
+}
+
+TEST(Waterfill, ExpensiveServerGetsNothingWhenLoadSmall) {
+  const std::vector<double> s = {1.0, 1.0};
+  const std::vector<double> a = {0.0, 100.0};
+  const auto r = Waterfill(s, a, 1.0);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-12);
+}
+
+TEST(Waterfill, KktStationarityOnActiveSet) {
+  const std::vector<double> s = {1.0, 2.0, 4.0};
+  const std::vector<double> a = {1.0, 2.0, 0.5};
+  const auto r = Waterfill(s, a, 20.0);
+  for (std::size_t j = 0; j < 3; ++j) {
+    if (r.x[j] > 1e-9) {
+      EXPECT_NEAR(r.x[j] / s[j] + a[j], r.lambda, 1e-6);
+    } else {
+      EXPECT_GE(a[j], r.lambda - 1e-9);
+    }
+  }
+}
+
+TEST(Waterfill, ConstraintSumHolds) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 2 + rng.below(10);
+    std::vector<double> s(n), a(n);
+    for (auto& v : s) v = rng.uniform(0.5, 5.0);
+    for (auto& v : a) v = rng.uniform(0.0, 10.0);
+    const double total = rng.uniform(0.1, 100.0);
+    const auto r = Waterfill(s, a, total);
+    EXPECT_NEAR(std::accumulate(r.x.begin(), r.x.end(), 0.0), total,
+                1e-6 * total);
+    for (double v : r.x) EXPECT_GE(v, -1e-12);
+  }
+}
+
+// The closed form must beat (or match) every random feasible point.
+TEST(Waterfill, BeatsRandomFeasiblePoints) {
+  util::Rng rng(2);
+  const std::vector<double> s = {1.0, 3.0, 2.0, 0.5};
+  const std::vector<double> a = {2.0, 1.0, 4.0, 0.0};
+  const double total = 12.0;
+  const auto r = Waterfill(s, a, total);
+  const double best = Objective(r.x, s, a);
+  EXPECT_NEAR(best, r.objective, 1e-9);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> q(4);
+    double qs = 0.0;
+    for (double& v : q) {
+      v = rng.uniform(0.0, 1.0);
+      qs += v;
+    }
+    for (double& v : q) v *= total / qs;
+    EXPECT_GE(Objective(q, s, a), best - 1e-6);
+  }
+}
+
+TEST(Waterfill, UnreachableServersExcluded) {
+  const std::vector<double> s = {1.0, 1.0, 1.0};
+  const std::vector<double> a = {1.0, kInf, 2.0};
+  const auto r = Waterfill(s, a, 10.0);
+  EXPECT_DOUBLE_EQ(r.x[1], 0.0);
+  EXPECT_NEAR(r.x[0] + r.x[2], 10.0, 1e-9);
+}
+
+TEST(Waterfill, AllUnreachableThrows) {
+  const std::vector<double> s = {1.0, 1.0};
+  const std::vector<double> a = {kInf, kInf};
+  EXPECT_THROW(Waterfill(s, a, 1.0), std::invalid_argument);
+}
+
+TEST(Waterfill, ZeroTotalIsZeroVector) {
+  const auto r = Waterfill(std::vector<double>{1.0, 2.0},
+                           std::vector<double>{0.0, 0.0}, 0.0);
+  EXPECT_DOUBLE_EQ(r.x[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.x[1], 0.0);
+}
+
+TEST(Waterfill, NegativeTotalThrows) {
+  EXPECT_THROW(Waterfill(std::vector<double>{1.0},
+                         std::vector<double>{0.0}, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Waterfill, SizeMismatchThrows) {
+  EXPECT_THROW(Waterfill(std::vector<double>{1.0, 2.0},
+                         std::vector<double>{0.0}, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Waterfill, FasterServerTakesMoreAtEqualIntercepts) {
+  const std::vector<double> s = {1.0, 4.0};
+  const std::vector<double> a = {0.0, 0.0};
+  const auto r = Waterfill(s, a, 10.0);
+  EXPECT_NEAR(r.x[1] / r.x[0], 4.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace delaylb::opt

@@ -1,0 +1,80 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace delaylb::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  q.Push({5.0, 1, 0, 0, 0.0});
+  q.Push({1.0, 2, 0, 0, 0.0});
+  q.Push({3.0, 3, 0, 0, 0.0});
+  EXPECT_EQ(q.Pop().type, 2);
+  EXPECT_EQ(q.Pop().type, 3);
+  EXPECT_EQ(q.Pop().type, 1);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueue, FifoTieBreak) {
+  EventQueue q;
+  q.Push({2.0, 10, 0, 0, 0.0});
+  q.Push({2.0, 20, 0, 0, 0.0});
+  q.Push({2.0, 30, 0, 0, 0.0});
+  EXPECT_EQ(q.Pop().type, 10);
+  EXPECT_EQ(q.Pop().type, 20);
+  EXPECT_EQ(q.Pop().type, 30);
+}
+
+TEST(EventQueue, NowAdvancesOnPop) {
+  EventQueue q;
+  q.Push({7.5, 1, 0, 0, 0.0});
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  q.Pop();
+  EXPECT_DOUBLE_EQ(q.now(), 7.5);
+}
+
+TEST(EventQueue, PeekTimeWithoutPop) {
+  EventQueue q;
+  EXPECT_TRUE(std::isinf(q.PeekTime()));
+  q.Push({4.0, 1, 0, 0, 0.0});
+  EXPECT_DOUBLE_EQ(q.PeekTime(), 4.0);
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(EventQueue, PayloadRoundTrip) {
+  EventQueue q;
+  q.Push({1.0, 9, 123, 456, 3.14});
+  const SimEvent e = q.Pop();
+  EXPECT_EQ(e.a, 123u);
+  EXPECT_EQ(e.b, 456u);
+  EXPECT_DOUBLE_EQ(e.x, 3.14);
+}
+
+TEST(EventQueue, ProcessedCounter) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.Push({static_cast<double>(i), 0, 0, 0, 0.0});
+  while (!q.Empty()) q.Pop();
+  EXPECT_EQ(q.processed(), 10u);
+}
+
+TEST(EventQueue, RandomStressSorted) {
+  EventQueue q;
+  util::Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    q.Push({rng.uniform(0.0, 1000.0), 0, 0, 0, 0.0});
+  }
+  double last = -1.0;
+  while (!q.Empty()) {
+    const double t = q.Pop().time;
+    EXPECT_GE(t, last);
+    last = t;
+  }
+}
+
+}  // namespace
+}  // namespace delaylb::sim

@@ -1,0 +1,81 @@
+#include "sim/link.h"
+
+#include <gtest/gtest.h>
+
+namespace delaylb::sim {
+namespace {
+
+TEST(FifoLink, IdleLinkTransmitsImmediately) {
+  FifoLink link(1000.0);  // 1 MB/s
+  const auto dep = link.Transmit(10.0, 500.0);
+  ASSERT_TRUE(dep.has_value());
+  EXPECT_DOUBLE_EQ(*dep, 10.5);  // 500 bytes / 1000 bytes-per-ms
+}
+
+TEST(FifoLink, BackToBackPacketsQueue) {
+  FifoLink link(100.0);
+  EXPECT_DOUBLE_EQ(*link.Transmit(0.0, 100.0), 1.0);
+  // Arrives while the first is still serializing: queues behind it.
+  EXPECT_DOUBLE_EQ(*link.Transmit(0.5, 100.0), 2.0);
+  EXPECT_DOUBLE_EQ(*link.Transmit(5.0, 100.0), 6.0);  // idle again
+}
+
+TEST(FifoLink, BacklogMeasuresQueueing) {
+  FifoLink link(100.0);
+  link.Transmit(0.0, 1000.0);  // busy until t=10
+  EXPECT_DOUBLE_EQ(link.Backlog(4.0), 6.0);
+  EXPECT_DOUBLE_EQ(link.Backlog(20.0), 0.0);
+}
+
+TEST(FifoLink, DropsWhenBufferFull) {
+  FifoLink link(100.0, /*buffer_bytes=*/150.0);
+  EXPECT_TRUE(link.Transmit(0.0, 100.0).has_value());
+  // 100 bytes still queued at t=0 (transmission takes 1ms); adding 100
+  // would exceed the 150-byte buffer.
+  EXPECT_FALSE(link.Transmit(0.0, 100.0).has_value());
+  EXPECT_EQ(link.dropped(), 1u);
+  // After the queue drains, transmission succeeds again.
+  EXPECT_TRUE(link.Transmit(2.0, 100.0).has_value());
+}
+
+TEST(FifoLink, StatsAccumulate) {
+  FifoLink link(100.0);
+  link.Transmit(0.0, 50.0);
+  link.Transmit(0.0, 50.0);
+  EXPECT_EQ(link.packets(), 2u);
+  EXPECT_DOUBLE_EQ(link.bytes(), 100.0);
+  EXPECT_GT(link.max_backlog(), 0.0);
+}
+
+TEST(FifoLink, InvalidParametersThrow) {
+  EXPECT_THROW(FifoLink(0.0), std::invalid_argument);
+  EXPECT_THROW(FifoLink(-5.0), std::invalid_argument);
+  EXPECT_THROW(FifoLink(1.0, 0.0), std::invalid_argument);
+  FifoLink link(1.0);
+  EXPECT_THROW(link.Transmit(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(FifoLink, UtilizationBelowCapacityNoQueueGrowth) {
+  // Inject at 50% utilization: the backlog stays bounded by one packet.
+  FifoLink link(1000.0);
+  double t = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    link.Transmit(t, 500.0);  // 0.5 ms to serialize
+    t += 1.0;                 // arrivals every 1 ms
+  }
+  EXPECT_LE(link.max_backlog(), 0.5 + 1e-9);
+}
+
+TEST(FifoLink, OverloadGrowsQueueLinearly) {
+  FifoLink link(1000.0);
+  double t = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    link.Transmit(t, 2000.0);  // 2 ms to serialize, arriving every 1 ms
+    t += 1.0;
+  }
+  // Queue builds ~1 ms per packet.
+  EXPECT_GT(link.max_backlog(), 900.0);
+}
+
+}  // namespace
+}  // namespace delaylb::sim

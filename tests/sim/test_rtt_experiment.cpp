@@ -1,0 +1,127 @@
+// The Appendix-B RTT experiment on the packet simulator (Table IV shape).
+#include "sim/rtt_experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "net/generators.h"
+#include "util/rng.h"
+
+namespace delaylb::sim {
+namespace {
+
+RttExperimentParams SmallParams() {
+  RttExperimentParams p;
+  p.servers = 12;
+  p.neighbors = 3;
+  p.probes = 40;
+  p.probe_interval_ms = 5.0;
+  return p;
+}
+
+net::LatencyMatrix SmallNet(std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  return net::PlanetLabLike(12, rng);
+}
+
+TEST(RttExperiment, PairsFixedAcrossLevels) {
+  const net::LatencyMatrix lat = SmallNet();
+  const RttExperiment exp(lat, SmallParams());
+  EXPECT_EQ(exp.pairs().size(), 12u * 3u);
+  for (const auto& [src, dst] : exp.pairs()) {
+    EXPECT_NE(src, dst);
+    EXPECT_LT(src, 12u);
+    EXPECT_LT(dst, 12u);
+  }
+}
+
+TEST(RttExperiment, TooSmallLatencyMatrixThrows) {
+  const net::LatencyMatrix lat = SmallNet();
+  RttExperimentParams p = SmallParams();
+  p.servers = 50;
+  EXPECT_THROW(RttExperiment(lat, p), std::invalid_argument);
+}
+
+TEST(RttExperiment, IdleNetworkRttMatchesPropagation) {
+  const net::LatencyMatrix lat = SmallNet();
+  RttExperimentParams params = SmallParams();
+  params.probe_jitter_ms = 0.0;  // isolate the propagation path
+  const RttExperiment exp(lat, params);
+  const ThroughputRun run = exp.Run(0.0);  // no background traffic
+  for (const PairSamples& pair : run.pairs) {
+    ASSERT_FALSE(pair.rtts_ms.empty());
+    // RTT ~ propagation both ways (= the matrix RTT) + tiny serialization.
+    EXPECT_NEAR(pair.mean(), lat(pair.src, pair.dst), 1.0);
+  }
+}
+
+TEST(RttExperiment, LightLoadDoesNotDisturbRtt) {
+  // Like the paper's Table IV, individual pairs deviate by up to tens of
+  // percent even at light load (sigma ~ 0.2-0.3 in the paper); it is the
+  // aggregate (trimmed mean) that stays near zero below saturation.
+  const net::LatencyMatrix lat = SmallNet();
+  const RttExperiment exp(lat, SmallParams());
+  const ThroughputRun base = exp.Run(10.0);    // 10 KB/s
+  const ThroughputRun light = exp.Run(100.0);  // 100 KB/s
+  double sum_rel = 0.0;
+  for (std::size_t p = 0; p < base.pairs.size(); ++p) {
+    sum_rel += (light.pairs[p].mean() - base.pairs[p].mean()) /
+               base.pairs[p].mean();
+  }
+  EXPECT_LT(std::abs(sum_rel) / static_cast<double>(base.pairs.size()),
+            0.05);
+}
+
+TEST(RttExperiment, SaturationInflatesRtt) {
+  const net::LatencyMatrix lat = SmallNet();
+  RttExperimentParams params = SmallParams();
+  const RttExperiment exp(lat, params);
+  const ThroughputRun base = exp.Run(10.0);
+  // 2 MB/s per flow with 3 flows = 6 MB/s >> the 1.25 MB/s access links.
+  const ThroughputRun heavy = exp.Run(2000.0);
+  double mean_rel = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t p = 0; p < base.pairs.size(); ++p) {
+    if (heavy.pairs[p].rtts_ms.empty()) continue;
+    mean_rel += (heavy.pairs[p].mean() - base.pairs[p].mean()) /
+                base.pairs[p].mean();
+    ++counted;
+  }
+  ASSERT_GT(counted, 0u);
+  EXPECT_GT(mean_rel / counted, 0.2);
+}
+
+TEST(RttExperiment, TableShapeMatchesPaper) {
+  // mu ~ 0 below saturation, grows past it; ANOVA agrees.
+  const net::LatencyMatrix lat = SmallNet();
+  const RttExperiment exp(lat, SmallParams());
+  const std::vector<double> levels = {10.0, 50.0, 200.0, 2000.0};
+  const auto rows = exp.Table(levels);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_NEAR(rows[0].mu, 0.0, 1e-9);  // baseline vs itself
+  EXPECT_LT(std::abs(rows[1].mu), 0.05);
+  EXPECT_GT(rows[3].mu, 0.2);
+  EXPECT_GE(rows[1].anova_constant_fraction,
+            rows[3].anova_constant_fraction);
+}
+
+TEST(RttExperiment, DeterministicPerSeed) {
+  const net::LatencyMatrix lat = SmallNet();
+  const RttExperiment exp(lat, SmallParams());
+  const ThroughputRun a = exp.Run(100.0);
+  const ThroughputRun b = exp.Run(100.0);
+  ASSERT_EQ(a.pairs.size(), b.pairs.size());
+  for (std::size_t p = 0; p < a.pairs.size(); ++p) {
+    EXPECT_EQ(a.pairs[p].rtts_ms, b.pairs[p].rtts_ms);
+  }
+}
+
+TEST(RttExperiment, EventCountsScaleWithThroughput) {
+  const net::LatencyMatrix lat = SmallNet();
+  const RttExperiment exp(lat, SmallParams());
+  const ThroughputRun low = exp.Run(10.0);
+  const ThroughputRun high = exp.Run(500.0);
+  EXPECT_GT(high.events_processed, low.events_processed);
+}
+
+}  // namespace
+}  // namespace delaylb::sim

@@ -1,0 +1,74 @@
+#pragma once
+// Shared instance builders and numeric oracles for the test suite.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/cost.h"
+#include "core/instance.h"
+#include "core/workload.h"
+#include "net/generators.h"
+#include "util/rng.h"
+
+namespace delaylb::testing {
+
+/// A tiny 2-server instance with hand-checkable numbers.
+inline core::Instance TwoServers(double s1 = 1.0, double s2 = 1.0,
+                                 double n1 = 10.0, double n2 = 0.0,
+                                 double c = 1.0) {
+  net::LatencyMatrix lat(2, c);
+  return core::Instance({s1, s2}, {n1, n2}, std::move(lat));
+}
+
+/// A random heterogeneous instance (PlanetLab-like latencies, U[1,5]
+/// speeds, uniform loads).
+inline core::Instance RandomInstance(std::size_t m, std::uint64_t seed,
+                                     double mean_load = 50.0) {
+  util::Rng rng(seed);
+  core::ScenarioParams params;
+  params.m = m;
+  params.mean_load = mean_load;
+  params.network = core::NetworkKind::kPlanetLab;
+  return core::MakeScenario(params, rng);
+}
+
+/// A random homogeneous instance (c = 20, equal speeds when requested).
+inline core::Instance RandomHomogeneous(std::size_t m, std::uint64_t seed,
+                                        double mean_load = 50.0,
+                                        bool constant_speeds = true) {
+  util::Rng rng(seed);
+  core::ScenarioParams params;
+  params.m = m;
+  params.mean_load = mean_load;
+  params.network = core::NetworkKind::kHomogeneous;
+  params.constant_speeds = constant_speeds;
+  return core::MakeScenario(params, rng);
+}
+
+/// A random feasible allocation: each organization spreads its load over
+/// random servers with random weights.
+inline core::Allocation RandomAllocation(const core::Instance& instance,
+                                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::size_t m = instance.size();
+  std::vector<double> r(m * m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<double> weights(m);
+    double total = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      weights[j] = instance.latency_matrix().Reachable(i, j)
+                       ? rng.uniform(0.0, 1.0)
+                       : 0.0;
+      total += weights[j];
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      r[i * m + j] = total > 0.0
+                         ? instance.load(i) * weights[j] / total
+                         : (j == i ? instance.load(i) : 0.0);
+    }
+  }
+  return core::Allocation(instance, std::move(r), /*tol=*/1e-6);
+}
+
+}  // namespace delaylb::testing

@@ -1,0 +1,115 @@
+#include "util/anova.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace delaylb::util {
+namespace {
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, SymmetricCaseIsHalf) {
+  // I_{1/2}(a, a) = 1/2 for any a.
+  for (double a : {0.5, 1.0, 2.0, 10.0}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(a, a, 0.5), 0.5, 1e-10);
+  }
+}
+
+TEST(IncompleteBeta, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.25, 0.7, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(FDistribution, KnownCriticalValue) {
+  // F(1, 10): P(F >= 4.9646) ~ 0.05 (standard table value).
+  EXPECT_NEAR(FDistributionSf(4.9646, 1.0, 10.0), 0.05, 0.002);
+}
+
+TEST(FDistribution, LargeStatisticSmallP) {
+  EXPECT_LT(FDistributionSf(100.0, 3.0, 30.0), 1e-6);
+}
+
+TEST(FDistribution, ZeroStatisticIsOne) {
+  EXPECT_DOUBLE_EQ(FDistributionSf(0.0, 2.0, 10.0), 1.0);
+}
+
+TEST(Anova, IdenticalGroupsDoNotReject) {
+  Rng rng(1);
+  std::vector<std::vector<double>> groups(4);
+  for (auto& g : groups) {
+    for (int i = 0; i < 50; ++i) g.push_back(rng.normal(10.0, 2.0));
+  }
+  const AnovaResult r = OneWayAnova(groups);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(Anova, ShiftedGroupRejects) {
+  Rng rng(2);
+  std::vector<std::vector<double>> groups(3);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const double mean = g == 2 ? 15.0 : 10.0;  // one clearly shifted group
+    for (int i = 0; i < 50; ++i) groups[g].push_back(rng.normal(mean, 1.0));
+  }
+  const AnovaResult r = OneWayAnova(groups);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_GT(r.f_statistic, 10.0);
+}
+
+TEST(Anova, DegreesOfFreedom) {
+  std::vector<std::vector<double>> groups = {
+      {1.0, 2.0, 3.0}, {2.0, 3.0, 4.0}, {1.5, 2.5, 3.5}};
+  const AnovaResult r = OneWayAnova(groups);
+  EXPECT_DOUBLE_EQ(r.df_between, 2.0);
+  EXPECT_DOUBLE_EQ(r.df_within, 6.0);
+}
+
+TEST(Anova, EmptyGroupsIgnored) {
+  std::vector<std::vector<double>> groups = {{1.0, 2.0}, {}, {1.5, 2.5}};
+  const AnovaResult r = OneWayAnova(groups);
+  EXPECT_DOUBLE_EQ(r.df_between, 1.0);
+}
+
+TEST(Anova, FewerThanTwoGroupsDegenerates) {
+  std::vector<std::vector<double>> groups = {{1.0, 2.0, 3.0}};
+  const AnovaResult r = OneWayAnova(groups);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(Anova, ZeroWithinVarianceEqualMeans) {
+  std::vector<std::vector<double>> groups = {{2.0, 2.0}, {2.0, 2.0}};
+  EXPECT_DOUBLE_EQ(OneWayAnova(groups).p_value, 1.0);
+}
+
+TEST(Anova, ZeroWithinVarianceDifferentMeans) {
+  std::vector<std::vector<double>> groups = {{2.0, 2.0}, {3.0, 3.0}};
+  EXPECT_DOUBLE_EQ(OneWayAnova(groups).p_value, 0.0);
+}
+
+// Under the null hypothesis the p-value should be roughly uniform: check
+// the rejection rate at alpha = 0.05 is near 5%.
+TEST(Anova, FalsePositiveRateNearAlpha) {
+  Rng rng(3);
+  int rejections = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<std::vector<double>> groups(3);
+    for (auto& g : groups) {
+      for (int i = 0; i < 20; ++i) g.push_back(rng.normal(0.0, 1.0));
+    }
+    if (OneWayAnova(groups).p_value < 0.05) ++rejections;
+  }
+  const double rate = static_cast<double>(rejections) / trials;
+  EXPECT_GT(rate, 0.01);
+  EXPECT_LT(rate, 0.12);
+}
+
+}  // namespace
+}  // namespace delaylb::util

@@ -1,0 +1,59 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace delaylb::util {
+namespace {
+
+Cli Make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsSyntax) {
+  const Cli cli = Make({"--m=100", "--tol=0.02"});
+  EXPECT_EQ(cli.GetInt("m", 0), 100);
+  EXPECT_DOUBLE_EQ(cli.GetDouble("tol", 0.0), 0.02);
+}
+
+TEST(Cli, SpaceSyntax) {
+  const Cli cli = Make({"--m", "250"});
+  EXPECT_EQ(cli.GetInt("m", 0), 250);
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const Cli cli = Make({"--csv"});
+  EXPECT_TRUE(cli.Has("csv"));
+  EXPECT_TRUE(cli.GetBool("csv", false));
+}
+
+TEST(Cli, MissingFlagUsesFallback) {
+  const Cli cli = Make({});
+  EXPECT_EQ(cli.GetInt("m", 77), 77);
+  EXPECT_EQ(cli.GetString("name", "dflt"), "dflt");
+  EXPECT_FALSE(cli.GetBool("csv", false));
+}
+
+TEST(Cli, PositionalArguments) {
+  const Cli cli = Make({"--a=1", "pos1", "pos2"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.positional()[1], "pos2");
+}
+
+TEST(Cli, BoolParsesVariants) {
+  EXPECT_TRUE(Make({"--x=yes"}).GetBool("x", false));
+  EXPECT_TRUE(Make({"--x=on"}).GetBool("x", false));
+  EXPECT_TRUE(Make({"--x=1"}).GetBool("x", false));
+  EXPECT_FALSE(Make({"--x=0"}).GetBool("x", true));
+  EXPECT_FALSE(Make({"--x=no"}).GetBool("x", true));
+}
+
+TEST(Cli, StringValues) {
+  const Cli cli = Make({"--dist=peak"});
+  EXPECT_EQ(cli.GetString("dist", ""), "peak");
+}
+
+}  // namespace
+}  // namespace delaylb::util

@@ -1,0 +1,100 @@
+#include "util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace delaylb::util {
+namespace {
+
+TEST(Distributions, ParseKnownNames) {
+  EXPECT_EQ(ParseLoadDistribution("uniform"), LoadDistribution::kUniform);
+  EXPECT_EQ(ParseLoadDistribution("exp"), LoadDistribution::kExponential);
+  EXPECT_EQ(ParseLoadDistribution("exponential"),
+            LoadDistribution::kExponential);
+  EXPECT_EQ(ParseLoadDistribution("peak"), LoadDistribution::kPeak);
+}
+
+TEST(Distributions, ParseUnknownThrows) {
+  EXPECT_THROW(ParseLoadDistribution("gauss"), std::invalid_argument);
+}
+
+TEST(Distributions, ToStringRoundTrips) {
+  for (LoadDistribution d :
+       {LoadDistribution::kUniform, LoadDistribution::kExponential,
+        LoadDistribution::kPeak}) {
+    EXPECT_EQ(ParseLoadDistribution(ToString(d)), d);
+  }
+}
+
+TEST(Distributions, UniformLoadsMeanPreserved) {
+  Rng rng(1);
+  const auto loads =
+      SampleLoads(LoadDistribution::kUniform, 20000, 50.0, rng);
+  const double mean =
+      std::accumulate(loads.begin(), loads.end(), 0.0) / loads.size();
+  EXPECT_NEAR(mean, 50.0, 1.0);
+  for (double v : loads) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 100.0);
+  }
+}
+
+TEST(Distributions, ExponentialLoadsMeanPreserved) {
+  Rng rng(2);
+  const auto loads =
+      SampleLoads(LoadDistribution::kExponential, 20000, 20.0, rng);
+  const double mean =
+      std::accumulate(loads.begin(), loads.end(), 0.0) / loads.size();
+  EXPECT_NEAR(mean, 20.0, 0.6);
+}
+
+TEST(Distributions, PeakPutsEverythingOnOneServer) {
+  Rng rng(3);
+  const auto loads = SampleLoads(LoadDistribution::kPeak, 100, 1e5, rng);
+  int nonzero = 0;
+  double total = 0.0;
+  for (double v : loads) {
+    if (v > 0.0) ++nonzero;
+    total += v;
+  }
+  EXPECT_EQ(nonzero, 1);
+  EXPECT_DOUBLE_EQ(total, 1e5);
+}
+
+TEST(Distributions, PeakServerVariesWithSeed) {
+  std::set<std::size_t> peaked;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    Rng rng(seed);
+    const auto loads = SampleLoads(LoadDistribution::kPeak, 64, 1.0, rng);
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      if (loads[i] > 0.0) peaked.insert(i);
+    }
+  }
+  EXPECT_GT(peaked.size(), 5u);
+}
+
+TEST(Distributions, SpeedsWithinBounds) {
+  Rng rng(4);
+  const auto speeds = SampleSpeeds(5000, 1.0, 5.0, rng);
+  for (double s : speeds) {
+    EXPECT_GE(s, 1.0);
+    EXPECT_LT(s, 5.0);
+  }
+}
+
+TEST(Distributions, ConstantSpeeds) {
+  const auto speeds = ConstantSpeeds(7, 2.5);
+  ASSERT_EQ(speeds.size(), 7u);
+  for (double s : speeds) EXPECT_DOUBLE_EQ(s, 2.5);
+}
+
+TEST(Distributions, EmptyRequests) {
+  Rng rng(5);
+  EXPECT_TRUE(SampleLoads(LoadDistribution::kUniform, 0, 10.0, rng).empty());
+  EXPECT_TRUE(SampleSpeeds(0, 1.0, 5.0, rng).empty());
+}
+
+}  // namespace
+}  // namespace delaylb::util

@@ -1,0 +1,163 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace delaylb::util {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.5);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatesHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(13);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    hit_lo |= (v == -2);
+    hit_hi |= (v == 2);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.exponential(1.0), 0.0);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(23);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaledMoments) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(101);
+  Rng b = a.split();
+  // The split stream must not coincide with the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(37);
+  const auto p = rng.permutation(50);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  Rng rng(41);
+  std::vector<int> v = {1, 2, 2, 3, 5, 8, 13};
+  std::vector<int> original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  std::sort(original.begin(), original.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, PermutationOfZeroAndOne) {
+  Rng rng(43);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  const auto one = rng.permutation(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+}  // namespace
+}  // namespace delaylb::util

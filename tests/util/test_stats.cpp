@@ -1,0 +1,138 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace delaylb::util {
+namespace {
+
+TEST(Stats, SummarizeKnownSample) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = Summarize(xs);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.stddev, 2.0, 1e-12);  // classic textbook sample
+}
+
+TEST(Stats, EmptyInputIsZeroed) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, SingleElement) {
+  const std::vector<double> xs = {42.0};
+  const Summary s = Summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.sample_stddev, 0.0);
+}
+
+TEST(Stats, SampleStddevUsesBessel) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const Summary s = Summarize(xs);
+  EXPECT_NEAR(s.sample_stddev, 1.0, 1e-12);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 2.5);
+}
+
+TEST(Stats, TrimLargestDropsTail) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const auto trimmed = TrimLargest(xs, 0.05);
+  EXPECT_EQ(trimmed.size(), 95u);
+  EXPECT_DOUBLE_EQ(Max(trimmed), 95.0);
+}
+
+TEST(Stats, TrimZeroFractionKeepsAll) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_EQ(TrimLargest(xs, 0.0).size(), 3u);
+}
+
+TEST(Stats, AccumulatorMatchesBatch) {
+  Rng rng(9);
+  std::vector<double> xs;
+  Accumulator acc;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.normal(3.0, 7.0);
+    xs.push_back(x);
+    acc.Add(x);
+  }
+  const Summary batch = Summarize(xs);
+  const Summary streaming = acc.summary();
+  EXPECT_NEAR(batch.mean, streaming.mean, 1e-9);
+  EXPECT_NEAR(batch.stddev, streaming.stddev, 1e-9);
+  EXPECT_DOUBLE_EQ(batch.min, streaming.min);
+  EXPECT_DOUBLE_EQ(batch.max, streaming.max);
+}
+
+TEST(Stats, AccumulatorMergeEqualsSequential) {
+  Rng rng(10);
+  Accumulator whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    whole.Add(x);
+    (i % 2 == 0 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_NEAR(whole.mean(), left.mean(), 1e-9);
+  EXPECT_NEAR(whole.variance(), left.variance(), 1e-9);
+  EXPECT_EQ(whole.count(), left.count());
+}
+
+TEST(Stats, MergeWithEmptySides) {
+  Accumulator a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  Accumulator a_copy = a;
+  a.Merge(b);  // no-op
+  EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+  b.Merge(a);  // adopt
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+class StatsVarianceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StatsVarianceSweep, WelfordMatchesTwoPass) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> xs;
+  Accumulator acc;
+  const int n = 100 + GetParam() * 37;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(2.0) + 1000.0;  // offset stresses fp
+    xs.push_back(x);
+    acc.Add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= n;
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= n;
+  EXPECT_NEAR(acc.variance(), var, 1e-6 * var + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsVarianceSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace delaylb::util

@@ -1,0 +1,72 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace delaylb::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.Row().Cell("alpha").Cell(1.5, 1);
+  t.Row().Cell("beta").Cell(std::int64_t{42});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.Row().Cell("x").Cell("y").Cell("z");
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, CellWithoutRowStartsOne) {
+  Table t({"a"});
+  t.Cell("implicit");
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"k", "v"});
+  t.Row().Cell("with,comma").Cell("with\"quote");
+  std::ostringstream oss;
+  t.PrintCsv(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainFieldsUnquoted) {
+  Table t({"k"});
+  t.Row().Cell("plain");
+  std::ostringstream oss;
+  t.PrintCsv(oss);
+  EXPECT_EQ(oss.str(), "k\nplain\n");
+}
+
+TEST(Table, FormatDoubleFixed) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 3), "2.000");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(Table, ColumnsAlignAcrossRows) {
+  Table t({"x", "longheader"});
+  t.Row().Cell("verylongcell").Cell("1");
+  t.Row().Cell("s").Cell("2");
+  std::istringstream lines(t.ToString());
+  std::string first, second;
+  std::getline(lines, first);
+  std::getline(lines, second);  // rule
+  std::getline(lines, second);
+  EXPECT_EQ(first.size(), second.size());
+}
+
+}  // namespace
+}  // namespace delaylb::util
