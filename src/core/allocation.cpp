@@ -9,10 +9,12 @@ namespace delaylb::core {
 Allocation::Allocation(const Instance& instance)
     : m_(instance.size()),
       r_(m_ * m_, 0.0),
+      col_(m_ * m_, 0.0),
       loads_(m_, 0.0),
       n_(instance.loads().begin(), instance.loads().end()) {
   for (std::size_t i = 0; i < m_; ++i) {
     r_[i * m_ + i] = n_[i];
+    col_[i * m_ + i] = n_[i];
     loads_[i] = n_[i];
   }
 }
@@ -56,6 +58,8 @@ void Allocation::Move(std::size_t k, std::size_t i, std::size_t j,
   const double moved = std::min(amount, from);
   from -= moved;
   r_[k * m_ + j] += moved;
+  col_[i * m_ + k] = from;
+  col_[j * m_ + k] = r_[k * m_ + j];
   loads_[i] -= moved;
   loads_[j] += moved;
 }
@@ -78,6 +82,7 @@ void Allocation::SetRow(std::size_t i, std::span<const double> new_row,
     const double v = std::max(0.0, new_row[j]);
     loads_[j] += v - r_[i * m_ + j];
     r_[i * m_ + j] = v;
+    col_[j * m_ + i] = v;
   }
 }
 
@@ -110,9 +115,11 @@ double Allocation::L1Distance(const Allocation& a, const Allocation& b) {
 
 void Allocation::RebuildLoads() {
   std::fill(loads_.begin(), loads_.end(), 0.0);
+  col_.resize(m_ * m_);
   for (std::size_t i = 0; i < m_; ++i) {
     for (std::size_t j = 0; j < m_; ++j) {
       loads_[j] += r_[i * m_ + j];
+      col_[j * m_ + i] = r_[i * m_ + j];
     }
   }
 }

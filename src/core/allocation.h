@@ -6,6 +6,15 @@
 // representation (the distributed algorithm moves absolute request counts)
 // and exposes rho as a derived view. Server loads l_j are maintained
 // incrementally so pairwise exchanges stay O(1) per update.
+//
+// Memory layout: the row-major r matrix is mirrored by a maintained
+// column-major copy, so both row(i) (an organization's placement) and
+// col(j) (everything running on server j) are contiguous reads. The mirror
+// is what makes PairBalancePreview O(m) per call: the pair-balance inner
+// loops stream two contiguous columns instead of gathering r(k, i) with an
+// m-element stride (one cache miss per element at paper sizes). Move
+// updates both copies in O(1); SetRow pays one strided O(m) pass to keep
+// the mirror current, which is off the hot path.
 
 #include <cstddef>
 #include <span>
@@ -51,6 +60,12 @@ class Allocation {
     return std::span<const double>(r_).subspan(i * m_, m_);
   }
 
+  /// Column j of the r matrix (all requests executed on server j), served
+  /// from the maintained column-major mirror: col(j)[k] == r(k, j).
+  std::span<const double> col(std::size_t j) const noexcept {
+    return std::span<const double>(col_).subspan(j * m_, m_);
+  }
+
   /// Moves `amount` of organization k's requests from server i to server j.
   /// Requires 0 <= amount <= r(k, i) (within a small numeric slack; the
   /// moved amount is clamped so r(k, i) never becomes negative).
@@ -69,8 +84,9 @@ class Allocation {
   /// metric on rho is this divided by loads; we report request units).
   static double L1Distance(const Allocation& a, const Allocation& b);
 
-  /// Recomputes loads from scratch (defensive; used by tests to check the
-  /// incremental maintenance).
+  /// Recomputes loads and the column-major mirror from the row-major r
+  /// matrix (defensive; used by tests to check the incremental
+  /// maintenance).
   void RebuildLoads();
 
   /// Validates internal consistency: non-negative entries, row sums equal
@@ -80,6 +96,7 @@ class Allocation {
  private:
   std::size_t m_ = 0;
   std::vector<double> r_;       // row-major m*m
+  std::vector<double> col_;     // column-major mirror of r_
   std::vector<double> loads_;   // l_j
   std::vector<double> n_;       // copy of initial loads for rho()
 };

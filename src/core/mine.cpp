@@ -1,13 +1,24 @@
 #include "core/mine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <future>
+#include <limits>
+#include <thread>
 
 #include "core/cost.h"
 #include "core/negative_cycle.h"
 
 namespace delaylb::core {
 namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Below this size the candidate fan-out is cheaper serially (unless the
+/// caller pinned an explicit thread count, which forces the parallel path —
+/// the determinism tests rely on that).
+constexpr std::size_t kParallelMinM = 64;
 
 /// Constant-time proxy for the achievable improvement between i and j: the
 /// gain of the optimal *bulk* transfer of the paper's Lemma 1 applied to the
@@ -29,33 +40,129 @@ double ProxyScore(const Instance& inst, const Allocation& alloc,
   return x * x * denom / (2.0 * s_i * s_j);
 }
 
+/// Monotone atomic max for doubles (relaxed: the value is a pruning hint,
+/// never a correctness input — see the deterministic reduction).
+void RaiseAtomicMax(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
 MinEBalancer::MinEBalancer(const Instance& instance, MinEOptions options)
-    : instance_(instance), options_(options), rng_(options.seed) {}
+    : instance_(instance), options_(options), rng_(options.seed) {
+  const std::size_t m = instance.size();
+  if (options_.use_order_cache && m > 1) {
+    cache_ = std::make_unique<PairOrderCache>(instance,
+                                              options_.order_cache_bytes);
+  }
+  std::size_t threads = options_.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, std::max<std::size_t>(1, m / 2));
+  if (threads > 1 && options_.policy == PartnerPolicy::kExact) {
+    pool_ = std::make_unique<util::ThreadPool>(threads);
+    worker_ws_.resize(threads);
+  }
+}
 
 std::size_t MinEBalancer::SelectPartner(const Allocation& alloc,
                                         std::size_t id) {
   const std::size_t m = instance_.size();
-  double best_improvement = 0.0;
-  std::size_t best = id;
+  if (options_.policy == PartnerPolicy::kExact ||
+      m <= options_.fast_candidates) {
+    return SelectPartnerExact(alloc, id);
+  }
+  return SelectPartnerFast(alloc, id);
+}
 
-  if (options_.policy == PartnerPolicy::kExact || m <= options_.fast_candidates) {
+std::size_t MinEBalancer::SelectPartnerExact(const Allocation& alloc,
+                                             std::size_t id) {
+  const std::size_t m = instance_.size();
+  const bool parallel =
+      pool_ != nullptr && (m >= kParallelMinM || options_.threads > 1);
+
+  if (!parallel) {
+    // Serial scan with branch-and-bound: each preview aborts early once its
+    // admissible upper bound cannot beat the best improvement so far. The
+    // pruning threshold is strict, so the selected partner matches an
+    // unpruned scan exactly.
+    double best_improvement = 0.0;
+    std::size_t best = id;
     for (std::size_t j = 0; j < m; ++j) {
       if (j == id) continue;
-      const double impr =
-          PairBalancePreview(instance_, alloc, id, j, ws_).improvement;
-      if (impr > best_improvement) {
-        best_improvement = impr;
+      const PairBalanceResult r = PairBalancePreview(
+          instance_, alloc, id, j, ws_, cache(), best_improvement);
+      if (!r.aborted && r.improvement > best_improvement) {
+        best_improvement = r.improvement;
         best = j;
       }
     }
     return best;
   }
 
-  // kFast: rank all partners by the O(1) proxy, evaluate the top few
-  // exactly. The proxy ignores per-organization latency structure, so a few
-  // random candidates are mixed in to avoid systematic blind spots (near
+  // Parallel scan: workers fill scores_[j] (exact improvement, or -inf for
+  // candidates pruned against the shared best-so-far), then a serial
+  // ascending-j reduction picks the earliest strict maximum. A pruned
+  // candidate's exact improvement is provably below the shared threshold
+  // at its prune time, hence below the final maximum, so pruning can never
+  // change the reduction's winner — the trace is identical to the serial
+  // scan no matter how threads interleave.
+  scores_.assign(m, kNegInf);
+  std::atomic<double> shared_best{0.0};
+  const std::size_t workers = worker_ws_.size();
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) {
+    futures.push_back(pool_->Submit([&, t] {
+      PairBalanceWorkspace& ws = worker_ws_[t];
+      const std::size_t begin = t * m / workers;
+      const std::size_t end = (t + 1) * m / workers;
+      for (std::size_t j = begin; j < end; ++j) {
+        if (j == id) continue;
+        const double threshold =
+            shared_best.load(std::memory_order_relaxed);
+        const PairBalanceResult r = PairBalancePreview(
+            instance_, alloc, id, j, ws, cache(), threshold);
+        if (r.aborted) continue;  // scores_[j] stays -inf
+        scores_[j] = r.improvement;
+        RaiseAtomicMax(shared_best, r.improvement);
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+
+  double best_improvement = 0.0;
+  std::size_t best = id;
+  for (std::size_t j = 0; j < m; ++j) {
+    if (scores_[j] > best_improvement) {
+      best_improvement = scores_[j];
+      best = j;
+    }
+  }
+  return best;
+}
+
+std::size_t MinEBalancer::SelectPartnerFast(const Allocation& alloc,
+                                            std::size_t id) {
+  const std::size_t m = instance_.size();
+  double best_improvement = 0.0;
+  std::size_t best = id;
+
+  // Per-call stamp marking candidates whose exact improvement was already
+  // computed, so the random probes below never waste an exact evaluation
+  // on a duplicate (or on id itself).
+  ++eval_epoch_;
+  eval_stamp_.resize(m, 0);
+  eval_stamp_[id] = eval_epoch_;
+
+  // Rank all partners by the O(1) proxy, evaluate the top few exactly. The
+  // proxy ignores per-organization latency structure, so a few random
+  // candidates are mixed in to avoid systematic blind spots (near
   // convergence the bulk proxy is ~0 while per-organization re-routing can
   // still help).
   candidates_.clear();
@@ -65,29 +172,41 @@ std::size_t MinEBalancer::SelectPartner(const Allocation& alloc,
     const double score = ProxyScore(instance_, alloc, id, j);
     if (score > 0.0) candidates_.emplace_back(score, j);
   }
-  const std::size_t keep = std::min(options_.fast_candidates,
-                                    candidates_.size());
-  std::partial_sort(candidates_.begin(), candidates_.begin() + keep,
-                    candidates_.end(),
-                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  const std::size_t keep =
+      std::min(options_.fast_candidates, candidates_.size());
+  std::partial_sort(
+      candidates_.begin(), candidates_.begin() + keep, candidates_.end(),
+      [](const auto& a, const auto& b) { return a.first > b.first; });
   for (std::size_t c = 0; c < keep; ++c) {
     const std::size_t j = candidates_[c].second;
-    const double impr =
-        PairBalancePreview(instance_, alloc, id, j, ws_).improvement;
-    if (impr > best_improvement) {
-      best_improvement = impr;
+    eval_stamp_[j] = eval_epoch_;
+    const PairBalanceResult r = PairBalancePreview(
+        instance_, alloc, id, j, ws_, cache(), best_improvement);
+    if (!r.aborted && r.improvement > best_improvement) {
+      best_improvement = r.improvement;
       best = j;
     }
   }
   const std::size_t random_probes =
       std::min(options_.fast_candidates / 2 + 1, m - 1);
   for (std::size_t c = 0; c < random_probes; ++c) {
-    std::size_t j = rng_.below(m - 1);
-    if (j >= id) ++j;
-    const double impr =
-        PairBalancePreview(instance_, alloc, id, j, ws_).improvement;
-    if (impr > best_improvement) {
-      best_improvement = impr;
+    // Rejection-sample a candidate not scored exactly yet; a few tries are
+    // enough in the sparse regime this path targets (m >> evaluated set).
+    std::size_t j = id;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      std::size_t probe = rng_.below(m - 1);
+      if (probe >= id) ++probe;
+      if (eval_stamp_[probe] != eval_epoch_) {
+        j = probe;
+        break;
+      }
+    }
+    if (j == id) continue;  // everything sampled was already evaluated
+    eval_stamp_[j] = eval_epoch_;
+    const PairBalanceResult r = PairBalancePreview(
+        instance_, alloc, id, j, ws_, cache(), best_improvement);
+    if (!r.aborted && r.improvement > best_improvement) {
+      best_improvement = r.improvement;
       best = j;
     }
   }
@@ -104,7 +223,7 @@ IterationStats MinEBalancer::Step(Allocation& alloc) {
     const std::size_t partner = SelectPartner(alloc, id);
     if (partner == id) continue;
     const PairBalanceResult r =
-        PairBalanceApply(instance_, alloc, id, partner, ws_);
+        PairBalanceApply(instance_, alloc, id, partner, ws_, cache());
     if (r.improvement > 0.0) {
       ++stats.balances;
       stats.transferred += r.transferred;

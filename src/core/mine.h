@@ -10,15 +10,30 @@
 // pre-filters candidates with a constant-time proxy before the exact
 // evaluation — needed for the paper's Figure 2 sizes (m up to 5000) on one
 // machine.
+//
+// Scalability of the exact policy: the engine shares a PairOrderCache
+// across all previews (each pair's sorted organization order is computed
+// once, previews are O(m) after that), prunes dominated candidates with an
+// admissible improvement upper bound (a candidate aborts in its first pass
+// once it provably cannot beat the best improvement found so far), and
+// fans the candidate evaluation out across a thread pool. Previews are
+// const on the allocation, each worker owns a private workspace, and the
+// winning partner is reduced deterministically (earliest index attaining
+// the maximum improvement) — the selected partner, and therefore the whole
+// SumC trace, is identical to a serial run for a fixed seed, regardless of
+// thread count or scheduling.
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/allocation.h"
 #include "core/instance.h"
+#include "core/pair_order_cache.h"
 #include "core/pairwise.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace delaylb::core {
 
@@ -37,6 +52,16 @@ struct MinEOptions {
   std::size_t cycle_removal_period = 0;
   /// Seed for the per-iteration random server order.
   std::uint64_t seed = 1;
+  /// Worker threads for kExact partner selection: 0 = one per hardware
+  /// thread, 1 = serial. The result is identical either way (deterministic
+  /// reduction); this only trades wall-clock for cores.
+  std::size_t threads = 0;
+  /// Share a PairOrderCache across previews (memoized per-pair sort
+  /// orders). Disable to reproduce the uncached per-call sort.
+  bool use_order_cache = true;
+  /// Retention budget for the order cache; orders beyond it are recomputed
+  /// per call instead of cached.
+  std::size_t order_cache_bytes = PairOrderCache::kDefaultMaxBytes;
 };
 
 /// Statistics of one engine iteration.
@@ -78,14 +103,30 @@ class MinEBalancer {
   /// Best partner for `id` under the configured policy; returns id itself
   /// when no partner improves.
   std::size_t SelectPartner(const Allocation& alloc, std::size_t id);
+  std::size_t SelectPartnerExact(const Allocation& alloc, std::size_t id);
+  std::size_t SelectPartnerFast(const Allocation& alloc, std::size_t id);
+
+  /// Shared order cache (null when disabled).
+  const PairOrderCache* cache() const noexcept { return cache_.get(); }
 
   const Instance& instance_;
   MinEOptions options_;
   util::Rng rng_;
   PairBalanceWorkspace ws_;
   std::size_t iteration_ = 0;
-  // kFast scratch: (score, candidate) pairs.
+  std::unique_ptr<PairOrderCache> cache_;
+  // Parallel kExact selection: pool + one workspace per worker, plus the
+  // per-candidate improvement table consumed by the deterministic
+  // reduction (-inf marks pruned candidates).
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::vector<PairBalanceWorkspace> worker_ws_;
+  std::vector<double> scores_;
+  // kFast scratch: (score, candidate) pairs and the per-call stamp that
+  // marks candidates already evaluated exactly (so random probes do not
+  // re-score them).
   std::vector<std::pair<double, std::size_t>> candidates_;
+  std::vector<std::uint64_t> eval_stamp_;
+  std::uint64_t eval_epoch_ = 0;
 };
 
 /// One-call convenience: runs MinE from the identity allocation until

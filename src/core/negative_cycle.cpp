@@ -22,12 +22,13 @@ bool HasNegativeCycle(const Instance& instance, const Allocation& alloc,
   std::vector<opt::Edge> edges;
   edges.reserve(2 * m * m);
   for (std::size_t i = 0; i < m; ++i) {
+    const std::span<const double> row = alloc.row(i);
     for (std::size_t j = 0; j < m; ++j) {
       const double c = instance.latency(i, j);  // c_ii == 0: "run at home"
       if (std::isfinite(c)) {
         edges.push_back({i, m + j, c});
       }
-      if (alloc.r(i, j) > kFlowEps && std::isfinite(c)) {
+      if (row[j] > kFlowEps && std::isfinite(c)) {
         edges.push_back({m + j, i, -c});
       }
     }
@@ -53,8 +54,9 @@ CycleRemovalResult RemoveNegativeCycles(const Instance& instance,
   double relayed = 0.0;
   double old_comm = 0.0;
   for (std::size_t i = 0; i < m; ++i) {
+    const std::span<const double> row = alloc.row(i);
     for (std::size_t j = 0; j < m; ++j) {
-      const double r = alloc.r(i, j);
+      const double r = row[j];
       if (r <= 0.0) continue;
       out[i] += r;
       in[j] += r;

@@ -1,0 +1,94 @@
+#include "core/pair_order_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <numeric>
+#include <utility>
+
+namespace delaylb::core {
+
+PairOrderCache::PairOrderCache(const Instance& instance,
+                               std::size_t max_bytes)
+    : m_(instance.size()), max_bytes_(max_bytes), lat_cols_(m_ * m_, 0.0) {
+  for (std::size_t k = 0; k < m_; ++k) {
+    for (std::size_t j = 0; j < m_; ++j) {
+      lat_cols_[j * m_ + k] = instance.latency(k, j);
+    }
+  }
+}
+
+bool PairOrderCache::ComputeOrder(std::size_t i, std::size_t j,
+                                  std::vector<std::uint32_t>& out) const {
+  out.resize(m_);
+  std::iota(out.begin(), out.end(), 0u);
+  const double* c_i = lat_cols_.data() + i * m_;
+  const double* c_j = lat_cols_.data() + j * m_;
+  const auto key = [c_i, c_j](std::uint32_t k) { return c_j[k] - c_i[k]; };
+  // Organizations with a non-finite key (at least one endpoint
+  // unreachable: the key is +/-inf or inf - inf = NaN) can never be moved
+  // by Algorithm 1 and are skipped by its movable() filter, so their
+  // position is irrelevant — but a NaN inside the comparator would violate
+  // strict weak ordering and slip past the adjacent-equality tie scan.
+  // Sort only the finite-keyed prefix; park the rest at the tail.
+  const auto finite_end = std::partition(
+      out.begin(), out.end(),
+      [&key](std::uint32_t k) { return std::isfinite(key(k)); });
+  std::sort(out.begin(), finite_end,
+            [&key](std::uint32_t a, std::uint32_t b) {
+              return key(a) < key(b);
+            });
+  for (auto it = out.begin() + 1; it < finite_end; ++it) {
+    if (key(*(it - 1)) == key(*it)) return false;
+  }
+  return true;
+}
+
+PairOrderCache::Order PairOrderCache::order(
+    std::size_t i, std::size_t j,
+    std::vector<std::uint32_t>& scratch) const {
+  Order result;
+  result.reversed = i > j;
+  const std::size_t lo = std::min(i, j);
+  const std::size_t hi = std::max(i, j);
+  const std::uint64_t key = static_cast<std::uint64_t>(lo) * m_ + hi;
+  {
+    std::shared_lock lock(mutex_);
+    auto it = orders_.find(key);
+    if (it != orders_.end()) {
+      result.indices = it->second;  // empty for tie-marked pairs
+      return result;
+    }
+  }
+  const bool tie_free = ComputeOrder(lo, hi, scratch);
+  // Tie-marked pairs are remembered as an empty entry (so the sort is not
+  // repeated on every lookup just to rediscover the tie); they are charged
+  // a nominal node overhead so a tie-heavy instance still respects the
+  // budget.
+  const std::size_t entry_bytes =
+      tie_free ? m_ * sizeof(std::uint32_t) + 64 : 64;
+  if (bytes_used_.load(std::memory_order_relaxed) + entry_bytes <=
+      max_bytes_) {
+    std::unique_lock lock(mutex_);
+    // Re-check under the lock: concurrent first-touch inserts could all
+    // have passed the unlocked read and pushed past the budget otherwise.
+    if (bytes_used_.load(std::memory_order_relaxed) + entry_bytes <=
+        max_bytes_) {
+      auto [it, inserted] = orders_.try_emplace(key);
+      if (inserted) {
+        bytes_used_.fetch_add(entry_bytes, std::memory_order_relaxed);
+        if (tie_free) {
+          it->second = scratch;  // copy: scratch stays usable for caller
+        } else {
+          tie_pairs_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      result.indices = it->second;
+      return result;
+    }
+  }
+  if (tie_free) result.indices = scratch;
+  return result;
+}
+
+}  // namespace delaylb::core

@@ -1,0 +1,115 @@
+#pragma once
+// Memoized per-pair organization orderings for the pair-balance hot path.
+//
+// Algorithm 1 processes organizations in ascending order of the latency
+// advantage c_kj - c_ki. That key depends only on the (immutable) instance
+// latencies and the server pair (i, j) — never on the allocation — so the
+// O(m log m) sort inside every PairBalancePreview can be paid once per pair
+// and reused for the rest of the run. With the order cached (and the
+// column-major Allocation mirror providing contiguous r columns), a preview
+// is a pure O(m) streaming pass.
+//
+// The cache stores one full ordering of [0, m) per *unordered* pair
+// {i, j}: the ordering for (j, i) is the exact reverse of the ordering for
+// (i, j) because the sort key negates when the roles swap. Orderings are
+// computed lazily on first use, are safe to request from concurrent
+// threads (partner selection fans previews out across a thread pool), and
+// respect a byte budget — beyond it, orders are computed into the caller's
+// scratch buffer instead of being retained, so memory stays bounded at
+// m = 5000 scale where the full table would not fit.
+//
+// Exact key ties (common on shortest-path-completed latency matrices,
+// where c_kj - c_ki can coincide exactly across organizations) make the
+// sorted order ambiguous; a memoized full-range order would then pick tie
+// winners differently from the per-call subset sort it replaces and
+// perturb results within floating-point noise. To keep the engine
+// bit-for-bit reproducible, the cache detects ties when it first sorts a
+// pair and marks that pair as uncacheable — callers fall back to the
+// per-call sort, preserving the exact legacy ordering. Tie-free pairs
+// (the overwhelming majority) have a unique sorted order, so the cached
+// result is identical to what any correct per-call sort would produce.
+//
+// The cache also keeps a column-major (transposed) copy of the latency
+// matrix so the preview reads latencies c_*i / c_*j as contiguous spans
+// rather than m-strided gathers.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace delaylb::core {
+
+/// Lazily computed, thread-safe table of per-pair organization orderings.
+class PairOrderCache {
+ public:
+  /// Default retention budget for cached orderings (bytes).
+  static constexpr std::size_t kDefaultMaxBytes = std::size_t{1} << 30;
+
+  /// Builds the transposed latency table (O(m^2)); orderings themselves are
+  /// computed on demand. The instance must outlive the cache.
+  explicit PairOrderCache(const Instance& instance,
+                          std::size_t max_bytes = kDefaultMaxBytes);
+
+  std::size_t size() const noexcept { return m_; }
+
+  /// Latency column j as a contiguous span: lat_col(j)[k] == c(k, j).
+  std::span<const double> lat_col(std::size_t j) const noexcept {
+    return std::span<const double>(lat_cols_).subspan(j * m_, m_);
+  }
+
+  /// An ordering of all organizations [0, m) for the ordered pair (i, j).
+  struct Order {
+    /// Canonical ascending order; EMPTY when the pair's sort keys contain
+    /// exact ties (the caller must sort per call to preserve the legacy
+    /// tie order) — check before use.
+    std::span<const std::uint32_t> indices;
+    /// When true, iterate `indices` back-to-front: the span is stored for
+    /// the canonical pair (min(i,j), max(i,j)) and the requested direction
+    /// reverses the sort key.
+    bool reversed = false;
+  };
+
+  /// Returns the ordering for (i, j): iterating it (respecting `reversed`)
+  /// visits organizations in ascending c_kj - c_ki. Thread-safe. `scratch`
+  /// is used when the ordering is not retained (budget exhausted); the
+  /// returned span then aliases it. An empty `indices` span means the pair
+  /// has tied keys and must be sorted per call.
+  Order order(std::size_t i, std::size_t j,
+              std::vector<std::uint32_t>& scratch) const;
+
+  /// Pairs found to contain exact key ties so far (diagnostic).
+  std::size_t tie_pairs() const noexcept {
+    return tie_pairs_.load(std::memory_order_relaxed);
+  }
+
+  /// Bytes currently retained by cached orderings.
+  std::size_t bytes_used() const noexcept {
+    return bytes_used_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Fills `out` with [0, m) sorted ascending by c_kj - c_ki (key-only
+  /// comparator, matching the uncached sort in BalanceColumns). Returns
+  /// false when two keys compare exactly equal (ambiguous order).
+  bool ComputeOrder(std::size_t i, std::size_t j,
+                    std::vector<std::uint32_t>& out) const;
+
+  std::size_t m_ = 0;
+  std::size_t max_bytes_ = kDefaultMaxBytes;
+  std::vector<double> lat_cols_;  // column-major latencies, m*m
+  mutable std::atomic<std::size_t> bytes_used_{0};
+  mutable std::atomic<std::size_t> tie_pairs_{0};
+  mutable std::shared_mutex mutex_;
+  // Keyed by i * m + j for the canonical pair i < j. Element buffers are
+  // never mutated after insertion, so spans into them stay valid.
+  mutable std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>
+      orders_;
+};
+
+}  // namespace delaylb::core

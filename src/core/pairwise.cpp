@@ -32,14 +32,62 @@ PairBalanceResult BalanceColumns(const ColumnBalanceInput& input,
   const double s_i = input.s_i;
   const double s_j = input.s_j;
 
+  // Phase 0 (read-only): pair totals plus an admissible upper bound on the
+  // achievable improvement. The bound is the sum of (a) the processing
+  // gain of a perfect speed-weighted split of the pooled load and (b) the
+  // communication gain of every organization running its whole pool at its
+  // cheaper endpoint — each part individually unreachable in general, so
+  // their sum dominates any feasible balance (Lemma 2 improvement).
+  double old_li = 0.0;
+  double old_lj = 0.0;
+  double old_comm = 0.0;
+  double comm_lb = 0.0;
+  for (std::size_t k = 0; k < m; ++k) {
+    const double rki = input.r_i[k];
+    const double rkj = input.r_j[k];
+    const double c_ki = input.c_i[k];
+    const double c_kj = input.c_j[k];
+    old_li += rki;
+    old_lj += rkj;
+    old_comm += CommCost(rki, c_ki) + CommCost(rkj, c_kj);
+    const double pool = rki + rkj;
+    if (pool == 0.0) continue;
+    const bool can_i = std::isfinite(c_ki);
+    const bool can_j = std::isfinite(c_kj);
+    if (can_i && can_j) {
+      comm_lb += pool * std::min(c_ki, c_kj);
+    } else if (can_i) {
+      comm_lb += pool * c_ki;
+    } else if (can_j) {
+      comm_lb += pool * c_kj;
+    } else {
+      comm_lb += CommCost(rki, c_ki) + CommCost(rkj, c_kj);
+    }
+  }
+  const double pooled = old_li + old_lj;
+  const double proc_ub = old_li * old_li / (2.0 * s_i) +
+                         old_lj * old_lj / (2.0 * s_j) -
+                         pooled * pooled / (2.0 * (s_i + s_j));
+  const double improvement_ub = proc_ub + (old_comm - comm_lb);
+  // Small slack so floating-point noise in the bound can never prune a
+  // candidate whose exact improvement still beats the threshold.
+  const double slack =
+      1e-9 * (1.0 + std::fabs(input.abort_below));
+  if (improvement_ub < input.abort_below - slack) {
+    result.aborted = true;
+    result.improvement = improvement_ub;
+    result.new_load_i = old_li;
+    result.new_load_j = old_lj;
+    return result;
+  }
+
   ws.pool.resize(m);
   ws.new_rki.resize(m);
   ws.new_rkj.resize(m);
   ws.order.clear();
-
-  double old_li = 0.0;
-  double old_lj = 0.0;
-  double old_comm = 0.0;
+  std::span<const std::uint32_t> presorted = input.presorted;
+  bool presorted_reversed = input.presorted_reversed;
+  bool use_presorted = !presorted.empty();
 
   // Phase 1 (Algorithm 1, first loop): pool each organization's requests
   // currently on i or j, virtually placing everything on i. Organizations
@@ -51,9 +99,6 @@ PairBalanceResult BalanceColumns(const ColumnBalanceInput& input,
     const double rkj = input.r_j[k];
     const double c_ki = input.c_i[k];
     const double c_kj = input.c_j[k];
-    old_li += rki;
-    old_lj += rkj;
-    old_comm += CommCost(rki, c_ki) + CommCost(rkj, c_kj);
     const double pool = rki + rkj;
     ws.pool[k] = pool;
     if (pool == 0.0) {
@@ -67,7 +112,7 @@ PairBalanceResult BalanceColumns(const ColumnBalanceInput& input,
       ws.new_rki[k] = pool;
       ws.new_rkj[k] = 0.0;
       li += pool;
-      ws.order.push_back(k);
+      if (!use_presorted) ws.order.push_back(k);  // the movable subset
     } else if (can_i) {
       ws.new_rki[k] = pool;
       ws.new_rkj[k] = 0.0;
@@ -85,16 +130,34 @@ PairBalanceResult BalanceColumns(const ColumnBalanceInput& input,
     }
   }
 
-  // Phase 2: sort by latency advantage of j over i, ascending; the smaller
-  // c_kj - c_ki, the more profitable it is to run k's requests on j.
-  std::sort(ws.order.begin(), ws.order.end(),
-            [&](std::size_t a, std::size_t b) {
-              return (input.c_j[a] - input.c_i[a]) <
-                     (input.c_j[b] - input.c_i[b]);
-            });
+  // Phase 2: order organizations by the latency advantage of j over i,
+  // ascending; the smaller c_kj - c_ki, the more profitable it is to run
+  // k's requests on j. The key depends only on the immutable latencies, so
+  // a PairOrderCache can memoize it — but a memoized full-range order only
+  // beats re-sorting when the movable subset is large (early in a run each
+  // column holds a handful of organizations and the subset sort is nearly
+  // free, while the one-off full sort is m log m). The cutoff decides
+  // per call, after phase 1 revealed the subset size; both paths visit
+  // identical sequences (tie-marked pairs always take the per-call sort).
+  constexpr std::size_t kMemoMinSubset = 48;
+  if (!use_presorted && input.order_cache != nullptr &&
+      ws.order.size() >= kMemoMinSubset) {
+    const PairOrderCache::Order ord = input.order_cache->order(
+        input.cache_i, input.cache_j, ws.order_scratch);
+    presorted = ord.indices;  // empty for tie-marked pairs
+    presorted_reversed = ord.reversed;
+    use_presorted = !presorted.empty();
+  }
+  if (!use_presorted) {
+    std::sort(ws.order.begin(), ws.order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return (input.c_j[a] - input.c_i[a]) <
+                       (input.c_j[b] - input.c_i[b]);
+              });
+  }
 
   // Phase 3 (Algorithm 1, second loop): per organization, apply Lemma 1.
-  for (std::size_t k : ws.order) {
+  auto apply_lemma1 = [&](std::size_t k) {
     const double unclamped = OptimalTransferUnclamped(
         s_i, s_j, li, lj, input.c_i[k], input.c_j[k]);
     const double dr = std::min(unclamped, ws.new_rki[k]);
@@ -104,6 +167,27 @@ PairBalanceResult BalanceColumns(const ColumnBalanceInput& input,
       li -= dr;
       lj += dr;
     }
+  };
+  if (use_presorted) {
+    // The presorted span covers all of [0, m); organizations that are not
+    // pooled-and-movable are skipped inline (same set phase 1 would have
+    // pushed into ws.order).
+    auto movable = [&](std::size_t k) {
+      return ws.pool[k] > 0.0 && std::isfinite(input.c_i[k]) &&
+             std::isfinite(input.c_j[k]);
+    };
+    if (presorted_reversed) {
+      for (std::size_t idx = presorted.size(); idx-- > 0;) {
+        const std::size_t k = presorted[idx];
+        if (movable(k)) apply_lemma1(k);
+      }
+    } else {
+      for (const std::uint32_t k : presorted) {
+        if (movable(k)) apply_lemma1(k);
+      }
+    }
+  } else {
+    for (std::size_t k : ws.order) apply_lemma1(k);
   }
 
   // Improvement = old pair contribution - new pair contribution. All other
@@ -129,6 +213,14 @@ PairBalanceResult PairBalancePreview(const Instance& instance,
                                      const Allocation& alloc, std::size_t i,
                                      std::size_t j,
                                      PairBalanceWorkspace& ws) {
+  return PairBalancePreview(instance, alloc, i, j, ws, nullptr);
+}
+
+PairBalanceResult PairBalancePreview(const Instance& instance,
+                                     const Allocation& alloc, std::size_t i,
+                                     std::size_t j, PairBalanceWorkspace& ws,
+                                     const PairOrderCache* cache,
+                                     double abort_below) {
   const std::size_t m = instance.size();
   if (i == j || m == 0) {
     PairBalanceResult result;
@@ -136,30 +228,43 @@ PairBalanceResult PairBalancePreview(const Instance& instance,
     result.new_load_j = m ? alloc.load(j) : 0.0;
     return result;
   }
-  ws.col_i.resize(m);
-  ws.col_j.resize(m);
-  ws.lat_i.resize(m);
-  ws.lat_j.resize(m);
-  for (std::size_t k = 0; k < m; ++k) {
-    ws.col_i[k] = alloc.r(k, i);
-    ws.col_j[k] = alloc.r(k, j);
-    ws.lat_i[k] = instance.latency(k, i);
-    ws.lat_j[k] = instance.latency(k, j);
-  }
   ColumnBalanceInput input;
   input.s_i = instance.speed(i);
   input.s_j = instance.speed(j);
-  input.c_i = ws.lat_i;
-  input.c_j = ws.lat_j;
-  input.r_i = ws.col_i;
-  input.r_j = ws.col_j;
+  input.r_i = alloc.col(i);
+  input.r_j = alloc.col(j);
+  input.abort_below = abort_below;
+  if (cache != nullptr) {
+    input.c_i = cache->lat_col(i);
+    input.c_j = cache->lat_col(j);
+    input.order_cache = cache;
+    input.cache_i = i;
+    input.cache_j = j;
+  } else {
+    ws.lat_i.resize(m);
+    ws.lat_j.resize(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      ws.lat_i[k] = instance.latency(k, i);
+      ws.lat_j[k] = instance.latency(k, j);
+    }
+    input.c_i = ws.lat_i;
+    input.c_j = ws.lat_j;
+  }
   return BalanceColumns(input, ws);
 }
 
 PairBalanceResult PairBalanceApply(const Instance& instance,
                                    Allocation& alloc, std::size_t i,
                                    std::size_t j, PairBalanceWorkspace& ws) {
-  PairBalanceResult result = PairBalancePreview(instance, alloc, i, j, ws);
+  return PairBalanceApply(instance, alloc, i, j, ws, nullptr);
+}
+
+PairBalanceResult PairBalanceApply(const Instance& instance,
+                                   Allocation& alloc, std::size_t i,
+                                   std::size_t j, PairBalanceWorkspace& ws,
+                                   const PairOrderCache* cache) {
+  PairBalanceResult result =
+      PairBalancePreview(instance, alloc, i, j, ws, cache);
   if (result.improvement <= 0.0) {
     // Numerically neutral or worse (Lemma 2 guarantees >= 0 up to fp
     // noise): keep the current allocation to stay strictly monotone.
@@ -167,6 +272,7 @@ PairBalanceResult PairBalanceApply(const Instance& instance,
     result.transferred = 0.0;
     result.new_load_i = alloc.load(i);
     result.new_load_j = alloc.load(j);
+    result.aborted = false;
     return result;
   }
   const std::size_t m = instance.size();
@@ -183,13 +289,13 @@ PairBalanceResult PairBalanceApply(const Instance& instance,
 
 double PairImprovement(const Instance& instance, const Allocation& alloc,
                        std::size_t i, std::size_t j) {
-  PairBalanceWorkspace ws;
+  thread_local PairBalanceWorkspace ws;
   return PairBalancePreview(instance, alloc, i, j, ws).improvement;
 }
 
 PairBalanceResult BalancePair(const Instance& instance, Allocation& alloc,
                               std::size_t i, std::size_t j) {
-  PairBalanceWorkspace ws;
+  thread_local PairBalanceWorkspace ws;
   return PairBalanceApply(instance, alloc, i, j, ws);
 }
 

@@ -13,13 +13,27 @@
 // PairBalance{Preview,Apply} share one implementation; Preview computes the
 // improvement without touching the allocation (it is the impr() oracle of
 // Algorithm 2), Apply commits the result.
+//
+// Complexity: a preview reads the two allocation columns from the
+// column-major Allocation mirror (contiguous, no strided gathers). Without
+// a PairOrderCache it is O(m log m) — dominated by the per-call sort.
+// With a cache the sorted order is memoized per pair (latencies are
+// immutable), making every subsequent preview O(m). Callers racing over
+// many candidate pairs can additionally pass `abort_below`: phase 1
+// computes an admissible upper bound on the achievable improvement, and a
+// candidate whose bound cannot beat the threshold aborts before the
+// Lemma-1 pass (result.aborted is set; result.improvement then holds the
+// bound, not the exact value).
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
 #include "core/allocation.h"
 #include "core/instance.h"
+#include "core/pair_order_cache.h"
 
 namespace delaylb::core {
 
@@ -34,12 +48,12 @@ double OptimalTransferUnclamped(double s_i, double s_j, double l_i,
 /// Reusable buffers for pair balancing; pass one per thread to avoid
 /// allocations inside the O(m^2)-pair loops of the MinE engine.
 struct PairBalanceWorkspace {
-  std::vector<double> pool;          // per-organization pooled requests
-  std::vector<double> new_rki;       // result: k's requests on i
-  std::vector<double> new_rkj;       // result: k's requests on j
-  std::vector<std::size_t> order;    // organizations sorted by c_kj - c_ki
-  std::vector<double> col_i, col_j;  // strided-column copies (internal)
-  std::vector<double> lat_i, lat_j;  // latency-column copies (internal)
+  std::vector<double> pool;            // per-organization pooled requests
+  std::vector<double> new_rki;         // result: k's requests on i
+  std::vector<double> new_rkj;         // result: k's requests on j
+  std::vector<std::size_t> order;      // organizations sorted by c_kj - c_ki
+  std::vector<double> lat_i, lat_j;    // latency-column copies (internal)
+  std::vector<std::uint32_t> order_scratch;  // PairOrderCache spill buffer
 };
 
 /// Inputs of a pair balance expressed as raw columns; this is the form the
@@ -52,6 +66,27 @@ struct ColumnBalanceInput {
   std::span<const double> c_j;       ///< latencies c_kj for every k
   std::span<const double> r_i;       ///< current column of i (r_ki)
   std::span<const double> r_j;       ///< current column of j (r_kj)
+
+  /// Optional precomputed ordering of all organizations [0, m) ascending by
+  /// c_kj - c_ki (e.g. from a PairOrderCache). Empty: sort per call.
+  std::span<const std::uint32_t> presorted;
+  /// Iterate `presorted` back-to-front (the ordering was stored for the
+  /// opposite pair direction, which negates the sort key).
+  bool presorted_reversed = false;
+
+  /// Alternative to `presorted`: fetch the ordering from this cache —
+  /// but only *after* the early-exit check, so pruned candidates never pay
+  /// the first-touch sort. `cache_i` / `cache_j` are the server indices of
+  /// the (c_i, r_i) / (c_j, r_j) columns. Ignored when null or when
+  /// `presorted` is set.
+  const PairOrderCache* order_cache = nullptr;
+  std::size_t cache_i = 0;
+  std::size_t cache_j = 0;
+
+  /// Early-exit threshold: when the admissible improvement upper bound
+  /// computed in phase 1 is below this, the balance aborts before the
+  /// Lemma-1 pass. -inf (default) never aborts.
+  double abort_below = -std::numeric_limits<double>::infinity();
 };
 
 /// Outcome of balancing the pair (i, j).
@@ -60,6 +95,11 @@ struct PairBalanceResult {
   double transferred = 0.0;   ///< |net load change of server i| in requests
   double new_load_i = 0.0;
   double new_load_j = 0.0;
+  /// True when the balance early-exited because its improvement upper
+  /// bound was below `abort_below`. `improvement` then holds that bound
+  /// (>= the exact improvement); transferred/new loads are the unchanged
+  /// current values.
+  bool aborted = false;
 };
 
 /// Algorithm 1 on raw columns: computes the balanced columns into
@@ -76,13 +116,29 @@ PairBalanceResult PairBalancePreview(const Instance& instance,
                                      std::size_t j,
                                      PairBalanceWorkspace& ws);
 
+/// Hot-path preview: uses `cache` (may be null) for the memoized pair
+/// ordering and contiguous latency columns, and early-exits once the
+/// improvement upper bound falls below `abort_below` (see
+/// ColumnBalanceInput::abort_below).
+PairBalanceResult PairBalancePreview(
+    const Instance& instance, const Allocation& alloc, std::size_t i,
+    std::size_t j, PairBalanceWorkspace& ws, const PairOrderCache* cache,
+    double abort_below = -std::numeric_limits<double>::infinity());
+
 /// Balances servers (i, j) in place (Algorithm 1). Returns the same result
 /// as the preview. No-op (zero improvement) when i == j.
 PairBalanceResult PairBalanceApply(const Instance& instance,
                                    Allocation& alloc, std::size_t i,
                                    std::size_t j, PairBalanceWorkspace& ws);
 
-/// Convenience wrappers that manage a private workspace.
+/// Like PairBalanceApply, reusing a PairOrderCache (may be null).
+PairBalanceResult PairBalanceApply(const Instance& instance,
+                                   Allocation& alloc, std::size_t i,
+                                   std::size_t j, PairBalanceWorkspace& ws,
+                                   const PairOrderCache* cache);
+
+/// Convenience wrappers; they reuse a thread_local workspace so casual
+/// callers do not pay five heap allocations per call.
 double PairImprovement(const Instance& instance, const Allocation& alloc,
                        std::size_t i, std::size_t j);
 PairBalanceResult BalancePair(const Instance& instance, Allocation& alloc,

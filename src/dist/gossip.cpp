@@ -1,0 +1,36 @@
+#include "dist/gossip.h"
+
+#include <stdexcept>
+
+namespace delaylb::dist {
+
+GossipView::GossipView(std::size_t m, std::size_t self)
+    : self_(self), loads_(m, 0.0), versions_(m, 0.0) {
+  if (self >= m) {
+    throw std::invalid_argument("GossipView: self index out of range");
+  }
+}
+
+void GossipView::UpdateSelf(double load) {
+  loads_[self_] = load;
+  versions_[self_] += 1.0;
+}
+
+std::size_t GossipView::Merge(std::span<const double> peer_loads,
+                              std::span<const double> peer_versions) {
+  if (peer_loads.size() != loads_.size() ||
+      peer_versions.size() != versions_.size()) {
+    throw std::invalid_argument("GossipView::Merge: size mismatch");
+  }
+  std::size_t updated = 0;
+  for (std::size_t j = 0; j < loads_.size(); ++j) {
+    if (peer_versions[j] > versions_[j]) {
+      versions_[j] = peer_versions[j];
+      loads_[j] = peer_loads[j];
+      ++updated;
+    }
+  }
+  return updated;
+}
+
+}  // namespace delaylb::dist

@@ -1,0 +1,51 @@
+#pragma once
+// Versioned load gossip: the state each server disseminates in the
+// distributed deployment of the MinE algorithm.
+//
+// Every server keeps a local view of all m server loads together with a
+// per-entry version counter. A server bumps its own version whenever its
+// load changes (UpdateSelf); merging a peer's view adopts every entry whose
+// version is strictly newer. Repeated pairwise merges therefore converge to
+// the newest value per entry regardless of exchange order — the standard
+// anti-entropy argument. The MinE partner-selection proxy only needs loads
+// that are approximately current, which is what this layer provides without
+// global synchronization.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace delaylb::dist {
+
+/// One server's eventually-consistent view of all server loads.
+class GossipView {
+ public:
+  /// A view of `m` servers held by server `self`; all loads start at 0 with
+  /// version 0.
+  GossipView(std::size_t m, std::size_t self);
+
+  std::size_t size() const noexcept { return loads_.size(); }
+  std::size_t self() const noexcept { return self_; }
+
+  double load(std::size_t j) const noexcept { return loads_[j]; }
+  std::span<const double> loads() const noexcept { return loads_; }
+
+  /// Monotone per-entry version counters (doubles so views can be shipped as
+  /// one homogeneous payload next to the loads).
+  std::span<const double> versions() const noexcept { return versions_; }
+
+  /// Records a new local load and bumps this server's version.
+  void UpdateSelf(double load);
+
+  /// Adopts every peer entry with a strictly newer version. Returns the
+  /// number of entries updated. Throws if the sizes do not match.
+  std::size_t Merge(std::span<const double> peer_loads,
+                    std::span<const double> peer_versions);
+
+ private:
+  std::size_t self_ = 0;
+  std::vector<double> loads_;
+  std::vector<double> versions_;
+};
+
+}  // namespace delaylb::dist

@@ -24,6 +24,7 @@ BestResponse ComputeBestResponse(const core::Instance& instance,
   // unreachable servers so the water-filling skips them.
   std::vector<double> speeds(instance.speeds().begin(),
                              instance.speeds().end());
+  const std::span<const double> own_row = alloc.row(i);
   std::vector<double> a(m, 0.0);
   for (std::size_t j = 0; j < m; ++j) {
     const double c = instance.latency(i, j);
@@ -31,7 +32,7 @@ BestResponse ComputeBestResponse(const core::Instance& instance,
       a[j] = std::numeric_limits<double>::infinity();
       continue;
     }
-    const double l_other = alloc.load(j) - alloc.r(i, j);
+    const double l_other = alloc.load(j) - own_row[j];
     a[j] = l_other / (2.0 * speeds[j]) + c;
   }
   opt::WaterfillResult wf = opt::Waterfill(speeds, a, n_i);
@@ -40,7 +41,7 @@ BestResponse ComputeBestResponse(const core::Instance& instance,
 
   double l1 = 0.0;
   for (std::size_t j = 0; j < m; ++j) {
-    l1 += std::fabs(response.row[j] - alloc.r(i, j));
+    l1 += std::fabs(response.row[j] - own_row[j]);
   }
   response.relative_change = l1 / n_i;
   return response;

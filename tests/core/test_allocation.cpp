@@ -138,6 +138,56 @@ TEST(Allocation, RebuildLoadsMatchesIncremental) {
   }
 }
 
+TEST(Allocation, ColumnMirrorMatchesRows) {
+  const Instance inst = testing::RandomInstance(9, 13);
+  const Allocation alloc = testing::RandomAllocation(inst, 14);
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    const auto col = alloc.col(j);
+    ASSERT_EQ(col.size(), inst.size());
+    for (std::size_t k = 0; k < inst.size(); ++k) {
+      EXPECT_DOUBLE_EQ(col[k], alloc.r(k, j));
+    }
+  }
+}
+
+TEST(Allocation, ColumnMirrorSurvivesRandomizedMutation) {
+  // The mirror is maintained incrementally by Move/SetRow; after an
+  // arbitrary mutation sequence it must agree entry-for-entry with the
+  // row-major matrix and with a from-scratch RebuildLoads.
+  const Instance inst = testing::RandomInstance(8, 21);
+  Allocation alloc = testing::RandomAllocation(inst, 22);
+  util::Rng rng(23);
+  const std::size_t m = inst.size();
+  for (int step = 0; step < 400; ++step) {
+    if (rng.bernoulli(0.85)) {
+      const std::size_t k = rng.below(m);
+      const std::size_t i = rng.below(m);
+      const std::size_t j = rng.below(m);
+      alloc.Move(k, i, j, rng.uniform(0.0, 10.0));
+    } else {
+      // Re-spread one organization's whole row.
+      const std::size_t i = rng.below(m);
+      std::vector<double> weights(m);
+      double total = 0.0;
+      for (double& w : weights) total += (w = rng.uniform(0.0, 1.0));
+      for (double& w : weights) w *= inst.load(i) / total;
+      alloc.SetRow(i, weights, /*tol=*/1e-6);
+    }
+  }
+  Allocation rebuilt = alloc;
+  rebuilt.RebuildLoads();
+  for (std::size_t j = 0; j < m; ++j) {
+    EXPECT_NEAR(alloc.load(j), rebuilt.load(j), 1e-9);
+    const auto col = alloc.col(j);
+    const auto rebuilt_col = rebuilt.col(j);
+    for (std::size_t k = 0; k < m; ++k) {
+      EXPECT_DOUBLE_EQ(col[k], alloc.r(k, j)) << "k=" << k << " j=" << j;
+      EXPECT_DOUBLE_EQ(col[k], rebuilt_col[k]);
+    }
+  }
+  EXPECT_TRUE(alloc.Valid(inst));
+}
+
 TEST(Allocation, ValidDetectsCorruptedLoads) {
   const Instance inst = testing::TwoServers(1.0, 1.0, 10.0, 0.0, 1.0);
   Allocation a(inst);

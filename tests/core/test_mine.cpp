@@ -149,6 +149,53 @@ TEST(MinE, CycleRemovalDoesNotChangeConvergence) {
   }
 }
 
+TEST(MinE, ParallelExactReproducesSerialTrace) {
+  // kExact partner selection fans previews across a thread pool; the
+  // deterministic reduction must make the whole trace bit-identical to a
+  // serial run, for any thread count. Starting from a dense random
+  // allocation keeps the movable subsets large, so the memoized-order
+  // path runs under the parallel fan-out too.
+  const Instance inst = testing::RandomInstance(64, 31);
+  MinEOptions serial;
+  serial.threads = 1;
+  MinEOptions parallel = serial;
+  parallel.threads = 4;
+  Allocation a = testing::RandomAllocation(inst, 77);
+  Allocation b = a;
+  MinEBalancer ba(inst, serial), bb(inst, parallel);
+  for (int it = 0; it < 6; ++it) {
+    const IterationStats sa = ba.Step(a);
+    const IterationStats sb = bb.Step(b);
+    EXPECT_EQ(sa.total_cost, sb.total_cost) << "iteration " << it;
+    EXPECT_EQ(sa.balances, sb.balances);
+    EXPECT_EQ(sa.transferred, sb.transferred);
+  }
+  EXPECT_EQ(Allocation::L1Distance(a, b), 0.0);
+}
+
+TEST(MinE, OrderCacheDoesNotChangeResults) {
+  // The memoized pair orderings must be behavior-neutral: identical trace
+  // with the cache on and off (tie-marked pairs fall back to the per-call
+  // sort, so this holds even on shortest-path-completed latencies). The
+  // dense random start keeps the movable subsets above the memoization
+  // cutoff — from the identity allocation they stay tiny and the cached
+  // path would never actually run.
+  const Instance inst = testing::RandomInstance(64, 33);
+  MinEOptions cached;
+  cached.threads = 1;
+  cached.use_order_cache = true;
+  MinEOptions plain = cached;
+  plain.use_order_cache = false;
+  Allocation a = testing::RandomAllocation(inst, 88);
+  Allocation b = a;
+  MinEBalancer ba(inst, cached), bb(inst, plain);
+  for (int it = 0; it < 6; ++it) {
+    EXPECT_EQ(ba.Step(a).total_cost, bb.Step(b).total_cost)
+        << "iteration " << it;
+  }
+  EXPECT_EQ(Allocation::L1Distance(a, b), 0.0);
+}
+
 class MinEScenarioSweep
     : public ::testing::TestWithParam<std::tuple<int, const char*>> {};
 

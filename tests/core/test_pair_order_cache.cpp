@@ -1,0 +1,210 @@
+// Memoized per-pair organization orderings (the MinE hot-path cache).
+#include "core/pair_order_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/pairwise.h"
+#include "net/latency_matrix.h"
+#include "testing/instances.h"
+#include "util/rng.h"
+
+namespace delaylb::core {
+namespace {
+
+/// A random instance whose latencies are i.i.d. continuous draws, so sort
+/// keys c_kj - c_ki are tie-free with probability 1.
+Instance TieFreeInstance(std::size_t m, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> data(m * m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i != j) data[i * m + j] = rng.uniform(1.0, 100.0);
+    }
+  }
+  std::vector<double> speeds(m), loads(m);
+  for (auto& s : speeds) s = rng.uniform(1.0, 5.0);
+  for (auto& n : loads) n = rng.uniform(10.0, 90.0);
+  return Instance(std::move(speeds), std::move(loads),
+                  net::LatencyMatrix(m, std::move(data)));
+}
+
+/// The reference ordering: indices [0, m) sorted ascending by c_kj - c_ki.
+std::vector<std::uint32_t> FreshSort(const Instance& inst, std::size_t i,
+                                     std::size_t j) {
+  std::vector<std::uint32_t> order(inst.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return (inst.latency(a, j) - inst.latency(a, i)) <
+                     (inst.latency(b, j) - inst.latency(b, i));
+            });
+  return order;
+}
+
+/// Materializes an Order (honoring `reversed`) as a plain vector.
+std::vector<std::uint32_t> Materialize(const PairOrderCache::Order& order) {
+  std::vector<std::uint32_t> out(order.indices.begin(),
+                                 order.indices.end());
+  if (order.reversed) std::reverse(out.begin(), out.end());
+  return out;
+}
+
+TEST(PairOrderCache, LatencyColumnsMatchInstance) {
+  const Instance inst = TieFreeInstance(9, 1);
+  const PairOrderCache cache(inst);
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    const auto col = cache.lat_col(j);
+    for (std::size_t k = 0; k < inst.size(); ++k) {
+      EXPECT_DOUBLE_EQ(col[k], inst.latency(k, j));
+    }
+  }
+}
+
+TEST(PairOrderCache, MatchesFreshSortBothDirections) {
+  const Instance inst = TieFreeInstance(17, 2);
+  const PairOrderCache cache(inst);
+  std::vector<std::uint32_t> scratch;
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    for (std::size_t j = 0; j < inst.size(); ++j) {
+      if (i == j) continue;
+      const auto order = cache.order(i, j, scratch);
+      ASSERT_FALSE(order.indices.empty()) << i << "," << j;
+      EXPECT_EQ(Materialize(order), FreshSort(inst, i, j))
+          << "pair (" << i << ", " << j << ")";
+    }
+  }
+  EXPECT_EQ(cache.tie_pairs(), 0u);
+  EXPECT_GT(cache.bytes_used(), 0u);
+}
+
+TEST(PairOrderCache, RepeatedLookupIsStable) {
+  const Instance inst = TieFreeInstance(11, 3);
+  const PairOrderCache cache(inst);
+  std::vector<std::uint32_t> scratch;
+  const auto first = Materialize(cache.order(4, 7, scratch));
+  const std::size_t bytes_after_first = cache.bytes_used();
+  const auto second = Materialize(cache.order(4, 7, scratch));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(cache.bytes_used(), bytes_after_first);  // no duplicate entry
+}
+
+TEST(PairOrderCache, TiedKeysFallBackToPerCallSort) {
+  // Homogeneous off-diagonal latencies: every key c_kj - c_ki ties at 0
+  // for all k outside {i, j}. The cache must refuse to fix an order.
+  net::LatencyMatrix lat(6, 7.5);
+  const Instance inst({1, 1, 1, 1, 1, 1}, {10, 10, 10, 10, 10, 10},
+                      std::move(lat));
+  const PairOrderCache cache(inst);
+  std::vector<std::uint32_t> scratch;
+  const auto order = cache.order(0, 1, scratch);
+  EXPECT_TRUE(order.indices.empty());
+  EXPECT_EQ(cache.tie_pairs(), 1u);
+}
+
+TEST(PairOrderCache, BudgetExhaustionStillReturnsCorrectOrders) {
+  const Instance inst = TieFreeInstance(13, 4);
+  // Budget fits roughly one ordering: later pairs must spill to scratch.
+  const PairOrderCache cache(inst, /*max_bytes=*/13 * sizeof(std::uint32_t) +
+                                       64);
+  std::vector<std::uint32_t> scratch;
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    for (std::size_t j = 0; j < inst.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(Materialize(cache.order(i, j, scratch)),
+                FreshSort(inst, i, j));
+    }
+  }
+  EXPECT_LE(cache.bytes_used(), 13 * sizeof(std::uint32_t) + 64);
+}
+
+TEST(PairOrderCache, UnreachableLatenciesKeepFiniteKeysSorted) {
+  // Organizations unreachable from both servers of a pair have sort key
+  // inf - inf = NaN; they must not poison the sort (strict-weak-ordering
+  // UB) or mask exact ties between finite keys. Orgs 3 and 4 are fully
+  // isolated; orgs 2 and 5 tie exactly on the (0, 1) key.
+  const std::size_t m = 6;
+  net::LatencyMatrix lat(m, 0.0);
+  util::Rng rng(9);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      lat.SetSymmetric(i, j, rng.uniform(1.0, 50.0));
+    }
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    if (j != 3) lat.SetSymmetric(3, j, net::kUnreachable);
+    if (j != 4) lat.SetSymmetric(4, j, net::kUnreachable);
+  }
+  lat.SetSymmetric(2, 1, 30.0);
+  lat.Set(2, 0, 10.0);
+  lat.Set(0, 2, 10.0);
+  lat.SetSymmetric(5, 1, 25.0);
+  lat.Set(5, 0, 5.0);
+  lat.Set(0, 5, 5.0);  // key(2) = 30 - 10 == key(5) = 25 - 5: exact tie
+  const Instance inst({1, 1, 1, 1, 1, 1}, {10, 10, 10, 10, 10, 10},
+                      std::move(lat));
+  const PairOrderCache cache(inst);
+  std::vector<std::uint32_t> scratch;
+  const auto order = cache.order(0, 1, scratch);
+  // The tie between finite keys must be detected despite the NaN keys of
+  // orgs 3 and 4 — the pair is uncacheable.
+  EXPECT_TRUE(order.indices.empty());
+  EXPECT_EQ(cache.tie_pairs(), 1u);
+  // A pair whose finite keys are tie-free stays cacheable, with the
+  // NaN-keyed organizations parked behind the sorted finite prefix.
+  const auto order02 = cache.order(0, 2, scratch);
+  ASSERT_FALSE(order02.indices.empty());
+  std::vector<std::uint32_t> finite;
+  for (const std::uint32_t k : order02.indices) {
+    if (k != 3 && k != 4) finite.push_back(k);
+  }
+  std::vector<double> keys;
+  for (const std::uint32_t k : finite) {
+    keys.push_back(inst.latency(k, 2) - inst.latency(k, 0));
+  }
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  // And the NaN-keyed orgs sit in the tail, after every finite key.
+  const auto tail = std::find_if(
+      order02.indices.begin(), order02.indices.end(),
+      [](std::uint32_t k) { return k == 3 || k == 4; });
+  for (auto it = tail; it != order02.indices.end(); ++it) {
+    EXPECT_TRUE(*it == 3 || *it == 4);
+  }
+}
+
+TEST(PairOrderCache, CachedPreviewMatchesUncachedExactly) {
+  // The whole point of the cache: previews through it are bit-identical
+  // to the uncached path, on tie-free and tie-heavy instances alike.
+  // m = 64 keeps the movable subsets above the memoization cutoff so the
+  // cached ordering (not the per-call sort) is what gets exercised.
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    const Instance tie_free = TieFreeInstance(64, seed);
+    const Instance tie_heavy = testing::RandomInstance(64, seed);
+    for (const Instance* inst : {&tie_free, &tie_heavy}) {
+      const Allocation alloc = testing::RandomAllocation(*inst, seed + 50);
+      const PairOrderCache cache(*inst);
+      PairBalanceWorkspace ws_cached, ws_plain;
+      for (std::size_t i = 0; i < inst->size(); ++i) {
+        for (std::size_t j = 0; j < inst->size(); ++j) {
+          if (i == j) continue;
+          const PairBalanceResult with_cache = PairBalancePreview(
+              *inst, alloc, i, j, ws_cached, &cache);
+          const PairBalanceResult plain =
+              PairBalancePreview(*inst, alloc, i, j, ws_plain);
+          EXPECT_EQ(with_cache.improvement, plain.improvement);
+          EXPECT_EQ(with_cache.new_load_i, plain.new_load_i);
+          EXPECT_EQ(with_cache.new_load_j, plain.new_load_j);
+          EXPECT_EQ(ws_cached.new_rki, ws_plain.new_rki);
+          EXPECT_EQ(ws_cached.new_rkj, ws_plain.new_rkj);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace delaylb::core
