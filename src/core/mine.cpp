@@ -20,24 +20,11 @@ constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 /// the determinism tests rely on that).
 constexpr std::size_t kParallelMinM = 64;
 
-/// Constant-time proxy for the achievable improvement between i and j: the
-/// gain of the optimal *bulk* transfer of the paper's Lemma 1 applied to the
-/// whole load with the pair latency c_ij (in both directions). A quadratic
-/// in the clamped transfer: gain(x) = x^2 (s_i + s_j) / (2 s_i s_j) for the
-/// unconstrained optimum x.
+/// The shared bulk-transfer improvement proxy on exact loads.
 double ProxyScore(const Instance& inst, const Allocation& alloc,
                   std::size_t i, std::size_t j) {
-  const double s_i = inst.speed(i);
-  const double s_j = inst.speed(j);
-  const double l_i = alloc.load(i);
-  const double l_j = alloc.load(j);
-  const double c = inst.latency(i, j);
-  if (!std::isfinite(c)) return 0.0;
-  const double denom = s_i + s_j;
-  const double forward = ((s_j * l_i - s_i * l_j) - s_i * s_j * c) / denom;
-  const double backward = ((s_i * l_j - s_j * l_i) - s_i * s_j * c) / denom;
-  const double x = std::max({forward, backward, 0.0});
-  return x * x * denom / (2.0 * s_i * s_j);
+  return BulkTransferProxy(inst.speed(i), inst.speed(j), alloc.load(i),
+                           alloc.load(j), inst.latency(i, j));
 }
 
 /// Monotone atomic max for doubles (relaxed: the value is a pruning hint,
@@ -56,8 +43,9 @@ MinEBalancer::MinEBalancer(const Instance& instance, MinEOptions options)
     : instance_(instance), options_(options), rng_(options.seed) {
   const std::size_t m = instance.size();
   if (options_.use_order_cache && m > 1) {
-    cache_ = std::make_unique<PairOrderCache>(instance,
-                                              options_.order_cache_bytes);
+    cache_ = std::make_unique<PairOrderCache>(
+        instance, options_.order_cache_bytes,
+        options_.order_cache_admit_after);
   }
   std::size_t threads = options_.threads;
   if (threads == 0) {

@@ -62,6 +62,11 @@ struct MinEOptions {
   /// Retention budget for the order cache; orders beyond it are recomputed
   /// per call instead of cached.
   std::size_t order_cache_bytes = PairOrderCache::kDefaultMaxBytes;
+  /// Frequency-aware admission: retain a pair's ordering only after its
+  /// Nth full sort, so at m = 5000 the byte budget is spent on pairs the
+  /// run revisits (1 = retain on first touch). Results are bit-identical
+  /// for any value.
+  std::uint32_t order_cache_admit_after = PairOrderCache::kDefaultAdmitAfter;
 };
 
 /// Statistics of one engine iteration.

@@ -9,8 +9,12 @@
 namespace delaylb::core {
 
 PairOrderCache::PairOrderCache(const Instance& instance,
-                               std::size_t max_bytes)
-    : m_(instance.size()), max_bytes_(max_bytes), lat_cols_(m_ * m_, 0.0) {
+                               std::size_t max_bytes,
+                               std::uint32_t admit_after)
+    : m_(instance.size()),
+      max_bytes_(max_bytes),
+      admit_after_(std::max<std::uint32_t>(1, admit_after)),
+      lat_cols_(m_ * m_, 0.0) {
   for (std::size_t k = 0; k < m_; ++k) {
     for (std::size_t j = 0; j < m_; ++j) {
       lat_cols_[j * m_ + k] = instance.latency(k, j);
@@ -47,6 +51,10 @@ bool PairOrderCache::ComputeOrder(std::size_t i, std::size_t j,
 PairOrderCache::Order PairOrderCache::order(
     std::size_t i, std::size_t j,
     std::vector<std::uint32_t>& scratch) const {
+  // Nominal per-node overhead charged against the budget for counter and
+  // tie entries, so a run touching millions of pairs once (or a tie-heavy
+  // instance) still stays bounded.
+  constexpr std::size_t kNodeBytes = 64;
   Order result;
   result.reversed = i > j;
   const std::size_t lo = std::min(i, j);
@@ -56,38 +64,71 @@ PairOrderCache::Order PairOrderCache::order(
     std::shared_lock lock(mutex_);
     auto it = orders_.find(key);
     if (it != orders_.end()) {
-      result.indices = it->second;  // empty for tie-marked pairs
-      return result;
+      const Slot& slot = it->second;
+      if (slot.tie) return result;  // empty: caller sorts per call
+      if (!slot.indices.empty()) {
+        result.indices = slot.indices;
+        return result;
+      }
+      // Counting slot, not yet admitted: fall through to a full sort.
     }
   }
   const bool tie_free = ComputeOrder(lo, hi, scratch);
-  // Tie-marked pairs are remembered as an empty entry (so the sort is not
-  // repeated on every lookup just to rediscover the tie); they are charged
-  // a nominal node overhead so a tie-heavy instance still respects the
-  // budget.
-  const std::size_t entry_bytes =
-      tie_free ? m_ * sizeof(std::uint32_t) + 64 : 64;
-  if (bytes_used_.load(std::memory_order_relaxed) + entry_bytes <=
-      max_bytes_) {
-    std::unique_lock lock(mutex_);
-    // Re-check under the lock: concurrent first-touch inserts could all
-    // have passed the unlocked read and pushed past the budget otherwise.
-    if (bytes_used_.load(std::memory_order_relaxed) + entry_bytes <=
+  const std::size_t order_bytes = m_ * sizeof(std::uint32_t);
+  // Lock-free bail-outs once the budget cannot accommodate the outcome:
+  // a retained ordering (tie-free) or even a counter/tie node. The
+  // parallel kExact partner scan hits this path on every un-admitted pair
+  // after exhaustion — at m = 5000 scale serializing those lookups on the
+  // exclusive lock just to bump a counter that can never admit would undo
+  // the win of the shared-lock fast path.
+  if (tie_free) {
+    if (bytes_used_.load(std::memory_order_relaxed) + order_bytes >
         max_bytes_) {
-      auto [it, inserted] = orders_.try_emplace(key);
-      if (inserted) {
-        bytes_used_.fetch_add(entry_bytes, std::memory_order_relaxed);
-        if (tie_free) {
-          it->second = scratch;  // copy: scratch stays usable for caller
-        } else {
-          tie_pairs_.fetch_add(1, std::memory_order_relaxed);
-        }
-      }
-      result.indices = it->second;
+      result.indices = scratch;
       return result;
     }
+  } else if (bytes_used_.load(std::memory_order_relaxed) + kNodeBytes >
+             max_bytes_) {
+    return result;  // empty: tie pair, not worth a node we cannot afford
   }
-  if (tie_free) result.indices = scratch;
+  std::unique_lock lock(mutex_);
+  auto it = orders_.find(key);
+  if (it == orders_.end()) {
+    // First touch inserts the counter node (budget permitting; without one
+    // the pair is simply re-sorted on every lookup).
+    if (bytes_used_.load(std::memory_order_relaxed) + kNodeBytes >
+        max_bytes_) {
+      if (tie_free) result.indices = scratch;
+      return result;
+    }
+    it = orders_.try_emplace(key).first;
+    bytes_used_.fetch_add(kNodeBytes, std::memory_order_relaxed);
+  }
+  Slot& slot = it->second;
+  if (!tie_free) {
+    // Terminal: remember the tie so the sort is not repeated on every
+    // lookup just to rediscover it.
+    if (!slot.tie) {
+      slot.tie = true;
+      tie_pairs_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return result;
+  }
+  if (slot.tie) return result;  // concurrent tie mark (defensive)
+  if (!slot.indices.empty()) {  // concurrent admission won the race
+    result.indices = slot.indices;
+    return result;
+  }
+  slot.sorts += 1;
+  if (slot.sorts >= admit_after_ &&
+      bytes_used_.load(std::memory_order_relaxed) + order_bytes <=
+          max_bytes_) {
+    slot.indices = scratch;  // copy: scratch stays usable for the caller
+    bytes_used_.fetch_add(order_bytes, std::memory_order_relaxed);
+    result.indices = slot.indices;
+  } else {
+    result.indices = scratch;
+  }
   return result;
 }
 

@@ -12,11 +12,20 @@
 // The cache stores one full ordering of [0, m) per *unordered* pair
 // {i, j}: the ordering for (j, i) is the exact reverse of the ordering for
 // (i, j) because the sort key negates when the roles swap. Orderings are
-// computed lazily on first use, are safe to request from concurrent
-// threads (partner selection fans previews out across a thread pool), and
-// respect a byte budget — beyond it, orders are computed into the caller's
-// scratch buffer instead of being retained, so memory stays bounded at
-// m = 5000 scale where the full table would not fit.
+// computed lazily, are safe to request from concurrent threads (partner
+// selection fans previews out across a thread pool), and respect a byte
+// budget — beyond it, orders are computed into the caller's scratch buffer
+// instead of being retained, so memory stays bounded at m = 5000 scale
+// where the full table would not fit.
+//
+// Admission is frequency-aware: a pair's ordering is only retained after
+// its `admit_after`-th full sort (default 2). A pair touched once — the
+// long tail at m = 5000, where most of the m^2/2 pairs are previewed a
+// handful of times early and never again — costs one 64-byte counter node
+// instead of a 4m-byte ordering, so the byte budget is spent on the pairs
+// the run actually revisits. admit_after = 1 reproduces the old
+// first-touch retention. The returned orderings are identical either way;
+// admission only decides what is kept.
 //
 // Exact key ties (common on shortest-path-completed latency matrices,
 // where c_kj - c_ki can coincide exactly across organizations) make the
@@ -51,10 +60,17 @@ class PairOrderCache {
   /// Default retention budget for cached orderings (bytes).
   static constexpr std::size_t kDefaultMaxBytes = std::size_t{1} << 30;
 
+  /// Default admission threshold: retain a pair's ordering after its
+  /// second full sort.
+  static constexpr std::uint32_t kDefaultAdmitAfter = 2;
+
   /// Builds the transposed latency table (O(m^2)); orderings themselves are
-  /// computed on demand. The instance must outlive the cache.
+  /// computed on demand. The instance must outlive the cache. A pair's
+  /// ordering is retained once it has been fully sorted `admit_after`
+  /// times (>= 1; see the admission discussion above).
   explicit PairOrderCache(const Instance& instance,
-                          std::size_t max_bytes = kDefaultMaxBytes);
+                          std::size_t max_bytes = kDefaultMaxBytes,
+                          std::uint32_t admit_after = kDefaultAdmitAfter);
 
   std::size_t size() const noexcept { return m_; }
 
@@ -100,16 +116,25 @@ class PairOrderCache {
   bool ComputeOrder(std::size_t i, std::size_t j,
                     std::vector<std::uint32_t>& out) const;
 
+  /// Per-pair cache node: a sort counter until admission, the retained
+  /// ordering after it (or a tie mark, which is terminal).
+  struct Slot {
+    std::vector<std::uint32_t> indices;  // filled on admission, then frozen
+    std::uint32_t sorts = 0;             // full sorts observed so far
+    bool tie = false;                    // exact key ties: never cacheable
+  };
+
   std::size_t m_ = 0;
   std::size_t max_bytes_ = kDefaultMaxBytes;
+  std::uint32_t admit_after_ = kDefaultAdmitAfter;
   std::vector<double> lat_cols_;  // column-major latencies, m*m
   mutable std::atomic<std::size_t> bytes_used_{0};
   mutable std::atomic<std::size_t> tie_pairs_{0};
   mutable std::shared_mutex mutex_;
-  // Keyed by i * m + j for the canonical pair i < j. Element buffers are
-  // never mutated after insertion, so spans into them stay valid.
-  mutable std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>
-      orders_;
+  // Keyed by i * m + j for the canonical pair i < j. A slot's `indices`
+  // buffer is assigned exactly once (at admission, under the exclusive
+  // lock) and never mutated after, so spans into it stay valid.
+  mutable std::unordered_map<std::uint64_t, Slot> orders_;
 };
 
 }  // namespace delaylb::core

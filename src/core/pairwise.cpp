@@ -25,6 +25,16 @@ double OptimalTransferUnclamped(double s_i, double s_j, double l_i,
          (s_i + s_j);
 }
 
+double BulkTransferProxy(double s_i, double s_j, double l_i, double l_j,
+                         double c) {
+  if (!std::isfinite(c)) return 0.0;
+  const double denom = s_i + s_j;
+  const double forward = ((s_j * l_i - s_i * l_j) - s_i * s_j * c) / denom;
+  const double backward = ((s_i * l_j - s_j * l_i) - s_i * s_j * c) / denom;
+  const double x = std::max({forward, backward, 0.0});
+  return x * x * denom / (2.0 * s_i * s_j);
+}
+
 PairBalanceResult BalanceColumns(const ColumnBalanceInput& input,
                                  PairBalanceWorkspace& ws) {
   PairBalanceResult result;

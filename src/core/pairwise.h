@@ -45,6 +45,16 @@ namespace delaylb::core {
 double OptimalTransferUnclamped(double s_i, double s_j, double l_i,
                                 double l_j, double c_ki, double c_kj);
 
+/// Constant-time proxy for the improvement achievable by balancing a
+/// server pair: the gain of the optimal *bulk* transfer of Lemma 1 applied
+/// to the whole loads with the single pair latency c (tried in both
+/// directions); a quadratic gain(x) = x^2 (s_i + s_j) / (2 s_i s_j) in the
+/// clamped transfer x. Zero when c is infinite. This one formula backs
+/// both the engine's kFast partner pre-filter (exact loads) and the
+/// distributed agents' selection (believed loads) — keep them identical.
+double BulkTransferProxy(double s_i, double s_j, double l_i, double l_j,
+                         double c);
+
 /// Reusable buffers for pair balancing; pass one per thread to avoid
 /// allocations inside the O(m^2)-pair loops of the MinE engine.
 struct PairBalanceWorkspace {

@@ -1,0 +1,310 @@
+#include "dist/agent.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+namespace delaylb::dist {
+
+Agent::Agent(std::size_t id, const core::Instance& instance,
+             const core::PairOrderCache* order_cache,
+             const AgentOptions& options, util::Rng rng)
+    : id_(id),
+      instance_(&instance),
+      order_cache_(order_cache),
+      options_(options),
+      rng_(rng),
+      column_(instance.size(), 0.0),
+      view_(instance.size(), id) {
+  // The paper's starting state: every organization runs its own requests on
+  // its own server.
+  column_[id_] = instance.load(id_);
+  load_ = instance.load(id_);
+  view_.UpdateSelf(load_);
+  const net::LatencyMatrix& latency = instance.latency_matrix();
+  for (std::size_t j = 0; j < instance.size(); ++j) {
+    if (j == id_) continue;
+    if (latency.Reachable(id_, j) && latency.Reachable(j, id_)) {
+      peers_.push_back(static_cast<std::uint32_t>(j));
+    }
+  }
+}
+
+void Agent::SetColumn(std::span<const double> column) {
+  column_.assign(column.begin(), column.end());
+  load_ = std::accumulate(column_.begin(), column_.end(), 0.0);
+  view_.UpdateSelf(load_);
+}
+
+void Agent::StartGossip(Network& network) {
+  if (peers_.empty()) return;
+  const std::size_t peer = peers_[rng_.below(peers_.size())];
+  Message push = MakeMessage(MessageKind::kGossipPush, peer);
+  push.payload = view_.PackPayload();
+  network.Send(std::move(push));
+  ++stats_.gossip_rounds;
+}
+
+double Agent::ProxyScore(std::size_t candidate,
+                         double believed_load) const {
+  return core::BulkTransferProxy(instance_->speed(id_),
+                                 instance_->speed(candidate), load_,
+                                 believed_load,
+                                 instance_->latency(id_, candidate));
+}
+
+std::size_t Agent::SelectPartner() {
+  if (peers_.empty()) return id_;
+  double best_score = 0.0;
+  std::size_t best = id_;
+  for (const std::uint32_t j : peers_) {
+    if (view_.versions()[j] <= 0.0) continue;  // never heard from j
+    const double score = ProxyScore(j, view_.load(j));
+    if (score > best_score) {
+      best_score = score;
+      best = j;
+    }
+  }
+  if (best == id_ || rng_.uniform() < options_.explore_probability) {
+    return peers_[rng_.below(peers_.size())];
+  }
+  return best;
+}
+
+std::uint64_t Agent::StartBalance(Network& network) {
+  if (busy()) return 0;
+  const std::size_t partner = SelectPartner();
+  if (partner == id_) return 0;
+  const std::uint64_t handshake =
+      (static_cast<std::uint64_t>(id_) << 40) | ++next_handshake_;
+  initiator_.active = true;
+  initiator_.handshake = handshake;
+  initiator_.partner = partner;
+  Message request = MakeMessage(MessageKind::kBalanceRequest, partner);
+  request.handshake = handshake;
+  request.believed_load =
+      view_.versions()[partner] > 0.0 ? view_.load(partner) : -1.0;
+  request.payload = column_;
+  network.Send(std::move(request));
+  return handshake;
+}
+
+void Agent::OnMessage(const Message& message, Network& network) {
+  // Every protocol message doubles as single-entry gossip about its
+  // sender; folding it in first makes e.g. kStale aborts self-correcting.
+  view_.Observe(message.from, message.load, message.load_version);
+  switch (message.kind) {
+    case MessageKind::kGossipPush:
+      HandleGossipPush(message, network);
+      break;
+    case MessageKind::kGossipPull:
+      view_.MergePayload(message.payload);
+      break;
+    case MessageKind::kBalanceRequest:
+      HandleBalanceRequest(message, network);
+      break;
+    case MessageKind::kBalanceReply:
+      HandleBalanceReply(message, network);
+      break;
+    case MessageKind::kBalanceCommit:
+      HandleBalanceCommit(message);
+      break;
+    case MessageKind::kBalanceAbort:
+      HandleBalanceAbort(message);
+      break;
+  }
+}
+
+void Agent::HandleGossipPush(const Message& message, Network& network) {
+  view_.MergePayload(message.payload);
+  Message pull = MakeMessage(MessageKind::kGossipPull, message.from);
+  pull.payload = view_.PackPayload();
+  network.Send(std::move(pull));
+}
+
+Message Agent::MakeMessage(MessageKind kind, std::size_t to) const {
+  Message msg;
+  msg.kind = kind;
+  msg.from = static_cast<std::uint32_t>(id_);
+  msg.to = static_cast<std::uint32_t>(to);
+  msg.load = load_;
+  msg.load_version = view_.versions()[id_];
+  return msg;
+}
+
+void Agent::SendAbort(const Message& request, AbortReason reason,
+                      Network& network) {
+  Message abort = MakeMessage(MessageKind::kBalanceAbort, request.from);
+  abort.handshake = request.handshake;
+  abort.reason = reason;
+  network.Send(std::move(abort));
+}
+
+void Agent::HandleBalanceRequest(const Message& message, Network& network) {
+  if (busy()) {
+    SendAbort(message, AbortReason::kBusy, network);
+    return;
+  }
+  if (message.believed_load >= 0.0 &&
+      std::fabs(message.believed_load - load_) >
+          options_.stale_tolerance * std::max(1.0, load_)) {
+    SendAbort(message, AbortReason::kStale, network);
+    return;
+  }
+
+  // Algorithm 1 on the exchanged columns: the initiator's column arrived in
+  // the request, ours is local. Roles: i = initiator, j = this server.
+  const std::size_t from = message.from;
+  core::ColumnBalanceInput input;
+  input.s_i = instance_->speed(from);
+  input.s_j = instance_->speed(id_);
+  input.r_i = message.payload;
+  input.r_j = column_;
+  if (order_cache_ != nullptr) {
+    input.c_i = order_cache_->lat_col(from);
+    input.c_j = order_cache_->lat_col(id_);
+    input.order_cache = order_cache_;
+    input.cache_i = from;
+    input.cache_j = id_;
+  } else {
+    const std::size_t m = instance_->size();
+    workspace_.lat_i.resize(m);
+    workspace_.lat_j.resize(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      workspace_.lat_i[k] = instance_->latency(k, from);
+      workspace_.lat_j[k] = instance_->latency(k, id_);
+    }
+    input.c_i = workspace_.lat_i;
+    input.c_j = workspace_.lat_j;
+  }
+  // Early-exit once the admissible improvement bound falls below the gain
+  // we would decline anyway: near convergence most requests end in kNoGain
+  // and then pay only the phase-0 bound check, not the Lemma-1 pass (or a
+  // PairOrderCache first-touch sort).
+  input.abort_below = options_.min_gain;
+  const core::PairBalanceResult result =
+      core::BalanceColumns(input, workspace_);
+  if (!(result.improvement > options_.min_gain)) {
+    SendAbort(message, AbortReason::kNoGain, network);
+    return;
+  }
+
+  // Apply our half now, keep an undo snapshot until the Commit (or a
+  // bounced Reply) resolves the handshake.
+  responder_.active = true;
+  responder_.handshake = message.handshake;
+  responder_.partner = from;
+  responder_.undo_column = std::move(column_);
+  column_ = workspace_.new_rkj;
+  load_ = result.new_load_j;
+  view_.UpdateSelf(load_);
+
+  Message reply = MakeMessage(MessageKind::kBalanceReply, message.from);
+  reply.handshake = message.handshake;
+  reply.payload = workspace_.new_rki;
+  network.Send(std::move(reply));
+}
+
+void Agent::HandleBalanceReply(const Message& message, Network& network) {
+  if (!initiator_.active || initiator_.handshake != message.handshake) {
+    return;  // stale reply of an already-resolved handshake
+  }
+  SetColumn(message.payload);
+  initiator_.active = false;
+  ++stats_.balances_completed;
+  Message commit = MakeMessage(MessageKind::kBalanceCommit, message.from);
+  commit.handshake = message.handshake;
+  network.Send(std::move(commit));
+}
+
+void Agent::HandleBalanceCommit(const Message& message) {
+  if (!responder_.active || responder_.handshake != message.handshake) {
+    return;
+  }
+  responder_.active = false;
+  responder_.undo_column.clear();
+  ++stats_.balances_completed;
+}
+
+void Agent::HandleBalanceAbort(const Message& message) {
+  if (!initiator_.active || initiator_.handshake != message.handshake) {
+    return;
+  }
+  initiator_.active = false;
+  if (message.reason == AbortReason::kNoGain) {
+    ++stats_.balances_no_gain;
+  } else {
+    ++stats_.balances_rejected;
+  }
+}
+
+void Agent::OnDeliveryFailure(const Message& message, Network& network) {
+  (void)network;
+  switch (message.kind) {
+    case MessageKind::kBalanceRequest:
+      // The responder never saw the request: nothing applied anywhere.
+      if (initiator_.active && initiator_.handshake == message.handshake) {
+        initiator_.active = false;
+        ++stats_.balances_rejected;
+      }
+      break;
+    case MessageKind::kBalanceReply:
+      // The initiator is down and will never apply: roll back our half so
+      // the exchange is applied at neither end.
+      if (responder_.active && responder_.handshake == message.handshake) {
+        SetColumn(responder_.undo_column);
+        responder_.active = false;
+        responder_.undo_column.clear();
+        ++stats_.balances_rejected;
+      }
+      break;
+    case MessageKind::kBalanceCommit:
+    case MessageKind::kBalanceAbort:
+    case MessageKind::kGossipPush:
+    case MessageKind::kGossipPull:
+      // Commit: both ends applied already; the crashed responder resolves
+      // its undo record at recovery. Aborts and gossip carry no obligation.
+      break;
+  }
+}
+
+void Agent::OnBalanceTimeout(std::uint64_t handshake) {
+  if (initiator_.active && initiator_.handshake == handshake) {
+    // Silence: the request or its answer bounced while we were down.
+    initiator_.active = false;
+    ++stats_.balances_rejected;
+  } else if (responder_.active && responder_.handshake == handshake) {
+    // The Reply's delivery instant has passed (the timeout exceeds the
+    // round trip) and the record is still open, so the Reply did not
+    // bounce — it was delivered and the initiator applied. Commit.
+    responder_.active = false;
+    responder_.undo_column.clear();
+    ++stats_.balances_completed;
+  }
+}
+
+void Agent::OnCrash() {
+  // Unavailability, not amnesia: column, view, and open handshake records
+  // survive; the network drops traffic addressed to us while down.
+}
+
+std::uint64_t Agent::OnRecover(Network& network) {
+  // Re-announce a fresh view: bump our version so peers adopt the entry,
+  // and gossip immediately rather than waiting out the timer.
+  view_.UpdateSelf(load_);
+  StartGossip(network);
+  // A surviving handshake record of either role needs its resolution
+  // timeout re-armed. Initiator: the answer either bounced while we were
+  // down (the timeout clears it as rejected) or is still in flight and
+  // arrives before the deadline. Responder: the Commit either got dropped
+  // while we were down (the timeout commits — the Reply was delivered) or
+  // the still-in-flight Reply/Commit resolves the record before the
+  // deadline; committing eagerly here would be wrong while the Reply is
+  // on the wire, because it may yet bounce and demand the rollback.
+  if (initiator_.active) return initiator_.handshake;
+  if (responder_.active) return responder_.handshake;
+  return 0;
+}
+
+}  // namespace delaylb::dist

@@ -1,0 +1,207 @@
+#pragma once
+// The per-server agent of the distributed MinE deployment.
+//
+// Each agent owns exactly one column of the global allocation ("everything
+// running on my server"), an eventually-consistent GossipView of all server
+// loads, and a tiny protocol state machine. It never reads another agent's
+// state directly: loads arrive by push-pull gossip, allocation columns
+// arrive inside balance messages, and the only shared objects are the
+// immutable Instance (speeds/latencies — out-of-band topology) and a
+// read-only PairOrderCache derived from it.
+//
+// Periodically the agent picks a balance partner off its *local view* —
+// argmax of the same constant-time bulk-transfer proxy the synchronous
+// engine's kFast policy uses, computed on believed (possibly stale) loads,
+// with a random exploration probe mixed in because the proxy is blind to
+// per-organization latency structure — and runs the two-party handshake of
+// message.h, executing Algorithm 1 (core::BalanceColumns) on the exchanged
+// columns.
+//
+// Crash interleavings. The responder applies its half of an exchange when
+// it sends the Reply and keeps an undo snapshot; the initiator applies when
+// the Reply arrives and then Commits. Because the network reports a drop to
+// the sender (failure-detector fiction), every interleaving resolves to
+// "applied at both ends or neither":
+//   - Request bounces (responder crashed): initiator aborts, nothing
+//     applied.
+//   - Reply bounces (initiator crashed): responder rolls back to the
+//     snapshot — nothing applied. The bounce is processed even while the
+//     responder itself is crashed (its memory survives; this is the
+//     transactional-undo fiction).
+//   - Commit bounces (responder crashed after replying): both ends already
+//     applied; the responder keeps the surviving undo record at recovery
+//     and arms a resolution timeout. When that timeout fires with the
+//     record still open, the Reply's fixed delivery instant has passed
+//     (the timeout exceeds the worst round trip), so the Reply either
+//     bounced — which erased the record even while the responder was down
+//     — or was delivered, meaning the initiator applied: committing is
+//     then the only consistent resolution. Recovery must NOT commit
+//     eagerly: a crash window shorter than the one-way latency can end
+//     while the Reply is still on the wire, and that Reply may yet bounce.
+// Open handshakes of either role therefore carry a timeout so a crash
+// cannot leave an agent busy (or a record unresolved) forever; the timeout
+// exceeds the worst round trip and a recovering agent re-arms it, so a
+// timeout never races a still-deliverable Reply or Commit.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/pair_order_cache.h"
+#include "core/pairwise.h"
+#include "dist/gossip.h"
+#include "dist/message.h"
+#include "dist/network.h"
+#include "util/rng.h"
+
+namespace delaylb::dist {
+
+struct AgentOptions {
+  /// One balance attempt is started every `balance_period` ms (when idle).
+  double balance_period = 100.0;
+  /// One push-pull gossip exchange every `gossip_period` ms. The paper
+  /// recommends gossiping ~log2(m) times per balance period;
+  /// RuntimeOptions::auto_gossip_period derives that automatically.
+  double gossip_period = 25.0;
+  /// A responder rejects a request whose believed load of it is off by more
+  /// than this fraction of max(1, actual load) — balancing against a badly
+  /// stale view wastes the exchange. Never-heard-from initiators are
+  /// exempt (their probe is exploration, not staleness).
+  double stale_tolerance = 0.5;
+  /// Probability of probing a uniformly random partner instead of the
+  /// proxy argmax; also used whenever the proxy sees no positive candidate
+  /// (near convergence the bulk proxy is ~0 while per-organization
+  /// re-routing can still help).
+  double explore_probability = 0.15;
+  /// A responder declines exchanges improving SumC by less than this
+  /// (absolute), keeping the system quiescent at convergence instead of
+  /// shipping columns for noise-level gains.
+  double min_gain = 1e-6;
+};
+
+struct AgentStats {
+  /// Handshakes that applied an exchange at this agent (either role).
+  std::size_t balances_completed = 0;
+  /// Handshakes that failed: busy/stale partner, crash bounce, timeout, or
+  /// responder rollback.
+  std::size_t balances_rejected = 0;
+  /// Handshakes declined because Algorithm 1 found no worthwhile gain
+  /// (counted at the initiator; neither completed nor rejected).
+  std::size_t balances_no_gain = 0;
+  /// Push-pull gossip exchanges initiated.
+  std::size_t gossip_rounds = 0;
+};
+
+/// One server's protocol state machine. Driven entirely by the runtime:
+/// timer hooks (StartGossip/StartBalance), message delivery (OnMessage),
+/// drop notifications (OnDeliveryFailure), and crash/recovery hooks.
+class Agent {
+ public:
+  /// `order_cache` may be null (latency columns are then copied per call);
+  /// when given, it must be built over `instance` and outlive the agent.
+  Agent(std::size_t id, const core::Instance& instance,
+        const core::PairOrderCache* order_cache, const AgentOptions& options,
+        util::Rng rng);
+
+  std::size_t id() const noexcept { return id_; }
+  double load() const noexcept { return load_; }
+  /// This server's allocation column: column()[k] = requests of
+  /// organization k currently executed here.
+  std::span<const double> column() const noexcept { return column_; }
+  const GossipView& view() const noexcept { return view_; }
+  const AgentStats& stats() const noexcept { return stats_; }
+  /// True while a balance handshake this agent participates in is open.
+  bool busy() const noexcept {
+    return initiator_.active || responder_.active;
+  }
+  /// True while this agent has applied its half of an exchange whose
+  /// Commit has not arrived yet — the only protocol state during which the
+  /// global allocation can be non-conserved (the transfer is on the wire).
+  bool has_uncommitted_exchange() const noexcept {
+    return responder_.active;
+  }
+
+  /// Gossip timer: push-pull exchange with a uniformly random reachable
+  /// peer. No-op when there is none.
+  void StartGossip(Network& network);
+
+  /// Balance timer: select a partner off the local view and open a
+  /// handshake. Returns the handshake id (the runtime arms the timeout for
+  /// it), or 0 when nothing was started (busy, or no peer).
+  std::uint64_t StartBalance(Network& network);
+
+  void OnMessage(const Message& message, Network& network);
+
+  /// The network could not deliver `message` (crashed or unreachable
+  /// destination); `message` is the original outbound message.
+  void OnDeliveryFailure(const Message& message, Network& network);
+
+  /// Resolution timeout for `handshake`; ignored when that handshake has
+  /// already resolved. Never invoked while this agent is crashed. An open
+  /// initiator record is cleared as rejected (nothing came back); an open
+  /// responder record is committed (see the crash argument above: at this
+  /// point the Reply was provably delivered).
+  void OnBalanceTimeout(std::uint64_t handshake);
+
+  void OnCrash();
+
+  /// Recovery: bumps and re-announces the view (immediate gossip) and
+  /// returns the handshake id whose timeout the runtime must re-arm
+  /// (0 when no handshake is open).
+  std::uint64_t OnRecover(Network& network);
+
+ private:
+  void HandleGossipPush(const Message& message, Network& network);
+  void HandleBalanceRequest(const Message& message, Network& network);
+  void HandleBalanceReply(const Message& message, Network& network);
+  void HandleBalanceCommit(const Message& message);
+  void HandleBalanceAbort(const Message& message);
+  void SendAbort(const Message& request, AbortReason reason,
+                 Network& network);
+
+  /// A message skeleton stamped with the sender's current (load, version)
+  /// — the single-entry gossip every protocol message carries.
+  Message MakeMessage(MessageKind kind, std::size_t to) const;
+
+  /// Proxy argmax over believed loads, or a random exploration probe; id_
+  /// when no peer is available.
+  std::size_t SelectPartner();
+  /// core::BulkTransferProxy on believed loads — the same formula the
+  /// synchronous engine's kFast policy uses on exact ones.
+  double ProxyScore(std::size_t candidate, double believed_load) const;
+
+  void SetColumn(std::span<const double> column);
+
+  std::size_t id_;
+  const core::Instance* instance_;
+  const core::PairOrderCache* order_cache_;
+  AgentOptions options_;
+  util::Rng rng_;
+
+  std::vector<double> column_;  ///< my column of the r matrix
+  double load_ = 0.0;           ///< sum of column_
+  GossipView view_;
+  std::vector<std::uint32_t> peers_;  ///< reachable (both ways) partners
+
+  struct InitiatorState {
+    bool active = false;
+    std::uint64_t handshake = 0;
+    std::size_t partner = 0;
+  };
+  struct ResponderState {
+    bool active = false;
+    std::uint64_t handshake = 0;
+    std::size_t partner = 0;
+    std::vector<double> undo_column;  ///< pre-apply snapshot for rollback
+  };
+  InitiatorState initiator_;
+  ResponderState responder_;
+  std::uint64_t next_handshake_ = 0;
+
+  core::PairBalanceWorkspace workspace_;
+  AgentStats stats_;
+};
+
+}  // namespace delaylb::dist

@@ -16,6 +16,16 @@ void GossipView::UpdateSelf(double load) {
   versions_[self_] += 1.0;
 }
 
+bool GossipView::Observe(std::size_t j, double load, double version) {
+  if (j >= loads_.size()) {
+    throw std::invalid_argument("GossipView::Observe: index out of range");
+  }
+  if (version <= versions_[j]) return false;
+  versions_[j] = version;
+  loads_[j] = load;
+  return true;
+}
+
 std::size_t GossipView::Merge(std::span<const double> peer_loads,
                               std::span<const double> peer_versions) {
   if (peer_loads.size() != loads_.size() ||
@@ -31,6 +41,22 @@ std::size_t GossipView::Merge(std::span<const double> peer_loads,
     }
   }
   return updated;
+}
+
+std::vector<double> GossipView::PackPayload() const {
+  std::vector<double> payload;
+  payload.reserve(2 * loads_.size());
+  payload.insert(payload.end(), loads_.begin(), loads_.end());
+  payload.insert(payload.end(), versions_.begin(), versions_.end());
+  return payload;
+}
+
+std::size_t GossipView::MergePayload(std::span<const double> payload) {
+  const std::size_t m = loads_.size();
+  if (payload.size() != 2 * m) {
+    throw std::invalid_argument("GossipView::MergePayload: size mismatch");
+  }
+  return Merge(payload.subspan(0, m), payload.subspan(m, m));
 }
 
 }  // namespace delaylb::dist

@@ -37,10 +37,25 @@ class GossipView {
   /// Records a new local load and bumps this server's version.
   void UpdateSelf(double load);
 
+  /// Single-entry merge: adopts (load, version) for server `j` iff the
+  /// version is strictly newer than the stored one. Returns true when
+  /// adopted. This is how protocol messages that carry the sender's
+  /// (load, version) double as one-entry gossip. Throws if `j` is out of
+  /// range.
+  bool Observe(std::size_t j, double load, double version);
+
   /// Adopts every peer entry with a strictly newer version. Returns the
   /// number of entries updated. Throws if the sizes do not match.
   std::size_t Merge(std::span<const double> peer_loads,
                     std::span<const double> peer_versions);
+
+  /// Serializes the view into one homogeneous buffer — the m loads followed
+  /// by the m versions — so a gossip exchange ships a single message.
+  std::vector<double> PackPayload() const;
+
+  /// Merge() from a PackPayload()-format buffer (2m doubles). Returns the
+  /// number of entries updated. Throws if the size does not match.
+  std::size_t MergePayload(std::span<const double> payload);
 
  private:
   std::size_t self_ = 0;

@@ -1,0 +1,90 @@
+#pragma once
+// Typed messages of the distributed runtime.
+//
+// Every piece of dynamic state in the message-passing deployment travels
+// inside one of these records: gossip exchanges ship a GossipView packed as
+// one homogeneous load+version buffer, and the two-party balance handshake
+// ships whole allocation columns (each server owns exactly one column of
+// the global r matrix — "everything running on me"). Static configuration
+// (speeds, latencies) is immutable and globally known, mirroring a deployed
+// system where the topology is distributed out of band.
+//
+// The balance handshake (initiator i, responder j):
+//
+//   i -> j  kBalanceRequest   i's column + load (+ i's believed load of j)
+//   j -> i  kBalanceAbort     j is busy, the request was stale, or the
+//                             Algorithm-1 exchange would not improve SumC
+//   j -> i  kBalanceReply     i's new column; j has applied its own half
+//   i -> j  kBalanceCommit    i has applied; j may discard its undo record
+//
+// The responder applies its half when it sends the Reply and keeps an undo
+// snapshot until the Commit arrives; if the Reply bounces off a crashed
+// initiator the responder rolls back, so the transfer is either applied at
+// both ends or at neither (see agent.h for the crash-interleaving
+// argument).
+
+#include <cstdint>
+#include <vector>
+
+namespace delaylb::dist {
+
+enum class MessageKind : std::uint8_t {
+  kGossipPush = 0,   ///< payload = sender's packed GossipView
+  kGossipPull,       ///< payload = receiver's packed view (push-pull answer)
+  kBalanceRequest,   ///< payload = initiator's allocation column
+  kBalanceReply,     ///< payload = initiator's new column (responder applied)
+  kBalanceCommit,    ///< no payload: initiator applied, responder may commit
+  kBalanceAbort,     ///< no payload: handshake declined (see reason)
+};
+
+enum class AbortReason : std::uint8_t {
+  kNone = 0,
+  kBusy,     ///< responder is in another handshake
+  kStale,    ///< initiator's believed load of the responder was too old
+  kNoGain,   ///< the Algorithm-1 exchange would not improve SumC
+};
+
+/// One message on the simulated network. `payload` is a homogeneous double
+/// buffer whose meaning is fixed by `kind` (see above); `handshake` pairs
+/// the balance messages of one two-party exchange.
+struct Message {
+  MessageKind kind = MessageKind::kGossipPush;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint64_t handshake = 0;
+  AbortReason reason = AbortReason::kNone;
+  /// Sender's (load, gossip version) at send time. Every protocol message
+  /// doubles as single-entry gossip: the receiver folds this pair into its
+  /// view, so e.g. a kStale abort is self-correcting instead of waiting on
+  /// the next dissemination wave.
+  double load = 0.0;
+  double load_version = 0.0;
+  /// Request only: the initiator's eventually-consistent belief of the
+  /// responder's load, for the staleness check; < 0 when unknown.
+  double believed_load = -1.0;
+  std::vector<double> payload;
+};
+
+inline const char* ToString(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kGossipPush: return "gossip-push";
+    case MessageKind::kGossipPull: return "gossip-pull";
+    case MessageKind::kBalanceRequest: return "balance-request";
+    case MessageKind::kBalanceReply: return "balance-reply";
+    case MessageKind::kBalanceCommit: return "balance-commit";
+    case MessageKind::kBalanceAbort: return "balance-abort";
+  }
+  return "unknown";
+}
+
+inline const char* ToString(AbortReason reason) {
+  switch (reason) {
+    case AbortReason::kNone: return "none";
+    case AbortReason::kBusy: return "busy";
+    case AbortReason::kStale: return "stale";
+    case AbortReason::kNoGain: return "no-gain";
+  }
+  return "unknown";
+}
+
+}  // namespace delaylb::dist

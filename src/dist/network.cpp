@@ -1,0 +1,53 @@
+#include "dist/network.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace delaylb::dist {
+
+Network::Network(const net::LatencyMatrix& latency, sim::EventQueue& queue,
+                 int message_event_type)
+    : latency_(latency),
+      queue_(queue),
+      message_event_type_(message_event_type),
+      crashed_(latency.size(), 0) {}
+
+void Network::Send(Message msg) {
+  if (msg.from >= latency_.size() || msg.to >= latency_.size()) {
+    throw std::invalid_argument("Network::Send: endpoint out of range");
+  }
+  const double delay = latency_(msg.from, msg.to);
+  const bool unreachable = !latency_.Reachable(msg.from, msg.to);
+  const std::uint64_t id = next_id_++;
+  ++sent_;
+  sim::SimEvent event;
+  event.time = queue_.now() + (unreachable ? 0.0 : delay);
+  event.type = message_event_type_;
+  event.a = id;
+  pending_.emplace(id, Pending{std::move(msg), unreachable});
+  queue_.Push(event);
+}
+
+Network::Delivery Network::Deliver(std::uint64_t message_id) {
+  const auto it = pending_.find(message_id);
+  if (it == pending_.end()) {
+    throw std::logic_error("Network::Deliver: unknown message id");
+  }
+  Delivery delivery;
+  delivery.message = std::move(it->second.message);
+  const bool dropped = it->second.unreachable || crashed(delivery.message.to);
+  pending_.erase(it);
+  if (dropped) {
+    ++dropped_;
+  } else {
+    ++delivered_;
+    delivery.delivered = true;
+  }
+  return delivery;
+}
+
+void Network::SetCrashed(std::size_t server, bool crashed) {
+  crashed_.at(server) = crashed ? 1 : 0;
+}
+
+}  // namespace delaylb::dist

@@ -1,0 +1,83 @@
+#pragma once
+// Simulated message-passing network for the distributed runtime.
+//
+// Delivery is delayed by the instance's one-way latency matrix on the
+// shared sim::EventQueue (the DES kernel also used by the Appendix-B RTT
+// experiment). The network owns the in-flight message store and the crash
+// flags: a message whose destination is crashed *at delivery time* is
+// dropped and the drop is reported back to the sender — the simulation's
+// stand-in for a failure detector / connection reset, which is what lets
+// the balance handshake resolve every crash interleaving without
+// distributed-commit machinery (see agent.h). Unreachable destinations
+// (latency = infinity, the trust-relationship extension) bounce the same
+// way with zero delay.
+//
+// All counters are exact: messages_sent == messages_delivered +
+// messages_dropped + in_flight at every instant, which the runtime tests
+// check against the snapshot accounting.
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/message.h"
+#include "net/latency_matrix.h"
+#include "sim/event_queue.h"
+
+namespace delaylb::dist {
+
+/// Latency-delayed, crash-aware message transport on a shared event queue.
+class Network {
+ public:
+  /// Delivery events are pushed into `queue` with `message_event_type` and
+  /// the in-flight message id in SimEvent::a; the driver hands the id back
+  /// to Deliver() when the event pops. Both references must outlive the
+  /// network.
+  Network(const net::LatencyMatrix& latency, sim::EventQueue& queue,
+          int message_event_type);
+
+  /// Queues `msg` for delivery at now + c(from, to). An unreachable
+  /// destination is scheduled as an immediate bounce instead.
+  void Send(Message msg);
+
+  struct Delivery {
+    /// False when the destination was crashed at delivery time (or
+    /// unreachable): the message was dropped and the sender should be
+    /// notified via Agent::OnDeliveryFailure.
+    bool delivered = false;
+    Message message;
+  };
+
+  /// Consumes the in-flight message for a popped delivery event, applying
+  /// the crash/unreachable drop rule at delivery time.
+  Delivery Deliver(std::uint64_t message_id);
+
+  void SetCrashed(std::size_t server, bool crashed);
+  bool crashed(std::size_t server) const noexcept {
+    return crashed_[server] != 0;
+  }
+
+  std::size_t messages_sent() const noexcept { return sent_; }
+  std::size_t messages_delivered() const noexcept { return delivered_; }
+  std::size_t messages_dropped() const noexcept { return dropped_; }
+  std::size_t in_flight() const noexcept { return pending_.size(); }
+
+ private:
+  struct Pending {
+    Message message;
+    bool unreachable = false;
+  };
+
+  const net::LatencyMatrix& latency_;
+  sim::EventQueue& queue_;
+  int message_event_type_;
+  std::uint64_t next_id_ = 0;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::vector<std::uint8_t> crashed_;
+  std::size_t sent_ = 0;
+  std::size_t delivered_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace delaylb::dist

@@ -1,0 +1,212 @@
+#include "dist/runtime.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/cost.h"
+#include "util/rng.h"
+
+namespace delaylb::dist {
+
+DistributedRuntime::DistributedRuntime(const core::Instance& instance,
+                                       RuntimeOptions options)
+    : instance_(instance),
+      options_(options),
+      order_cache_(instance),
+      network_(instance.latency_matrix(), queue_, kEventMessage),
+      crash_depth_(instance.size(), 0) {
+  const std::size_t m = instance.size();
+  if (m == 0) {
+    throw std::invalid_argument("DistributedRuntime: empty instance");
+  }
+  if (options_.agent.balance_period <= 0.0) {
+    throw std::invalid_argument("DistributedRuntime: balance_period <= 0");
+  }
+  if (options_.auto_gossip_period) {
+    options_.agent.gossip_period =
+        options_.agent.balance_period /
+        std::max(1.0, std::log2(static_cast<double>(m)));
+  }
+  if (options_.agent.gossip_period <= 0.0) {
+    throw std::invalid_argument("DistributedRuntime: gossip_period <= 0");
+  }
+  balance_timeout_ = options_.balance_timeout;
+  if (balance_timeout_ <= 0.0) {
+    balance_timeout_ =
+        2.0 * instance.latency_matrix().MaxOffDiagonal() +
+        options_.agent.balance_period;
+  }
+
+  util::Rng master(options_.seed);
+  agents_.reserve(m);
+  for (std::size_t id = 0; id < m; ++id) {
+    agents_.emplace_back(id, instance, &order_cache_, options_.agent,
+                         master.split());
+  }
+  // Staggered timer phases: gossip starts inside the first gossip period,
+  // balancing inside the second half of the first balance period so the
+  // views have seen at least one dissemination wave.
+  for (std::size_t id = 0; id < m; ++id) {
+    sim::SimEvent gossip;
+    gossip.time = master.uniform() * options_.agent.gossip_period;
+    gossip.type = kEventGossipTimer;
+    gossip.a = id;
+    queue_.Push(gossip);
+    sim::SimEvent balance;
+    balance.time =
+        (0.5 + 0.5 * master.uniform()) * options_.agent.balance_period;
+    balance.type = kEventBalanceTimer;
+    balance.a = id;
+    queue_.Push(balance);
+  }
+}
+
+void DistributedRuntime::RunUntil(double t) {
+  if (t < horizon_) {
+    throw std::invalid_argument("DistributedRuntime::RunUntil: time moved "
+                                "backwards");
+  }
+  while (!queue_.Empty() && queue_.PeekTime() <= t) {
+    Dispatch(queue_.Pop());
+  }
+  horizon_ = t;
+}
+
+void DistributedRuntime::Dispatch(const sim::SimEvent& event) {
+  switch (event.type) {
+    case kEventMessage: {
+      Network::Delivery delivery = network_.Deliver(event.a);
+      if (delivery.delivered) {
+        agents_[delivery.message.to].OnMessage(delivery.message, network_);
+      } else {
+        // Bounce: the sender learns of the drop at the would-be delivery
+        // instant (failure-detector simplification; see network.h).
+        agents_[delivery.message.from].OnDeliveryFailure(delivery.message,
+                                                         network_);
+      }
+      break;
+    }
+    case kEventGossipTimer: {
+      const std::size_t id = event.a;
+      sim::SimEvent next = event;
+      next.time = queue_.now() + options_.agent.gossip_period;
+      queue_.Push(next);
+      if (!network_.crashed(id)) agents_[id].StartGossip(network_);
+      break;
+    }
+    case kEventBalanceTimer: {
+      const std::size_t id = event.a;
+      sim::SimEvent next = event;
+      next.time = queue_.now() + options_.agent.balance_period;
+      queue_.Push(next);
+      if (!network_.crashed(id)) {
+        const std::uint64_t handshake = agents_[id].StartBalance(network_);
+        if (handshake != 0) {
+          sim::SimEvent timeout;
+          timeout.time = queue_.now() + balance_timeout_;
+          timeout.type = kEventBalanceTimeout;
+          timeout.a = id;
+          timeout.b = handshake;
+          queue_.Push(timeout);
+        }
+      }
+      break;
+    }
+    case kEventBalanceTimeout:
+      // A crashed initiator cannot notice silence; OnRecover re-arms.
+      if (!network_.crashed(event.a)) {
+        agents_[event.a].OnBalanceTimeout(event.b);
+      }
+      break;
+    case kEventCrash:
+      if (++crash_depth_[event.a] == 1) {
+        network_.SetCrashed(event.a, true);
+        agents_[event.a].OnCrash();
+      }
+      break;
+    case kEventRecover:
+      if (--crash_depth_[event.a] == 0) {
+        network_.SetCrashed(event.a, false);
+        const std::uint64_t handshake =
+            agents_[event.a].OnRecover(network_);
+        if (handshake != 0) {
+          sim::SimEvent timeout;
+          timeout.time = queue_.now() + balance_timeout_;
+          timeout.type = kEventBalanceTimeout;
+          timeout.a = event.a;
+          timeout.b = handshake;
+          queue_.Push(timeout);
+        }
+      }
+      break;
+    default:
+      throw std::logic_error("DistributedRuntime: unknown event type");
+  }
+}
+
+void DistributedRuntime::ScheduleCrash(std::size_t id, double down,
+                                       double up) {
+  if (id >= agents_.size()) {
+    throw std::invalid_argument("ScheduleCrash: server out of range");
+  }
+  // The simulated present is the RunUntil horizon (queue_.now() lags at
+  // the last popped event): windows must start no earlier than it.
+  if (!(down < up) || down < horizon_) {
+    throw std::invalid_argument("ScheduleCrash: need now <= down < up");
+  }
+  sim::SimEvent crash;
+  crash.time = down;
+  crash.type = kEventCrash;
+  crash.a = id;
+  queue_.Push(crash);
+  sim::SimEvent recover;
+  recover.time = up;
+  recover.type = kEventRecover;
+  recover.a = id;
+  queue_.Push(recover);
+}
+
+std::size_t DistributedRuntime::OpenHandshakes() const {
+  std::size_t open = 0;
+  for (const Agent& agent : agents_) {
+    if (agent.busy()) ++open;
+  }
+  return open;
+}
+
+std::size_t DistributedRuntime::UncommittedExchanges() const {
+  std::size_t pending = 0;
+  for (const Agent& agent : agents_) {
+    if (agent.has_uncommitted_exchange()) ++pending;
+  }
+  return pending;
+}
+
+core::Allocation DistributedRuntime::AssembleAllocation() const {
+  const std::size_t m = agents_.size();
+  std::vector<double> r(m * m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::span<const double> column = agents_[j].column();
+    for (std::size_t k = 0; k < m; ++k) {
+      r[k * m + j] = column[k];
+    }
+  }
+  // In-flight transfers make row sums temporarily inexact; skip the
+  // constructor's conservation check (see header).
+  return core::Allocation(instance_, std::move(r),
+                          std::numeric_limits<double>::infinity());
+}
+
+RuntimeSnapshot DistributedRuntime::Snapshot() const {
+  RuntimeSnapshot snapshot;
+  snapshot.time = horizon_;
+  snapshot.total_cost = core::TotalCost(instance_, AssembleAllocation());
+  snapshot.messages_sent = network_.messages_sent();
+  snapshot.messages_delivered = network_.messages_delivered();
+  snapshot.messages_dropped = network_.messages_dropped();
+  snapshot.balances_in_flight = OpenHandshakes();
+  return snapshot;
+}
+
+}  // namespace delaylb::dist

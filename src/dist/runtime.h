@@ -1,0 +1,122 @@
+#pragma once
+// The message-passing DistributedRuntime: the paper's "fully distributed
+// query processing system".
+//
+// A deterministic discrete-event deployment of MinE in which every server
+// is an Agent (one allocation column + a gossiped load view + the balance
+// handshake) and all dynamic state travels inside Messages delayed by the
+// instance's latency matrix. There is no coordinator: servers disseminate
+// loads by push-pull gossip run ~log2(m) times per balance period (Section
+// IV) and improve the allocation through pairwise Algorithm-1 exchanges
+// (Section VI). Crashes can be scheduled; traffic to a crashed server is
+// dropped and the protocol degrades gracefully (rejected handshakes) until
+// recovery re-announces a fresh view.
+//
+// Determinism: the runtime is single-threaded on a FIFO-tie-broken event
+// queue and every random draw (agent rngs, timer stagger) derives from
+// RuntimeOptions::seed, so two runs with the same seed produce identical
+// Snapshot() traces — including under scheduled crashes. That makes the
+// distributed deployment directly comparable against the synchronous
+// engine: AssembleAllocation() gathers the per-server columns into a
+// core::Allocation for cross-checking (exact request conservation holds
+// whenever no handshake is open; see OpenHandshakes).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/instance.h"
+#include "core/pair_order_cache.h"
+#include "dist/agent.h"
+#include "dist/network.h"
+#include "sim/event_queue.h"
+
+namespace delaylb::dist {
+
+struct RuntimeOptions {
+  /// Seed of every random decision in the runtime (timer stagger, gossip
+  /// peers, partner exploration).
+  std::uint64_t seed = 1;
+  /// Derive agent.gossip_period = agent.balance_period / max(1, log2(m)) —
+  /// the paper's recommended gossip-to-balance frequency ratio. Disable to
+  /// set agent.gossip_period explicitly (the gossip ablation bench does).
+  bool auto_gossip_period = true;
+  /// Initiator handshake timeout; <= 0 derives 2 * max finite latency +
+  /// agent.balance_period, which exceeds any round trip.
+  double balance_timeout = 0.0;
+  AgentOptions agent;
+};
+
+/// One point of the runtime's observable trace.
+struct RuntimeSnapshot {
+  double time = 0.0;        ///< latest RunUntil() target
+  double total_cost = 0.0;  ///< SumC of the assembled allocation
+  std::size_t messages_sent = 0;
+  std::size_t messages_delivered = 0;
+  std::size_t messages_dropped = 0;
+  std::size_t balances_in_flight = 0;  ///< open handshake endpoints
+};
+
+class DistributedRuntime {
+ public:
+  /// The instance must outlive the runtime.
+  explicit DistributedRuntime(const core::Instance& instance,
+                              RuntimeOptions options = {});
+
+  /// Advances the simulation through every event with timestamp <= t.
+  /// RunUntil targets must be non-decreasing across calls.
+  void RunUntil(double t);
+
+  RuntimeSnapshot Snapshot() const;
+
+  /// Schedules server `id` to crash at `down` and recover at `up` (both
+  /// absolute simulation times not earlier than now, down < up). Windows of
+  /// different calls may overlap; the server is down in their union.
+  void ScheduleCrash(std::size_t id, double down, double up);
+
+  const Agent& agent(std::size_t id) const { return agents_.at(id); }
+  const Network& network() const noexcept { return network_; }
+  std::size_t size() const noexcept { return agents_.size(); }
+  double now() const noexcept { return queue_.now(); }
+
+  /// Number of open handshake endpoints (initiator or responder records).
+  std::size_t OpenHandshakes() const;
+
+  /// Number of exchanges applied at the responder whose Commit is still
+  /// outstanding. Zero means no transfer is on the wire:
+  /// AssembleAllocation() then conserves every organization's load exactly
+  /// (request/abort round trips never move state).
+  std::size_t UncommittedExchanges() const;
+
+  /// Gathers the per-server columns into one allocation. While an exchange
+  /// is uncommitted the transfer is literally on the wire, so row sums may
+  /// be off by the in-flight amount; call when UncommittedExchanges() == 0
+  /// for an exact allocation.
+  core::Allocation AssembleAllocation() const;
+
+ private:
+  enum EventType : int {
+    kEventMessage = 1,
+    kEventGossipTimer,
+    kEventBalanceTimer,
+    kEventBalanceTimeout,
+    kEventCrash,
+    kEventRecover,
+  };
+
+  void Dispatch(const sim::SimEvent& event);
+
+  const core::Instance& instance_;
+  RuntimeOptions options_;
+  double balance_timeout_ = 0.0;
+  core::PairOrderCache order_cache_;
+  sim::EventQueue queue_;
+  Network network_;
+  std::vector<Agent> agents_;
+  /// Overlapping crash windows nest: a server is down while depth > 0.
+  std::vector<std::uint32_t> crash_depth_;
+  double horizon_ = 0.0;  ///< latest RunUntil target
+};
+
+}  // namespace delaylb::dist

@@ -87,10 +87,47 @@ TEST(PairOrderCache, RepeatedLookupIsStable) {
   const PairOrderCache cache(inst);
   std::vector<std::uint32_t> scratch;
   const auto first = Materialize(cache.order(4, 7, scratch));
-  const std::size_t bytes_after_first = cache.bytes_used();
   const auto second = Materialize(cache.order(4, 7, scratch));
+  const std::size_t bytes_after_admission = cache.bytes_used();
+  const auto third = Materialize(cache.order(4, 7, scratch));
   EXPECT_EQ(first, second);
-  EXPECT_EQ(cache.bytes_used(), bytes_after_first);  // no duplicate entry
+  EXPECT_EQ(second, third);
+  // Post-admission lookups retain nothing new.
+  EXPECT_EQ(cache.bytes_used(), bytes_after_admission);
+}
+
+TEST(PairOrderCache, AdmitsOnlyAfterNthFullSort) {
+  const Instance inst = TieFreeInstance(11, 3);
+  const std::size_t order_bytes = inst.size() * sizeof(std::uint32_t);
+  const PairOrderCache cache(inst, PairOrderCache::kDefaultMaxBytes,
+                             /*admit_after=*/3);
+  std::vector<std::uint32_t> scratch;
+  const auto first = Materialize(cache.order(4, 7, scratch));
+  const std::size_t counter_bytes = cache.bytes_used();
+  // The counter node is cheap: far below a retained ordering's footprint
+  // plus node overhead (the whole point of frequency-aware admission).
+  EXPECT_LT(counter_bytes, order_bytes + 64);
+  // Second sort (as the reversed direction): still counting, not retained.
+  const auto second = Materialize(cache.order(7, 4, scratch));
+  EXPECT_EQ(cache.bytes_used(), counter_bytes);
+  // Third sort admits: the ordering is now retained.
+  const auto third = Materialize(cache.order(4, 7, scratch));
+  EXPECT_EQ(cache.bytes_used(), counter_bytes + order_bytes);
+  // Every path returned the same (unique, tie-free) ordering.
+  EXPECT_EQ(first, FreshSort(inst, 4, 7));
+  std::vector<std::uint32_t> reversed(first.rbegin(), first.rend());
+  EXPECT_EQ(second, FreshSort(inst, 7, 4));
+  EXPECT_EQ(second, reversed);
+  EXPECT_EQ(third, first);
+}
+
+TEST(PairOrderCache, AdmitAfterOneRetainsOnFirstTouch) {
+  const Instance inst = TieFreeInstance(11, 3);
+  const PairOrderCache cache(inst, PairOrderCache::kDefaultMaxBytes,
+                             /*admit_after=*/1);
+  std::vector<std::uint32_t> scratch;
+  (void)cache.order(4, 7, scratch);
+  EXPECT_GE(cache.bytes_used(), inst.size() * sizeof(std::uint32_t));
 }
 
 TEST(PairOrderCache, TiedKeysFallBackToPerCallSort) {

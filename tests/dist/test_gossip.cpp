@@ -5,6 +5,8 @@
 
 #include <vector>
 
+#include "util/rng.h"
+
 namespace delaylb::dist {
 namespace {
 
@@ -67,6 +69,90 @@ TEST(GossipView, PairwiseExchangesConverge) {
     for (std::size_t j = 0; j < m; ++j) {
       EXPECT_DOUBLE_EQ(v.load(j), static_cast<double>(j) + 1.0);
     }
+  }
+}
+
+TEST(GossipView, ObserveAdoptsOnlyStrictlyNewer) {
+  GossipView view(4, 0);
+  view.UpdateSelf(5.0);
+  EXPECT_TRUE(view.Observe(2, 70.0, 3.0));
+  EXPECT_DOUBLE_EQ(view.load(2), 70.0);
+  EXPECT_DOUBLE_EQ(view.versions()[2], 3.0);
+  // Same or older version: ignored, value kept.
+  EXPECT_FALSE(view.Observe(2, 80.0, 3.0));
+  EXPECT_FALSE(view.Observe(2, 80.0, 2.0));
+  EXPECT_DOUBLE_EQ(view.load(2), 70.0);
+  // Newer wins again.
+  EXPECT_TRUE(view.Observe(2, 90.0, 4.0));
+  EXPECT_DOUBLE_EQ(view.load(2), 90.0);
+  EXPECT_THROW(view.Observe(9, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(GossipView, PayloadRoundTrip) {
+  // Pack/merge is a faithful round trip: a fresh view that merges a packed
+  // payload adopts every entry of the source view.
+  GossipView source(4, 1);
+  source.UpdateSelf(11.0);
+  source.UpdateSelf(13.0);  // version 2
+  GossipView other(4, 3);
+  other.UpdateSelf(29.0);
+  source.Merge(other.loads(), other.versions());
+
+  const std::vector<double> payload = source.PackPayload();
+  ASSERT_EQ(payload.size(), 8u);
+  GossipView sink(4, 0);
+  EXPECT_EQ(sink.MergePayload(payload), 2u);  // entries 1 and 3
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_DOUBLE_EQ(sink.load(j), source.load(j));
+    EXPECT_DOUBLE_EQ(sink.versions()[j], source.versions()[j]);
+  }
+}
+
+TEST(GossipView, MergePayloadSizeMismatchThrows) {
+  GossipView view(3, 0);
+  const std::vector<double> wrong(5, 0.0);
+  EXPECT_THROW(view.MergePayload(wrong), std::invalid_argument);
+}
+
+TEST(GossipView, PayloadMergeIsOrderIndependent) {
+  // Anti-entropy correctness: merging the same set of packed payloads in
+  // any order converges to the same view — newest version per entry wins
+  // regardless of exchange order.
+  const std::size_t m = 6;
+  std::vector<std::vector<double>> payloads;
+  for (std::size_t i = 0; i < m; ++i) {
+    GossipView v(m, i);
+    // Different update counts give distinct versions per server; stale
+    // knowledge of neighbours makes ordering matter if merging is buggy.
+    for (std::size_t u = 0; u <= i; ++u) {
+      v.UpdateSelf(10.0 * static_cast<double>(i) + static_cast<double>(u));
+    }
+    if (i > 0) {
+      // Stale but *consistent* knowledge of server i-1: a genuine earlier
+      // point of its update history (version 1), as a peer would hold it.
+      GossipView stale(m, i - 1);
+      stale.UpdateSelf(10.0 * static_cast<double>(i - 1));
+      v.Merge(stale.loads(), stale.versions());
+    }
+    payloads.push_back(v.PackPayload());
+  }
+
+  GossipView forward(m, 0), backward(m, 0), shuffled(m, 0);
+  for (std::size_t p = 0; p < payloads.size(); ++p) {
+    forward.MergePayload(payloads[p]);
+    backward.MergePayload(payloads[payloads.size() - 1 - p]);
+  }
+  util::Rng rng(7);
+  std::vector<std::size_t> order(payloads.size());
+  for (std::size_t p = 0; p < order.size(); ++p) order[p] = p;
+  rng.shuffle(order);
+  for (const std::size_t p : order) shuffled.MergePayload(payloads[p]);
+
+  for (std::size_t j = 0; j < m; ++j) {
+    EXPECT_DOUBLE_EQ(forward.load(j), backward.load(j));
+    EXPECT_DOUBLE_EQ(forward.load(j), shuffled.load(j));
+    EXPECT_DOUBLE_EQ(forward.versions()[j], backward.versions()[j]);
+    EXPECT_DOUBLE_EQ(forward.versions()[j], shuffled.versions()[j]);
   }
 }
 

@@ -1,0 +1,236 @@
+// The message-passing DistributedRuntime: determinism, crash windows,
+// conservation, and message accounting.
+#include "dist/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/mine.h"
+#include "testing/instances.h"
+
+namespace delaylb::dist {
+namespace {
+
+/// Advances past `t` to the first snapshot instant with no uncommitted
+/// exchange, so assembled allocations are exact (the transfer of an
+/// uncommitted exchange is literally on the wire).
+void RunUntilQuiescent(DistributedRuntime& runtime, double t) {
+  runtime.RunUntil(t);
+  for (int step = 0;
+       step < 1000 && runtime.UncommittedExchanges() > 0; ++step) {
+    t += 10.0;
+    runtime.RunUntil(t);
+  }
+  ASSERT_EQ(runtime.UncommittedExchanges(), 0u);
+}
+
+TEST(DistributedRuntime, SameSeedSameTrace) {
+  const core::Instance inst = testing::RandomInstance(12, 21);
+  std::vector<RuntimeSnapshot> traces[2];
+  for (auto& trace : traces) {
+    RuntimeOptions options;
+    options.seed = 17;
+    DistributedRuntime runtime(inst, options);
+    runtime.ScheduleCrash(3, 800.0, 2200.0);
+    runtime.ScheduleCrash(5, 1000.0, 1600.0);
+    for (double t = 250.0; t <= 5000.0; t += 250.0) {
+      runtime.RunUntil(t);
+      trace.push_back(runtime.Snapshot());
+    }
+  }
+  ASSERT_EQ(traces[0].size(), traces[1].size());
+  for (std::size_t k = 0; k < traces[0].size(); ++k) {
+    EXPECT_EQ(traces[0][k].time, traces[1][k].time);
+    EXPECT_EQ(traces[0][k].total_cost, traces[1][k].total_cost);
+    EXPECT_EQ(traces[0][k].messages_sent, traces[1][k].messages_sent);
+    EXPECT_EQ(traces[0][k].messages_delivered,
+              traces[1][k].messages_delivered);
+    EXPECT_EQ(traces[0][k].messages_dropped,
+              traces[1][k].messages_dropped);
+    EXPECT_EQ(traces[0][k].balances_in_flight,
+              traces[1][k].balances_in_flight);
+  }
+}
+
+TEST(DistributedRuntime, DifferentSeedsDiverge) {
+  const core::Instance inst = testing::RandomInstance(12, 21);
+  double costs[2] = {0.0, 0.0};
+  std::size_t messages[2] = {0, 0};
+  for (int run = 0; run < 2; ++run) {
+    RuntimeOptions options;
+    options.seed = run + 1;
+    DistributedRuntime runtime(inst, options);
+    runtime.RunUntil(700.0);
+    const RuntimeSnapshot snap = runtime.Snapshot();
+    costs[run] = snap.total_cost;
+    messages[run] = snap.messages_sent;
+  }
+  // Mid-convergence state is seed-dependent (different gossip peers and
+  // partner probes); identical values would mean the seed is ignored.
+  EXPECT_TRUE(costs[0] != costs[1] || messages[0] != messages[1]);
+}
+
+TEST(DistributedRuntime, ConvergesToSynchronousEngineQuality) {
+  const core::Instance inst = testing::RandomInstance(14, 5);
+  const double mine = core::TotalCost(
+      inst, core::SolveWithMinE(inst, {}, 300, 1e-13));
+  DistributedRuntime runtime(inst);
+  runtime.RunUntil(20000.0);
+  const double distributed =
+      core::TotalCost(inst, runtime.AssembleAllocation());
+  EXPECT_LT(distributed, 1.10 * mine);
+}
+
+TEST(DistributedRuntime, AssembledAllocationConservesLoads) {
+  const core::Instance inst = testing::RandomInstance(10, 7);
+  DistributedRuntime runtime(inst);
+  // At t = 0 nothing has moved: the assembled allocation is the identity.
+  const core::Allocation initial = runtime.AssembleAllocation();
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_DOUBLE_EQ(initial.r(i, i), inst.load(i));
+  }
+  RunUntilQuiescent(runtime, 3000.0);
+  const core::Allocation alloc = runtime.AssembleAllocation();
+  // Exact per-organization conservation at quiescence: every server's
+  // initial load is fully accounted for across the gathered columns.
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < inst.size(); ++j) row_sum += alloc.r(i, j);
+    EXPECT_NEAR(row_sum, inst.load(i), 1e-9 * std::max(1.0, inst.load(i)));
+  }
+  EXPECT_TRUE(alloc.Valid(inst, 1e-6));
+}
+
+TEST(DistributedRuntime, CrashWindowRejectsAndRecoveryReconverges) {
+  const core::Instance inst = testing::RandomInstance(10, 11);
+  RuntimeOptions options;
+  options.seed = 3;
+  DistributedRuntime runtime(inst, options);
+  // Let the system settle first, then knock a server out.
+  runtime.RunUntil(2000.0);
+  const std::size_t crashed = 4;
+  runtime.ScheduleCrash(crashed, 2500.0, 6000.0);
+  const std::size_t completed_before_window =
+      runtime.agent(crashed).stats().balances_completed;
+  runtime.RunUntil(6000.0);
+  // While down the server completed nothing, and traffic addressed to it
+  // was dropped.
+  EXPECT_EQ(runtime.agent(crashed).stats().balances_completed,
+            completed_before_window);
+  EXPECT_GT(runtime.Snapshot().messages_dropped, 0u);
+  // Other servers saw their requests to it bounce.
+  std::size_t rejected_elsewhere = 0;
+  for (std::size_t id = 0; id < inst.size(); ++id) {
+    if (id != crashed) {
+      rejected_elsewhere += runtime.agent(id).stats().balances_rejected;
+    }
+  }
+  EXPECT_GT(rejected_elsewhere, 0u);
+  // After recovery the protocol reconverges to synchronous-engine quality.
+  RunUntilQuiescent(runtime, 20000.0);
+  const double mine = core::TotalCost(
+      inst, core::SolveWithMinE(inst, {}, 300, 1e-13));
+  const double distributed =
+      core::TotalCost(inst, runtime.AssembleAllocation());
+  EXPECT_LT(distributed, 1.10 * mine);
+  EXPECT_TRUE(runtime.AssembleAllocation().Valid(inst, 1e-6));
+}
+
+TEST(DistributedRuntime, CrashStormPreservesConservation) {
+  // Crash windows *shorter than one-way latencies* force the nasty
+  // interleavings: a responder can recover while its Reply is still on
+  // the wire, and the Reply can then bounce off an initiator that crashed
+  // meanwhile. Whatever the interleaving, a quiescent assembled allocation
+  // must conserve every organization's load exactly — an exchange is
+  // applied at both ends or neither.
+  // Regression shape: *correlated* paired windows (two servers knocked out
+  // a sub-latency offset apart) during the early applying phase are what
+  // reach the recover-while-Reply-in-flight interleaving; storm seed 8
+  // reproduced the eager-recovery-commit bug this test pins down.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    util::Rng rng(1000 + seed % 5);
+    core::ScenarioParams params;
+    params.m = 10;
+    params.network = core::NetworkKind::kPlanetLab;
+    params.load_distribution = util::LoadDistribution::kExponential;
+    params.mean_load = 120.0;
+    const core::Instance inst = core::MakeScenario(params, rng);
+    RuntimeOptions options;
+    options.seed = seed;
+    DistributedRuntime runtime(inst, options);
+    util::Rng chaos(seed * 31);
+    for (int w = 0; w < 120; ++w) {
+      const std::size_t a = chaos.below(inst.size());
+      const std::size_t b = chaos.below(inst.size());
+      const double down_a = chaos.uniform(100.0, 2500.0);
+      runtime.ScheduleCrash(a, down_a, down_a + chaos.uniform(5.0, 50.0));
+      const double down_b = down_a + chaos.uniform(0.0, 120.0);
+      runtime.ScheduleCrash(b, down_b, down_b + chaos.uniform(5.0, 50.0));
+    }
+    RunUntilQuiescent(runtime, 9000.0);
+    const core::Allocation alloc = runtime.AssembleAllocation();
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+      double row_sum = 0.0;
+      for (std::size_t j = 0; j < inst.size(); ++j) {
+        row_sum += alloc.r(i, j);
+      }
+      EXPECT_NEAR(row_sum, inst.load(i),
+                  1e-9 * std::max(1.0, inst.load(i)))
+          << "seed " << seed << " organization " << i;
+    }
+    EXPECT_TRUE(alloc.Valid(inst, 1e-6)) << "seed " << seed;
+  }
+}
+
+TEST(DistributedRuntime, SnapshotAccountingMatchesNetworkCounters) {
+  const core::Instance inst = testing::RandomInstance(12, 13);
+  DistributedRuntime runtime(inst);
+  runtime.ScheduleCrash(2, 500.0, 1500.0);
+  for (double t = 400.0; t <= 4000.0; t += 400.0) {
+    runtime.RunUntil(t);
+    const RuntimeSnapshot snap = runtime.Snapshot();
+    const Network& net = runtime.network();
+    EXPECT_EQ(snap.messages_sent, net.messages_sent());
+    EXPECT_EQ(snap.messages_delivered, net.messages_delivered());
+    EXPECT_EQ(snap.messages_dropped, net.messages_dropped());
+    // Every message is accounted for at every instant.
+    EXPECT_EQ(net.messages_sent(),
+              net.messages_delivered() + net.messages_dropped() +
+                  net.in_flight());
+  }
+}
+
+TEST(DistributedRuntime, GossipSpreadsLoadsToEveryView) {
+  const core::Instance inst = testing::RandomInstance(9, 17);
+  DistributedRuntime runtime(inst);
+  runtime.RunUntil(1500.0);
+  // After many gossip periods every agent has heard from every server.
+  for (std::size_t id = 0; id < inst.size(); ++id) {
+    const GossipView& view = runtime.agent(id).view();
+    for (std::size_t j = 0; j < inst.size(); ++j) {
+      EXPECT_GT(view.versions()[j], 0.0) << "agent " << id << " entry " << j;
+    }
+  }
+}
+
+TEST(DistributedRuntime, ValidatesArguments) {
+  const core::Instance inst = testing::RandomInstance(6, 1);
+  DistributedRuntime runtime(inst);
+  EXPECT_THROW(runtime.ScheduleCrash(99, 10.0, 20.0),
+               std::invalid_argument);
+  EXPECT_THROW(runtime.ScheduleCrash(1, 20.0, 20.0),
+               std::invalid_argument);
+  runtime.RunUntil(100.0);
+  EXPECT_THROW(runtime.ScheduleCrash(1, 50.0, 200.0),
+               std::invalid_argument);  // down < now
+  EXPECT_THROW(runtime.RunUntil(50.0), std::invalid_argument);
+  RuntimeOptions bad;
+  bad.agent.balance_period = 0.0;
+  EXPECT_THROW(DistributedRuntime(inst, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace delaylb::dist
