@@ -51,6 +51,7 @@ int Run(int argc, char** argv) {
 
         core::MinEOptions base;
         base.seed = seed;
+        bench::ApplyEngineFlags(cli, base);
         core::MinEOptions removal = base;
         removal.cycle_removal_period = 2;
 

@@ -4,10 +4,15 @@
 #include <iostream>
 #include <string>
 
+#include "core/mine_flags.h"
 #include "util/cli.h"
 #include "util/table.h"
 
 namespace delaylb::bench {
+
+/// The shared --threads/--step-mode engine flags of the MinE harnesses
+/// (one vocabulary across benches and examples; see core/mine_flags.h).
+using core::ApplyEngineFlags;
 
 /// Full-scale mode: DELAYLB_FULL env var or --full flag.
 inline bool FullScale(const util::Cli& cli) {

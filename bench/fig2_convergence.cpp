@@ -50,6 +50,7 @@ int Run(int argc, char** argv) {
     core::MinEOptions options;
     options.policy = core::PartnerPolicy::kFast;
     options.seed = m;
+    bench::ApplyEngineFlags(cli, options);
     traces.push_back(exp::TraceConvergence(inst, iterations, options));
     std::cerr << "  traced m=" << m << "\n";
   }

@@ -41,41 +41,60 @@ int Run(int argc, char** argv) {
   // still empty/stale when balancing starts, so the first rounds are
   // wasted. Over a long horizon everything converges (and fully accurate
   // views even cause mild partner herding), so both checkpoints are shown.
+  // Each ratio runs twice — with the gossip-on-reply piggyback on and off
+  // — to quantify how much dedicated gossip budget the piggyback saves
+  // (ROADMAP item: a completed exchange already ships a column, so the
+  // packed view rides along for free).
   const double early = 10.0 * 100.0;  // 10 balance periods
-  util::Table table({"gossip/balance ratio", "vs optimum @10 periods",
-                     "vs optimum @end", "messages"});
+  util::Table table({"gossip/balance ratio", "piggyback",
+                     "vs optimum @10 periods", "vs optimum @end",
+                     "messages"});
+  // The per-seed instance and its centralized optimum depend only on the
+  // seed — hoist them out of the (ratio x piggyback) sweep.
+  std::vector<core::Instance> instances;
+  double opt_sum = 0.0;
+  for (std::size_t seed = 1; seed <= seeds; ++seed) {
+    util::Rng rng(seed * 131);
+    core::ScenarioParams params;
+    params.m = m;
+    params.network = core::NetworkKind::kPlanetLab;
+    params.load_distribution = util::LoadDistribution::kExponential;
+    params.mean_load = 120.0;
+    instances.push_back(core::MakeScenario(params, rng));
+    opt_sum += core::TotalCost(
+        instances.back(),
+        core::SolveWithMinE(instances.back(), {}, 200, 1e-12));
+  }
+  // @10-period operating points, indexed [piggyback][ratio]; used for the
+  // budget-savings summary below.
+  std::vector<double> early_ratio[2];
   for (double ratio : ratios) {
-    double early_sum = 0.0, end_sum = 0.0, opt_sum = 0.0;
-    std::size_t messages = 0;
-    for (std::size_t seed = 1; seed <= seeds; ++seed) {
-      util::Rng rng(seed * 131);
-      core::ScenarioParams params;
-      params.m = m;
-      params.network = core::NetworkKind::kPlanetLab;
-      params.load_distribution = util::LoadDistribution::kExponential;
-      params.mean_load = 120.0;
-      const core::Instance inst = core::MakeScenario(params, rng);
-
-      dist::RuntimeOptions options;
-      options.seed = seed;
-      options.auto_gossip_period = false;
-      options.agent.balance_period = 100.0;
-      options.agent.gossip_period = 100.0 / ratio;
-      dist::DistributedRuntime runtime(inst, options);
-      runtime.RunUntil(early);
-      early_sum += runtime.Snapshot().total_cost;
-      runtime.RunUntil(horizon);
-      const dist::RuntimeSnapshot snap = runtime.Snapshot();
-      end_sum += snap.total_cost;
-      opt_sum += core::TotalCost(
-          inst, core::SolveWithMinE(inst, {}, 200, 1e-12));
-      messages += snap.messages_sent;
+    for (const bool piggyback : {true, false}) {
+      double early_sum = 0.0, end_sum = 0.0;
+      std::size_t messages = 0;
+      for (std::size_t seed = 1; seed <= seeds; ++seed) {
+        dist::RuntimeOptions options;
+        options.seed = seed;
+        options.auto_gossip_period = false;
+        options.agent.balance_period = 100.0;
+        options.agent.gossip_period = 100.0 / ratio;
+        options.agent.piggyback_gossip = piggyback;
+        dist::DistributedRuntime runtime(instances[seed - 1], options);
+        runtime.RunUntil(early);
+        early_sum += runtime.Snapshot().total_cost;
+        runtime.RunUntil(horizon);
+        const dist::RuntimeSnapshot snap = runtime.Snapshot();
+        end_sum += snap.total_cost;
+        messages += snap.messages_sent;
+      }
+      early_ratio[piggyback ? 0 : 1].push_back(early_sum / opt_sum);
+      table.Row()
+          .Cell(ratio, 2)
+          .Cell(piggyback ? "on" : "off")
+          .Cell(early_sum / opt_sum, 4)
+          .Cell(end_sum / opt_sum, 4)
+          .Cell(messages / seeds);
     }
-    table.Row()
-        .Cell(ratio, 2)
-        .Cell(early_sum / opt_sum, 4)
-        .Cell(end_sum / opt_sum, 4)
-        .Cell(messages / seeds);
   }
   bench::Emit(cli, table);
   std::cout << "(the paper's recommended ratio is ~log2(m) = "
@@ -85,6 +104,28 @@ int Run(int argc, char** argv) {
                "insensitive to the gossip rate — the budget only buys "
                "slightly faster early convergence, at a linear message "
                "cost)\n";
+
+  // Dedicated-budget savings: the smallest swept ratio whose piggybacked
+  // early operating point is at least as good as the paper-recommended
+  // ratio without piggybacking.
+  const double log_ratio = std::log2(static_cast<double>(m));
+  double reference = 0.0;
+  for (std::size_t k = 0; k < ratios.size(); ++k) {
+    if (ratios[k] == log_ratio) reference = early_ratio[1][k];
+  }
+  for (std::size_t k = 0; k < ratios.size(); ++k) {
+    if (early_ratio[0][k] <= reference) {
+      std::cout << "piggyback savings: ratio "
+                << util::FormatDouble(ratios[k], 2)
+                << " with gossip-on-reply matches ratio "
+                << util::FormatDouble(log_ratio, 1)
+                << " without it @10 periods — "
+                << util::FormatDouble(
+                       100.0 * (1.0 - ratios[k] / log_ratio), 0)
+                << "% less dedicated gossip budget\n";
+      break;
+    }
+  }
   return 0;
 }
 

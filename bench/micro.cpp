@@ -103,6 +103,31 @@ void BM_MinEIterationExact(benchmark::State& state) {
 }
 BENCHMARK(BM_MinEIterationExact)->Range(8, 512);
 
+void BM_MinEIterationConcurrent(benchmark::State& state) {
+  // One concurrent Step (snapshot selection → wait-free disjoint-pair
+  // claiming → concurrent balances); Args = {m, threads}. threads = 1 is
+  // the same pipeline executed serially — its trace is bit-identical to
+  // the multi-threaded run by the engine's determinism contract.
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const std::size_t threads = static_cast<std::size_t>(state.range(1));
+  const core::Instance inst = MakeInstance(m);
+  core::MinEOptions options;
+  options.step_mode = core::StepMode::kConcurrent;
+  options.threads = threads;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Allocation alloc(inst);
+    core::MinEBalancer balancer(inst, options);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(balancer.Step(alloc).total_cost);
+  }
+}
+BENCHMARK(BM_MinEIterationConcurrent)
+    ->Args({256, 1})
+    ->Args({256, 4})
+    ->Args({512, 1})
+    ->Args({512, 4});
+
 void BM_MinEIterationFast(benchmark::State& state) {
   const std::size_t m = static_cast<std::size_t>(state.range(0));
   const core::Instance inst = MakeInstance(m);

@@ -53,6 +53,7 @@ int Run(int argc, char** argv) {
       core::Allocation alloc(inst);
       core::MinEOptions options;
       options.seed = seed + 1;
+      bench::ApplyEngineFlags(cli, options);
       core::MinEBalancer balancer(inst, options);
       const core::MinERun run = balancer.Run(alloc, 100, 1e-11);
       costs[d].push_back(run.final_cost);

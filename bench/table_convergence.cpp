@@ -78,6 +78,7 @@ int Run(int argc, char** argv) {
               const core::Instance inst = core::MakeScenario(params, rng);
               core::MinEOptions options;
               options.seed = seed ^ 0xABCDu;
+              bench::ApplyEngineFlags(cli, options);
               const exp::IterationsToTolerance result =
                   exp::MeasureIterationsToTolerance(inst, tolerance,
                                                     options, 60);

@@ -1,23 +1,30 @@
 // Quickstart: build a small network of servers, balance it with the
 // distributed MinE algorithm, and inspect the result.
 //
-//   $ ./quickstart
+//   $ ./quickstart [--threads N] [--step-mode sequential|concurrent]
 //
 // Walks through the library's core objects: Instance (servers, loads,
 // latencies), Allocation (who runs what where), MinEBalancer (the paper's
-// Algorithm 2), and the cost functions.
+// Algorithm 2), and the cost functions. `--step-mode concurrent` runs the
+// engine's disjoint-pair concurrent iteration pipeline on `--threads`
+// workers (0 = one per hardware thread) — same per-seed results for any
+// thread count.
 
 #include <iostream>
+#include <string>
 
 #include "core/cost.h"
 #include "core/error_bound.h"
 #include "core/mine.h"
+#include "core/mine_flags.h"
 #include "core/workload.h"
 #include "net/generators.h"
+#include "util/cli.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace delaylb;
+  const util::Cli cli(argc, argv);
 
   // 1. Describe the system: 6 organizations, each with one server.
   //    Speeds in requests/ms, loads in requests, latencies in ms.
@@ -34,8 +41,17 @@ int main() {
 
   // 3. Balance with the distributed algorithm. One Step() is one round in
   //    which every server picks its best partner and exchanges load
-  //    (Algorithms 1-2 of the paper).
-  core::MinEBalancer balancer(instance);
+  //    (Algorithms 1-2 of the paper). Under the concurrent mode a round
+  //    instead claims a maximal set of disjoint pairs and balances them
+  //    in parallel — the paper's asynchronous execution model.
+  core::MinEOptions options;
+  options.threads = 1;  // serial by default; --threads overrides
+  core::ApplyEngineFlags(cli, options);
+  if (options.step_mode == core::StepMode::kConcurrent) {
+    std::cout << "engine: concurrent Step pipeline, threads="
+              << options.threads << " (0 = all cores)\n";
+  }
+  core::MinEBalancer balancer(instance, options);
   for (int iteration = 1; iteration <= 5; ++iteration) {
     const core::IterationStats stats = balancer.Step(alloc);
     std::cout << "after iteration " << iteration

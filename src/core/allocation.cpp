@@ -64,6 +64,44 @@ void Allocation::Move(std::size_t k, std::size_t i, std::size_t j,
   loads_[j] += moved;
 }
 
+void Allocation::CommitPairBalance(std::size_t i, std::size_t j,
+                                   std::span<const double> new_rkj) {
+  if (i == j || new_rkj.size() != m_) {
+    throw std::invalid_argument("Allocation::CommitPairBalance: bad args");
+  }
+  // The body is the Move() arithmetic inlined per organization, kept
+  // operation-for-operation identical (clamp, then the same four matrix and
+  // two load updates) so a commit is bit-identical to the Move loop it
+  // replaces. Only column-i/j entries and the two loads are written — see
+  // the header's pair-locality contract.
+  double* __restrict__ col_i = col_.data() + i * m_;
+  double* __restrict__ col_j = col_.data() + j * m_;
+  double load_i = loads_[i];
+  double load_j = loads_[j];
+  for (std::size_t k = 0; k < m_; ++k) {
+    double& r_ki = r_[k * m_ + i];
+    double& r_kj = r_[k * m_ + j];
+    const double delta_to_j = new_rkj[k] - r_kj;
+    if (delta_to_j > 0.0) {
+      const double moved = std::min(delta_to_j, r_ki);
+      r_ki -= moved;
+      r_kj += moved;
+      load_i -= moved;
+      load_j += moved;
+    } else if (delta_to_j < 0.0) {
+      const double moved = std::min(-delta_to_j, r_kj);
+      r_kj -= moved;
+      r_ki += moved;
+      load_j -= moved;
+      load_i += moved;
+    }
+    col_i[k] = r_ki;
+    col_j[k] = r_kj;
+  }
+  loads_[i] = load_i;
+  loads_[j] = load_j;
+}
+
 void Allocation::SetRow(std::size_t i, std::span<const double> new_row,
                         double tol) {
   if (new_row.size() != m_) {

@@ -71,6 +71,20 @@ class Allocation {
   /// moved amount is clamped so r(k, i) never becomes negative).
   void Move(std::size_t k, std::size_t i, std::size_t j, double amount);
 
+  /// Commits a pair balance: for every organization k, moves requests
+  /// between servers i and j until column j holds `new_rkj[k]` (clamped so
+  /// no entry goes negative, with the same arithmetic as a per-k Move loop
+  /// — results are bit-identical to one). Requires i != j and m entries.
+  ///
+  /// Pair-locality contract: this writes only the matrix entries of
+  /// columns i and j (in both the row-major and the column-major copies)
+  /// and loads_[i] / loads_[j]. Two CommitPairBalance calls whose server
+  /// pairs are disjoint therefore touch disjoint memory and may run
+  /// concurrently without synchronization — the invariant the MinE
+  /// engine's concurrent Step builds on.
+  void CommitPairBalance(std::size_t i, std::size_t j,
+                         std::span<const double> new_rkj);
+
   /// Overwrites organization i's whole row (used by best-response moves).
   /// new_row must have m entries summing to n_i (checked to `tol`).
   void SetRow(std::size_t i, std::span<const double> new_row,

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <future>
 #include <limits>
 #include <thread>
 
@@ -19,6 +18,10 @@ constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 /// caller pinned an explicit thread count, which forces the parallel path —
 /// the determinism tests rely on that).
 constexpr std::size_t kParallelMinM = 64;
+
+/// Below this many live candidate edges the matching rounds run serially;
+/// the claimed set is identical either way.
+constexpr std::size_t kParallelMinEdges = 256;
 
 /// The shared bulk-transfer improvement proxy on exact loads.
 double ProxyScore(const Instance& inst, const Allocation& alloc,
@@ -37,6 +40,27 @@ void RaiseAtomicMax(std::atomic<double>& target, double value) {
   }
 }
 
+/// Monotone atomic min for the matching's per-vertex best-edge ranks.
+void LowerAtomicMin(std::atomic<std::uint32_t>& target,
+                    std::uint32_t value) {
+  std::uint32_t current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// The per-(seed, iteration, server) rng of the concurrent Step's kFast
+/// scans: a SplitMix-style mix so every server's probe stream is fixed by
+/// the triple alone, independent of which worker runs the scan.
+util::Rng DeriveScanRng(std::uint64_t seed, std::size_t iteration,
+                        std::size_t id) {
+  std::uint64_t x = seed;
+  x ^= 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(iteration + 1);
+  x ^= 0xBF58476D1CE4E5B9ull * static_cast<std::uint64_t>(id + 1);
+  return util::Rng(x);
+}
+
 }  // namespace
 
 MinEBalancer::MinEBalancer(const Instance& instance, MinEOptions options)
@@ -52,9 +76,13 @@ MinEBalancer::MinEBalancer(const Instance& instance, MinEOptions options)
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   threads = std::min(threads, std::max<std::size_t>(1, m / 2));
-  if (threads > 1 && options_.policy == PartnerPolicy::kExact) {
+  // The pool serves the sequential mode's per-candidate kExact fan-out and
+  // every stage of the concurrent Step (selection, matching, balancing).
+  const bool pooled_mode = options_.policy == PartnerPolicy::kExact ||
+                           options_.step_mode == StepMode::kConcurrent;
+  if (threads > 1 && pooled_mode) {
     pool_ = std::make_unique<util::ThreadPool>(threads);
-    worker_ws_.resize(threads);
+    worker_scratch_.resize(threads);
   }
 }
 
@@ -65,7 +93,29 @@ std::size_t MinEBalancer::SelectPartner(const Allocation& alloc,
       m <= options_.fast_candidates) {
     return SelectPartnerExact(alloc, id);
   }
-  return SelectPartnerFast(alloc, id);
+  return ScanFast(alloc, id, scratch_, rng_).partner;
+}
+
+MinEBalancer::Candidate MinEBalancer::ScanExact(
+    const Allocation& alloc, std::size_t id,
+    PairBalanceWorkspace& ws) const {
+  // Serial scan with branch-and-bound: each preview aborts early once its
+  // admissible upper bound cannot beat the best improvement so far. The
+  // pruning threshold is strict, so the selected partner matches an
+  // unpruned scan exactly.
+  const std::size_t m = instance_.size();
+  Candidate best;
+  best.partner = id;
+  for (std::size_t j = 0; j < m; ++j) {
+    if (j == id) continue;
+    const PairBalanceResult r = PairBalancePreview(
+        instance_, alloc, id, j, ws, cache(), best.improvement);
+    if (!r.aborted && r.improvement > best.improvement) {
+      best.improvement = r.improvement;
+      best.partner = j;
+    }
+  }
+  return best;
 }
 
 std::size_t MinEBalancer::SelectPartnerExact(const Allocation& alloc,
@@ -75,22 +125,7 @@ std::size_t MinEBalancer::SelectPartnerExact(const Allocation& alloc,
       pool_ != nullptr && (m >= kParallelMinM || options_.threads > 1);
 
   if (!parallel) {
-    // Serial scan with branch-and-bound: each preview aborts early once its
-    // admissible upper bound cannot beat the best improvement so far. The
-    // pruning threshold is strict, so the selected partner matches an
-    // unpruned scan exactly.
-    double best_improvement = 0.0;
-    std::size_t best = id;
-    for (std::size_t j = 0; j < m; ++j) {
-      if (j == id) continue;
-      const PairBalanceResult r = PairBalancePreview(
-          instance_, alloc, id, j, ws_, cache(), best_improvement);
-      if (!r.aborted && r.improvement > best_improvement) {
-        best_improvement = r.improvement;
-        best = j;
-      }
-    }
-    return best;
+    return ScanExact(alloc, id, scratch_.ws).partner;
   }
 
   // Parallel scan: workers fill scores_[j] (exact improvement, or -inf for
@@ -102,27 +137,19 @@ std::size_t MinEBalancer::SelectPartnerExact(const Allocation& alloc,
   // scan no matter how threads interleave.
   scores_.assign(m, kNegInf);
   std::atomic<double> shared_best{0.0};
-  const std::size_t workers = worker_ws_.size();
-  std::vector<std::future<void>> futures;
-  futures.reserve(workers);
-  for (std::size_t t = 0; t < workers; ++t) {
-    futures.push_back(pool_->Submit([&, t] {
-      PairBalanceWorkspace& ws = worker_ws_[t];
-      const std::size_t begin = t * m / workers;
-      const std::size_t end = (t + 1) * m / workers;
-      for (std::size_t j = begin; j < end; ++j) {
-        if (j == id) continue;
-        const double threshold =
-            shared_best.load(std::memory_order_relaxed);
-        const PairBalanceResult r = PairBalancePreview(
-            instance_, alloc, id, j, ws, cache(), threshold);
-        if (r.aborted) continue;  // scores_[j] stays -inf
-        scores_[j] = r.improvement;
-        RaiseAtomicMax(shared_best, r.improvement);
-      }
-    }));
-  }
-  for (auto& f : futures) f.get();
+  pool_->ParallelChunks(m, [&](std::size_t t, std::size_t begin,
+                               std::size_t end) {
+    PairBalanceWorkspace& ws = worker_scratch_[t].ws;
+    for (std::size_t j = begin; j < end; ++j) {
+      if (j == id) continue;
+      const double threshold = shared_best.load(std::memory_order_relaxed);
+      const PairBalanceResult r = PairBalancePreview(
+          instance_, alloc, id, j, ws, cache(), threshold);
+      if (r.aborted) continue;  // scores_[j] stays -inf
+      scores_[j] = r.improvement;
+      RaiseAtomicMax(shared_best, r.improvement);
+    }
+  });
 
   double best_improvement = 0.0;
   std::size_t best = id;
@@ -135,44 +162,47 @@ std::size_t MinEBalancer::SelectPartnerExact(const Allocation& alloc,
   return best;
 }
 
-std::size_t MinEBalancer::SelectPartnerFast(const Allocation& alloc,
-                                            std::size_t id) {
+MinEBalancer::Candidate MinEBalancer::ScanFast(const Allocation& alloc,
+                                               std::size_t id,
+                                               SelectScratch& scratch,
+                                               util::Rng& rng) const {
   const std::size_t m = instance_.size();
-  double best_improvement = 0.0;
-  std::size_t best = id;
+  Candidate best;
+  best.partner = id;
 
   // Per-call stamp marking candidates whose exact improvement was already
   // computed, so the random probes below never waste an exact evaluation
   // on a duplicate (or on id itself).
-  ++eval_epoch_;
-  eval_stamp_.resize(m, 0);
-  eval_stamp_[id] = eval_epoch_;
+  ++scratch.eval_epoch;
+  scratch.eval_stamp.resize(m, 0);
+  scratch.eval_stamp[id] = scratch.eval_epoch;
 
   // Rank all partners by the O(1) proxy, evaluate the top few exactly. The
   // proxy ignores per-organization latency structure, so a few random
   // candidates are mixed in to avoid systematic blind spots (near
   // convergence the bulk proxy is ~0 while per-organization re-routing can
   // still help).
-  candidates_.clear();
-  candidates_.reserve(m);
+  scratch.candidates.clear();
+  scratch.candidates.reserve(m);
   for (std::size_t j = 0; j < m; ++j) {
     if (j == id) continue;
     const double score = ProxyScore(instance_, alloc, id, j);
-    if (score > 0.0) candidates_.emplace_back(score, j);
+    if (score > 0.0) scratch.candidates.emplace_back(score, j);
   }
   const std::size_t keep =
-      std::min(options_.fast_candidates, candidates_.size());
+      std::min(options_.fast_candidates, scratch.candidates.size());
   std::partial_sort(
-      candidates_.begin(), candidates_.begin() + keep, candidates_.end(),
+      scratch.candidates.begin(), scratch.candidates.begin() + keep,
+      scratch.candidates.end(),
       [](const auto& a, const auto& b) { return a.first > b.first; });
   for (std::size_t c = 0; c < keep; ++c) {
-    const std::size_t j = candidates_[c].second;
-    eval_stamp_[j] = eval_epoch_;
+    const std::size_t j = scratch.candidates[c].second;
+    scratch.eval_stamp[j] = scratch.eval_epoch;
     const PairBalanceResult r = PairBalancePreview(
-        instance_, alloc, id, j, ws_, cache(), best_improvement);
-    if (!r.aborted && r.improvement > best_improvement) {
-      best_improvement = r.improvement;
-      best = j;
+        instance_, alloc, id, j, scratch.ws, cache(), best.improvement);
+    if (!r.aborted && r.improvement > best.improvement) {
+      best.improvement = r.improvement;
+      best.partner = j;
     }
   }
   const std::size_t random_probes =
@@ -182,26 +212,43 @@ std::size_t MinEBalancer::SelectPartnerFast(const Allocation& alloc,
     // enough in the sparse regime this path targets (m >> evaluated set).
     std::size_t j = id;
     for (int attempt = 0; attempt < 8; ++attempt) {
-      std::size_t probe = rng_.below(m - 1);
+      std::size_t probe = rng.below(m - 1);
       if (probe >= id) ++probe;
-      if (eval_stamp_[probe] != eval_epoch_) {
+      if (scratch.eval_stamp[probe] != scratch.eval_epoch) {
         j = probe;
         break;
       }
     }
     if (j == id) continue;  // everything sampled was already evaluated
-    eval_stamp_[j] = eval_epoch_;
+    scratch.eval_stamp[j] = scratch.eval_epoch;
     const PairBalanceResult r = PairBalancePreview(
-        instance_, alloc, id, j, ws_, cache(), best_improvement);
-    if (!r.aborted && r.improvement > best_improvement) {
-      best_improvement = r.improvement;
-      best = j;
+        instance_, alloc, id, j, scratch.ws, cache(), best.improvement);
+    if (!r.aborted && r.improvement > best.improvement) {
+      best.improvement = r.improvement;
+      best.partner = j;
     }
   }
   return best;
 }
 
+MinEBalancer::Candidate MinEBalancer::SelectCandidate(
+    const Allocation& alloc, std::size_t id, SelectScratch& scratch) const {
+  const std::size_t m = instance_.size();
+  if (options_.policy == PartnerPolicy::kExact ||
+      m <= options_.fast_candidates) {
+    return ScanExact(alloc, id, scratch.ws);
+  }
+  util::Rng rng = DeriveScanRng(options_.seed, iteration_, id);
+  return ScanFast(alloc, id, scratch, rng);
+}
+
 IterationStats MinEBalancer::Step(Allocation& alloc) {
+  return options_.step_mode == StepMode::kConcurrent
+             ? StepConcurrent(alloc)
+             : StepSequential(alloc);
+}
+
+IterationStats MinEBalancer::StepSequential(Allocation& alloc) {
   IterationStats stats;
   stats.iteration = ++iteration_;
   const double cost_before = TotalCost(instance_, alloc);
@@ -210,8 +257,202 @@ IterationStats MinEBalancer::Step(Allocation& alloc) {
   for (std::size_t id : order) {
     const std::size_t partner = SelectPartner(alloc, id);
     if (partner == id) continue;
-    const PairBalanceResult r =
-        PairBalanceApply(instance_, alloc, id, partner, ws_, cache());
+    const PairBalanceResult r = PairBalanceApply(instance_, alloc, id,
+                                                 partner, scratch_.ws,
+                                                 cache());
+    if (r.improvement > 0.0) {
+      ++stats.balances;
+      stats.transferred += r.transferred;
+    }
+  }
+
+  if (options_.cycle_removal_period != 0 &&
+      iteration_ % options_.cycle_removal_period == 0) {
+    RemoveNegativeCycles(instance_, alloc);
+  }
+
+  stats.total_cost = TotalCost(instance_, alloc);
+  stats.improvement = cost_before - stats.total_cost;
+  return stats;
+}
+
+void MinEBalancer::ClaimDisjointPairs(std::size_t m) {
+  // Wait-free locally-dominant matching. edges_ is sorted by the strict
+  // priority order (gain descending, then the iteration's random server
+  // rank), so an edge's index IS its rank. Rounds: every live edge checks
+  // whether it is the best-ranked live edge at both endpoints; if so it is
+  // claimed and its endpoints retire. A claimed edge's endpoints can win
+  // at no other edge in the same round (best-ranked is unique per vertex),
+  // so all writes in a round land on distinct locations — no locks, no
+  // waiting, any interleaving. Each round claims at least the best-ranked
+  // live edge overall, so the loop terminates, and the claimed set equals
+  // a serial greedy pass over the ranking: an edge is greedily taken iff
+  // no better-ranked edge sharing an endpoint was taken before it, which
+  // is precisely the locally-dominant fixpoint.
+  constexpr std::uint32_t kNoEdge =
+      std::numeric_limits<std::uint32_t>::max();
+  if (match_best_ == nullptr) {
+    match_best_ = std::make_unique<std::atomic<std::uint32_t>[]>(m);
+  }
+  std::atomic<std::uint32_t>* const best = match_best_.get();
+  std::vector<std::uint32_t>& live = match_live_;
+  live.clear();
+  live.reserve(edges_.size());
+  for (std::uint32_t e = 0; e < edges_.size(); ++e) live.push_back(e);
+  for (const Edge& edge : edges_) {
+    best[edge.initiator].store(kNoEdge, std::memory_order_relaxed);
+    best[edge.partner].store(kNoEdge, std::memory_order_relaxed);
+  }
+  std::vector<std::uint32_t>& next_live = match_next_live_;
+  next_live.clear();
+  next_live.reserve(edges_.size());
+  while (!live.empty()) {
+    const bool parallel =
+        pool_ != nullptr && live.size() >= kParallelMinEdges;
+    // Round phase 1: every live edge bids its rank at both endpoints.
+    auto bid = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t c = begin; c < end; ++c) {
+        const Edge& edge = edges_[live[c]];
+        LowerAtomicMin(best[edge.initiator], live[c]);
+        LowerAtomicMin(best[edge.partner], live[c]);
+      }
+    };
+    // Round phase 2: locally dominant edges claim; the rest stay live
+    // unless an endpoint was just matched. Claim marks are plain writes to
+    // the edge itself (one writer: the winning edge's iteration).
+    auto claim = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t c = begin; c < end; ++c) {
+        Edge& edge = edges_[live[c]];
+        if (best[edge.initiator].load(std::memory_order_relaxed) ==
+                live[c] &&
+            best[edge.partner].load(std::memory_order_relaxed) == live[c]) {
+          edge.claimed = true;
+        }
+      }
+    };
+    if (parallel) {
+      pool_->ParallelChunks(live.size(),
+                            [&](std::size_t, std::size_t b, std::size_t e) {
+                              bid(b, e);
+                            });
+      pool_->ParallelChunks(live.size(),
+                            [&](std::size_t, std::size_t b, std::size_t e) {
+                              claim(b, e);
+                            });
+    } else {
+      bid(0, live.size());
+      claim(0, live.size());
+    }
+    // Compact the live set (serial: cheap and keeps the order stable) and
+    // re-open the bidding at surviving endpoints.
+    next_live.clear();
+    for (const std::uint32_t e : live) {
+      const Edge& edge = edges_[e];
+      if (edge.claimed) continue;
+      if (edges_[best[edge.initiator].load(std::memory_order_relaxed)]
+              .claimed ||
+          edges_[best[edge.partner].load(std::memory_order_relaxed)]
+              .claimed) {
+        continue;  // an endpoint was matched this round: edge retires
+      }
+      next_live.push_back(e);
+    }
+    live.swap(next_live);
+    for (const std::uint32_t e : live) {
+      best[edges_[e].initiator].store(kNoEdge, std::memory_order_relaxed);
+      best[edges_[e].partner].store(kNoEdge, std::memory_order_relaxed);
+    }
+  }
+}
+
+IterationStats MinEBalancer::StepConcurrent(Allocation& alloc) {
+  IterationStats stats;
+  stats.iteration = ++iteration_;
+  const double cost_before = TotalCost(instance_, alloc);
+  const std::size_t m = instance_.size();
+
+  // The iteration's random server order doubles as the priority tiebreak:
+  // rank_[id] = position of id in the permutation.
+  std::vector<std::size_t> order = rng_.permutation(m);
+  rank_.resize(m);
+  for (std::size_t pos = 0; pos < m; ++pos) rank_[order[pos]] = pos;
+
+  // Stage 1 — selection: every server scans against the same snapshot.
+  // Scans are independent (const on the allocation; kFast probe rngs are
+  // derived per server), so chunking across workers is free of any
+  // cross-scan state and the outcome is thread-count-invariant.
+  snapshot_.assign(m, Candidate{});
+  if (pool_ != nullptr) {
+    pool_->ParallelChunks(
+        m, [&](std::size_t t, std::size_t begin, std::size_t end) {
+          for (std::size_t id = begin; id < end; ++id) {
+            snapshot_[id] = SelectCandidate(alloc, id, worker_scratch_[t]);
+          }
+        });
+  } else {
+    for (std::size_t id = 0; id < m; ++id) {
+      snapshot_[id] = SelectCandidate(alloc, id, scratch_);
+    }
+  }
+
+  // Stage 2 — candidate edges, deduplicated (mutual selections collapse to
+  // the higher-priority initiator's direction) and priority-sorted: gain
+  // descending, random rank ascending. Each server initiates at most one
+  // edge, so (gain, rank) is a strict total order over the edges.
+  edges_.clear();
+  for (const std::size_t id : order) {
+    const Candidate& cand = snapshot_[id];
+    if (cand.partner == id || !(cand.improvement > 0.0)) continue;
+    const Candidate& back = snapshot_[cand.partner];
+    if (back.partner == id && rank_[cand.partner] < rank_[id]) {
+      continue;  // mutual selection: the earlier-ranked server initiates
+    }
+    Edge edge;
+    edge.gain = cand.improvement;
+    edge.initiator = static_cast<std::uint32_t>(id);
+    edge.partner = static_cast<std::uint32_t>(cand.partner);
+    edges_.push_back(edge);
+  }
+  std::sort(edges_.begin(), edges_.end(), [&](const Edge& a, const Edge& b) {
+    if (a.gain != b.gain) return a.gain > b.gain;
+    return rank_[a.initiator] < rank_[b.initiator];
+  });
+  stats.candidate_pairs = edges_.size();
+
+  // Stage 3 — wait-free claiming of a maximal disjoint set.
+  ClaimDisjointPairs(m);
+  last_claimed_.clear();
+  for (const Edge& edge : edges_) {
+    if (edge.claimed) {
+      last_claimed_.emplace_back(edge.initiator, edge.partner);
+    }
+  }
+  stats.claimed_pairs = last_claimed_.size();
+
+  // Stage 4 — concurrent balances. Claimed pairs are disjoint, so each
+  // apply reads and writes only its own two allocation columns
+  // (Allocation::CommitPairBalance's pair-locality contract); the final
+  // allocation is independent of execution order, and the statistics
+  // reduce serially in priority order. Bit-identical for any thread count.
+  claim_results_.assign(last_claimed_.size(), PairBalanceResult{});
+  if (pool_ != nullptr && !last_claimed_.empty()) {
+    pool_->ParallelChunks(
+        last_claimed_.size(),
+        [&](std::size_t t, std::size_t begin, std::size_t end) {
+          for (std::size_t c = begin; c < end; ++c) {
+            claim_results_[c] = PairBalanceApply(
+                instance_, alloc, last_claimed_[c].first,
+                last_claimed_[c].second, worker_scratch_[t].ws, cache());
+          }
+        });
+  } else {
+    for (std::size_t c = 0; c < last_claimed_.size(); ++c) {
+      claim_results_[c] =
+          PairBalanceApply(instance_, alloc, last_claimed_[c].first,
+                           last_claimed_[c].second, scratch_.ws, cache());
+    }
+  }
+  for (const PairBalanceResult& r : claim_results_) {
     if (r.improvement > 0.0) {
       ++stats.balances;
       stats.transferred += r.transferred;

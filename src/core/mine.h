@@ -22,10 +22,39 @@
 // the maximum improvement) — the selected partner, and therefore the whole
 // SumC trace, is identical to a serial run for a fixed seed, regardless of
 // thread count or scheduling.
+//
+// Concurrent iterations (StepMode::kConcurrent): the paper's balancing
+// model is explicitly asynchronous — any set of *disjoint* server pairs
+// may exchange load at the same time. The concurrent Step exploits that
+// in three stages:
+//   1. Selection: every server scans for its best partner against the same
+//      start-of-iteration allocation snapshot, one independent scan per
+//      server fanned across the pool (under kFast each server draws its
+//      probes from an rng derived from (seed, iteration, server), so the
+//      scan is identical no matter which worker runs it).
+//   2. Claiming: the candidate pairs are ranked by a strict total priority
+//      (gain first, then the iteration's random server order) and a
+//      wait-free locally-dominant matching claims a maximal set of
+//      disjoint pairs — lock-free rounds of "am I the best-ranked live
+//      pair at both of my endpoints?" that provably claim the same set as
+//      a serial greedy pass over the sorted ranking.
+//   3. Balancing: claimed pairs run Algorithm 1 concurrently, each commit
+//      writing only its own two allocation columns (see
+//      Allocation::CommitPairBalance's pair-locality contract), and the
+//      iteration statistics reduce in priority order.
+// Every stage is deterministic, so the whole trace is bit-identical for a
+// fixed seed regardless of thread count. A concurrent Step differs
+// semantically from a sequential one (all selections see the iteration's
+// start state rather than earlier balances of the same iteration, and
+// only a maximal disjoint set — not every server — balances per
+// iteration), which matches the distributed deployment's behavior; the
+// default remains kSequential, whose results are unchanged.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/allocation.h"
@@ -43,8 +72,21 @@ enum class PartnerPolicy {
   kFast,   ///< evaluate impr only on top candidates by a bulk-transfer proxy
 };
 
+/// How one engine iteration executes its balances.
+enum class StepMode {
+  /// Visit servers in random order; each balance is applied before the
+  /// next server selects (the original engine semantics).
+  kSequential,
+  /// All servers select against the iteration's start snapshot, a
+  /// deterministic wait-free matching claims a maximal set of disjoint
+  /// pairs, and the claimed pairs balance concurrently (the paper's
+  /// asynchronous model). Bit-reproducible per seed for any thread count.
+  kConcurrent,
+};
+
 struct MinEOptions {
   PartnerPolicy policy = PartnerPolicy::kExact;
+  StepMode step_mode = StepMode::kSequential;
   /// Number of candidates evaluated exactly under kFast.
   std::size_t fast_candidates = 24;
   /// Remove negative cycles every `cycle_removal_period` iterations
@@ -76,6 +118,14 @@ struct IterationStats {
   double improvement = 0.0;       ///< SumC decrease achieved this iteration
   double transferred = 0.0;       ///< total |load| moved this iteration
   std::size_t balances = 0;       ///< number of executed pair balances
+  /// Disjoint pairs claimed by the concurrent Step's matching (0 under
+  /// StepMode::kSequential).
+  std::size_t claimed_pairs = 0;
+  /// Positive-gain candidate pairs that entered the matching (after
+  /// mutual-selection dedup; 0 under StepMode::kSequential). When this is
+  /// at least the engine's parallel-matching cutoff and a pool exists,
+  /// the wait-free bid/claim rounds ran concurrently.
+  std::size_t candidate_pairs = 0;
 };
 
 /// Outcome of a full run.
@@ -104,12 +154,57 @@ class MinEBalancer {
 
   const MinEOptions& options() const noexcept { return options_; }
 
+  /// The disjoint pairs the concurrent Step claimed and balanced in its
+  /// latest iteration, in priority (commit) order as (initiator, partner).
+  /// Empty under StepMode::kSequential. Valid until the next Step.
+  std::span<const std::pair<std::size_t, std::size_t>> last_claimed_pairs()
+      const noexcept {
+    return last_claimed_;
+  }
+
  private:
+  /// A server's selected partner and the exact improvement of balancing
+  /// with it (partner == self, improvement 0 when nothing improves).
+  struct Candidate {
+    std::size_t partner = 0;
+    double improvement = 0.0;
+  };
+
+  /// Per-worker selection state: a pair-balance workspace plus the kFast
+  /// proxy-ranking scratch (score/candidate pairs and the per-call stamp
+  /// marking candidates already evaluated exactly, so random probes never
+  /// waste an exact evaluation on a duplicate).
+  struct SelectScratch {
+    PairBalanceWorkspace ws;
+    std::vector<std::pair<double, std::size_t>> candidates;
+    std::vector<std::uint64_t> eval_stamp;
+    std::uint64_t eval_epoch = 0;
+  };
+
+  IterationStats StepSequential(Allocation& alloc);
+  IterationStats StepConcurrent(Allocation& alloc);
+
   /// Best partner for `id` under the configured policy; returns id itself
   /// when no partner improves.
   std::size_t SelectPartner(const Allocation& alloc, std::size_t id);
   std::size_t SelectPartnerExact(const Allocation& alloc, std::size_t id);
-  std::size_t SelectPartnerFast(const Allocation& alloc, std::size_t id);
+
+  /// Serial branch-and-bound scan over all candidates (no shared state;
+  /// safe from any worker). Identical result to the fanned-out scan.
+  Candidate ScanExact(const Allocation& alloc, std::size_t id,
+                      PairBalanceWorkspace& ws) const;
+  /// kFast scan: proxy-ranked top candidates plus random probes drawn from
+  /// `rng`. Deterministic given the rng state.
+  Candidate ScanFast(const Allocation& alloc, std::size_t id,
+                     SelectScratch& scratch, util::Rng& rng) const;
+  /// Policy dispatch for one server's snapshot selection (concurrent Step).
+  Candidate SelectCandidate(const Allocation& alloc, std::size_t id,
+                            SelectScratch& scratch) const;
+
+  /// Wait-free locally-dominant matching over the candidate edges of this
+  /// iteration (already priority-sorted): claims the same maximal disjoint
+  /// set a serial greedy pass over the ranking would.
+  void ClaimDisjointPairs(std::size_t m);
 
   /// Shared order cache (null when disabled).
   const PairOrderCache* cache() const noexcept { return cache_.get(); }
@@ -117,21 +212,35 @@ class MinEBalancer {
   const Instance& instance_;
   MinEOptions options_;
   util::Rng rng_;
-  PairBalanceWorkspace ws_;
   std::size_t iteration_ = 0;
   std::unique_ptr<PairOrderCache> cache_;
-  // Parallel kExact selection: pool + one workspace per worker, plus the
+  // Sequential-mode selection scratch (also holds the workspace the
+  // sequential Step applies balances with).
+  SelectScratch scratch_;
+  // Parallel selection: pool + one scratch per worker, plus the
   // per-candidate improvement table consumed by the deterministic
   // reduction (-inf marks pruned candidates).
   std::unique_ptr<util::ThreadPool> pool_;
-  std::vector<PairBalanceWorkspace> worker_ws_;
+  std::vector<SelectScratch> worker_scratch_;
   std::vector<double> scores_;
-  // kFast scratch: (score, candidate) pairs and the per-call stamp that
-  // marks candidates already evaluated exactly (so random probes do not
-  // re-score them).
-  std::vector<std::pair<double, std::size_t>> candidates_;
-  std::vector<std::uint64_t> eval_stamp_;
-  std::uint64_t eval_epoch_ = 0;
+  // Concurrent-Step state (see StepConcurrent): per-server snapshot
+  // candidates, the priority-sorted candidate edges with their matching
+  // bookkeeping, and the claimed pairs of the latest iteration.
+  struct Edge {
+    double gain = 0.0;
+    std::uint32_t initiator = 0;
+    std::uint32_t partner = 0;
+    bool claimed = false;
+  };
+  std::vector<Candidate> snapshot_;
+  std::vector<Edge> edges_;
+  std::vector<std::size_t> rank_;
+  std::vector<std::pair<std::size_t, std::size_t>> last_claimed_;
+  std::vector<PairBalanceResult> claim_results_;
+  // Matching scratch, reused across Steps (atomics are not movable, so the
+  // per-vertex bid table is a fixed-size array sized once for m).
+  std::unique_ptr<std::atomic<std::uint32_t>[]> match_best_;
+  std::vector<std::uint32_t> match_live_, match_next_live_;
 };
 
 /// One-call convenience: runs MinE from the identity allocation until

@@ -1,0 +1,35 @@
+#pragma once
+// The shared --threads/--step-mode CLI vocabulary for binaries that drive
+// the MinE engine (examples and bench harnesses) — one parser, so every
+// entry point accepts the same flags:
+//   --threads N        worker threads (0 = one per hardware thread,
+//                      1 = serial; the trace is identical either way)
+//   --step-mode MODE   "sequential" (the engine default) or "concurrent"
+//                      — the disjoint-pair concurrent Step pipeline
+// Values already present in `options` are kept when a flag is absent, so
+// callers set their own defaults first.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "core/mine.h"
+#include "util/cli.h"
+
+namespace delaylb::core {
+
+inline void ApplyEngineFlags(const util::Cli& cli, MinEOptions& options) {
+  options.threads = static_cast<std::size_t>(
+      cli.GetInt("threads", static_cast<std::int64_t>(options.threads)));
+  const std::string mode = cli.GetString("step-mode", "");
+  if (mode == "concurrent") {
+    options.step_mode = StepMode::kConcurrent;
+  } else if (mode == "sequential") {
+    options.step_mode = StepMode::kSequential;
+  } else if (!mode.empty()) {
+    std::cerr << "unknown --step-mode '" << mode
+              << "' (want sequential|concurrent), keeping default\n";
+  }
+}
+
+}  // namespace delaylb::core

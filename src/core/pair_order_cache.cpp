@@ -60,10 +60,11 @@ PairOrderCache::Order PairOrderCache::order(
   const std::size_t lo = std::min(i, j);
   const std::size_t hi = std::max(i, j);
   const std::uint64_t key = static_cast<std::uint64_t>(lo) * m_ + hi;
+  Shard& bucket = shard(key);
   {
-    std::shared_lock lock(mutex_);
-    auto it = orders_.find(key);
-    if (it != orders_.end()) {
+    std::shared_lock lock(bucket.mutex);
+    auto it = bucket.orders.find(key);
+    if (it != bucket.orders.end()) {
       const Slot& slot = it->second;
       if (slot.tie) return result;  // empty: caller sorts per call
       if (!slot.indices.empty()) {
@@ -91,9 +92,9 @@ PairOrderCache::Order PairOrderCache::order(
              max_bytes_) {
     return result;  // empty: tie pair, not worth a node we cannot afford
   }
-  std::unique_lock lock(mutex_);
-  auto it = orders_.find(key);
-  if (it == orders_.end()) {
+  std::unique_lock lock(bucket.mutex);
+  auto it = bucket.orders.find(key);
+  if (it == bucket.orders.end()) {
     // First touch inserts the counter node (budget permitting; without one
     // the pair is simply re-sorted on every lookup).
     if (bytes_used_.load(std::memory_order_relaxed) + kNodeBytes >
@@ -101,7 +102,7 @@ PairOrderCache::Order PairOrderCache::order(
       if (tie_free) result.indices = scratch;
       return result;
     }
-    it = orders_.try_emplace(key).first;
+    it = bucket.orders.try_emplace(key).first;
     bytes_used_.fetch_add(kNodeBytes, std::memory_order_relaxed);
   }
   Slot& slot = it->second;

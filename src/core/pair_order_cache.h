@@ -42,6 +42,7 @@
 // matrix so the preview reads latencies c_*i / c_*j as contiguous spans
 // rather than m-strided gathers.
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -124,17 +125,33 @@ class PairOrderCache {
     bool tie = false;                    // exact key ties: never cacheable
   };
 
+  // The table is sharded by the canonical pair key so concurrent lookups
+  // (the engine's concurrent Step runs one partner scan per server across
+  // the pool, every scan hitting the cache) contend on a shard's lock only
+  // when their pairs land in the same shard, instead of serializing on one
+  // table-wide mutex. A slot's `indices` buffer is assigned exactly once
+  // (at admission, under the shard's exclusive lock) and never mutated
+  // after, so spans into it stay valid without holding the lock.
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    // Keyed by i * m + j for the canonical pair i < j.
+    mutable std::unordered_map<std::uint64_t, Slot> orders;
+  };
+
+  Shard& shard(std::uint64_t key) const noexcept {
+    // Pairs are visited in index-correlated bursts; mix the key so
+    // neighboring pairs spread across shards.
+    return shards_[(key * 0x9E3779B97F4A7C15ull) >> 60];
+  }
+
   std::size_t m_ = 0;
   std::size_t max_bytes_ = kDefaultMaxBytes;
   std::uint32_t admit_after_ = kDefaultAdmitAfter;
   std::vector<double> lat_cols_;  // column-major latencies, m*m
   mutable std::atomic<std::size_t> bytes_used_{0};
   mutable std::atomic<std::size_t> tie_pairs_{0};
-  mutable std::shared_mutex mutex_;
-  // Keyed by i * m + j for the canonical pair i < j. A slot's `indices`
-  // buffer is assigned exactly once (at admission, under the exclusive
-  // lock) and never mutated after, so spans into it stay valid.
-  mutable std::unordered_map<std::uint64_t, Slot> orders_;
+  mutable std::array<Shard, kShards> shards_;
 };
 
 }  // namespace delaylb::core

@@ -9,11 +9,9 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Communication cost of placing `amount` requests at latency `latency`;
-/// treats 0 * inf as 0 (no requests => no communication).
-inline double CommCost(double amount, double latency) {
-  return amount == 0.0 ? 0.0 : amount * latency;
-}
+// Communication-cost terms inside the kernel are computed as the select
+// `amount == 0.0 ? 0.0 : amount * latency` so that an empty placement at an
+// unreachable (infinite-latency) endpoint costs 0 rather than 0 * inf = NaN.
 
 }  // namespace
 
@@ -48,30 +46,48 @@ PairBalanceResult BalanceColumns(const ColumnBalanceInput& input,
   // communication gain of every organization running its whole pool at its
   // cheaper endpoint — each part individually unreachable in general, so
   // their sum dominates any feasible balance (Lemma 2 improvement).
+  //
+  // The pass is memory-bound (the branch-and-bound partner scans of the
+  // MinE engine run it on every candidate and abort most of them right
+  // after), so it streams only the two request columns unconditionally and
+  // touches the latency columns just for organizations with a non-empty
+  // pool — on sparse allocations (e.g. the identity start) that halves the
+  // bytes read per preview. Every empty-pool term is exactly 0.0 and all
+  // accumulators are non-negative, so skipping those adds is bit-exact.
+  // The non-empty body is reachability *selects*, not branches: the
+  // compiler lowers them to masked arithmetic, which mispredicts nothing
+  // regardless of the reachability mix. The reductions stay plain
+  // sequential chains — reassociating them would perturb the sums at
+  // fp-noise level and break the engine's bit-reproducibility guarantee.
   double old_li = 0.0;
   double old_lj = 0.0;
   double old_comm = 0.0;
   double comm_lb = 0.0;
-  for (std::size_t k = 0; k < m; ++k) {
-    const double rki = input.r_i[k];
-    const double rkj = input.r_j[k];
-    const double c_ki = input.c_i[k];
-    const double c_kj = input.c_j[k];
-    old_li += rki;
-    old_lj += rkj;
-    old_comm += CommCost(rki, c_ki) + CommCost(rkj, c_kj);
-    const double pool = rki + rkj;
-    if (pool == 0.0) continue;
-    const bool can_i = std::isfinite(c_ki);
-    const bool can_j = std::isfinite(c_kj);
-    if (can_i && can_j) {
-      comm_lb += pool * std::min(c_ki, c_kj);
-    } else if (can_i) {
-      comm_lb += pool * c_ki;
-    } else if (can_j) {
-      comm_lb += pool * c_kj;
-    } else {
-      comm_lb += CommCost(rki, c_ki) + CommCost(rkj, c_kj);
+  {
+    const double* __restrict__ r_i = input.r_i.data();
+    const double* __restrict__ r_j = input.r_j.data();
+    const double* __restrict__ c_i = input.c_i.data();
+    const double* __restrict__ c_j = input.c_j.data();
+    for (std::size_t k = 0; k < m; ++k) {
+      const double rki = r_i[k];
+      const double rkj = r_j[k];
+      old_li += rki;
+      old_lj += rkj;
+      const double pool = rki + rkj;
+      if (pool == 0.0) continue;  // both terms exactly 0: skip the latencies
+      const double c_ki = c_i[k];
+      const double c_kj = c_j[k];
+      const double cost_i = rki == 0.0 ? 0.0 : rki * c_ki;
+      const double cost_j = rkj == 0.0 ? 0.0 : rkj * c_kj;
+      old_comm += cost_i + cost_j;
+      const bool can_i = std::isfinite(c_ki);
+      const bool can_j = std::isfinite(c_kj);
+      // Nested selects reproducing the reachability cases: both endpoints
+      // → pool * min latency, one → pool * that latency, neither → the
+      // (possibly infinite) current cost.
+      double lb = can_j ? pool * std::min(c_ki, c_kj) : pool * c_ki;
+      lb = can_i ? lb : (can_j ? pool * c_kj : cost_i + cost_j);
+      comm_lb += lb;
     }
   }
   const double pooled = old_li + old_lj;
@@ -101,42 +117,41 @@ PairBalanceResult BalanceColumns(const ColumnBalanceInput& input,
 
   // Phase 1 (Algorithm 1, first loop): pool each organization's requests
   // currently on i or j, virtually placing everything on i. Organizations
-  // that cannot reach i (or j) are pinned to the reachable side.
+  // that cannot reach i (or j) are pinned to the reachable side. The
+  // reachability cases are selects (masked arithmetic, nothing for the
+  // branch predictor to miss on a mixed-reachability instance); the only
+  // branch left is the movable-subset append, which is empty-pool-guarded
+  // and therefore predictable in both the sparse and the dense regime.
   double li = 0.0;
   double lj = 0.0;
-  for (std::size_t k = 0; k < m; ++k) {
-    const double rki = input.r_i[k];
-    const double rkj = input.r_j[k];
-    const double c_ki = input.c_i[k];
-    const double c_kj = input.c_j[k];
-    const double pool = rki + rkj;
-    ws.pool[k] = pool;
-    if (pool == 0.0) {
-      ws.new_rki[k] = 0.0;
-      ws.new_rkj[k] = 0.0;
-      continue;
-    }
-    const bool can_i = std::isfinite(c_ki);
-    const bool can_j = std::isfinite(c_kj);
-    if (can_i && can_j) {
-      ws.new_rki[k] = pool;
-      ws.new_rkj[k] = 0.0;
-      li += pool;
-      if (!use_presorted) ws.order.push_back(k);  // the movable subset
-    } else if (can_i) {
-      ws.new_rki[k] = pool;
-      ws.new_rkj[k] = 0.0;
-      li += pool;
-    } else if (can_j) {
-      ws.new_rki[k] = 0.0;
-      ws.new_rkj[k] = pool;
-      lj += pool;
-    } else {
-      // Neither side reachable: leave the (invalid) split untouched.
-      ws.new_rki[k] = rki;
-      ws.new_rkj[k] = rkj;
-      li += rki;
-      lj += rkj;
+  {
+    const double* __restrict__ r_i = input.r_i.data();
+    const double* __restrict__ r_j = input.r_j.data();
+    const double* __restrict__ c_i = input.c_i.data();
+    const double* __restrict__ c_j = input.c_j.data();
+    double* __restrict__ pool_out = ws.pool.data();
+    double* __restrict__ new_rki = ws.new_rki.data();
+    double* __restrict__ new_rkj = ws.new_rkj.data();
+    for (std::size_t k = 0; k < m; ++k) {
+      const double rki = r_i[k];
+      const double rkj = r_j[k];
+      const bool can_i = std::isfinite(c_i[k]);
+      const bool can_j = std::isfinite(c_j[k]);
+      const double pool = rki + rkj;
+      pool_out[k] = pool;
+      // can reach i → everything pooled on i; only j → pooled on j;
+      // neither → the (invalid) split stays untouched; empty pool → 0/0.
+      double to_i = can_i ? pool : (can_j ? 0.0 : rki);
+      double to_j = can_i ? 0.0 : (can_j ? pool : rkj);
+      to_i = pool == 0.0 ? 0.0 : to_i;
+      to_j = pool == 0.0 ? 0.0 : to_j;
+      new_rki[k] = to_i;
+      new_rkj[k] = to_j;
+      li += to_i;
+      lj += to_j;
+      if (pool != 0.0 && can_i && can_j && !use_presorted) {
+        ws.order.push_back(k);  // the movable subset
+      }
     }
   }
 
@@ -201,12 +216,22 @@ PairBalanceResult BalanceColumns(const ColumnBalanceInput& input,
   }
 
   // Improvement = old pair contribution - new pair contribution. All other
-  // terms of SumC are unaffected by a pairwise exchange.
+  // terms of SumC are unaffected by a pairwise exchange. Same skip-guarded
+  // masked pass as phase 0 (empty pools keep 0/0 new rows, so their terms
+  // are exactly 0.0).
   double new_comm = 0.0;
-  for (std::size_t k = 0; k < m; ++k) {
-    if (ws.pool[k] == 0.0) continue;
-    new_comm += CommCost(ws.new_rki[k], input.c_i[k]) +
-                CommCost(ws.new_rkj[k], input.c_j[k]);
+  {
+    const double* __restrict__ pool = ws.pool.data();
+    const double* __restrict__ new_rki = ws.new_rki.data();
+    const double* __restrict__ new_rkj = ws.new_rkj.data();
+    const double* __restrict__ c_i = input.c_i.data();
+    const double* __restrict__ c_j = input.c_j.data();
+    for (std::size_t k = 0; k < m; ++k) {
+      if (pool[k] == 0.0) continue;
+      const double cost_i = new_rki[k] == 0.0 ? 0.0 : new_rki[k] * c_i[k];
+      const double cost_j = new_rkj[k] == 0.0 ? 0.0 : new_rkj[k] * c_j[k];
+      new_comm += cost_i + cost_j;
+    }
   }
   const double old_cost = old_li * old_li / (2.0 * s_i) +
                           old_lj * old_lj / (2.0 * s_j) + old_comm;
@@ -285,15 +310,7 @@ PairBalanceResult PairBalanceApply(const Instance& instance,
     result.aborted = false;
     return result;
   }
-  const std::size_t m = instance.size();
-  for (std::size_t k = 0; k < m; ++k) {
-    const double delta_to_j = ws.new_rkj[k] - alloc.r(k, j);
-    if (delta_to_j > 0.0) {
-      alloc.Move(k, i, j, delta_to_j);
-    } else if (delta_to_j < 0.0) {
-      alloc.Move(k, j, i, -delta_to_j);
-    }
-  }
+  alloc.CommitPairBalance(i, j, ws.new_rkj);
   return result;
 }
 

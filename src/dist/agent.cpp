@@ -203,6 +203,12 @@ void Agent::HandleBalanceRequest(const Message& message, Network& network) {
   Message reply = MakeMessage(MessageKind::kBalanceReply, message.from);
   reply.handshake = message.handshake;
   reply.payload = workspace_.new_rki;
+  if (options_.piggyback_gossip) {
+    // Free-riding anti-entropy: the Reply is already column-sized, so the
+    // packed view rides along and the initiator gets a full gossip merge
+    // out of every completed exchange.
+    reply.gossip = view_.PackPayload();
+  }
   network.Send(std::move(reply));
 }
 
@@ -210,6 +216,7 @@ void Agent::HandleBalanceReply(const Message& message, Network& network) {
   if (!initiator_.active || initiator_.handshake != message.handshake) {
     return;  // stale reply of an already-resolved handshake
   }
+  if (!message.gossip.empty()) view_.MergePayload(message.gossip);
   SetColumn(message.payload);
   initiator_.active = false;
   ++stats_.balances_completed;

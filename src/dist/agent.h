@@ -79,6 +79,13 @@ struct AgentOptions {
   /// (absolute), keeping the system quiescent at convergence instead of
   /// shipping columns for noise-level gains.
   double min_gain = 1e-6;
+  /// Piggyback the responder's packed GossipView on balance Replies. A
+  /// Reply already ships an m-entry allocation column, so adding the 2m
+  /// view doubles neither the message count nor its asymptotic size, and
+  /// every completed exchange then refreshes the initiator's whole view —
+  /// letting deployments spend a smaller dedicated gossip budget for the
+  /// same staleness (bench_gossip_ablation quantifies the saving).
+  bool piggyback_gossip = true;
 };
 
 struct AgentStats {

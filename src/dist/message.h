@@ -63,6 +63,12 @@ struct Message {
   /// responder's load, for the staleness check; < 0 when unknown.
   double believed_load = -1.0;
   std::vector<double> payload;
+  /// Piggybacked gossip (AgentOptions::piggyback_gossip): a balance Reply
+  /// additionally carries the responder's packed GossipView, so every
+  /// completed exchange doubles as a full anti-entropy round for the
+  /// initiator — view freshness the dedicated gossip timer no longer has
+  /// to buy. Empty on all other messages (and when piggybacking is off).
+  std::vector<double> gossip;
 };
 
 inline const char* ToString(MessageKind kind) {

@@ -69,4 +69,30 @@ void ThreadPool::ParallelFor(std::size_t n,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void ThreadPool::ParallelChunks(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers = size();
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) {
+    const std::size_t begin = t * n / workers;
+    const std::size_t end = (t + 1) * n / workers;
+    if (begin == end) continue;
+    futures.push_back(Submit([&, t, begin, end] {
+      try {
+        fn(t, begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 }  // namespace delaylb::util

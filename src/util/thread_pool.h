@@ -51,6 +51,18 @@ class ThreadPool {
   /// blocking until all complete. Exceptions propagate (first one wins).
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Splits [0, n) into size() contiguous chunks and runs
+  /// fn(worker, begin, end) for each non-empty chunk, blocking until all
+  /// complete. `worker` is a stable slot index in [0, size()) — exactly one
+  /// chunk per slot — so callers can hand every invocation a private
+  /// workspace without locking. The chunk boundaries depend only on n and
+  /// size(), never on scheduling, which keeps consumers that reduce the
+  /// per-chunk results in slot order deterministic. Exceptions propagate
+  /// (first one wins).
+  void ParallelChunks(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
  private:
   void WorkerLoop();
 

@@ -1,0 +1,204 @@
+// The concurrent Step pipeline (StepMode::kConcurrent): snapshot
+// selection, wait-free disjoint-pair claiming, concurrent balances.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/mine.h"
+#include "testing/instances.h"
+
+namespace delaylb::core {
+namespace {
+
+/// Traces `iterations` concurrent Steps and returns the per-iteration
+/// stats; also checks the claimed pairs of every iteration are disjoint.
+std::vector<IterationStats> TraceConcurrent(const Instance& inst,
+                                            MinEOptions options,
+                                            Allocation& alloc,
+                                            std::size_t iterations) {
+  MinEBalancer balancer(inst, options);
+  std::vector<IterationStats> trace;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    trace.push_back(balancer.Step(alloc));
+    std::set<std::size_t> endpoints;
+    for (const auto& [i, j] : balancer.last_claimed_pairs()) {
+      EXPECT_NE(i, j);
+      EXPECT_TRUE(endpoints.insert(i).second)
+          << "server " << i << " claimed twice in iteration " << it;
+      EXPECT_TRUE(endpoints.insert(j).second)
+          << "server " << j << " claimed twice in iteration " << it;
+    }
+    EXPECT_EQ(balancer.last_claimed_pairs().size(),
+              trace.back().claimed_pairs);
+  }
+  return trace;
+}
+
+class ConcurrentStepPolicies
+    : public ::testing::TestWithParam<PartnerPolicy> {};
+
+TEST_P(ConcurrentStepPolicies, TraceIsThreadCountInvariant) {
+  // The pipeline's determinism contract: same seed, same trace and same
+  // final allocation, bit for bit, no matter how many workers execute the
+  // selection / claiming / balancing stages.
+  const Instance inst = testing::RandomInstance(64, 41);
+  MinEOptions serial;
+  serial.policy = GetParam();
+  serial.step_mode = StepMode::kConcurrent;
+  serial.fast_candidates = 8;
+  serial.threads = 1;
+  MinEOptions parallel = serial;
+  parallel.threads = 4;
+
+  Allocation a = testing::RandomAllocation(inst, 91);
+  Allocation b = a;
+  const std::vector<IterationStats> ta = TraceConcurrent(inst, serial, a, 6);
+  const std::vector<IterationStats> tb =
+      TraceConcurrent(inst, parallel, b, 6);
+  for (std::size_t it = 0; it < ta.size(); ++it) {
+    EXPECT_EQ(ta[it].total_cost, tb[it].total_cost) << "iteration " << it;
+    EXPECT_EQ(ta[it].transferred, tb[it].transferred) << "iteration " << it;
+    EXPECT_EQ(ta[it].balances, tb[it].balances);
+    EXPECT_EQ(ta[it].claimed_pairs, tb[it].claimed_pairs);
+  }
+  EXPECT_EQ(Allocation::L1Distance(a, b), 0.0);
+}
+
+TEST_P(ConcurrentStepPolicies, MonotoneAndValid) {
+  const Instance inst = testing::RandomInstance(30, 43);
+  MinEOptions options;
+  options.policy = GetParam();
+  options.step_mode = StepMode::kConcurrent;
+  options.threads = 4;
+  Allocation alloc(inst);
+  MinEBalancer balancer(inst, options);
+  double cost = TotalCost(inst, alloc);
+  for (int it = 0; it < 10; ++it) {
+    const IterationStats stats = balancer.Step(alloc);
+    EXPECT_LE(stats.total_cost, cost + 1e-9);
+    cost = stats.total_cost;
+    EXPECT_TRUE(alloc.Valid(inst));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ConcurrentStepPolicies,
+                         ::testing::Values(PartnerPolicy::kExact,
+                                           PartnerPolicy::kFast));
+
+TEST(MinEConcurrent, ReachesTheSequentialOperatingPoint) {
+  // A concurrent iteration balances only a maximal disjoint set, so it may
+  // need a few more iterations — but the fixpoint (no pair exchange can
+  // improve SumC) is the same convex optimum.
+  for (std::uint64_t seed = 3; seed <= 5; ++seed) {
+    const Instance inst = testing::RandomInstance(24, seed);
+    MinEOptions sequential;
+    MinEOptions concurrent;
+    concurrent.step_mode = StepMode::kConcurrent;
+    concurrent.threads = 4;
+    const double cs =
+        TotalCost(inst, SolveWithMinE(inst, sequential, 200));
+    const double cc =
+        TotalCost(inst, SolveWithMinE(inst, concurrent, 200));
+    EXPECT_NEAR(cc, cs, 2e-3 * cs) << "seed " << seed;
+  }
+}
+
+TEST(MinEConcurrent, ClaimedPairsAreDisjointUnderStress) {
+  // Hammer the wait-free matching: many seeds, a pool busy enough for the
+  // parallel claiming rounds, dense random starts (many positive-gain
+  // candidate edges). TraceConcurrent asserts pairwise disjointness of
+  // every iteration's claimed set.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance inst = testing::RandomInstance(48, 100 + seed);
+    MinEOptions options;
+    options.step_mode = StepMode::kConcurrent;
+    options.threads = 4;
+    options.seed = seed;
+    Allocation alloc = testing::RandomAllocation(inst, 200 + seed);
+    const std::vector<IterationStats> trace =
+        TraceConcurrent(inst, options, alloc, 5);
+    EXPECT_GT(trace.front().claimed_pairs, 0u) << "seed " << seed;
+  }
+}
+
+TEST(MinEConcurrent, ClaimedSetMatchesSerialGreedyPriorityMatching) {
+  // The wait-free rounds must claim exactly what a serial greedy pass over
+  // the (gain desc, rank asc) ranking claims. Reconstruct the greedy set
+  // from the reported pairs' gains: walking the claimed pairs in commit
+  // order, gains must be non-increasing whenever the pairs are
+  // vertex-disjoint candidates of the same ranking — the commit order IS
+  // the priority order.
+  const Instance inst = testing::RandomInstance(40, 71);
+  MinEOptions options;
+  options.step_mode = StepMode::kConcurrent;
+  options.threads = 4;
+  Allocation alloc = testing::RandomAllocation(inst, 17);
+  MinEBalancer balancer(inst, options);
+  balancer.Step(alloc);
+  double previous_gain = -1.0;
+  bool first = true;
+  // last_claimed_pairs is in priority order; recompute each pair's exact
+  // preview gain on the *pre-step* snapshot to check the ordering. (The
+  // allocation already moved, so rebuild the identical starting state.)
+  Allocation snapshot = testing::RandomAllocation(inst, 17);
+  for (const auto& [i, j] : balancer.last_claimed_pairs()) {
+    const double gain = PairImprovement(inst, snapshot, i, j);
+    if (!first) {
+      EXPECT_LE(gain, previous_gain + 1e-9);
+    }
+    previous_gain = gain;
+    first = false;
+  }
+  EXPECT_FALSE(first) << "step claimed nothing on a dense random start";
+}
+
+TEST(MinEConcurrent, ParallelClaimRoundsRunAtScale) {
+  // The wait-free matching only takes its parallel bid/claim path above
+  // the engine's live-edge cutoff (256). This is the test the Debug+TSan
+  // CI job relies on to guard those rounds, so it must actually reach
+  // them: a dense random start at m = 700 under kFast gives nearly every
+  // server a positive-gain candidate, far above the cutoff —
+  // candidate_pairs asserts that, and TraceConcurrent's disjointness
+  // checks cover the claimed set itself.
+  const Instance inst = testing::RandomInstance(700, 11);
+  MinEOptions options;
+  options.step_mode = StepMode::kConcurrent;
+  options.policy = PartnerPolicy::kFast;
+  options.fast_candidates = 6;
+  options.threads = 4;
+  Allocation alloc = testing::RandomAllocation(inst, 13);
+  const std::vector<IterationStats> trace =
+      TraceConcurrent(inst, options, alloc, 1);
+  EXPECT_GE(trace.front().candidate_pairs, 256u);
+  EXPECT_GT(trace.front().claimed_pairs, 64u);
+  EXPECT_TRUE(alloc.Valid(inst));
+}
+
+TEST(MinEConcurrent, SingleServerAndEmptyInstanceNoop) {
+  const Instance single({1.0}, {10.0}, net::Homogeneous(1, 0.0));
+  Allocation alloc(single);
+  MinEOptions options;
+  options.step_mode = StepMode::kConcurrent;
+  MinEBalancer balancer(single, options);
+  EXPECT_DOUBLE_EQ(balancer.Step(alloc).total_cost, 50.0);
+  EXPECT_EQ(balancer.last_claimed_pairs().size(), 0u);
+}
+
+TEST(MinEConcurrent, RunConvergesAndReportsClaims) {
+  const Instance inst = testing::RandomInstance(20, 53);
+  MinEOptions options;
+  options.step_mode = StepMode::kConcurrent;
+  options.threads = 2;
+  Allocation alloc(inst);
+  MinEBalancer balancer(inst, options);
+  const MinERun run = balancer.Run(alloc, 100, 1e-12);
+  EXPECT_TRUE(run.converged);
+  EXPECT_LE(run.final_cost, run.initial_cost);
+  EXPECT_GT(run.trace.front().claimed_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace delaylb::core

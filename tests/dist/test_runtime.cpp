@@ -84,6 +84,27 @@ TEST(DistributedRuntime, ConvergesToSynchronousEngineQuality) {
   EXPECT_LT(distributed, 1.10 * mine);
 }
 
+TEST(DistributedRuntime, PiggybackAblationDeterministicAndConverges) {
+  // The gossip-on-reply piggyback defaults on; the ablation flag must keep
+  // the runtime deterministic per seed and still reach the synchronous
+  // engine's operating point (it only removes the free view refresh, not
+  // correctness). bench_gossip_ablation quantifies the budget difference.
+  const core::Instance inst = testing::RandomInstance(12, 33);
+  const double mine =
+      core::TotalCost(inst, core::SolveWithMinE(inst, {}, 300, 1e-13));
+  double costs[2];
+  for (int run = 0; run < 2; ++run) {
+    RuntimeOptions options;
+    options.seed = 9;
+    options.agent.piggyback_gossip = false;
+    DistributedRuntime runtime(inst, options);
+    runtime.RunUntil(20000.0);
+    costs[run] = core::TotalCost(inst, runtime.AssembleAllocation());
+  }
+  EXPECT_EQ(costs[0], costs[1]);
+  EXPECT_LT(costs[0], 1.10 * mine);
+}
+
 TEST(DistributedRuntime, AssembledAllocationConservesLoads) {
   const core::Instance inst = testing::RandomInstance(10, 7);
   DistributedRuntime runtime(inst);
