@@ -1,0 +1,121 @@
+// Shard-scaling bench for the conservative PDES runtime. Simulates a
+// clustered deployment (tight latency groups, wide inter-group gaps — the
+// shape that gives the kernel a useful lookahead and the paper's
+// proximity-biased exchanges their locality) at m up to 5000 agents and
+// sweeps RuntimeOptions::shards, reporting wall-clock per run, dispatched
+// events, committed windows, bytes on the wire, and the speedup over the
+// sequential shards = 1 loop. The final SumC is printed for every cell so
+// the determinism contract is visible in the output: per (m, seed) the
+// value must be identical for every shard count.
+//
+// Quick mode (the ctest "smoke" registration) runs a laptop-scale grid;
+// --full / DELAYLB_FULL=1 runs m in {500, 2000, 5000} x shards {1, 4, 8}
+// — the configuration recorded in BENCH_dist.json.
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/cost.h"
+#include "core/instance.h"
+#include "dist/runtime.h"
+#include "net/latency_matrix.h"
+#include "util/rng.h"
+
+namespace delaylb {
+namespace {
+
+/// A clustered topology: `groups` tight blocks (intra 2-8ms) separated by
+/// wide gaps (inter 40-80ms), heterogeneous speeds and exponential loads.
+core::Instance MakeClustered(std::size_t m, std::size_t groups,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  net::LatencyMatrix lat(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const bool same = (i * groups) / m == (j * groups) / m;
+      lat.SetSymmetric(i, j, same ? rng.uniform(2.0, 8.0)
+                                  : rng.uniform(40.0, 80.0));
+    }
+  }
+  std::vector<double> speeds(m), loads(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    speeds[i] = rng.uniform(1.0, 5.0);
+    loads[i] = rng.exponential(120.0);
+  }
+  return core::Instance(std::move(speeds), std::move(loads),
+                        std::move(lat));
+}
+
+int Run(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool full = bench::FullScale(cli);
+  bench::Banner(
+      "Shard scaling: conservative PDES windows over the clustered runtime",
+      full);
+
+  std::vector<std::size_t> sizes = full
+                                       ? std::vector<std::size_t>{500, 2000,
+                                                                  5000}
+                                       : std::vector<std::size_t>{500};
+  std::vector<std::size_t> shard_counts =
+      full ? std::vector<std::size_t>{1, 4, 8}
+           : std::vector<std::size_t>{1, 4};
+  if (cli.Has("m")) sizes = {static_cast<std::size_t>(cli.GetInt("m", 500))};
+  if (cli.Has("shards")) {
+    shard_counts = {static_cast<std::size_t>(cli.GetInt("shards", 1))};
+  }
+  const double horizon = cli.GetDouble("horizon", full ? 400.0 : 250.0);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cli.GetInt("seed", 1));
+  const std::size_t groups =
+      static_cast<std::size_t>(cli.GetInt("groups", 8));
+
+  util::Table table({"m", "shards", "planned", "lookahead (ms)", "windows",
+                     "events", "MB sent", "wall (ms)", "speedup", "SumC"});
+  for (const std::size_t m : sizes) {
+    const core::Instance inst = MakeClustered(m, groups, seed * 977 + m);
+    double baseline_ms = 0.0;
+    for (const std::size_t shards : shard_counts) {
+      dist::RuntimeOptions options;
+      options.seed = seed;
+      options.shards = shards;
+      dist::DistributedRuntime runtime(inst, options);
+      const auto start = std::chrono::steady_clock::now();
+      runtime.RunUntil(horizon);
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      if (shards == shard_counts.front()) baseline_ms = wall_ms;
+      const dist::RuntimeSnapshot snap = runtime.Snapshot();
+      table.Row()
+          .Cell(m)
+          .Cell(shards)
+          .Cell(runtime.shards())
+          .Cell(std::isfinite(runtime.lookahead())
+                    ? util::FormatDouble(runtime.lookahead(), 1)
+                    : std::string("inf"))
+          .Cell(runtime.windows())
+          .Cell(runtime.events_dispatched())
+          .Cell(static_cast<double>(snap.bytes_sent) / (1024.0 * 1024.0), 1)
+          .Cell(wall_ms, 1)
+          .Cell(baseline_ms > 0.0 ? baseline_ms / wall_ms : 1.0, 2)
+          .Cell(snap.total_cost, 2);
+    }
+  }
+  bench::Emit(cli, table);
+  std::cout << "speedup is vs the first shards column (the sequential "
+               "dispatch loop when it is 1); per (m, seed) the SumC column "
+               "must not depend on shards — that is the kernel's "
+               "bit-identical trace contract\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace delaylb
+
+int main(int argc, char** argv) { return delaylb::Run(argc, argv); }

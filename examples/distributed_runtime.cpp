@@ -13,10 +13,12 @@
 #include "core/mine.h"
 #include "core/workload.h"
 #include "dist/runtime.h"
+#include "util/cli.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace delaylb;
+  const util::Cli cli(argc, argv);
   constexpr std::size_t kServers = 20;
 
   util::Rng rng(5);
@@ -31,15 +33,23 @@ int main() {
   const double optimum = core::TotalCost(
       instance, core::SolveWithMinE(instance, {}, 300, 1e-13));
 
-  dist::DistributedRuntime runtime(instance);
+  // --shards N partitions the agents across the conservative PDES
+  // kernel's event-queue shards (latency-clustered; see dist/shard.h).
+  // Every value prints the same table — traces are bit-identical per
+  // seed for any shard count.
+  dist::RuntimeOptions options;
+  options.shards = static_cast<std::size_t>(cli.GetInt("shards", 1));
+  dist::DistributedRuntime runtime(instance, options);
   // Knock out three servers for two seconds mid-run.
   runtime.ScheduleCrash(2, 3000.0, 5000.0);
   runtime.ScheduleCrash(7, 3500.0, 5500.0);
   runtime.ScheduleCrash(11, 3200.0, 5200.0);
 
   std::cout << "distributed runtime on " << kServers
-            << " servers (gossip ~log2(m) times per balance period); "
-               "servers 2, 7, 11 crash at t~3s and recover at t~5s\n";
+            << " servers (gossip ~log2(m) times per balance period), "
+            << runtime.shards()
+            << " event-queue shard(s); servers 2, 7, 11 crash at t~3s and "
+               "recover at t~5s\n";
   util::Table table({"sim time (ms)", "SumC", "vs optimum", "messages",
                      "dropped"});
   for (double t = 1000.0; t <= 12000.0; t += 1000.0) {

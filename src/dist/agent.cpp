@@ -85,7 +85,11 @@ std::uint64_t Agent::StartBalance(Network& network) {
   request.handshake = handshake;
   request.believed_load =
       view_.versions()[partner] > 0.0 ? view_.load(partner) : -1.0;
-  request.payload = column_;
+  if (options_.compact_columns) {
+    PackColumn(column_, request);
+  } else {
+    request.payload = column_;
+  }
   network.Send(std::move(request));
   return handshake;
 }
@@ -156,10 +160,15 @@ void Agent::HandleBalanceRequest(const Message& message, Network& network) {
   // Algorithm 1 on the exchanged columns: the initiator's column arrived in
   // the request, ours is local. Roles: i = initiator, j = this server.
   const std::size_t from = message.from;
+  std::span<const double> initiator_column = message.payload;
+  if (message.encoding != ColumnEncoding::kDense) {
+    UnpackColumn(message, column_.size(), {}, peer_column_);
+    initiator_column = peer_column_;
+  }
   core::ColumnBalanceInput input;
   input.s_i = instance_->speed(from);
   input.s_j = instance_->speed(id_);
-  input.r_i = message.payload;
+  input.r_i = initiator_column;
   input.r_j = column_;
   if (order_cache_ != nullptr) {
     input.c_i = order_cache_->lat_col(from);
@@ -202,11 +211,18 @@ void Agent::HandleBalanceRequest(const Message& message, Network& network) {
 
   Message reply = MakeMessage(MessageKind::kBalanceReply, message.from);
   reply.handshake = message.handshake;
-  reply.payload = workspace_.new_rki;
+  if (options_.compact_columns) {
+    // The initiator still holds the column it sent (it is busy until our
+    // Reply resolves), so ship only the entries Algorithm 1 re-routed.
+    PackColumnDelta(initiator_column, workspace_.new_rki, reply);
+  } else {
+    reply.payload = workspace_.new_rki;
+  }
   if (options_.piggyback_gossip) {
-    // Free-riding anti-entropy: the Reply is already column-sized, so the
-    // packed view rides along and the initiator gets a full gossip merge
-    // out of every completed exchange.
+    // Free-riding anti-entropy: the packed view rides along and the
+    // initiator gets a full gossip merge out of every completed exchange.
+    // (Under compact_columns the view is now the dominant share of the
+    // Reply's bytes — compacting it too is ROADMAP item e.)
     reply.gossip = view_.PackPayload();
   }
   network.Send(std::move(reply));
@@ -217,7 +233,15 @@ void Agent::HandleBalanceReply(const Message& message, Network& network) {
     return;  // stale reply of an already-resolved handshake
   }
   if (!message.gossip.empty()) view_.MergePayload(message.gossip);
-  SetColumn(message.payload);
+  if (message.encoding == ColumnEncoding::kDense) {
+    SetColumn(message.payload);
+  } else {
+    // A kDelta Reply is relative to the column we sent in the Request —
+    // unchanged since then, because an open initiator handshake keeps us
+    // out of every other exchange.
+    UnpackColumn(message, column_.size(), column_, decoded_column_);
+    SetColumn(decoded_column_);
+  }
   initiator_.active = false;
   ++stats_.balances_completed;
   Message commit = MakeMessage(MessageKind::kBalanceCommit, message.from);

@@ -20,8 +20,10 @@
 // Crash interleavings. The responder applies its half of an exchange when
 // it sends the Reply and keeps an undo snapshot; the initiator applies when
 // the Reply arrives and then Commits. Because the network reports a drop to
-// the sender (failure-detector fiction), every interleaving resolves to
-// "applied at both ends or neither":
+// the sender one return latency after the would-be delivery instant
+// (failure-detector fiction riding the reverse path — which also keeps
+// bounces inside the sharded kernel's conservative lookahead), every
+// interleaving resolves to "applied at both ends or neither":
 //   - Request bounces (responder crashed): initiator aborts, nothing
 //     applied.
 //   - Reply bounces (initiator crashed): responder rolls back to the
@@ -31,17 +33,19 @@
 //   - Commit bounces (responder crashed after replying): both ends already
 //     applied; the responder keeps the surviving undo record at recovery
 //     and arms a resolution timeout. When that timeout fires with the
-//     record still open, the Reply's fixed delivery instant has passed
-//     (the timeout exceeds the worst round trip), so the Reply either
-//     bounced — which erased the record even while the responder was down
-//     — or was delivered, meaning the initiator applied: committing is
-//     then the only consistent resolution. Recovery must NOT commit
-//     eagerly: a crash window shorter than the one-way latency can end
-//     while the Reply is still on the wire, and that Reply may yet bounce.
+//     record still open, the Reply's delivery instant AND its would-be
+//     bounce arrival have both passed (the timeout exceeds the worst
+//     round trip), so the Reply either bounced — which erased the record
+//     even while the responder was down — or was delivered, meaning the
+//     initiator applied: committing is then the only consistent
+//     resolution. Recovery must NOT commit eagerly: a crash window
+//     shorter than the one-way latency can end while the Reply is still
+//     on the wire, and that Reply may yet bounce.
 // Open handshakes of either role therefore carry a timeout so a crash
 // cannot leave an agent busy (or a record unresolved) forever; the timeout
-// exceeds the worst round trip and a recovering agent re-arms it, so a
-// timeout never races a still-deliverable Reply or Commit.
+// exceeds the worst round trip (two one-way latencies bound a delivery
+// plus its return-path bounce) and a recovering agent re-arms it, so a
+// timeout never races a still-deliverable Reply, Commit, or bounce.
 
 #include <cstddef>
 #include <cstdint>
@@ -86,6 +90,18 @@ struct AgentOptions {
   /// letting deployments spend a smaller dedicated gossip budget for the
   /// same staleness (bench_gossip_ablation quantifies the saving).
   bool piggyback_gossip = true;
+  /// Ship balance columns compactly: Requests as sparse (index, value)
+  /// pairs when the column is mostly zeros, Replies as deltas against the
+  /// Request's column (both ends hold the base, and Algorithm 1 touches
+  /// only the organizations it re-routes). Decoded columns carry the
+  /// exact doubles of the dense format — only Network::bytes_sent()
+  /// changes: the column payloads drop from O(m) to O(touched entries).
+  /// Note the default piggyback_gossip still attaches a full 2m-double
+  /// view to every Reply, so total bytes per completed handshake remain
+  /// O(m) until the gossip payloads are compacted too (ROADMAP item e);
+  /// Requests — the majority of balance traffic near convergence, where
+  /// most handshakes end in kNoGain — shrink unconditionally.
+  bool compact_columns = true;
 };
 
 struct AgentStats {
@@ -208,6 +224,9 @@ class Agent {
   std::uint64_t next_handshake_ = 0;
 
   core::PairBalanceWorkspace workspace_;
+  /// Decode scratch for compact column payloads (see message.h codecs).
+  std::vector<double> peer_column_;
+  std::vector<double> decoded_column_;
   AgentStats stats_;
 };
 

@@ -23,7 +23,10 @@
 // both ends or at neither (see agent.h for the crash-interleaving
 // argument).
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace delaylb::dist {
@@ -44,6 +47,20 @@ enum class AbortReason : std::uint8_t {
   kNoGain,   ///< the Algorithm-1 exchange would not improve SumC
 };
 
+/// Wire format of a balance-column payload. Dense ships the whole
+/// m-entry column; the compact formats ship (index, value) pairs —
+/// kSparse lists the nonzero entries (a server's column starts with one
+/// nonzero and stays far from dense at m = 5000), kDelta lists only the
+/// entries that changed against a base column both ends already hold
+/// (the Reply is a delta against the Request's column). Values travel
+/// verbatim, so a decoded column is the exact doubles of the dense wire
+/// format — compaction changes bytes-on-wire, never the simulation.
+enum class ColumnEncoding : std::uint8_t {
+  kDense = 0,
+  kSparse,  ///< payload = [index0, value0, index1, value1, ...]
+  kDelta,   ///< same pair list, interpreted against a shared base column
+};
+
 /// One message on the simulated network. `payload` is a homogeneous double
 /// buffer whose meaning is fixed by `kind` (see above); `handshake` pairs
 /// the balance messages of one two-party exchange.
@@ -53,6 +70,8 @@ struct Message {
   std::uint32_t to = 0;
   std::uint64_t handshake = 0;
   AbortReason reason = AbortReason::kNone;
+  /// How a balance-column payload is encoded (kDense for everything else).
+  ColumnEncoding encoding = ColumnEncoding::kDense;
   /// Sender's (load, gossip version) at send time. Every protocol message
   /// doubles as single-entry gossip: the receiver folds this pair into its
   /// view, so e.g. a kStale abort is self-correcting instead of waiting on
@@ -70,6 +89,99 @@ struct Message {
   /// to buy. Empty on all other messages (and when piggybacking is off).
   std::vector<double> gossip;
 };
+
+/// Fixed per-message framing overhead of the byte accounting model: the
+/// scalar fields above plus transport headers, rounded to a cache line.
+inline constexpr std::size_t kWireHeaderBytes = 64;
+
+/// Bytes-on-wire of a message under the accounting model: header plus
+/// 8 bytes per shipped double (column payload and piggybacked gossip).
+/// Network::bytes_sent() sums this; bench_shard_scaling and the sparse
+/// encoding tests report it.
+inline std::size_t WireSize(const Message& msg) {
+  return kWireHeaderBytes + 8 * (msg.payload.size() + msg.gossip.size());
+}
+
+/// Encodes `column` into msg.payload, choosing kSparse when the pair list
+/// is smaller than the dense column.
+inline void PackColumn(std::span<const double> column, Message& msg) {
+  std::size_t nonzero = 0;
+  for (const double v : column) nonzero += v != 0.0 ? 1 : 0;
+  if (2 * nonzero >= column.size()) {
+    msg.encoding = ColumnEncoding::kDense;
+    msg.payload.assign(column.begin(), column.end());
+    return;
+  }
+  msg.encoding = ColumnEncoding::kSparse;
+  msg.payload.clear();
+  msg.payload.reserve(2 * nonzero);
+  for (std::size_t k = 0; k < column.size(); ++k) {
+    if (column[k] != 0.0) {
+      msg.payload.push_back(static_cast<double>(k));
+      msg.payload.push_back(column[k]);
+    }
+  }
+}
+
+/// Encodes `next` as a delta against `base` (same size), falling back to
+/// dense when more than half the entries changed.
+inline void PackColumnDelta(std::span<const double> base,
+                            std::span<const double> next, Message& msg) {
+  std::size_t changed = 0;
+  for (std::size_t k = 0; k < next.size(); ++k) {
+    changed += next[k] != base[k] ? 1 : 0;
+  }
+  if (2 * changed >= next.size()) {
+    msg.encoding = ColumnEncoding::kDense;
+    msg.payload.assign(next.begin(), next.end());
+    return;
+  }
+  msg.encoding = ColumnEncoding::kDelta;
+  msg.payload.clear();
+  msg.payload.reserve(2 * changed);
+  for (std::size_t k = 0; k < next.size(); ++k) {
+    if (next[k] != base[k]) {
+      msg.payload.push_back(static_cast<double>(k));
+      msg.payload.push_back(next[k]);
+    }
+  }
+}
+
+/// Decodes a balance-column payload into `out` (resized to `m`). `base`
+/// is the receiver's copy of the column a kDelta was computed against and
+/// is ignored for the other encodings. Throws on malformed payloads.
+inline void UnpackColumn(const Message& msg, std::size_t m,
+                         std::span<const double> base,
+                         std::vector<double>& out) {
+  switch (msg.encoding) {
+    case ColumnEncoding::kDense:
+      if (msg.payload.size() != m) {
+        throw std::invalid_argument("UnpackColumn: dense size mismatch");
+      }
+      out.assign(msg.payload.begin(), msg.payload.end());
+      return;
+    case ColumnEncoding::kSparse:
+      out.assign(m, 0.0);
+      break;
+    case ColumnEncoding::kDelta:
+      if (base.size() != m) {
+        throw std::invalid_argument("UnpackColumn: delta base mismatch");
+      }
+      out.assign(base.begin(), base.end());
+      break;
+  }
+  if (msg.payload.size() % 2 != 0) {
+    throw std::invalid_argument("UnpackColumn: odd pair list");
+  }
+  for (std::size_t p = 0; p < msg.payload.size(); p += 2) {
+    const double index = msg.payload[p];
+    if (!(index >= 0.0) || index >= static_cast<double>(m) ||
+        index != static_cast<double>(static_cast<std::size_t>(index))) {
+      throw std::invalid_argument("UnpackColumn: bad entry index");
+    }
+    out[static_cast<std::size_t>(index)] = msg.payload[p + 1];
+  }
+}
 
 inline const char* ToString(MessageKind kind) {
   switch (kind) {

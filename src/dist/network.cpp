@@ -5,45 +5,70 @@
 
 namespace delaylb::dist {
 
-Network::Network(const net::LatencyMatrix& latency, sim::EventQueue& queue,
-                 int message_event_type)
+Network::Network(const net::LatencyMatrix& latency, const ShardPlan& plan,
+                 RuntimeEngine& engine)
     : latency_(latency),
-      queue_(queue),
-      message_event_type_(message_event_type),
-      crashed_(latency.size(), 0) {}
+      plan_(plan),
+      engine_(engine),
+      counters_(plan.shards),
+      crashed_(latency.size(), 0),
+      send_seq_(latency.size(), 0) {
+  if (plan.shard_of.size() != latency.size() ||
+      engine.shards() != plan.shards) {
+    throw std::invalid_argument("Network: plan/engine/matrix disagree");
+  }
+}
 
 void Network::Send(Message msg) {
   if (msg.from >= latency_.size() || msg.to >= latency_.size()) {
     throw std::invalid_argument("Network::Send: endpoint out of range");
   }
-  const double delay = latency_(msg.from, msg.to);
-  const bool unreachable = !latency_.Reachable(msg.from, msg.to);
-  const std::uint64_t id = next_id_++;
-  ++sent_;
-  sim::SimEvent event;
-  event.time = queue_.now() + (unreachable ? 0.0 : delay);
-  event.type = message_event_type_;
-  event.a = id;
-  pending_.emplace(id, Pending{std::move(msg), unreachable});
-  queue_.Push(event);
+  const std::size_t src = plan_.shard_of[msg.from];
+  const std::uint64_t seq = send_seq_[msg.from]++;
+  Counters& counters = counters_[src];
+  ++counters.sent;
+  counters.bytes += WireSize(msg);
+
+  ShardEvent event;
+  event.message = std::move(msg);
+  const std::uint32_t from = event.message.from;
+  const std::uint32_t to = event.message.to;
+  if (!latency_.Reachable(from, to)) {
+    // Never leaves the sender's shard: bounce at the send instant.
+    ++counters.dropped;
+    event.type = kEvBounce;
+    event.key = {engine_.now(src), kEvBounce, from, seq};
+    engine_.Emit(src, src, std::move(event));
+    return;
+  }
+  ++counters.in_flight;
+  event.type = kEvMessage;
+  event.key = {engine_.now(src) + latency_(from, to), kEvMessage, from, seq};
+  engine_.Emit(src, plan_.shard_of[to], std::move(event));
 }
 
-Network::Delivery Network::Deliver(std::uint64_t message_id) {
-  const auto it = pending_.find(message_id);
-  if (it == pending_.end()) {
-    throw std::logic_error("Network::Deliver: unknown message id");
+bool Network::Arrive(std::size_t shard, ShardEvent& event) {
+  Counters& counters = counters_[shard];
+  --counters.in_flight;
+  const std::uint32_t from = event.message.from;
+  const std::uint32_t to = event.message.to;
+  if (crashed_[to] == 0) {
+    ++counters.delivered;
+    return true;
   }
-  Delivery delivery;
-  delivery.message = std::move(it->second.message);
-  const bool dropped = it->second.unreachable || crashed(delivery.message.to);
-  pending_.erase(it);
-  if (dropped) {
-    ++dropped_;
-  } else {
-    ++delivered_;
-    delivery.delivered = true;
-  }
-  return delivery;
+  ++counters.dropped;
+  // The failure notification travels back over the return path (falling
+  // back to the forward latency on asymmetric reachability), so a
+  // cross-shard bounce respects the conservative lookahead exactly like a
+  // regular delivery.
+  double back = latency_(to, from);
+  if (back == net::kUnreachable) back = latency_(from, to);
+  ShardEvent bounce;
+  bounce.type = kEvBounce;
+  bounce.key = {engine_.now(shard) + back, kEvBounce, from, event.key.minor};
+  bounce.message = std::move(event.message);
+  engine_.Emit(shard, plan_.shard_of[from], std::move(bounce));
+  return false;
 }
 
 void Network::SetCrashed(std::size_t server, bool crashed) {

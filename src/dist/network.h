@@ -1,83 +1,109 @@
 #pragma once
-// Simulated message-passing network for the distributed runtime.
+// Simulated message-passing transport for the (sharded) distributed
+// runtime.
 //
 // Delivery is delayed by the instance's one-way latency matrix on the
-// shared sim::EventQueue (the DES kernel also used by the Appendix-B RTT
-// experiment). The network owns the in-flight message store and the crash
-// flags: a message whose destination is crashed *at delivery time* is
-// dropped and the drop is reported back to the sender — the simulation's
+// conservative PDES kernel (sim/pdes.h): a message from i to j becomes a
+// kEvMessage event keyed by (send time + c(i,j), sender, sender-sequence)
+// on j's shard — the message itself rides inside the event, so delivery
+// never touches a store shared between shards. The network owns the crash
+// flags and the per-shard accounting; a message whose destination is
+// crashed *at delivery time* is dropped and a kEvBounce event carries the
+// drop back to the sender one return latency later — the simulation's
 // stand-in for a failure detector / connection reset, which is what lets
 // the balance handshake resolve every crash interleaving without
-// distributed-commit machinery (see agent.h). Unreachable destinations
-// (latency = infinity, the trust-relationship extension) bounce the same
-// way with zero delay.
+// distributed-commit machinery (see agent.h; the resolution timeouts
+// exceed a full round trip, so they still outlast any bounce).
+// Unreachable destinations (latency = infinity, the trust-relationship
+// extension) bounce immediately on the sender's own shard.
 //
-// All counters are exact: messages_sent == messages_delivered +
-// messages_dropped + in_flight at every instant, which the runtime tests
-// check against the snapshot accounting.
+// Accounting is exact and shard-local: every counter is mutated only by
+// the shard dispatching the event, and at every window barrier (and any
+// quiesced instant) messages_sent == messages_delivered +
+// messages_dropped + in_flight, with in_flight equal to the number of
+// kEvMessage events actually pending in the kernel — the runtime's
+// accounting audit checks the counters against the queues themselves.
+// bytes_sent() additionally totals the WireSize of every sent message,
+// which is what the sparse/delta column encodings shrink.
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "dist/message.h"
+#include "dist/shard.h"
 #include "net/latency_matrix.h"
-#include "sim/event_queue.h"
 
 namespace delaylb::dist {
 
-/// Latency-delayed, crash-aware message transport on a shared event queue.
+/// Latency-delayed, crash-aware message transport on the PDES kernel.
 class Network {
  public:
-  /// Delivery events are pushed into `queue` with `message_event_type` and
-  /// the in-flight message id in SimEvent::a; the driver hands the id back
-  /// to Deliver() when the event pops. Both references must outlive the
-  /// network.
-  Network(const net::LatencyMatrix& latency, sim::EventQueue& queue,
-          int message_event_type);
+  /// All three references must outlive the network; `plan` and `engine`
+  /// must agree on the shard count.
+  Network(const net::LatencyMatrix& latency, const ShardPlan& plan,
+          RuntimeEngine& engine);
 
-  /// Queues `msg` for delivery at now + c(from, to). An unreachable
-  /// destination is scheduled as an immediate bounce instead.
+  /// Queues `msg` for delivery at now + c(from, to). Must be called from
+  /// the dispatch of msg.from's shard (every protocol send is — agents
+  /// only send while handling their own events). An unreachable
+  /// destination is scheduled as an immediate same-shard bounce instead.
   void Send(Message msg);
 
-  struct Delivery {
-    /// False when the destination was crashed at delivery time (or
-    /// unreachable): the message was dropped and the sender should be
-    /// notified via Agent::OnDeliveryFailure.
-    bool delivered = false;
-    Message message;
-  };
-
-  /// Consumes the in-flight message for a popped delivery event, applying
-  /// the crash/unreachable drop rule at delivery time.
-  Delivery Deliver(std::uint64_t message_id);
+  /// Applies the crash drop rule to a popped kEvMessage event on `shard`
+  /// (= the destination's shard). Returns true when the message should be
+  /// handed to the destination agent; false when it was dropped, in which
+  /// case the bounce back to the sender has been scheduled.
+  bool Arrive(std::size_t shard, ShardEvent& event);
 
   void SetCrashed(std::size_t server, bool crashed);
   bool crashed(std::size_t server) const noexcept {
     return crashed_[server] != 0;
   }
 
-  std::size_t messages_sent() const noexcept { return sent_; }
-  std::size_t messages_delivered() const noexcept { return delivered_; }
-  std::size_t messages_dropped() const noexcept { return dropped_; }
-  std::size_t in_flight() const noexcept { return pending_.size(); }
+  // Counter sums — call while the engine is quiesced (between RunUntil
+  // calls or from the window hook).
+  std::size_t messages_sent() const noexcept { return Sum(&Counters::sent); }
+  std::size_t messages_delivered() const noexcept {
+    return Sum(&Counters::delivered);
+  }
+  std::size_t messages_dropped() const noexcept {
+    return Sum(&Counters::dropped);
+  }
+  std::size_t bytes_sent() const noexcept { return Sum(&Counters::bytes); }
+  std::size_t in_flight() const noexcept {
+    std::int64_t pending = 0;
+    for (const Counters& c : counters_) pending += c.in_flight;
+    return static_cast<std::size_t>(pending);
+  }
 
  private:
-  struct Pending {
-    Message message;
-    bool unreachable = false;
+  /// One cache line of counters per shard: only that shard's worker
+  /// writes it during a window.
+  struct alignas(64) Counters {
+    std::size_t sent = 0;
+    std::size_t delivered = 0;
+    std::size_t dropped = 0;
+    std::size_t bytes = 0;
+    std::int64_t in_flight = 0;  ///< sends minus resolutions, per shard
   };
 
+  template <typename T>
+  std::size_t Sum(T Counters::* field) const noexcept {
+    std::size_t total = 0;
+    for (const Counters& c : counters_) total += c.*field;
+    return total;
+  }
+
   const net::LatencyMatrix& latency_;
-  sim::EventQueue& queue_;
-  int message_event_type_;
-  std::uint64_t next_id_ = 0;
-  std::unordered_map<std::uint64_t, Pending> pending_;
+  const ShardPlan& plan_;
+  RuntimeEngine& engine_;
+  std::vector<Counters> counters_;
   std::vector<std::uint8_t> crashed_;
-  std::size_t sent_ = 0;
-  std::size_t delivered_ = 0;
-  std::size_t dropped_ = 0;
+  /// Per-agent outbound message counter: the EventKey minor that makes
+  /// simultaneous deliveries from one sender totally ordered. Only the
+  /// sender's shard touches its entries.
+  std::vector<std::uint64_t> send_seq_;
 };
 
 }  // namespace delaylb::dist

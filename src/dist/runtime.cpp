@@ -1,20 +1,42 @@
 #include "dist/runtime.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <thread>
 
 #include "core/cost.h"
 #include "util/rng.h"
 
 namespace delaylb::dist {
+namespace {
+
+util::ThreadPool* MakePool(const ShardPlan& plan,
+                           std::unique_ptr<util::ThreadPool>& slot,
+                           std::size_t threads) {
+  if (plan.shards <= 1) return nullptr;
+  if (threads == 0) {
+    threads = std::min<std::size_t>(
+        plan.shards,
+        std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  }
+  slot = std::make_unique<util::ThreadPool>(threads);
+  return slot.get();
+}
+
+}  // namespace
 
 DistributedRuntime::DistributedRuntime(const core::Instance& instance,
                                        RuntimeOptions options)
     : instance_(instance),
       options_(options),
       order_cache_(instance),
-      network_(instance.latency_matrix(), queue_, kEventMessage),
+      plan_(PlanShards(instance.latency_matrix(),
+                       std::max<std::size_t>(1, options.shards))),
+      engine_(plan_.shards, plan_.lookahead,
+              MakePool(plan_, pool_, options.threads)),
+      network_(instance.latency_matrix(), plan_, engine_),
       crash_depth_(instance.size(), 0) {
   const std::size_t m = instance.size();
   if (m == 0) {
@@ -37,6 +59,10 @@ DistributedRuntime::DistributedRuntime(const core::Instance& instance,
         2.0 * instance.latency_matrix().MaxOffDiagonal() +
         options_.agent.balance_period;
   }
+  if (options_.audit_accounting) {
+    engine_.set_window_hook(
+        [this](double /*start*/, double /*end*/) { VerifyAccounting(); });
+  }
 
   util::Rng master(options_.seed);
   agents_.reserve(m);
@@ -46,19 +72,22 @@ DistributedRuntime::DistributedRuntime(const core::Instance& instance,
   }
   // Staggered timer phases: gossip starts inside the first gossip period,
   // balancing inside the second half of the first balance period so the
-  // views have seen at least one dissemination wave.
+  // views have seen at least one dissemination wave. (Draw order matches
+  // every shard count — the master rng runs before the engine does.)
   for (std::size_t id = 0; id < m; ++id) {
-    sim::SimEvent gossip;
-    gossip.time = master.uniform() * options_.agent.gossip_period;
-    gossip.type = kEventGossipTimer;
+    ShardEvent gossip;
+    gossip.type = kEvGossipTimer;
     gossip.a = id;
-    queue_.Push(gossip);
-    sim::SimEvent balance;
-    balance.time =
-        (0.5 + 0.5 * master.uniform()) * options_.agent.balance_period;
-    balance.type = kEventBalanceTimer;
+    gossip.key = {master.uniform() * options_.agent.gossip_period,
+                  kEvGossipTimer, id, 0};
+    engine_.Push(plan_.shard_of[id], std::move(gossip));
+    ShardEvent balance;
+    balance.type = kEvBalanceTimer;
     balance.a = id;
-    queue_.Push(balance);
+    balance.key = {
+        (0.5 + 0.5 * master.uniform()) * options_.agent.balance_period,
+        kEvBalanceTimer, id, 0};
+    engine_.Push(plan_.shard_of[id], std::move(balance));
   }
 }
 
@@ -67,76 +96,77 @@ void DistributedRuntime::RunUntil(double t) {
     throw std::invalid_argument("DistributedRuntime::RunUntil: time moved "
                                 "backwards");
   }
-  while (!queue_.Empty() && queue_.PeekTime() <= t) {
-    Dispatch(queue_.Pop());
-  }
+  engine_.RunUntil(t, [this](std::size_t shard, ShardEvent&& event) {
+    Dispatch(shard, std::move(event));
+  });
   horizon_ = t;
 }
 
-void DistributedRuntime::Dispatch(const sim::SimEvent& event) {
+void DistributedRuntime::Dispatch(std::size_t shard, ShardEvent&& event) {
   switch (event.type) {
-    case kEventMessage: {
-      Network::Delivery delivery = network_.Deliver(event.a);
-      if (delivery.delivered) {
-        agents_[delivery.message.to].OnMessage(delivery.message, network_);
-      } else {
-        // Bounce: the sender learns of the drop at the would-be delivery
-        // instant (failure-detector simplification; see network.h).
-        agents_[delivery.message.from].OnDeliveryFailure(delivery.message,
-                                                         network_);
+    case kEvMessage:
+      if (network_.Arrive(shard, event)) {
+        agents_[event.message.to].OnMessage(event.message, network_);
       }
       break;
-    }
-    case kEventGossipTimer: {
+    case kEvBounce:
+      // The sender learns of the drop one return latency after the
+      // would-be delivery (failure-detector fiction; see network.h).
+      // Bounces are processed even while the sender itself is crashed —
+      // its memory survives (the transactional-undo fiction of agent.h).
+      agents_[event.message.from].OnDeliveryFailure(event.message, network_);
+      break;
+    case kEvGossipTimer: {
       const std::size_t id = event.a;
-      sim::SimEvent next = event;
-      next.time = queue_.now() + options_.agent.gossip_period;
-      queue_.Push(next);
+      ShardEvent next = std::move(event);
+      next.key.time = engine_.now(shard) + options_.agent.gossip_period;
+      engine_.Emit(shard, shard, std::move(next));
       if (!network_.crashed(id)) agents_[id].StartGossip(network_);
       break;
     }
-    case kEventBalanceTimer: {
+    case kEvBalanceTimer: {
       const std::size_t id = event.a;
-      sim::SimEvent next = event;
-      next.time = queue_.now() + options_.agent.balance_period;
-      queue_.Push(next);
+      ShardEvent next = std::move(event);
+      next.key.time = engine_.now(shard) + options_.agent.balance_period;
+      engine_.Emit(shard, shard, std::move(next));
       if (!network_.crashed(id)) {
         const std::uint64_t handshake = agents_[id].StartBalance(network_);
         if (handshake != 0) {
-          sim::SimEvent timeout;
-          timeout.time = queue_.now() + balance_timeout_;
-          timeout.type = kEventBalanceTimeout;
+          ShardEvent timeout;
+          timeout.type = kEvBalanceTimeout;
           timeout.a = id;
           timeout.b = handshake;
-          queue_.Push(timeout);
+          timeout.key = {engine_.now(shard) + balance_timeout_,
+                         kEvBalanceTimeout, id, handshake};
+          engine_.Emit(shard, shard, std::move(timeout));
         }
       }
       break;
     }
-    case kEventBalanceTimeout:
+    case kEvBalanceTimeout:
       // A crashed initiator cannot notice silence; OnRecover re-arms.
       if (!network_.crashed(event.a)) {
         agents_[event.a].OnBalanceTimeout(event.b);
       }
       break;
-    case kEventCrash:
+    case kEvCrash:
       if (++crash_depth_[event.a] == 1) {
         network_.SetCrashed(event.a, true);
         agents_[event.a].OnCrash();
       }
       break;
-    case kEventRecover:
+    case kEvRecover:
       if (--crash_depth_[event.a] == 0) {
         network_.SetCrashed(event.a, false);
-        const std::uint64_t handshake =
-            agents_[event.a].OnRecover(network_);
+        const std::uint64_t handshake = agents_[event.a].OnRecover(network_);
         if (handshake != 0) {
-          sim::SimEvent timeout;
-          timeout.time = queue_.now() + balance_timeout_;
-          timeout.type = kEventBalanceTimeout;
+          ShardEvent timeout;
+          timeout.type = kEvBalanceTimeout;
           timeout.a = event.a;
           timeout.b = handshake;
-          queue_.Push(timeout);
+          timeout.key = {engine_.now(shard) + balance_timeout_,
+                         kEvBalanceTimeout, event.a, handshake};
+          engine_.Emit(shard, shard, std::move(timeout));
         }
       }
       break;
@@ -150,21 +180,37 @@ void DistributedRuntime::ScheduleCrash(std::size_t id, double down,
   if (id >= agents_.size()) {
     throw std::invalid_argument("ScheduleCrash: server out of range");
   }
-  // The simulated present is the RunUntil horizon (queue_.now() lags at
-  // the last popped event): windows must start no earlier than it.
+  // The simulated present is the RunUntil horizon (now() lags at the last
+  // dispatched event): windows must start no earlier than it.
   if (!(down < up) || down < horizon_) {
     throw std::invalid_argument("ScheduleCrash: need now <= down < up");
   }
-  sim::SimEvent crash;
-  crash.time = down;
-  crash.type = kEventCrash;
+  const std::uint64_t sequence = crash_sequence_++;
+  const std::size_t shard = plan_.shard_of[id];
+  ShardEvent crash;
+  crash.type = kEvCrash;
   crash.a = id;
-  queue_.Push(crash);
-  sim::SimEvent recover;
-  recover.time = up;
-  recover.type = kEventRecover;
+  crash.key = {down, kEvCrash, id, sequence};
+  engine_.Push(shard, std::move(crash));
+  ShardEvent recover;
+  recover.type = kEvRecover;
   recover.a = id;
-  queue_.Push(recover);
+  recover.key = {up, kEvRecover, id, sequence};
+  engine_.Push(shard, std::move(recover));
+}
+
+void DistributedRuntime::VerifyAccounting() const {
+  std::size_t pending = 0;
+  engine_.ForEachPending([&pending](const ShardEvent& event) {
+    if (event.type == kEvMessage) ++pending;
+  });
+  const std::size_t sent = network_.messages_sent();
+  const std::size_t resolved =
+      network_.messages_delivered() + network_.messages_dropped();
+  if (sent != resolved + pending || network_.in_flight() != pending) {
+    throw std::logic_error("DistributedRuntime: network accounting broken "
+                           "(sent != delivered + dropped + in_flight)");
+  }
 }
 
 std::size_t DistributedRuntime::OpenHandshakes() const {
@@ -205,6 +251,7 @@ RuntimeSnapshot DistributedRuntime::Snapshot() const {
   snapshot.messages_sent = network_.messages_sent();
   snapshot.messages_delivered = network_.messages_delivered();
   snapshot.messages_dropped = network_.messages_dropped();
+  snapshot.bytes_sent = network_.bytes_sent();
   snapshot.balances_in_flight = OpenHandshakes();
   return snapshot;
 }

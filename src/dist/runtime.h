@@ -12,17 +12,27 @@
 // dropped and the protocol degrades gracefully (rejected handshakes) until
 // recovery re-announces a fresh view.
 //
-// Determinism: the runtime is single-threaded on a FIFO-tie-broken event
-// queue and every random draw (agent rngs, timer stagger) derives from
+// Scale-out: the runtime runs on the conservative PDES kernel
+// (sim/pdes.h). RuntimeOptions::shards partitions the agents across
+// latency-derived clusters (dist/shard.h), each with its own event heap,
+// advanced in lock-step windows of width lookahead = min cross-shard
+// latency over a util::ThreadPool — the single-threaded dispatch loop is
+// simply the shards = 1 instance of the same engine.
+//
+// Determinism: every event carries a content-derived total-order key and
+// every random draw (agent rngs, timer stagger) derives from
 // RuntimeOptions::seed, so two runs with the same seed produce identical
-// Snapshot() traces — including under scheduled crashes. That makes the
-// distributed deployment directly comparable against the synchronous
-// engine: AssembleAllocation() gathers the per-server columns into a
-// core::Allocation for cross-checking (exact request conservation holds
-// whenever no handshake is open; see OpenHandshakes).
+// Snapshot() traces — including under scheduled crashes — for ANY shard
+// or thread count (tests/dist/test_shard.cpp pins shards in {1, 2, 4, 7}
+// to the bit). That makes the distributed deployment directly comparable
+// against the synchronous engine: AssembleAllocation() gathers the
+// per-server columns into a core::Allocation for cross-checking (exact
+// request conservation holds whenever no handshake is open; see
+// OpenHandshakes).
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/allocation.h"
@@ -30,7 +40,8 @@
 #include "core/pair_order_cache.h"
 #include "dist/agent.h"
 #include "dist/network.h"
-#include "sim/event_queue.h"
+#include "dist/shard.h"
+#include "util/thread_pool.h"
 
 namespace delaylb::dist {
 
@@ -38,12 +49,28 @@ struct RuntimeOptions {
   /// Seed of every random decision in the runtime (timer stagger, gossip
   /// peers, partner exploration).
   std::uint64_t seed = 1;
+  /// Event-queue shards of the conservative PDES kernel. 1 (the default)
+  /// is the sequential dispatch loop; higher values partition the agents
+  /// across latency clusters and dispatch them in parallel. Traces are
+  /// bit-identical for every value. The planner may collapse to fewer
+  /// shards (see dist::PlanShards).
+  std::size_t shards = 1;
+  /// Worker threads of the sharded run; 0 derives
+  /// min(shards, hardware_concurrency). Ignored when one shard is
+  /// planned. Any value yields the same trace.
+  std::size_t threads = 0;
+  /// Audit the network accounting at every committed PDES window: counts
+  /// the message events actually pending in the kernel and throws
+  /// std::logic_error unless sent == delivered + dropped + in_flight.
+  /// O(pending events) per window — a test/debug knob, off by default.
+  bool audit_accounting = false;
   /// Derive agent.gossip_period = agent.balance_period / max(1, log2(m)) —
   /// the paper's recommended gossip-to-balance frequency ratio. Disable to
   /// set agent.gossip_period explicitly (the gossip ablation bench does).
   bool auto_gossip_period = true;
   /// Initiator handshake timeout; <= 0 derives 2 * max finite latency +
-  /// agent.balance_period, which exceeds any round trip.
+  /// agent.balance_period, which exceeds any round trip (and therefore
+  /// any drop bounce, which rides the return path).
   double balance_timeout = 0.0;
   AgentOptions agent;
 };
@@ -55,6 +82,7 @@ struct RuntimeSnapshot {
   std::size_t messages_sent = 0;
   std::size_t messages_delivered = 0;
   std::size_t messages_dropped = 0;
+  std::size_t bytes_sent = 0;  ///< WireSize total (see message.h)
   std::size_t balances_in_flight = 0;  ///< open handshake endpoints
 };
 
@@ -78,7 +106,21 @@ class DistributedRuntime {
   const Agent& agent(std::size_t id) const { return agents_.at(id); }
   const Network& network() const noexcept { return network_; }
   std::size_t size() const noexcept { return agents_.size(); }
-  double now() const noexcept { return queue_.now(); }
+  double now() const noexcept { return engine_.GlobalNow(); }
+
+  /// The planned shard count (<= RuntimeOptions::shards) and the plan's
+  /// conservative lookahead; committed PDES windows so far.
+  std::size_t shards() const noexcept { return plan_.shards; }
+  double lookahead() const noexcept { return plan_.lookahead; }
+  std::uint64_t windows() const noexcept { return engine_.windows(); }
+  std::uint64_t events_dispatched() const noexcept {
+    return engine_.dispatched();
+  }
+
+  /// Throws std::logic_error unless the network counters match the
+  /// message events actually pending in the kernel. Runs automatically at
+  /// every window when RuntimeOptions::audit_accounting is set.
+  void VerifyAccounting() const;
 
   /// Number of open handshake endpoints (initiator or responder records).
   std::size_t OpenHandshakes() const;
@@ -96,26 +138,23 @@ class DistributedRuntime {
   core::Allocation AssembleAllocation() const;
 
  private:
-  enum EventType : int {
-    kEventMessage = 1,
-    kEventGossipTimer,
-    kEventBalanceTimer,
-    kEventBalanceTimeout,
-    kEventCrash,
-    kEventRecover,
-  };
-
-  void Dispatch(const sim::SimEvent& event);
+  /// Shard-local event dispatch: touches only state owned by `shard`
+  /// (its agents, its network counters) plus engine Emits — the contract
+  /// that lets windows run wait-free across shards.
+  void Dispatch(std::size_t shard, ShardEvent&& event);
 
   const core::Instance& instance_;
   RuntimeOptions options_;
   double balance_timeout_ = 0.0;
   core::PairOrderCache order_cache_;
-  sim::EventQueue queue_;
+  ShardPlan plan_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< only for plans > 1 shard
+  RuntimeEngine engine_;
   Network network_;
   std::vector<Agent> agents_;
   /// Overlapping crash windows nest: a server is down while depth > 0.
   std::vector<std::uint32_t> crash_depth_;
+  std::uint64_t crash_sequence_ = 0;  ///< EventKey minor of crash events
   double horizon_ = 0.0;  ///< latest RunUntil target
 };
 

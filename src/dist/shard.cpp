@@ -1,0 +1,33 @@
+#include "dist/shard.h"
+
+#include <algorithm>
+
+#include "net/clustering.h"
+
+namespace delaylb::dist {
+
+ShardPlan PlanShards(const net::LatencyMatrix& latency,
+                     std::size_t requested) {
+  const std::size_t m = latency.size();
+  ShardPlan plan;
+  plan.shard_of.assign(m, 0);
+  if (requested <= 1 || m <= 1) return plan;
+
+  const net::ClusterPlan clusters =
+      net::ClusterByLatency(latency, std::min(requested, m));
+  if (clusters.clusters <= 1) return plan;
+
+  const double lookahead =
+      sim::MinCrossShardLatency(latency, clusters.cluster_of);
+  if (!(lookahead > 0.0)) {
+    // Defensive: ClusterByLatency co-locates zero-latency pairs, so this
+    // only triggers on a malformed plan. Sequential is always correct.
+    return plan;
+  }
+  plan.shard_of = clusters.cluster_of;
+  plan.shards = clusters.clusters;
+  plan.lookahead = lookahead;
+  return plan;
+}
+
+}  // namespace delaylb::dist

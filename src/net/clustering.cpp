@@ -1,0 +1,171 @@
+#include "net/clustering.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace delaylb::net {
+namespace {
+
+/// Symmetric proximity: the cheaper direction of the pair (a message can
+/// cross between the two shards along either one).
+double PairDistance(const LatencyMatrix& latency, std::size_t i,
+                    std::size_t j) {
+  return std::min(latency(i, j), latency(j, i));
+}
+
+struct UnionFind {
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void Union(std::size_t a, std::size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    // The smaller id roots so every group's representative is its minimum
+    // member — a stable, input-only identity for the deterministic passes
+    // below.
+    if (b < a) std::swap(a, b);
+    parent[b] = a;
+  }
+  std::vector<std::size_t> parent;
+};
+
+}  // namespace
+
+ClusterPlan ClusterByLatency(const LatencyMatrix& latency, std::size_t k) {
+  const std::size_t m = latency.size();
+  ClusterPlan plan;
+  plan.cluster_of.assign(m, 0);
+  plan.clusters = m == 0 ? 0 : 1;
+  if (m == 0 || k <= 1) return plan;
+
+  // 1) Zero-latency pairs admit no positive conservative lookahead: they
+  //    are atoms that must land in one cluster together.
+  UnionFind groups(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      if (PairDistance(latency, i, j) == 0.0) groups.Union(i, j);
+    }
+  }
+  std::vector<std::uint32_t> rep;  // ascending atom representatives
+  std::vector<std::vector<std::uint32_t>> members(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t r = groups.Find(i);
+    if (members[r].empty()) rep.push_back(static_cast<std::uint32_t>(r));
+    members[r].push_back(static_cast<std::uint32_t>(i));
+  }
+  const std::size_t atoms = rep.size();
+  const std::size_t clusters = std::min(k, atoms);
+  if (clusters <= 1) return plan;
+
+  // 2) Farthest-point seeding over atom representatives. The first seed is
+  //    the most peripheral atom (largest total finite distance); each next
+  //    seed maximizes its distance to the chosen set, so the seeds span
+  //    the latency extremes — exactly the pairs we want in different
+  //    shards. Unreachable (infinite) distances sort as maximally far.
+  std::vector<std::size_t> seeds;
+  seeds.reserve(clusters);
+  {
+    double best = -1.0;
+    std::size_t best_atom = 0;
+    for (std::size_t a = 0; a < atoms; ++a) {
+      double total = 0.0;
+      for (std::size_t b = 0; b < atoms; ++b) {
+        if (a == b) continue;
+        const double d = PairDistance(latency, rep[a], rep[b]);
+        if (d != kUnreachable) total += d;
+      }
+      if (total > best) {
+        best = total;
+        best_atom = a;
+      }
+    }
+    seeds.push_back(best_atom);
+  }
+  std::vector<double> to_seeds(atoms, kUnreachable);
+  while (seeds.size() < clusters) {
+    for (std::size_t a = 0; a < atoms; ++a) {
+      to_seeds[a] = std::min(
+          to_seeds[a], PairDistance(latency, rep[a], rep[seeds.back()]));
+    }
+    double best = -1.0;
+    std::size_t best_atom = atoms;
+    for (std::size_t a = 0; a < atoms; ++a) {
+      if (std::find(seeds.begin(), seeds.end(), a) != seeds.end()) continue;
+      if (to_seeds[a] > best) {
+        best = to_seeds[a];
+        best_atom = a;
+      }
+    }
+    seeds.push_back(best_atom);
+  }
+
+  // 3) Capacity-bounded single-linkage assignment, atoms in ascending
+  //    representative order: an atom joins the cluster of its nearest
+  //    already-assigned atom (not its nearest seed), so a tight latency
+  //    group that contains no seed still lands in ONE cluster — the first
+  //    member picks a home and the rest follow it, which is what keeps
+  //    the cross-shard lookahead at the inter-group gap instead of the
+  //    intra-group latency. `linkage[a][c]` is maintained incrementally
+  //    (min distance from atom a to cluster c's current members), keeping
+  //    the pass O(atoms^2). An over-capacity cluster is only chosen when
+  //    every cluster is full (possible when one zero-latency group
+  //    exceeds ceil(m/k)).
+  const std::size_t capacity = (m + clusters - 1) / clusters;
+  std::vector<std::size_t> size_of(clusters, 0);
+  std::vector<std::uint32_t> cluster_of_atom(atoms, 0);
+  std::vector<char> assigned(atoms, 0);
+  std::vector<double> linkage(atoms * clusters, kUnreachable);
+  const auto absorb = [&](std::size_t a, std::size_t c) {
+    cluster_of_atom[a] = static_cast<std::uint32_t>(c);
+    assigned[a] = 1;
+    size_of[c] += members[rep[a]].size();
+    for (std::size_t u = 0; u < atoms; ++u) {
+      if (assigned[u]) continue;
+      linkage[u * clusters + c] = std::min(
+          linkage[u * clusters + c], PairDistance(latency, rep[u], rep[a]));
+    }
+  };
+  for (std::size_t c = 0; c < clusters; ++c) absorb(seeds[c], c);
+  for (std::size_t a = 0; a < atoms; ++a) {
+    if (assigned[a]) continue;
+    const std::size_t atom_size = members[rep[a]].size();
+    std::size_t best_cluster = 0;
+    bool best_fits = false;
+    double best_distance = kUnreachable;
+    std::size_t best_size = std::numeric_limits<std::size_t>::max();
+    for (std::size_t c = 0; c < clusters; ++c) {
+      const bool fits = size_of[c] + atom_size <= capacity;
+      const double d = linkage[a * clusters + c];
+      // Prefer clusters with room; among those, nearest by linkage, then
+      // the emptier cluster, then the lower index — all deterministic.
+      const bool better =
+          fits != best_fits
+              ? fits
+              : (d != best_distance ? d < best_distance
+                                    : size_of[c] < best_size);
+      if (c == 0 || better) {
+        best_cluster = c;
+        best_fits = fits;
+        best_distance = d;
+        best_size = size_of[c];
+      }
+    }
+    absorb(a, best_cluster);
+  }
+
+  for (std::size_t a = 0; a < atoms; ++a) {
+    for (const std::uint32_t i : members[rep[a]]) {
+      plan.cluster_of[i] = cluster_of_atom[a];
+    }
+  }
+  plan.clusters = clusters;
+  return plan;
+}
+
+}  // namespace delaylb::net

@@ -1,0 +1,47 @@
+#pragma once
+// Latency-aware server clustering.
+//
+// The sharded distributed runtime wants a partition of the servers whose
+// cross-shard latencies are as LARGE as possible: the conservative PDES
+// lookahead is the minimum cross-shard latency, so wide inter-cluster
+// gaps mean wide synchronization windows, and — under the paper's
+// proximity-biased partner selection — the latency-heavy balance traffic
+// stays shard-local. ClusterByLatency is the deterministic greedy
+// heuristic behind that assignment: zero-latency pairs are first merged
+// (they admit no positive lookahead and must share a shard), seeds are
+// spread by farthest-point selection over the symmetric latency
+// min(c(i,j), c(j,i)), and the remaining servers are absorbed by
+// single-linkage — each joins the cluster of its nearest
+// already-assigned server, so a tight latency group that contains no
+// seed still lands whole in one cluster — under a per-cluster capacity
+// bound of ceil(m / clusters) that keeps shards balanced for the worker
+// pool (clusters = min(k, number of zero-latency groups), so the bound
+// can exceed ceil(m/k) when such groups collapse the cluster count).
+//
+// Everything here is a pure function of the matrix and k — same input,
+// same clustering — because the shard assignment feeds the runtime's
+// bit-identical trace guarantee.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/latency_matrix.h"
+
+namespace delaylb::net {
+
+struct ClusterPlan {
+  /// cluster_of[i] in [0, clusters) for every server i.
+  std::vector<std::uint32_t> cluster_of;
+  /// Actual cluster count: at most k, possibly fewer (zero-latency pairs
+  /// and tiny m collapse clusters). 0 only for an empty matrix.
+  std::size_t clusters = 0;
+};
+
+/// Deterministically partitions the servers into at most `k` latency
+/// clusters. Guarantees: every pair with min(c(i,j), c(j,i)) == 0 shares
+/// a cluster; cluster sizes stay within ceil(m / clusters) plus the size
+/// of one zero-latency group; k <= 1 returns the trivial single cluster.
+ClusterPlan ClusterByLatency(const LatencyMatrix& latency, std::size_t k);
+
+}  // namespace delaylb::net

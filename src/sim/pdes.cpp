@@ -1,0 +1,25 @@
+#include "sim/pdes.h"
+
+#include "net/latency_matrix.h"
+
+namespace delaylb::sim {
+
+double MinCrossShardLatency(const net::LatencyMatrix& latency,
+                            std::span<const std::uint32_t> shard_of) {
+  if (shard_of.size() != latency.size()) {
+    throw std::invalid_argument("MinCrossShardLatency: shard map size "
+                                "mismatch");
+  }
+  double lookahead = std::numeric_limits<double>::infinity();
+  const std::size_t m = latency.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i == j || shard_of[i] == shard_of[j]) continue;
+      if (!latency.Reachable(i, j)) continue;
+      lookahead = std::min(lookahead, latency(i, j));
+    }
+  }
+  return lookahead;
+}
+
+}  // namespace delaylb::sim

@@ -1,0 +1,314 @@
+#pragma once
+// Conservative parallel discrete-event simulation kernel.
+//
+// The single-queue DES (event_queue.h) dispatches one event at a time,
+// which caps the simulated system size: at m = 5000 the distributed
+// runtime generates hundreds of gossip payloads per simulated millisecond
+// and a single core must touch every one. This kernel partitions the
+// simulated entities across `shards` — each shard owns its own event heap
+// and advances in lock-step time windows of width `lookahead` (classic
+// conservative / Chandy-Misra-style synchronization): an event dispatched
+// at time t on shard S may create events on another shard only at
+// t + lookahead or later, so every event inside the window [W, W + L) is
+// causally independent of the concurrently running shards and the window
+// commits wait-free. Cross-shard events land in per-(src, dst) staging
+// lanes written only by the source shard's worker and merged into the
+// destination heaps at the window barrier.
+//
+// Determinism contract — bit-identical traces for ANY shard count:
+//
+//  * Events are totally ordered by a content-derived EventKey
+//    (time, rank, major, minor) instead of the single-queue kernel's
+//    insertion sequence. The key is a pure function of the event itself
+//    (e.g. for a message: its send time + latency, the sender id, and the
+//    sender's own outbound counter), so it does not depend on how the
+//    execution happened to interleave — the prerequisite for one shard
+//    and eight shards agreeing on the order of simultaneous events.
+//    Callers must keep keys unique among coexisting events.
+//  * Within a shard, events are dispatched in strict key order; across
+//    shards, same-window events touch disjoint state by the lookahead
+//    guarantee, so any interleaving yields the same per-entity history.
+//  * Merging the staging lanes just heap-pushes: with unique keys the pop
+//    sequence of a binary heap is independent of push order.
+//
+// Floating-point footnote: for τ >= W and c >= L, correctly rounded
+// addition is monotone in each argument, so fl(τ + c) >= fl(W + L) — a
+// cross-shard event computed as "now + latency" can never land inside the
+// current window even after rounding. Emit() enforces this with a
+// logic_error rather than silently corrupting causality.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace delaylb::net {
+class LatencyMatrix;
+}
+
+namespace delaylb::sim {
+
+/// Content-derived total order on simulation events. `rank` breaks ties
+/// between event classes at the same timestamp (lower dispatches first);
+/// `major`/`minor` are class-specific (e.g. sender id / sender sequence
+/// for messages). Coexisting events must have distinct keys.
+struct EventKey {
+  double time = 0.0;
+  std::int32_t rank = 0;
+  std::uint64_t major = 0;
+  std::uint64_t minor = 0;
+};
+
+inline bool operator<(const EventKey& a, const EventKey& b) noexcept {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.rank != b.rank) return a.rank < b.rank;
+  if (a.major != b.major) return a.major < b.major;
+  return a.minor < b.minor;
+}
+
+/// Min-heap over EventKey with move-out pops (events may carry payloads).
+/// E must expose a public `sim::EventKey key` member.
+template <typename E>
+class EventHeap {
+ public:
+  bool Empty() const noexcept { return items_.empty(); }
+  std::size_t Size() const noexcept { return items_.size(); }
+  const EventKey& PeekKey() const noexcept { return items_.front().key; }
+
+  void Push(E event) {
+    items_.push_back(std::move(event));
+    std::push_heap(items_.begin(), items_.end(), Later);
+  }
+
+  E Pop() {
+    std::pop_heap(items_.begin(), items_.end(), Later);
+    E event = std::move(items_.back());
+    items_.pop_back();
+    return event;
+  }
+
+  /// Unordered view of the pending events (for audits while quiesced).
+  const std::vector<E>& raw() const noexcept { return items_; }
+
+ private:
+  static bool Later(const E& a, const E& b) noexcept { return b.key < a.key; }
+
+  std::vector<E> items_;
+};
+
+/// The conservative engine. Drives `shards` EventHeaps in lock-step
+/// windows of width `lookahead` over a util::ThreadPool; with one shard
+/// (or lookahead = infinity) it degenerates to the classic sequential
+/// dispatch loop — same code path, which is what makes the shard knob a
+/// pure performance choice.
+template <typename E>
+class ConservativeEngine {
+ public:
+  /// Called after every committed window (lanes merged, shards quiesced)
+  /// with the window's [start, end). Runs on the driving thread; safe to
+  /// inspect all engine and driver state.
+  using WindowHook = std::function<void(double start, double end)>;
+
+  /// `lookahead` must be > 0 (infinity = no cross-shard constraint, e.g.
+  /// a single shard or mutually unreachable shards). `pool` is required
+  /// when shards > 1 and must outlive the engine.
+  ConservativeEngine(std::size_t shards, double lookahead,
+                     util::ThreadPool* pool)
+      : lookahead_(lookahead),
+        pool_(pool),
+        shards_(shards),
+        heaps_(shards),
+        states_(shards),
+        lanes_(shards * shards) {
+    if (shards == 0) {
+      throw std::invalid_argument("ConservativeEngine: zero shards");
+    }
+    if (!(lookahead > 0.0)) {
+      throw std::invalid_argument("ConservativeEngine: lookahead must be "
+                                  "positive");
+    }
+    if (shards > 1 && pool == nullptr) {
+      throw std::invalid_argument("ConservativeEngine: shards > 1 requires "
+                                  "a thread pool");
+    }
+  }
+
+  std::size_t shards() const noexcept { return shards_; }
+  double lookahead() const noexcept { return lookahead_; }
+
+  /// Schedules an event from outside a RunUntil (setup, between runs).
+  void Push(std::size_t shard, E event) {
+    heaps_.at(shard).heap.Push(std::move(event));
+  }
+
+  /// Schedules an event from inside a dispatch running on shard `src`.
+  /// Same-shard events may target any time >= now(src); cross-shard
+  /// events must respect the lookahead (time >= current window end).
+  void Emit(std::size_t src, std::size_t dst, E event) {
+    if (dst == src) {
+      if (event.key.time < states_[src].now) {
+        throw std::logic_error("ConservativeEngine::Emit: event scheduled "
+                               "into the past");
+      }
+      heaps_[src].heap.Push(std::move(event));
+      return;
+    }
+    if (event.key.time < window_end_) {
+      throw std::logic_error("ConservativeEngine::Emit: cross-shard event "
+                             "inside the lookahead window");
+    }
+    lanes_[src * shards_ + dst].push_back(std::move(event));
+  }
+
+  /// Shard-local clock: the timestamp of the event being dispatched.
+  double now(std::size_t shard) const noexcept { return states_[shard].now; }
+
+  /// Latest dispatched timestamp across shards. Quiesced engine only.
+  double GlobalNow() const noexcept {
+    double now = 0.0;
+    for (const ShardState& state : states_) now = std::max(now, state.now);
+    return now;
+  }
+
+  /// Earliest pending timestamp (infinity when empty). Quiesced only.
+  double NextTime() const noexcept {
+    double next = std::numeric_limits<double>::infinity();
+    for (const ShardSlot& slot : heaps_) {
+      if (!slot.heap.Empty()) next = std::min(next, slot.heap.PeekKey().time);
+    }
+    return next;
+  }
+
+  bool Empty() const noexcept {
+    return NextTime() == std::numeric_limits<double>::infinity();
+  }
+
+  /// Dispatches every event with timestamp <= horizon, window by window.
+  /// `dispatch(shard, event)` runs concurrently across shards and must
+  /// only touch state owned by `shard` (plus Emit). Exceptions from any
+  /// shard abort the run and rethrow here (first one wins).
+  template <typename Dispatch>
+  void RunUntil(double horizon, Dispatch&& dispatch) {
+    for (;;) {
+      const double start = NextTime();
+      if (!(start <= horizon)) break;
+      window_end_ =
+          lookahead_ == std::numeric_limits<double>::infinity()
+              ? std::numeric_limits<double>::infinity()
+              : start + lookahead_;
+      if (shards_ == 1) {
+        RunShard(0, horizon, dispatch);
+      } else {
+        latch_.Reset(shards_);
+        for (std::size_t s = 0; s < shards_; ++s) {
+          pool_->Post([this, s, horizon, &dispatch] {
+            try {
+              RunShard(s, horizon, dispatch);
+            } catch (...) {
+              std::lock_guard<std::mutex> lock(error_mutex_);
+              if (!error_) error_ = std::current_exception();
+            }
+            latch_.CountDown();
+          });
+        }
+        latch_.Wait();
+        MergeLanes();
+        if (error_) {
+          std::rethrow_exception(std::exchange(error_, nullptr));
+        }
+      }
+      ++windows_;
+      if (hook_) hook_(start, window_end_);
+    }
+  }
+
+  void set_window_hook(WindowHook hook) { hook_ = std::move(hook); }
+
+  /// Committed windows / dispatched events since construction.
+  std::uint64_t windows() const noexcept { return windows_; }
+  std::uint64_t dispatched() const noexcept {
+    std::uint64_t total = 0;
+    for (const ShardState& state : states_) total += state.dispatched;
+    return total;
+  }
+
+  /// Visits every pending event (heaps + unmerged lanes). Quiesced only —
+  /// the accounting audits run this from the window hook.
+  template <typename Fn>
+  void ForEachPending(Fn&& fn) const {
+    for (const ShardSlot& slot : heaps_) {
+      for (const E& event : slot.heap.raw()) fn(event);
+    }
+    for (const std::vector<E>& lane : lanes_) {
+      for (const E& event : lane) fn(event);
+    }
+  }
+
+ private:
+  struct alignas(64) ShardSlot {
+    EventHeap<E> heap;
+  };
+  struct alignas(64) ShardState {
+    double now = 0.0;
+    std::uint64_t dispatched = 0;
+  };
+
+  template <typename Dispatch>
+  void RunShard(std::size_t s, double horizon, Dispatch& dispatch) {
+    EventHeap<E>& heap = heaps_[s].heap;
+    ShardState& state = states_[s];
+    while (!heap.Empty()) {
+      const EventKey& key = heap.PeekKey();
+      if (key.time > horizon || key.time >= window_end_) break;
+      E event = heap.Pop();
+      state.now = event.key.time;
+      ++state.dispatched;
+      dispatch(s, std::move(event));
+    }
+  }
+
+  void MergeLanes() {
+    for (std::size_t src = 0; src < shards_; ++src) {
+      for (std::size_t dst = 0; dst < shards_; ++dst) {
+        std::vector<E>& lane = lanes_[src * shards_ + dst];
+        for (E& event : lane) heaps_[dst].heap.Push(std::move(event));
+        lane.clear();
+      }
+    }
+  }
+
+  double lookahead_;
+  util::ThreadPool* pool_;
+  std::size_t shards_;
+  std::vector<ShardSlot> heaps_;
+  std::vector<ShardState> states_;
+  /// lanes_[src * shards_ + dst]: cross-shard events staged during the
+  /// current window; written only by src's worker, merged at the barrier.
+  std::vector<std::vector<E>> lanes_;
+  double window_end_ = std::numeric_limits<double>::infinity();
+  std::uint64_t windows_ = 0;
+  WindowHook hook_;
+  util::Latch latch_;
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+};
+
+/// The conservative lookahead induced by a shard assignment: the minimum
+/// finite latency between servers on different shards (infinity when all
+/// cross-shard pairs are unreachable or there is one shard). A zero
+/// return value means the assignment splits a zero-latency pair and
+/// cannot be simulated conservatively — callers must co-locate such pairs
+/// (net::ClusterByLatency does).
+double MinCrossShardLatency(const net::LatencyMatrix& latency,
+                            std::span<const std::uint32_t> shard_of);
+
+}  // namespace delaylb::sim

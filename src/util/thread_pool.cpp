@@ -25,6 +25,14 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -93,6 +101,24 @@ void ThreadPool::ParallelChunks(
   }
   for (auto& f : futures) f.get();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void Latch::Reset(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_ = n;
+}
+
+void Latch::CountDown() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Notify under the lock: the waiter may destroy the latch the moment
+  // Wait() returns, so the cv must not be touched after the mutex is
+  // released.
+  if (--pending_ == 0) cv_.notify_all();
+}
+
+void Latch::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
 }
 
 }  // namespace delaylb::util

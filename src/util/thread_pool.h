@@ -32,6 +32,12 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Submits a fire-and-forget task: no future is allocated, so callers
+  /// that fan out many small tasks per step (the conservative PDES engine
+  /// posts one task per shard per time window) pay only the queue push.
+  /// Completion must be observed through caller-owned state (see Latch).
+  void Post(std::function<void()> task);
+
   /// Submits a task; returns a future for its result.
   template <typename F>
   auto Submit(F&& f) -> std::future<std::invoke_result_t<F>> {
@@ -71,6 +77,24 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+};
+
+/// A reusable count-down latch: the fan-out/fan-in barrier for pool tasks
+/// posted with Post(). Reset(n) arms it for n completions; each task calls
+/// CountDown() exactly once; Wait() blocks until all n have. Unlike
+/// per-task futures this allocates nothing per cycle, which matters to the
+/// PDES engine's per-window barriers. Reset() must not race CountDown() of
+/// a previous cycle (Wait() first).
+class Latch {
+ public:
+  void Reset(std::size_t n);
+  void CountDown();
+  void Wait();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
 };
 
 }  // namespace delaylb::util

@@ -1,0 +1,192 @@
+// The sharded DistributedRuntime: bit-identical traces across shard
+// counts (including crash windows landing inside PDES windows), the
+// latency-aware shard plan, the audited network accounting, and the
+// sparse/delta column encodings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/cost.h"
+#include "dist/message.h"
+#include "dist/runtime.h"
+#include "dist/shard.h"
+#include "net/latency_matrix.h"
+#include "testing/instances.h"
+#include "util/rng.h"
+
+namespace delaylb::dist {
+namespace {
+
+/// A full observable trace: snapshots every 250ms to 5s, with three crash
+/// windows — two long overlapping ones and one starting at an irrational
+/// instant so it lands strictly inside a PDES window for every plan.
+std::vector<RuntimeSnapshot> CrashTrace(const core::Instance& inst,
+                                        RuntimeOptions options) {
+  DistributedRuntime runtime(inst, options);
+  runtime.ScheduleCrash(3, 800.0, 2200.0);
+  runtime.ScheduleCrash(5, 1000.0, 1600.0);
+  runtime.ScheduleCrash(1, 1234.56789, 1303.7211);
+  std::vector<RuntimeSnapshot> trace;
+  for (double t = 250.0; t <= 5000.0; t += 250.0) {
+    runtime.RunUntil(t);
+    trace.push_back(runtime.Snapshot());
+  }
+  runtime.VerifyAccounting();
+  return trace;
+}
+
+void ExpectSameTrace(const std::vector<RuntimeSnapshot>& a,
+                     const std::vector<RuntimeSnapshot>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].time, b[k].time);
+    EXPECT_EQ(a[k].total_cost, b[k].total_cost) << "snapshot " << k;
+    EXPECT_EQ(a[k].messages_sent, b[k].messages_sent) << "snapshot " << k;
+    EXPECT_EQ(a[k].messages_delivered, b[k].messages_delivered);
+    EXPECT_EQ(a[k].messages_dropped, b[k].messages_dropped);
+    EXPECT_EQ(a[k].bytes_sent, b[k].bytes_sent) << "snapshot " << k;
+    EXPECT_EQ(a[k].balances_in_flight, b[k].balances_in_flight);
+  }
+}
+
+TEST(ShardedRuntime, TraceBitIdenticalAcrossShardCounts) {
+  const core::Instance inst = testing::RandomInstance(14, 21);
+  RuntimeOptions base;
+  base.seed = 17;
+  base.audit_accounting = true;  // checked at every committed window
+  const std::vector<RuntimeSnapshot> reference = CrashTrace(inst, base);
+  for (const std::size_t shards : {2u, 4u, 7u}) {
+    SCOPED_TRACE(shards);
+    RuntimeOptions options = base;
+    options.shards = shards;
+    // The worker count must be equally irrelevant to the trace.
+    options.threads = shards == 4 ? 3 : 0;
+    ExpectSameTrace(reference, CrashTrace(inst, options));
+  }
+}
+
+TEST(ShardedRuntime, PlansMultipleShardsAndWindows) {
+  const core::Instance inst = testing::RandomInstance(14, 21);
+  RuntimeOptions options;
+  options.shards = 4;
+  DistributedRuntime runtime(inst, options);
+  EXPECT_EQ(runtime.shards(), 4u);
+  EXPECT_GT(runtime.lookahead(), 0.0);
+  EXPECT_TRUE(std::isfinite(runtime.lookahead()));
+  runtime.RunUntil(2000.0);
+  // Conservative windows actually advanced the clock in lookahead steps.
+  EXPECT_GT(runtime.windows(), 10u);
+  EXPECT_GT(runtime.events_dispatched(), 100u);
+  runtime.VerifyAccounting();
+
+  // The degenerate plans fall back to the sequential loop.
+  DistributedRuntime sequential(inst);
+  EXPECT_EQ(sequential.shards(), 1u);
+  EXPECT_FALSE(std::isfinite(sequential.lookahead()));
+}
+
+TEST(ShardedRuntime, ShardPlanKeepsZeroLatencyPairsTogether) {
+  net::LatencyMatrix lat(6, 50.0);
+  lat.SetSymmetric(0, 3, 0.0);
+  const ShardPlan plan = PlanShards(lat, 3);
+  ASSERT_GT(plan.shards, 1u);
+  EXPECT_EQ(plan.shard_of[0], plan.shard_of[3]);
+  EXPECT_GT(plan.lookahead, 0.0);
+}
+
+TEST(ShardedRuntime, QuiescentConservationUnderShardingAndCrashes) {
+  const core::Instance inst = testing::RandomInstance(12, 7);
+  RuntimeOptions options;
+  options.seed = 5;
+  options.shards = 4;
+  options.audit_accounting = true;
+  DistributedRuntime runtime(inst, options);
+  runtime.ScheduleCrash(2, 500.0, 900.0);
+  runtime.ScheduleCrash(6, 650.0, 1100.0);
+  double t = 4000.0;
+  runtime.RunUntil(t);
+  for (int step = 0; step < 1000 && runtime.UncommittedExchanges() > 0;
+       ++step) {
+    t += 10.0;
+    runtime.RunUntil(t);
+  }
+  ASSERT_EQ(runtime.UncommittedExchanges(), 0u);
+  const core::Allocation alloc = runtime.AssembleAllocation();
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < inst.size(); ++j) row_sum += alloc.r(i, j);
+    EXPECT_NEAR(row_sum, inst.load(i), 1e-9 * std::max(1.0, inst.load(i)));
+  }
+  EXPECT_TRUE(alloc.Valid(inst, 1e-6));
+}
+
+TEST(ShardedRuntime, CompactColumnsOnlyShrinkBytes) {
+  const core::Instance inst = testing::RandomInstance(12, 33);
+  RuntimeOptions compact;
+  compact.seed = 9;
+  RuntimeOptions dense = compact;
+  dense.agent.compact_columns = false;
+  DistributedRuntime a(inst, compact);
+  DistributedRuntime b(inst, dense);
+  for (double t = 500.0; t <= 4000.0; t += 500.0) {
+    a.RunUntil(t);
+    b.RunUntil(t);
+    const RuntimeSnapshot sa = a.Snapshot();
+    const RuntimeSnapshot sb = b.Snapshot();
+    // The simulation is untouched by the wire format...
+    EXPECT_EQ(sa.total_cost, sb.total_cost) << t;
+    EXPECT_EQ(sa.messages_sent, sb.messages_sent) << t;
+    EXPECT_EQ(sa.messages_dropped, sb.messages_dropped) << t;
+    EXPECT_EQ(sa.balances_in_flight, sb.balances_in_flight) << t;
+  }
+  // ...but the columns ship far fewer bytes (requests start one-entry
+  // sparse; replies ship only the re-routed entries).
+  EXPECT_LT(a.Snapshot().bytes_sent, b.Snapshot().bytes_sent);
+  EXPECT_GT(b.Snapshot().bytes_sent, 0u);
+}
+
+TEST(ColumnCodec, RoundTripsBitwise) {
+  util::Rng rng(4);
+  const std::size_t m = 40;
+  std::vector<double> base(m, 0.0), next(m, 0.0);
+  for (std::size_t k = 0; k < m; ++k) {
+    if (rng.uniform() < 0.2) base[k] = rng.uniform(0.0, 50.0);
+    next[k] = rng.uniform() < 0.15 ? rng.uniform(0.0, 50.0) : base[k];
+  }
+
+  Message sparse;
+  PackColumn(base, sparse);
+  EXPECT_EQ(sparse.encoding, ColumnEncoding::kSparse);
+  std::vector<double> decoded;
+  UnpackColumn(sparse, m, {}, decoded);
+  EXPECT_EQ(decoded, base);
+  EXPECT_LT(WireSize(sparse), kWireHeaderBytes + 8 * m);
+
+  Message delta;
+  PackColumnDelta(base, next, delta);
+  EXPECT_EQ(delta.encoding, ColumnEncoding::kDelta);
+  UnpackColumn(delta, m, base, decoded);
+  EXPECT_EQ(decoded, next);
+
+  // Dense fallback when the pair list would not be smaller.
+  std::vector<double> full(m, 1.0);
+  Message dense;
+  PackColumn(full, dense);
+  EXPECT_EQ(dense.encoding, ColumnEncoding::kDense);
+  UnpackColumn(dense, m, {}, decoded);
+  EXPECT_EQ(decoded, full);
+
+  // Malformed payloads are rejected, not read out of bounds.
+  Message bad;
+  bad.encoding = ColumnEncoding::kSparse;
+  bad.payload = {static_cast<double>(m), 1.0};
+  EXPECT_THROW(UnpackColumn(bad, m, {}, decoded), std::invalid_argument);
+  bad.payload = {1.5, 1.0};
+  EXPECT_THROW(UnpackColumn(bad, m, {}, decoded), std::invalid_argument);
+  bad.payload = {1.0};
+  EXPECT_THROW(UnpackColumn(bad, m, {}, decoded), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace delaylb::dist

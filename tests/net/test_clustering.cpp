@@ -1,0 +1,95 @@
+// Latency-aware clustering: block recovery, zero-latency co-location,
+// capacity balance, and determinism.
+#include "net/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace delaylb::net {
+namespace {
+
+/// Two tight blocks 100ms apart.
+LatencyMatrix TwoBlocks(std::size_t per_block, double intra = 2.0,
+                        double inter = 100.0) {
+  const std::size_t m = 2 * per_block;
+  LatencyMatrix lat(m, inter);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      if (i / per_block == j / per_block) lat.SetSymmetric(i, j, intra);
+    }
+  }
+  return lat;
+}
+
+TEST(ClusterByLatency, RecoversLatencyBlocks) {
+  const LatencyMatrix lat = TwoBlocks(4);
+  const ClusterPlan plan = ClusterByLatency(lat, 2);
+  ASSERT_EQ(plan.clusters, 2u);
+  ASSERT_EQ(plan.cluster_of.size(), 8u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(plan.cluster_of[i], plan.cluster_of[0]);
+    EXPECT_EQ(plan.cluster_of[4 + i], plan.cluster_of[4]);
+  }
+  EXPECT_NE(plan.cluster_of[0], plan.cluster_of[4]);
+}
+
+TEST(ClusterByLatency, ZeroLatencyPairsShareACluster) {
+  LatencyMatrix lat = TwoBlocks(3);
+  // A free link across the blocks: splitting it would make the
+  // conservative lookahead zero.
+  lat.Set(1, 5, 0.0);
+  const ClusterPlan plan = ClusterByLatency(lat, 2);
+  EXPECT_EQ(plan.cluster_of[1], plan.cluster_of[5]);
+}
+
+TEST(ClusterByLatency, RespectsCapacityOnRandomMatrices) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t m = 11 + trial;
+    LatencyMatrix lat(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        if (i != j) lat.Set(i, j, rng.uniform(1.0, 80.0));
+      }
+    }
+    const std::size_t k = 4;
+    const ClusterPlan plan = ClusterByLatency(lat, k);
+    ASSERT_EQ(plan.clusters, k);
+    std::vector<std::size_t> sizes(k, 0);
+    for (const std::uint32_t c : plan.cluster_of) ++sizes[c];
+    const std::size_t capacity = (m + k - 1) / k;
+    for (std::size_t c = 0; c < k; ++c) {
+      EXPECT_GE(sizes[c], 1u);
+      EXPECT_LE(sizes[c], capacity);
+    }
+  }
+}
+
+TEST(ClusterByLatency, DeterministicAndTrivialCases) {
+  const LatencyMatrix lat = TwoBlocks(5, 3.0, 60.0);
+  const ClusterPlan a = ClusterByLatency(lat, 3);
+  const ClusterPlan b = ClusterByLatency(lat, 3);
+  EXPECT_EQ(a.clusters, b.clusters);
+  EXPECT_EQ(a.cluster_of, b.cluster_of);
+
+  const ClusterPlan one = ClusterByLatency(lat, 1);
+  EXPECT_EQ(one.clusters, 1u);
+  EXPECT_TRUE(std::all_of(one.cluster_of.begin(), one.cluster_of.end(),
+                          [](std::uint32_t c) { return c == 0; }));
+
+  // More clusters than servers collapses to one server per cluster.
+  const LatencyMatrix tiny(3, 10.0);
+  const ClusterPlan wide = ClusterByLatency(tiny, 8);
+  EXPECT_EQ(wide.clusters, 3u);
+
+  const ClusterPlan empty = ClusterByLatency(LatencyMatrix(), 4);
+  EXPECT_EQ(empty.clusters, 0u);
+  EXPECT_TRUE(empty.cluster_of.empty());
+}
+
+}  // namespace
+}  // namespace delaylb::net
