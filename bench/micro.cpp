@@ -180,16 +180,40 @@ void BM_SimplexProjection(benchmark::State& state) {
 BENCHMARK(BM_SimplexProjection)->Range(8, 4096);
 
 void BM_GossipMerge(benchmark::State& state) {
+  // Steady-state anti-entropy: merging a fully-populated peer payload
+  // into an equally-converged view (adopts nothing, the common case).
   const std::size_t m = static_cast<std::size_t>(state.range(0));
   dist::GossipView a(m, 0), b(m, 1);
-  b.UpdateSelf(42.0);
-  const std::vector<double> versions(b.versions().begin(),
-                                     b.versions().end());
+  a.UpdateSelf(41.0, 0.0);
+  b.UpdateSelf(42.0, 0.0);
+  for (std::size_t j = 2; j < m; ++j) {
+    a.Observe(j, 1.0, 1, 0.5);
+    b.Observe(j, 1.0, 1, 0.5);
+  }
+  const std::vector<double> payload = b.PackEntries();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(a.Merge(b.loads(), versions));
+    benchmark::DoNotOptimize(a.MergeEntries(payload));
   }
 }
 BENCHMARK(BM_GossipMerge)->Range(8, 4096);
+
+void BM_GossipDigest(benchmark::State& state) {
+  // The per-round digest cost of the delta wire format (per-entry
+  // buckets, the default) plus the reconciled pack against it.
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  dist::GossipView a(m, 0), b(m, 1);
+  a.UpdateSelf(41.0, 0.0);
+  b.UpdateSelf(42.0, 0.0);
+  for (std::size_t j = 2; j < m; ++j) {
+    a.Observe(j, 1.0, 1, 0.5);
+    b.Observe(j, 1.0, 1, 0.5);
+  }
+  for (auto _ : state) {
+    const std::vector<std::uint16_t> digest = a.PackDigest(0);
+    benchmark::DoNotOptimize(b.PackEntriesNewerThan(digest));
+  }
+}
+BENCHMARK(BM_GossipDigest)->Range(8, 4096);
 
 void BM_NegativeCycleRemovalMcmf(benchmark::State& state) {
   const std::size_t m = static_cast<std::size_t>(state.range(0));

@@ -11,6 +11,18 @@
 // Quick mode (the ctest "smoke" registration) runs a laptop-scale grid;
 // --full / DELAYLB_FULL=1 runs m in {500, 2000, 5000} x shards {1, 4, 8}
 // — the configuration recorded in BENCH_dist.json.
+//
+// Gossip wire-format knobs (the delta-gossip ablation): --delta 0|1,
+// --ttl <ms>, --max-entries <n>, --fanout-min/--fanout-max, --buckets.
+// Bytes are reported per class (control framing / balance columns /
+// gossip) so the rows show exactly which budget the delta format moves.
+// --light switches the SumC column to ColumnTotalCost() — O(nonzero)
+// instead of materializing the m x m allocation, the only affordable
+// trace at m = 50,000 (it turns on automatically at m >= 10,000).
+// --warmup <ms> excludes the cold-start dissemination phase from the
+// byte columns: the run advances to the warmup point first and the MB
+// columns report only traffic sent after it — the steady-state
+// bytes-per-round the delta wire format is designed around.
 
 #include <chrono>
 #include <cmath>
@@ -73,17 +85,50 @@ int Run(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.GetInt("seed", 1));
   const std::size_t groups =
       static_cast<std::size_t>(cli.GetInt("groups", 8));
+  const bool delta = cli.GetInt("delta", 1) != 0;
+  const double ttl = cli.GetDouble("ttl", 0.0);
+  const std::size_t max_entries =
+      static_cast<std::size_t>(cli.GetInt("max-entries", 0));
+  const std::size_t fanout_min =
+      static_cast<std::size_t>(cli.GetInt("fanout-min", 1));
+  const std::size_t fanout_max =
+      static_cast<std::size_t>(cli.GetInt("fanout-max", fanout_min));
+  const std::size_t buckets =
+      static_cast<std::size_t>(cli.GetInt("buckets", 0));
+  const double warmup = cli.GetDouble("warmup", 0.0);
+  // Explicit gossip-to-balance frequency ratio; 0 keeps the paper's
+  // auto ~log2(m). The m = 50,000 row runs ratio 4 to bound in-flight
+  // message memory.
+  const double gossip_ratio = cli.GetDouble("gossip-ratio", 0.0);
 
   util::Table table({"m", "shards", "planned", "lookahead (ms)", "windows",
-                     "events", "MB sent", "wall (ms)", "speedup", "SumC"});
+                     "events", "MB sent", "MB gossip", "MB column",
+                     "wall (ms)", "speedup", "SumC"});
   for (const std::size_t m : sizes) {
     const core::Instance inst = MakeClustered(m, groups, seed * 977 + m);
+    const bool light = cli.Has("light") || m >= 10000;
     double baseline_ms = 0.0;
     for (const std::size_t shards : shard_counts) {
       dist::RuntimeOptions options;
       options.seed = seed;
       options.shards = shards;
+      options.agent.delta_gossip = delta;
+      options.agent.digest_buckets = buckets;
+      options.agent.gossip_ttl = ttl;
+      options.agent.gossip_max_entries = max_entries;
+      options.agent.fanout_min = fanout_min;
+      options.agent.fanout_max = fanout_max;
+      if (gossip_ratio > 0.0) {
+        options.auto_gossip_period = false;
+        options.agent.gossip_period =
+            options.agent.balance_period / gossip_ratio;
+      }
       dist::DistributedRuntime runtime(inst, options);
+      dist::RuntimeSnapshot base;  // counters at the warmup point
+      if (warmup > 0.0) {
+        runtime.RunUntil(warmup);
+        base = runtime.LightSnapshot();
+      }
       const auto start = std::chrono::steady_clock::now();
       runtime.RunUntil(horizon);
       const double wall_ms =
@@ -91,7 +136,9 @@ int Run(int argc, char** argv) {
               std::chrono::steady_clock::now() - start)
               .count();
       if (shards == shard_counts.front()) baseline_ms = wall_ms;
-      const dist::RuntimeSnapshot snap = runtime.Snapshot();
+      const dist::RuntimeSnapshot snap =
+          light ? runtime.LightSnapshot() : runtime.Snapshot();
+      const double mb = 1024.0 * 1024.0;
       table.Row()
           .Cell(m)
           .Cell(shards)
@@ -101,7 +148,14 @@ int Run(int argc, char** argv) {
                     : std::string("inf"))
           .Cell(runtime.windows())
           .Cell(runtime.events_dispatched())
-          .Cell(static_cast<double>(snap.bytes_sent) / (1024.0 * 1024.0), 1)
+          .Cell(static_cast<double>(snap.bytes_sent - base.bytes_sent) / mb,
+                1)
+          .Cell(static_cast<double>(snap.bytes_gossip - base.bytes_gossip) /
+                    mb,
+                1)
+          .Cell(static_cast<double>(snap.bytes_column - base.bytes_column) /
+                    mb,
+                1)
           .Cell(wall_ms, 1)
           .Cell(baseline_ms > 0.0 ? baseline_ms / wall_ms : 1.0, 2)
           .Cell(snap.total_cost, 2);
@@ -111,7 +165,9 @@ int Run(int argc, char** argv) {
   std::cout << "speedup is vs the first shards column (the sequential "
                "dispatch loop when it is 1); per (m, seed) the SumC column "
                "must not depend on shards — that is the kernel's "
-               "bit-identical trace contract\n";
+               "bit-identical trace contract (MB sent = gossip + column + "
+               "fixed per-message framing; delta gossip "
+            << (delta ? "on" : "off") << ")\n";
   return 0;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <utility>
 
@@ -9,41 +10,104 @@ namespace delaylb::dist {
 
 Agent::Agent(std::size_t id, const core::Instance& instance,
              const core::PairOrderCache* order_cache,
-             const AgentOptions& options, util::Rng rng)
+             const AgentOptions& options, util::Rng rng,
+             AgentScratch* scratch)
     : id_(id),
       instance_(&instance),
       order_cache_(order_cache),
       options_(options),
       rng_(rng),
       column_(instance.size(), 0.0),
-      view_(instance.size(), id) {
+      view_(instance.size(), id),
+      scratch_(scratch) {
+  if (scratch_ == nullptr) {
+    owned_scratch_ = std::make_unique<AgentScratch>();
+    scratch_ = owned_scratch_.get();
+  }
+  fanout_ = std::max<std::size_t>(1, options_.fanout_min);
   // The paper's starting state: every organization runs its own requests on
   // its own server.
   column_[id_] = instance.load(id_);
   load_ = instance.load(id_);
-  view_.UpdateSelf(load_);
+  view_.UpdateSelf(load_, 0.0);
   const net::LatencyMatrix& latency = instance.latency_matrix();
-  for (std::size_t j = 0; j < instance.size(); ++j) {
+  const std::size_t m = instance.size();
+  std::size_t reachable = 0;
+  for (std::size_t j = 0; j < m; ++j) {
     if (j == id_) continue;
     if (latency.Reachable(id_, j) && latency.Reachable(j, id_)) {
-      peers_.push_back(static_cast<std::uint32_t>(j));
+      ++reachable;
+    }
+  }
+  peer_count_ = reachable;
+  dense_peers_ = reachable + 1 == m;
+  if (!dense_peers_ && reachable > 0) {
+    // Sparse topologies materialize the list; the common fully-reachable
+    // case (every generator we ship) maps draws around id_ instead —
+    // m = 50,000 agents would otherwise pin m^2 peer ids.
+    peers_.reserve(reachable);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j == id_) continue;
+      if (latency.Reachable(id_, j) && latency.Reachable(j, id_)) {
+        peers_.push_back(static_cast<std::uint32_t>(j));
+      }
     }
   }
 }
 
-void Agent::SetColumn(std::span<const double> column) {
+std::size_t Agent::RandomPeer() {
+  if (dense_peers_) {
+    // Index the implicit ascending peer list [0, m) \ {id_}: the draw and
+    // the result are bit-identical to indexing the materialized list.
+    const std::size_t r = rng_.below(instance_->size() - 1);
+    return r + (r >= id_ ? 1 : 0);
+  }
+  return peers_[rng_.below(peers_.size())];
+}
+
+bool Agent::PeerReachable(std::size_t j) const noexcept {
+  if (dense_peers_) return true;
+  return std::binary_search(peers_.begin(), peers_.end(),
+                            static_cast<std::uint32_t>(j));
+}
+
+void Agent::SetColumn(std::span<const double> column, double now) {
   column_.assign(column.begin(), column.end());
   load_ = std::accumulate(column_.begin(), column_.end(), 0.0);
-  view_.UpdateSelf(load_);
+  view_.UpdateSelf(load_, now);
+}
+
+std::vector<std::uint16_t> Agent::PackOwnDigest() const {
+  return view_.PackDigest(options_.digest_buckets);
 }
 
 void Agent::StartGossip(Network& network) {
-  if (peers_.empty()) return;
-  const std::size_t peer = peers_[rng_.below(peers_.size())];
-  Message push = MakeMessage(MessageKind::kGossipPush, peer);
-  push.payload = view_.PackPayload();
-  network.Send(std::move(push));
-  ++stats_.gossip_rounds;
+  if (peer_count_ == 0) return;
+  if (options_.gossip_ttl > 0.0 || options_.gossip_max_entries > 0) {
+    const double cutoff =
+        options_.gossip_ttl > 0.0
+            ? network.now(id_) - options_.gossip_ttl
+            : -std::numeric_limits<double>::infinity();
+    stats_.gossip_expired +=
+        view_.Expire(cutoff, options_.gossip_max_entries);
+  }
+  for (std::size_t push_index = 0; push_index < fanout_; ++push_index) {
+    const std::size_t peer = RandomPeer();
+    Message push = MakeMessage(MessageKind::kGossipPush, peer);
+    if (options_.delta_gossip) push.digest = PackOwnDigest();
+    network.Send(std::move(push));
+    ++stats_.gossip_rounds;
+  }
+}
+
+void Agent::AdaptFanout(std::size_t adopted) {
+  stats_.gossip_adopted += adopted;
+  if (options_.fanout_max <= options_.fanout_min) return;
+  if (adopted > 0) {
+    if (fanout_ < options_.fanout_max) ++fanout_;
+  } else if (fanout_ > std::max<std::size_t>(1, options_.fanout_min)) {
+    --fanout_;
+  }
 }
 
 double Agent::ProxyScore(std::size_t candidate,
@@ -55,19 +119,22 @@ double Agent::ProxyScore(std::size_t candidate,
 }
 
 std::size_t Agent::SelectPartner() {
-  if (peers_.empty()) return id_;
+  if (peer_count_ == 0) return id_;
   double best_score = 0.0;
   std::size_t best = id_;
-  for (const std::uint32_t j : peers_) {
-    if (view_.versions()[j] <= 0.0) continue;  // never heard from j
-    const double score = ProxyScore(j, view_.load(j));
+  // The sparse view holds exactly the heard-from servers in ascending id
+  // order, so this visits the same candidates in the same order as a scan
+  // of the peer list that skips never-heard-from entries.
+  for (const GossipEntry& entry : view_.known()) {
+    if (entry.id == id_ || !PeerReachable(entry.id)) continue;
+    const double score = ProxyScore(entry.id, entry.load);
     if (score > best_score) {
       best_score = score;
-      best = j;
+      best = entry.id;
     }
   }
   if (best == id_ || rng_.uniform() < options_.explore_probability) {
-    return peers_[rng_.below(peers_.size())];
+    return RandomPeer();
   }
   return best;
 }
@@ -84,7 +151,12 @@ std::uint64_t Agent::StartBalance(Network& network) {
   Message request = MakeMessage(MessageKind::kBalanceRequest, partner);
   request.handshake = handshake;
   request.believed_load =
-      view_.versions()[partner] > 0.0 ? view_.load(partner) : -1.0;
+      view_.Knows(partner) ? view_.load(partner) : -1.0;
+  if (options_.piggyback_gossip && options_.delta_gossip) {
+    // The responder answers the piggybacked gossip against this digest,
+    // shipping only what we provably lack.
+    request.digest = PackOwnDigest();
+  }
   if (options_.compact_columns) {
     PackColumn(column_, request);
   } else {
@@ -97,13 +169,18 @@ std::uint64_t Agent::StartBalance(Network& network) {
 void Agent::OnMessage(const Message& message, Network& network) {
   // Every protocol message doubles as single-entry gossip about its
   // sender; folding it in first makes e.g. kStale aborts self-correcting.
-  view_.Observe(message.from, message.load, message.load_version);
+  view_.Observe(message.from, message.load,
+                GossipView::DecodeVersion(message.load_version),
+                message.load_stamp);
   switch (message.kind) {
     case MessageKind::kGossipPush:
       HandleGossipPush(message, network);
       break;
     case MessageKind::kGossipPull:
-      view_.MergePayload(message.payload);
+      HandleGossipPull(message, network);
+      break;
+    case MessageKind::kGossipDelta:
+      AdaptFanout(view_.MergeEntries(message.payload));
       break;
     case MessageKind::kBalanceRequest:
       HandleBalanceRequest(message, network);
@@ -121,10 +198,26 @@ void Agent::OnMessage(const Message& message, Network& network) {
 }
 
 void Agent::HandleGossipPush(const Message& message, Network& network) {
-  view_.MergePayload(message.payload);
+  // Answer the push's digest with what it cannot prove the pusher holds
+  // (everything, when deltas are off and the digest is empty), and attach
+  // our own digest so the closing kGossipDelta can reconcile the reverse
+  // direction.
   Message pull = MakeMessage(MessageKind::kGossipPull, message.from);
-  pull.payload = view_.PackPayload();
+  pull.payload = view_.PackEntriesNewerThan(message.digest);
+  if (options_.delta_gossip) pull.digest = PackOwnDigest();
   network.Send(std::move(pull));
+}
+
+void Agent::HandleGossipPull(const Message& message, Network& network) {
+  // Pack the closing delta BEFORE merging the pull's payload: everything
+  // the peer just shipped is exactly what it holds, and packing pre-merge
+  // keeps those entries off the return wire. (The full-view mode packs
+  // pre-merge too, so both modes ship a superset of the same
+  // strictly-newer set and the peer adopts identically.)
+  Message delta = MakeMessage(MessageKind::kGossipDelta, message.from);
+  delta.payload = view_.PackEntriesNewerThan(message.digest);
+  AdaptFanout(view_.MergeEntries(message.payload));
+  network.Send(std::move(delta));
 }
 
 Message Agent::MakeMessage(MessageKind kind, std::size_t to) const {
@@ -133,7 +226,8 @@ Message Agent::MakeMessage(MessageKind kind, std::size_t to) const {
   msg.from = static_cast<std::uint32_t>(id_);
   msg.to = static_cast<std::uint32_t>(to);
   msg.load = load_;
-  msg.load_version = view_.versions()[id_];
+  msg.load_version = GossipView::EncodeVersion(view_.version(id_));
+  msg.load_stamp = view_.stamp(id_);
   return msg;
 }
 
@@ -160,10 +254,11 @@ void Agent::HandleBalanceRequest(const Message& message, Network& network) {
   // Algorithm 1 on the exchanged columns: the initiator's column arrived in
   // the request, ours is local. Roles: i = initiator, j = this server.
   const std::size_t from = message.from;
+  core::PairBalanceWorkspace& workspace = scratch_->workspace;
   std::span<const double> initiator_column = message.payload;
   if (message.encoding != ColumnEncoding::kDense) {
-    UnpackColumn(message, column_.size(), {}, peer_column_);
-    initiator_column = peer_column_;
+    UnpackColumn(message, column_.size(), {}, scratch_->peer_column);
+    initiator_column = scratch_->peer_column;
   }
   core::ColumnBalanceInput input;
   input.s_i = instance_->speed(from);
@@ -178,14 +273,14 @@ void Agent::HandleBalanceRequest(const Message& message, Network& network) {
     input.cache_j = id_;
   } else {
     const std::size_t m = instance_->size();
-    workspace_.lat_i.resize(m);
-    workspace_.lat_j.resize(m);
+    workspace.lat_i.resize(m);
+    workspace.lat_j.resize(m);
     for (std::size_t k = 0; k < m; ++k) {
-      workspace_.lat_i[k] = instance_->latency(k, from);
-      workspace_.lat_j[k] = instance_->latency(k, id_);
+      workspace.lat_i[k] = instance_->latency(k, from);
+      workspace.lat_j[k] = instance_->latency(k, id_);
     }
-    input.c_i = workspace_.lat_i;
-    input.c_j = workspace_.lat_j;
+    input.c_i = workspace.lat_i;
+    input.c_j = workspace.lat_j;
   }
   // Early-exit once the admissible improvement bound falls below the gain
   // we would decline anyway: near convergence most requests end in kNoGain
@@ -193,7 +288,7 @@ void Agent::HandleBalanceRequest(const Message& message, Network& network) {
   // PairOrderCache first-touch sort).
   input.abort_below = options_.min_gain;
   const core::PairBalanceResult result =
-      core::BalanceColumns(input, workspace_);
+      core::BalanceColumns(input, workspace);
   if (!(result.improvement > options_.min_gain)) {
     SendAbort(message, AbortReason::kNoGain, network);
     return;
@@ -205,25 +300,25 @@ void Agent::HandleBalanceRequest(const Message& message, Network& network) {
   responder_.handshake = message.handshake;
   responder_.partner = from;
   responder_.undo_column = std::move(column_);
-  column_ = workspace_.new_rkj;
+  column_ = workspace.new_rkj;
   load_ = result.new_load_j;
-  view_.UpdateSelf(load_);
+  view_.UpdateSelf(load_, network.now(id_));
 
   Message reply = MakeMessage(MessageKind::kBalanceReply, message.from);
   reply.handshake = message.handshake;
   if (options_.compact_columns) {
     // The initiator still holds the column it sent (it is busy until our
     // Reply resolves), so ship only the entries Algorithm 1 re-routed.
-    PackColumnDelta(initiator_column, workspace_.new_rki, reply);
+    PackColumnDelta(initiator_column, workspace.new_rki, reply);
   } else {
-    reply.payload = workspace_.new_rki;
+    reply.payload = workspace.new_rki;
   }
   if (options_.piggyback_gossip) {
-    // Free-riding anti-entropy: the packed view rides along and the
-    // initiator gets a full gossip merge out of every completed exchange.
-    // (Under compact_columns the view is now the dominant share of the
-    // Reply's bytes — compacting it too is ROADMAP item e.)
-    reply.gossip = view_.PackPayload();
+    // Free-riding anti-entropy: the initiator gets a gossip merge out of
+    // every completed exchange. Against the Request's digest (delta mode)
+    // only the entries it provably lacks ride along; an empty digest
+    // proves nothing and ships the whole view.
+    reply.gossip = view_.PackEntriesNewerThan(message.digest);
   }
   network.Send(std::move(reply));
 }
@@ -232,15 +327,18 @@ void Agent::HandleBalanceReply(const Message& message, Network& network) {
   if (!initiator_.active || initiator_.handshake != message.handshake) {
     return;  // stale reply of an already-resolved handshake
   }
-  if (!message.gossip.empty()) view_.MergePayload(message.gossip);
+  // Piggybacked merges never feed the fanout controller: whether the delta
+  // payload came back empty depends on the wire format, and the controller
+  // must step identically in both modes.
+  if (!message.gossip.empty()) view_.MergeEntries(message.gossip);
   if (message.encoding == ColumnEncoding::kDense) {
-    SetColumn(message.payload);
+    SetColumn(message.payload, network.now(id_));
   } else {
     // A kDelta Reply is relative to the column we sent in the Request —
     // unchanged since then, because an open initiator handshake keeps us
     // out of every other exchange.
-    UnpackColumn(message, column_.size(), column_, decoded_column_);
-    SetColumn(decoded_column_);
+    UnpackColumn(message, column_.size(), column_, scratch_->decoded_column);
+    SetColumn(scratch_->decoded_column, network.now(id_));
   }
   initiator_.active = false;
   ++stats_.balances_completed;
@@ -271,7 +369,6 @@ void Agent::HandleBalanceAbort(const Message& message) {
 }
 
 void Agent::OnDeliveryFailure(const Message& message, Network& network) {
-  (void)network;
   switch (message.kind) {
     case MessageKind::kBalanceRequest:
       // The responder never saw the request: nothing applied anywhere.
@@ -284,7 +381,7 @@ void Agent::OnDeliveryFailure(const Message& message, Network& network) {
       // The initiator is down and will never apply: roll back our half so
       // the exchange is applied at neither end.
       if (responder_.active && responder_.handshake == message.handshake) {
-        SetColumn(responder_.undo_column);
+        SetColumn(responder_.undo_column, network.now(id_));
         responder_.active = false;
         responder_.undo_column.clear();
         ++stats_.balances_rejected;
@@ -294,6 +391,7 @@ void Agent::OnDeliveryFailure(const Message& message, Network& network) {
     case MessageKind::kBalanceAbort:
     case MessageKind::kGossipPush:
     case MessageKind::kGossipPull:
+    case MessageKind::kGossipDelta:
       // Commit: both ends applied already; the crashed responder resolves
       // its undo record at recovery. Aborts and gossip carry no obligation.
       break;
@@ -323,7 +421,7 @@ void Agent::OnCrash() {
 std::uint64_t Agent::OnRecover(Network& network) {
   // Re-announce a fresh view: bump our version so peers adopt the entry,
   // and gossip immediately rather than waiting out the timer.
-  view_.UpdateSelf(load_);
+  view_.UpdateSelf(load_, network.now(id_));
   StartGossip(network);
   // A surviving handshake record of either role needs its resolution
   // timeout re-armed. Initiator: the answer either bounced while we were

@@ -4,10 +4,32 @@
 // Each agent owns exactly one column of the global allocation ("everything
 // running on my server"), an eventually-consistent GossipView of all server
 // loads, and a tiny protocol state machine. It never reads another agent's
-// state directly: loads arrive by push-pull gossip, allocation columns
-// arrive inside balance messages, and the only shared objects are the
-// immutable Instance (speeds/latencies — out-of-band topology) and a
-// read-only PairOrderCache derived from it.
+// state directly: loads arrive by gossip, allocation columns arrive inside
+// balance messages, and the only shared objects are the immutable Instance
+// (speeds/latencies — out-of-band topology), a read-only PairOrderCache
+// derived from it, and a per-shard AgentScratch (safe because dispatch
+// within a shard is serial).
+//
+// Gossip wire protocol (three messages per round, in BOTH delta modes, so
+// toggling delta_gossip changes bytes on the wire and nothing else):
+//
+//   a -> b  kGossipPush    delta on: a's digest. delta off: empty.
+//   b -> a  kGossipPull    b's entries not provably covered by the push's
+//                          digest (all of them when the digest is empty),
+//                          plus b's own digest when delta is on.
+//   a -> b  kGossipDelta   a's entries not provably covered by the pull's
+//                          digest — packed BEFORE merging the pull's
+//                          payload, so entries b just shipped are never
+//                          echoed back.
+//
+// The digest soundness argument lives in dist/gossip.h: the shipped set is
+// always a superset of the strictly-newer set, so both modes adopt exactly
+// the same entries and the traces stay bit-identical except byte counters
+// (the DeltaGossipOnlyShrinkBytes contract). Entry expiry participates via
+// the view's adoption floor (see GossipView::Expire), so the contract
+// survives gossip_ttl/gossip_max_entries too. Adaptive fanout widens on
+// merge yield and narrows on dry rounds; it reacts only to the pull/delta
+// merges (identical in both modes), never to piggybacked replies.
 //
 // Periodically the agent picks a balance partner off its *local view* —
 // argmax of the same constant-time bulk-transfer proxy the synchronous
@@ -49,6 +71,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -65,7 +88,7 @@ namespace delaylb::dist {
 struct AgentOptions {
   /// One balance attempt is started every `balance_period` ms (when idle).
   double balance_period = 100.0;
-  /// One push-pull gossip exchange every `gossip_period` ms. The paper
+  /// One gossip round (fanout_ pushes) every `gossip_period` ms. The paper
   /// recommends gossiping ~log2(m) times per balance period;
   /// RuntimeOptions::auto_gossip_period derives that automatically.
   double gossip_period = 25.0;
@@ -83,25 +106,47 @@ struct AgentOptions {
   /// (absolute), keeping the system quiescent at convergence instead of
   /// shipping columns for noise-level gains.
   double min_gain = 1e-6;
-  /// Piggyback the responder's packed GossipView on balance Replies. A
-  /// Reply already ships an m-entry allocation column, so adding the 2m
-  /// view doubles neither the message count nor its asymptotic size, and
-  /// every completed exchange then refreshes the initiator's whole view —
-  /// letting deployments spend a smaller dedicated gossip budget for the
-  /// same staleness (bench_gossip_ablation quantifies the saving).
+  /// Piggyback the responder's view entries on balance Replies, so every
+  /// completed exchange doubles as an anti-entropy round for the
+  /// initiator. Under delta_gossip the Request carries the initiator's
+  /// digest and the Reply ships only entries not provably covered by it
+  /// (bench_gossip_ablation quantifies the saving).
   bool piggyback_gossip = true;
   /// Ship balance columns compactly: Requests as sparse (index, value)
   /// pairs when the column is mostly zeros, Replies as deltas against the
   /// Request's column (both ends hold the base, and Algorithm 1 touches
   /// only the organizations it re-routes). Decoded columns carry the
-  /// exact doubles of the dense format — only Network::bytes_sent()
-  /// changes: the column payloads drop from O(m) to O(touched entries).
-  /// Note the default piggyback_gossip still attaches a full 2m-double
-  /// view to every Reply, so total bytes per completed handshake remain
-  /// O(m) until the gossip payloads are compacted too (ROADMAP item e);
-  /// Requests — the majority of balance traffic near convergence, where
-  /// most handshakes end in kNoGain — shrink unconditionally.
+  /// exact doubles of the dense format — only the byte counters change:
+  /// the column payloads drop from O(m) to O(touched entries).
   bool compact_columns = true;
+  /// Delta-reconciled gossip (the version-vector wire format): exchanges
+  /// open with a PackDigest summary and ship only entries not provably
+  /// covered by it, O(churn) per round instead of O(m). Toggling this
+  /// changes byte counters only — message counts, merges, and traces are
+  /// bit-identical either way (see the protocol comment above).
+  bool delta_gossip = true;
+  /// Digest resolution: 0 (the default) uses one bucket per server —
+  /// exact per-entry proofs at 2 bytes each, still 1/16 the cost of the
+  /// 32-byte entry quad it saves. Sub-linear values (e.g. 4096 at
+  /// m = 50,000) bound digest memory/bytes at the price of coarser
+  /// proofs.
+  std::size_t digest_buckets = 0;
+  /// Entry expiry: > 0 drops view entries whose stamp is older than this
+  /// horizon (ms) at every gossip round. 0 disables. Expired entries are
+  /// also refused re-adoption (the view's floor), which is what keeps
+  /// delta-on/off traces identical under expiry.
+  double gossip_ttl = 0.0;
+  /// Entry cap: > 0 evicts the oldest entries beyond this count at every
+  /// gossip round (self exempt). 0 disables. Required at m = 50,000,
+  /// where uncapped views cost 32 bytes x m per agent.
+  std::size_t gossip_max_entries = 0;
+  /// Adaptive fanout bounds: every gossip round pushes to `fanout`
+  /// distinct draws, where fanout moves up on rounds whose pull/delta
+  /// merge adopted entries and down on dry ones, staying within
+  /// [fanout_min, fanout_max]. Equal bounds (the default) disable
+  /// adaptation.
+  std::size_t fanout_min = 1;
+  std::size_t fanout_max = 1;
 };
 
 struct AgentStats {
@@ -113,8 +158,21 @@ struct AgentStats {
   /// Handshakes declined because Algorithm 1 found no worthwhile gain
   /// (counted at the initiator; neither completed nor rejected).
   std::size_t balances_no_gain = 0;
-  /// Push-pull gossip exchanges initiated.
+  /// Gossip pushes initiated (fanout counts individually).
   std::size_t gossip_rounds = 0;
+  /// View entries adopted from pull/delta merges; dropped by expiry.
+  std::size_t gossip_adopted = 0;
+  std::size_t gossip_expired = 0;
+};
+
+/// Decode/balance scratch shared by every agent of one PDES shard —
+/// dispatch within a shard is serial, so sharing is race-free. Sharing is
+/// what keeps the m = 50,000 run affordable: these buffers are O(m) each,
+/// and per-agent copies would cost O(m^2) memory.
+struct AgentScratch {
+  core::PairBalanceWorkspace workspace;
+  std::vector<double> peer_column;
+  std::vector<double> decoded_column;
 };
 
 /// One server's protocol state machine. Driven entirely by the runtime:
@@ -124,9 +182,12 @@ class Agent {
  public:
   /// `order_cache` may be null (latency columns are then copied per call);
   /// when given, it must be built over `instance` and outlive the agent.
+  /// `scratch` may be null (the agent then owns a private scratch); when
+  /// given, it must outlive the agent and only be shared among agents
+  /// whose events dispatch serially (same shard).
   Agent(std::size_t id, const core::Instance& instance,
         const core::PairOrderCache* order_cache, const AgentOptions& options,
-        util::Rng rng);
+        util::Rng rng, AgentScratch* scratch = nullptr);
 
   std::size_t id() const noexcept { return id_; }
   double load() const noexcept { return load_; }
@@ -135,6 +196,8 @@ class Agent {
   std::span<const double> column() const noexcept { return column_; }
   const GossipView& view() const noexcept { return view_; }
   const AgentStats& stats() const noexcept { return stats_; }
+  /// Current gossip fanout (within [fanout_min, fanout_max]).
+  std::size_t fanout() const noexcept { return fanout_; }
   /// True while a balance handshake this agent participates in is open.
   bool busy() const noexcept {
     return initiator_.active || responder_.active;
@@ -146,8 +209,8 @@ class Agent {
     return responder_.active;
   }
 
-  /// Gossip timer: push-pull exchange with a uniformly random reachable
-  /// peer. No-op when there is none.
+  /// Gossip timer: expiry sweep, then `fanout()` digest pushes to
+  /// uniformly random reachable peers. No-op when there is none.
   void StartGossip(Network& network);
 
   /// Balance timer: select a partner off the local view and open a
@@ -177,6 +240,7 @@ class Agent {
 
  private:
   void HandleGossipPush(const Message& message, Network& network);
+  void HandleGossipPull(const Message& message, Network& network);
   void HandleBalanceRequest(const Message& message, Network& network);
   void HandleBalanceReply(const Message& message, Network& network);
   void HandleBalanceCommit(const Message& message);
@@ -184,9 +248,25 @@ class Agent {
   void SendAbort(const Message& request, AbortReason reason,
                  Network& network);
 
-  /// A message skeleton stamped with the sender's current (load, version)
-  /// — the single-entry gossip every protocol message carries.
+  /// A message skeleton stamped with the sender's current
+  /// (load, version, stamp) — the single-entry gossip every protocol
+  /// message carries.
   Message MakeMessage(MessageKind kind, std::size_t to) const;
+
+  /// One step of the fanout controller, fed the adopted count of a
+  /// pull/delta merge. Identical in both delta modes because the shipped
+  /// set is a superset of the adopted set either way.
+  void AdaptFanout(std::size_t adopted);
+
+  /// This agent's digest of its own view (delta_gossip wire format).
+  std::vector<std::uint16_t> PackOwnDigest() const;
+
+  /// Uniformly random reachable peer; requires peer_count_ > 0. When all
+  /// other servers are mutually reachable no peer list is materialized —
+  /// the draw maps below(m - 1) around id_ (bit-identical to indexing the
+  /// old explicit list).
+  std::size_t RandomPeer();
+  bool PeerReachable(std::size_t j) const noexcept;
 
   /// Proxy argmax over believed loads, or a random exploration probe; id_
   /// when no peer is available.
@@ -195,7 +275,7 @@ class Agent {
   /// synchronous engine's kFast policy uses on exact ones.
   double ProxyScore(std::size_t candidate, double believed_load) const;
 
-  void SetColumn(std::span<const double> column);
+  void SetColumn(std::span<const double> column, double now);
 
   std::size_t id_;
   const core::Instance* instance_;
@@ -206,7 +286,11 @@ class Agent {
   std::vector<double> column_;  ///< my column of the r matrix
   double load_ = 0.0;           ///< sum of column_
   GossipView view_;
-  std::vector<std::uint32_t> peers_;  ///< reachable (both ways) partners
+  /// Reachable (both ways) partners; empty when dense_peers_ (everyone).
+  std::vector<std::uint32_t> peers_;
+  bool dense_peers_ = false;
+  std::size_t peer_count_ = 0;
+  std::size_t fanout_ = 1;
 
   struct InitiatorState {
     bool active = false;
@@ -223,10 +307,8 @@ class Agent {
   ResponderState responder_;
   std::uint64_t next_handshake_ = 0;
 
-  core::PairBalanceWorkspace workspace_;
-  /// Decode scratch for compact column payloads (see message.h codecs).
-  std::vector<double> peer_column_;
-  std::vector<double> decoded_column_;
+  AgentScratch* scratch_ = nullptr;
+  std::unique_ptr<AgentScratch> owned_scratch_;  ///< fallback when unshared
   AgentStats stats_;
 };
 

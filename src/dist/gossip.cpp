@@ -1,62 +1,296 @@
 #include "dist/gossip.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace delaylb::dist {
+namespace {
+
+bool IdLess(const GossipEntry& entry, std::uint32_t id) {
+  return entry.id < id;
+}
+
+}  // namespace
 
 GossipView::GossipView(std::size_t m, std::size_t self)
-    : self_(self), loads_(m, 0.0), versions_(m, 0.0) {
+    : m_(m), self_(self) {
   if (self >= m) {
     throw std::invalid_argument("GossipView: self index out of range");
   }
 }
 
-void GossipView::UpdateSelf(double load) {
-  loads_[self_] = load;
-  versions_[self_] += 1.0;
+const GossipEntry* GossipView::Find(std::size_t j) const noexcept {
+  const auto it = std::lower_bound(entries_.begin(), entries_.end(),
+                                   static_cast<std::uint32_t>(j), IdLess);
+  if (it == entries_.end() || it->id != j) return nullptr;
+  return &*it;
 }
 
-bool GossipView::Observe(std::size_t j, double load, double version) {
-  if (j >= loads_.size()) {
+void GossipView::UpdateSelf(double load, double now) {
+  const auto it = std::lower_bound(entries_.begin(), entries_.end(),
+                                   static_cast<std::uint32_t>(self_), IdLess);
+  if (it != entries_.end() && it->id == self_) {
+    if (it->version >= kMaxWireVersion) {
+      throw std::overflow_error(
+          "GossipView::UpdateSelf: version counter exceeds exact double "
+          "range");
+    }
+    it->load = load;
+    ++it->version;
+    // Strictly increasing per-owner stamps: two updates at the same
+    // simulated instant get distinguishable stamps, which is what makes
+    // per-owner stamp order equivalent to version order — the expiry
+    // floor's refusal argument leans on that equivalence.
+    it->stamp =
+        now > it->stamp
+            ? now
+            : std::nextafter(it->stamp,
+                             std::numeric_limits<double>::infinity());
+    return;
+  }
+  GossipEntry entry;
+  entry.id = static_cast<std::uint32_t>(self_);
+  entry.load = load;
+  entry.version = 1;
+  entry.stamp = now;
+  entries_.insert(it, entry);
+}
+
+bool GossipView::Observe(std::size_t j, double load, std::uint64_t version,
+                         double stamp) {
+  if (j >= m_) {
     throw std::invalid_argument("GossipView::Observe: index out of range");
   }
-  if (version <= versions_[j]) return false;
-  versions_[j] = version;
-  loads_[j] = load;
+  // The adoption floor: anything as old as a previously expired entry is
+  // refused, so a stale full-view payload cannot resurrect what expiry
+  // dropped (a known entry's strictly-newer update always clears the
+  // floor — per-owner stamps rise with the version, and the held copy
+  // survived expiry).
+  if (stamp < floor_) return false;
+  const auto it = std::lower_bound(entries_.begin(), entries_.end(),
+                                   static_cast<std::uint32_t>(j), IdLess);
+  if (it != entries_.end() && it->id == j) {
+    if (version <= it->version) return false;
+    it->load = load;
+    it->version = version;
+    it->stamp = stamp;
+    return true;
+  }
+  if (version == 0) return false;  // "never heard" carries no information
+  GossipEntry entry;
+  entry.id = static_cast<std::uint32_t>(j);
+  entry.load = load;
+  entry.version = version;
+  entry.stamp = stamp;
+  entries_.insert(it, entry);
   return true;
 }
 
-std::size_t GossipView::Merge(std::span<const double> peer_loads,
-                              std::span<const double> peer_versions) {
-  if (peer_loads.size() != loads_.size() ||
-      peer_versions.size() != versions_.size()) {
-    throw std::invalid_argument("GossipView::Merge: size mismatch");
+std::vector<std::uint16_t> GossipView::PackDigest(
+    std::size_t buckets) const {
+  const std::size_t B =
+      buckets == 0 ? m_ : std::min(std::max<std::size_t>(buckets, 1), m_);
+  std::vector<std::uint16_t> digest(B, kDigestIncomplete);
+  std::vector<std::uint64_t> min_version(
+      B, std::numeric_limits<std::uint64_t>::max());
+  std::vector<std::size_t> seen(B, 0);
+  for (const GossipEntry& e : entries_) {
+    const std::size_t b = BucketOf(e.id, m_, B);
+    ++seen[b];
+    min_version[b] = std::min(min_version[b], e.version);
   }
-  std::size_t updated = 0;
-  for (std::size_t j = 0; j < loads_.size(); ++j) {
-    if (peer_versions[j] > versions_[j]) {
-      versions_[j] = peer_versions[j];
-      loads_[j] = peer_loads[j];
-      ++updated;
-    }
+  for (std::size_t b = 0; b < B; ++b) {
+    // Bucket b covers ids in [ceil(b*m/B), ceil((b+1)*m/B)).
+    const std::size_t lo = (b * m_ + B - 1) / B;
+    const std::size_t hi = ((b + 1) * m_ + B - 1) / B;
+    if (seen[b] != hi - lo) continue;  // incomplete: prove nothing
+    // Saturation rounds DOWN so the level stays a lower bound.
+    digest[b] = min_version[b] >= 65534
+                    ? std::uint16_t{65534}
+                    : static_cast<std::uint16_t>(min_version[b]);
   }
-  return updated;
+  return digest;
 }
 
-std::vector<double> GossipView::PackPayload() const {
+std::vector<double> GossipView::PackEntries() const {
   std::vector<double> payload;
-  payload.reserve(2 * loads_.size());
-  payload.insert(payload.end(), loads_.begin(), loads_.end());
-  payload.insert(payload.end(), versions_.begin(), versions_.end());
+  payload.reserve(4 * entries_.size());
+  for (const GossipEntry& e : entries_) {
+    payload.push_back(static_cast<double>(e.id));
+    payload.push_back(e.load);
+    payload.push_back(EncodeVersion(e.version));
+    payload.push_back(e.stamp);
+  }
   return payload;
 }
 
-std::size_t GossipView::MergePayload(std::span<const double> payload) {
-  const std::size_t m = loads_.size();
-  if (payload.size() != 2 * m) {
-    throw std::invalid_argument("GossipView::MergePayload: size mismatch");
+std::vector<double> GossipView::PackEntriesNewerThan(
+    std::span<const std::uint16_t> digest) const {
+  if (digest.empty()) return PackEntries();
+  const std::size_t B = digest.size();
+  std::vector<double> payload;
+  for (const GossipEntry& e : entries_) {
+    const std::uint16_t level = digest[BucketOf(e.id, m_, B)];
+    // The level lower-bounds the peer's version of this entry: a copy at
+    // or below it is provably already held at >= our version.
+    if (level != kDigestIncomplete &&
+        e.version <= static_cast<std::uint64_t>(level)) {
+      continue;
+    }
+    payload.push_back(static_cast<double>(e.id));
+    payload.push_back(e.load);
+    payload.push_back(EncodeVersion(e.version));
+    payload.push_back(e.stamp);
   }
-  return Merge(payload.subspan(0, m), payload.subspan(m, m));
+  return payload;
+}
+
+std::size_t GossipView::MergeEntries(std::span<const double> payload) {
+  if (payload.size() % 4 != 0) {
+    throw std::invalid_argument("GossipView::MergeEntries: ragged quads");
+  }
+  const std::size_t count = payload.size() / 4;
+  // Validation pass: ids integral, in range, strictly ascending (the pack
+  // functions emit ascending ids; ascending input is what makes the merge
+  // below a single linear pass). Also counts the genuinely new ids so the
+  // in-place backward merge can resize once.
+  std::size_t fresh = 0;
+  double previous_id = -1.0;
+  for (std::size_t k = 0; k < count; ++k) {
+    const double id = payload[4 * k];
+    if (!(id > previous_id) || id >= static_cast<double>(m_) ||
+        id != std::floor(id)) {
+      throw std::invalid_argument("GossipView::MergeEntries: bad entry id");
+    }
+    previous_id = id;
+    (void)DecodeVersion(payload[4 * k + 2]);  // throws on inexact versions
+    if (Find(static_cast<std::size_t>(id)) == nullptr) ++fresh;
+  }
+
+  std::size_t adopted = 0;
+  const std::size_t old_size = entries_.size();
+  entries_.resize(old_size + fresh);
+  // Backward two-pointer merge: existing entries move right at most once,
+  // so merging a payload of E entries into a view of N costs O(N + E)
+  // regardless of how many are new.
+  std::size_t write = entries_.size();
+  std::size_t have = old_size;
+  std::size_t take = count;
+  while (take > 0) {
+    const std::uint32_t id =
+        static_cast<std::uint32_t>(payload[4 * (take - 1)]);
+    if (have > 0 && entries_[have - 1].id > id) {
+      entries_[--write] = entries_[--have];
+      continue;
+    }
+    if (have > 0 && entries_[have - 1].id == id) {
+      // Known id: adopt in place iff strictly newer and past the adoption
+      // floor, then move the entry.
+      GossipEntry& e = entries_[have - 1];
+      const std::uint64_t version = DecodeVersion(payload[4 * take - 2]);
+      if (version > e.version && payload[4 * take - 1] >= floor_) {
+        e.load = payload[4 * take - 3];
+        e.version = version;
+        e.stamp = payload[4 * take - 1];
+        ++adopted;
+      }
+      entries_[--write] = entries_[--have];
+      --take;
+      continue;
+    }
+    // Fresh id: adopt unless it carries the "never heard" version 0 or a
+    // stamp expiry already refused (placeholders are erased below).
+    const std::uint64_t version = DecodeVersion(payload[4 * take - 2]);
+    --take;
+    GossipEntry entry;
+    entry.id = id;
+    entry.load = payload[4 * take + 1];
+    entry.stamp = payload[4 * take + 3];
+    entry.version = version > 0 && entry.stamp >= floor_ ? version : 0;
+    entries_[--write] = entry;
+    if (entry.version > 0) ++adopted;
+  }
+  // `write` now equals `have`; everything left of it is already in place.
+  // Drop any version-0 placeholders that slipped in from fresh ids.
+  if (fresh > 0) {
+    const auto is_empty = [](const GossipEntry& e) {
+      return e.version == 0;
+    };
+    const auto it =
+        std::remove_if(entries_.begin(), entries_.end(), is_empty);
+    entries_.erase(it, entries_.end());
+  }
+  return adopted;
+}
+
+std::size_t GossipView::Expire(double cutoff, std::size_t max_entries) {
+  const std::size_t before = entries_.size();
+  const std::uint32_t self = static_cast<std::uint32_t>(self_);
+  // Everything the cutoff drops sits below it, so the floor moves to the
+  // cutoff itself (entries exactly at the cutoff survive and may keep
+  // being refreshed).
+  floor_ = std::max(floor_, cutoff);
+  entries_.erase(
+      std::remove_if(entries_.begin(), entries_.end(),
+                     [&](const GossipEntry& e) {
+                       return e.id != self && e.stamp < cutoff;
+                     }),
+      entries_.end());
+  if (max_entries > 0 && entries_.size() > max_entries) {
+    // Deterministic eviction order: oldest (stamp, id) first, self exempt.
+    std::vector<std::uint32_t> order(entries_.size());
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      order[k] = static_cast<std::uint32_t>(k);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const GossipEntry& ea = entries_[a];
+                const GossipEntry& eb = entries_[b];
+                if (ea.stamp != eb.stamp) return ea.stamp < eb.stamp;
+                return ea.id < eb.id;
+              });
+    std::vector<std::uint8_t> drop(entries_.size(), 0);
+    std::size_t to_drop = entries_.size() - max_entries;
+    for (const std::uint32_t k : order) {
+      if (to_drop == 0) break;
+      if (entries_[k].id == self) continue;
+      drop[k] = 1;
+      --to_drop;
+      // Cap evictions can drop recent stamps, so the floor must step just
+      // past the newest one: equal-stamp survivors still accept their
+      // strictly-newer updates (per-owner stamps rise with the version),
+      // while the evicted copies themselves stay refused.
+      floor_ = std::max(
+          floor_, std::nextafter(entries_[k].stamp,
+                                 std::numeric_limits<double>::infinity()));
+    }
+    std::size_t write = 0;
+    for (std::size_t k = 0; k < entries_.size(); ++k) {
+      if (drop[k] == 0) entries_[write++] = entries_[k];
+    }
+    entries_.resize(write);
+  }
+  return before - entries_.size();
+}
+
+double GossipView::EncodeVersion(std::uint64_t version) {
+  if (version > kMaxWireVersion) {
+    throw std::overflow_error(
+        "GossipView::EncodeVersion: version exceeds exact double range");
+  }
+  return static_cast<double>(version);
+}
+
+std::uint64_t GossipView::DecodeVersion(double wire) {
+  if (!(wire >= 0.0) ||
+      wire > static_cast<double>(kMaxWireVersion) ||
+      wire != std::floor(wire)) {
+    throw std::invalid_argument(
+        "GossipView::DecodeVersion: not an exact version counter");
+  }
+  return static_cast<std::uint64_t>(wire);
 }
 
 }  // namespace delaylb::dist

@@ -2,65 +2,179 @@
 // Versioned load gossip: the state each server disseminates in the
 // distributed deployment of the MinE algorithm.
 //
-// Every server keeps a local view of all m server loads together with a
-// per-entry version counter. A server bumps its own version whenever its
-// load changes (UpdateSelf); merging a peer's view adopts every entry whose
-// version is strictly newer. Repeated pairwise merges therefore converge to
-// the newest value per entry regardless of exchange order — the standard
-// anti-entropy argument. The MinE partner-selection proxy only needs loads
-// that are approximately current, which is what this layer provides without
-// global synchronization.
+// Every server keeps a *sparse* view of server loads: one entry per server
+// it has heard from, carrying the load, a per-owner version counter, and
+// the owner's simulation-time stamp of that version. A server bumps its own
+// version whenever its load changes (UpdateSelf); merging peer entries
+// adopts every entry whose version is strictly newer. Repeated pairwise
+// merges therefore converge to the newest value per entry regardless of
+// exchange order — the standard anti-entropy argument.
+//
+// The wire format is delta-reconciled (dist/agent.h runs the protocol): a
+// gossip exchange opens with a compact *version-vector digest* — per
+// id-bucket, the minimum version counter over the bucket's entries,
+// shipped as one 16-bit saturating level per bucket — and the answer
+// ships only entries *not provably covered* by the digest. Soundness is
+// one inequality: a digest level is a lower bound (saturation rounds
+// down, and a bucket with any member missing from the view reports
+// kDigestIncomplete), so if B skips entry j against A's digest
+// (version_B(j) <= level), then A holds j at
+// version_A(j) >= bucket min >= level >= version_B(j) — the skipped
+// entry was provably not needed. The shipped set is therefore a superset
+// of the strictly-newer set and a delta exchange adopts exactly the
+// entries a full exchange would: toggling deltas changes bytes on the
+// wire, never the simulation (the DeltaGossipOnlyShrinkBytes contract).
+// With one bucket per id (the default) and versions below the 0xFFFE
+// saturation point the proof is *exact*: the delta ships precisely the
+// strictly-newer entries. Version counters quantize losslessly where
+// timestamps cannot — a floor-quantized stamp digest has one-quantum
+// slack, which re-ships every entry whose stamp has a fractional part.
+//
+// Per-owner stamps are strictly increasing in the version (UpdateSelf
+// nudges the stamp by one ulp when two updates land at the same simulated
+// instant): for one entry j, version_B(j) > version_A(j) if and only if
+// stamp_B(j) > stamp_A(j). Expiry (below) leans on that equivalence.
+//
+// Versions are stored as integral uint64 counters and travel as exact
+// doubles; packing guards the 2^53 boundary so a counter can never silently
+// lose increments on the wire (kMaxWireVersion).
+//
+// Age-capped expiry (Expire) drops entries whose stamp fell behind a
+// cutoff and bounds the entry count, so views at m = 50,000 hold the
+// recently-active working set instead of pinning every dead entry forever.
+// Expiry raises the view's *adoption floor*: entries at least as old as
+// anything ever expired are refused re-adoption. Without the floor, a
+// full-view exchange racing an expiry sweep could re-adopt a stale entry
+// that a delta exchange provably skips, and the two modes would diverge;
+// with it, both modes reject exactly the entries expiry dropped, and the
+// only-shrink-bytes contract holds under ttl/cap expiry too.
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
 namespace delaylb::dist {
 
-/// One server's eventually-consistent view of all server loads.
+/// One known (server, load) fact: the owner's id, its load, the owner's
+/// version counter for that load, and the owner's simulation time when it
+/// produced this version (strictly increasing per owner, see above).
+struct GossipEntry {
+  double load = 0.0;
+  double stamp = 0.0;
+  std::uint64_t version = 0;
+  std::uint32_t id = 0;
+};
+
+/// Digest level marking a bucket with at least one server this view has
+/// never heard from: nothing about the bucket is proven, ship everything.
+inline constexpr std::uint16_t kDigestIncomplete = 0xFFFF;
+
+/// One server's eventually-consistent sparse view of server loads.
 class GossipView {
  public:
-  /// A view of `m` servers held by server `self`; all loads start at 0 with
-  /// version 0.
+  /// Versions above this cannot be represented exactly by a double on the
+  /// wire; UpdateSelf and the codecs guard it.
+  static constexpr std::uint64_t kMaxWireVersion = std::uint64_t{1} << 53;
+
+  /// A view over `m` servers held by server `self`. Starts with no entries
+  /// (not even self — the first UpdateSelf creates it).
   GossipView(std::size_t m, std::size_t self);
 
-  std::size_t size() const noexcept { return loads_.size(); }
+  /// Universe size m (ids are in [0, m)); entries() is how many are known.
+  std::size_t size() const noexcept { return m_; }
+  std::size_t entries() const noexcept { return entries_.size(); }
   std::size_t self() const noexcept { return self_; }
 
-  double load(std::size_t j) const noexcept { return loads_[j]; }
-  std::span<const double> loads() const noexcept { return loads_; }
+  bool Knows(std::size_t j) const noexcept { return Find(j) != nullptr; }
+  /// Believed load of server j; 0 when j is unknown.
+  double load(std::size_t j) const noexcept {
+    const GossipEntry* e = Find(j);
+    return e != nullptr ? e->load : 0.0;
+  }
+  /// Version counter held for j; 0 when unknown (owners start at 1).
+  std::uint64_t version(std::size_t j) const noexcept {
+    const GossipEntry* e = Find(j);
+    return e != nullptr ? e->version : 0;
+  }
+  /// Stamp held for j; 0 when unknown.
+  double stamp(std::size_t j) const noexcept {
+    const GossipEntry* e = Find(j);
+    return e != nullptr ? e->stamp : 0.0;
+  }
+  /// All known entries in ascending id order.
+  std::span<const GossipEntry> known() const noexcept { return entries_; }
 
-  /// Monotone per-entry version counters (doubles so views can be shipped as
-  /// one homogeneous payload next to the loads).
-  std::span<const double> versions() const noexcept { return versions_; }
+  /// Records a new local load: bumps this server's version and stamps it
+  /// with `now` (nudged one ulp past the previous stamp if `now` has not
+  /// advanced, keeping per-owner stamps strictly increasing). Throws
+  /// std::overflow_error at kMaxWireVersion.
+  void UpdateSelf(double load, double now);
 
-  /// Records a new local load and bumps this server's version.
-  void UpdateSelf(double load);
+  /// Single-entry merge: adopts (load, version, stamp) for server `j` iff
+  /// the version is strictly newer than the stored one and the stamp
+  /// clears the adoption floor. Returns true when adopted. This is how
+  /// every protocol message doubles as gossip about its sender. Throws if
+  /// `j` is out of range.
+  bool Observe(std::size_t j, double load, std::uint64_t version,
+               double stamp);
 
-  /// Single-entry merge: adopts (load, version) for server `j` iff the
-  /// version is strictly newer than the stored one. Returns true when
-  /// adopted. This is how protocol messages that carry the sender's
-  /// (load, version) double as one-entry gossip. Throws if `j` is out of
-  /// range.
-  bool Observe(std::size_t j, double load, double version);
+  /// The version-vector digest: `buckets` 16-bit levels (clamped to
+  /// [1, m]; 0 selects one bucket per id — exact per-entry proofs), where
+  /// level b = min version over bucket b, saturated at 0xFFFE, or
+  /// kDigestIncomplete when the view is missing any id of the bucket.
+  std::vector<std::uint16_t> PackDigest(std::size_t buckets) const;
 
-  /// Adopts every peer entry with a strictly newer version. Returns the
-  /// number of entries updated. Throws if the sizes do not match.
-  std::size_t Merge(std::span<const double> peer_loads,
-                    std::span<const double> peer_versions);
+  /// Every known entry as (id, load, version, stamp) quads in ascending id
+  /// order — the full-view wire format.
+  std::vector<double> PackEntries() const;
 
-  /// Serializes the view into one homogeneous buffer — the m loads followed
-  /// by the m versions — so a gossip exchange ships a single message.
-  std::vector<double> PackPayload() const;
+  /// Only the entries not provably covered by `digest` (see the soundness
+  /// argument above): entry j ships iff its bucket is kDigestIncomplete or
+  /// version(j) > level. An empty digest proves nothing and ships
+  /// everything. Same quad format as PackEntries.
+  std::vector<double> PackEntriesNewerThan(
+      std::span<const std::uint16_t> digest) const;
 
-  /// Merge() from a PackPayload()-format buffer (2m doubles). Returns the
-  /// number of entries updated. Throws if the size does not match.
-  std::size_t MergePayload(std::span<const double> payload);
+  /// Merges a PackEntries()/PackEntriesNewerThan() buffer: adopts every
+  /// entry with a strictly newer version whose stamp clears the adoption
+  /// floor. Returns the number adopted. Throws std::invalid_argument on
+  /// malformed payloads (ragged quads, ids out of range or not strictly
+  /// ascending, inexact versions).
+  std::size_t MergeEntries(std::span<const double> payload);
+
+  /// Expiry sweep: drops every non-self entry with stamp < cutoff, then —
+  /// when max_entries > 0 and more remain — evicts the oldest entries by
+  /// (stamp, id) until max_entries are left. The self entry is never
+  /// dropped. Raises the adoption floor to cover everything dropped (see
+  /// above). Returns the number of entries removed.
+  std::size_t Expire(double cutoff, std::size_t max_entries);
+
+  /// Stamps strictly below this are refused adoption — the largest expiry
+  /// cutoff seen, nudged past the newest cap-evicted stamp. -infinity
+  /// until the first Expire.
+  double adoption_floor() const noexcept { return floor_; }
+
+  /// Exact-doubles wire codec for version counters. EncodeVersion throws
+  /// std::overflow_error above kMaxWireVersion; DecodeVersion throws
+  /// std::invalid_argument unless the double is an exact integral version.
+  static double EncodeVersion(std::uint64_t version);
+  static std::uint64_t DecodeVersion(double wire);
+
+  /// The digest bucket of `id` for a `buckets`-level digest over `m` ids.
+  static std::size_t BucketOf(std::size_t id, std::size_t m,
+                              std::size_t buckets) noexcept {
+    return id * buckets / m;
+  }
 
  private:
+  const GossipEntry* Find(std::size_t j) const noexcept;
+
+  std::size_t m_ = 0;
   std::size_t self_ = 0;
-  std::vector<double> loads_;
-  std::vector<double> versions_;
+  double floor_ = -std::numeric_limits<double>::infinity();
+  std::vector<GossipEntry> entries_;  ///< sorted by id
 };
 
 }  // namespace delaylb::dist

@@ -2,9 +2,10 @@
 // Typed messages of the distributed runtime.
 //
 // Every piece of dynamic state in the message-passing deployment travels
-// inside one of these records: gossip exchanges ship a GossipView packed as
-// one homogeneous load+version buffer, and the two-party balance handshake
-// ships whole allocation columns (each server owns exactly one column of
+// inside one of these records: gossip exchanges open with a version-vector
+// digest and answer with delta-reconciled view entries (see
+// dist/gossip.h), and the two-party balance handshake ships whole
+// allocation columns (each server owns exactly one column of
 // the global r matrix — "everything running on me"). Static configuration
 // (speeds, latencies) is immutable and globally known, mirroring a deployed
 // system where the topology is distributed out of band.
@@ -32,8 +33,10 @@
 namespace delaylb::dist {
 
 enum class MessageKind : std::uint8_t {
-  kGossipPush = 0,   ///< payload = sender's packed GossipView
-  kGossipPull,       ///< payload = receiver's packed view (push-pull answer)
+  kGossipPush = 0,   ///< digest = sender's view digest (no payload)
+  kGossipPull,       ///< payload = receiver's entries vs the push's digest;
+                     ///< digest = receiver's own digest for the answer
+  kGossipDelta,      ///< payload = pusher's entries vs the pull's digest
   kBalanceRequest,   ///< payload = initiator's allocation column
   kBalanceReply,     ///< payload = initiator's new column (responder applied)
   kBalanceCommit,    ///< no payload: initiator applied, responder may commit
@@ -72,34 +75,75 @@ struct Message {
   AbortReason reason = AbortReason::kNone;
   /// How a balance-column payload is encoded (kDense for everything else).
   ColumnEncoding encoding = ColumnEncoding::kDense;
-  /// Sender's (load, gossip version) at send time. Every protocol message
-  /// doubles as single-entry gossip: the receiver folds this pair into its
-  /// view, so e.g. a kStale abort is self-correcting instead of waiting on
-  /// the next dissemination wave.
+  /// Sender's (load, gossip version, stamp) at send time. Every protocol
+  /// message doubles as single-entry gossip: the receiver folds this
+  /// triple into its view, so e.g. a kStale abort is self-correcting
+  /// instead of waiting on the next dissemination wave. The version is a
+  /// uint64 counter encoded with GossipView::EncodeVersion (exact up to
+  /// 2^53).
   double load = 0.0;
   double load_version = 0.0;
+  double load_stamp = 0.0;
   /// Request only: the initiator's eventually-consistent belief of the
   /// responder's load, for the staleness check; < 0 when unknown.
   double believed_load = -1.0;
   std::vector<double> payload;
   /// Piggybacked gossip (AgentOptions::piggyback_gossip): a balance Reply
-  /// additionally carries the responder's packed GossipView, so every
-  /// completed exchange doubles as a full anti-entropy round for the
-  /// initiator — view freshness the dedicated gossip timer no longer has
-  /// to buy. Empty on all other messages (and when piggybacking is off).
+  /// additionally carries the responder's view entries — under delta
+  /// gossip only those not provably covered by the Request's digest — so
+  /// every completed exchange doubles as an anti-entropy round for the
+  /// initiator. Empty on all other messages (and when piggybacking is
+  /// off).
   std::vector<double> gossip;
+  /// Version-vector digest (AgentOptions::delta_gossip): saturating
+  /// per-bucket minimum-version levels (GossipView::PackDigest),
+  /// accounted at 2 bytes each on the wire. Rides on gossip pushes and
+  /// pulls, and on balance Requests when replies piggyback gossip.
+  /// Levels are absolute version counters, so views packed with
+  /// different bucket counts still reconcile soundly.
+  std::vector<std::uint16_t> digest;
 };
 
 /// Fixed per-message framing overhead of the byte accounting model: the
 /// scalar fields above plus transport headers, rounded to a cache line.
 inline constexpr std::size_t kWireHeaderBytes = 64;
 
-/// Bytes-on-wire of a message under the accounting model: header plus
-/// 8 bytes per shipped double (column payload and piggybacked gossip).
-/// Network::bytes_sent() sums this; bench_shard_scaling and the sparse
-/// encoding tests report it.
+/// Per-class bytes-on-wire of one message under the accounting model:
+/// `control` is the fixed framing every message pays, `column` the
+/// balance-column payloads (8 bytes per double), `gossip` everything the
+/// dissemination layer ships — gossip-kind payloads and piggybacked
+/// entries at 8 bytes per double, digests at 2 bytes per level. The
+/// network accumulates the classes separately so BENCH rows show which
+/// budget an optimization moved.
+struct WireBreakdown {
+  std::size_t control = 0;
+  std::size_t column = 0;
+  std::size_t gossip = 0;
+};
+
+inline WireBreakdown WireBytes(const Message& msg) {
+  WireBreakdown w;
+  w.control = kWireHeaderBytes;
+  w.gossip = 8 * msg.gossip.size() + 2 * msg.digest.size();
+  switch (msg.kind) {
+    case MessageKind::kGossipPush:
+    case MessageKind::kGossipPull:
+    case MessageKind::kGossipDelta:
+      w.gossip += 8 * msg.payload.size();
+      break;
+    default:
+      w.column += 8 * msg.payload.size();
+      break;
+  }
+  return w;
+}
+
+/// Total bytes-on-wire of a message: the sum of its WireBytes classes.
+/// Network::bytes_sent() sums this; bench_shard_scaling and the wire
+/// format tests report it.
 inline std::size_t WireSize(const Message& msg) {
-  return kWireHeaderBytes + 8 * (msg.payload.size() + msg.gossip.size());
+  const WireBreakdown w = WireBytes(msg);
+  return w.control + w.column + w.gossip;
 }
 
 /// Encodes `column` into msg.payload, choosing kSparse when the pair list
@@ -187,6 +231,7 @@ inline const char* ToString(MessageKind kind) {
   switch (kind) {
     case MessageKind::kGossipPush: return "gossip-push";
     case MessageKind::kGossipPull: return "gossip-pull";
+    case MessageKind::kGossipDelta: return "gossip-delta";
     case MessageKind::kBalanceRequest: return "balance-request";
     case MessageKind::kBalanceReply: return "balance-reply";
     case MessageKind::kBalanceCommit: return "balance-commit";

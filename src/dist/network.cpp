@@ -27,7 +27,10 @@ void Network::Send(Message msg) {
   const std::uint64_t seq = send_seq_[msg.from]++;
   Counters& counters = counters_[src];
   ++counters.sent;
-  counters.bytes += WireSize(msg);
+  const WireBreakdown wire = WireBytes(msg);
+  counters.bytes_control += wire.control;
+  counters.bytes_column += wire.column;
+  counters.bytes_gossip += wire.gossip;
 
   ShardEvent event;
   event.message = std::move(msg);

@@ -24,7 +24,9 @@
 // kEvMessage events actually pending in the kernel — the runtime's
 // accounting audit checks the counters against the queues themselves.
 // bytes_sent() additionally totals the WireSize of every sent message,
-// which is what the sparse/delta column encodings shrink.
+// split by class (control framing vs balance columns vs gossip traffic)
+// so the compact column encodings and the delta gossip wire format are
+// each visible against the budget they shrink.
 
 #include <cstddef>
 #include <cstdint>
@@ -61,6 +63,13 @@ class Network {
     return crashed_[server] != 0;
   }
 
+  /// Current simulation time on `server`'s shard — the timestamp of the
+  /// event being dispatched. Agents use it to stamp gossip entries
+  /// (identical for every shard plan, since it is the event's own time).
+  double now(std::size_t server) const noexcept {
+    return engine_.now(plan_.shard_of[server]);
+  }
+
   // Counter sums — call while the engine is quiesced (between RunUntil
   // calls or from the window hook).
   std::size_t messages_sent() const noexcept { return Sum(&Counters::sent); }
@@ -70,7 +79,21 @@ class Network {
   std::size_t messages_dropped() const noexcept {
     return Sum(&Counters::dropped);
   }
-  std::size_t bytes_sent() const noexcept { return Sum(&Counters::bytes); }
+  std::size_t bytes_sent() const noexcept {
+    return bytes_control() + bytes_column() + bytes_gossip();
+  }
+  /// Per-class byte totals (see WireBytes in message.h): fixed framing,
+  /// balance-column payloads, and gossip traffic (digests, entry lists,
+  /// piggybacked views).
+  std::size_t bytes_control() const noexcept {
+    return Sum(&Counters::bytes_control);
+  }
+  std::size_t bytes_column() const noexcept {
+    return Sum(&Counters::bytes_column);
+  }
+  std::size_t bytes_gossip() const noexcept {
+    return Sum(&Counters::bytes_gossip);
+  }
   std::size_t in_flight() const noexcept {
     std::int64_t pending = 0;
     for (const Counters& c : counters_) pending += c.in_flight;
@@ -84,7 +107,9 @@ class Network {
     std::size_t sent = 0;
     std::size_t delivered = 0;
     std::size_t dropped = 0;
-    std::size_t bytes = 0;
+    std::size_t bytes_control = 0;  ///< fixed per-message framing
+    std::size_t bytes_column = 0;   ///< balance-column payloads
+    std::size_t bytes_gossip = 0;   ///< digests, entry lists, piggybacks
     std::int64_t in_flight = 0;  ///< sends minus resolutions, per shard
   };
 

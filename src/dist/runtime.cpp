@@ -37,6 +37,7 @@ DistributedRuntime::DistributedRuntime(const core::Instance& instance,
       engine_(plan_.shards, plan_.lookahead,
               MakePool(plan_, pool_, options.threads)),
       network_(instance.latency_matrix(), plan_, engine_),
+      scratch_(plan_.shards),
       crash_depth_(instance.size(), 0) {
   const std::size_t m = instance.size();
   if (m == 0) {
@@ -68,7 +69,7 @@ DistributedRuntime::DistributedRuntime(const core::Instance& instance,
   agents_.reserve(m);
   for (std::size_t id = 0; id < m; ++id) {
     agents_.emplace_back(id, instance, &order_cache_, options_.agent,
-                         master.split());
+                         master.split(), &scratch_[plan_.shard_of[id]]);
   }
   // Staggered timer phases: gossip starts inside the first gossip period,
   // balancing inside the second half of the first balance period so the
@@ -244,15 +245,43 @@ core::Allocation DistributedRuntime::AssembleAllocation() const {
                           std::numeric_limits<double>::infinity());
 }
 
-RuntimeSnapshot DistributedRuntime::Snapshot() const {
+double DistributedRuntime::ColumnTotalCost() const {
+  // SumC = sum_j load_j^2 / (2 s_j)  +  sum_j sum_k r(k,j) c(k,j),
+  // summed per column: lat_col(j)[k] is exactly c(k, j), contiguous.
+  double total = 0.0;
+  for (std::size_t j = 0; j < agents_.size(); ++j) {
+    const Agent& agent = agents_[j];
+    const double load = agent.load();
+    total += load * load / (2.0 * instance_.speed(j));
+    const std::span<const double> column = agent.column();
+    const std::span<const double> lat = order_cache_.lat_col(j);
+    double communication = 0.0;
+    for (std::size_t k = 0; k < column.size(); ++k) {
+      communication += column[k] * lat[k];
+    }
+    total += communication;
+  }
+  return total;
+}
+
+RuntimeSnapshot DistributedRuntime::LightSnapshot() const {
   RuntimeSnapshot snapshot;
   snapshot.time = horizon_;
-  snapshot.total_cost = core::TotalCost(instance_, AssembleAllocation());
+  snapshot.total_cost = ColumnTotalCost();
   snapshot.messages_sent = network_.messages_sent();
   snapshot.messages_delivered = network_.messages_delivered();
   snapshot.messages_dropped = network_.messages_dropped();
   snapshot.bytes_sent = network_.bytes_sent();
+  snapshot.bytes_control = network_.bytes_control();
+  snapshot.bytes_column = network_.bytes_column();
+  snapshot.bytes_gossip = network_.bytes_gossip();
   snapshot.balances_in_flight = OpenHandshakes();
+  return snapshot;
+}
+
+RuntimeSnapshot DistributedRuntime::Snapshot() const {
+  RuntimeSnapshot snapshot = LightSnapshot();
+  snapshot.total_cost = core::TotalCost(instance_, AssembleAllocation());
   return snapshot;
 }
 

@@ -83,6 +83,12 @@ struct RuntimeSnapshot {
   std::size_t messages_delivered = 0;
   std::size_t messages_dropped = 0;
   std::size_t bytes_sent = 0;  ///< WireSize total (see message.h)
+  /// Per-class breakdown of bytes_sent (always sums to it): fixed framing,
+  /// balance-column payloads, and gossip traffic — so BENCH rows show
+  /// which budget an optimization moved.
+  std::size_t bytes_control = 0;
+  std::size_t bytes_column = 0;
+  std::size_t bytes_gossip = 0;
   std::size_t balances_in_flight = 0;  ///< open handshake endpoints
 };
 
@@ -97,6 +103,19 @@ class DistributedRuntime {
   void RunUntil(double t);
 
   RuntimeSnapshot Snapshot() const;
+
+  /// Snapshot whose total_cost is ColumnTotalCost(): O(nonzero column
+  /// entries) time and O(1) extra memory instead of materializing the
+  /// m x m allocation — the only affordable trace at m = 50,000. Same
+  /// counters as Snapshot(); the cost differs from Snapshot()'s only in
+  /// floating-point summation order, and is itself bit-reproducible
+  /// across seeds/shards/threads/delta modes.
+  RuntimeSnapshot LightSnapshot() const;
+
+  /// SumC straight off the per-server columns: processing from each
+  /// agent's load, communication via the order cache's contiguous latency
+  /// columns. Exact whenever UncommittedExchanges() == 0.
+  double ColumnTotalCost() const;
 
   /// Schedules server `id` to crash at `down` and recover at `up` (both
   /// absolute simulation times not earlier than now, down < up). Windows of
@@ -151,6 +170,9 @@ class DistributedRuntime {
   std::unique_ptr<util::ThreadPool> pool_;  ///< only for plans > 1 shard
   RuntimeEngine engine_;
   Network network_;
+  /// One decode/balance scratch per shard, shared by the shard's agents
+  /// (serial dispatch); declared before agents_ so it outlives them.
+  std::vector<AgentScratch> scratch_;
   std::vector<Agent> agents_;
   /// Overlapping crash windows nest: a server is down while depth > 0.
   std::vector<std::uint32_t> crash_depth_;

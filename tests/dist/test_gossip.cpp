@@ -1,8 +1,13 @@
-// Versioned load gossip (anti-entropy view merging).
+// Versioned load gossip: sparse stamped views, the delta-reconciliation
+// wire format (digest -> entries-newer-than), expiry, and the exact
+// uint64-version codec.
 #include "dist/gossip.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "util/rng.h"
@@ -10,13 +15,26 @@
 namespace delaylb::dist {
 namespace {
 
+void ExpectSameView(const GossipView& a, const GossipView& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.entries(), b.entries());
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    EXPECT_EQ(a.Knows(j), b.Knows(j)) << "entry " << j;
+    EXPECT_DOUBLE_EQ(a.load(j), b.load(j)) << "entry " << j;
+    EXPECT_EQ(a.version(j), b.version(j)) << "entry " << j;
+    EXPECT_DOUBLE_EQ(a.stamp(j), b.stamp(j)) << "entry " << j;
+  }
+}
+
 TEST(GossipView, StartsEmpty) {
   const GossipView view(4, 2);
   EXPECT_EQ(view.size(), 4u);
   EXPECT_EQ(view.self(), 2u);
+  EXPECT_EQ(view.entries(), 0u);
   for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_FALSE(view.Knows(j));
     EXPECT_DOUBLE_EQ(view.load(j), 0.0);
-    EXPECT_DOUBLE_EQ(view.versions()[j], 0.0);
+    EXPECT_EQ(view.version(j), 0u);
   }
 }
 
@@ -26,95 +44,89 @@ TEST(GossipView, SelfIndexValidated) {
 
 TEST(GossipView, UpdateSelfBumpsVersion) {
   GossipView view(3, 1);
-  view.UpdateSelf(42.0);
-  view.UpdateSelf(7.0);
+  view.UpdateSelf(42.0, 0.0);
+  view.UpdateSelf(7.0, 1.0);
   EXPECT_DOUBLE_EQ(view.load(1), 7.0);
-  EXPECT_DOUBLE_EQ(view.versions()[1], 2.0);
+  EXPECT_EQ(view.version(1), 2u);
+  EXPECT_EQ(view.entries(), 1u);
 }
 
-TEST(GossipView, MergeAdoptsStrictlyNewerEntries) {
-  GossipView a(3, 0), b(3, 1);
-  a.UpdateSelf(10.0);
-  b.UpdateSelf(20.0);
-  EXPECT_EQ(a.Merge(b.loads(), b.versions()), 1u);
-  EXPECT_DOUBLE_EQ(a.load(1), 20.0);
-  EXPECT_DOUBLE_EQ(a.load(0), 10.0);  // own newer entry kept
-  // Merging the same view again is a no-op.
-  EXPECT_EQ(a.Merge(b.loads(), b.versions()), 0u);
-}
-
-TEST(GossipView, MergeSizeMismatchThrows) {
-  GossipView a(3, 0);
-  const std::vector<double> wrong(2, 0.0);
-  EXPECT_THROW(a.Merge(wrong, wrong), std::invalid_argument);
-}
-
-TEST(GossipView, PairwiseExchangesConverge) {
-  // Anti-entropy: after a full round of pairwise merges along a ring, every
-  // view agrees with the newest value per entry.
-  const std::size_t m = 8;
-  std::vector<GossipView> views;
-  for (std::size_t i = 0; i < m; ++i) {
-    views.emplace_back(m, i);
-    views.back().UpdateSelf(static_cast<double>(i) + 1.0);
-  }
-  for (int round = 0; round < 2; ++round) {
-    for (std::size_t i = 0; i < m; ++i) {
-      GossipView& peer = views[(i + 1) % m];
-      peer.Merge(views[i].loads(), views[i].versions());
-      views[i].Merge(peer.loads(), peer.versions());
-    }
-  }
-  for (const GossipView& v : views) {
-    for (std::size_t j = 0; j < m; ++j) {
-      EXPECT_DOUBLE_EQ(v.load(j), static_cast<double>(j) + 1.0);
-    }
-  }
+TEST(GossipView, SelfStampsStrictlyIncreaseWithinOneInstant) {
+  // The digest soundness argument needs per-owner stamps strictly
+  // increasing in the version, even when simulated time has not advanced.
+  GossipView view(2, 0);
+  view.UpdateSelf(1.0, 5.0);
+  const double first = view.stamp(0);
+  EXPECT_DOUBLE_EQ(first, 5.0);
+  view.UpdateSelf(2.0, 5.0);
+  const double second = view.stamp(0);
+  EXPECT_GT(second, first);
+  view.UpdateSelf(3.0, 5.0);
+  EXPECT_GT(view.stamp(0), second);
+  // Advancing time resumes plain stamps.
+  view.UpdateSelf(4.0, 6.0);
+  EXPECT_DOUBLE_EQ(view.stamp(0), 6.0);
 }
 
 TEST(GossipView, ObserveAdoptsOnlyStrictlyNewer) {
   GossipView view(4, 0);
-  view.UpdateSelf(5.0);
-  EXPECT_TRUE(view.Observe(2, 70.0, 3.0));
+  view.UpdateSelf(5.0, 0.0);
+  EXPECT_TRUE(view.Observe(2, 70.0, 3, 1.0));
   EXPECT_DOUBLE_EQ(view.load(2), 70.0);
-  EXPECT_DOUBLE_EQ(view.versions()[2], 3.0);
+  EXPECT_EQ(view.version(2), 3u);
   // Same or older version: ignored, value kept.
-  EXPECT_FALSE(view.Observe(2, 80.0, 3.0));
-  EXPECT_FALSE(view.Observe(2, 80.0, 2.0));
+  EXPECT_FALSE(view.Observe(2, 80.0, 3, 2.0));
+  EXPECT_FALSE(view.Observe(2, 80.0, 2, 2.0));
   EXPECT_DOUBLE_EQ(view.load(2), 70.0);
-  // Newer wins again.
-  EXPECT_TRUE(view.Observe(2, 90.0, 4.0));
+  // Newer wins again; version 0 about an unknown id carries nothing.
+  EXPECT_TRUE(view.Observe(2, 90.0, 4, 2.0));
   EXPECT_DOUBLE_EQ(view.load(2), 90.0);
-  EXPECT_THROW(view.Observe(9, 1.0, 1.0), std::invalid_argument);
+  EXPECT_FALSE(view.Observe(3, 1.0, 0, 0.0));
+  EXPECT_FALSE(view.Knows(3));
+  EXPECT_THROW(view.Observe(9, 1.0, 1, 0.0), std::invalid_argument);
 }
 
-TEST(GossipView, PayloadRoundTrip) {
+TEST(GossipView, EntriesRoundTrip) {
   // Pack/merge is a faithful round trip: a fresh view that merges a packed
-  // payload adopts every entry of the source view.
+  // payload adopts every entry of the source view, stamps included.
   GossipView source(4, 1);
-  source.UpdateSelf(11.0);
-  source.UpdateSelf(13.0);  // version 2
-  GossipView other(4, 3);
-  other.UpdateSelf(29.0);
-  source.Merge(other.loads(), other.versions());
+  source.UpdateSelf(11.0, 0.5);
+  source.UpdateSelf(13.0, 1.5);  // version 2
+  source.Observe(3, 29.0, 1, 0.25);
 
-  const std::vector<double> payload = source.PackPayload();
-  ASSERT_EQ(payload.size(), 8u);
+  const std::vector<double> payload = source.PackEntries();
+  ASSERT_EQ(payload.size(), 8u);  // two entries, four doubles each
   GossipView sink(4, 0);
-  EXPECT_EQ(sink.MergePayload(payload), 2u);  // entries 1 and 3
-  for (std::size_t j = 0; j < 4; ++j) {
+  EXPECT_EQ(sink.MergeEntries(payload), 2u);
+  EXPECT_EQ(sink.MergeEntries(payload), 0u);  // re-merge is a no-op
+  for (std::size_t j = 1; j < 4; ++j) {
     EXPECT_DOUBLE_EQ(sink.load(j), source.load(j));
-    EXPECT_DOUBLE_EQ(sink.versions()[j], source.versions()[j]);
+    EXPECT_EQ(sink.version(j), source.version(j));
+    EXPECT_DOUBLE_EQ(sink.stamp(j), source.stamp(j));
   }
 }
 
-TEST(GossipView, MergePayloadSizeMismatchThrows) {
+TEST(GossipView, MergeRejectsMalformedPayloads) {
   GossipView view(3, 0);
-  const std::vector<double> wrong(5, 0.0);
-  EXPECT_THROW(view.MergePayload(wrong), std::invalid_argument);
+  EXPECT_THROW(view.MergeEntries(std::vector<double>(5, 0.0)),
+               std::invalid_argument);  // ragged quads
+  // Out-of-range id.
+  EXPECT_THROW(view.MergeEntries(std::vector<double>{3.0, 1.0, 1.0, 0.0}),
+               std::invalid_argument);
+  // Non-integral id.
+  EXPECT_THROW(view.MergeEntries(std::vector<double>{0.5, 1.0, 1.0, 0.0}),
+               std::invalid_argument);
+  // Ids not strictly ascending.
+  EXPECT_THROW(view.MergeEntries(std::vector<double>{1.0, 1.0, 1.0, 0.0,  //
+                                                     1.0, 2.0, 2.0, 0.0}),
+               std::invalid_argument);
+  // Inexact version counter.
+  EXPECT_THROW(view.MergeEntries(std::vector<double>{1.0, 1.0, 1.5, 0.0}),
+               std::invalid_argument);
+  EXPECT_EQ(view.entries(), 0u);
 }
 
-TEST(GossipView, PayloadMergeIsOrderIndependent) {
+TEST(GossipView, MergeIsOrderIndependent) {
   // Anti-entropy correctness: merging the same set of packed payloads in
   // any order converges to the same view — newest version per entry wins
   // regardless of exchange order.
@@ -125,35 +137,331 @@ TEST(GossipView, PayloadMergeIsOrderIndependent) {
     // Different update counts give distinct versions per server; stale
     // knowledge of neighbours makes ordering matter if merging is buggy.
     for (std::size_t u = 0; u <= i; ++u) {
-      v.UpdateSelf(10.0 * static_cast<double>(i) + static_cast<double>(u));
+      v.UpdateSelf(10.0 * static_cast<double>(i) + static_cast<double>(u),
+                   static_cast<double>(u));
     }
     if (i > 0) {
       // Stale but *consistent* knowledge of server i-1: a genuine earlier
       // point of its update history (version 1), as a peer would hold it.
       GossipView stale(m, i - 1);
-      stale.UpdateSelf(10.0 * static_cast<double>(i - 1));
-      v.Merge(stale.loads(), stale.versions());
+      stale.UpdateSelf(10.0 * static_cast<double>(i - 1), 0.0);
+      v.MergeEntries(stale.PackEntries());
     }
-    payloads.push_back(v.PackPayload());
+    payloads.push_back(v.PackEntries());
   }
 
   GossipView forward(m, 0), backward(m, 0), shuffled(m, 0);
   for (std::size_t p = 0; p < payloads.size(); ++p) {
-    forward.MergePayload(payloads[p]);
-    backward.MergePayload(payloads[payloads.size() - 1 - p]);
+    forward.MergeEntries(payloads[p]);
+    backward.MergeEntries(payloads[payloads.size() - 1 - p]);
   }
   util::Rng rng(7);
   std::vector<std::size_t> order(payloads.size());
   for (std::size_t p = 0; p < order.size(); ++p) order[p] = p;
   rng.shuffle(order);
-  for (const std::size_t p : order) shuffled.MergePayload(payloads[p]);
+  for (const std::size_t p : order) shuffled.MergeEntries(payloads[p]);
 
-  for (std::size_t j = 0; j < m; ++j) {
-    EXPECT_DOUBLE_EQ(forward.load(j), backward.load(j));
-    EXPECT_DOUBLE_EQ(forward.load(j), shuffled.load(j));
-    EXPECT_DOUBLE_EQ(forward.versions()[j], backward.versions()[j]);
-    EXPECT_DOUBLE_EQ(forward.versions()[j], shuffled.versions()[j]);
+  ExpectSameView(forward, backward);
+  ExpectSameView(forward, shuffled);
+}
+
+TEST(GossipView, PairwiseExchangesConverge) {
+  // After a full round of pairwise merges along a ring, every view agrees
+  // with the newest value per entry.
+  const std::size_t m = 8;
+  std::vector<GossipView> views;
+  for (std::size_t i = 0; i < m; ++i) {
+    views.emplace_back(m, i);
+    views.back().UpdateSelf(static_cast<double>(i) + 1.0, 0.0);
   }
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t i = 0; i < m; ++i) {
+      GossipView& peer = views[(i + 1) % m];
+      peer.MergeEntries(views[i].PackEntries());
+      views[i].MergeEntries(peer.PackEntries());
+    }
+  }
+  for (const GossipView& v : views) {
+    for (std::size_t j = 0; j < m; ++j) {
+      EXPECT_DOUBLE_EQ(v.load(j), static_cast<double>(j) + 1.0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Delta reconciliation: digests and entries-newer-than.
+
+TEST(GossipDelta, DigestMarksUnknownBucketsIncomplete) {
+  GossipView view(8, 0);
+  view.UpdateSelf(1.0, 4.0);
+  // Per-entry digest (buckets = 0 selects one bucket per id): only the
+  // self bucket proves anything.
+  const std::vector<std::uint16_t> digest = view.PackDigest(0);
+  ASSERT_EQ(digest.size(), 8u);
+  EXPECT_EQ(digest[0], 1u);  // self's version counter
+  for (std::size_t b = 1; b < 8; ++b) {
+    EXPECT_EQ(digest[b], kDigestIncomplete);
+  }
+}
+
+TEST(GossipDelta, DigestLevelsAreBucketMinimumVersions) {
+  GossipView view(4, 0);
+  view.UpdateSelf(1.0, 0.0);
+  view.UpdateSelf(1.5, 1.0);
+  view.UpdateSelf(2.0, 2.0);       // self at version 3
+  view.Observe(1, 2.0, 5, 3.2);
+  view.Observe(2, 3.0, 2, 5.9);
+  view.Observe(3, 4.0, 9, 7.0);
+  // Two buckets over four ids: bucket 0 = {0, 1}, bucket 1 = {2, 3}.
+  const std::vector<std::uint16_t> digest = view.PackDigest(2);
+  ASSERT_EQ(digest.size(), 2u);
+  EXPECT_EQ(digest[0], 3u);  // min(3, 5)
+  EXPECT_EQ(digest[1], 2u);  // min(2, 9)
+  // Bucket counts above m clamp to per-entry digests.
+  EXPECT_EQ(view.PackDigest(100).size(), 4u);
+}
+
+TEST(GossipDelta, DigestSaturatesDownToStayALowerBound) {
+  // Both ends hold the same copy of server 2, versioned past the 16-bit
+  // digest ceiling. Saturation trades exactness for soundness: the digest
+  // cannot prove the copy past the ceiling, so it re-ships — but the
+  // merge stays a no-op, exactly as the full-view exchange would be.
+  GossipView holder(3, 0);
+  holder.UpdateSelf(1.0, 1.0);
+  holder.Observe(1, 2.0, 1, 1.0);
+  holder.Observe(2, 3.0, 70000, 1.0);
+  const std::vector<std::uint16_t> digest = holder.PackDigest(0);
+  EXPECT_EQ(digest[2], 65534u);  // saturated, still <= the true version
+
+  GossipView sender(3, 1);
+  sender.UpdateSelf(2.0, 1.0);
+  sender.Observe(2, 3.0, 70000, 1.0);
+  const std::vector<double> shipped = sender.PackEntriesNewerThan(digest);
+  ASSERT_EQ(shipped.size(), 4u);  // only the saturated entry re-ships
+  EXPECT_DOUBLE_EQ(shipped[0], 2.0);
+  EXPECT_EQ(holder.MergeEntries(shipped), 0u);
+}
+
+TEST(GossipDelta, PackEntriesNewerThanSkipsOnlyProvablyHeld) {
+  GossipView holder(4, 0);
+  holder.UpdateSelf(1.0, 10.0);
+  holder.Observe(1, 2.0, 5, 10.0);
+  holder.Observe(2, 3.0, 2, 10.0);
+  holder.Observe(3, 4.0, 1, 10.0);
+  const std::vector<std::uint16_t> digest = holder.PackDigest(0);
+
+  GossipView sender(4, 1);
+  sender.UpdateSelf(2.0, 10.0);
+  sender.UpdateSelf(2.0, 10.5);
+  for (int bump = 2; bump < 5; ++bump) {
+    sender.UpdateSelf(2.0, 10.0 + static_cast<double>(bump));
+  }                                      // version 5 = holder's: held
+  sender.Observe(2, 3.5, 3, 11.0);       // newer than holder's: must ship
+  sender.Observe(3, 4.0, 1, 10.0);       // same copy: provably held
+  const std::vector<double> delta = sender.PackEntriesNewerThan(digest);
+  ASSERT_EQ(delta.size(), 4u);  // only entry 2
+  EXPECT_DOUBLE_EQ(delta[0], 2.0);
+
+  // An empty digest proves nothing: everything ships.
+  EXPECT_EQ(sender.PackEntriesNewerThan({}).size(),
+            sender.PackEntries().size());
+}
+
+TEST(GossipDelta, DeltaMergeEquivalentToFullMerge) {
+  // The digest/delta round trip adopts exactly what a full-view merge
+  // adopts — for per-entry digests AND coarse buckets, across a random
+  // pair of diverged views.
+  util::Rng rng(42);
+  const std::size_t m = 24;
+  GossipView a(m, 0), b(m, 1);
+  a.UpdateSelf(1.0, 0.0);
+  b.UpdateSelf(2.0, 0.0);
+  // Shared histories at diverged versions: both views hold every server,
+  // one of them strictly newer, chosen at random.
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::uint64_t base = 1 + rng.below(4);
+    const double stamp = static_cast<double>(base) * 1.7;
+    if (j > 1) {
+      a.Observe(j, 10.0 + static_cast<double>(j), base, stamp);
+      b.Observe(j, 10.0 + static_cast<double>(j), base, stamp);
+    }
+    // One side (sometimes) advances: per-owner stamps rise with the
+    // version, as UpdateSelf guarantees in production.
+    if (rng.uniform() < 0.5) {
+      GossipView& lucky = rng.uniform() < 0.5 ? a : b;
+      if (j != lucky.self() && j < m) {
+        lucky.Observe(j, 20.0 + static_cast<double>(j), base + 1,
+                      stamp + 0.3);
+      }
+    }
+  }
+  // Drop some entries from a so incomplete buckets appear.
+  GossipView a_sparse(m, 0);
+  a_sparse.UpdateSelf(1.0, 0.0);
+  for (const GossipEntry& e : a.known()) {
+    if (e.id != 0 && e.id % 5 == 0) continue;  // never heard
+    a_sparse.Observe(e.id, e.load, e.version, e.stamp);
+  }
+
+  for (const std::size_t buckets : {std::size_t{0}, std::size_t{4}}) {
+    GossipView full = a_sparse;
+    full.MergeEntries(b.PackEntries());
+    GossipView delta = a_sparse;
+    const std::vector<std::uint16_t> digest = a_sparse.PackDigest(buckets);
+    const std::vector<double> shipped = b.PackEntriesNewerThan(digest);
+    delta.MergeEntries(shipped);
+    ExpectSameView(full, delta);
+    // And the delta actually shrinks the wire when coverage exists.
+    EXPECT_LE(shipped.size(), b.PackEntries().size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expiry and the adoption floor.
+
+TEST(GossipExpiry, DropsAgedEntriesButNeverSelf) {
+  GossipView view(4, 1);
+  view.UpdateSelf(5.0, 0.5);
+  view.Observe(0, 1.0, 1, 0.25);
+  view.Observe(2, 2.0, 1, 3.0);
+  EXPECT_EQ(view.Expire(1.0, 0), 1u);  // drops entry 0 only
+  EXPECT_FALSE(view.Knows(0));
+  EXPECT_TRUE(view.Knows(1));  // self survives its sub-cutoff stamp
+  EXPECT_TRUE(view.Knows(2));
+  EXPECT_DOUBLE_EQ(view.adoption_floor(), 1.0);
+}
+
+TEST(GossipExpiry, CapEvictsOldestFirst) {
+  GossipView view(6, 0);
+  view.UpdateSelf(1.0, 0.0);  // self: oldest of all, still exempt
+  for (std::size_t j = 1; j < 6; ++j) {
+    view.Observe(j, 1.0, 1, static_cast<double>(j));
+  }
+  const double cutoff = -std::numeric_limits<double>::infinity();
+  EXPECT_EQ(view.Expire(cutoff, 3), 3u);
+  EXPECT_TRUE(view.Knows(0));  // self
+  EXPECT_FALSE(view.Knows(1));
+  EXPECT_FALSE(view.Knows(2));
+  EXPECT_FALSE(view.Knows(3));
+  EXPECT_TRUE(view.Knows(4));
+  EXPECT_TRUE(view.Knows(5));
+  // The floor stepped just past the newest evicted stamp: the evicted
+  // copies stay refused, strictly newer stamps adopt.
+  EXPECT_FALSE(view.Observe(3, 1.0, 1, 3.0));
+  EXPECT_TRUE(view.Observe(3, 2.0, 2, 3.5));
+}
+
+TEST(GossipExpiry, NeverDropsALiveEntry) {
+  // Property: under randomized update histories, an expiry sweep with
+  // cutoff c and a cap of at least the live count keeps exactly the
+  // entries stamped >= c (self always survives).
+  util::Rng rng(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t m = 16;
+    GossipView view(m, 3);
+    view.UpdateSelf(1.0, rng.uniform() * 10.0);
+    std::vector<double> newest(m, -1.0);
+    newest[3] = view.stamp(3);
+    for (int update = 0; update < 40; ++update) {
+      const std::size_t j = rng.below(m);
+      if (j == 3) continue;
+      const std::uint64_t version = view.version(j) + 1;
+      const double stamp = static_cast<double>(version) +
+                           rng.uniform();  // rises with the version
+      if (view.Observe(j, rng.uniform(), version, stamp)) {
+        newest[j] = stamp;
+      }
+    }
+    const double cutoff = rng.uniform() * 6.0;
+    std::size_t live = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      live += (j != 3 && newest[j] >= cutoff) ? 1 : 0;
+    }
+    view.Expire(cutoff, live + 1);  // cap covers every live entry + self
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j == 3 || newest[j] >= cutoff) {
+        if (newest[j] >= 0.0) {
+          EXPECT_TRUE(view.Knows(j))
+              << "trial " << trial << " dropped live entry " << j;
+        }
+      } else {
+        EXPECT_FALSE(view.Knows(j))
+            << "trial " << trial << " kept dead entry " << j;
+      }
+    }
+  }
+}
+
+TEST(GossipExpiry, FloorRefusesReAdoptionInFullAndDeltaAlike) {
+  // The divergence the floor prevents: an expired entry arriving in a
+  // full-view payload must be refused, because the delta wire format
+  // provably skips it.
+  GossipView peer(4, 1);
+  peer.UpdateSelf(5.0, 2.0);
+  peer.Observe(2, 7.0, 1, 0.5);
+
+  GossipView view(4, 0);
+  view.UpdateSelf(1.0, 3.0);
+  view.Observe(2, 7.0, 1, 0.5);
+  const std::vector<std::uint16_t> digest_before_expiry =
+      view.PackDigest(0);
+  view.Expire(1.0, 0);  // drops entry 2, floor = 1.0
+  ASSERT_FALSE(view.Knows(2));
+
+  GossipView full = view;
+  full.MergeEntries(peer.PackEntries());
+  GossipView delta = view;
+  delta.MergeEntries(peer.PackEntriesNewerThan(digest_before_expiry));
+  ExpectSameView(full, delta);
+  EXPECT_FALSE(full.Knows(2));  // the stale copy stayed dead in both
+  // A genuinely fresh copy (stamp past the floor) is adopted again.
+  EXPECT_TRUE(full.Observe(2, 8.0, 2, 1.5));
+}
+
+// ---------------------------------------------------------------------------
+// Exact uint64 versions on a doubles wire.
+
+TEST(GossipVersions, ExactUpToTwoToFiftyThree) {
+  const std::uint64_t huge = (std::uint64_t{1} << 53) - 1;
+  EXPECT_EQ(GossipView::DecodeVersion(GossipView::EncodeVersion(huge)),
+            huge);
+  EXPECT_EQ(GossipView::DecodeVersion(
+                GossipView::EncodeVersion(GossipView::kMaxWireVersion)),
+            GossipView::kMaxWireVersion);
+  EXPECT_THROW(GossipView::EncodeVersion(GossipView::kMaxWireVersion + 1),
+               std::overflow_error);
+  EXPECT_THROW(GossipView::DecodeVersion(0.5), std::invalid_argument);
+  EXPECT_THROW(GossipView::DecodeVersion(-1.0), std::invalid_argument);
+  EXPECT_THROW(GossipView::DecodeVersion(1e300), std::invalid_argument);
+}
+
+TEST(GossipVersions, LargeCountsSurviveTheWireExactly) {
+  // A counter near 2^53 round-trips through pack/merge without losing
+  // increments: the adjacent integers stay distinguishable.
+  const std::uint64_t near = (std::uint64_t{1} << 53) - 2;
+  GossipView source(3, 0);
+  source.UpdateSelf(1.0, 0.0);
+  source.Observe(1, 9.0, near, 1.0);
+  GossipView sink(3, 2);
+  sink.MergeEntries(source.PackEntries());
+  EXPECT_EQ(sink.version(1), near);
+  // The next increment is strictly newer on the wire too.
+  source.Observe(1, 9.5, near + 1, 2.0);
+  EXPECT_EQ(sink.MergeEntries(source.PackEntries()), 1u);
+  EXPECT_EQ(sink.version(1), near + 1);
+  EXPECT_DOUBLE_EQ(sink.load(1), 9.5);
+}
+
+TEST(GossipVersions, UpdateSelfGuardsTheWireBoundary) {
+  // Ceiling behavior is enforced at the producer: a view whose own
+  // counter reached kMaxWireVersion refuses to bump past it rather than
+  // silently aliasing on the wire. (Reaching 2^53 takes ~285 years of
+  // microsecond updates; the guard is about never losing increments
+  // silently.)
+  GossipView view(2, 0);
+  view.UpdateSelf(1.0, 0.0);
+  EXPECT_NO_THROW(view.UpdateSelf(2.0, 1.0));
+  EXPECT_EQ(view.version(0), 2u);
 }
 
 }  // namespace

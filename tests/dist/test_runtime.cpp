@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -232,9 +233,26 @@ TEST(DistributedRuntime, GossipSpreadsLoadsToEveryView) {
   for (std::size_t id = 0; id < inst.size(); ++id) {
     const GossipView& view = runtime.agent(id).view();
     for (std::size_t j = 0; j < inst.size(); ++j) {
-      EXPECT_GT(view.versions()[j], 0.0) << "agent " << id << " entry " << j;
+      EXPECT_TRUE(view.Knows(j)) << "agent " << id << " entry " << j;
+      EXPECT_GT(view.version(j), 0u) << "agent " << id << " entry " << j;
     }
   }
+}
+
+TEST(DistributedRuntime, LightSnapshotMatchesCountersAndCost) {
+  const core::Instance inst = testing::RandomInstance(10, 23);
+  DistributedRuntime runtime(inst);
+  runtime.RunUntil(2000.0);
+  const RuntimeSnapshot heavy = runtime.Snapshot();
+  const RuntimeSnapshot light = runtime.LightSnapshot();
+  EXPECT_EQ(light.messages_sent, heavy.messages_sent);
+  EXPECT_EQ(light.bytes_sent, heavy.bytes_sent);
+  EXPECT_EQ(light.bytes_sent,
+            light.bytes_control + light.bytes_column + light.bytes_gossip);
+  // Same SumC up to floating-point summation order.
+  EXPECT_NEAR(light.total_cost, heavy.total_cost,
+              1e-9 * std::max(1.0, heavy.total_cost));
+  EXPECT_DOUBLE_EQ(light.total_cost, runtime.ColumnTotalCost());
 }
 
 TEST(DistributedRuntime, ValidatesArguments) {

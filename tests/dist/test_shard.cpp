@@ -46,6 +46,9 @@ void ExpectSameTrace(const std::vector<RuntimeSnapshot>& a,
     EXPECT_EQ(a[k].messages_delivered, b[k].messages_delivered);
     EXPECT_EQ(a[k].messages_dropped, b[k].messages_dropped);
     EXPECT_EQ(a[k].bytes_sent, b[k].bytes_sent) << "snapshot " << k;
+    EXPECT_EQ(a[k].bytes_control, b[k].bytes_control) << "snapshot " << k;
+    EXPECT_EQ(a[k].bytes_column, b[k].bytes_column) << "snapshot " << k;
+    EXPECT_EQ(a[k].bytes_gossip, b[k].bytes_gossip) << "snapshot " << k;
     EXPECT_EQ(a[k].balances_in_flight, b[k].balances_in_flight);
   }
 }
@@ -141,9 +144,64 @@ TEST(ShardedRuntime, CompactColumnsOnlyShrinkBytes) {
     EXPECT_EQ(sa.balances_in_flight, sb.balances_in_flight) << t;
   }
   // ...but the columns ship far fewer bytes (requests start one-entry
-  // sparse; replies ship only the re-routed entries).
-  EXPECT_LT(a.Snapshot().bytes_sent, b.Snapshot().bytes_sent);
-  EXPECT_GT(b.Snapshot().bytes_sent, 0u);
+  // sparse; replies ship only the re-routed entries). Only the column
+  // class moves: framing and gossip traffic are identical.
+  const RuntimeSnapshot fa = a.Snapshot();
+  const RuntimeSnapshot fb = b.Snapshot();
+  EXPECT_LT(fa.bytes_column, fb.bytes_column);
+  EXPECT_EQ(fa.bytes_control, fb.bytes_control);
+  EXPECT_EQ(fa.bytes_gossip, fb.bytes_gossip);
+  EXPECT_LT(fa.bytes_sent, fb.bytes_sent);
+  EXPECT_GT(fb.bytes_sent, 0u);
+}
+
+TEST(ShardedRuntime, DeltaGossipOnlyShrinkBytes) {
+  // The delta wire format contract, shaped exactly like the compact-column
+  // one: same seed with delta reconciliation on vs off, every trace field
+  // bit-identical except the gossip byte counter. The expiry variant
+  // additionally turns on ttl + cap expiry and adaptive fanout — the
+  // adoption floor and the pull/delta-only fanout controller are what keep
+  // the modes in lock-step there.
+  const core::Instance inst = testing::RandomInstance(12, 33);
+  for (const bool expiry : {false, true}) {
+    SCOPED_TRACE(expiry ? "expiry+fanout" : "plain");
+    RuntimeOptions delta;
+    delta.seed = 9;
+    if (expiry) {
+      delta.agent.gossip_ttl = 400.0;
+      delta.agent.gossip_max_entries = 8;
+      delta.agent.fanout_min = 1;
+      delta.agent.fanout_max = 3;
+    }
+    RuntimeOptions full = delta;
+    full.agent.delta_gossip = false;
+    DistributedRuntime a(inst, delta);
+    DistributedRuntime b(inst, full);
+    a.ScheduleCrash(4, 900.0, 1400.0);
+    b.ScheduleCrash(4, 900.0, 1400.0);
+    for (double t = 500.0; t <= 4000.0; t += 500.0) {
+      a.RunUntil(t);
+      b.RunUntil(t);
+      const RuntimeSnapshot sa = a.Snapshot();
+      const RuntimeSnapshot sb = b.Snapshot();
+      // The simulation is untouched by the wire format...
+      EXPECT_EQ(sa.total_cost, sb.total_cost) << t;
+      EXPECT_EQ(sa.messages_sent, sb.messages_sent) << t;
+      EXPECT_EQ(sa.messages_dropped, sb.messages_dropped) << t;
+      EXPECT_EQ(sa.balances_in_flight, sb.balances_in_flight) << t;
+      // ...and only the gossip byte class moves.
+      EXPECT_EQ(sa.bytes_control, sb.bytes_control) << t;
+      EXPECT_EQ(sa.bytes_column, sb.bytes_column) << t;
+    }
+    EXPECT_GT(b.Snapshot().bytes_gossip, 0u);
+    if (!expiry) {
+      // With stable views the digests prove nearly everything and the
+      // reconciled rounds ship a small fraction of the full-view bytes.
+      // (Under aggressive expiry the views churn and the saving is
+      // workload-dependent, so only the equality contract is pinned.)
+      EXPECT_LT(a.Snapshot().bytes_gossip, b.Snapshot().bytes_gossip);
+    }
+  }
 }
 
 TEST(ColumnCodec, RoundTripsBitwise) {
