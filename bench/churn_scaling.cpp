@@ -1,0 +1,245 @@
+// Churn-scaling bench for the elastic-membership runtime
+// (dist/membership.h). On the clustered topology of bench_shard_scaling,
+// 10% of the servers drain out mid-run (drain handshakes handing their
+// columns to the least-loaded member, then versioned tombstones) and
+// rejoin shortly after (bootstrap via the join handshake against the
+// nearest member) — a full turnover cycle, so the final member set equals
+// the initial one and the pre-churn operating point is the natural
+// yardstick.
+//
+// Per (m, shards) cell the bench reports the pre-churn SumC, the peak
+// during the churn window, the reconvergence time (first sample at which
+// the churned run is back at or below the pre-churn SumC — the descent
+// the turnover interrupted has resumed) and the final-vs-pre-churn
+// ratio; the acceptance gate is ratio <= --bound (default 1.10)
+// and bit-identical final SumC + event counts down the shards column —
+// the determinism contract extended to traces with join/leave bursts. The
+// process exits nonzero when either fails, so the smoke ctest and the
+// Release CI job catch both regressions.
+//
+// Quick mode (default, the ctest "smoke" registration) runs m = 500 over
+// shards {1, 4}; --full / DELAYLB_FULL=1 runs m in {500, 2000, 5000} x
+// shards {1, 4, 8} — the grid recorded in BENCH_dist.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/instance.h"
+#include "dist/runtime.h"
+#include "net/latency_matrix.h"
+#include "util/rng.h"
+
+namespace delaylb {
+namespace {
+
+/// Same clustered topology as bench_shard_scaling (tight latency groups,
+/// wide inter-group gaps), same seeding, so SumC fingerprints of the two
+/// benches are directly relatable.
+core::Instance MakeClustered(std::size_t m, std::size_t groups,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  net::LatencyMatrix lat(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const bool same = (i * groups) / m == (j * groups) / m;
+      lat.SetSymmetric(i, j, same ? rng.uniform(2.0, 8.0)
+                                  : rng.uniform(40.0, 80.0));
+    }
+  }
+  std::vector<double> speeds(m), loads(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    speeds[i] = rng.uniform(1.0, 5.0);
+    loads[i] = rng.exponential(120.0);
+  }
+  return core::Instance(std::move(speeds), std::move(loads),
+                        std::move(lat));
+}
+
+struct CellResult {
+  double pre_churn = 0.0;
+  double peak = 0.0;
+  double final_cost = 0.0;
+  double reconverged_at = 0.0;  ///< 0 = never within tolerance
+  std::uint64_t events = 0;
+  std::size_t drains = 0;
+  std::size_t joins = 0;
+  std::size_t fallbacks = 0;
+  std::size_t members = 0;
+  double wall_ms = 0.0;
+};
+
+int Run(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool full = bench::FullScale(cli);
+  bench::Banner(
+      "Churn scaling: 10% turnover (drain out, rejoin) on the elastic "
+      "membership runtime",
+      full);
+
+  std::vector<std::size_t> sizes = full
+                                       ? std::vector<std::size_t>{500, 2000,
+                                                                  5000}
+                                       : std::vector<std::size_t>{500};
+  std::vector<std::size_t> shard_counts =
+      full ? std::vector<std::size_t>{1, 4, 8}
+           : std::vector<std::size_t>{1, 4};
+  if (cli.Has("m")) sizes = {static_cast<std::size_t>(cli.GetInt("m", 500))};
+  if (cli.Has("shards")) {
+    shard_counts = {static_cast<std::size_t>(cli.GetInt("shards", 1))};
+  }
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cli.GetInt("seed", 1));
+  const std::size_t groups =
+      static_cast<std::size_t>(cli.GetInt("groups", 8));
+  const double turnover = cli.GetDouble("turnover", 0.10);
+  const double bound = cli.GetDouble("bound", 1.10);
+  // Timeline: warm to steady state, drain wave, dwell, rejoin wave, settle.
+  const double warm = cli.GetDouble("warm", 300.0);
+  const double wave = cli.GetDouble("wave", 100.0);
+  const double dwell = cli.GetDouble("dwell", 200.0);
+  const double settle = cli.GetDouble("settle", 300.0);
+  const double sample = cli.GetDouble("sample", 50.0);
+  const double leave_start = warm;
+  const double join_start = warm + wave + dwell;
+  const double horizon = join_start + wave + settle;
+
+  util::Table table({"m", "shards", "planned", "events", "drains", "joins",
+                     "fallbacks", "members", "SumC pre-churn", "SumC peak",
+                     "SumC final", "ratio", "reconv (ms)", "wall (ms)"});
+  bool diverged = false;
+  bool bound_violated = false;
+  for (const std::size_t m : sizes) {
+    const core::Instance inst = MakeClustered(m, groups, seed * 977 + m);
+    // The churn set: every k-th id (offset 3 to skip the id-0 corner),
+    // round(turnover * m) of them — deterministic, spread over groups.
+    const std::size_t churners = std::max<std::size_t>(
+        1, static_cast<std::size_t>(turnover * static_cast<double>(m)));
+    const std::size_t stride = std::max<std::size_t>(1, m / churners);
+    std::vector<std::size_t> churn_ids;
+    for (std::size_t i = 3 % stride; i < m && churn_ids.size() < churners;
+         i += stride) {
+      churn_ids.push_back(i);
+    }
+    const CellResult* baseline = nullptr;
+    std::vector<CellResult> cells;
+    cells.reserve(shard_counts.size());
+    for (const std::size_t shards : shard_counts) {
+      dist::RuntimeOptions options;
+      options.seed = seed;
+      options.shards = shards;
+      options.initial_members.assign(m, 1);  // elastic bookkeeping on
+      dist::DistributedRuntime runtime(inst, options);
+      for (std::size_t k = 0; k < churn_ids.size(); ++k) {
+        const double offset =
+            wave * static_cast<double>(k) /
+            static_cast<double>(std::max<std::size_t>(1, churn_ids.size()));
+        runtime.ScheduleLeave(churn_ids[k], leave_start + offset);
+        runtime.ScheduleJoin(churn_ids[k], join_start + offset);
+      }
+
+      CellResult cell;
+      const auto start = std::chrono::steady_clock::now();
+      runtime.RunUntil(warm);
+      cell.pre_churn = runtime.LightSnapshot().total_cost;
+      // Sampled SumC trace through churn and settling (LightSnapshot:
+      // O(nonzero) — affordable every 50ms even at m = 5000).
+      std::vector<std::pair<double, double>> trace;
+      for (double t = warm + sample; t <= horizon + 1e-9; t += sample) {
+        runtime.RunUntil(t);
+        trace.emplace_back(t, runtime.LightSnapshot().total_cost);
+      }
+      // Quiesce so the final SumC is exact (no transfer on the wire).
+      double t = horizon;
+      for (int extra = 0;
+           extra < 40 && runtime.UncommittedExchanges() != 0; ++extra) {
+        t += sample;
+        runtime.RunUntil(t);
+      }
+      cell.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+      cell.final_cost = runtime.ColumnTotalCost();
+      cell.events = runtime.events_dispatched();
+      cell.members = runtime.LightSnapshot().members;
+      for (const auto& [at, cost] : trace) {
+        if (at <= join_start + wave) cell.peak = std::max(cell.peak, cost);
+        if (cell.reconverged_at == 0.0 && at > leave_start &&
+            cost <= cell.pre_churn) {
+          cell.reconverged_at = at;
+        }
+      }
+      for (std::size_t id = 0; id < m; ++id) {
+        const dist::AgentStats& stats = runtime.agent(id).stats();
+        cell.drains += stats.drain_handoffs;
+        cell.joins += stats.joins_completed;
+        cell.fallbacks += stats.join_fallbacks;
+      }
+      cells.push_back(cell);
+      const CellResult& current = cells.back();
+      if (baseline == nullptr) {
+        baseline = &cells.front();
+      } else if (current.final_cost != baseline->final_cost ||
+                 current.events != baseline->events) {
+        diverged = true;
+      }
+      const double ratio =
+          current.pre_churn > 0.0 ? current.final_cost / current.pre_churn
+                                  : 1.0;
+      if (ratio > bound) bound_violated = true;
+      table.Row()
+          .Cell(m)
+          .Cell(shards)
+          .Cell(runtime.shards())
+          .Cell(current.events)
+          .Cell(current.drains)
+          .Cell(current.joins)
+          .Cell(current.fallbacks)
+          .Cell(current.members)
+          .Cell(current.pre_churn, 2)
+          .Cell(current.peak, 2)
+          .Cell(current.final_cost, 2)
+          .Cell(ratio, 3)
+          .Cell(current.reconverged_at, 0)
+          .Cell(current.wall_ms, 1);
+    }
+    if (baseline != nullptr) {
+      std::printf("m=%zu churn fingerprint: SumC %.17g, %llu events\n", m,
+                  baseline->final_cost,
+                  static_cast<unsigned long long>(baseline->events));
+    }
+  }
+  bench::Emit(cli, table);
+  std::cout << "timeline: steady at " << warm << "ms, " << turnover * 100.0
+            << "% drain over [" << leave_start << ", " << leave_start + wave
+            << "]ms, rejoin over [" << join_start << ", "
+            << join_start + wave << "]ms, horizon " << horizon
+            << "ms + quiesce; ratio = final/pre-churn SumC (gate <= "
+            << bound
+            << "), reconv = first sample back at or below the pre-churn "
+               "SumC\n";
+  if (diverged) {
+    std::cerr << "FAIL: final SumC or event count diverged across shard "
+                 "counts — the churn trace broke the determinism "
+                 "contract\n";
+    return 1;
+  }
+  if (bound_violated) {
+    std::cerr << "FAIL: post-churn SumC did not reconverge within " << bound
+              << "x of the pre-churn operating point\n";
+    return 1;
+  }
+  std::cout << "PASS: churn traces bit-identical across shard counts; "
+               "post-churn SumC within the reconvergence gate\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace delaylb
+
+int main(int argc, char** argv) { return delaylb::Run(argc, argv); }

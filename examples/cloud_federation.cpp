@@ -4,33 +4,41 @@
 // Nash equilibrium and quantify the price of anarchy against the
 // cooperative optimum — the paper's Section V/VI-C question: "how much do
 // we lose by not having a central coordinator?"
+//
+// Parameterized by scenario packs (ext/scenario.h): --scenario picks the
+// federation's size/latency/demand recipe (default "region-outage"), and
+// after the static game analysis the pack's timeline — demand waves plus a
+// region failure — is replayed on the fully distributed runtime to show
+// the cooperative protocol riding out the churn without a coordinator.
 
 #include <iostream>
 
 #include "core/cost.h"
 #include "core/mine.h"
-#include "core/workload.h"
+#include "ext/scenario.h"
 #include "game/best_response.h"
 #include "game/homogeneous.h"
 #include "game/nash.h"
 #include "game/poa.h"
+#include "util/cli.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace delaylb;
-  constexpr std::size_t kDatacenters = 16;
+  const util::Cli cli(argc, argv);
+  const std::string name = cli.GetString("scenario", "region-outage");
+  const ext::ScenarioPack* pack = ext::FindPack(name);
+  if (pack == nullptr) {
+    std::cerr << "unknown scenario pack '" << name << "'\n";
+    return 2;
+  }
 
-  util::Rng rng(99);
-  core::ScenarioParams params;
-  params.m = kDatacenters;
-  params.network = core::NetworkKind::kPlanetLab;
-  params.load_distribution = util::LoadDistribution::kExponential;
-  params.mean_load = 300.0;
-  const core::Instance instance = core::MakeScenario(params, rng);
+  util::Rng rng(static_cast<std::uint64_t>(cli.GetInt("seed", 99)));
+  const core::Instance instance = ext::MakeInstance(*pack, rng);
 
-  std::cout << "federation of " << kDatacenters
-            << " selfish datacenters (exponential demand, PlanetLab-like "
-               "latencies)\n\n";
+  std::cout << "federation of " << pack->m
+            << " selfish datacenters (scenario '" << pack->name << "': "
+            << pack->summary << ")\n\n";
 
   // Selfish play: iterated exact best responses (closed-form water-filling)
   // until the paper's stability criterion holds.
@@ -66,6 +74,33 @@ int main() {
   std::cout
       << "(the cooperative solution optimizes the sum; individual owners "
          "may pay more than at the equilibrium — the classic tension the "
-         "paper's low PoA defuses)\n";
+         "paper's low PoA defuses)\n\n";
+
+  // Now the dynamic story: replay the pack's timeline on the distributed
+  // runtime — demand waves arrive as load deltas, the failed region as
+  // crash windows — and compare against converged MinE on the demand the
+  // runtime actually carried.
+  dist::RuntimeOptions runtime_options;
+  runtime_options.shards =
+      static_cast<std::size_t>(cli.GetInt("shards", 1));
+  const ext::ScenarioRunResult replay =
+      ext::ReplayOnRuntime(*pack, instance, runtime_options);
+  util::Table dyn({"time (ms)", "SumC", "members", "messages", "dropped"});
+  for (const dist::RuntimeSnapshot& snap : replay.trace) {
+    dyn.Row()
+        .Cell(snap.time, 0)
+        .Cell(snap.total_cost, 0)
+        .Cell(snap.members)
+        .Cell(snap.messages_sent)
+        .Cell(snap.messages_dropped);
+  }
+  dyn.Print(std::cout);
+  std::cout << "distributed replay (" << replay.crashes << " crash windows, "
+            << replay.joins << " joins, " << replay.leaves
+            << " leaves): final SumC " << replay.final_cost << " = "
+            << util::FormatDouble(
+                   100.0 * (replay.final_cost / replay.reference_cost - 1.0),
+                   1)
+            << "% above converged MinE on the realized demand\n";
   return 0;
 }

@@ -6,6 +6,13 @@
 //
 // Contrast with quickstart.cpp, which drives the synchronous engine: here
 // nothing is shared; every piece of state travels inside a Message.
+//
+// Flags:
+//   --shards N       PDES event-queue shards (any value: same trace)
+//   --churn          add a join/leave burst overlapping the crash window
+//                    (the elastic-membership protocol of dist/membership.h)
+//   --scenario NAME  replay a scenario pack (ext/scenario.h) instead of
+//                    the built-in crash story
 
 #include <iostream>
 
@@ -13,6 +20,7 @@
 #include "core/mine.h"
 #include "core/workload.h"
 #include "dist/runtime.h"
+#include "ext/scenario.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -20,6 +28,45 @@ int main(int argc, char** argv) {
   using namespace delaylb;
   const util::Cli cli(argc, argv);
   constexpr std::size_t kServers = 20;
+
+  // --scenario NAME: hand the whole run to the scenario-pack driver.
+  if (cli.Has("scenario")) {
+    const std::string name = cli.GetString("scenario", "");
+    const ext::ScenarioPack* pack = ext::FindPack(name);
+    if (pack == nullptr) {
+      std::cerr << "unknown scenario pack '" << name << "'\n";
+      return 2;
+    }
+    util::Rng rng(static_cast<std::uint64_t>(cli.GetInt("seed", 5)));
+    const core::Instance instance = ext::MakeInstance(*pack, rng);
+    dist::RuntimeOptions options;
+    options.shards = static_cast<std::size_t>(cli.GetInt("shards", 1));
+    const ext::ScenarioRunResult replay =
+        ext::ReplayOnRuntime(*pack, instance, options);
+    std::cout << "scenario '" << pack->name << "': " << pack->summary
+              << "\n";
+    util::Table table({"sim time (ms)", "SumC", "members", "messages",
+                       "dropped", "membership bytes"});
+    for (const dist::RuntimeSnapshot& snap : replay.trace) {
+      table.Row()
+          .Cell(snap.time, 0)
+          .Cell(snap.total_cost, 0)
+          .Cell(snap.members)
+          .Cell(snap.messages_sent)
+          .Cell(snap.messages_dropped)
+          .Cell(snap.bytes_membership);
+    }
+    table.Print(std::cout);
+    std::cout << replay.crashes << " crash windows, " << replay.joins
+              << " joins, " << replay.leaves << " leaves; final SumC "
+              << replay.final_cost << " = "
+              << util::FormatDouble(
+                     100.0 *
+                         (replay.final_cost / replay.reference_cost - 1.0),
+                     1)
+              << "% above converged MinE on the realized demand\n";
+    return 0;
+  }
 
   util::Rng rng(5);
   core::ScenarioParams params;
@@ -39,19 +86,36 @@ int main(int argc, char** argv) {
   // seed for any shard count.
   dist::RuntimeOptions options;
   options.shards = static_cast<std::size_t>(cli.GetInt("shards", 1));
+  const bool churn = cli.GetBool("churn", false);
+  if (churn) {
+    // Elastic bookkeeping on; everyone starts as a member.
+    options.initial_members.assign(kServers, 1);
+  }
   dist::DistributedRuntime runtime(instance, options);
   // Knock out three servers for two seconds mid-run.
   runtime.ScheduleCrash(2, 3000.0, 5000.0);
   runtime.ScheduleCrash(7, 3500.0, 5500.0);
   runtime.ScheduleCrash(11, 3200.0, 5200.0);
+  if (churn) {
+    // A leave burst right through the crash window (server 4 drains while
+    // its likeliest partners are down), then the departed servers rejoin.
+    runtime.ScheduleLeave(4, 3600.0);
+    runtime.ScheduleLeave(15, 4200.0);
+    runtime.ScheduleJoin(4, 8000.0);
+    runtime.ScheduleJoin(15, 8600.0);
+  }
 
   std::cout << "distributed runtime on " << kServers
             << " servers (gossip ~log2(m) times per balance period), "
             << runtime.shards()
             << " event-queue shard(s); servers 2, 7, 11 crash at t~3s and "
                "recover at t~5s\n";
-  util::Table table({"sim time (ms)", "SumC", "vs optimum", "messages",
-                     "dropped"});
+  if (churn) {
+    std::cout << "churn: servers 4 and 15 drain out inside the crash "
+                 "window and rejoin at t~8s\n";
+  }
+  util::Table table({"sim time (ms)", "SumC", "vs optimum", "members",
+                     "messages", "dropped"});
   for (double t = 1000.0; t <= 12000.0; t += 1000.0) {
     runtime.RunUntil(t);
     const dist::RuntimeSnapshot snap = runtime.Snapshot();
@@ -59,19 +123,25 @@ int main(int argc, char** argv) {
         .Cell(t, 0)
         .Cell(snap.total_cost, 0)
         .Cell(snap.total_cost / optimum, 3)
+        .Cell(snap.members)
         .Cell(snap.messages_sent)
         .Cell(snap.messages_dropped);
   }
   table.Print(std::cout);
 
-  std::size_t completed = 0, rejected = 0;
+  std::size_t completed = 0, rejected = 0, handoffs = 0;
   for (std::size_t id = 0; id < kServers; ++id) {
     completed += runtime.agent(id).stats().balances_completed;
     rejected += runtime.agent(id).stats().balances_rejected;
+    handoffs += runtime.agent(id).stats().drain_handoffs;
   }
   std::cout << "balance exchanges: " << completed << " completed, "
-            << rejected << " rejected/timed out (busy or crashed partners)\n"
-            << "final SumC is within "
+            << rejected << " rejected/timed out (busy or crashed partners)\n";
+  if (churn) {
+    std::cout << "drain handoffs: " << handoffs
+              << " (departing servers handing their columns off)\n";
+  }
+  std::cout << "final SumC is within "
             << util::FormatDouble(
                    100.0 * (runtime.Snapshot().total_cost / optimum - 1.0),
                    1)

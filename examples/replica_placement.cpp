@@ -4,6 +4,12 @@
 //   2. interpret R*rho as per-site inclusion probabilities,
 //   3. draw a replica set per object with dependent (systematic) sampling,
 //   4. check the realized placement tracks the fractional optimum.
+//
+// Parameterized by scenario packs (ext/scenario.h): --scenario (default
+// "replica-churn") supplies the catalogue recipe — sites, objects per
+// site, heavy-tail exponent — and a churn timeline that is replayed on the
+// synchronous engine after the static placement, showing how the tracked
+// placement cost rides through a flash crowd and a site rotation.
 
 #include <iostream>
 #include <vector>
@@ -11,34 +17,46 @@
 #include "core/cost.h"
 #include "ext/replication.h"
 #include "ext/rounding.h"
+#include "ext/scenario.h"
 #include "ext/tasks.h"
 #include "net/generators.h"
+#include "util/cli.h"
 #include "util/distributions.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace delaylb;
-  constexpr std::size_t kSites = 10;
-  constexpr std::size_t kReplicas = 3;
-  constexpr std::size_t kObjectsPerSite = 400;
+  const util::Cli cli(argc, argv);
+  const std::string name = cli.GetString("scenario", "replica-churn");
+  const ext::ScenarioPack* pack = ext::FindPack(name);
+  if (pack == nullptr) {
+    std::cerr << "unknown scenario pack '" << name << "'\n";
+    return 2;
+  }
+  const std::size_t sites = pack->m;
+  const std::size_t replicas =
+      static_cast<std::size_t>(cli.GetInt("replicas", 3));
+  const std::size_t objects_per_site = pack->tasks_per_org;
 
-  util::Rng rng(4242);
-  // Heavy-tailed object sizes: the classic CDN catalogue.
+  util::Rng rng(static_cast<std::uint64_t>(cli.GetInt("seed", 4242)));
+  // Heavy-tailed object sizes: the classic CDN catalogue, with the mix
+  // (count, tail exponent) taken from the pack.
   ext::TaskSets catalogues;
-  for (std::size_t s = 0; s < kSites; ++s) {
-    catalogues.push_back(
-        ext::HeavyTailTasks(kObjectsPerSite, 0.1, 50.0, 1.3, rng));
+  for (std::size_t s = 0; s < sites; ++s) {
+    catalogues.push_back(ext::HeavyTailTasks(objects_per_site, 0.1, 50.0,
+                                             pack->task_alpha, rng));
   }
   const core::Instance instance = ext::InstanceFromTasks(
-      util::SampleSpeeds(kSites, 1.0, 5.0, rng), catalogues,
-      net::PlanetLabLike(kSites, rng));
+      util::SampleSpeeds(sites, pack->speed_lo, pack->speed_hi, rng),
+      catalogues, net::PlanetLabLike(sites, rng));
 
-  std::cout << "placing " << kSites * kObjectsPerSite << " objects at R="
-            << kReplicas << " distinct sites each\n";
+  std::cout << "scenario '" << pack->name << "': placing "
+            << sites * objects_per_site << " objects at R=" << replicas
+            << " distinct sites each\n";
 
   // Fractional optimum under the replication cap.
   ext::ReplicationOptions options;
-  options.replicas = kReplicas;
+  options.replicas = replicas;
   const core::Allocation fractional =
       ext::SolveWithReplication(instance, options);
   std::cout << "fractional SumC under rho <= 1/R: "
@@ -48,18 +66,18 @@ int main() {
   util::Table table({"site", "catalogue", "E[objects hosted]",
                      "realized (org 0 sample)"});
   const auto placements = ext::PlaceReplicas(
-      instance, fractional, /*organization=*/0, kObjectsPerSite, kReplicas,
+      instance, fractional, /*organization=*/0, objects_per_site, replicas,
       rng);
-  std::vector<double> realized(kSites, 0.0);
+  std::vector<double> realized(sites, 0.0);
   for (const auto& replica_set : placements) {
     for (std::size_t site : replica_set) realized[site] += 1.0;
   }
-  for (std::size_t j = 0; j < kSites; ++j) {
+  for (std::size_t j = 0; j < sites; ++j) {
     table.Row()
         .Cell(j)
         .Cell(catalogues[j].total(), 0)
-        .Cell(static_cast<double>(kReplicas) * fractional.rho(0, j) *
-                  kObjectsPerSite,
+        .Cell(static_cast<double>(replicas) * fractional.rho(0, j) *
+                  objects_per_site,
               1)
         .Cell(realized[j], 0);
   }
@@ -67,8 +85,8 @@ int main() {
 
   // Also demonstrate plain (R=1) rounding of sized objects to a fractional
   // row — the Section-VII multiple-subset-sum pipeline.
-  std::vector<double> targets(kSites);
-  for (std::size_t j = 0; j < kSites; ++j) {
+  std::vector<double> targets(sites);
+  for (std::size_t j = 0; j < sites; ++j) {
     targets[j] = fractional.r(0, j);
   }
   const ext::RoundingResult rounded =
@@ -78,6 +96,25 @@ int main() {
             << rounded.total_error << " ("
             << util::FormatDouble(
                    100.0 * rounded.total_error / catalogues[0].total(), 2)
-            << "% of the catalogue volume)\n";
+            << "% of the catalogue volume)\n\n";
+
+  // The pack's churn timeline on the synchronous engine: the catalogue
+  // demand surges and sites rotate out/in, while a warm-started MinE keeps
+  // re-placing; the gap column is the price of tracking vs re-converging.
+  const auto churn = ext::ReplayOnMinE(
+      *pack, ext::MakeInstance(*pack, rng),
+      static_cast<std::size_t>(cli.GetInt("steps", 3)),
+      static_cast<std::uint64_t>(cli.GetInt("seed", 4242)));
+  util::Table dyn({"time (ms)", "members", "SumC tracked", "SumC optimal",
+                   "gap"});
+  for (const ext::ScenarioEpochCost& point : churn) {
+    dyn.Row()
+        .Cell(point.time, 0)
+        .Cell(point.members)
+        .Cell(point.warm_cost, 0)
+        .Cell(point.reference_cost, 0)
+        .Cell(util::FormatDouble(100.0 * point.gap, 1) + "%");
+  }
+  dyn.Print(std::cout);
   return 0;
 }

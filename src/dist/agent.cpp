@@ -124,9 +124,13 @@ std::size_t Agent::SelectPartner() {
   std::size_t best = id_;
   // The sparse view holds exactly the heard-from servers in ascending id
   // order, so this visits the same candidates in the same order as a scan
-  // of the peer list that skips never-heard-from entries.
+  // of the peer list that skips never-heard-from entries. Tombstoned
+  // entries are departed servers — never balance partners.
   for (const GossipEntry& entry : view_.known()) {
-    if (entry.id == id_ || !PeerReachable(entry.id)) continue;
+    if (entry.id == id_ || IsTombstone(entry.load) ||
+        !PeerReachable(entry.id)) {
+      continue;
+    }
     const double score = ProxyScore(entry.id, entry.load);
     if (score > best_score) {
       best_score = score;
@@ -148,6 +152,7 @@ std::uint64_t Agent::StartBalance(Network& network) {
   initiator_.active = true;
   initiator_.handshake = handshake;
   initiator_.partner = partner;
+  initiator_.kind = MessageKind::kBalanceRequest;
   Message request = MakeMessage(MessageKind::kBalanceRequest, partner);
   request.handshake = handshake;
   request.believed_load =
@@ -166,7 +171,7 @@ std::uint64_t Agent::StartBalance(Network& network) {
   return handshake;
 }
 
-void Agent::OnMessage(const Message& message, Network& network) {
+std::uint64_t Agent::OnMessage(const Message& message, Network& network) {
   // Every protocol message doubles as single-entry gossip about its
   // sender; folding it in first makes e.g. kStale aborts self-correcting.
   view_.Observe(message.from, message.load,
@@ -192,9 +197,27 @@ void Agent::OnMessage(const Message& message, Network& network) {
       HandleBalanceCommit(message);
       break;
     case MessageKind::kBalanceAbort:
-      HandleBalanceAbort(message);
+      return HandleBalanceAbort(message, network);
+    case MessageKind::kJoinRequest:
+      HandleJoinRequest(message, network);
+      break;
+    case MessageKind::kJoinReply:
+      HandleJoinReply(message, network);
+      break;
+    case MessageKind::kJoinCommit:
+    case MessageKind::kDrainCommit:
+      // Same resolution as a balance Commit: close the matching
+      // responder-side undo record.
+      HandleBalanceCommit(message);
+      break;
+    case MessageKind::kDrainRequest:
+      HandleDrainRequest(message, network);
+      break;
+    case MessageKind::kDrainReply:
+      HandleDrainReply(message, network);
       break;
   }
+  return 0;
 }
 
 void Agent::HandleGossipPush(const Message& message, Network& network) {
@@ -225,7 +248,12 @@ Message Agent::MakeMessage(MessageKind kind, std::size_t to) const {
   msg.kind = kind;
   msg.from = static_cast<std::uint32_t>(id_);
   msg.to = static_cast<std::uint32_t>(to);
-  msg.load = load_;
+  // The view's own entry, not load_: the two agree at every instant an
+  // ordinary message is sent (every load_ mutation calls UpdateSelf), and
+  // a departure announcement must carry the TOMBSTONE as its sender
+  // triple — receivers fold the triple in first, and the payload quad at
+  // the same version would otherwise lose to a live load.
+  msg.load = view_.load(id_);
   msg.load_version = GossipView::EncodeVersion(view_.version(id_));
   msg.load_stamp = view_.stamp(id_);
   return msg;
@@ -239,23 +267,13 @@ void Agent::SendAbort(const Message& request, AbortReason reason,
   network.Send(std::move(abort));
 }
 
-void Agent::HandleBalanceRequest(const Message& message, Network& network) {
-  if (busy()) {
-    SendAbort(message, AbortReason::kBusy, network);
-    return;
-  }
-  if (message.believed_load >= 0.0 &&
-      std::fabs(message.believed_load - load_) >
-          options_.stale_tolerance * std::max(1.0, load_)) {
-    SendAbort(message, AbortReason::kStale, network);
-    return;
-  }
-
+core::PairBalanceResult Agent::BalanceAgainst(
+    const Message& message, std::span<const double>& initiator_column) {
   // Algorithm 1 on the exchanged columns: the initiator's column arrived in
   // the request, ours is local. Roles: i = initiator, j = this server.
   const std::size_t from = message.from;
   core::PairBalanceWorkspace& workspace = scratch_->workspace;
-  std::span<const double> initiator_column = message.payload;
+  initiator_column = message.payload;
   if (message.encoding != ColumnEncoding::kDense) {
     UnpackColumn(message, column_.size(), {}, scratch_->peer_column);
     initiator_column = scratch_->peer_column;
@@ -287,8 +305,28 @@ void Agent::HandleBalanceRequest(const Message& message, Network& network) {
   // and then pay only the phase-0 bound check, not the Lemma-1 pass (or a
   // PairOrderCache first-touch sort).
   input.abort_below = options_.min_gain;
+  return core::BalanceColumns(input, workspace);
+}
+
+void Agent::HandleBalanceRequest(const Message& message, Network& network) {
+  // Joining and draining agents decline NEW balance work (their column is
+  // mid-bootstrap or mid-drain); open handshakes they are party to still
+  // resolve through the ordinary paths.
+  if (state_ != MemberState::kMember || busy()) {
+    SendAbort(message, AbortReason::kBusy, network);
+    return;
+  }
+  if (message.believed_load >= 0.0 &&
+      std::fabs(message.believed_load - load_) >
+          options_.stale_tolerance * std::max(1.0, load_)) {
+    SendAbort(message, AbortReason::kStale, network);
+    return;
+  }
+
+  core::PairBalanceWorkspace& workspace = scratch_->workspace;
+  std::span<const double> initiator_column;
   const core::PairBalanceResult result =
-      core::BalanceColumns(input, workspace);
+      BalanceAgainst(message, initiator_column);
   if (!(result.improvement > options_.min_gain)) {
     SendAbort(message, AbortReason::kNoGain, network);
     return;
@@ -298,7 +336,7 @@ void Agent::HandleBalanceRequest(const Message& message, Network& network) {
   // bounced Reply) resolves the handshake.
   responder_.active = true;
   responder_.handshake = message.handshake;
-  responder_.partner = from;
+  responder_.partner = message.from;
   responder_.undo_column = std::move(column_);
   column_ = workspace.new_rkj;
   load_ = result.new_load_j;
@@ -356,30 +394,78 @@ void Agent::HandleBalanceCommit(const Message& message) {
   ++stats_.balances_completed;
 }
 
-void Agent::HandleBalanceAbort(const Message& message) {
+std::uint64_t Agent::HandleBalanceAbort(const Message& message,
+                                        Network& network) {
   if (!initiator_.active || initiator_.handshake != message.handshake) {
-    return;
+    return 0;
   }
+  const MessageKind kind = initiator_.kind;
   initiator_.active = false;
+  if (kind == MessageKind::kJoinRequest) {
+    // Busy seed: rather than retry a transient rejection, bootstrap solo —
+    // always safe, and the gossip timers announce us within one period.
+    CompleteJoin(/*via_seed=*/false);
+    return 0;
+  }
   if (message.reason == AbortReason::kNoGain) {
     ++stats_.balances_no_gain;
   } else {
     ++stats_.balances_rejected;
   }
+  if (kind == MessageKind::kDrainRequest &&
+      state_ == MemberState::kDraining) {
+    if (cancel_pending_) {
+      // The drain failed and a rejoin already asked to cancel: stay,
+      // keeping the column.
+      cancel_pending_ = false;
+      state_ = MemberState::kMember;
+      return 0;
+    }
+    // Busy target: retry toward another candidate immediately instead of
+    // waiting out the balance period — members are busy often enough that
+    // tick-paced retries leave drains straggling through a leave burst.
+    // Rate-limited naturally by the abort round trip; the caller arms a
+    // fresh resolution timeout for the returned handshake.
+    return StartDrain(network);
+  }
+  return 0;
 }
 
-void Agent::OnDeliveryFailure(const Message& message, Network& network) {
+std::uint64_t Agent::OnDeliveryFailure(const Message& message,
+                                       Network& network) {
   switch (message.kind) {
     case MessageKind::kBalanceRequest:
+    case MessageKind::kDrainRequest:
       // The responder never saw the request: nothing applied anywhere.
+      // A bounced drain retries toward another candidate immediately
+      // (same rationale as the kBusy abort path).
       if (initiator_.active && initiator_.handshake == message.handshake) {
         initiator_.active = false;
         ++stats_.balances_rejected;
+        if (message.kind == MessageKind::kDrainRequest &&
+            state_ == MemberState::kDraining) {
+          if (cancel_pending_) {
+            cancel_pending_ = false;
+            state_ = MemberState::kMember;
+            break;
+          }
+          return StartDrain(network);
+        }
+      }
+      break;
+    case MessageKind::kJoinRequest:
+      // The seed is dead, departed, or unreachable: bootstrap solo.
+      if (initiator_.active && initiator_.handshake == message.handshake) {
+        initiator_.active = false;
+        CompleteJoin(/*via_seed=*/false);
       }
       break;
     case MessageKind::kBalanceReply:
+    case MessageKind::kJoinReply:
+    case MessageKind::kDrainReply:
       // The initiator is down and will never apply: roll back our half so
-      // the exchange is applied at neither end.
+      // the exchange is applied at neither end. (For a drain this returns
+      // the absorbed column — the leaver still holds it.)
       if (responder_.active && responder_.handshake == message.handshake) {
         SetColumn(responder_.undo_column, network.now(id_));
         responder_.active = false;
@@ -388,6 +474,8 @@ void Agent::OnDeliveryFailure(const Message& message, Network& network) {
       }
       break;
     case MessageKind::kBalanceCommit:
+    case MessageKind::kJoinCommit:
+    case MessageKind::kDrainCommit:
     case MessageKind::kBalanceAbort:
     case MessageKind::kGossipPush:
     case MessageKind::kGossipPull:
@@ -396,13 +484,26 @@ void Agent::OnDeliveryFailure(const Message& message, Network& network) {
       // its undo record at recovery. Aborts and gossip carry no obligation.
       break;
   }
+  return 0;
 }
 
 void Agent::OnBalanceTimeout(std::uint64_t handshake) {
   if (initiator_.active && initiator_.handshake == handshake) {
     // Silence: the request or its answer bounced while we were down.
+    const MessageKind kind = initiator_.kind;
     initiator_.active = false;
+    if (kind == MessageKind::kJoinRequest) {
+      CompleteJoin(/*via_seed=*/false);
+      return;
+    }
     ++stats_.balances_rejected;
+    if (kind == MessageKind::kDrainRequest && cancel_pending_ &&
+        state_ == MemberState::kDraining) {
+      // The timed-out drain resolves the deferred rejoin-cancellation:
+      // stay, keeping the column (next tick would otherwise re-drain).
+      cancel_pending_ = false;
+      state_ = MemberState::kMember;
+    }
   } else if (responder_.active && responder_.handshake == handshake) {
     // The Reply's delivery instant has passed (the timeout exceeds the
     // round trip) and the record is still open, so the Reply did not
@@ -419,6 +520,7 @@ void Agent::OnCrash() {
 }
 
 std::uint64_t Agent::OnRecover(Network& network) {
+  if (!active()) return 0;  // departed while down: nothing to announce
   // Re-announce a fresh view: bump our version so peers adopt the entry,
   // and gossip immediately rather than waiting out the timer.
   view_.UpdateSelf(load_, network.now(id_));
@@ -434,6 +536,300 @@ std::uint64_t Agent::OnRecover(Network& network) {
   if (initiator_.active) return initiator_.handshake;
   if (responder_.active) return responder_.handshake;
   return 0;
+}
+
+void Agent::Deactivate() {
+  column_.assign(column_.size(), 0.0);
+  load_ = 0.0;
+  // Keep the private view consistent with the empty column; the entry is
+  // never heard (absent agents send nothing) and the first OnJoin bumps
+  // past it before any message leaves.
+  view_.UpdateSelf(0.0, 0.0);
+  state_ = MemberState::kAbsent;
+}
+
+void Agent::CompleteJoin(bool via_seed) {
+  // A leave scheduled onto a still-joining agent flips it to kDraining;
+  // the join resolution must not undo that.
+  if (state_ == MemberState::kJoining) state_ = MemberState::kMember;
+  if (via_seed) {
+    ++stats_.joins_completed;
+  } else {
+    ++stats_.join_fallbacks;
+  }
+}
+
+std::uint64_t Agent::OnJoin(std::size_t seed, bool first, bool crashed,
+                            Network& network) {
+  state_ = MemberState::kJoining;
+  departed_pending_ = false;
+  column_.assign(column_.size(), 0.0);
+  if (first) {
+    // The paper's starting state, claimed on first activation: the
+    // organization's own requests run on its own server. A rejoin starts
+    // empty — the demand was drained away on leave and lives elsewhere.
+    column_[id_] = instance_->load(id_);
+  }
+  load_ = column_[id_];
+  // Bumps strictly past our own tombstone (Depart wrote it through
+  // UpdateSelf, so the version chain is continuous): every peer that
+  // adopted the tombstone supersedes it on first contact.
+  view_.UpdateSelf(load_, network.now(id_));
+  if (crashed || seed == id_ || !PeerReachable(seed)) {
+    // No usable seed (or we are inside one of our own crash windows and
+    // cannot send): solo join — the gossip timer chain the runtime just
+    // armed announces us within one period.
+    CompleteJoin(/*via_seed=*/false);
+    return 0;
+  }
+  const std::uint64_t handshake =
+      (static_cast<std::uint64_t>(id_) << 40) | ++next_handshake_;
+  initiator_.active = true;
+  initiator_.handshake = handshake;
+  initiator_.partner = seed;
+  initiator_.kind = MessageKind::kJoinRequest;
+  Message request = MakeMessage(MessageKind::kJoinRequest, seed);
+  request.handshake = handshake;
+  request.believed_load = -1.0;  // we know nothing yet; never kStale
+  if (options_.delta_gossip) request.digest = PackOwnDigest();
+  if (options_.compact_columns) {
+    PackColumn(column_, request);
+  } else {
+    request.payload = column_;
+  }
+  network.Send(std::move(request));
+  return handshake;
+}
+
+void Agent::OnLeave() {
+  if (state_ == MemberState::kMember || state_ == MemberState::kJoining) {
+    state_ = MemberState::kDraining;
+  }
+  // A fresh leave overrides any deferred rejoin-cancellation.
+  cancel_pending_ = false;
+}
+
+bool Agent::CancelLeave() noexcept {
+  if (state_ != MemberState::kDraining) return false;
+  if (initiator_.active &&
+      initiator_.kind == MessageKind::kDrainRequest) {
+    // The column is on the wire; cancel when the handshake resolves.
+    cancel_pending_ = true;
+    return true;
+  }
+  state_ = MemberState::kMember;
+  return true;
+}
+
+std::size_t Agent::SelectDrainTarget() {
+  if (peer_count_ == 0) return id_;
+  // Gather the least-loaded live candidates. Picking THE argmin herds: in
+  // a leave burst every drainer reads the same (lagged) view, piles onto
+  // one target, and all but one bounce kBusy — drains then serialize at
+  // one per balance tick. Drawing uniformly (rng_, deterministic) from a
+  // small least-loaded set spreads a burst across targets while still
+  // steering the column toward spare capacity.
+  constexpr std::size_t kSpread = 8;
+  struct Candidate {
+    double score;
+    std::size_t id;
+  };
+  std::vector<Candidate> best;
+  best.reserve(kSpread + 1);
+  for (const GossipEntry& entry : view_.known()) {
+    if (entry.id == id_ || IsTombstone(entry.load) ||
+        !PeerReachable(entry.id)) {
+      continue;
+    }
+    const double score = entry.load / instance_->speed(entry.id);
+    // Insertion sort into the top-k, ties to the lower id: the candidate
+    // set is a deterministic function of the view.
+    auto it = best.begin();
+    while (it != best.end() &&
+           (it->score < score || (it->score == score && it->id < entry.id))) {
+      ++it;
+    }
+    best.insert(it, Candidate{score, entry.id});
+    if (best.size() > kSpread) best.pop_back();
+  }
+  // A view with no live candidate still probes: the random peer either
+  // absorbs the column or bounces, and we retry next tick.
+  if (best.empty()) return RandomPeer();
+  return best[rng_.below(best.size())].id;
+}
+
+std::uint64_t Agent::StartDrain(Network& network) {
+  if (busy()) return 0;
+  if (load_ == 0.0) {
+    // Nothing left to hand off (columns are non-negative, so a zero sum
+    // means an empty column): announce the departure and go absent.
+    Depart(network);
+    return 0;
+  }
+  const std::size_t target = SelectDrainTarget();
+  if (target == id_) return 0;  // no peer at all; retry next tick
+  const std::uint64_t handshake =
+      (static_cast<std::uint64_t>(id_) << 40) | ++next_handshake_;
+  initiator_.active = true;
+  initiator_.handshake = handshake;
+  initiator_.partner = target;
+  initiator_.kind = MessageKind::kDrainRequest;
+  Message request = MakeMessage(MessageKind::kDrainRequest, target);
+  request.handshake = handshake;
+  request.believed_load = -1.0;
+  if (options_.compact_columns) {
+    PackColumn(column_, request);
+  } else {
+    request.payload = column_;
+  }
+  network.Send(std::move(request));
+  return handshake;
+}
+
+void Agent::HandleJoinRequest(const Message& message, Network& network) {
+  if (state_ != MemberState::kMember || busy()) {
+    SendAbort(message, AbortReason::kBusy, network);
+    return;
+  }
+  // A join is a balance handshake in different clothes: run Algorithm 1
+  // on the joiner's (possibly empty) column against ours. No staleness
+  // check — the joiner has no view yet.
+  core::PairBalanceWorkspace& workspace = scratch_->workspace;
+  std::span<const double> joiner_column;
+  const core::PairBalanceResult result =
+      BalanceAgainst(message, joiner_column);
+  const bool apply = result.improvement > options_.min_gain;
+  if (apply) {
+    // Same crash-atomicity as a balance exchange: apply our half now,
+    // keep the undo until the joiner's Commit (or a bounced Reply).
+    responder_.active = true;
+    responder_.handshake = message.handshake;
+    responder_.partner = message.from;
+    responder_.undo_column = std::move(column_);
+    column_ = workspace.new_rkj;
+    load_ = result.new_load_j;
+    view_.UpdateSelf(load_, network.now(id_));
+  }
+  Message reply = MakeMessage(MessageKind::kJoinReply, message.from);
+  reply.handshake = message.handshake;
+  reply.reason = apply ? AbortReason::kNone : AbortReason::kNoGain;
+  if (apply) {
+    if (options_.compact_columns) {
+      PackColumnDelta(joiner_column, workspace.new_rki, reply);
+    } else {
+      reply.payload = workspace.new_rki;
+    }
+  }
+  // The bootstrap: our whole view, minus whatever the joiner's digest
+  // already proves it holds (a rejoiner remembers its old view). Packed
+  // after the UpdateSelf above so our fresh entry rides along.
+  reply.gossip = view_.PackEntriesNewerThan(message.digest);
+  network.Send(std::move(reply));
+}
+
+void Agent::HandleJoinReply(const Message& message, Network& network) {
+  if (!initiator_.active || initiator_.handshake != message.handshake) {
+    return;
+  }
+  initiator_.active = false;
+  // Adopt the seed's view first — this is the whole point of joining
+  // through a seed instead of solo.
+  if (!message.gossip.empty()) view_.MergeEntries(message.gossip);
+  if (message.reason == AbortReason::kNone) {
+    // The seed shed load onto us; kNoGain means we keep our own column.
+    if (message.encoding == ColumnEncoding::kDense) {
+      SetColumn(message.payload, network.now(id_));
+    } else {
+      UnpackColumn(message, column_.size(), column_,
+                   scratch_->decoded_column);
+      SetColumn(scratch_->decoded_column, network.now(id_));
+    }
+    ++stats_.balances_completed;
+    Message commit = MakeMessage(MessageKind::kJoinCommit, message.from);
+    commit.handshake = message.handshake;
+    network.Send(std::move(commit));
+  }
+  CompleteJoin(/*via_seed=*/true);
+}
+
+void Agent::HandleDrainRequest(const Message& message, Network& network) {
+  if (state_ != MemberState::kMember || busy()) {
+    SendAbort(message, AbortReason::kBusy, network);
+    return;
+  }
+  std::span<const double> drained = message.payload;
+  if (message.encoding != ColumnEncoding::kDense) {
+    UnpackColumn(message, column_.size(), {}, scratch_->peer_column);
+    drained = scratch_->peer_column;
+  }
+  // Absorb the leaver's whole column on top of ours, undo snapshot until
+  // its Commit — between our apply and the leaver zeroing its copy the
+  // global allocation double-counts the column, which is exactly the
+  // UncommittedExchanges window the runtime already accounts for.
+  responder_.active = true;
+  responder_.handshake = message.handshake;
+  responder_.partner = message.from;
+  responder_.undo_column = column_;
+  for (std::size_t k = 0; k < column_.size(); ++k) column_[k] += drained[k];
+  load_ = std::accumulate(column_.begin(), column_.end(), 0.0);
+  view_.UpdateSelf(load_, network.now(id_));
+  ++stats_.drain_handoffs;
+  Message reply = MakeMessage(MessageKind::kDrainReply, message.from);
+  reply.handshake = message.handshake;
+  network.Send(std::move(reply));
+}
+
+void Agent::HandleDrainReply(const Message& message, Network& network) {
+  if (!initiator_.active || initiator_.handshake != message.handshake) {
+    return;
+  }
+  initiator_.active = false;
+  // The target holds our column now: zero ours, confirm, and depart.
+  column_.assign(column_.size(), 0.0);
+  load_ = 0.0;
+  view_.UpdateSelf(0.0, network.now(id_));
+  ++stats_.drain_handoffs;
+  Message commit = MakeMessage(MessageKind::kDrainCommit, message.from);
+  commit.handshake = message.handshake;
+  network.Send(std::move(commit));
+  if (cancel_pending_) {
+    // A rejoin raced the drain: the handoff stands (the target committed),
+    // but instead of departing we re-enter membership empty — exactly the
+    // state a rejoin bootstraps into, without ever having left the view.
+    cancel_pending_ = false;
+    state_ = MemberState::kMember;
+    return;
+  }
+  Depart(network);
+}
+
+void Agent::Depart(Network& network) {
+  // The tombstone is our own next self-version: peers adopt it through
+  // the ordinary strictly-newer rule, and a future rejoin's UpdateSelf
+  // supersedes it the same way (gossip.h has the expiry argument).
+  view_.UpdateSelf(kTombstoneLoad, network.now(id_));
+  if (peer_count_ > 0) {
+    for (std::size_t push = 0; push < options_.departure_fanout; ++push) {
+      const std::size_t peer = RandomPeer();
+      Message bye = MakeMessage(MessageKind::kGossipDelta, peer);
+      bye.payload = view_.PackEntry(id_);
+      network.Send(std::move(bye));
+    }
+  }
+  state_ = MemberState::kAbsent;
+  departed_pending_ = true;
+}
+
+void Agent::ApplyLoadDelta(double delta, double now) {
+  if (!active()) return;
+  // Demand changes land on the organization's local share: new requests
+  // enter at their home server (rebalancing spreads them from there), and
+  // expiring demand is recalled from it, clamped at zero — requests
+  // already rebalanced away are not recalled from remote columns.
+  const double updated = std::max(0.0, column_[id_] + delta);
+  load_ += updated - column_[id_];
+  column_[id_] = updated;
+  view_.UpdateSelf(load_, now);
 }
 
 }  // namespace delaylb::dist

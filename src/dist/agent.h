@@ -79,6 +79,7 @@
 #include "core/pair_order_cache.h"
 #include "core/pairwise.h"
 #include "dist/gossip.h"
+#include "dist/membership.h"
 #include "dist/message.h"
 #include "dist/network.h"
 #include "util/rng.h"
@@ -147,6 +148,11 @@ struct AgentOptions {
   /// adaptation.
   std::size_t fanout_min = 1;
   std::size_t fanout_max = 1;
+  /// Tombstone announcements sent at departure (dist/membership.h): the
+  /// leaver pushes its own tombstone entry to this many random peers as
+  /// it deregisters, seeding the rumor; digest reconciliation spreads it
+  /// from there.
+  std::size_t departure_fanout = 3;
 };
 
 struct AgentStats {
@@ -163,6 +169,12 @@ struct AgentStats {
   /// View entries adopted from pull/delta merges; dropped by expiry.
   std::size_t gossip_adopted = 0;
   std::size_t gossip_expired = 0;
+  /// Joins bootstrapped through a seed's handshake vs. solo fallbacks
+  /// (dead/unreachable seed, or no other member scheduled).
+  std::size_t joins_completed = 0;
+  std::size_t join_fallbacks = 0;
+  /// Drain column handoffs (counted at both ends of each transfer).
+  std::size_t drain_handoffs = 0;
 };
 
 /// Decode/balance scratch shared by every agent of one PDES shard —
@@ -191,6 +203,15 @@ class Agent {
 
   std::size_t id() const noexcept { return id_; }
   double load() const noexcept { return load_; }
+  /// Membership lifecycle (dist/membership.h). Agents construct as
+  /// members; the runtime Deactivate()s ids outside the initial member
+  /// set and drives joins/leaves through the hooks below.
+  MemberState state() const noexcept { return state_; }
+  /// Absent agents run no timers and answer no traffic.
+  bool active() const noexcept { return state_ != MemberState::kAbsent; }
+  bool draining() const noexcept {
+    return state_ == MemberState::kDraining;
+  }
   /// This server's allocation column: column()[k] = requests of
   /// organization k currently executed here.
   std::span<const double> column() const noexcept { return column_; }
@@ -218,11 +239,15 @@ class Agent {
   /// it), or 0 when nothing was started (busy, or no peer).
   std::uint64_t StartBalance(Network& network);
 
-  void OnMessage(const Message& message, Network& network);
+  /// Delivers a protocol message. Returns the handshake id of a follow-up
+  /// handshake this delivery opened (a rejected drain retrying toward the
+  /// next candidate) — the runtime arms its resolution timeout — or 0.
+  std::uint64_t OnMessage(const Message& message, Network& network);
 
   /// The network could not deliver `message` (crashed or unreachable
-  /// destination); `message` is the original outbound message.
-  void OnDeliveryFailure(const Message& message, Network& network);
+  /// destination); `message` is the original outbound message. Same
+  /// return contract as OnMessage (a bounced drain retries immediately).
+  std::uint64_t OnDeliveryFailure(const Message& message, Network& network);
 
   /// Resolution timeout for `handshake`; ignored when that handshake has
   /// already resolved. Never invoked while this agent is crashed. An open
@@ -235,8 +260,61 @@ class Agent {
 
   /// Recovery: bumps and re-announces the view (immediate gossip) and
   /// returns the handshake id whose timeout the runtime must re-arm
-  /// (0 when no handshake is open).
+  /// (0 when no handshake is open). No-op for an absent agent.
   std::uint64_t OnRecover(Network& network);
+
+  // Membership hooks (see membership.h for the protocol overview). All
+  // are invoked by the runtime's dispatch on this agent's shard.
+
+  /// Construction-time deregistration of an id outside the initial member
+  /// set: empties the column and parks the agent at kAbsent. Must not be
+  /// called once the simulation has started.
+  void Deactivate();
+
+  /// kEvJoin dispatch: (re)activates the agent. `first` seeds the column
+  /// with the organization's own demand (the paper's starting state); a
+  /// rejoin starts empty — the demand was drained away on leave. With a
+  /// live `seed` this opens the join handshake toward it and returns the
+  /// handshake id (the runtime arms the resolution timeout); otherwise —
+  /// seed == id(), unreachable seed, or `crashed` (the join fires inside
+  /// one of our own crash windows) — the agent completes a solo join
+  /// immediately and returns 0.
+  std::uint64_t OnJoin(std::size_t seed, bool first, bool crashed,
+                       Network& network);
+
+  /// kEvLeave dispatch: flips a member (or a still-joining agent) to
+  /// kDraining. Every subsequent balance tick runs StartDrain instead of
+  /// StartBalance until the column is empty and the agent departs.
+  void OnLeave();
+
+  /// Balance tick of a draining agent: hand the whole column to one of
+  /// the least-loaded members we know of (retrying every tick on
+  /// rejection), or — once the column is empty — emit the departure
+  /// tombstone and go absent. Returns the open handshake id, or 0.
+  std::uint64_t StartDrain(Network& network);
+
+  /// A join scheduled onto a still-draining agent cancels the departure.
+  /// Immediately when no drain handshake is open (back to kMember,
+  /// keeping whatever column remains); with the column already on the
+  /// wire the cancellation is deferred to the handshake's resolution — a
+  /// successful drain then re-enters membership empty (exactly a rejoin's
+  /// starting state) instead of departing, a failed one keeps the column.
+  /// False only for a non-draining agent (the join is a no-op there).
+  bool CancelLeave() noexcept;
+
+  /// kEvLoadDelta dispatch: the organization's demand changes by `delta`
+  /// at its home server's local share (clamped at zero — demand that was
+  /// already rebalanced away cannot be recalled locally).
+  void ApplyLoadDelta(double delta, double now);
+
+  /// True exactly once after this agent departed during the event just
+  /// dispatched; the runtime then deregisters the id and retires its
+  /// timer chains. Clears the flag.
+  bool ConsumeDeparted() noexcept {
+    const bool departed = departed_pending_;
+    departed_pending_ = false;
+    return departed;
+  }
 
  private:
   void HandleGossipPush(const Message& message, Network& network);
@@ -244,9 +322,33 @@ class Agent {
   void HandleBalanceRequest(const Message& message, Network& network);
   void HandleBalanceReply(const Message& message, Network& network);
   void HandleBalanceCommit(const Message& message);
-  void HandleBalanceAbort(const Message& message);
+  std::uint64_t HandleBalanceAbort(const Message& message, Network& network);
+  void HandleJoinRequest(const Message& message, Network& network);
+  void HandleJoinReply(const Message& message, Network& network);
+  void HandleDrainRequest(const Message& message, Network& network);
+  void HandleDrainReply(const Message& message, Network& network);
   void SendAbort(const Message& request, AbortReason reason,
                  Network& network);
+
+  /// Shared Algorithm-1 step of the balance and join handshakes: decodes
+  /// the initiator's column out of `message` (leaving it in
+  /// `initiator_column`), assembles the ColumnBalanceInput with this
+  /// server as j, and runs core::BalanceColumns in the shared workspace.
+  core::PairBalanceResult BalanceAgainst(
+      const Message& message, std::span<const double>& initiator_column);
+
+  /// Least-loaded (believed load / speed) live member in the view, ties
+  /// to the lower id; a random peer when the view offers no candidate;
+  /// id_ when there is no peer at all.
+  std::size_t SelectDrainTarget();
+
+  /// Resolves a join attempt: kJoining -> kMember (unless a leave already
+  /// flipped us to kDraining) and counts the outcome.
+  void CompleteJoin(bool via_seed);
+
+  /// Emits the departure tombstone to departure_fanout random peers and
+  /// goes absent; sets the departed flag for ConsumeDeparted.
+  void Depart(Network& network);
 
   /// A message skeleton stamped with the sender's current
   /// (load, version, stamp) — the single-entry gossip every protocol
@@ -296,6 +398,10 @@ class Agent {
     bool active = false;
     std::uint64_t handshake = 0;
     std::size_t partner = 0;
+    /// Which request opened the handshake: resolution of a failure
+    /// (abort, bounce, timeout) branches on it — balance/drain retry on
+    /// the next tick, a join falls back to a solo join.
+    MessageKind kind = MessageKind::kBalanceRequest;
   };
   struct ResponderState {
     bool active = false;
@@ -306,6 +412,11 @@ class Agent {
   InitiatorState initiator_;
   ResponderState responder_;
   std::uint64_t next_handshake_ = 0;
+  MemberState state_ = MemberState::kMember;
+  bool departed_pending_ = false;
+  /// A rejoin arrived while the drain column was on the wire: the
+  /// departure is canceled at the handshake's resolution (CancelLeave).
+  bool cancel_pending_ = false;
 
   AgentScratch* scratch_ = nullptr;
   std::unique_ptr<AgentScratch> owned_scratch_;  ///< fallback when unshared

@@ -126,6 +126,13 @@ std::vector<double> GossipView::PackEntries() const {
   return payload;
 }
 
+std::vector<double> GossipView::PackEntry(std::size_t j) const {
+  const GossipEntry* e = Find(j);
+  if (e == nullptr) return {};
+  return {static_cast<double>(e->id), e->load, EncodeVersion(e->version),
+          e->stamp};
+}
+
 std::vector<double> GossipView::PackEntriesNewerThan(
     std::span<const std::uint16_t> digest) const {
   if (digest.empty()) return PackEntries();

@@ -71,6 +71,25 @@ struct GossipEntry {
 /// never heard from: nothing about the bucket is proven, ship everything.
 inline constexpr std::uint16_t kDigestIncomplete = 0xFFFF;
 
+/// Load sentinel of a *tombstone* entry: a server that announced its
+/// departure publishes its own entry one final time with this load. A
+/// tombstone is an ordinary versioned entry — it rides the same quad wire
+/// format, digests, merges, and expiry as a live load, so the delta
+/// reconciliation proofs apply to it unchanged. Consumers that interpret
+/// loads (partner selection, drain targeting) must skip entries for which
+/// IsTombstone() holds. A departed server that rejoins supersedes its own
+/// tombstone with the next UpdateSelf (strictly larger version), and an
+/// expired tombstone can never resurrect the server: expiry raises the
+/// adoption floor past the tombstone's stamp, and every pre-departure
+/// live entry carries an older per-owner stamp than the tombstone, so the
+/// floor refuses it (see the resurrect-never test in test_membership).
+inline constexpr double kTombstoneLoad = -1.0;
+
+/// True when a (possibly piggybacked) load value marks a departed server.
+inline constexpr bool IsTombstone(double load) noexcept {
+  return load < 0.0;
+}
+
 /// One server's eventually-consistent sparse view of server loads.
 class GossipView {
  public:
@@ -126,9 +145,19 @@ class GossipView {
   /// kDigestIncomplete when the view is missing any id of the bucket.
   std::vector<std::uint16_t> PackDigest(std::size_t buckets) const;
 
+  /// True when the held entry for j is a departure tombstone.
+  bool Tombstoned(std::size_t j) const noexcept {
+    const GossipEntry* e = Find(j);
+    return e != nullptr && IsTombstone(e->load);
+  }
+
   /// Every known entry as (id, load, version, stamp) quads in ascending id
   /// order — the full-view wire format.
   std::vector<double> PackEntries() const;
+
+  /// The single entry held for `j` as one (id, load, version, stamp) quad
+  /// (empty when j is unknown) — the departure announcement's payload.
+  std::vector<double> PackEntry(std::size_t j) const;
 
   /// Only the entries not provably covered by `digest` (see the soundness
   /// argument above): entry j ships iff its bucket is kDigestIncomplete or

@@ -1,0 +1,55 @@
+#include "dist/membership.h"
+
+#include <algorithm>
+
+namespace delaylb::dist {
+namespace {
+
+/// SplitMix64-style finalizer: spreads (id, epoch) into independent
+/// stagger streams regardless of how close the raw values sit.
+std::uint64_t Mix(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* ToString(MemberState state) noexcept {
+  switch (state) {
+    case MemberState::kAbsent:
+      return "absent";
+    case MemberState::kJoining:
+      return "joining";
+    case MemberState::kMember:
+      return "member";
+    case MemberState::kDraining:
+      return "draining";
+  }
+  return "?";
+}
+
+std::size_t ChooseJoinSeed(const net::LatencyMatrix& latency,
+                           const std::vector<std::uint8_t>& members,
+                           std::size_t joiner) {
+  const std::size_t m = latency.size();
+  std::size_t best = joiner;
+  double best_distance = net::kUnreachable;
+  for (std::size_t j = 0; j < m; ++j) {
+    if (j == joiner || members[j] == 0) continue;
+    const double d = std::min(latency(joiner, j), latency(j, joiner));
+    if (best == joiner || d < best_distance) {
+      best = j;
+      best_distance = d;
+    }
+  }
+  return best;
+}
+
+util::Rng TimerStaggerRng(std::uint64_t seed, std::size_t id,
+                          std::uint64_t epoch) noexcept {
+  return util::Rng(seed ^ Mix(0x6A09E667F3BCC909ull + id) ^
+                   Mix(0xBB67AE8584CAA73Bull + epoch));
+}
+
+}  // namespace delaylb::dist

@@ -1,0 +1,117 @@
+#pragma once
+// Elastic membership for the distributed runtime.
+//
+// The paper's protocol is described over a fixed server set; this header
+// (plus the join/drain state machine in agent.h and the scheduling hooks
+// in runtime.h) extends it to clusters that grow and shrink mid-run
+// without giving up any of the existing guarantees:
+//
+//  * The id universe stays FIXED — every server that will ever exist has
+//    an id in [0, m) and a row in the latency matrix — but membership is
+//    dynamic: an id is absent (nothing listening, traffic dropped like a
+//    crash), joining, a member, or draining toward departure. Keeping the
+//    universe fixed is what preserves both the PDES shard plan (placement
+//    of future joiners is decided up front by the member-aware
+//    PlanShards, so the conservative lookahead never changes mid-run) and
+//    the master-rng draw order (every agent is constructed, members or
+//    not, so default runs are bit-identical to the pre-elasticity
+//    runtime).
+//
+//  * Join is a balance handshake in different clothes: the joiner sends
+//    its column and view digest to a bootstrap seed (its nearest
+//    scheduled member), the seed runs the usual BalanceColumns exchange
+//    and replies with the joiner's balanced column PLUS the delta of its
+//    gossip view — one round trip bootstraps both the load and the
+//    rumor mill. Every crash interleaving resolves through the same
+//    request/reply/commit + bounce/timeout machinery as a balance
+//    exchange (agent.h); a dead or unreachable seed degrades to a solo
+//    join (the joiner simply starts gossiping and is found organically).
+//
+//  * Leave drains first, announces second: a draining server hands its
+//    whole column to the least-loaded member it knows (repeating on
+//    rejection), and only after its column is empty does it emit its own
+//    tombstone (gossip.h) and deregister. Work is therefore conserved
+//    through any single departure, and a departure mid-handshake resolves
+//    exactly like a crash would.
+//
+//  * Tombstones are versioned gossip entries (load = kTombstoneLoad) that
+//    ride the ordinary digest/delta reconciliation, are superseded by a
+//    rejoin's strictly larger self-version, and are GC'd by the same
+//    Expire sweep — behind the adoption floor, so expiry can never
+//    resurrect a departed server (see gossip.h for the argument).
+//
+// MembershipDirectory below is the runtime-side bookkeeping: which ids
+// are scheduled to be members at any horizon (so join seeds are chosen
+// deterministically at schedule time), which ids have ever joined (first
+// join claims the organization's demand; a rejoin starts empty — the
+// demand was drained away on leave), and the per-id timer epoch that
+// retires an agent's gossip/balance timer chains at departure and starts
+// fresh ones at rejoin without perturbing any pre-churn event key.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/latency_matrix.h"
+#include "util/rng.h"
+
+namespace delaylb::dist {
+
+/// Lifecycle of one server id. kAbsent ids hold no column mass, answer no
+/// traffic, and run no timers; kJoining/kDraining ids decline NEW balance
+/// work but still resolve handshakes they are party to.
+enum class MemberState : std::uint8_t {
+  kAbsent = 0,
+  kJoining,
+  kMember,
+  kDraining,
+};
+
+const char* ToString(MemberState state) noexcept;
+
+/// Deterministic bootstrap-seed choice for a joiner: the nearest id (by
+/// symmetric latency min(c(i,j), c(j,i)), ties to the lower id) whose
+/// members[] flag is set, excluding the joiner itself. Returns `joiner`
+/// when no other member is scheduled — the solo-join sentinel. Called at
+/// ScheduleJoin time against the SCHEDULED member set, so the choice is a
+/// pure function of the schedule (bit-identical for every shard/thread
+/// count); if the seed has left or crashed by the time the join fires,
+/// the join request bounces and the joiner falls back to a solo join.
+std::size_t ChooseJoinSeed(const net::LatencyMatrix& latency,
+                           const std::vector<std::uint8_t>& members,
+                           std::size_t joiner);
+
+/// Derived generator for a (re)joining agent's timer stagger. The
+/// construction-time stagger draws come from the master rng in id order;
+/// a mid-run join cannot extend that stream (it would shift every later
+/// draw), so each join epoch gets its own stream keyed by (seed, id,
+/// epoch) — a pure function of the schedule, independent of shard count.
+util::Rng TimerStaggerRng(std::uint64_t seed, std::size_t id,
+                          std::uint64_t epoch) noexcept;
+
+/// Runtime-side membership bookkeeping (quiesced access only: mutated by
+/// ScheduleJoin/ScheduleLeave between RunUntil calls and by the dispatch
+/// of membership events, never concurrently).
+struct MembershipDirectory {
+  /// scheduled_member[id] tracks the member set in SCHEDULE order:
+  /// toggled by ScheduleJoin/ScheduleLeave as they are called, it is the
+  /// set against which later join seeds are chosen.
+  std::vector<std::uint8_t> scheduled_member;
+  /// ever_joined[id]: whether id has held its organization's demand at
+  /// least once. The first join seeds the agent's column with the
+  /// instance load; a rejoin starts empty (the demand was drained away).
+  std::vector<std::uint8_t> ever_joined;
+  /// Current timer epoch per id. Timer events carry their epoch; a
+  /// mismatch means the chain belongs to a departed incarnation and the
+  /// event is dropped without re-arming. Epoch 0 is the construction-time
+  /// chain, so pre-churn event keys are unchanged.
+  std::vector<std::uint64_t> timer_epoch;
+  /// EventKey minor for kEvJoin/kEvLeave/kEvLoadDelta, mirroring the
+  /// crash-schedule counter.
+  std::uint64_t sequence = 0;
+
+  explicit MembershipDirectory(std::size_t m)
+      : scheduled_member(m, 1), ever_joined(m, 1), timer_epoch(m, 0) {}
+};
+
+}  // namespace delaylb::dist

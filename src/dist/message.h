@@ -41,6 +41,19 @@ enum class MessageKind : std::uint8_t {
   kBalanceReply,     ///< payload = initiator's new column (responder applied)
   kBalanceCommit,    ///< no payload: initiator applied, responder may commit
   kBalanceAbort,     ///< no payload: handshake declined (see reason)
+  // Membership protocol (dist/membership.h). Join and drain are balance
+  // handshakes in different clothes — same request/reply/commit shape,
+  // same crash-atomicity machinery (responder applies + keeps an undo
+  // until the commit; bounces and timeouts resolve every interleaving),
+  // and declines reuse kBalanceAbort with the join/drain handshake id.
+  kJoinRequest,   ///< payload = joiner's column; digest = joiner's view
+  kJoinReply,     ///< payload = joiner's balanced column (reason kNone) or
+                  ///< empty (kNoGain: joiner keeps its column); gossip =
+                  ///< the seed's view entries — the joiner's bootstrap
+  kJoinCommit,    ///< joiner applied; the seed may discard its undo
+  kDrainRequest,  ///< payload = the leaver's whole column
+  kDrainReply,    ///< no payload: responder absorbed the column
+  kDrainCommit,   ///< leaver zeroed its column and departs
 };
 
 enum class AbortReason : std::uint8_t {
@@ -112,27 +125,62 @@ inline constexpr std::size_t kWireHeaderBytes = 64;
 /// `control` is the fixed framing every message pays, `column` the
 /// balance-column payloads (8 bytes per double), `gossip` everything the
 /// dissemination layer ships — gossip-kind payloads and piggybacked
-/// entries at 8 bytes per double, digests at 2 bytes per level. The
+/// entries at 8 bytes per double, digests at 2 bytes per level — and
+/// `membership` the elastic-cluster traffic: join/drain payloads plus
+/// tombstone entry quads wherever they ride (a departure announcement's
+/// payload, or a tombstone relayed inside a regular gossip exchange). The
 /// network accumulates the classes separately so BENCH rows show which
 /// budget an optimization moved.
 struct WireBreakdown {
   std::size_t control = 0;
   std::size_t column = 0;
   std::size_t gossip = 0;
+  std::size_t membership = 0;
 };
+
+/// Splits an entry-quad buffer (id, load, version, stamp) into gossip
+/// bytes and membership bytes: tombstone quads (negative load) are
+/// membership traffic even when they ride a regular gossip exchange.
+inline void SplitQuadBytes(std::span<const double> quads,
+                           WireBreakdown& w) {
+  const std::size_t count = quads.size() / 4;
+  std::size_t tombstones = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    tombstones += quads[4 * k + 1] < 0.0 ? 1 : 0;
+  }
+  w.membership += 32 * tombstones;
+  w.gossip += 8 * quads.size() - 32 * tombstones;
+}
 
 inline WireBreakdown WireBytes(const Message& msg) {
   WireBreakdown w;
   w.control = kWireHeaderBytes;
-  w.gossip = 8 * msg.gossip.size() + 2 * msg.digest.size();
   switch (msg.kind) {
     case MessageKind::kGossipPush:
     case MessageKind::kGossipPull:
     case MessageKind::kGossipDelta:
-      w.gossip += 8 * msg.payload.size();
+      w.gossip += 2 * msg.digest.size();
+      SplitQuadBytes(msg.payload, w);
+      SplitQuadBytes(msg.gossip, w);
+      break;
+    case MessageKind::kJoinRequest:
+    case MessageKind::kJoinReply:
+    case MessageKind::kJoinCommit:
+    case MessageKind::kDrainRequest:
+    case MessageKind::kDrainReply:
+    case MessageKind::kDrainCommit:
+      // Everything a membership handshake ships — columns being handed
+      // off, the joiner's digest, the bootstrap view — is membership
+      // traffic: the cost of elasticity, separable from steady-state
+      // balancing and dissemination.
+      w.membership +=
+          8 * msg.payload.size() + 8 * msg.gossip.size() +
+          2 * msg.digest.size();
       break;
     default:
+      w.gossip += 2 * msg.digest.size();
       w.column += 8 * msg.payload.size();
+      SplitQuadBytes(msg.gossip, w);
       break;
   }
   return w;
@@ -143,7 +191,7 @@ inline WireBreakdown WireBytes(const Message& msg) {
 /// format tests report it.
 inline std::size_t WireSize(const Message& msg) {
   const WireBreakdown w = WireBytes(msg);
-  return w.control + w.column + w.gossip;
+  return w.control + w.column + w.gossip + w.membership;
 }
 
 /// Encodes `column` into msg.payload, choosing kSparse when the pair list
@@ -236,6 +284,12 @@ inline const char* ToString(MessageKind kind) {
     case MessageKind::kBalanceReply: return "balance-reply";
     case MessageKind::kBalanceCommit: return "balance-commit";
     case MessageKind::kBalanceAbort: return "balance-abort";
+    case MessageKind::kJoinRequest: return "join-request";
+    case MessageKind::kJoinReply: return "join-reply";
+    case MessageKind::kJoinCommit: return "join-commit";
+    case MessageKind::kDrainRequest: return "drain-request";
+    case MessageKind::kDrainReply: return "drain-reply";
+    case MessageKind::kDrainCommit: return "drain-commit";
   }
   return "unknown";
 }

@@ -12,6 +12,7 @@ Network::Network(const net::LatencyMatrix& latency, const ShardPlan& plan,
       engine_(engine),
       counters_(plan.shards),
       crashed_(latency.size(), 0),
+      member_(latency.size(), 1),
       send_seq_(latency.size(), 0) {
   if (plan.shard_of.size() != latency.size() ||
       engine.shards() != plan.shards) {
@@ -31,6 +32,7 @@ void Network::Send(Message msg) {
   counters.bytes_control += wire.control;
   counters.bytes_column += wire.column;
   counters.bytes_gossip += wire.gossip;
+  counters.bytes_membership += wire.membership;
 
   ShardEvent event;
   event.message = std::move(msg);
@@ -55,7 +57,7 @@ bool Network::Arrive(std::size_t shard, ShardEvent& event) {
   --counters.in_flight;
   const std::uint32_t from = event.message.from;
   const std::uint32_t to = event.message.to;
-  if (crashed_[to] == 0) {
+  if (crashed_[to] == 0 && member_[to] != 0) {
     ++counters.delivered;
     return true;
   }
@@ -76,6 +78,10 @@ bool Network::Arrive(std::size_t shard, ShardEvent& event) {
 
 void Network::SetCrashed(std::size_t server, bool crashed) {
   crashed_.at(server) = crashed ? 1 : 0;
+}
+
+void Network::SetMember(std::size_t server, bool member) {
+  member_.at(server) = member ? 1 : 0;
 }
 
 }  // namespace delaylb::dist

@@ -63,6 +63,25 @@ class Network {
     return crashed_[server] != 0;
   }
 
+  /// Dynamic membership registration (dist/membership.h): traffic to a
+  /// non-member is dropped exactly like traffic to a crashed server — the
+  /// id exists in the topology but nothing is listening there. Servers
+  /// start as members; the runtime deregisters absent ids at construction
+  /// and flips the flag at join dispatch / departure. Like the crash
+  /// flags, member_[id] is only ever written by id's own shard (join,
+  /// leave, and departure all dispatch there) and only read by deliveries
+  /// on id's shard, so the flags never race across shards.
+  void SetMember(std::size_t server, bool member);
+  bool member(std::size_t server) const noexcept {
+    return member_[server] != 0;
+  }
+  /// Current member count — call only while the engine is quiesced.
+  std::size_t members() const noexcept {
+    std::size_t count = 0;
+    for (const std::uint8_t alive : member_) count += alive != 0;
+    return count;
+  }
+
   /// Current simulation time on `server`'s shard — the timestamp of the
   /// event being dispatched. Agents use it to stamp gossip entries
   /// (identical for every shard plan, since it is the event's own time).
@@ -80,11 +99,13 @@ class Network {
     return Sum(&Counters::dropped);
   }
   std::size_t bytes_sent() const noexcept {
-    return bytes_control() + bytes_column() + bytes_gossip();
+    return bytes_control() + bytes_column() + bytes_gossip() +
+           bytes_membership();
   }
   /// Per-class byte totals (see WireBytes in message.h): fixed framing,
-  /// balance-column payloads, and gossip traffic (digests, entry lists,
-  /// piggybacked views).
+  /// balance-column payloads, gossip traffic (digests, entry lists,
+  /// piggybacked views), and membership-protocol traffic (join/drain
+  /// handshakes plus tombstone quads wherever they ride).
   std::size_t bytes_control() const noexcept {
     return Sum(&Counters::bytes_control);
   }
@@ -93,6 +114,9 @@ class Network {
   }
   std::size_t bytes_gossip() const noexcept {
     return Sum(&Counters::bytes_gossip);
+  }
+  std::size_t bytes_membership() const noexcept {
+    return Sum(&Counters::bytes_membership);
   }
   std::size_t in_flight() const noexcept {
     std::int64_t pending = 0;
@@ -110,6 +134,7 @@ class Network {
     std::size_t bytes_control = 0;  ///< fixed per-message framing
     std::size_t bytes_column = 0;   ///< balance-column payloads
     std::size_t bytes_gossip = 0;   ///< digests, entry lists, piggybacks
+    std::size_t bytes_membership = 0;  ///< join/drain payloads, tombstones
     std::int64_t in_flight = 0;  ///< sends minus resolutions, per shard
   };
 
@@ -125,6 +150,7 @@ class Network {
   RuntimeEngine& engine_;
   std::vector<Counters> counters_;
   std::vector<std::uint8_t> crashed_;
+  std::vector<std::uint8_t> member_;
   /// Per-agent outbound message counter: the EventKey minor that makes
   /// simultaneous deliveries from one sender totally ordered. Only the
   /// sender's shard touches its entries.

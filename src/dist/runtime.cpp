@@ -33,12 +33,14 @@ DistributedRuntime::DistributedRuntime(const core::Instance& instance,
       options_(options),
       order_cache_(instance),
       plan_(PlanShards(instance.latency_matrix(),
-                       std::max<std::size_t>(1, options.shards))),
+                       std::max<std::size_t>(1, options.shards),
+                       options.initial_members)),
       engine_(plan_.shards, plan_.lookahead,
               MakePool(plan_, pool_, options.threads)),
       network_(instance.latency_matrix(), plan_, engine_),
       scratch_(plan_.shards),
-      crash_depth_(instance.size(), 0) {
+      crash_depth_(instance.size(), 0),
+      directory_(instance.size()) {
   const std::size_t m = instance.size();
   if (m == 0) {
     throw std::invalid_argument("DistributedRuntime: empty instance");
@@ -65,6 +67,8 @@ DistributedRuntime::DistributedRuntime(const core::Instance& instance,
         [this](double /*start*/, double /*end*/) { VerifyAccounting(); });
   }
 
+  const bool elastic = !options_.initial_members.empty();
+
   util::Rng master(options_.seed);
   agents_.reserve(m);
   for (std::size_t id = 0; id < m; ++id) {
@@ -74,21 +78,35 @@ DistributedRuntime::DistributedRuntime(const core::Instance& instance,
   // Staggered timer phases: gossip starts inside the first gossip period,
   // balancing inside the second half of the first balance period so the
   // views have seen at least one dissemination wave. (Draw order matches
-  // every shard count — the master rng runs before the engine does.)
+  // every shard count — the master rng runs before the engine does. The
+  // draws happen for every id even under an initial member mask, so a
+  // member's stagger never depends on who else starts absent.)
   for (std::size_t id = 0; id < m; ++id) {
+    const double gossip_at =
+        master.uniform() * options_.agent.gossip_period;
+    const double balance_at =
+        (0.5 + 0.5 * master.uniform()) * options_.agent.balance_period;
+    if (elastic && options_.initial_members[id] == 0) continue;
     ShardEvent gossip;
     gossip.type = kEvGossipTimer;
     gossip.a = id;
-    gossip.key = {master.uniform() * options_.agent.gossip_period,
-                  kEvGossipTimer, id, 0};
+    gossip.key = {gossip_at, kEvGossipTimer, id, 0};
     engine_.Push(plan_.shard_of[id], std::move(gossip));
     ShardEvent balance;
     balance.type = kEvBalanceTimer;
     balance.a = id;
-    balance.key = {
-        (0.5 + 0.5 * master.uniform()) * options_.agent.balance_period,
-        kEvBalanceTimer, id, 0};
+    balance.key = {balance_at, kEvBalanceTimer, id, 0};
     engine_.Push(plan_.shard_of[id], std::move(balance));
+  }
+
+  if (elastic) {
+    for (std::size_t id = 0; id < m; ++id) {
+      if (options_.initial_members[id] != 0) continue;
+      agents_[id].Deactivate();
+      network_.SetMember(id, false);
+      directory_.scheduled_member[id] = 0;
+      directory_.ever_joined[id] = 0;
+    }
   }
 }
 
@@ -103,11 +121,29 @@ void DistributedRuntime::RunUntil(double t) {
   horizon_ = t;
 }
 
+void DistributedRuntime::ArmBalanceTimeout(std::size_t shard, std::size_t id,
+                                           std::uint64_t handshake) {
+  if (handshake == 0) return;
+  ShardEvent timeout;
+  timeout.type = kEvBalanceTimeout;
+  timeout.a = id;
+  timeout.b = handshake;
+  timeout.key = {engine_.now(shard) + balance_timeout_, kEvBalanceTimeout,
+                 id, handshake};
+  engine_.Emit(shard, shard, std::move(timeout));
+}
+
 void DistributedRuntime::Dispatch(std::size_t shard, ShardEvent&& event) {
   switch (event.type) {
     case kEvMessage:
       if (network_.Arrive(shard, event)) {
-        agents_[event.message.to].OnMessage(event.message, network_);
+        const std::size_t to = event.message.to;
+        ArmBalanceTimeout(shard, to,
+                          agents_[to].OnMessage(event.message, network_));
+        // A drain confirmation is the one message that completes a
+        // departure (HandleDrainReply): deregister on the spot so the
+        // very next event already sees a non-member.
+        if (agents_[to].ConsumeDeparted()) RetireDeparted(to);
       }
       break;
     case kEvBounce:
@@ -115,33 +151,43 @@ void DistributedRuntime::Dispatch(std::size_t shard, ShardEvent&& event) {
       // would-be delivery (failure-detector fiction; see network.h).
       // Bounces are processed even while the sender itself is crashed —
       // its memory survives (the transactional-undo fiction of agent.h).
-      agents_[event.message.from].OnDeliveryFailure(event.message, network_);
+      ArmBalanceTimeout(shard, event.message.from,
+                        agents_[event.message.from].OnDeliveryFailure(
+                            event.message, network_));
       break;
     case kEvGossipTimer: {
       const std::size_t id = event.a;
+      // event.b is the chain's timer epoch: a mismatch means the chain
+      // belongs to a departed incarnation and dies here un-rearmed.
+      if (event.b != directory_.timer_epoch[id] || !agents_[id].active()) {
+        break;
+      }
+      if (!network_.crashed(id)) agents_[id].StartGossip(network_);
       ShardEvent next = std::move(event);
       next.key.time = engine_.now(shard) + options_.agent.gossip_period;
       engine_.Emit(shard, shard, std::move(next));
-      if (!network_.crashed(id)) agents_[id].StartGossip(network_);
       break;
     }
     case kEvBalanceTimer: {
       const std::size_t id = event.a;
+      if (event.b != directory_.timer_epoch[id] || !agents_[id].active()) {
+        break;
+      }
+      if (!network_.crashed(id)) {
+        Agent& agent = agents_[id];
+        // A draining agent's balance tick drains instead of balancing.
+        ArmBalanceTimeout(shard, id,
+                          agent.draining() ? agent.StartDrain(network_)
+                                           : agent.StartBalance(network_));
+        if (agent.ConsumeDeparted()) {
+          // Drained empty: the tick became the departure. No re-arm.
+          RetireDeparted(id);
+          break;
+        }
+      }
       ShardEvent next = std::move(event);
       next.key.time = engine_.now(shard) + options_.agent.balance_period;
       engine_.Emit(shard, shard, std::move(next));
-      if (!network_.crashed(id)) {
-        const std::uint64_t handshake = agents_[id].StartBalance(network_);
-        if (handshake != 0) {
-          ShardEvent timeout;
-          timeout.type = kEvBalanceTimeout;
-          timeout.a = id;
-          timeout.b = handshake;
-          timeout.key = {engine_.now(shard) + balance_timeout_,
-                         kEvBalanceTimeout, id, handshake};
-          engine_.Emit(shard, shard, std::move(timeout));
-        }
-      }
       break;
     }
     case kEvBalanceTimeout:
@@ -159,21 +205,76 @@ void DistributedRuntime::Dispatch(std::size_t shard, ShardEvent&& event) {
     case kEvRecover:
       if (--crash_depth_[event.a] == 0) {
         network_.SetCrashed(event.a, false);
-        const std::uint64_t handshake = agents_[event.a].OnRecover(network_);
-        if (handshake != 0) {
-          ShardEvent timeout;
-          timeout.type = kEvBalanceTimeout;
-          timeout.a = event.a;
-          timeout.b = handshake;
-          timeout.key = {engine_.now(shard) + balance_timeout_,
-                         kEvBalanceTimeout, event.a, handshake};
-          engine_.Emit(shard, shard, std::move(timeout));
-        }
+        ArmBalanceTimeout(shard, event.a,
+                          agents_[event.a].OnRecover(network_));
+      }
+      break;
+    case kEvJoin: {
+      const std::size_t id = event.a;
+      if (agents_[id].active()) {
+        // Still here: a rejoin landing on a draining agent cancels the
+        // departure (unless the drain column is already on the wire — then
+        // the departure wins and this join is lost); a join on a plain
+        // member is ignored.
+        agents_[id].CancelLeave();
+        break;
+      }
+      network_.SetMember(id, true);
+      const bool first = directory_.ever_joined[id] == 0;
+      directory_.ever_joined[id] = 1;
+      // A fresh epoch for the new incarnation's timer chains (any event
+      // still pending from a previous chain now mismatches and dies).
+      ++directory_.timer_epoch[id];
+      ArmBalanceTimeout(shard, id,
+                        agents_[id].OnJoin(event.b, first,
+                                           crash_depth_[id] > 0, network_));
+      ArmTimers(shard, id);
+      break;
+    }
+    case kEvLeave:
+      if (agents_[event.a].active()) agents_[event.a].OnLeave();
+      break;
+    case kEvLoadDelta:
+      // Dropped while absent: the organization's demand follows its
+      // server's membership.
+      if (agents_[event.a].active()) {
+        agents_[event.a].ApplyLoadDelta(event.v, engine_.now(shard));
       }
       break;
     default:
       throw std::logic_error("DistributedRuntime: unknown event type");
   }
+}
+
+void DistributedRuntime::ArmTimers(std::size_t shard, std::size_t id) {
+  // The construction-time stagger stream cannot be extended mid-run
+  // (every draw would shift), so each join epoch derives its own stream
+  // from (seed, id, epoch) — a pure function of the schedule, identical
+  // for every shard/thread count.
+  const std::uint64_t epoch = directory_.timer_epoch[id];
+  util::Rng stagger = TimerStaggerRng(options_.seed, id, epoch);
+  const double now = engine_.now(shard);
+  ShardEvent gossip;
+  gossip.type = kEvGossipTimer;
+  gossip.a = id;
+  gossip.b = epoch;
+  gossip.key = {now + stagger.uniform() * options_.agent.gossip_period,
+                kEvGossipTimer, id, epoch};
+  engine_.Emit(shard, shard, std::move(gossip));
+  ShardEvent balance;
+  balance.type = kEvBalanceTimer;
+  balance.a = id;
+  balance.b = epoch;
+  balance.key = {now + (0.5 + 0.5 * stagger.uniform()) *
+                           options_.agent.balance_period,
+                 kEvBalanceTimer, id, epoch};
+  engine_.Emit(shard, shard, std::move(balance));
+}
+
+void DistributedRuntime::RetireDeparted(std::size_t id) {
+  network_.SetMember(id, false);
+  // Retiring the epoch kills both timer chains at their next firing.
+  ++directory_.timer_epoch[id];
 }
 
 void DistributedRuntime::ScheduleCrash(std::size_t id, double down,
@@ -198,6 +299,61 @@ void DistributedRuntime::ScheduleCrash(std::size_t id, double down,
   recover.a = id;
   recover.key = {up, kEvRecover, id, sequence};
   engine_.Push(shard, std::move(recover));
+}
+
+void DistributedRuntime::ScheduleJoin(std::size_t id, double at) {
+  if (id >= agents_.size()) {
+    throw std::invalid_argument("ScheduleJoin: server out of range");
+  }
+  if (at < horizon_) {
+    throw std::invalid_argument("ScheduleJoin: time in the past");
+  }
+  // The seed is fixed here, against the member set in SCHEDULE order —
+  // making the churn timeline a pure function of the schedule. A seed
+  // that is dead by `at` just bounces the join request (solo fallback).
+  const std::size_t seed = ChooseJoinSeed(
+      instance_.latency_matrix(), directory_.scheduled_member, id);
+  directory_.scheduled_member[id] = 1;
+  const std::uint64_t sequence = directory_.sequence++;
+  ShardEvent join;
+  join.type = kEvJoin;
+  join.a = id;
+  join.b = seed;
+  join.key = {at, kEvJoin, id, sequence};
+  engine_.Push(plan_.shard_of[id], std::move(join));
+}
+
+void DistributedRuntime::ScheduleLeave(std::size_t id, double at) {
+  if (id >= agents_.size()) {
+    throw std::invalid_argument("ScheduleLeave: server out of range");
+  }
+  if (at < horizon_) {
+    throw std::invalid_argument("ScheduleLeave: time in the past");
+  }
+  directory_.scheduled_member[id] = 0;
+  const std::uint64_t sequence = directory_.sequence++;
+  ShardEvent leave;
+  leave.type = kEvLeave;
+  leave.a = id;
+  leave.key = {at, kEvLeave, id, sequence};
+  engine_.Push(plan_.shard_of[id], std::move(leave));
+}
+
+void DistributedRuntime::ScheduleLoadDelta(std::size_t id, double at,
+                                           double delta) {
+  if (id >= agents_.size()) {
+    throw std::invalid_argument("ScheduleLoadDelta: server out of range");
+  }
+  if (at < horizon_) {
+    throw std::invalid_argument("ScheduleLoadDelta: time in the past");
+  }
+  const std::uint64_t sequence = directory_.sequence++;
+  ShardEvent wave;
+  wave.type = kEvLoadDelta;
+  wave.a = id;
+  wave.v = delta;
+  wave.key = {at, kEvLoadDelta, id, sequence};
+  engine_.Push(plan_.shard_of[id], std::move(wave));
 }
 
 void DistributedRuntime::VerifyAccounting() const {
@@ -275,7 +431,9 @@ RuntimeSnapshot DistributedRuntime::LightSnapshot() const {
   snapshot.bytes_control = network_.bytes_control();
   snapshot.bytes_column = network_.bytes_column();
   snapshot.bytes_gossip = network_.bytes_gossip();
+  snapshot.bytes_membership = network_.bytes_membership();
   snapshot.balances_in_flight = OpenHandshakes();
+  snapshot.members = network_.members();
   return snapshot;
 }
 

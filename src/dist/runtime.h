@@ -39,6 +39,7 @@
 #include "core/instance.h"
 #include "core/pair_order_cache.h"
 #include "dist/agent.h"
+#include "dist/membership.h"
 #include "dist/network.h"
 #include "dist/shard.h"
 #include "util/thread_pool.h"
@@ -72,6 +73,14 @@ struct RuntimeOptions {
   /// agent.balance_period, which exceeds any round trip (and therefore
   /// any drop bounce, which rides the return path).
   double balance_timeout = 0.0;
+  /// Elastic membership (dist/membership.h): initial_members[id] != 0
+  /// marks the servers alive at time 0; every other id is constructed
+  /// absent (no column mass, no timers, traffic dropped) and activated by
+  /// ScheduleJoin. Empty (the default) means everyone — bit-identical to
+  /// the fixed-membership runtime. The id universe itself stays fixed:
+  /// absent ids are pre-placed in the shard plan by the member-aware
+  /// PlanShards, so the conservative lookahead never changes mid-run.
+  std::vector<std::uint8_t> initial_members;
   AgentOptions agent;
 };
 
@@ -84,12 +93,15 @@ struct RuntimeSnapshot {
   std::size_t messages_dropped = 0;
   std::size_t bytes_sent = 0;  ///< WireSize total (see message.h)
   /// Per-class breakdown of bytes_sent (always sums to it): fixed framing,
-  /// balance-column payloads, and gossip traffic — so BENCH rows show
-  /// which budget an optimization moved.
+  /// balance-column payloads, gossip traffic, and membership-protocol
+  /// traffic (join/drain handshakes + tombstone quads) — so BENCH rows
+  /// show which budget an optimization moved.
   std::size_t bytes_control = 0;
   std::size_t bytes_column = 0;
   std::size_t bytes_gossip = 0;
+  std::size_t bytes_membership = 0;
   std::size_t balances_in_flight = 0;  ///< open handshake endpoints
+  std::size_t members = 0;  ///< servers currently registered as members
 };
 
 class DistributedRuntime {
@@ -121,6 +133,23 @@ class DistributedRuntime {
   /// absolute simulation times not earlier than now, down < up). Windows of
   /// different calls may overlap; the server is down in their union.
   void ScheduleCrash(std::size_t id, double down, double up);
+
+  /// Schedules server `id` to join (activate) at absolute time `at`
+  /// (not earlier than now). Its bootstrap seed — the nearest member in
+  /// SCHEDULE order, see membership.h — is chosen here, so the whole
+  /// churn timeline is a pure function of the schedule. A join scheduled
+  /// onto an already-active id is ignored at dispatch.
+  void ScheduleJoin(std::size_t id, double at);
+
+  /// Schedules server `id` to start draining at `at`: it hands its column
+  /// off through drain handshakes on its balance ticks and deregisters
+  /// once empty. Ignored at dispatch when the id is absent.
+  void ScheduleLeave(std::size_t id, double at);
+
+  /// Schedules organization `id`'s demand to change by `delta` (clamped
+  /// at zero local share) at `at` — the scenario-pack load waves. Dropped
+  /// at dispatch while the id is absent.
+  void ScheduleLoadDelta(std::size_t id, double at, double delta);
 
   const Agent& agent(std::size_t id) const { return agents_.at(id); }
   const Network& network() const noexcept { return network_; }
@@ -162,6 +191,21 @@ class DistributedRuntime {
   /// that lets windows run wait-free across shards.
   void Dispatch(std::size_t shard, ShardEvent&& event);
 
+  /// Arms the resolution timeout of a freshly opened handshake (no-op for
+  /// handshake 0): every initiator record must have one pending, whether
+  /// the handshake came from a timer tick, a join, a recovery, or an
+  /// immediate drain retry inside message handling.
+  void ArmBalanceTimeout(std::size_t shard, std::size_t id,
+                         std::uint64_t handshake);
+
+  /// Arms a (re)joining id's gossip + balance timer chains at the current
+  /// epoch, staggered by the derived per-(id, epoch) rng — the master rng
+  /// stream is construction-only and cannot be extended mid-run.
+  void ArmTimers(std::size_t shard, std::size_t id);
+
+  /// Deregisters a just-departed id and retires its timer chains.
+  void RetireDeparted(std::size_t id);
+
   const core::Instance& instance_;
   RuntimeOptions options_;
   double balance_timeout_ = 0.0;
@@ -177,6 +221,9 @@ class DistributedRuntime {
   /// Overlapping crash windows nest: a server is down while depth > 0.
   std::vector<std::uint32_t> crash_depth_;
   std::uint64_t crash_sequence_ = 0;  ///< EventKey minor of crash events
+  /// Membership bookkeeping: schedule-order member set (seed choice),
+  /// ever-joined flags (first join claims the demand), timer epochs.
+  MembershipDirectory directory_;
   double horizon_ = 0.0;  ///< latest RunUntil target
 };
 

@@ -1,10 +1,40 @@
 #include "dist/shard.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "net/clustering.h"
 
 namespace delaylb::dist {
+namespace {
+
+/// Symmetric proximity (the planner's metric — a message can cross
+/// between two shards along either direction of the pair).
+double SymmetricLatency(const net::LatencyMatrix& latency, std::size_t i,
+                        std::size_t j) {
+  return std::min(latency(i, j), latency(j, i));
+}
+
+/// Nearest already-assigned server to `id` by symmetric latency, ties to
+/// the lower id; latency.size() when none is assigned.
+std::size_t NearestAssigned(const ShardPlan& plan,
+                            const net::LatencyMatrix& latency,
+                            std::size_t id) {
+  const std::size_t m = latency.size();
+  std::size_t best = m;
+  double best_distance = net::kUnreachable;
+  for (std::size_t j = 0; j < m; ++j) {
+    if (j == id || plan.shard_of[j] == net::kUnclustered) continue;
+    const double d = SymmetricLatency(latency, id, j);
+    if (best == m || d < best_distance) {
+      best = j;
+      best_distance = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace
 
 ShardPlan PlanShards(const net::LatencyMatrix& latency,
                      std::size_t requested) {
@@ -28,6 +58,84 @@ ShardPlan PlanShards(const net::LatencyMatrix& latency,
   plan.shards = clusters.clusters;
   plan.lookahead = lookahead;
   return plan;
+}
+
+ShardPlan PlanShards(const net::LatencyMatrix& latency,
+                     std::size_t requested,
+                     std::span<const std::uint8_t> members) {
+  if (members.empty()) return PlanShards(latency, requested);
+  const std::size_t m = latency.size();
+  if (members.size() != m) {
+    throw std::invalid_argument("PlanShards: member mask size mismatch");
+  }
+  ShardPlan plan;
+  plan.shard_of.assign(m, 0);
+  if (requested <= 1 || m <= 1) return plan;
+
+  std::size_t member_count = 0;
+  for (const std::uint8_t alive : members) member_count += alive != 0;
+  if (member_count <= 1) return plan;
+
+  const net::ClusterPlan clusters = net::ClusterByLatency(
+      latency, std::min(requested, member_count), members);
+  if (clusters.clusters <= 1) return plan;
+
+  // Join-to-nearest-shard placement for the absent ids (future joiners),
+  // in ascending id order: each follows its nearest already-assigned
+  // server, so a tight latency group of spares lands whole in one shard
+  // just like the member pass's single linkage.
+  ShardPlan extended;
+  extended.shard_of = clusters.cluster_of;
+  extended.shards = clusters.clusters;
+  for (std::size_t id = 0; id < m; ++id) {
+    if (extended.shard_of[id] != net::kUnclustered) continue;
+    const std::size_t anchor = NearestAssigned(extended, latency, id);
+    extended.shard_of[id] =
+        anchor == m ? 0 : extended.shard_of[anchor];
+  }
+  // The lookahead is derived over the FULL assignment: a joiner close to
+  // a foreign cluster narrows the committed windows (replan) instead of
+  // violating the conservative contract mid-run (which ExtendShardPlan
+  // would reject). A zero-lookahead outcome collapses to sequential.
+  const double lookahead =
+      sim::MinCrossShardLatency(latency, extended.shard_of);
+  if (!(lookahead > 0.0)) return plan;
+  extended.lookahead = lookahead;
+  return extended;
+}
+
+void ExtendShardPlan(ShardPlan& plan, const net::LatencyMatrix& latency,
+                     std::size_t id) {
+  const std::size_t m = latency.size();
+  if (plan.shard_of.size() != m || id >= m) {
+    throw std::invalid_argument("ExtendShardPlan: id/plan size mismatch");
+  }
+  if (plan.shards <= 1) {
+    plan.shard_of[id] = 0;
+    return;
+  }
+  const std::size_t anchor = NearestAssigned(plan, latency, id);
+  plan.shard_of[id] =
+      anchor == m ? 0 : plan.shard_of[anchor];
+  // The running engine's windows were sized by plan.lookahead; admitting
+  // an id whose cross-shard latencies undercut it would let a message
+  // land inside an already-committed window. Reject, mirroring the
+  // kernel's own Emit-horizon guard.
+  for (std::size_t j = 0; j < m; ++j) {
+    if (j == id || plan.shard_of[j] == net::kUnclustered ||
+        plan.shard_of[j] == plan.shard_of[id]) {
+      continue;
+    }
+    const double out = latency(id, j);
+    const double back = latency(j, id);
+    if ((latency.Reachable(id, j) && out < plan.lookahead) ||
+        (latency.Reachable(j, id) && back < plan.lookahead)) {
+      plan.shard_of[id] = net::kUnclustered;
+      throw std::logic_error(
+          "ExtendShardPlan: joining id undercuts the plan's conservative "
+          "lookahead — replan with the member-aware PlanShards overload");
+    }
+  }
 }
 
 }  // namespace delaylb::dist

@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "dist/message.h"
@@ -45,6 +46,13 @@ enum ShardEventType : std::int32_t {
   kEvGossipTimer,
   kEvBalanceTimer,
   kEvBalanceTimeout,
+  // Membership events are appended so every pre-elasticity rank — and
+  // with it every recorded trace fingerprint — is unchanged. A message
+  // arriving at the same instant as a join therefore still finds the
+  // server absent (messages rank first), matching the crash convention.
+  kEvJoin,       ///< server a becomes a member (b = bootstrap seed id)
+  kEvLeave,      ///< server a starts draining toward departure
+  kEvLoadDelta,  ///< organization a's local demand changes by v
 };
 
 /// One runtime event. key.major/minor identify the event within its
@@ -56,7 +64,9 @@ struct ShardEvent {
   sim::EventKey key;
   std::int32_t type = kEvMessage;
   std::uint64_t a = 0;  ///< agent id (timers, timeouts, crash windows)
-  std::uint64_t b = 0;  ///< handshake id (timeouts)
+  std::uint64_t b = 0;  ///< handshake id (timeouts), timer epoch (timers),
+                        ///< bootstrap seed (kEvJoin)
+  double v = 0.0;       ///< demand delta (kEvLoadDelta)
   Message message;      ///< kEvMessage / kEvBounce payload
 };
 
@@ -75,5 +85,32 @@ struct ShardPlan {
 /// the matrix is trivial, or no positive-lookahead split exists.
 ShardPlan PlanShards(const net::LatencyMatrix& latency,
                      std::size_t requested);
+
+/// Member-aware planning for an elastic cluster: clusters only the ids
+/// with members[id] != 0 (the servers alive at construction), then places
+/// every absent id — a future joiner — into the nearest member cluster by
+/// symmetric latency (the join-to-nearest-shard rule) and re-derives the
+/// lookahead over the FULL assignment, so a joiner landing close to a
+/// foreign cluster shrinks the windows instead of violating the
+/// conservative contract (the replan half of reject-or-replan; the
+/// reject half is ExtendShardPlan). An empty `members` span means
+/// everyone and is exactly PlanShards(latency, requested). Degenerate
+/// outcomes (<= 1 member cluster, zero final lookahead) collapse to the
+/// single-shard identity as usual.
+ShardPlan PlanShards(const net::LatencyMatrix& latency,
+                     std::size_t requested,
+                     std::span<const std::uint8_t> members);
+
+/// Places `id` into an existing multi-shard plan: assigns it the shard of
+/// its nearest assigned server by symmetric latency, then verifies the
+/// placement preserves the plan's lookahead — the PDES windows already
+/// committed were sized by it, so an id whose cross-shard latencies
+/// undercut the lookahead CANNOT be admitted into a running plan. Throws
+/// std::logic_error in that case (the reject half of reject-or-replan,
+/// matching the kernel's Emit-horizon guard); the caller must then build
+/// a fresh plan (and runtime) with the member-aware PlanShards overload.
+/// Single-shard plans accept any id trivially.
+void ExtendShardPlan(ShardPlan& plan, const net::LatencyMatrix& latency,
+                     std::size_t id);
 
 }  // namespace delaylb::dist

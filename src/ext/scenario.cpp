@@ -1,0 +1,415 @@
+#include "ext/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "core/cost.h"
+#include "core/mine.h"
+#include "exp/dynamic.h"
+#include "ext/tasks.h"
+#include "net/generators.h"
+#include "util/distributions.h"
+
+namespace delaylb::ext {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+/// Speed multiplier modeling a server that is absent or inside an outage
+/// window in the synchronous mirror / reference instance: small enough
+/// that MinE routes nothing there, nonzero so Instance stays valid.
+constexpr double kDeadSpeedFactor = 0.02;
+
+bool InBlock(const ScenarioEvent& event, std::size_t i) noexcept {
+  return i >= event.first && i < event.first + event.count;
+}
+
+bool InWindow(const ScenarioEvent& event, double t) noexcept {
+  return t >= event.at && t < event.at + event.duration;
+}
+
+bool IsMembershipEvent(ScenarioEventKind kind) noexcept {
+  return kind == ScenarioEventKind::kJoinBurst ||
+         kind == ScenarioEventKind::kLeaveBurst;
+}
+
+bool HasMembershipEvents(const ScenarioPack& pack) {
+  if (pack.spares() > 0) return true;
+  for (const ScenarioEvent& event : pack.timeline) {
+    if (IsMembershipEvent(event.kind)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* ToString(ScenarioEventKind kind) noexcept {
+  switch (kind) {
+    case ScenarioEventKind::kLoadWave:
+      return "load-wave";
+    case ScenarioEventKind::kFlashCrowd:
+      return "flash-crowd";
+    case ScenarioEventKind::kRegionOutage:
+      return "region-outage";
+    case ScenarioEventKind::kJoinBurst:
+      return "join-burst";
+    case ScenarioEventKind::kLeaveBurst:
+      return "leave-burst";
+  }
+  return "?";
+}
+
+double DemandFactor(const ScenarioPack& pack, std::size_t i, double t) {
+  double factor = 1.0;
+  for (const ScenarioEvent& event : pack.timeline) {
+    if (!InWindow(event, t)) continue;
+    switch (event.kind) {
+      case ScenarioEventKind::kLoadWave: {
+        // A crest of height `magnitude` rotating once around the id ring
+        // over the event's duration — the diurnal pattern of demand
+        // following the sun across regions.
+        const double ring =
+            static_cast<double>(i) / static_cast<double>(pack.m);
+        const double phase =
+            2.0 * kPi * (ring - (t - event.at) / event.duration);
+        factor *= 1.0 + (event.magnitude - 1.0) * 0.5 *
+                            (1.0 + std::cos(phase));
+        break;
+      }
+      case ScenarioEventKind::kFlashCrowd:
+        if (InBlock(event, i)) factor *= event.magnitude;
+        break;
+      default:
+        break;
+    }
+  }
+  return factor;
+}
+
+double BurstFireTime(const ScenarioEvent& event, std::size_t k) {
+  const double span = std::max<std::size_t>(1, event.count);
+  return event.at + event.duration * static_cast<double>(k) / span;
+}
+
+std::vector<std::uint8_t> InitialMembers(const ScenarioPack& pack) {
+  const std::size_t spares = pack.spares();
+  if (spares == 0) return {};
+  std::vector<std::uint8_t> members(pack.m, 1);
+  for (std::size_t i = pack.m - spares; i < pack.m; ++i) members[i] = 0;
+  return members;
+}
+
+bool MemberAt(const ScenarioPack& pack, std::size_t i, double t) {
+  bool member = i < pack.m - pack.spares();
+  double latest = -1.0;
+  // The most recent join/leave fire time for `i` at or before `t` decides;
+  // ties resolve to the later timeline entry, matching the runtime's
+  // schedule-sequence ordering of equal-time events.
+  for (const ScenarioEvent& event : pack.timeline) {
+    if (!IsMembershipEvent(event.kind) || !InBlock(event, i)) continue;
+    const double fire = BurstFireTime(event, i - event.first);
+    if (fire > t || fire < latest) continue;
+    latest = fire;
+    member = event.kind == ScenarioEventKind::kJoinBurst;
+  }
+  return member;
+}
+
+bool OutageAt(const ScenarioPack& pack, std::size_t i, double t) {
+  for (const ScenarioEvent& event : pack.timeline) {
+    if (event.kind == ScenarioEventKind::kRegionOutage &&
+        InBlock(event, i) && InWindow(event, t)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+core::Instance MakeInstance(const ScenarioPack& pack, util::Rng& rng) {
+  if (!pack.heavy_tail_tasks) {
+    core::ScenarioParams params;
+    params.m = pack.m;
+    params.load_distribution = util::LoadDistribution::kExponential;
+    params.mean_load = pack.mean_load;
+    params.network = pack.network;
+    params.speed_lo = pack.speed_lo;
+    params.speed_hi = pack.speed_hi;
+    return core::MakeScenario(params, rng);
+  }
+  // Heterogeneous capacities: each organization's demand is the total of a
+  // heavy-tailed task catalogue, rescaled so the mean per-org demand stays
+  // pack.mean_load (packs remain comparable across the demand models).
+  std::vector<double> speeds =
+      util::SampleSpeeds(pack.m, pack.speed_lo, pack.speed_hi, rng);
+  TaskSets tasks;
+  tasks.reserve(pack.m);
+  double grand_total = 0.0;
+  for (std::size_t i = 0; i < pack.m; ++i) {
+    tasks.push_back(
+        HeavyTailTasks(pack.tasks_per_org, 1.0, 64.0, pack.task_alpha, rng));
+    grand_total += tasks.back().total();
+  }
+  if (grand_total > 0.0) {
+    const double scale =
+        pack.mean_load * static_cast<double>(pack.m) / grand_total;
+    for (TaskSet& set : tasks) {
+      for (double& size : set.sizes) size *= scale;
+    }
+  }
+  net::LatencyMatrix latency =
+      pack.network == core::NetworkKind::kHomogeneous
+          ? net::Homogeneous(pack.m, 20.0)
+          : net::PlanetLabLike(pack.m, rng);
+  return InstanceFromTasks(std::move(speeds), tasks, std::move(latency));
+}
+
+namespace {
+
+/// The synchronous-engine view of the pack at time `t`: absent servers
+/// contribute no demand, absent or failed servers keep a token speed so
+/// the reference never routes work onto capacity the runtime cannot use.
+core::Instance EffectiveInstance(const ScenarioPack& pack,
+                                 const core::Instance& base, double t) {
+  const std::size_t m = base.size();
+  std::vector<double> speeds(m);
+  std::vector<double> loads(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const bool member = MemberAt(pack, i, t);
+    const bool up = member && !OutageAt(pack, i, t);
+    speeds[i] = base.speed(i) * (up ? 1.0 : kDeadSpeedFactor);
+    loads[i] = member ? base.load(i) * DemandFactor(pack, i, t) : 0.0;
+  }
+  return core::Instance(std::move(speeds), std::move(loads),
+                        base.latency_matrix());
+}
+
+}  // namespace
+
+ScenarioRunResult ReplayOnRuntime(const ScenarioPack& pack,
+                                  const core::Instance& instance,
+                                  dist::RuntimeOptions options) {
+  const std::size_t m = instance.size();
+  if (m != pack.m) {
+    throw std::invalid_argument(
+        "ReplayOnRuntime: instance size differs from pack.m");
+  }
+  options.initial_members = InitialMembers(pack);
+  if (options.initial_members.empty() && HasMembershipEvents(pack)) {
+    // Full mask: elastic bookkeeping on, trace identical to the fixed-
+    // membership runtime until the first scheduled join/leave fires.
+    options.initial_members.assign(m, 1);
+  }
+  dist::DistributedRuntime runtime(instance, std::move(options));
+
+  ScenarioRunResult result;
+  // The whole timeline is scheduled before the first RunUntil, so the
+  // replay is one deterministic event program.
+  for (const ScenarioEvent& event : pack.timeline) {
+    const std::size_t last = std::min(pack.m, event.first + event.count);
+    switch (event.kind) {
+      case ScenarioEventKind::kRegionOutage:
+        for (std::size_t id = event.first; id < last; ++id) {
+          runtime.ScheduleCrash(id, event.at, event.at + event.duration);
+          ++result.crashes;
+        }
+        break;
+      case ScenarioEventKind::kJoinBurst:
+        for (std::size_t id = event.first; id < last; ++id) {
+          runtime.ScheduleJoin(id, BurstFireTime(event, id - event.first));
+          ++result.joins;
+        }
+        break;
+      case ScenarioEventKind::kLeaveBurst:
+        for (std::size_t id = event.first; id < last; ++id) {
+          runtime.ScheduleLeave(id, BurstFireTime(event, id - event.first));
+          ++result.leaves;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  // Demand waves become per-epoch load deltas: at each epoch boundary the
+  // organization's own share moves to load_i * DemandFactor (exactly, since
+  // deltas telescope — modulo the at-zero clamp, which the realized-demand
+  // reference below absorbs).
+  for (std::size_t id = 0; id < m; ++id) {
+    double previous = 1.0;
+    for (double t = pack.epoch; t <= pack.horizon + 1e-9; t += pack.epoch) {
+      const double factor = DemandFactor(pack, id, t);
+      const double delta = instance.load(id) * (factor - previous);
+      if (delta != 0.0) runtime.ScheduleLoadDelta(id, t, delta);
+      previous = factor;
+    }
+  }
+
+  for (double t = pack.epoch; t <= pack.horizon + 1e-9; t += pack.epoch) {
+    runtime.RunUntil(t);
+    result.trace.push_back(runtime.Snapshot());
+  }
+  // Quiesce: let open handshakes commit so the final cost and the
+  // assembled allocation are exact.
+  double t = pack.horizon;
+  for (int extra = 0; extra < 20 && runtime.UncommittedExchanges() != 0;
+       ++extra) {
+    t += pack.epoch;
+    runtime.RunUntil(t);
+  }
+  result.final_cost = runtime.ColumnTotalCost();
+
+  // Reference: converged MinE over the demand the runtime actually carries
+  // (assembled row sums — immune to clamped recalls and never-joined
+  // spares), with non-member capacity crippled.
+  const core::Allocation assembled = runtime.AssembleAllocation();
+  std::vector<double> speeds(m);
+  std::vector<double> loads(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const bool up = runtime.agent(i).active();
+    speeds[i] = instance.speed(i) * (up ? 1.0 : kDeadSpeedFactor);
+    const auto row = assembled.row(i);
+    loads[i] = std::accumulate(row.begin(), row.end(), 0.0);
+  }
+  const core::Instance realized(std::move(speeds), std::move(loads),
+                                instance.latency_matrix());
+  const core::Allocation reference =
+      core::SolveWithMinE(realized, {}, 300, 1e-10);
+  result.reference_cost = core::TotalCost(realized, reference);
+  return result;
+}
+
+std::vector<ScenarioEpochCost> ReplayOnMinE(const ScenarioPack& pack,
+                                            const core::Instance& instance,
+                                            std::size_t iterations_per_epoch,
+                                            std::uint64_t seed) {
+  if (instance.size() != pack.m) {
+    throw std::invalid_argument(
+        "ReplayOnMinE: instance size differs from pack.m");
+  }
+  core::MinEOptions engine_options;
+  engine_options.seed = seed;
+
+  std::vector<ScenarioEpochCost> trace;
+  core::Instance current = EffectiveInstance(pack, instance, 0.0);
+  core::Allocation warm(current);
+  for (double t = pack.epoch; t <= pack.horizon + 1e-9; t += pack.epoch) {
+    current = EffectiveInstance(pack, instance, t);
+    warm = exp::CarryOverAllocation(current, warm);
+    core::MinEBalancer balancer(current, engine_options);
+    for (std::size_t it = 0; it < iterations_per_epoch; ++it) {
+      balancer.Step(warm);
+    }
+    ScenarioEpochCost point;
+    point.time = t;
+    point.warm_cost = core::TotalCost(current, warm);
+    const core::Allocation reference =
+        core::SolveWithMinE(current, engine_options, 200, 1e-10);
+    point.reference_cost = core::TotalCost(current, reference);
+    point.gap = point.reference_cost > 0.0
+                    ? point.warm_cost / point.reference_cost - 1.0
+                    : 0.0;
+    for (std::size_t i = 0; i < pack.m; ++i) {
+      point.members += MemberAt(pack, i, t) ? 1 : 0;
+    }
+    trace.push_back(point);
+  }
+  return trace;
+}
+
+const std::vector<ScenarioPack>& BuiltinPacks() {
+  static const std::vector<ScenarioPack> packs = [] {
+    std::vector<ScenarioPack> list;
+
+    {
+      ScenarioPack pack;
+      pack.name = "cdn-diurnal";
+      pack.summary =
+          "diurnal demand crest rotating across 24 PlanetLab regions";
+      pack.m = 24;
+      pack.mean_load = 150.0;
+      pack.horizon = 8000.0;
+      pack.epoch = 500.0;
+      pack.timeline = {
+          {ScenarioEventKind::kLoadWave, 0.0, 8000.0, 2.4, 0, 0},
+      };
+      list.push_back(std::move(pack));
+    }
+    {
+      ScenarioPack pack;
+      pack.name = "flash-crowd";
+      pack.summary = "4x flash crowd on six regions atop the diurnal wave";
+      pack.m = 24;
+      pack.mean_load = 150.0;
+      pack.horizon = 8000.0;
+      pack.epoch = 500.0;
+      pack.timeline = {
+          {ScenarioEventKind::kLoadWave, 0.0, 8000.0, 1.8, 0, 0},
+          {ScenarioEventKind::kFlashCrowd, 3000.0, 1500.0, 4.0, 0, 6},
+      };
+      list.push_back(std::move(pack));
+    }
+    {
+      ScenarioPack pack;
+      pack.name = "region-outage";
+      pack.summary =
+          "five-server region crashes mid-run while demand keeps waving";
+      pack.m = 30;
+      pack.mean_load = 120.0;
+      pack.horizon = 9000.0;
+      pack.epoch = 500.0;
+      pack.timeline = {
+          {ScenarioEventKind::kLoadWave, 0.0, 9000.0, 1.6, 0, 0},
+          {ScenarioEventKind::kRegionOutage, 2500.0, 2500.0, 1.0, 20, 5},
+      };
+      list.push_back(std::move(pack));
+    }
+    {
+      ScenarioPack pack;
+      pack.name = "elastic-fleet";
+      pack.summary =
+          "eight spare servers join through a demand swell, drain out after";
+      pack.m = 32;
+      pack.mean_load = 120.0;
+      pack.horizon = 10000.0;
+      pack.epoch = 500.0;
+      pack.spare_fraction = 0.25;  // ids 24..31 start absent
+      pack.timeline = {
+          {ScenarioEventKind::kLoadWave, 0.0, 10000.0, 2.0, 0, 0},
+          {ScenarioEventKind::kJoinBurst, 2000.0, 1000.0, 1.0, 24, 8},
+          {ScenarioEventKind::kLeaveBurst, 7000.0, 1000.0, 1.0, 24, 8},
+      };
+      list.push_back(std::move(pack));
+    }
+    {
+      ScenarioPack pack;
+      pack.name = "replica-churn";
+      pack.summary =
+          "heavy-tailed task catalogues with a join/leave rotation";
+      pack.m = 24;
+      pack.mean_load = 140.0;
+      pack.heavy_tail_tasks = true;
+      pack.tasks_per_org = 150;
+      pack.task_alpha = 1.3;
+      pack.horizon = 9000.0;
+      pack.epoch = 500.0;
+      pack.timeline = {
+          {ScenarioEventKind::kFlashCrowd, 2000.0, 2000.0, 3.0, 8, 4},
+          {ScenarioEventKind::kLeaveBurst, 3000.0, 800.0, 1.0, 18, 4},
+          {ScenarioEventKind::kJoinBurst, 6000.0, 800.0, 1.0, 18, 4},
+      };
+      list.push_back(std::move(pack));
+    }
+    return list;
+  }();
+  return packs;
+}
+
+const ScenarioPack* FindPack(std::string_view name) {
+  for (const ScenarioPack& pack : BuiltinPacks()) {
+    if (pack.name == name) return &pack;
+  }
+  return nullptr;
+}
+
+}  // namespace delaylb::ext

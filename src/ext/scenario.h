@@ -1,0 +1,158 @@
+#pragma once
+// Scenario packs: reusable churn/demand timelines for the examples and
+// benches.
+//
+// The paper motivates the distributed algorithm with operational stories —
+// diurnal demand waves crossing a CDN, flash crowds, region outages,
+// elastic fleets growing and shrinking — that previously lived as ad-hoc
+// loops inside individual example binaries. A ScenarioPack captures one
+// such story as data: a base instance recipe (size, latency structure,
+// demand mix — optionally heterogeneous task catalogues via ext/tasks)
+// plus a timeline of ScenarioEvents. Two drivers replay a pack:
+//
+//  * ReplayOnRuntime drives the message-passing DistributedRuntime:
+//    outages become crash windows, join/leave bursts become
+//    ScheduleJoin/ScheduleLeave (the elastic-membership protocol of
+//    dist/membership.h), and demand waves become per-epoch
+//    ScheduleLoadDelta events. Everything is scheduled up front, so the
+//    whole replay inherits the runtime's bit-identical trace guarantee
+//    for any shard/thread count.
+//
+//  * ReplayOnMinE mirrors the same timeline onto the synchronous engine
+//    epoch by epoch (absent/failed servers modeled as zero demand +
+//    crippled speed, allocations carried between epochs by
+//    CarryOverAllocation's fraction-preserving rescale), giving the
+//    centralized warm-start yardstick the examples compare against.
+//
+// BuiltinPacks() ships the packs the examples use; the --scenario flag on
+// the example binaries selects one by name via FindPack.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/workload.h"
+#include "dist/runtime.h"
+#include "util/rng.h"
+
+namespace delaylb::ext {
+
+enum class ScenarioEventKind {
+  kLoadWave,      ///< rotating cosine demand wave over the whole id ring
+  kFlashCrowd,    ///< flat demand multiplier on one id block
+  kRegionOutage,  ///< crash window over one id block
+  kJoinBurst,     ///< id block joins, spread across the event's duration
+  kLeaveBurst,    ///< id block drains out, spread across the duration
+};
+
+const char* ToString(ScenarioEventKind kind) noexcept;
+
+/// One timeline entry. `first`/`count` bound the affected id block
+/// [first, first + count); a kLoadWave ignores them (it sweeps the whole
+/// ring). Demand events are multiplicative and active during
+/// [at, at + duration); membership/outage events fire inside the window.
+struct ScenarioEvent {
+  ScenarioEventKind kind = ScenarioEventKind::kLoadWave;
+  double at = 0.0;
+  double duration = 0.0;
+  double magnitude = 1.0;  ///< peak demand multiplier (waves, crowds)
+  std::size_t first = 0;
+  std::size_t count = 0;
+};
+
+struct ScenarioPack {
+  std::string name;
+  std::string summary;
+  std::size_t m = 24;
+  core::NetworkKind network = core::NetworkKind::kPlanetLab;
+  double mean_load = 120.0;
+  double speed_lo = 1.0;
+  double speed_hi = 5.0;
+  /// Draw each organization's demand as the total of a heavy-tailed task
+  /// catalogue (ext/tasks' Section-VII mix) instead of an exponential
+  /// scalar — heterogeneous capacities with realistic skew.
+  bool heavy_tail_tasks = false;
+  std::size_t tasks_per_org = 200;
+  double task_alpha = 1.3;
+  /// Simulated horizon and the demand-sampling epoch (ms).
+  double horizon = 8000.0;
+  double epoch = 500.0;
+  /// Fraction of the id space (the TRAILING ids) starting absent — spare
+  /// capacity that join bursts can activate.
+  double spare_fraction = 0.0;
+  std::vector<ScenarioEvent> timeline;
+
+  std::size_t spares() const noexcept {
+    return static_cast<std::size_t>(spare_fraction *
+                                    static_cast<double>(m));
+  }
+};
+
+/// Demand multiplier of organization `i` at time `t`: the product of all
+/// active kLoadWave / kFlashCrowd factors. 1 outside every event.
+double DemandFactor(const ScenarioPack& pack, std::size_t i, double t);
+
+/// Fire time of the k-th id of a join/leave burst: the block is spread
+/// evenly across the event's duration (all at `at` when duration is 0).
+double BurstFireTime(const ScenarioEvent& event, std::size_t k);
+
+/// Initial member mask: everyone except the trailing spares() ids. Empty
+/// when spare_fraction == 0 (the fixed-membership runtime).
+std::vector<std::uint8_t> InitialMembers(const ScenarioPack& pack);
+
+/// Membership of id `i` at time `t` per the pack's schedule (joins and
+/// leaves count from their fire time). The MinE mirror uses this; the
+/// runtime replay derives the same times through Schedule* calls.
+bool MemberAt(const ScenarioPack& pack, std::size_t i, double t);
+
+/// True while `i` sits inside an active kRegionOutage window.
+bool OutageAt(const ScenarioPack& pack, std::size_t i, double t);
+
+/// Builds the pack's base instance (demand BEFORE any timeline event),
+/// drawing randomness from `rng`.
+core::Instance MakeInstance(const ScenarioPack& pack, util::Rng& rng);
+
+struct ScenarioRunResult {
+  /// One snapshot per epoch boundary, epoch .. horizon.
+  std::vector<dist::RuntimeSnapshot> trace;
+  double final_cost = 0.0;  ///< exact SumC once every exchange committed
+  /// Centralized MinE on the REALIZED final demand (assembled row sums,
+  /// members only — absent servers crippled), the fair yardstick under
+  /// clamped load recalls.
+  double reference_cost = 0.0;
+  std::size_t joins = 0;
+  std::size_t leaves = 0;
+  std::size_t crashes = 0;
+};
+
+/// Replays the pack on the DistributedRuntime. `options.initial_members`
+/// and the churn schedule are derived from the pack; the caller picks
+/// seed/shards/threads (traces are bit-identical across the latter two).
+ScenarioRunResult ReplayOnRuntime(const ScenarioPack& pack,
+                                  const core::Instance& instance,
+                                  dist::RuntimeOptions options = {});
+
+struct ScenarioEpochCost {
+  double time = 0.0;
+  double warm_cost = 0.0;       ///< carried-over allocation, few Steps
+  double reference_cost = 0.0;  ///< per-epoch converged MinE
+  double gap = 0.0;             ///< warm / reference - 1
+  std::size_t members = 0;
+};
+
+/// Mirrors the pack's timeline on the synchronous engine, epoch by epoch.
+std::vector<ScenarioEpochCost> ReplayOnMinE(
+    const ScenarioPack& pack, const core::Instance& instance,
+    std::size_t iterations_per_epoch = 3, std::uint64_t seed = 1);
+
+/// The packs the examples ship: "cdn-diurnal", "flash-crowd",
+/// "region-outage", "elastic-fleet", "replica-churn".
+const std::vector<ScenarioPack>& BuiltinPacks();
+
+/// Pack lookup by name; nullptr when unknown.
+const ScenarioPack* FindPack(std::string_view name);
+
+}  // namespace delaylb::ext

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <stdexcept>
 
 namespace delaylb::net {
 namespace {
@@ -165,6 +166,38 @@ ClusterPlan ClusterByLatency(const LatencyMatrix& latency, std::size_t k) {
     }
   }
   plan.clusters = clusters;
+  return plan;
+}
+
+ClusterPlan ClusterByLatency(const LatencyMatrix& latency, std::size_t k,
+                             std::span<const std::uint8_t> members) {
+  const std::size_t m = latency.size();
+  if (members.empty()) return ClusterByLatency(latency, k);
+  if (members.size() != m) {
+    throw std::invalid_argument(
+        "ClusterByLatency: member mask size mismatch");
+  }
+  // Gather the member ids and cluster their submatrix: bit-identical to
+  // clustering a topology that never contained the absent ids.
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (members[i] != 0) ids.push_back(i);
+  }
+  const std::size_t n = ids.size();
+  LatencyMatrix sub(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      sub.Set(a, b, latency(ids[a], ids[b]));
+    }
+  }
+  const ClusterPlan inner = ClusterByLatency(sub, k);
+  ClusterPlan plan;
+  plan.cluster_of.assign(m, kUnclustered);
+  for (std::size_t a = 0; a < n; ++a) {
+    plan.cluster_of[ids[a]] = inner.cluster_of[a];
+  }
+  plan.clusters = inner.clusters;
   return plan;
 }
 

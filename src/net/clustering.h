@@ -24,14 +24,20 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "net/latency_matrix.h"
 
 namespace delaylb::net {
 
+/// cluster_of value of a server excluded from a member-masked clustering
+/// (see the ClusterByLatency overload below).
+inline constexpr std::uint32_t kUnclustered = 0xFFFFFFFFu;
+
 struct ClusterPlan {
-  /// cluster_of[i] in [0, clusters) for every server i.
+  /// cluster_of[i] in [0, clusters) for every server i (kUnclustered for
+  /// servers outside a member mask).
   std::vector<std::uint32_t> cluster_of;
   /// Actual cluster count: at most k, possibly fewer (zero-latency pairs
   /// and tiny m collapse clusters). 0 only for an empty matrix.
@@ -43,5 +49,17 @@ struct ClusterPlan {
 /// a cluster; cluster sizes stay within ceil(m / clusters) plus the size
 /// of one zero-latency group; k <= 1 returns the trivial single cluster.
 ClusterPlan ClusterByLatency(const LatencyMatrix& latency, std::size_t k);
+
+/// Member-masked clustering for elastic id spaces: partitions only the
+/// servers with members[i] != 0, leaving every other id at kUnclustered
+/// for the caller to place later (dist::ExtendShardPlan /
+/// the member-aware dist::PlanShards place joiners by nearest assigned
+/// member). Clustering the member submatrix is identical to clustering a
+/// matrix that never contained the absent ids — the guarantee elastic
+/// runs need, since the initial plan must not depend on servers that have
+/// not joined yet. An empty `members` span selects everyone; `members`
+/// must otherwise have exactly matrix-size entries.
+ClusterPlan ClusterByLatency(const LatencyMatrix& latency, std::size_t k,
+                             std::span<const std::uint8_t> members);
 
 }  // namespace delaylb::net

@@ -1,0 +1,316 @@
+// Elastic membership (dist/membership.h): trace determinism with
+// join/leave bursts overlapping crash windows, drain conservation of
+// every claimed organization load, tombstone monotonicity (a departed
+// server never resurrects in any live view), the deferred leave
+// cancellation, the membership wire byte class, and the reject half of
+// the member-aware shard planner.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/allocation.h"
+#include "dist/runtime.h"
+#include "dist/shard.h"
+#include "net/clustering.h"
+#include "net/latency_matrix.h"
+#include "testing/instances.h"
+
+namespace delaylb::dist {
+namespace {
+
+/// A full observable churn trace: snapshots every 250ms to 5s with three
+/// crash windows (one starting at an irrational instant, so it lands
+/// strictly inside a PDES window for every plan) and a leave/join burst
+/// overlapping them — including a leave firing INSIDE its own server's
+/// crash window and a drain racing a scheduled rejoin.
+std::vector<RuntimeSnapshot> ChurnTrace(const core::Instance& inst,
+                                        RuntimeOptions options) {
+  options.initial_members.assign(inst.size(), 1);
+  DistributedRuntime runtime(inst, options);
+  runtime.ScheduleCrash(3, 800.0, 2200.0);
+  runtime.ScheduleCrash(5, 1000.0, 1600.0);
+  runtime.ScheduleCrash(1, 1234.56789, 1303.7211);
+  runtime.ScheduleLeave(4, 900.0);    // drains while 3 is down
+  runtime.ScheduleLeave(9, 1100.0);
+  runtime.ScheduleLeave(5, 1200.0);   // fires inside 5's own crash window
+  runtime.ScheduleLeave(2, 1234.56789);
+  runtime.ScheduleJoin(4, 2600.0);
+  runtime.ScheduleJoin(9, 2750.0);
+  runtime.ScheduleJoin(5, 3000.0);
+  runtime.ScheduleJoin(2, 3456.789);
+  runtime.ScheduleLoadDelta(6, 1500.0, 40.0);
+  runtime.ScheduleLoadDelta(7, 2000.0, -30.0);
+  std::vector<RuntimeSnapshot> trace;
+  for (double t = 250.0; t <= 5000.0; t += 250.0) {
+    runtime.RunUntil(t);
+    trace.push_back(runtime.Snapshot());
+  }
+  runtime.VerifyAccounting();
+  return trace;
+}
+
+void ExpectSameTrace(const std::vector<RuntimeSnapshot>& a,
+                     const std::vector<RuntimeSnapshot>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].time, b[k].time);
+    EXPECT_EQ(a[k].total_cost, b[k].total_cost) << "snapshot " << k;
+    EXPECT_EQ(a[k].messages_sent, b[k].messages_sent) << "snapshot " << k;
+    EXPECT_EQ(a[k].messages_delivered, b[k].messages_delivered);
+    EXPECT_EQ(a[k].messages_dropped, b[k].messages_dropped);
+    EXPECT_EQ(a[k].bytes_sent, b[k].bytes_sent) << "snapshot " << k;
+    EXPECT_EQ(a[k].bytes_control, b[k].bytes_control) << "snapshot " << k;
+    EXPECT_EQ(a[k].bytes_column, b[k].bytes_column) << "snapshot " << k;
+    EXPECT_EQ(a[k].bytes_gossip, b[k].bytes_gossip) << "snapshot " << k;
+    EXPECT_EQ(a[k].bytes_membership, b[k].bytes_membership)
+        << "snapshot " << k;
+    EXPECT_EQ(a[k].balances_in_flight, b[k].balances_in_flight);
+    EXPECT_EQ(a[k].members, b[k].members) << "snapshot " << k;
+  }
+}
+
+TEST(ElasticMembership, ChurnTraceBitIdenticalAcrossShardCounts) {
+  const core::Instance inst = testing::RandomInstance(14, 21);
+  RuntimeOptions base;
+  base.seed = 17;
+  base.audit_accounting = true;  // checked at every committed window
+  const std::vector<RuntimeSnapshot> reference = ChurnTrace(inst, base);
+  for (const std::size_t shards : {2u, 4u, 7u}) {
+    SCOPED_TRACE(shards);
+    RuntimeOptions options = base;
+    options.shards = shards;
+    // The worker count must be equally irrelevant to the trace.
+    options.threads = shards == 4 ? 3 : 0;
+    ExpectSameTrace(reference, ChurnTrace(inst, options));
+  }
+}
+
+TEST(ElasticMembership, ChurnMovesOnlyTheMembershipByteClass) {
+  const core::Instance inst = testing::RandomInstance(14, 21);
+  RuntimeOptions options;
+  options.seed = 17;
+  const std::vector<RuntimeSnapshot> trace = ChurnTrace(inst, options);
+  for (const RuntimeSnapshot& s : trace) {
+    EXPECT_EQ(s.bytes_control + s.bytes_column + s.bytes_gossip +
+                  s.bytes_membership,
+              s.bytes_sent)
+        << "at " << s.time;
+  }
+  // Join/drain handshakes and tombstone quads actually shipped bytes.
+  EXPECT_GT(trace.back().bytes_membership, 0u);
+}
+
+TEST(ElasticMembership, FullMaskMatchesFixedRuntimeUntilChurn) {
+  // initial_members all-ones turns the elastic bookkeeping on; without a
+  // scheduled churn event the trace must be bit-identical to the fixed
+  // runtime's — and no membership traffic may ship.
+  const core::Instance inst = testing::RandomInstance(12, 33);
+  RuntimeOptions fixed;
+  fixed.seed = 9;
+  RuntimeOptions elastic = fixed;
+  elastic.initial_members.assign(inst.size(), 1);
+  DistributedRuntime a(inst, fixed);
+  DistributedRuntime b(inst, elastic);
+  a.ScheduleCrash(4, 900.0, 1400.0);
+  b.ScheduleCrash(4, 900.0, 1400.0);
+  for (double t = 500.0; t <= 4000.0; t += 500.0) {
+    a.RunUntil(t);
+    b.RunUntil(t);
+    const RuntimeSnapshot sa = a.Snapshot();
+    const RuntimeSnapshot sb = b.Snapshot();
+    EXPECT_EQ(sa.total_cost, sb.total_cost) << t;
+    EXPECT_EQ(sa.messages_sent, sb.messages_sent) << t;
+    EXPECT_EQ(sa.bytes_sent, sb.bytes_sent) << t;
+    EXPECT_EQ(sa.members, sb.members) << t;
+    EXPECT_EQ(sb.bytes_membership, 0u) << t;
+  }
+}
+
+/// Runs until no exchange is on the wire (bounded), so AssembleAllocation
+/// is exact.
+void Quiesce(DistributedRuntime& runtime, double from) {
+  double t = from;
+  runtime.RunUntil(t);
+  for (int step = 0; step < 1000 && runtime.UncommittedExchanges() > 0;
+       ++step) {
+    t += 10.0;
+    runtime.RunUntil(t);
+  }
+  ASSERT_EQ(runtime.UncommittedExchanges(), 0u);
+}
+
+TEST(ElasticMembership, DrainConservesEveryClaimedLoad) {
+  // Two leaves (one rejoins, one departs for good) on a sharded runtime:
+  // after quiescing, every ever-joined organization's row still sums to
+  // its instance load — the drain handshakes moved the departing columns
+  // without losing a unit — and the departed server's column is empty.
+  const core::Instance inst = testing::RandomInstance(12, 7);
+  RuntimeOptions options;
+  options.seed = 5;
+  options.shards = 4;
+  options.audit_accounting = true;
+  options.initial_members.assign(inst.size(), 1);
+  DistributedRuntime runtime(inst, options);
+  runtime.ScheduleLeave(2, 600.0);
+  runtime.ScheduleLeave(7, 700.0);
+  runtime.ScheduleJoin(2, 1500.0);
+  Quiesce(runtime, 5000.0);
+  EXPECT_TRUE(runtime.network().member(2));
+  EXPECT_FALSE(runtime.network().member(7));
+  EXPECT_EQ(runtime.LightSnapshot().members, inst.size() - 1);
+  const core::Allocation alloc = runtime.AssembleAllocation();
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    double row_sum = 0.0;
+    double col7 = 0.0;
+    for (std::size_t j = 0; j < inst.size(); ++j) {
+      row_sum += alloc.r(i, j);
+      col7 += alloc.r(j, 7);
+    }
+    EXPECT_NEAR(row_sum, inst.load(i), 1e-9 * std::max(1.0, inst.load(i)))
+        << "org " << i;
+    EXPECT_EQ(col7, 0.0) << "departed server still serving for " << i;
+  }
+}
+
+TEST(ElasticMembership, FirstJoinClaimsDemandSparesHoldNothing) {
+  // Ids 8 and 9 start absent. 8 joins mid-run and claims its demand; 9
+  // never does — its row and column stay exactly zero and its load is
+  // never injected into the system.
+  const core::Instance inst = testing::RandomInstance(10, 13);
+  RuntimeOptions options;
+  options.seed = 3;
+  options.initial_members.assign(inst.size(), 1);
+  options.initial_members[8] = 0;
+  options.initial_members[9] = 0;
+  DistributedRuntime runtime(inst, options);
+  runtime.ScheduleJoin(8, 1000.0);
+  Quiesce(runtime, 4000.0);
+  EXPECT_EQ(runtime.LightSnapshot().members, inst.size() - 1);
+  const core::Allocation alloc = runtime.AssembleAllocation();
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < inst.size(); ++j) row_sum += alloc.r(i, j);
+    if (i == 9) {
+      EXPECT_EQ(row_sum, 0.0);
+    } else {
+      EXPECT_NEAR(row_sum, inst.load(i),
+                  1e-9 * std::max(1.0, inst.load(i)))
+          << "org " << i;
+    }
+    EXPECT_EQ(alloc.r(i, 9), 0.0) << "never-joined server serving " << i;
+  }
+}
+
+TEST(ElasticMembership, JoinCancelsPendingLeave) {
+  // A rejoin scheduled right behind a leave cancels the departure —
+  // whether the drain column is still local or already on the wire the
+  // agent must end up a plain member again, with nothing lost.
+  const core::Instance inst = testing::RandomInstance(12, 11);
+  for (const double rejoin_at : {610.0, 700.0, 1400.0}) {
+    SCOPED_TRACE(rejoin_at);
+    RuntimeOptions options;
+    options.seed = 11;
+    options.audit_accounting = true;
+    options.initial_members.assign(inst.size(), 1);
+    DistributedRuntime runtime(inst, options);
+    runtime.ScheduleLeave(4, 600.0);
+    runtime.ScheduleJoin(4, rejoin_at);
+    Quiesce(runtime, 5000.0);
+    EXPECT_EQ(runtime.LightSnapshot().members, inst.size());
+    EXPECT_TRUE(runtime.network().member(4));
+    EXPECT_EQ(runtime.agent(4).state(), MemberState::kMember);
+    const core::Allocation alloc = runtime.AssembleAllocation();
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+      double row_sum = 0.0;
+      for (std::size_t j = 0; j < inst.size(); ++j) {
+        row_sum += alloc.r(i, j);
+      }
+      EXPECT_NEAR(row_sum, inst.load(i),
+                  1e-9 * std::max(1.0, inst.load(i)))
+          << "org " << i;
+    }
+  }
+}
+
+TEST(ElasticMembership, TombstoneNeverResurrects) {
+  // Property over 50 seeded trials: once any live view holds the departed
+  // server's tombstone it never flips back to a live entry (the versioned
+  // tombstone outranks every pre-departure version), and by the end of
+  // the run every member that still knows the id knows it as departed.
+  for (std::uint64_t trial = 1; trial <= 50; ++trial) {
+    SCOPED_TRACE(trial);
+    const std::size_t m = 10;
+    const core::Instance inst = testing::RandomInstance(m, 100 + trial);
+    RuntimeOptions options;
+    options.seed = trial;
+    options.shards = trial % 3 == 0 ? 4 : 1;
+    options.initial_members.assign(m, 1);
+    DistributedRuntime runtime(inst, options);
+    const std::size_t departed = trial % m;
+    runtime.ScheduleLeave(departed, 400.0 + 37.0 * (trial % 8));
+    std::vector<bool> saw_tombstone(m, false);
+    for (double t = 100.0; t <= 4000.0; t += 100.0) {
+      runtime.RunUntil(t);
+      for (std::size_t id = 0; id < m; ++id) {
+        if (id == departed || !runtime.agent(id).active()) continue;
+        const GossipView& view = runtime.agent(id).view();
+        const bool tombstoned = view.Tombstoned(departed);
+        if (saw_tombstone[id]) {
+          EXPECT_TRUE(tombstoned)
+              << "view " << id << " resurrected " << departed << " at "
+              << t;
+        }
+        saw_tombstone[id] = saw_tombstone[id] || tombstoned;
+      }
+    }
+    EXPECT_FALSE(runtime.network().member(departed));
+    EXPECT_EQ(runtime.LightSnapshot().members, m - 1);
+    std::size_t aware = 0;
+    for (std::size_t id = 0; id < m; ++id) {
+      if (id == departed) continue;
+      const GossipView& view = runtime.agent(id).view();
+      if (view.Knows(departed)) {
+        EXPECT_TRUE(view.Tombstoned(departed)) << "view " << id;
+        ++aware;
+      }
+    }
+    EXPECT_GT(aware, 0u);
+  }
+}
+
+TEST(ElasticShardPlan, ExtendRejectsLookaheadViolation) {
+  // Two clusters 50ms apart; id 5 is unassigned. Close to only one
+  // cluster it extends fine; close to BOTH it would undercut the
+  // lookahead the committed PDES windows were sized by — reject.
+  net::LatencyMatrix lat(6, 50.0);
+  lat.SetSymmetric(0, 1, 5.0);
+  lat.SetSymmetric(0, 2, 5.0);
+  lat.SetSymmetric(1, 2, 5.0);
+  lat.SetSymmetric(3, 4, 5.0);
+  lat.SetSymmetric(5, 0, 4.0);
+  ShardPlan plan;
+  plan.shard_of = {0, 0, 0, 1, 1, net::kUnclustered};
+  plan.shards = 2;
+  plan.lookahead = 50.0;
+  ExtendShardPlan(plan, lat, 5);  // nearest is shard 0; cross stays 50
+  EXPECT_EQ(plan.shard_of[5], 0u);
+
+  plan.shard_of[5] = net::kUnclustered;
+  lat.SetSymmetric(5, 3, 6.0);  // now also 6ms from shard 1
+  EXPECT_THROW(ExtendShardPlan(plan, lat, 5), std::logic_error);
+  // The rejected id is left unassigned, not half-admitted.
+  EXPECT_EQ(plan.shard_of[5], net::kUnclustered);
+
+  // The member-aware planner is the replan half: the same topology is
+  // accepted by shrinking the windows instead.
+  const std::vector<std::uint8_t> members = {1, 1, 1, 1, 1, 0};
+  const ShardPlan replanned = PlanShards(lat, 2, members);
+  if (replanned.shards > 1) {
+    EXPECT_LE(replanned.lookahead, 6.0);
+  }
+}
+
+}  // namespace
+}  // namespace delaylb::dist
