@@ -1,10 +1,12 @@
 #pragma once
 // Shared plumbing for the bench harnesses.
 
+#include <cstddef>
 #include <iostream>
 #include <string>
 
 #include "core/mine_flags.h"
+#include "obs/flags.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -13,6 +15,28 @@ namespace delaylb::bench {
 /// The shared --threads/--step-mode engine flags of the MinE harnesses
 /// (one vocabulary across benches and examples; see core/mine_flags.h).
 using core::ApplyEngineFlags;
+
+/// The shared observability flag family (obs/flags.h):
+/// --metrics-out/--trace-out/--digest-out plus --trace-wall,
+/// --digest-window, --digest-events, --perturb-at.
+using obs::ExportHub;
+using obs::HubFromCli;
+
+/// Appends one merged-histogram summary row (samples, mean, p50/p90/p99,
+/// max) to `table`; silently skips metrics the registry never saw.
+inline void HistogramRow(util::Table& table, const obs::MetricRegistry& m,
+                         const char* metric, const char* label) {
+  if (!m.Has(metric)) return;
+  const obs::HistogramSnapshot h = m.Histogram(metric);
+  table.Row()
+      .Cell(label)
+      .Cell(static_cast<std::size_t>(h.count))
+      .Cell(h.Mean(), 2)
+      .Cell(h.Quantile(0.5), 1)
+      .Cell(h.Quantile(0.9), 1)
+      .Cell(h.Quantile(0.99), 1)
+      .Cell(h.count > 0 ? h.max : 0.0, 1);
+}
 
 /// Full-scale mode: DELAYLB_FULL env var or --full flag.
 inline bool FullScale(const util::Cli& cli) {

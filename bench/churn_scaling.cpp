@@ -26,7 +26,9 @@
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
@@ -129,11 +131,19 @@ int Run(int argc, char** argv) {
     const CellResult* baseline = nullptr;
     std::vector<CellResult> cells;
     cells.reserve(shard_counts.size());
+    // One flight-recorder hub per cell: the sim-domain metrics document
+    // (handshake latencies, gossip staleness ages, membership counters)
+    // must be byte-identical down the shards column — the determinism
+    // contract extended to the telemetry itself.
+    std::string baseline_metrics;
+    std::unique_ptr<obs::Hub> baseline_hub;
     for (const std::size_t shards : shard_counts) {
+      auto hub = std::make_unique<obs::Hub>();
       dist::RuntimeOptions options;
       options.seed = seed;
       options.shards = shards;
       options.initial_members.assign(m, 1);  // elastic bookkeeping on
+      options.obs = hub.get();
       dist::DistributedRuntime runtime(inst, options);
       for (std::size_t k = 0; k < churn_ids.size(); ++k) {
         const double offset =
@@ -182,10 +192,15 @@ int Run(int argc, char** argv) {
       }
       cells.push_back(cell);
       const CellResult& current = cells.back();
+      const std::string metrics_doc =
+          hub->metrics().FingerprintJson(horizon);
       if (baseline == nullptr) {
         baseline = &cells.front();
+        baseline_metrics = metrics_doc;
+        baseline_hub = std::move(hub);
       } else if (current.final_cost != baseline->final_cost ||
-                 current.events != baseline->events) {
+                 current.events != baseline->events ||
+                 metrics_doc != baseline_metrics) {
         diverged = true;
       }
       const double ratio =
@@ -212,6 +227,23 @@ int Run(int argc, char** argv) {
       std::printf("m=%zu churn fingerprint: SumC %.17g, %llu events\n", m,
                   baseline->final_cost,
                   static_cast<unsigned long long>(baseline->events));
+    }
+    if (baseline_hub != nullptr) {
+      // Churn telemetry of this m's baseline cell (identical for every
+      // shard count — the fingerprint comparison above enforces it).
+      util::Table obs_table({std::string("telemetry m=") + std::to_string(m),
+                             "samples", "mean", "p50", "p90", "p99", "max"});
+      const obs::MetricRegistry& metrics = baseline_hub->metrics();
+      bench::HistogramRow(obs_table, metrics, "gossip.staleness_age",
+                          "adopted-entry staleness age (ms)");
+      bench::HistogramRow(obs_table, metrics,
+                          "handshake.latency.completed",
+                          "handshake latency, completed (ms)");
+      bench::HistogramRow(obs_table, metrics, "handshake.latency.failed",
+                          "handshake latency, aborted (ms)");
+      bench::Emit(cli, obs_table);
+      // --metrics-out/--trace-out/--digest-out export the last grid size.
+      if (!bench::ExportHub(*baseline_hub, horizon, cli)) return 1;
     }
   }
   bench::Emit(cli, table);

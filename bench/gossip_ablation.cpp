@@ -139,6 +139,12 @@ int Run(int argc, char** argv) {
   double gossip_bytes[2] = {0.0, 0.0};  // [on, off]
   double end_cost[2] = {0.0, 0.0};
   std::size_t message_count[2] = {0, 0};
+  // Flight recorder on the delta-on runs only: the delta-on/off contract
+  // check below then additionally proves instrumentation is inert — the
+  // observed runs must still match the unobserved ones bit for bit.
+  // Metrics merge across the seeds (one hub), so the histograms below
+  // aggregate the whole delta-on sweep.
+  obs::Hub telemetry;
   for (const bool delta : {true, false}) {
     const std::size_t slot = delta ? 0 : 1;
     double total_bytes = 0.0;
@@ -147,6 +153,7 @@ int Run(int argc, char** argv) {
       options.seed = seed;
       options.agent.piggyback_gossip = true;
       options.agent.delta_gossip = delta;
+      if (delta) options.obs = &telemetry;
       dist::DistributedRuntime runtime(instances[seed - 1], options);
       runtime.RunUntil(horizon);
       const dist::RuntimeSnapshot snap = runtime.Snapshot();
@@ -175,6 +182,26 @@ int Run(int argc, char** argv) {
             << "x fewer gossip bytes; SumC and message counts "
             << (identical ? "identical" : "DIVERGED (contract violation!)")
             << " across modes\n";
+
+  // Dissemination telemetry of the instrumented delta-on sweep: how stale
+  // adopted entries are when they land, and how long handshakes take to
+  // resolve — the quantities the gossip budget actually buys.
+  util::Table obs_table({"telemetry (delta on, all seeds)", "samples",
+                         "mean", "p50", "p90", "p99", "max"});
+  bench::HistogramRow(obs_table, telemetry.metrics(), "gossip.staleness_age",
+                      "adopted-entry staleness age (ms)");
+  bench::HistogramRow(obs_table, telemetry.metrics(), "gossip.adoption_yield",
+                      "entries adopted per merge");
+  bench::HistogramRow(obs_table, telemetry.metrics(),
+                      "handshake.latency.completed",
+                      "handshake latency, completed (ms)");
+  bench::HistogramRow(obs_table, telemetry.metrics(),
+                      "handshake.latency.failed",
+                      "handshake latency, aborted (ms)");
+  std::cout << "\n";
+  bench::Emit(cli, obs_table);
+  // --metrics-out exports the full registry JSON for offline digestion.
+  if (!bench::ExportHub(telemetry, horizon, cli)) return 1;
   return identical ? 0 : 1;
 }
 

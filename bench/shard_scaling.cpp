@@ -123,6 +123,12 @@ int Run(int argc, char** argv) {
         options.agent.gossip_period =
             options.agent.balance_period / gossip_ratio;
       }
+      // Flight recorder (--metrics-out/--trace-out/--digest-out): a fresh
+      // hub per cell so exports describe one configuration; the last cell
+      // wins the output files. Null (zero overhead) without the flags —
+      // the wall/speedup columns measure the uninstrumented kernel.
+      const std::unique_ptr<obs::Hub> hub = bench::HubFromCli(cli);
+      options.obs = hub.get();
       dist::DistributedRuntime runtime(inst, options);
       dist::RuntimeSnapshot base;  // counters at the warmup point
       if (warmup > 0.0) {
@@ -159,6 +165,7 @@ int Run(int argc, char** argv) {
           .Cell(wall_ms, 1)
           .Cell(baseline_ms > 0.0 ? baseline_ms / wall_ms : 1.0, 2)
           .Cell(snap.total_cost, 2);
+      if (hub != nullptr && !bench::ExportHub(*hub, horizon, cli)) return 1;
     }
   }
   bench::Emit(cli, table);

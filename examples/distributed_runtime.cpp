@@ -13,6 +13,10 @@
 //                    (the elastic-membership protocol of dist/membership.h)
 //   --scenario NAME  replay a scenario pack (ext/scenario.h) instead of
 //                    the built-in crash story
+//   --metrics-out/--trace-out/--digest-out FILE   the flight recorder
+//                    (obs/flags.h): metric registry / Perfetto trace /
+//                    divergence digest exports, plus --trace-wall,
+//                    --digest-window, --digest-events, --perturb-at
 
 #include <iostream>
 
@@ -21,6 +25,7 @@
 #include "core/workload.h"
 #include "dist/runtime.h"
 #include "ext/scenario.h"
+#include "obs/flags.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -41,8 +46,17 @@ int main(int argc, char** argv) {
     const core::Instance instance = ext::MakeInstance(*pack, rng);
     dist::RuntimeOptions options;
     options.shards = static_cast<std::size_t>(cli.GetInt("shards", 1));
+    const std::unique_ptr<obs::Hub> hub = obs::HubFromCli(cli);
+    options.obs = hub.get();
     const ext::ScenarioRunResult replay =
         ext::ReplayOnRuntime(*pack, instance, options);
+    if (hub != nullptr &&
+        !obs::ExportHub(*hub, replay.trace.empty()
+                                  ? 0.0
+                                  : replay.trace.back().time,
+                        cli)) {
+      return 1;
+    }
     std::cout << "scenario '" << pack->name << "': " << pack->summary
               << "\n";
     util::Table table({"sim time (ms)", "SumC", "members", "messages",
@@ -86,6 +100,9 @@ int main(int argc, char** argv) {
   // seed for any shard count.
   dist::RuntimeOptions options;
   options.shards = static_cast<std::size_t>(cli.GetInt("shards", 1));
+  // The flight recorder (null unless an --*-out flag was passed).
+  const std::unique_ptr<obs::Hub> hub = obs::HubFromCli(cli);
+  options.obs = hub.get();
   const bool churn = cli.GetBool("churn", false);
   if (churn) {
     // Elastic bookkeeping on; everyone starts as a member.
@@ -146,5 +163,6 @@ int main(int argc, char** argv) {
                    100.0 * (runtime.Snapshot().total_cost / optimum - 1.0),
                    1)
             << "% of the centralized optimum — no coordinator involved\n";
+  if (hub != nullptr && !obs::ExportHub(*hub, runtime.now(), cli)) return 1;
   return 0;
 }

@@ -19,6 +19,7 @@
 #include "core/mine_flags.h"
 #include "core/workload.h"
 #include "net/generators.h"
+#include "obs/flags.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -47,6 +48,9 @@ int main(int argc, char** argv) {
   core::MinEOptions options;
   options.threads = 1;  // serial by default; --threads overrides
   core::ApplyEngineFlags(cli, options);
+  // --metrics-out/--trace-out hook the flight recorder into the engine.
+  const std::unique_ptr<obs::Hub> hub = obs::HubFromCli(cli);
+  options.obs = hub.get();
   if (options.step_mode == core::StepMode::kConcurrent) {
     std::cout << "engine: concurrent Step pipeline, threads="
               << options.threads << " (0 = all cores)\n";
@@ -83,5 +87,7 @@ int main(int argc, char** argv) {
   std::cout << "final SumC = " << breakdown.total() << " (processing "
             << breakdown.processing << " + communication "
             << breakdown.communication << ")\n";
+  // The engine's "time" axis is the iteration count.
+  if (hub != nullptr && !obs::ExportHub(*hub, 5.0, cli)) return 1;
   return 0;
 }

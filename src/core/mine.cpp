@@ -84,6 +84,22 @@ MinEBalancer::MinEBalancer(const Instance& instance, MinEOptions options)
     pool_ = std::make_unique<util::ThreadPool>(threads);
     worker_scratch_.resize(threads);
   }
+  if (options_.obs != nullptr) {
+    obs::MetricRegistry& metrics = options_.obs->metrics();
+    mine_iterations_ = metrics.AddCounter("mine.iterations");
+    mine_balances_ = metrics.AddCounter("mine.balances");
+    mine_improvement_ = metrics.AddHistogram(
+        "mine.iteration_improvement",
+        {0, 1e-9, 1e-6, 1e-3, 1, 1e3, 1e6, 1e9});
+    mine_transferred_ = metrics.AddHistogram(
+        "mine.iteration_transferred",
+        {0, 1e-6, 1e-3, 1, 10, 100, 1e3, 1e4, 1e5, 1e6});
+    mine_claimed_ = metrics.AddHistogram(
+        "mine.claimed_pairs", {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024});
+    mine_cost_ = metrics.AddGauge("mine.total_cost");
+    options_.obs->trace().ThreadName(obs::TracePid::kSim, 0,
+                                     "mine iterations");
+  }
 }
 
 std::size_t MinEBalancer::SelectPartner(const Allocation& alloc,
@@ -243,15 +259,52 @@ MinEBalancer::Candidate MinEBalancer::SelectCandidate(
 }
 
 IterationStats MinEBalancer::Step(Allocation& alloc) {
-  return options_.step_mode == StepMode::kConcurrent
-             ? StepConcurrent(alloc)
-             : StepSequential(alloc);
+  const IterationStats stats = options_.step_mode == StepMode::kConcurrent
+                                   ? StepConcurrent(alloc)
+                                   : StepSequential(alloc);
+  if (options_.obs != nullptr) RecordIteration(stats);
+  return stats;
+}
+
+void MinEBalancer::RecordIteration(const IterationStats& stats) {
+  obs::Hub& hub = *options_.obs;
+  obs::MetricRegistry& metrics = hub.metrics();
+  metrics.Count(0, mine_iterations_);
+  metrics.Count(0, mine_balances_, stats.balances);
+  metrics.Observe(0, mine_improvement_, stats.improvement);
+  metrics.Observe(0, mine_transferred_, stats.transferred);
+  if (options_.step_mode == StepMode::kConcurrent) {
+    metrics.Observe(0, mine_claimed_,
+                    static_cast<double>(stats.claimed_pairs));
+  }
+  // The gauge keeps the largest-stamp sample, so the final iteration's
+  // cost survives the merge.
+  metrics.Set(0, mine_cost_, stats.total_cost,
+              static_cast<double>(stats.iteration));
+  // One sim-lane span per iteration, tiling [it-1, it) on the iteration
+  // axis (the engine's "simulation time").
+  hub.trace().Span(
+      0, obs::TracePid::kSim, 0, "iteration", "mine",
+      static_cast<double>(stats.iteration - 1), 1.0,
+      obs::TraceKey{2, stats.iteration, 0},
+      {{"cost", stats.total_cost},
+       {"improvement", stats.improvement},
+       {"balances", static_cast<double>(stats.balances)},
+       {"claimed", static_cast<double>(stats.claimed_pairs)}});
 }
 
 IterationStats MinEBalancer::StepSequential(Allocation& alloc) {
   IterationStats stats;
   stats.iteration = ++iteration_;
   const double cost_before = TotalCost(instance_, alloc);
+
+  // Selection and commit interleave per server in sequential mode, so
+  // the wall profile is a single iteration-wide span.
+  obs::TraceRecorder* wall =
+      options_.obs != nullptr && options_.obs->trace().wall_enabled()
+          ? &options_.obs->trace()
+          : nullptr;
+  const double wall_t0 = wall != nullptr ? wall->WallNowUs() : 0.0;
 
   std::vector<std::size_t> order = rng_.permutation(instance_.size());
   for (std::size_t id : order) {
@@ -269,6 +322,12 @@ IterationStats MinEBalancer::StepSequential(Allocation& alloc) {
   if (options_.cycle_removal_period != 0 &&
       iteration_ % options_.cycle_removal_period == 0) {
     RemoveNegativeCycles(instance_, alloc);
+  }
+
+  if (wall != nullptr) {
+    wall->WallSpan(0, 0, "iteration", "mine.wall", wall_t0,
+                   wall->WallNowUs() - wall_t0,
+                   {{"iteration", static_cast<double>(stats.iteration)}});
   }
 
   stats.total_cost = TotalCost(instance_, alloc);
@@ -371,6 +430,14 @@ IterationStats MinEBalancer::StepConcurrent(Allocation& alloc) {
   const double cost_before = TotalCost(instance_, alloc);
   const std::size_t m = instance_.size();
 
+  // Wall phase spans (profiling only): selection → claim → commit.
+  obs::TraceRecorder* wall =
+      options_.obs != nullptr && options_.obs->trace().wall_enabled()
+          ? &options_.obs->trace()
+          : nullptr;
+  double phase_t0 = wall != nullptr ? wall->WallNowUs() : 0.0;
+  const double iteration_arg = static_cast<double>(stats.iteration);
+
   // The iteration's random server order doubles as the priority tiebreak:
   // rank_[id] = position of id in the permutation.
   std::vector<std::size_t> order = rng_.permutation(m);
@@ -393,6 +460,13 @@ IterationStats MinEBalancer::StepConcurrent(Allocation& alloc) {
     for (std::size_t id = 0; id < m; ++id) {
       snapshot_[id] = SelectCandidate(alloc, id, scratch_);
     }
+  }
+
+  if (wall != nullptr) {
+    const double t = wall->WallNowUs();
+    wall->WallSpan(0, 0, "selection", "mine.wall", phase_t0, t - phase_t0,
+                   {{"iteration", iteration_arg}});
+    phase_t0 = t;
   }
 
   // Stage 2 — candidate edges, deduplicated (mutual selections collapse to
@@ -429,6 +503,14 @@ IterationStats MinEBalancer::StepConcurrent(Allocation& alloc) {
   }
   stats.claimed_pairs = last_claimed_.size();
 
+  if (wall != nullptr) {
+    const double t = wall->WallNowUs();
+    wall->WallSpan(0, 0, "claim", "mine.wall", phase_t0, t - phase_t0,
+                   {{"iteration", iteration_arg},
+                    {"claimed", static_cast<double>(stats.claimed_pairs)}});
+    phase_t0 = t;
+  }
+
   // Stage 4 — concurrent balances. Claimed pairs are disjoint, so each
   // apply reads and writes only its own two allocation columns
   // (Allocation::CommitPairBalance's pair-locality contract); the final
@@ -457,6 +539,12 @@ IterationStats MinEBalancer::StepConcurrent(Allocation& alloc) {
       ++stats.balances;
       stats.transferred += r.transferred;
     }
+  }
+
+  if (wall != nullptr) {
+    wall->WallSpan(0, 0, "commit", "mine.wall", phase_t0,
+                   wall->WallNowUs() - phase_t0,
+                   {{"iteration", iteration_arg}});
   }
 
   if (options_.cycle_removal_period != 0 &&

@@ -61,6 +61,7 @@
 #include "core/instance.h"
 #include "core/pair_order_cache.h"
 #include "core/pairwise.h"
+#include "obs/hub.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -109,6 +110,14 @@ struct MinEOptions {
   /// run revisits (1 = retain on first touch). Results are bit-identical
   /// for any value.
   std::uint32_t order_cache_admit_after = PairOrderCache::kDefaultAdmitAfter;
+  /// Observability hub (obs/hub.h): null disables all instrumentation.
+  /// Each Step records one sim-lane iteration span plus convergence
+  /// metrics on lane 0 (timestamped by iteration index — the engine's
+  /// "simulation time"); when the hub's wall lanes are on, the
+  /// concurrent Step additionally emits selection/claim/commit phase
+  /// spans in wall time. The sim-domain output is bit-identical for any
+  /// thread count, because the iteration trace itself is.
+  obs::Hub* obs = nullptr;
 };
 
 /// Statistics of one engine iteration.
@@ -184,6 +193,9 @@ class MinEBalancer {
   IterationStats StepSequential(Allocation& alloc);
   IterationStats StepConcurrent(Allocation& alloc);
 
+  /// Folds one iteration's statistics into the hub (obs only).
+  void RecordIteration(const IterationStats& stats);
+
   /// Best partner for `id` under the configured policy; returns id itself
   /// when no partner improves.
   std::size_t SelectPartner(const Allocation& alloc, std::size_t id);
@@ -241,6 +253,9 @@ class MinEBalancer {
   // per-vertex bid table is a fixed-size array sized once for m).
   std::unique_ptr<std::atomic<std::uint32_t>[]> match_best_;
   std::vector<std::uint32_t> match_live_, match_next_live_;
+  // Observability handles (inert when options_.obs is null).
+  obs::MetricId mine_iterations_, mine_balances_, mine_improvement_,
+      mine_transferred_, mine_claimed_, mine_cost_;
 };
 
 /// One-call convenience: runs MinE from the identity allocation until

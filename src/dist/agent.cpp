@@ -11,7 +11,7 @@ namespace delaylb::dist {
 Agent::Agent(std::size_t id, const core::Instance& instance,
              const core::PairOrderCache* order_cache,
              const AgentOptions& options, util::Rng rng,
-             AgentScratch* scratch)
+             AgentScratch* scratch, TelemetryLane telemetry)
     : id_(id),
       instance_(&instance),
       order_cache_(order_cache),
@@ -19,7 +19,8 @@ Agent::Agent(std::size_t id, const core::Instance& instance,
       rng_(rng),
       column_(instance.size(), 0.0),
       view_(instance.size(), id),
-      scratch_(scratch) {
+      scratch_(scratch),
+      obs_(telemetry) {
   if (scratch_ == nullptr) {
     owned_scratch_ = std::make_unique<AgentScratch>();
     scratch_ = owned_scratch_.get();
@@ -83,14 +84,16 @@ std::vector<std::uint16_t> Agent::PackOwnDigest() const {
 
 void Agent::StartGossip(Network& network) {
   if (peer_count_ == 0) return;
+  std::size_t expired = 0;
   if (options_.gossip_ttl > 0.0 || options_.gossip_max_entries > 0) {
     const double cutoff =
         options_.gossip_ttl > 0.0
             ? network.now(id_) - options_.gossip_ttl
             : -std::numeric_limits<double>::infinity();
-    stats_.gossip_expired +=
-        view_.Expire(cutoff, options_.gossip_max_entries);
+    expired = view_.Expire(cutoff, options_.gossip_max_entries);
+    stats_.gossip_expired += expired;
   }
+  if (obs_) obs_.GossipRound(expired);
   for (std::size_t push_index = 0; push_index < fanout_; ++push_index) {
     const std::size_t peer = RandomPeer();
     Message push = MakeMessage(MessageKind::kGossipPush, peer);
@@ -102,6 +105,7 @@ void Agent::StartGossip(Network& network) {
 
 void Agent::AdaptFanout(std::size_t adopted) {
   stats_.gossip_adopted += adopted;
+  if (obs_) obs_.GossipMergeYield(adopted);
   if (options_.fanout_max <= options_.fanout_min) return;
   if (adopted > 0) {
     if (fanout_ < options_.fanout_max) ++fanout_;
@@ -153,6 +157,7 @@ std::uint64_t Agent::StartBalance(Network& network) {
   initiator_.handshake = handshake;
   initiator_.partner = partner;
   initiator_.kind = MessageKind::kBalanceRequest;
+  initiator_.opened_at = network.now(id_);
   Message request = MakeMessage(MessageKind::kBalanceRequest, partner);
   request.handshake = handshake;
   request.believed_load =
@@ -184,9 +189,11 @@ std::uint64_t Agent::OnMessage(const Message& message, Network& network) {
     case MessageKind::kGossipPull:
       HandleGossipPull(message, network);
       break;
-    case MessageKind::kGossipDelta:
-      AdaptFanout(view_.MergeEntries(message.payload));
+    case MessageKind::kGossipDelta: {
+      TelemetryLane::AdoptionAges ages(obs_, network.now(id_));
+      AdaptFanout(view_.MergeEntries(message.payload, ages.get()));
       break;
+    }
     case MessageKind::kBalanceRequest:
       HandleBalanceRequest(message, network);
       break;
@@ -239,7 +246,8 @@ void Agent::HandleGossipPull(const Message& message, Network& network) {
   // strictly-newer set and the peer adopts identically.)
   Message delta = MakeMessage(MessageKind::kGossipDelta, message.from);
   delta.payload = view_.PackEntriesNewerThan(message.digest);
-  AdaptFanout(view_.MergeEntries(message.payload));
+  TelemetryLane::AdoptionAges ages(obs_, network.now(id_));
+  AdaptFanout(view_.MergeEntries(message.payload, ages.get()));
   network.Send(std::move(delta));
 }
 
@@ -368,7 +376,10 @@ void Agent::HandleBalanceReply(const Message& message, Network& network) {
   // Piggybacked merges never feed the fanout controller: whether the delta
   // payload came back empty depends on the wire format, and the controller
   // must step identically in both modes.
-  if (!message.gossip.empty()) view_.MergeEntries(message.gossip);
+  if (!message.gossip.empty()) {
+    TelemetryLane::AdoptionAges ages(obs_, network.now(id_));
+    view_.MergeEntries(message.gossip, ages.get());
+  }
   if (message.encoding == ColumnEncoding::kDense) {
     SetColumn(message.payload, network.now(id_));
   } else {
@@ -380,6 +391,11 @@ void Agent::HandleBalanceReply(const Message& message, Network& network) {
   }
   initiator_.active = false;
   ++stats_.balances_completed;
+  if (obs_) {
+    obs_.HandshakeResolved("balance", id_, initiator_.partner,
+                           message.handshake, initiator_.opened_at,
+                           network.now(id_), HandshakeOutcome::kCompleted);
+  }
   Message commit = MakeMessage(MessageKind::kBalanceCommit, message.from);
   commit.handshake = message.handshake;
   network.Send(std::move(commit));
@@ -401,10 +417,23 @@ std::uint64_t Agent::HandleBalanceAbort(const Message& message,
   }
   const MessageKind kind = initiator_.kind;
   initiator_.active = false;
+  if (obs_) {
+    HandshakeOutcome outcome = HandshakeOutcome::kBusy;
+    if (message.reason == AbortReason::kStale) {
+      outcome = HandshakeOutcome::kStale;
+    } else if (message.reason == AbortReason::kNoGain) {
+      outcome = HandshakeOutcome::kNoGain;
+    }
+    obs_.HandshakeResolved(kind == MessageKind::kJoinRequest  ? "join"
+                           : kind == MessageKind::kDrainRequest ? "drain"
+                                                                : "balance",
+                           id_, initiator_.partner, message.handshake,
+                           initiator_.opened_at, network.now(id_), outcome);
+  }
   if (kind == MessageKind::kJoinRequest) {
     // Busy seed: rather than retry a transient rejection, bootstrap solo —
     // always safe, and the gossip timers announce us within one period.
-    CompleteJoin(/*via_seed=*/false);
+    CompleteJoin(/*via_seed=*/false, network.now(id_));
     return 0;
   }
   if (message.reason == AbortReason::kNoGain) {
@@ -442,6 +471,14 @@ std::uint64_t Agent::OnDeliveryFailure(const Message& message,
       if (initiator_.active && initiator_.handshake == message.handshake) {
         initiator_.active = false;
         ++stats_.balances_rejected;
+        if (obs_) {
+          obs_.HandshakeResolved(
+              message.kind == MessageKind::kDrainRequest ? "drain"
+                                                         : "balance",
+              id_, initiator_.partner, message.handshake,
+              initiator_.opened_at, network.now(id_),
+              HandshakeOutcome::kBounce);
+        }
         if (message.kind == MessageKind::kDrainRequest &&
             state_ == MemberState::kDraining) {
           if (cancel_pending_) {
@@ -457,7 +494,12 @@ std::uint64_t Agent::OnDeliveryFailure(const Message& message,
       // The seed is dead, departed, or unreachable: bootstrap solo.
       if (initiator_.active && initiator_.handshake == message.handshake) {
         initiator_.active = false;
-        CompleteJoin(/*via_seed=*/false);
+        if (obs_) {
+          obs_.HandshakeResolved("join", id_, initiator_.partner,
+                                 message.handshake, initiator_.opened_at,
+                                 network.now(id_), HandshakeOutcome::kBounce);
+        }
+        CompleteJoin(/*via_seed=*/false, network.now(id_));
       }
       break;
     case MessageKind::kBalanceReply:
@@ -487,13 +529,21 @@ std::uint64_t Agent::OnDeliveryFailure(const Message& message,
   return 0;
 }
 
-void Agent::OnBalanceTimeout(std::uint64_t handshake) {
+void Agent::OnBalanceTimeout(std::uint64_t handshake, double now) {
   if (initiator_.active && initiator_.handshake == handshake) {
     // Silence: the request or its answer bounced while we were down.
     const MessageKind kind = initiator_.kind;
     initiator_.active = false;
+    if (obs_) {
+      obs_.HandshakeResolved(kind == MessageKind::kJoinRequest  ? "join"
+                             : kind == MessageKind::kDrainRequest ? "drain"
+                                                                  : "balance",
+                             id_, initiator_.partner, handshake,
+                             initiator_.opened_at, now,
+                             HandshakeOutcome::kTimeout);
+    }
     if (kind == MessageKind::kJoinRequest) {
-      CompleteJoin(/*via_seed=*/false);
+      CompleteJoin(/*via_seed=*/false, now);
       return;
     }
     ++stats_.balances_rejected;
@@ -548,7 +598,7 @@ void Agent::Deactivate() {
   state_ = MemberState::kAbsent;
 }
 
-void Agent::CompleteJoin(bool via_seed) {
+void Agent::CompleteJoin(bool via_seed, double now) {
   // A leave scheduled onto a still-joining agent flips it to kDraining;
   // the join resolution must not undo that.
   if (state_ == MemberState::kJoining) state_ = MemberState::kMember;
@@ -557,6 +607,7 @@ void Agent::CompleteJoin(bool via_seed) {
   } else {
     ++stats_.join_fallbacks;
   }
+  if (obs_) obs_.JoinCompleted(id_, now, via_seed);
 }
 
 std::uint64_t Agent::OnJoin(std::size_t seed, bool first, bool crashed,
@@ -579,7 +630,7 @@ std::uint64_t Agent::OnJoin(std::size_t seed, bool first, bool crashed,
     // No usable seed (or we are inside one of our own crash windows and
     // cannot send): solo join — the gossip timer chain the runtime just
     // armed announces us within one period.
-    CompleteJoin(/*via_seed=*/false);
+    CompleteJoin(/*via_seed=*/false, network.now(id_));
     return 0;
   }
   const std::uint64_t handshake =
@@ -588,6 +639,7 @@ std::uint64_t Agent::OnJoin(std::size_t seed, bool first, bool crashed,
   initiator_.handshake = handshake;
   initiator_.partner = seed;
   initiator_.kind = MessageKind::kJoinRequest;
+  initiator_.opened_at = network.now(id_);
   Message request = MakeMessage(MessageKind::kJoinRequest, seed);
   request.handshake = handshake;
   request.believed_load = -1.0;  // we know nothing yet; never kStale
@@ -674,6 +726,7 @@ std::uint64_t Agent::StartDrain(Network& network) {
   initiator_.handshake = handshake;
   initiator_.partner = target;
   initiator_.kind = MessageKind::kDrainRequest;
+  initiator_.opened_at = network.now(id_);
   Message request = MakeMessage(MessageKind::kDrainRequest, target);
   request.handshake = handshake;
   request.believed_load = -1.0;
@@ -734,7 +787,18 @@ void Agent::HandleJoinReply(const Message& message, Network& network) {
   initiator_.active = false;
   // Adopt the seed's view first — this is the whole point of joining
   // through a seed instead of solo.
-  if (!message.gossip.empty()) view_.MergeEntries(message.gossip);
+  if (!message.gossip.empty()) {
+    TelemetryLane::AdoptionAges ages(obs_, network.now(id_));
+    view_.MergeEntries(message.gossip, ages.get());
+  }
+  if (obs_) {
+    obs_.HandshakeResolved("join", id_, initiator_.partner,
+                           message.handshake, initiator_.opened_at,
+                           network.now(id_),
+                           message.reason == AbortReason::kNone
+                               ? HandshakeOutcome::kCompleted
+                               : HandshakeOutcome::kNoGain);
+  }
   if (message.reason == AbortReason::kNone) {
     // The seed shed load onto us; kNoGain means we keep our own column.
     if (message.encoding == ColumnEncoding::kDense) {
@@ -749,7 +813,7 @@ void Agent::HandleJoinReply(const Message& message, Network& network) {
     commit.handshake = message.handshake;
     network.Send(std::move(commit));
   }
-  CompleteJoin(/*via_seed=*/true);
+  CompleteJoin(/*via_seed=*/true, network.now(id_));
 }
 
 void Agent::HandleDrainRequest(const Message& message, Network& network) {
@@ -774,6 +838,7 @@ void Agent::HandleDrainRequest(const Message& message, Network& network) {
   load_ = std::accumulate(column_.begin(), column_.end(), 0.0);
   view_.UpdateSelf(load_, network.now(id_));
   ++stats_.drain_handoffs;
+  if (obs_) obs_.DrainHandoff();
   Message reply = MakeMessage(MessageKind::kDrainReply, message.from);
   reply.handshake = message.handshake;
   network.Send(std::move(reply));
@@ -789,6 +854,12 @@ void Agent::HandleDrainReply(const Message& message, Network& network) {
   load_ = 0.0;
   view_.UpdateSelf(0.0, network.now(id_));
   ++stats_.drain_handoffs;
+  if (obs_) {
+    obs_.DrainHandoff();
+    obs_.HandshakeResolved("drain", id_, initiator_.partner,
+                           message.handshake, initiator_.opened_at,
+                           network.now(id_), HandshakeOutcome::kCompleted);
+  }
   Message commit = MakeMessage(MessageKind::kDrainCommit, message.from);
   commit.handshake = message.handshake;
   network.Send(std::move(commit));
@@ -818,6 +889,7 @@ void Agent::Depart(Network& network) {
   }
   state_ = MemberState::kAbsent;
   departed_pending_ = true;
+  if (obs_) obs_.Departed(id_, network.now(id_));
 }
 
 void Agent::ApplyLoadDelta(double delta, double now) {

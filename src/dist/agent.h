@@ -82,6 +82,7 @@
 #include "dist/membership.h"
 #include "dist/message.h"
 #include "dist/network.h"
+#include "dist/telemetry.h"
 #include "util/rng.h"
 
 namespace delaylb::dist {
@@ -196,10 +197,13 @@ class Agent {
   /// when given, it must be built over `instance` and outlive the agent.
   /// `scratch` may be null (the agent then owns a private scratch); when
   /// given, it must outlive the agent and only be shared among agents
-  /// whose events dispatch serially (same shard).
+  /// whose events dispatch serially (same shard). `telemetry` (optional)
+  /// is the observability endpoint for this agent's shard; a default
+  /// lane records nothing.
   Agent(std::size_t id, const core::Instance& instance,
         const core::PairOrderCache* order_cache, const AgentOptions& options,
-        util::Rng rng, AgentScratch* scratch = nullptr);
+        util::Rng rng, AgentScratch* scratch = nullptr,
+        TelemetryLane telemetry = {});
 
   std::size_t id() const noexcept { return id_; }
   double load() const noexcept { return load_; }
@@ -253,8 +257,9 @@ class Agent {
   /// already resolved. Never invoked while this agent is crashed. An open
   /// initiator record is cleared as rejected (nothing came back); an open
   /// responder record is committed (see the crash argument above: at this
-  /// point the Reply was provably delivered).
-  void OnBalanceTimeout(std::uint64_t handshake);
+  /// point the Reply was provably delivered). `now` is the timeout
+  /// event's own timestamp (the agent has no other clock here).
+  void OnBalanceTimeout(std::uint64_t handshake, double now);
 
   void OnCrash();
 
@@ -343,8 +348,8 @@ class Agent {
   std::size_t SelectDrainTarget();
 
   /// Resolves a join attempt: kJoining -> kMember (unless a leave already
-  /// flipped us to kDraining) and counts the outcome.
-  void CompleteJoin(bool via_seed);
+  /// flipped us to kDraining) and counts the outcome at time `now`.
+  void CompleteJoin(bool via_seed, double now);
 
   /// Emits the departure tombstone to departure_fanout random peers and
   /// goes absent; sets the departed flag for ConsumeDeparted.
@@ -402,6 +407,9 @@ class Agent {
     /// (abort, bounce, timeout) branches on it — balance/drain retry on
     /// the next tick, a join falls back to a solo join.
     MessageKind kind = MessageKind::kBalanceRequest;
+    /// Sim time the request was sent — the handshake-latency telemetry
+    /// measures resolution against it.
+    double opened_at = 0.0;
   };
   struct ResponderState {
     bool active = false;
@@ -421,6 +429,8 @@ class Agent {
   AgentScratch* scratch_ = nullptr;
   std::unique_ptr<AgentScratch> owned_scratch_;  ///< fallback when unshared
   AgentStats stats_;
+  TelemetryLane obs_;  ///< default lane: observability off
+
 };
 
 }  // namespace delaylb::dist

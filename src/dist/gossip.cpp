@@ -154,7 +154,8 @@ std::vector<double> GossipView::PackEntriesNewerThan(
   return payload;
 }
 
-std::size_t GossipView::MergeEntries(std::span<const double> payload) {
+std::size_t GossipView::MergeEntries(std::span<const double> payload,
+                                     MergeObserver* observer) {
   if (payload.size() % 4 != 0) {
     throw std::invalid_argument("GossipView::MergeEntries: ragged quads");
   }
@@ -202,6 +203,7 @@ std::size_t GossipView::MergeEntries(std::span<const double> payload) {
         e.version = version;
         e.stamp = payload[4 * take - 1];
         ++adopted;
+        if (observer != nullptr) observer->Adopted(e);
       }
       entries_[--write] = entries_[--have];
       --take;
@@ -217,7 +219,10 @@ std::size_t GossipView::MergeEntries(std::span<const double> payload) {
     entry.stamp = payload[4 * take + 3];
     entry.version = version > 0 && entry.stamp >= floor_ ? version : 0;
     entries_[--write] = entry;
-    if (entry.version > 0) ++adopted;
+    if (entry.version > 0) {
+      ++adopted;
+      if (observer != nullptr) observer->Adopted(entry);
+    }
   }
   // `write` now equals `have`; everything left of it is already in place.
   // Drop any version-0 placeholders that slipped in from fresh ids.

@@ -93,6 +93,16 @@ inline constexpr bool IsTombstone(double load) noexcept {
 /// One server's eventually-consistent sparse view of server loads.
 class GossipView {
  public:
+  /// Telemetry observer of a MergeEntries call: Adopted fires once per
+  /// adopted entry, after the store. Purely observational — a null
+  /// observer and any observer behavior leave the merge result (and the
+  /// simulation) unchanged.
+  class MergeObserver {
+   public:
+    virtual ~MergeObserver() = default;
+    virtual void Adopted(const GossipEntry& entry) = 0;
+  };
+
   /// Versions above this cannot be represented exactly by a double on the
   /// wire; UpdateSelf and the codecs guard it.
   static constexpr std::uint64_t kMaxWireVersion = std::uint64_t{1} << 53;
@@ -170,8 +180,10 @@ class GossipView {
   /// entry with a strictly newer version whose stamp clears the adoption
   /// floor. Returns the number adopted. Throws std::invalid_argument on
   /// malformed payloads (ragged quads, ids out of range or not strictly
-  /// ascending, inexact versions).
-  std::size_t MergeEntries(std::span<const double> payload);
+  /// ascending, inexact versions). `observer` (optional) hears each
+  /// adopted entry — the staleness-age telemetry hook.
+  std::size_t MergeEntries(std::span<const double> payload,
+                           MergeObserver* observer = nullptr);
 
   /// Expiry sweep: drops every non-self entry with stamp < cutoff, then —
   /// when max_entries > 0 and more remain — evicts the oldest entries by

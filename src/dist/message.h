@@ -186,12 +186,16 @@ inline WireBreakdown WireBytes(const Message& msg) {
   return w;
 }
 
-/// Total bytes-on-wire of a message: the sum of its WireBytes classes.
-/// Network::bytes_sent() sums this; bench_shard_scaling and the wire
-/// format tests report it.
+/// Total bytes-on-wire of a message, computed directly from the field
+/// sizes (framing + 8 bytes per payload/gossip double + 2 per digest
+/// level) — deliberately NOT via WireBytes, so the runtime's snapshot
+/// invariant (bytes_total == sum of the four class counters) actually
+/// checks that the class-split switch partitions every byte. Network
+/// accumulates this per send; bench_shard_scaling and the wire format
+/// tests report it.
 inline std::size_t WireSize(const Message& msg) {
-  const WireBreakdown w = WireBytes(msg);
-  return w.control + w.column + w.gossip + w.membership;
+  return kWireHeaderBytes + 8 * msg.payload.size() + 8 * msg.gossip.size() +
+         2 * msg.digest.size();
 }
 
 /// Encodes `column` into msg.payload, choosing kSparse when the pair list

@@ -33,6 +33,7 @@ void Network::Send(Message msg) {
   counters.bytes_column += wire.column;
   counters.bytes_gossip += wire.gossip;
   counters.bytes_membership += wire.membership;
+  counters.bytes_total += WireSize(msg);
 
   ShardEvent event;
   event.message = std::move(msg);

@@ -98,9 +98,14 @@ class Network {
   std::size_t messages_dropped() const noexcept {
     return Sum(&Counters::dropped);
   }
+  /// Total wire bytes sent, accumulated independently of the per-class
+  /// counters (one WireSize add per send): the runtime's snapshot paths
+  /// assert it equals the sum of the four class counters, so a message
+  /// class added to WireSize but missed in WireBytes (or vice versa)
+  /// trips immediately instead of silently leaking bytes out of the
+  /// per-class breakdown.
   std::size_t bytes_sent() const noexcept {
-    return bytes_control() + bytes_column() + bytes_gossip() +
-           bytes_membership();
+    return Sum(&Counters::bytes_total);
   }
   /// Per-class byte totals (see WireBytes in message.h): fixed framing,
   /// balance-column payloads, gossip traffic (digests, entry lists,
@@ -135,6 +140,7 @@ class Network {
     std::size_t bytes_column = 0;   ///< balance-column payloads
     std::size_t bytes_gossip = 0;   ///< digests, entry lists, piggybacks
     std::size_t bytes_membership = 0;  ///< join/drain payloads, tombstones
+    std::size_t bytes_total = 0;  ///< WireSize sum, independent of classes
     std::int64_t in_flight = 0;  ///< sends minus resolutions, per shard
   };
 

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "core/cost.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace delaylb::dist {
@@ -62,9 +63,49 @@ DistributedRuntime::DistributedRuntime(const core::Instance& instance,
         2.0 * instance.latency_matrix().MaxOffDiagonal() +
         options_.agent.balance_period;
   }
-  if (options_.audit_accounting) {
-    engine_.set_window_hook(
-        [this](double /*start*/, double /*end*/) { VerifyAccounting(); });
+  if (options_.obs != nullptr) {
+    obs::Hub& hub = *options_.obs;
+    hub.SetLanes(plan_.shards);
+    telemetry_ = Telemetry::Create(hub);
+    digest_ = &hub.digest();
+    obs::MetricRegistry& metrics = hub.metrics();
+    // Kernel-domain metrics: the PDES execution structure legitimately
+    // varies with the shard plan, so these stay out of the sim-domain
+    // fingerprint (obs/metrics.h).
+    win_width_ = metrics.AddHistogram(
+        "pdes.window_width", {0.1, 0.5, 1, 2, 5, 10, 25, 50, 100, 250, 1000},
+        obs::Domain::kKernel);
+    win_events_ = metrics.AddHistogram(
+        "pdes.window_events", {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096},
+        obs::Domain::kKernel);
+    win_heap_ = metrics.AddHistogram(
+        "pdes.heap_occupancy",
+        {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 16384},
+        obs::Domain::kKernel);
+    window_dispatched_.assign(plan_.shards, 0);
+    hub.trace().ThreadName(obs::TracePid::kKernel, 0, "pdes windows");
+    if (hub.options().wall_lanes) {
+      engine_.set_profile_windows(true);
+      for (std::size_t s = 0; s < plan_.shards; ++s) {
+        hub.trace().ThreadName(obs::TracePid::kWall,
+                               static_cast<std::uint32_t>(s),
+                               "shard " + std::to_string(s) + " dispatch");
+      }
+      hub.trace().ThreadName(obs::TracePid::kWall,
+                             static_cast<std::uint32_t>(plan_.shards),
+                             "window (barrier to barrier)");
+    }
+    // Log lines gain a [t=...] prefix stamped from the committed window
+    // clock while this runtime lives (cleared in the destructor).
+    util::SetLogSimTime(&log_clock_);
+  }
+  if (options_.obs != nullptr || options_.audit_accounting) {
+    const bool audit = options_.audit_accounting;
+    engine_.set_window_hook([this, audit](double start, double end) {
+      if (options_.obs != nullptr) RecordWindow(start, end);
+      log_clock_.store(end, std::memory_order_relaxed);
+      if (audit) VerifyAccounting();
+    });
   }
 
   const bool elastic = !options_.initial_members.empty();
@@ -72,8 +113,12 @@ DistributedRuntime::DistributedRuntime(const core::Instance& instance,
   util::Rng master(options_.seed);
   agents_.reserve(m);
   for (std::size_t id = 0; id < m; ++id) {
-    agents_.emplace_back(id, instance, &order_cache_, options_.agent,
-                         master.split(), &scratch_[plan_.shard_of[id]]);
+    const std::size_t shard = plan_.shard_of[id];
+    agents_.emplace_back(
+        id, instance, &order_cache_, options_.agent, master.split(),
+        &scratch_[shard],
+        TelemetryLane(options_.obs != nullptr ? &telemetry_ : nullptr,
+                      shard));
   }
   // Staggered timer phases: gossip starts inside the first gossip period,
   // balancing inside the second half of the first balance period so the
@@ -110,6 +155,12 @@ DistributedRuntime::DistributedRuntime(const core::Instance& instance,
   }
 }
 
+DistributedRuntime::~DistributedRuntime() {
+  // The hub (and the log clock inside this object) may outlive or
+  // predecease other runtimes; unregister only what we registered.
+  if (options_.obs != nullptr) util::SetLogSimTime(nullptr);
+}
+
 void DistributedRuntime::RunUntil(double t) {
   if (t < horizon_) {
     throw std::invalid_argument("DistributedRuntime::RunUntil: time moved "
@@ -134,6 +185,14 @@ void DistributedRuntime::ArmBalanceTimeout(std::size_t shard, std::size_t id,
 }
 
 void DistributedRuntime::Dispatch(std::size_t shard, ShardEvent&& event) {
+  if (digest_ != nullptr) {
+    // Every dispatched event folds its content key into the divergence
+    // digest. Lane-local (this shard's serial dispatch owns lane
+    // `shard`); windows are fixed sim-time buckets, so the merged
+    // stream is identical for every shard plan.
+    digest_->Record(shard, event.key.time, event.key.rank, event.key.major,
+                    event.key.minor, static_cast<std::int32_t>(event.type));
+  }
   switch (event.type) {
     case kEvMessage:
       if (network_.Arrive(shard, event)) {
@@ -193,7 +252,7 @@ void DistributedRuntime::Dispatch(std::size_t shard, ShardEvent&& event) {
     case kEvBalanceTimeout:
       // A crashed initiator cannot notice silence; OnRecover re-arms.
       if (!network_.crashed(event.a)) {
-        agents_[event.a].OnBalanceTimeout(event.b);
+        agents_[event.a].OnBalanceTimeout(event.b, engine_.now(shard));
       }
       break;
     case kEvCrash:
@@ -356,6 +415,44 @@ void DistributedRuntime::ScheduleLoadDelta(std::size_t id, double at,
   engine_.Push(plan_.shard_of[id], std::move(wave));
 }
 
+void DistributedRuntime::RecordWindow(double start, double end) {
+  obs::Hub& hub = *options_.obs;
+  obs::MetricRegistry& metrics = hub.metrics();
+  const double width = end - start;
+  metrics.Observe(0, win_width_, width);
+  std::uint64_t dispatched = 0;
+  for (std::size_t s = 0; s < plan_.shards; ++s) {
+    const std::uint64_t total = engine_.dispatched(s);
+    dispatched += total - window_dispatched_[s];
+    window_dispatched_[s] = total;
+    metrics.Observe(0, win_heap_, static_cast<double>(engine_.HeapSize(s)));
+  }
+  metrics.Observe(0, win_events_, static_cast<double>(dispatched));
+  hub.trace().Span(0, obs::TracePid::kKernel, 0, "window", "pdes", start,
+                   width, obs::TraceKey{0, engine_.windows(), 0},
+                   {{"events", static_cast<double>(dispatched)}});
+  if (engine_.profile_windows()) {
+    // Wall lanes: one barrier-to-barrier span plus each shard's dispatch
+    // busy time; the gap between them is the barrier stall.
+    obs::TraceRecorder& trace = hub.trace();
+    const double wall_us =
+        static_cast<double>(engine_.window_wall_ns()) / 1000.0;
+    const double end_us = trace.WallNowUs();
+    const double start_us = end_us - wall_us;
+    trace.WallSpan(0, static_cast<std::uint32_t>(plan_.shards), "window",
+                   "pdes.wall", start_us, wall_us,
+                   {{"sim_start", start},
+                    {"events", static_cast<double>(dispatched)}});
+    for (std::size_t s = 0; s < plan_.shards; ++s) {
+      const double busy_us =
+          static_cast<double>(engine_.window_busy_ns(s)) / 1000.0;
+      trace.WallSpan(0, static_cast<std::uint32_t>(s), "dispatch",
+                     "pdes.wall", start_us, busy_us,
+                     {{"stall_us", wall_us - busy_us}});
+    }
+  }
+}
+
 void DistributedRuntime::VerifyAccounting() const {
   std::size_t pending = 0;
   engine_.ForEachPending([&pending](const ShardEvent& event) {
@@ -434,6 +531,19 @@ RuntimeSnapshot DistributedRuntime::LightSnapshot() const {
   snapshot.bytes_membership = network_.bytes_membership();
   snapshot.balances_in_flight = OpenHandshakes();
   snapshot.members = network_.members();
+  // The byte accounting invariant, checked live on every snapshot: the
+  // independently accumulated total (Network::Send adds WireSize once
+  // per message) must equal the sum of the four per-class counters — a
+  // message class missed by the WireBytes split trips here immediately.
+  const std::size_t class_sum = snapshot.bytes_control +
+                                snapshot.bytes_column + snapshot.bytes_gossip +
+                                snapshot.bytes_membership;
+  if (snapshot.bytes_sent != class_sum) {
+    throw std::logic_error(
+        "DistributedRuntime: wire byte accounting broken (bytes_sent != "
+        "control + column + gossip + membership)");
+  }
+  if (digest_ != nullptr) snapshot.digest = digest_->Collect().Fingerprint();
   return snapshot;
 }
 

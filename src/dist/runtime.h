@@ -30,6 +30,7 @@
 // request conservation holds whenever no handshake is open; see
 // OpenHandshakes).
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -81,6 +82,15 @@ struct RuntimeOptions {
   /// absent ids are pre-placed in the shard plan by the member-aware
   /// PlanShards, so the conservative lookahead never changes mid-run.
   std::vector<std::uint8_t> initial_members;
+  /// Observability hub (obs/hub.h); null disables all instrumentation.
+  /// The runtime sizes the hub's lanes to the planned shard count, feeds
+  /// the per-agent telemetry (handshake spans, gossip staleness), the
+  /// kernel window metrics, and the divergence digest stream, and — for
+  /// the duration of this runtime — stamps log lines with the committed
+  /// window time. Sim-domain output is bit-identical for every
+  /// shard/thread plan; the wall lanes (HubOptions::wall_lanes)
+  /// additionally turn on the engine's window profiling.
+  obs::Hub* obs = nullptr;
   AgentOptions agent;
 };
 
@@ -102,6 +112,13 @@ struct RuntimeSnapshot {
   std::size_t bytes_membership = 0;
   std::size_t balances_in_flight = 0;  ///< open handshake endpoints
   std::size_t members = 0;  ///< servers currently registered as members
+  /// Fingerprint of the divergence digest stream so far (obs/digest.h):
+  /// an order-independent fold of every per-window digest of the
+  /// dispatched event stream. 0 when the runtime has no hub. Two runs
+  /// that agree here dispatched identical event streams window by
+  /// window; when they disagree, tools/trace_diff bisects the exported
+  /// digest documents to the first divergent window.
+  std::uint64_t digest = 0;
 };
 
 class DistributedRuntime {
@@ -109,6 +126,11 @@ class DistributedRuntime {
   /// The instance must outlive the runtime.
   explicit DistributedRuntime(const core::Instance& instance,
                               RuntimeOptions options = {});
+
+  /// Unregisters the log sim-time clock (registered when a hub is set).
+  ~DistributedRuntime();
+  DistributedRuntime(const DistributedRuntime&) = delete;
+  DistributedRuntime& operator=(const DistributedRuntime&) = delete;
 
   /// Advances the simulation through every event with timestamp <= t.
   /// RunUntil targets must be non-decreasing across calls.
@@ -206,6 +228,12 @@ class DistributedRuntime {
   /// Deregisters a just-departed id and retires its timer chains.
   void RetireDeparted(std::size_t id);
 
+  /// Window-hook observability: kernel metrics (window width, events per
+  /// window, per-shard heap occupancy), the kernel window trace span,
+  /// and — when profiling — the wall busy/stall lanes. Runs on the
+  /// driving thread at the barrier, so lane 0 is safe to write.
+  void RecordWindow(double start, double end);
+
   const core::Instance& instance_;
   RuntimeOptions options_;
   double balance_timeout_ = 0.0;
@@ -225,6 +253,17 @@ class DistributedRuntime {
   /// ever-joined flags (first join claims the demand), timer epochs.
   MembershipDirectory directory_;
   double horizon_ = 0.0;  ///< latest RunUntil target
+
+  // Observability (all inert when options_.obs is null).
+  Telemetry telemetry_;  ///< pre-registered agent metric/trace handles
+  obs::DigestStream* digest_ = nullptr;  ///< hub's stream, cached
+  obs::MetricId win_width_, win_events_, win_heap_;  ///< kernel domain
+  /// Per-shard dispatched count at the last window barrier — the delta
+  /// is the window's event count.
+  std::vector<std::uint64_t> window_dispatched_;
+  /// Committed-window clock feeding the log sim-time prefix
+  /// (util::SetLogSimTime); written at the barrier, read by any logger.
+  std::atomic<double> log_clock_{0.0};
 };
 
 }  // namespace delaylb::dist

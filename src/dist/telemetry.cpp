@@ -1,0 +1,113 @@
+#include "dist/telemetry.h"
+
+#include <algorithm>
+
+namespace delaylb::dist {
+
+Telemetry Telemetry::Create(obs::Hub& hub) {
+  Telemetry t;
+  t.hub = &hub;
+  obs::MetricRegistry& m = hub.metrics();
+  t.hs_completed = m.AddCounter("handshake.completed");
+  t.hs_no_gain = m.AddCounter("handshake.no_gain");
+  t.hs_busy = m.AddCounter("handshake.abort.busy");
+  t.hs_stale = m.AddCounter("handshake.abort.stale");
+  t.hs_bounce = m.AddCounter("handshake.bounce");
+  t.hs_timeout = m.AddCounter("handshake.timeout");
+  // Latency bounds in sim ms: handshakes resolve within a round trip or a
+  // timeout, both O(100 ms) at the paper's latency scales.
+  const std::vector<double> latency_bounds = {1,  2,   5,   10,  20,  50,
+                                              75, 100, 150, 250, 500, 1000};
+  t.hs_latency_ok = m.AddHistogram("handshake.latency.completed",
+                                   latency_bounds);
+  t.hs_latency_fail = m.AddHistogram("handshake.latency.failed",
+                                     latency_bounds);
+  t.gossip_rounds = m.AddCounter("gossip.rounds");
+  t.gossip_expired = m.AddCounter("gossip.expired");
+  t.gossip_staleness = m.AddHistogram(
+      "gossip.staleness_age",
+      {1, 5, 10, 25, 50, 100, 200, 400, 800, 1600, 3200});
+  t.gossip_yield = m.AddHistogram("gossip.adoption_yield",
+                                  {0, 1, 2, 4, 8, 16, 32, 64, 128});
+  t.joins = m.AddCounter("membership.joins");
+  t.join_fallbacks = m.AddCounter("membership.join_fallbacks");
+  t.drain_handoffs = m.AddCounter("membership.drain_handoffs");
+  t.departures = m.AddCounter("membership.departures");
+  return t;
+}
+
+void TelemetryLane::HandshakeResolved(const char* kind, std::uint64_t id,
+                                      std::uint64_t partner,
+                                      std::uint64_t handshake,
+                                      double opened_at, double now,
+                                      HandshakeOutcome outcome) const {
+  if (telemetry_ == nullptr) return;
+  obs::MetricRegistry& m = telemetry_->hub->metrics();
+  const double latency = std::max(0.0, now - opened_at);
+  obs::MetricId counter;
+  switch (outcome) {
+    case HandshakeOutcome::kCompleted: counter = telemetry_->hs_completed; break;
+    case HandshakeOutcome::kNoGain: counter = telemetry_->hs_no_gain; break;
+    case HandshakeOutcome::kBusy: counter = telemetry_->hs_busy; break;
+    case HandshakeOutcome::kStale: counter = telemetry_->hs_stale; break;
+    case HandshakeOutcome::kBounce: counter = telemetry_->hs_bounce; break;
+    case HandshakeOutcome::kTimeout: counter = telemetry_->hs_timeout; break;
+  }
+  m.Count(lane_, counter);
+  m.Observe(lane_,
+            outcome == HandshakeOutcome::kCompleted ? telemetry_->hs_latency_ok
+                                                    : telemetry_->hs_latency_fail,
+            latency);
+  telemetry_->hub->trace().Span(
+      lane_, obs::TracePid::kSim, static_cast<std::uint32_t>(id), kind,
+      "handshake", opened_at, latency,
+      obs::TraceKey{0, id, handshake},
+      {{"partner", static_cast<double>(partner)},
+       {"outcome", static_cast<double>(outcome)}});
+}
+
+void TelemetryLane::GossipRound(std::uint64_t expired) const {
+  if (telemetry_ == nullptr) return;
+  obs::MetricRegistry& m = telemetry_->hub->metrics();
+  m.Count(lane_, telemetry_->gossip_rounds);
+  if (expired > 0) m.Count(lane_, telemetry_->gossip_expired, expired);
+}
+
+void TelemetryLane::GossipMergeYield(std::uint64_t adopted) const {
+  if (telemetry_ == nullptr) return;
+  telemetry_->hub->metrics().Observe(lane_, telemetry_->gossip_yield,
+                                     static_cast<double>(adopted));
+}
+
+void TelemetryLane::JoinCompleted(std::uint64_t id, double now,
+                                  bool via_seed) const {
+  if (telemetry_ == nullptr) return;
+  obs::MetricRegistry& m = telemetry_->hub->metrics();
+  m.Count(lane_, via_seed ? telemetry_->joins : telemetry_->join_fallbacks);
+  telemetry_->hub->trace().Instant(
+      lane_, obs::TracePid::kSim, static_cast<std::uint32_t>(id),
+      via_seed ? "join" : "join.solo", "membership", now,
+      obs::TraceKey{1, id, 0});
+}
+
+void TelemetryLane::DrainHandoff() const {
+  if (telemetry_ == nullptr) return;
+  telemetry_->hub->metrics().Count(lane_, telemetry_->drain_handoffs);
+}
+
+void TelemetryLane::Departed(std::uint64_t id, double now) const {
+  if (telemetry_ == nullptr) return;
+  telemetry_->hub->metrics().Count(lane_, telemetry_->departures);
+  telemetry_->hub->trace().Instant(
+      lane_, obs::TracePid::kSim, static_cast<std::uint32_t>(id), "depart",
+      "membership", now, obs::TraceKey{1, id, 0});
+}
+
+void TelemetryLane::AdoptionAges::Adopted(const GossipEntry& entry) {
+  if (!lane_) return;
+  lane_.hub()->metrics().Observe(lane_.lane(),
+                                 lane_.telemetry_->gossip_staleness,
+                                 std::max(0.0, now_ - entry.stamp));
+}
+
+}  // namespace delaylb::dist

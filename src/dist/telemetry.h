@@ -1,0 +1,111 @@
+#pragma once
+// Pre-registered observability handles for the distributed runtime.
+//
+// The runtime creates one Telemetry per hub (metric registration is
+// idempotent, so repeated runs against one hub reuse the same ids) and
+// hands each Agent a TelemetryLane — the telemetry plus the agent's PDES
+// shard index, which is the recording lane. All recording helpers are
+// no-ops on a default-constructed lane, so the agent hot paths pay a
+// single branch when observability is off.
+//
+// Determinism: every recorded value is a pure function of the simulated
+// history (event timestamps, gossip stamps, handshake ids); which *lane*
+// an observation lands in varies with the shard plan, but the registry
+// and digest merges are order-independent, so the exported sim-domain
+// documents are bit-identical for every plan.
+
+#include <cstdint>
+
+#include "dist/gossip.h"
+#include "obs/hub.h"
+
+namespace delaylb::dist {
+
+/// Handshake resolution outcomes (trace span arg + counter selector).
+enum class HandshakeOutcome : std::uint8_t {
+  kCompleted = 0,  ///< reply applied / join bootstrapped / drain handed off
+  kNoGain,         ///< responder declined: Algorithm 1 gain below min_gain
+  kBusy,           ///< responder already in a handshake
+  kStale,          ///< responder rejected a badly stale believed load
+  kBounce,         ///< a protocol message bounced off a crashed peer
+  kTimeout,        ///< resolution timeout fired with the handshake open
+};
+
+struct Telemetry {
+  obs::Hub* hub = nullptr;
+
+  // Handshake lifecycle (sim domain).
+  obs::MetricId hs_completed, hs_no_gain, hs_busy, hs_stale, hs_bounce,
+      hs_timeout;
+  obs::MetricId hs_latency_ok;    ///< request→commit latency (ms)
+  obs::MetricId hs_latency_fail;  ///< request→abort/bounce/timeout (ms)
+
+  // Gossip (sim domain).
+  obs::MetricId gossip_rounds, gossip_expired;
+  obs::MetricId gossip_staleness;  ///< age (ms) of each adopted entry
+  obs::MetricId gossip_yield;     ///< entries adopted per pull/delta merge
+
+  // Membership (sim domain).
+  obs::MetricId joins, join_fallbacks, drain_handoffs, departures;
+
+  /// Registers everything against `hub`'s registry.
+  static Telemetry Create(obs::Hub& hub);
+};
+
+/// One shard's recording endpoint, embedded in each Agent by value.
+class TelemetryLane {
+ public:
+  TelemetryLane() = default;
+  TelemetryLane(Telemetry* telemetry, std::size_t lane)
+      : telemetry_(telemetry), lane_(lane) {}
+
+  explicit operator bool() const noexcept { return telemetry_ != nullptr; }
+  std::size_t lane() const noexcept { return lane_; }
+  obs::Hub* hub() const noexcept {
+    return telemetry_ != nullptr ? telemetry_->hub : nullptr;
+  }
+
+  /// Resolution of an initiator-side handshake opened at `opened_at` by
+  /// `id` toward `partner`: latency histogram + outcome counter + one
+  /// sim-lane span named after the request kind ("balance"/"join"/
+  /// "drain").
+  void HandshakeResolved(const char* kind, std::uint64_t id,
+                         std::uint64_t partner, std::uint64_t handshake,
+                         double opened_at, double now,
+                         HandshakeOutcome outcome) const;
+
+  /// One gossip round started (fanout pushes counted by the caller's
+  /// stats; this feeds the rate counter).
+  void GossipRound(std::uint64_t expired) const;
+
+  /// Adoption yield of one pull/delta merge.
+  void GossipMergeYield(std::uint64_t adopted) const;
+
+  /// Membership instants.
+  void JoinCompleted(std::uint64_t id, double now, bool via_seed) const;
+  void DrainHandoff() const;
+  void Departed(std::uint64_t id, double now) const;
+
+  /// GossipView::MergeObserver that records adopted-entry staleness ages
+  /// (now - entry stamp) into the staleness histogram.
+  class AdoptionAges final : public GossipView::MergeObserver {
+   public:
+    AdoptionAges(const TelemetryLane& lane, double now) noexcept
+        : lane_(lane), now_(now) {}
+    void Adopted(const GossipEntry& entry) override;
+    /// Null when telemetry is off — MergeEntries then skips the calls.
+    GossipView::MergeObserver* get() noexcept {
+      return lane_ ? this : nullptr;
+    }
+
+   private:
+    const TelemetryLane& lane_;
+    double now_;
+  };
+
+ private:
+  Telemetry* telemetry_ = nullptr;
+  std::size_t lane_ = 0;
+};
+
+}  // namespace delaylb::dist

@@ -1,0 +1,285 @@
+#include "obs/digest.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace delaylb::obs {
+
+namespace {
+
+/// splitmix64 finalizer — a cheap, well-mixed 64-bit hash step.
+std::uint64_t Mix(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// The injected corruption: any non-zero XOR mask works.
+constexpr std::uint64_t kPerturbMask = 0xDEADBEEFCAFEF00Dull;
+
+bool EventBefore(const DigestStream::Event& a, const DigestStream::Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.rank != b.rank) return a.rank < b.rank;
+  if (a.major != b.major) return a.major < b.major;
+  return a.minor < b.minor;
+}
+
+std::string Hex(std::uint64_t value) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::uint64_t ParseHex(const std::string& text) {
+  return std::strtoull(text.c_str(), nullptr, 16);
+}
+
+}  // namespace
+
+std::uint64_t DigestStream::HashEvent(double time, std::int32_t rank,
+                                      std::uint64_t major, std::uint64_t minor,
+                                      std::int32_t type) noexcept {
+  std::uint64_t h = Mix(std::bit_cast<std::uint64_t>(time));
+  h = Mix(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)));
+  h = Mix(h ^ major);
+  h = Mix(h ^ minor);
+  return Mix(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(type)));
+}
+
+std::uint64_t DigestStream::Snapshot::Fingerprint() const noexcept {
+  std::uint64_t fp = 0;
+  for (const Window& window : windows) {
+    fp += Mix(window.digest ^ window.index) + window.count;
+  }
+  return fp;
+}
+
+void DigestStream::Configure(double width, bool keep_events) {
+  if (!(width > 0.0)) {
+    throw std::invalid_argument("DigestStream: width must be positive");
+  }
+  width_ = width;
+  keep_events_ = keep_events;
+}
+
+void DigestStream::SetLanes(std::size_t lanes) {
+  if (lanes > lanes_.size()) lanes_.resize(lanes);
+}
+
+void DigestStream::Record(std::size_t lane, double time, std::int32_t rank,
+                          std::uint64_t major, std::uint64_t minor,
+                          std::int32_t type) {
+  Lane& store = lanes_[lane];
+  const std::uint64_t index =
+      static_cast<std::uint64_t>(std::floor(time / width_));
+  if (store.windows.size() <= index) {
+    store.windows.resize(index + 1);
+    for (std::uint64_t k = 0; k < store.windows.size(); ++k) {
+      store.windows[k].index = k;
+    }
+  }
+  const std::uint64_t h = HashEvent(time, rank, major, minor, type);
+  store.windows[index].count += 1;
+  store.windows[index].digest += h;  // wrapping add: commutative merge
+  if (keep_events_) {
+    store.events.push_back(Event{time, rank, major, minor, type, h});
+  }
+}
+
+DigestStream::Snapshot DigestStream::Collect(double perturb_at) const {
+  Snapshot merged;
+  merged.width = width_;
+  merged.has_events = keep_events_;
+  std::size_t max_windows = 0;
+  for (const Lane& lane : lanes_) {
+    max_windows = std::max(max_windows, lane.windows.size());
+  }
+  merged.windows.resize(max_windows);
+  for (std::uint64_t k = 0; k < max_windows; ++k) {
+    merged.windows[k].index = k;
+  }
+  for (const Lane& lane : lanes_) {
+    for (const Window& window : lane.windows) {
+      merged.windows[window.index].count += window.count;
+      merged.windows[window.index].digest += window.digest;
+    }
+    merged.events.insert(merged.events.end(), lane.events.begin(),
+                         lane.events.end());
+  }
+  std::sort(merged.events.begin(), merged.events.end(), EventBefore);
+  merged.total_events = 0;
+  for (const Window& window : merged.windows) {
+    merged.total_events += window.count;
+  }
+
+  if (perturb_at >= 0.0) {
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(std::floor(perturb_at / width_));
+    if (target < merged.windows.size()) {
+      merged.windows[target].digest ^= kPerturbMask;
+      // Corrupt the matching event record so the window diff names it.
+      for (Event& event : merged.events) {
+        const std::uint64_t index =
+            static_cast<std::uint64_t>(std::floor(event.time / width_));
+        if (index == target) {
+          event.hash ^= kPerturbMask;
+          break;
+        }
+      }
+    }
+  }
+  return merged;
+}
+
+std::string DigestStream::ToJson(double perturb_at) const {
+  const Snapshot snapshot = Collect(perturb_at);
+  std::string out;
+  util::JsonWriter w(&out);
+  w.BeginObject();
+  w.Key("schema");
+  w.String("delaylb-digest-1");
+  w.Key("width");
+  w.Number(snapshot.width);
+  w.Key("total_events");
+  w.UInt(snapshot.total_events);
+  w.Key("fingerprint");
+  w.String(Hex(snapshot.Fingerprint()));
+  w.Key("windows");
+  w.BeginArray();
+  for (const Window& window : snapshot.windows) {
+    w.BeginObject();
+    w.Key("i");
+    w.UInt(window.index);
+    w.Key("n");
+    w.UInt(window.count);
+    w.Key("h");
+    w.String(Hex(window.digest));
+    w.EndObject();
+  }
+  w.EndArray();
+  if (snapshot.has_events) {
+    w.Key("events");
+    w.BeginArray();
+    for (const Event& event : snapshot.events) {
+      w.BeginObject();
+      w.Key("t");
+      w.Number(event.time);
+      w.Key("r");
+      w.Int(event.rank);
+      w.Key("a");
+      w.UInt(event.major);
+      w.Key("b");
+      w.UInt(event.minor);
+      w.Key("k");
+      w.Int(event.type);
+      w.Key("h");
+      w.String(Hex(event.hash));
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+  return out;
+}
+
+DigestStream::Snapshot DigestStream::FromJson(const util::JsonValue& doc) {
+  const util::JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->IsString() ||
+      schema->AsString() != "delaylb-digest-1") {
+    throw std::invalid_argument("digest: not a delaylb-digest-1 document");
+  }
+  Snapshot snapshot;
+  snapshot.width = doc.At("width").AsNumber();
+  for (const util::JsonValue& entry : doc.At("windows").AsArray()) {
+    Window window;
+    window.index = static_cast<std::uint64_t>(entry.At("i").AsNumber());
+    window.count = static_cast<std::uint64_t>(entry.At("n").AsNumber());
+    window.digest = ParseHex(entry.At("h").AsString());
+    snapshot.windows.push_back(window);
+    snapshot.total_events += window.count;
+  }
+  if (const util::JsonValue* events = doc.Find("events")) {
+    snapshot.has_events = true;
+    for (const util::JsonValue& entry : events->AsArray()) {
+      Event event;
+      event.time = entry.At("t").AsNumber();
+      event.rank = static_cast<std::int32_t>(entry.At("r").AsNumber());
+      event.major = static_cast<std::uint64_t>(entry.At("a").AsNumber());
+      event.minor = static_cast<std::uint64_t>(entry.At("b").AsNumber());
+      event.type = static_cast<std::int32_t>(entry.At("k").AsNumber());
+      event.hash = ParseHex(entry.At("h").AsString());
+      snapshot.events.push_back(event);
+    }
+  }
+  return snapshot;
+}
+
+DigestStream::CompareResult DigestStream::Compare(const Snapshot& a,
+                                                  const Snapshot& b) {
+  CompareResult result;
+  if (a.width != b.width) {
+    result.comparable = false;
+    result.diverged = true;
+    return result;
+  }
+  const std::size_t windows = std::max(a.windows.size(), b.windows.size());
+  for (std::size_t k = 0; k < windows; ++k) {
+    const Window wa = k < a.windows.size() ? a.windows[k] : Window{};
+    const Window wb = k < b.windows.size() ? b.windows[k] : Window{};
+    if (wa.count == wb.count && wa.digest == wb.digest) continue;
+    result.diverged = true;
+    result.window = k;
+    result.t0 = static_cast<double>(k) * a.width;
+    result.t1 = result.t0 + a.width;
+    result.count_a = wa.count;
+    result.count_b = wb.count;
+    if (a.has_events && b.has_events) {
+      // Multiset difference of the window's events: advance two sorted
+      // runs, matching on (key, hash).
+      const auto in_window = [&](const Event& event) {
+        const std::uint64_t index = static_cast<std::uint64_t>(
+            std::floor(event.time / a.width));
+        return index == k;
+      };
+      std::vector<Event> ea, eb;
+      for (const Event& event : a.events) {
+        if (in_window(event)) ea.push_back(event);
+      }
+      for (const Event& event : b.events) {
+        if (in_window(event)) eb.push_back(event);
+      }
+      std::size_t i = 0, j = 0;
+      const auto same = [](const Event& x, const Event& y) {
+        return x.time == y.time && x.rank == y.rank && x.major == y.major &&
+               x.minor == y.minor && x.type == y.type && x.hash == y.hash;
+      };
+      while (i < ea.size() && j < eb.size()) {
+        if (same(ea[i], eb[j])) {
+          ++i;
+          ++j;
+        } else if (EventBefore(ea[i], eb[j])) {
+          result.only_a.push_back(ea[i++]);
+        } else if (EventBefore(eb[j], ea[i])) {
+          result.only_b.push_back(eb[j++]);
+        } else {  // same key, different hash: one event, two contents
+          result.only_a.push_back(ea[i++]);
+          result.only_b.push_back(eb[j++]);
+        }
+      }
+      while (i < ea.size()) result.only_a.push_back(ea[i++]);
+      while (j < eb.size()) result.only_b.push_back(eb[j++]);
+    }
+    return result;
+  }
+  return result;
+}
+
+}  // namespace delaylb::obs

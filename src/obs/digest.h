@@ -1,0 +1,126 @@
+#pragma once
+// Per-window rolling digest of the content-keyed event stream — the
+// divergence bisector.
+//
+// The runtime's determinism fingerprint (bit-exact Snapshot traces per
+// seed) is pass/fail: when two runs disagree, nothing says *where* they
+// first diverged. The digest stream fixes that. Every dispatched event
+// is hashed from its content key (time, rank, major, minor, type) — the
+// same fields that define the kernel's total order — and folded into
+// the digest of the fixed-width *sim-time* window containing its
+// timestamp. Folding is a wrapping 64-bit sum, which is commutative, so
+// the per-window digests are independent of the shard plan and of lane
+// assignment: one shard and seven shards produce identical streams.
+// (PDES windows would not work here — their structure varies with the
+// plan; digest windows are plain sim-time buckets.)
+//
+// Two runs' digest streams are compared window by window: the first
+// index whose (count, digest) differs localizes the divergence to one
+// sim-time interval. With keep_events enabled the stream also retains
+// the per-event records, so the comparison can list the events present
+// on only one side — turning "fingerprint mismatch" into a diff.
+//
+// Fault injection for tests and the trace_diff self-check: a
+// perturbation time handed to Collect()/ToJson() corrupts the digest of
+// the window containing it *at export* (and the first event record
+// inside it, when kept) — the simulation itself is untouched, so the
+// bisection provably localizes exactly the injected window.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace delaylb::util {
+class JsonValue;
+}
+
+namespace delaylb::obs {
+
+class DigestStream {
+ public:
+  struct Event {
+    double time = 0.0;
+    std::int32_t rank = 0;
+    std::uint64_t major = 0;
+    std::uint64_t minor = 0;
+    std::int32_t type = 0;
+    std::uint64_t hash = 0;
+  };
+
+  struct Window {
+    std::uint64_t index = 0;
+    std::uint64_t count = 0;
+    std::uint64_t digest = 0;
+  };
+
+  /// Merged (and optionally perturbed) view of the stream.
+  struct Snapshot {
+    double width = 0.0;
+    std::vector<Window> windows;  ///< dense, index 0..N-1
+    std::vector<Event> events;    ///< sorted by key; empty unless kept
+    bool has_events = false;
+    std::uint64_t total_events = 0;
+    /// Order-independent combination of every window digest.
+    std::uint64_t Fingerprint() const noexcept;
+  };
+
+  struct CompareResult {
+    bool diverged = false;
+    bool comparable = true;  ///< widths match
+    std::uint64_t window = 0;
+    double t0 = 0.0;
+    double t1 = 0.0;
+    std::uint64_t count_a = 0;
+    std::uint64_t count_b = 0;
+    /// Events present on exactly one side of the divergent window
+    /// (populated when both snapshots kept events).
+    std::vector<Event> only_a;
+    std::vector<Event> only_b;
+  };
+
+  /// `width` is the sim-time bucket width (> 0); keep_events retains
+  /// per-event records for window-content diffs (memory ∝ events).
+  void Configure(double width, bool keep_events);
+  double width() const noexcept { return width_; }
+  bool keeps_events() const noexcept { return keep_events_; }
+
+  /// Grows the lane count (never shrinks); lane 0 always exists.
+  void SetLanes(std::size_t lanes);
+
+  /// Folds one event into its window. Lane-local: call only from the
+  /// owning shard's serial dispatch.
+  void Record(std::size_t lane, double time, std::int32_t rank,
+              std::uint64_t major, std::uint64_t minor, std::int32_t type);
+
+  /// Merges the lanes. `perturb_at` >= 0 injects the export-time
+  /// corruption described in the file comment; < 0 is a faithful export.
+  Snapshot Collect(double perturb_at = -1.0) const;
+
+  /// {"schema":"delaylb-digest-1", "width":…, "windows":[…], "events":[…]}.
+  /// Digests/hashes are hex strings — no double-precision loss.
+  std::string ToJson(double perturb_at = -1.0) const;
+
+  /// Rebuilds a snapshot from a parsed digest file (trace_diff's reader).
+  /// Throws std::invalid_argument on schema mismatch.
+  static Snapshot FromJson(const util::JsonValue& doc);
+
+  /// First divergent window between two streams.
+  static CompareResult Compare(const Snapshot& a, const Snapshot& b);
+
+  /// The content hash — exposed for tests.
+  static std::uint64_t HashEvent(double time, std::int32_t rank,
+                                 std::uint64_t major, std::uint64_t minor,
+                                 std::int32_t type) noexcept;
+
+ private:
+  struct Lane {
+    std::vector<Window> windows;  ///< sparse-ish, grown on demand
+    std::vector<Event> events;
+  };
+
+  double width_ = 100.0;
+  bool keep_events_ = false;
+  std::vector<Lane> lanes_ = std::vector<Lane>(1);
+};
+
+}  // namespace delaylb::obs

@@ -1,0 +1,49 @@
+#include "obs/flags.h"
+
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace delaylb::obs {
+
+std::unique_ptr<Hub> HubFromCli(const util::Cli& cli) {
+  const bool wanted = cli.Has("metrics-out") || cli.Has("trace-out") ||
+                      cli.Has("digest-out");
+  if (!wanted) return nullptr;
+  HubOptions options;
+  options.wall_lanes = cli.GetBool("trace-wall", false);
+  options.digest_window = cli.GetDouble("digest-window", 100.0);
+  options.digest_events = cli.GetBool("digest-events", false);
+  options.perturb_at = cli.GetDouble("perturb-at", -1.0);
+  return std::make_unique<Hub>(options);
+}
+
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+  out.close();
+  if (!out) {
+    util::LogError() << "obs: failed to write " << path;
+    return false;
+  }
+  util::LogInfo() << "obs: wrote " << path << " (" << contents.size()
+                  << " bytes)";
+  return true;
+}
+
+}  // namespace
+
+bool ExportHub(const Hub& hub, double now, const util::Cli& cli) {
+  bool ok = true;
+  const std::string metrics = cli.GetString("metrics-out", "");
+  if (!metrics.empty()) ok &= WriteFile(metrics, hub.MetricsJson(now));
+  const std::string trace = cli.GetString("trace-out", "");
+  if (!trace.empty()) ok &= WriteFile(trace, hub.TraceJson());
+  const std::string digest = cli.GetString("digest-out", "");
+  if (!digest.empty()) ok &= WriteFile(digest, hub.DigestJson());
+  return ok;
+}
+
+}  // namespace delaylb::obs

@@ -1,0 +1,34 @@
+#pragma once
+// Shared CLI wiring for the observability hub.
+//
+// Every bench and example accepts the same flag family:
+//
+//   --metrics-out=FILE    export the metric registry JSON
+//   --trace-out=FILE      export the Chrome/Perfetto trace JSON
+//   --digest-out=FILE     export the divergence-bisection digest JSON
+//   --trace-wall          record wall-clock profiling lanes (pid "wall")
+//   --digest-window=MS    sim-time digest bucket width (default 100)
+//   --digest-events       keep per-event digest records (window diffs)
+//   --perturb-at=T        fault injection: corrupt the digest window
+//                         containing sim time T at export
+//
+// HubFromCli returns a configured hub when any of the output flags is
+// present, nullptr otherwise (no flags → zero instrumentation cost).
+// ExportHub writes whichever outputs were requested.
+
+#include <memory>
+
+#include "obs/hub.h"
+#include "util/cli.h"
+
+namespace delaylb::obs {
+
+/// Builds a hub from the flag family above; nullptr when no output was
+/// requested.
+std::unique_ptr<Hub> HubFromCli(const util::Cli& cli);
+
+/// Writes the requested exports. `now` stamps the metrics document.
+/// Returns false (after logging each failure) if any write failed.
+bool ExportHub(const Hub& hub, double now, const util::Cli& cli);
+
+}  // namespace delaylb::obs

@@ -1,0 +1,73 @@
+#pragma once
+// The observability hub: one object bundling the metric registry, the
+// trace recorder, and the digest stream, handed to the instrumented
+// layers (RuntimeOptions::obs, MinEOptions::obs) by pointer.
+//
+// A hub aggregates one run: the runtime sizes its lanes to the planned
+// shard count at construction and every instrumented layer records into
+// the lane owning its dispatch. Reusing a hub across runs merges their
+// metrics (occasionally useful); create a fresh hub per run for clean
+// exports. A null hub pointer disables all instrumentation — the hot
+// paths pay one branch.
+
+#include <cstddef>
+#include <string>
+
+#include "obs/digest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace delaylb::obs {
+
+struct HubOptions {
+  /// Record wall-clock profiling lanes (PDES barrier stall, worker busy
+  /// time). Costs steady_clock reads per window; excluded from every
+  /// determinism fingerprint.
+  bool wall_lanes = false;
+  /// Sim-time width of one digest window (ms).
+  double digest_window = 100.0;
+  /// Keep per-event digest records so trace_diff can list the events
+  /// inside a divergent window. Memory ∝ dispatched events.
+  bool digest_events = false;
+  /// Fault injection (tests, trace_diff --self-check): >= 0 corrupts the
+  /// digest window containing this sim time at export.
+  double perturb_at = -1.0;
+};
+
+class Hub {
+ public:
+  explicit Hub(HubOptions options = {}) : options_(options) {
+    digest_.Configure(options_.digest_window, options_.digest_events);
+    trace_.set_wall_enabled(options_.wall_lanes);
+  }
+
+  const HubOptions& options() const noexcept { return options_; }
+
+  MetricRegistry& metrics() noexcept { return metrics_; }
+  const MetricRegistry& metrics() const noexcept { return metrics_; }
+  TraceRecorder& trace() noexcept { return trace_; }
+  const TraceRecorder& trace() const noexcept { return trace_; }
+  DigestStream& digest() noexcept { return digest_; }
+  const DigestStream& digest() const noexcept { return digest_; }
+
+  /// Sizes every component to `lanes` recording lanes (grow-only).
+  void SetLanes(std::size_t lanes) {
+    metrics_.SetLanes(lanes);
+    trace_.SetLanes(lanes);
+    digest_.SetLanes(lanes);
+  }
+
+  std::string MetricsJson(double now) const { return metrics_.ToJson(now); }
+  std::string TraceJson() const { return trace_.ToJson(); }
+  std::string DigestJson() const {
+    return digest_.ToJson(options_.perturb_at);
+  }
+
+ private:
+  HubOptions options_;
+  MetricRegistry metrics_;
+  TraceRecorder trace_;
+  DigestStream digest_;
+};
+
+}  // namespace delaylb::obs

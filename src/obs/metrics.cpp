@@ -1,0 +1,268 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace delaylb::obs {
+
+double HistogramSnapshot::Quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    seen += counts[b];
+    if (seen >= rank) {
+      // The +inf bucket reports the observed maximum instead.
+      return b + 1 == counts.size() ? max : bounds[b];
+    }
+  }
+  return max;
+}
+
+MetricRegistry::MetricRegistry() : lanes_(1) {}
+
+MetricId MetricRegistry::AddCounter(std::string name, Domain domain) {
+  return Register(std::move(name), Kind::kCounter, domain, {});
+}
+
+MetricId MetricRegistry::AddGauge(std::string name, Domain domain) {
+  return Register(std::move(name), Kind::kGauge, domain, {});
+}
+
+MetricId MetricRegistry::AddHistogram(std::string name,
+                                      std::vector<double> bounds,
+                                      Domain domain) {
+  for (std::size_t k = 1; k < bounds.size(); ++k) {
+    if (!(bounds[k] > bounds[k - 1])) {
+      throw std::invalid_argument("MetricRegistry: histogram bounds must be "
+                                  "strictly increasing");
+    }
+  }
+  bounds.push_back(std::numeric_limits<double>::infinity());
+  return Register(std::move(name), Kind::kHistogram, domain,
+                  std::move(bounds));
+}
+
+MetricId MetricRegistry::Register(std::string name, Kind kind, Domain domain,
+                                  std::vector<double> bounds) {
+  for (std::uint32_t k = 0; k < metas_.size(); ++k) {
+    if (metas_[k].name == name) {
+      if (metas_[k].kind != kind || metas_[k].domain != domain) {
+        throw std::logic_error("MetricRegistry: '" + name +
+                               "' re-registered with a different kind");
+      }
+      return MetricId{k};
+    }
+  }
+  Meta meta;
+  meta.name = std::move(name);
+  meta.kind = kind;
+  meta.domain = domain;
+  meta.bounds = std::move(bounds);
+  switch (kind) {
+    case Kind::kCounter: meta.slot = counter_slots_++; break;
+    case Kind::kGauge: meta.slot = gauge_slots_++; break;
+    case Kind::kHistogram: meta.slot = hist_slots_++; break;
+  }
+  metas_.push_back(std::move(meta));
+  for (Lane& lane : lanes_) SizeLane(lane);
+  return MetricId{static_cast<std::uint32_t>(metas_.size() - 1)};
+}
+
+void MetricRegistry::SizeLane(Lane& lane) const {
+  lane.counters.resize(counter_slots_, 0);
+  lane.gauges.resize(gauge_slots_);
+  if (lane.hists.size() < hist_slots_) {
+    lane.hists.resize(hist_slots_);
+    for (const Meta& meta : metas_) {
+      if (meta.kind == Kind::kHistogram) {
+        lane.hists[meta.slot].counts.resize(meta.bounds.size(), 0);
+      }
+    }
+  }
+}
+
+void MetricRegistry::SetLanes(std::size_t lanes) {
+  if (lanes <= lanes_.size()) return;
+  lanes_.resize(lanes);
+  for (Lane& lane : lanes_) SizeLane(lane);
+}
+
+void MetricRegistry::Count(std::size_t lane, MetricId id,
+                           std::uint64_t delta) {
+  lanes_[lane].counters[metas_[id.index].slot] += delta;
+}
+
+void MetricRegistry::Set(std::size_t lane, MetricId id, double value,
+                         double stamp, std::uint64_t owner) {
+  GaugeCell& cell = lanes_[lane].gauges[metas_[id.index].slot];
+  if (!cell.set || stamp > cell.stamp ||
+      (stamp == cell.stamp && owner > cell.owner)) {
+    cell.value = value;
+    cell.stamp = stamp;
+    cell.owner = owner;
+    cell.set = true;
+  }
+}
+
+void MetricRegistry::Observe(std::size_t lane, MetricId id, double value) {
+  const Meta& meta = metas_[id.index];
+  HistCell& cell = lanes_[lane].hists[meta.slot];
+  const std::size_t bucket =
+      static_cast<std::size_t>(std::lower_bound(meta.bounds.begin(),
+                                                meta.bounds.end(), value) -
+                               meta.bounds.begin());
+  ++cell.counts[std::min(bucket, cell.counts.size() - 1)];
+  ++cell.count;
+  cell.sum_fixed += static_cast<std::int64_t>(std::llround(value * kSumScale));
+  cell.min = std::min(cell.min, value);
+  cell.max = std::max(cell.max, value);
+}
+
+const MetricRegistry::Meta* MetricRegistry::FindMeta(
+    std::string_view name) const noexcept {
+  for (const Meta& meta : metas_) {
+    if (meta.name == name) return &meta;
+  }
+  return nullptr;
+}
+
+bool MetricRegistry::Has(std::string_view name) const noexcept {
+  return FindMeta(name) != nullptr;
+}
+
+std::uint64_t MetricRegistry::CounterValue(std::string_view name) const {
+  const Meta* meta = FindMeta(name);
+  if (meta == nullptr || meta->kind != Kind::kCounter) return 0;
+  std::uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.counters[meta->slot];
+  return total;
+}
+
+HistogramSnapshot MetricRegistry::MergeHistogram(const Meta& meta) const {
+  HistogramSnapshot merged;
+  merged.bounds = meta.bounds;
+  merged.counts.assign(meta.bounds.size(), 0);
+  std::int64_t sum_fixed = 0;
+  for (const Lane& lane : lanes_) {
+    const HistCell& cell = lane.hists[meta.slot];
+    for (std::size_t b = 0; b < merged.counts.size(); ++b) {
+      merged.counts[b] += cell.counts[b];
+    }
+    merged.count += cell.count;
+    sum_fixed += cell.sum_fixed;
+    merged.min = std::min(merged.min, cell.min);
+    merged.max = std::max(merged.max, cell.max);
+  }
+  merged.sum = static_cast<double>(sum_fixed) / kSumScale;
+  return merged;
+}
+
+HistogramSnapshot MetricRegistry::Histogram(std::string_view name) const {
+  const Meta* meta = FindMeta(name);
+  if (meta == nullptr || meta->kind != Kind::kHistogram) {
+    throw std::invalid_argument("MetricRegistry: unknown histogram '" +
+                                std::string(name) + "'");
+  }
+  return MergeHistogram(*meta);
+}
+
+void MetricRegistry::WriteDomain(Domain domain, double now,
+                                 std::string* out) const {
+  util::JsonWriter w(out);
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const Meta& meta : metas_) {
+    if (meta.kind != Kind::kCounter || meta.domain != domain) continue;
+    std::uint64_t total = 0;
+    for (const Lane& lane : lanes_) total += lane.counters[meta.slot];
+    w.Key(meta.name);
+    w.UInt(total);
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const Meta& meta : metas_) {
+    if (meta.kind != Kind::kGauge || meta.domain != domain) continue;
+    GaugeCell best;
+    for (const Lane& lane : lanes_) {
+      const GaugeCell& cell = lane.gauges[meta.slot];
+      if (!cell.set) continue;
+      if (!best.set || cell.stamp > best.stamp ||
+          (cell.stamp == best.stamp && cell.owner > best.owner)) {
+        best = cell;
+      }
+    }
+    w.Key(meta.name);
+    w.BeginObject();
+    w.Key("value");
+    w.Number(best.set ? best.value : 0.0);
+    w.Key("stamp");
+    w.Number(best.set ? best.stamp : 0.0);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const Meta& meta : metas_) {
+    if (meta.kind != Kind::kHistogram || meta.domain != domain) continue;
+    const HistogramSnapshot h = MergeHistogram(meta);
+    w.Key(meta.name);
+    w.BeginObject();
+    w.Key("count");
+    w.UInt(h.count);
+    w.Key("sum");
+    w.Number(h.sum);
+    w.Key("min");
+    w.Number(h.count == 0 ? 0.0 : h.min);
+    w.Key("max");
+    w.Number(h.count == 0 ? 0.0 : h.max);
+    w.Key("p50");
+    w.Number(h.Quantile(0.5));
+    w.Key("p90");
+    w.Number(h.Quantile(0.9));
+    w.Key("p99");
+    w.Number(h.Quantile(0.99));
+    w.Key("bounds");
+    w.BeginArray();
+    for (const double bound : h.bounds) {
+      if (std::isfinite(bound)) w.Number(bound);
+      else w.String("inf");
+    }
+    w.EndArray();
+    w.Key("counts");
+    w.BeginArray();
+    for (const std::uint64_t c : h.counts) w.UInt(c);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.Key("time");
+  w.Number(now);
+  w.EndObject();
+}
+
+std::string MetricRegistry::ToJson(double now) const {
+  std::string out;
+  out += "{\"schema\":\"delaylb-metrics-1\",\"sim\":";
+  WriteDomain(Domain::kSim, now, &out);
+  out += ",\"kernel\":";
+  WriteDomain(Domain::kKernel, now, &out);
+  out += "}";
+  return out;
+}
+
+std::string MetricRegistry::FingerprintJson(double now) const {
+  std::string out;
+  WriteDomain(Domain::kSim, now, &out);
+  return out;
+}
+
+}  // namespace delaylb::obs

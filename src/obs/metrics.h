@@ -1,0 +1,154 @@
+#pragma once
+// Deterministic metric registry: counters, gauges, and fixed-bucket
+// histograms recorded per lane (= PDES shard) and merged in a fixed
+// order at export.
+//
+// The repo's hard invariant — bit-exact traces per seed for ANY
+// shard/thread configuration — extends to the metrics themselves: the
+// *sim-domain* export must be byte-identical whether the run used one
+// shard or seven. Two design rules make that hold:
+//
+//  * Recording is lane-local. Each lane's storage is written only by the
+//    shard's serial dispatch (the same ownership discipline as the
+//    network counters), so no locks and no racy interleavings exist.
+//  * Every merge is order-independent. Counters and bucket counts are
+//    u64 additions; histogram sums are fixed-point int64 additions (the
+//    observed double is scaled by a power of two and rounded once, at
+//    observation, so the merged sum is an integer sum — no float
+//    reassociation); min/max are commutative; gauges keep the sample
+//    with the largest (stamp, owner) key.
+//
+// Which lane an observation lands in differs across shard plans, but the
+// multiset of observations is identical (the simulation itself is), so
+// the merged values — and the exported JSON bytes — match.
+//
+// Metrics carry a Domain: kSim metrics are pure functions of the
+// simulated history and participate in the determinism fingerprint;
+// kKernel metrics describe the PDES execution (window widths, heap
+// occupancy) and legitimately vary with the shard plan. The two are
+// exported under separate keys so fingerprint comparisons can pin the
+// sim domain to the byte while still shipping kernel data.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace delaylb::obs {
+
+/// Fingerprint domain of a metric (see file comment).
+enum class Domain : std::uint8_t { kSim = 0, kKernel = 1 };
+
+/// Opaque handle returned by registration; cheap to copy, valid for the
+/// registry's lifetime.
+struct MetricId {
+  std::uint32_t index = 0xFFFFFFFF;
+  bool valid() const noexcept { return index != 0xFFFFFFFF; }
+};
+
+/// Merged view of one histogram (all lanes combined).
+struct HistogramSnapshot {
+  std::vector<double> bounds;  ///< upper bucket bounds; last is +inf
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;  ///< fixed-point sum / scale — deterministic
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  double Mean() const noexcept { return count == 0 ? 0.0 : sum / count; }
+  /// Bucket-resolution quantile: the upper bound of the bucket containing
+  /// rank ceil(q * count) (min/max for the extremes). Deterministic — no
+  /// interpolation between raw samples.
+  double Quantile(double q) const noexcept;
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry();
+
+  /// Registration is idempotent per name: re-registering an existing name
+  /// returns the original id (kind and domain must match; throws
+  /// std::logic_error otherwise). Call before or after SetLanes.
+  MetricId AddCounter(std::string name, Domain domain = Domain::kSim);
+  MetricId AddGauge(std::string name, Domain domain = Domain::kSim);
+  /// `bounds` are strictly increasing upper bucket edges; an implicit
+  /// +infinity bucket is appended. Sums are accumulated in fixed point at
+  /// `kSumScale` resolution.
+  MetricId AddHistogram(std::string name, std::vector<double> bounds,
+                        Domain domain = Domain::kSim);
+
+  /// Grows the lane count (never shrinks); lane 0 always exists.
+  void SetLanes(std::size_t lanes);
+  std::size_t lanes() const noexcept { return lanes_.size(); }
+
+  // -- Recording (lane-local; the caller must own `lane`'s dispatch) ----
+  void Count(std::size_t lane, MetricId id, std::uint64_t delta = 1);
+  /// Keeps the sample with the largest (stamp, owner) key — the merge is
+  /// commutative, so the surviving sample is shard-plan independent.
+  void Set(std::size_t lane, MetricId id, double value, double stamp,
+           std::uint64_t owner = 0);
+  void Observe(std::size_t lane, MetricId id, double value);
+
+  // -- Export -----------------------------------------------------------
+  /// Merged counter value; 0 for unknown names.
+  std::uint64_t CounterValue(std::string_view name) const;
+  /// Merged histogram; throws std::invalid_argument for unknown names.
+  HistogramSnapshot Histogram(std::string_view name) const;
+  bool Has(std::string_view name) const noexcept;
+
+  /// Full export: {"sim": {...}, "kernel": {...}} with counters, gauges,
+  /// and histograms in registration order. `now` stamps the document.
+  std::string ToJson(double now) const;
+  /// Sim-domain-only export — the determinism fingerprint.
+  std::string FingerprintJson(double now) const;
+
+  static constexpr double kSumScale = 1048576.0;  ///< 2^20 fixed point
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Meta {
+    std::string name;
+    Kind kind;
+    Domain domain;
+    std::uint32_t slot = 0;  ///< index into the kind-specific lane arrays
+    std::vector<double> bounds;  ///< histograms only (with +inf appended)
+  };
+
+  struct GaugeCell {
+    double value = 0.0;
+    double stamp = -std::numeric_limits<double>::infinity();
+    std::uint64_t owner = 0;
+    bool set = false;
+  };
+
+  struct HistCell {
+    std::vector<std::uint64_t> counts;
+    std::int64_t sum_fixed = 0;
+    std::uint64_t count = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+
+  struct Lane {
+    std::vector<std::uint64_t> counters;
+    std::vector<GaugeCell> gauges;
+    std::vector<HistCell> hists;
+  };
+
+  MetricId Register(std::string name, Kind kind, Domain domain,
+                    std::vector<double> bounds);
+  void SizeLane(Lane& lane) const;
+  const Meta* FindMeta(std::string_view name) const noexcept;
+  HistogramSnapshot MergeHistogram(const Meta& meta) const;
+  void WriteDomain(Domain domain, double now, std::string* out) const;
+
+  std::vector<Meta> metas_;
+  std::uint32_t counter_slots_ = 0;
+  std::uint32_t gauge_slots_ = 0;
+  std::uint32_t hist_slots_ = 0;
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace delaylb::obs

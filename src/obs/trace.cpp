@@ -1,0 +1,182 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "util/json.h"
+
+namespace delaylb::obs {
+
+TraceRecorder::TraceRecorder()
+    : lanes_(1), epoch_(std::chrono::steady_clock::now()) {}
+
+void TraceRecorder::SetLanes(std::size_t lanes) {
+  if (lanes > lanes_.size()) lanes_.resize(lanes);
+}
+
+void TraceRecorder::Record(std::size_t lane, TracePid pid, std::uint32_t tid,
+                           const char* name, const char* cat, double ts,
+                           double dur, TraceKey key, Args args) {
+  Event event;
+  event.name = name;
+  event.cat = cat;
+  event.ts = ts;
+  event.dur = dur;
+  event.key = key;
+  event.tid = tid;
+  event.pid = pid;
+  event.nargs = 0;
+  for (const auto& arg : args) {
+    if (event.nargs == kMaxArgs) break;
+    event.args[event.nargs++] = arg;
+  }
+  lanes_[lane].events.push_back(event);
+}
+
+void TraceRecorder::Span(std::size_t lane, TracePid pid, std::uint32_t tid,
+                         const char* name, const char* cat, double ts,
+                         double dur, TraceKey key, Args args) {
+  Record(lane, pid, tid, name, cat, ts, dur, key, args);
+}
+
+void TraceRecorder::Instant(std::size_t lane, TracePid pid, std::uint32_t tid,
+                            const char* name, const char* cat, double ts,
+                            TraceKey key, Args args) {
+  Record(lane, pid, tid, name, cat, ts, -1.0, key, args);
+}
+
+double TraceRecorder::WallNowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceRecorder::WallSpan(std::size_t lane, std::uint32_t tid,
+                             const char* name, const char* cat, double ts_us,
+                             double dur_us, Args args) {
+  if (!wall_enabled_) return;
+  Record(lane, TracePid::kWall, tid, name, cat, ts_us, dur_us, TraceKey{},
+         args);
+}
+
+void TraceRecorder::ThreadName(TracePid pid, std::uint32_t tid,
+                               std::string name) {
+  tracks_[{static_cast<std::uint8_t>(pid), tid}] = std::move(name);
+}
+
+std::size_t TraceRecorder::events() const noexcept {
+  std::size_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.events.size();
+  return total;
+}
+
+std::string TraceRecorder::ToJson() const {
+  // Gather and order: sim/kernel by (ts, content key) — the shard-plan
+  // independent total order — wall events by timestamp.
+  std::vector<const Event*> timed;
+  std::vector<const Event*> wall;
+  for (const Lane& lane : lanes_) {
+    for (const Event& event : lane.events) {
+      (event.pid == TracePid::kWall ? wall : timed).push_back(&event);
+    }
+  }
+  const auto by_key = [](const Event* a, const Event* b) {
+    if (a->ts != b->ts) return a->ts < b->ts;
+    if (a->key.rank != b->key.rank) return a->key.rank < b->key.rank;
+    if (a->key.major != b->key.major) return a->key.major < b->key.major;
+    return a->key.minor < b->key.minor;
+  };
+  std::sort(timed.begin(), timed.end(), by_key);
+  std::stable_sort(wall.begin(), wall.end(),
+                   [](const Event* a, const Event* b) { return a->ts < b->ts; });
+
+  std::string out;
+  util::JsonWriter w(&out);
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+
+  const auto process = [&w](TracePid pid, const char* name) {
+    w.BeginObject();
+    w.Key("name");
+    w.String("process_name");
+    w.Key("ph");
+    w.String("M");
+    w.Key("pid");
+    w.UInt(static_cast<std::uint64_t>(pid));
+    w.Key("args");
+    w.BeginObject();
+    w.Key("name");
+    w.String(name);
+    w.EndObject();
+    w.EndObject();
+  };
+  process(TracePid::kSim, "sim");
+  process(TracePid::kKernel, "kernel");
+  if (wall_enabled_) process(TracePid::kWall, "wall");
+  for (const auto& [track, name] : tracks_) {
+    if (track.first == static_cast<std::uint8_t>(TracePid::kWall) &&
+        !wall_enabled_) {
+      continue;
+    }
+    w.BeginObject();
+    w.Key("name");
+    w.String("thread_name");
+    w.Key("ph");
+    w.String("M");
+    w.Key("pid");
+    w.UInt(track.first);
+    w.Key("tid");
+    w.UInt(track.second);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("name");
+    w.String(name);
+    w.EndObject();
+    w.EndObject();
+  }
+
+  const auto emit = [&w](const Event& event, bool sim_time) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(event.name);
+    w.Key("cat");
+    w.String(event.cat);
+    w.Key("ph");
+    w.String(event.dur < 0.0 ? "i" : "X");
+    // Chrome-trace timestamps are microseconds; sim milliseconds scale
+    // by 1000 so one simulated millisecond renders as one trace ms.
+    w.Key("ts");
+    w.Number(sim_time ? event.ts * 1000.0 : event.ts);
+    if (event.dur >= 0.0) {
+      w.Key("dur");
+      w.Number(sim_time ? event.dur * 1000.0 : event.dur);
+    } else {
+      w.Key("s");
+      w.String("t");
+    }
+    w.Key("pid");
+    w.UInt(static_cast<std::uint64_t>(event.pid));
+    w.Key("tid");
+    w.UInt(event.tid);
+    if (event.nargs > 0) {
+      w.Key("args");
+      w.BeginObject();
+      for (std::uint8_t k = 0; k < event.nargs; ++k) {
+        w.Key(event.args[k].first);
+        w.Number(event.args[k].second);
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+  };
+  for (const Event* event : timed) emit(*event, true);
+  for (const Event* event : wall) emit(*event, false);
+
+  w.EndArray();
+  w.EndObject();
+  return out;
+}
+
+}  // namespace delaylb::obs

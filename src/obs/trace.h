@@ -1,0 +1,112 @@
+#pragma once
+// Flight-recorder trace: span/instant events with Chrome-trace JSON
+// export (chrome://tracing, https://ui.perfetto.dev).
+//
+// Three processes appear in the exported trace:
+//
+//  * pid 1 "sim" — events stamped with *simulation* time and ordered at
+//    export by (sim_time, content key). Pure functions of the simulated
+//    history: identical for every shard/thread configuration, so the
+//    sim process participates in the determinism fingerprint.
+//  * pid 2 "kernel" — PDES execution structure (windows, occupancy),
+//    also sim-time-stamped and deterministic *per configuration*, but
+//    the window timeline legitimately varies with the shard plan.
+//  * pid 3 "wall" — wall-clock profiling lanes (barrier stall, worker
+//    busy time), off by default (set_wall_enabled) and excluded from
+//    every fingerprint: timestamps come from steady_clock.
+//
+// Recording is lane-local like the metric registry: each lane's buffer
+// is appended only by its owning shard's serial dispatch. Name/category
+// strings must be string literals (the recorder stores the pointers).
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace delaylb::obs {
+
+/// Trace process ids (see file comment).
+enum class TracePid : std::uint8_t { kSim = 1, kKernel = 2, kWall = 3 };
+
+/// Content-derived sort key that orders same-timestamp sim events
+/// identically for every shard plan (mirrors sim::EventKey).
+struct TraceKey {
+  std::int32_t rank = 0;
+  std::uint64_t major = 0;
+  std::uint64_t minor = 0;
+};
+
+class TraceRecorder {
+ public:
+  /// Up to kMaxArgs numeric args per event.
+  static constexpr std::size_t kMaxArgs = 6;
+  using Args = std::initializer_list<std::pair<const char*, double>>;
+
+  TraceRecorder();
+
+  /// Grows the lane count (never shrinks); lane 0 always exists.
+  void SetLanes(std::size_t lanes);
+
+  /// Enables the wall-clock profiling lanes (pid 3). Off by default.
+  void set_wall_enabled(bool enabled) noexcept { wall_enabled_ = enabled; }
+  bool wall_enabled() const noexcept { return wall_enabled_; }
+
+  // -- Sim / kernel lanes (timestamps in sim milliseconds) --------------
+  void Span(std::size_t lane, TracePid pid, std::uint32_t tid,
+            const char* name, const char* cat, double ts, double dur,
+            TraceKey key, Args args = {});
+  void Instant(std::size_t lane, TracePid pid, std::uint32_t tid,
+               const char* name, const char* cat, double ts, TraceKey key,
+               Args args = {});
+
+  // -- Wall lanes (timestamps in microseconds since construction) -------
+  /// Monotonic microseconds since the recorder was built.
+  double WallNowUs() const;
+  /// No-op unless wall lanes are enabled.
+  void WallSpan(std::size_t lane, std::uint32_t tid, const char* name,
+                const char* cat, double ts_us, double dur_us, Args args = {});
+
+  /// Registers a human-readable track name (call from the driving thread
+  /// during setup; last write per (pid, tid) wins).
+  void ThreadName(TracePid pid, std::uint32_t tid, std::string name);
+
+  std::size_t events() const noexcept;
+
+  /// Chrome-trace JSON. Sim/kernel events are sorted by
+  /// (ts, rank, major, minor); wall events by timestamp. Sim timestamps
+  /// are exported in microseconds (1 sim ms = 1 trace ms).
+  std::string ToJson() const;
+
+ private:
+  struct Event {
+    const char* name;
+    const char* cat;
+    double ts;   ///< sim ms (pid 1/2) or wall µs (pid 3)
+    double dur;  ///< < 0 for instants
+    TraceKey key;
+    std::uint32_t tid;
+    TracePid pid;
+    std::uint8_t nargs;
+    std::array<std::pair<const char*, double>, kMaxArgs> args;
+  };
+
+  struct alignas(64) Lane {
+    std::vector<Event> events;
+  };
+
+  void Record(std::size_t lane, TracePid pid, std::uint32_t tid,
+              const char* name, const char* cat, double ts, double dur,
+              TraceKey key, Args args);
+
+  std::vector<Lane> lanes_;
+  std::map<std::pair<std::uint8_t, std::uint32_t>, std::string> tracks_;
+  std::chrono::steady_clock::time_point epoch_;
+  bool wall_enabled_ = false;
+};
+
+}  // namespace delaylb::obs

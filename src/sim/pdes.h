@@ -38,6 +38,7 @@
 // logic_error rather than silently corrupting causality.
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
@@ -205,14 +206,16 @@ class ConservativeEngine {
           lookahead_ == std::numeric_limits<double>::infinity()
               ? std::numeric_limits<double>::infinity()
               : start + lookahead_;
+      const auto window_t0 = profile_ ? std::chrono::steady_clock::now()
+                                      : std::chrono::steady_clock::time_point();
       if (shards_ == 1) {
-        RunShard(0, horizon, dispatch);
+        RunShardTimed(0, horizon, dispatch);
       } else {
         latch_.Reset(shards_);
         for (std::size_t s = 0; s < shards_; ++s) {
           pool_->Post([this, s, horizon, &dispatch] {
             try {
-              RunShard(s, horizon, dispatch);
+              RunShardTimed(s, horizon, dispatch);
             } catch (...) {
               std::lock_guard<std::mutex> lock(error_mutex_);
               if (!error_) error_ = std::current_exception();
@@ -225,6 +228,11 @@ class ConservativeEngine {
         if (error_) {
           std::rethrow_exception(std::exchange(error_, nullptr));
         }
+      }
+      if (profile_) {
+        window_wall_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - window_t0)
+                              .count();
       }
       ++windows_;
       if (hook_) hook_(start, window_end_);
@@ -240,6 +248,30 @@ class ConservativeEngine {
     for (const ShardState& state : states_) total += state.dispatched;
     return total;
   }
+  std::uint64_t dispatched(std::size_t shard) const noexcept {
+    return states_[shard].dispatched;
+  }
+
+  /// Pending events on `shard`'s heap (staged lanes excluded). Quiesced
+  /// engine or window hook only — the obs layer samples per-window heap
+  /// occupancy here.
+  std::size_t HeapSize(std::size_t shard) const noexcept {
+    return heaps_[shard].heap.Size();
+  }
+
+  /// Enables per-window wall-clock profiling: steady_clock reads around
+  /// each shard's dispatch run and the whole window. Feeds the obs wall
+  /// lanes (barrier stall = window wall minus shard busy); off by
+  /// default and free when disabled.
+  void set_profile_windows(bool enabled) noexcept { profile_ = enabled; }
+  bool profile_windows() const noexcept { return profile_; }
+  /// Nanoseconds `shard` spent dispatching inside the last committed
+  /// window (0 unless profiling). Window hook / quiesced only.
+  std::int64_t window_busy_ns(std::size_t shard) const noexcept {
+    return states_[shard].busy_ns;
+  }
+  /// Wall nanoseconds of the last committed window, barrier to barrier.
+  std::int64_t window_wall_ns() const noexcept { return window_wall_ns_; }
 
   /// Visits every pending event (heaps + unmerged lanes). Quiesced only —
   /// the accounting audits run this from the window hook.
@@ -260,7 +292,24 @@ class ConservativeEngine {
   struct alignas(64) ShardState {
     double now = 0.0;
     std::uint64_t dispatched = 0;
+    std::int64_t busy_ns = 0;  ///< last window's dispatch time (profiling)
   };
+
+  /// RunShard plus the optional busy-time measurement. Each worker
+  /// writes only its own shard's busy_ns; the barrier latch publishes it
+  /// to the window hook.
+  template <typename Dispatch>
+  void RunShardTimed(std::size_t s, double horizon, Dispatch& dispatch) {
+    if (!profile_) {
+      RunShard(s, horizon, dispatch);
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    RunShard(s, horizon, dispatch);
+    states_[s].busy_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  }
 
   template <typename Dispatch>
   void RunShard(std::size_t s, double horizon, Dispatch& dispatch) {
@@ -296,6 +345,8 @@ class ConservativeEngine {
   std::vector<std::vector<E>> lanes_;
   double window_end_ = std::numeric_limits<double>::infinity();
   std::uint64_t windows_ = 0;
+  bool profile_ = false;
+  std::int64_t window_wall_ns_ = 0;
   WindowHook hook_;
   util::Latch latch_;
   std::mutex error_mutex_;

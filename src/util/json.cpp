@@ -1,0 +1,274 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace delaylb::util {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  if (value == static_cast<double>(static_cast<std::int64_t>(value)) &&
+      std::fabs(value) < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(value));
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+bool JsonValue::AsBool() const {
+  if (kind_ != Kind::kBool) throw std::invalid_argument("json: not a bool");
+  return bool_;
+}
+
+double JsonValue::AsNumber() const {
+  if (kind_ != Kind::kNumber) throw std::invalid_argument("json: not a number");
+  return number_;
+}
+
+const std::string& JsonValue::AsString() const {
+  if (kind_ != Kind::kString) throw std::invalid_argument("json: not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  if (kind_ != Kind::kArray) throw std::invalid_argument("json: not an array");
+  return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::AsObject()
+    const {
+  if (kind_ != Kind::kObject) throw std::invalid_argument("json: not an object");
+  return object_;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const noexcept {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::At(std::string_view key) const {
+  const JsonValue* found = Find(key);
+  if (found == nullptr) {
+    throw std::invalid_argument("json: missing key '" + std::string(key) + "'");
+  }
+  return *found;
+}
+
+double JsonValue::GetNumber(std::string_view key, double fallback) const {
+  const JsonValue* found = Find(key);
+  return found != nullptr && found->IsNumber() ? found->AsNumber() : fallback;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue ParseDocument() {
+    JsonValue value = ParseValue(0);
+    SkipSpace();
+    if (pos_ != text_.size()) Fail("trailing characters");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void Fail(const char* what) const {
+    throw std::invalid_argument("json parse error at offset " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail("unexpected character");
+    ++pos_;
+  }
+
+  bool Consume(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue ParseValue(int depth) {
+    if (depth > kMaxDepth) Fail("nesting too deep");
+    SkipSpace();
+    JsonValue value;
+    switch (Peek()) {
+      case '{': {
+        ++pos_;
+        value.kind_ = JsonValue::Kind::kObject;
+        SkipSpace();
+        if (Peek() == '}') { ++pos_; return value; }
+        for (;;) {
+          SkipSpace();
+          std::string key = ParseString();
+          SkipSpace();
+          Expect(':');
+          value.object_.emplace_back(std::move(key), ParseValue(depth + 1));
+          SkipSpace();
+          if (Peek() == ',') { ++pos_; continue; }
+          Expect('}');
+          return value;
+        }
+      }
+      case '[': {
+        ++pos_;
+        value.kind_ = JsonValue::Kind::kArray;
+        SkipSpace();
+        if (Peek() == ']') { ++pos_; return value; }
+        for (;;) {
+          value.array_.push_back(ParseValue(depth + 1));
+          SkipSpace();
+          if (Peek() == ',') { ++pos_; continue; }
+          Expect(']');
+          return value;
+        }
+      }
+      case '"':
+        value.kind_ = JsonValue::Kind::kString;
+        value.string_ = ParseString();
+        return value;
+      case 't':
+        if (!Consume("true")) Fail("bad literal");
+        value.kind_ = JsonValue::Kind::kBool;
+        value.bool_ = true;
+        return value;
+      case 'f':
+        if (!Consume("false")) Fail("bad literal");
+        value.kind_ = JsonValue::Kind::kBool;
+        value.bool_ = false;
+        return value;
+      case 'n':
+        if (!Consume("null")) Fail("bad literal");
+        return value;
+      default:
+        value.kind_ = JsonValue::Kind::kNumber;
+        value.number_ = ParseNumber();
+        return value;
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) Fail("short \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else Fail("bad \\u escape");
+          }
+          // Basic-plane UTF-8 encoding; surrogate pairs are not needed by
+          // any of our exporters and decode as two replacement sequences.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: Fail("bad escape");
+      }
+    }
+  }
+
+  double ParseNumber() {
+    const std::size_t begin = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == begin) Fail("expected a value");
+    const std::string token(text_.substr(begin, pos_ - begin));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) Fail("bad number");
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::Parse(std::string_view text) {
+  return JsonParser(text).ParseDocument();
+}
+
+}  // namespace delaylb::util

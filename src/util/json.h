@@ -1,0 +1,135 @@
+#pragma once
+// Minimal JSON writer + parser for the observability exports.
+//
+// The obs layer (src/obs/) emits metrics, Chrome-trace, and digest files
+// as JSON; tools/trace_diff and the tests read them back. This is a
+// deliberately small, dependency-free implementation: the writer handles
+// escaping and comma placement, the parser builds a DOM of JsonValue
+// nodes (object keys keep insertion order). Numbers are doubles — the
+// exporters therefore encode 64-bit digests as hex *strings*, never as
+// numbers, so no precision is lost round-tripping.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace delaylb::util {
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(std::string_view text);
+
+/// Formats a finite double with round-trip precision; non-finite values
+/// become "null" (JSON has no infinity).
+std::string JsonNumber(double value);
+
+/// Streaming JSON writer with automatic comma placement. Usage:
+///
+///   JsonWriter w(&out);
+///   w.BeginObject();
+///   w.Key("n"); w.UInt(3);
+///   w.Key("xs"); w.BeginArray(); w.Number(1.5); w.EndArray();
+///   w.EndObject();
+///
+/// The writer does not validate call order beyond its own comma state;
+/// callers are expected to produce well-formed documents (the tests parse
+/// every export back).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string* out) : out_(out) {}
+
+  void BeginObject() { Value("{"); stack_.push_back(true); }
+  void EndObject() { stack_.pop_back(); *out_ += '}'; }
+  void BeginArray() { Value("["); stack_.push_back(true); }
+  void EndArray() { stack_.pop_back(); *out_ += ']'; }
+
+  void Key(std::string_view key) {
+    Comma();
+    *out_ += '"';
+    *out_ += JsonEscape(key);
+    *out_ += "\":";
+    pending_key_ = true;
+  }
+
+  void String(std::string_view value) {
+    Comma();
+    *out_ += '"';
+    *out_ += JsonEscape(value);
+    *out_ += '"';
+  }
+  void Number(double value) { Value(JsonNumber(value)); }
+  void Int(std::int64_t value) { Value(std::to_string(value)); }
+  void UInt(std::uint64_t value) { Value(std::to_string(value)); }
+  void Bool(bool value) { Value(value ? "true" : "false"); }
+  void Null() { Value("null"); }
+
+ private:
+  void Value(std::string_view text) {
+    Comma();
+    *out_ += text;
+  }
+
+  void Comma() {
+    if (pending_key_) {
+      pending_key_ = false;  // value following its key: no comma
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) {
+        stack_.back() = false;  // first element of the container
+      } else {
+        *out_ += ',';
+      }
+    }
+  }
+
+  std::string* out_;
+  std::vector<bool> stack_;  ///< true while the container is still empty
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON node. Object member order is preserved.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses a complete JSON document; throws std::invalid_argument on
+  /// malformed input or trailing garbage.
+  static JsonValue Parse(std::string_view text);
+
+  Kind kind() const noexcept { return kind_; }
+  bool IsNull() const noexcept { return kind_ == Kind::kNull; }
+  bool IsBool() const noexcept { return kind_ == Kind::kBool; }
+  bool IsNumber() const noexcept { return kind_ == Kind::kNumber; }
+  bool IsString() const noexcept { return kind_ == Kind::kString; }
+  bool IsArray() const noexcept { return kind_ == Kind::kArray; }
+  bool IsObject() const noexcept { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw std::invalid_argument on kind mismatch.
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const std::vector<std::pair<std::string, JsonValue>>& AsObject() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* Find(std::string_view key) const noexcept;
+  /// Member lookup that throws std::invalid_argument when absent.
+  const JsonValue& At(std::string_view key) const;
+  /// Convenience: member's number, or `fallback` when absent.
+  double GetNumber(std::string_view key, double fallback) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+
+  friend class JsonParser;
+};
+
+}  // namespace delaylb::util

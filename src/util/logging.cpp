@@ -1,13 +1,23 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
 
 namespace delaylb::util {
 namespace {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+int InitialLevel() {
+  const char* env = std::getenv("DELAYLB_LOG");
+  if (env == nullptr) return static_cast<int>(LogLevel::kWarn);
+  return static_cast<int>(ParseLogLevel(env, LogLevel::kWarn));
+}
+
+std::atomic<int> g_level{InitialLevel()};
+std::atomic<const std::atomic<double>*> g_sim_clock{nullptr};
 std::mutex g_mutex;
 
 const char* LevelName(LogLevel level) {
@@ -26,6 +36,21 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
+LogLevel ParseLogLevel(std::string_view text, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "2") {
+    return LogLevel::kWarn;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  return fallback;
+}
+
 void SetLogLevel(LogLevel level) {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
@@ -34,12 +59,24 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void SetLogSimTime(const std::atomic<double>* clock) {
+  g_sim_clock.store(clock, std::memory_order_release);
+}
+
 void LogMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[" << LevelName(level) << "] " << message << '\n';
+  std::cerr << "[" << LevelName(level) << "]";
+  if (const std::atomic<double>* clock =
+          g_sim_clock.load(std::memory_order_acquire)) {
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "[t=%.3f]",
+                  clock->load(std::memory_order_relaxed));
+    std::cerr << stamp;
+  }
+  std::cerr << " " << message << '\n';
 }
 
 }  // namespace delaylb::util

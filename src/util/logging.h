@@ -2,11 +2,18 @@
 // Minimal leveled logging to stderr.
 //
 // The distributed-runtime substrate logs message traffic at kDebug when
-// enabled; bench harnesses log sweep progress at kInfo. Logging defaults to
-// kWarn so test output stays clean.
+// enabled; bench harnesses log sweep progress at kInfo. Logging defaults
+// to kWarn so test output stays clean; the DELAYLB_LOG environment
+// variable ("debug" | "info" | "warn" | "error", or 0-3) overrides the
+// initial level without touching code. A registered sim-time source
+// (SetLogSimTime — the DistributedRuntime installs its window clock)
+// prefixes every line with the current simulation time, so kDebug
+// traffic lines carry event timestamps.
 
+#include <atomic>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace delaylb::util {
 
@@ -15,6 +22,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Sets the global minimum level (messages below it are dropped).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses a level name ("debug", "info", "warn"/"warning", "error") or a
+/// numeric value 0-3; returns `fallback` on anything else. Case-insensitive.
+LogLevel ParseLogLevel(std::string_view text, LogLevel fallback);
+
+/// Installs a sim-time source for log-line prefixes ("[t=...]"); nullptr
+/// clears it. The pointee must outlive the registration — callers clear
+/// it before the clock dies (the runtime does in its destructor).
+void SetLogSimTime(const std::atomic<double>* clock);
 
 /// Emits one log line (thread-safe).
 void LogMessage(LogLevel level, const std::string& message);

@@ -1,0 +1,140 @@
+// The divergence-bisection digest stream: lane-merge commutativity, the
+// JSON round trip trace_diff reads, window-exact perturbation
+// localization, and the Compare event diff.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/digest.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace delaylb::obs {
+namespace {
+
+using Snapshot = DigestStream::Snapshot;
+
+/// A reproducible synthetic event stream across `lanes` lanes: the lane
+/// assignment varies with `scatter_seed` but the event multiset does not.
+DigestStream BuildStream(std::size_t lanes, std::uint64_t scatter_seed,
+                         bool keep_events) {
+  DigestStream stream;
+  stream.Configure(100.0, keep_events);
+  stream.SetLanes(lanes);
+  util::Rng scatter(scatter_seed);
+  for (std::uint64_t k = 0; k < 400; ++k) {
+    const double time = static_cast<double>(k) * 2.5;  // 0 .. 997.5ms
+    const std::size_t lane =
+        static_cast<std::size_t>(scatter.uniform(0.0, 1.0) *
+                                 static_cast<double>(lanes)) %
+        lanes;
+    stream.Record(lane, time, static_cast<std::int32_t>(k % 7), k, k / 3,
+                  static_cast<std::int32_t>(k % 4));
+  }
+  return stream;
+}
+
+TEST(DigestStream, MergeIsLaneAssignmentInvariant) {
+  // The same event multiset scattered across 1, 3, and 8 lanes in
+  // different orders: byte-identical exports — the wrapping-add fold is
+  // commutative, so the digest stream cannot see the shard plan.
+  const std::string reference = BuildStream(1, 11, false).ToJson();
+  EXPECT_EQ(BuildStream(3, 12, false).ToJson(), reference);
+  EXPECT_EQ(BuildStream(8, 13, false).ToJson(), reference);
+}
+
+TEST(DigestStream, JsonRoundTripsThroughFromJson) {
+  const DigestStream stream = BuildStream(3, 21, true);
+  const Snapshot direct = stream.Collect();
+  const Snapshot parsed =
+      DigestStream::FromJson(util::JsonValue::Parse(stream.ToJson()));
+  EXPECT_EQ(parsed.width, direct.width);
+  EXPECT_EQ(parsed.total_events, direct.total_events);
+  EXPECT_TRUE(parsed.has_events);
+  EXPECT_EQ(parsed.Fingerprint(), direct.Fingerprint());
+  ASSERT_EQ(parsed.windows.size(), direct.windows.size());
+  for (std::size_t k = 0; k < parsed.windows.size(); ++k) {
+    EXPECT_EQ(parsed.windows[k].count, direct.windows[k].count);
+    EXPECT_EQ(parsed.windows[k].digest, direct.windows[k].digest) << k;
+  }
+  ASSERT_EQ(parsed.events.size(), direct.events.size());
+  for (std::size_t k = 0; k < parsed.events.size(); ++k) {
+    EXPECT_EQ(parsed.events[k].time, direct.events[k].time);
+    EXPECT_EQ(parsed.events[k].hash, direct.events[k].hash) << k;
+  }
+  // The round-tripped snapshot compares clean against the original.
+  const DigestStream::CompareResult result =
+      DigestStream::Compare(direct, parsed);
+  EXPECT_FALSE(result.diverged);
+
+  EXPECT_THROW(DigestStream::FromJson(util::JsonValue::Parse("{}")),
+               std::invalid_argument);
+}
+
+TEST(DigestStream, PerturbationLocalizesToExactWindow) {
+  const DigestStream stream = BuildStream(2, 31, true);
+  const Snapshot clean = stream.Collect();
+  // Perturb a mid-run instant: only window floor(434.5 / 100) = 4 may
+  // differ, and the event diff must name the corrupted record.
+  const double perturb_at = 434.5;
+  const Snapshot dirty = stream.Collect(perturb_at);
+  const DigestStream::CompareResult result =
+      DigestStream::Compare(clean, dirty);
+  ASSERT_TRUE(result.diverged);
+  EXPECT_TRUE(result.comparable);
+  EXPECT_EQ(result.window, 4u);
+  EXPECT_EQ(result.t0, 400.0);
+  EXPECT_EQ(result.t1, 500.0);
+  // Counts match — the corruption flips content, not event presence.
+  EXPECT_EQ(result.count_a, result.count_b);
+  ASSERT_EQ(result.only_a.size(), 1u);
+  ASSERT_EQ(result.only_b.size(), 1u);
+  EXPECT_EQ(result.only_a[0].time, result.only_b[0].time);
+  EXPECT_NE(result.only_a[0].hash, result.only_b[0].hash);
+  // Every other window is untouched.
+  for (std::size_t k = 0; k < clean.windows.size(); ++k) {
+    if (k == 4) continue;
+    EXPECT_EQ(clean.windows[k].digest, dirty.windows[k].digest) << k;
+  }
+}
+
+TEST(DigestStream, CompareFlagsCountAndLengthMismatches) {
+  DigestStream a;
+  a.Configure(50.0, false);
+  DigestStream b;
+  b.Configure(50.0, false);
+  a.Record(0, 10.0, 1, 2, 3, 0);
+  a.Record(0, 120.0, 1, 2, 3, 0);
+  b.Record(0, 10.0, 1, 2, 3, 0);
+  // b is missing the second event: the divergence is in window 2, and
+  // the shorter stream reads as an empty window there.
+  const DigestStream::CompareResult result =
+      DigestStream::Compare(a.Collect(), b.Collect());
+  ASSERT_TRUE(result.diverged);
+  EXPECT_EQ(result.window, 2u);
+  EXPECT_EQ(result.count_a, 1u);
+  EXPECT_EQ(result.count_b, 0u);
+
+  // Mismatched widths are not comparable at all.
+  DigestStream wide;
+  wide.Configure(100.0, false);
+  wide.Record(0, 10.0, 1, 2, 3, 0);
+  const DigestStream::CompareResult bad =
+      DigestStream::Compare(a.Collect(), wide.Collect());
+  EXPECT_TRUE(bad.diverged);
+  EXPECT_FALSE(bad.comparable);
+}
+
+TEST(DigestStream, HashSeparatesEveryKeyField) {
+  const std::uint64_t base = DigestStream::HashEvent(1.0, 2, 3, 4, 5);
+  EXPECT_NE(DigestStream::HashEvent(1.5, 2, 3, 4, 5), base);
+  EXPECT_NE(DigestStream::HashEvent(1.0, 9, 3, 4, 5), base);
+  EXPECT_NE(DigestStream::HashEvent(1.0, 2, 9, 4, 5), base);
+  EXPECT_NE(DigestStream::HashEvent(1.0, 2, 3, 9, 5), base);
+  EXPECT_NE(DigestStream::HashEvent(1.0, 2, 3, 4, 9), base);
+}
+
+}  // namespace
+}  // namespace delaylb::obs

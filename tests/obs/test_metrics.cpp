@@ -1,0 +1,143 @@
+// The deterministic metric registry: order-independent merges, the
+// lane-assignment invariance that extends the repo's bit-exactness
+// contract to telemetry, and the sim/kernel fingerprint split.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace delaylb::obs {
+namespace {
+
+TEST(MetricRegistry, CountersSumAcrossLanes) {
+  MetricRegistry m;
+  const MetricId id = m.AddCounter("events");
+  m.SetLanes(3);
+  m.Count(0, id);
+  m.Count(1, id, 10);
+  m.Count(2, id, 100);
+  EXPECT_EQ(m.CounterValue("events"), 111u);
+  EXPECT_EQ(m.CounterValue("unknown"), 0u);
+  EXPECT_TRUE(m.Has("events"));
+  EXPECT_FALSE(m.Has("unknown"));
+}
+
+TEST(MetricRegistry, GaugeKeepsLargestStampOwnerKey) {
+  MetricRegistry m;
+  const MetricId id = m.AddGauge("cost");
+  m.SetLanes(2);
+  m.Set(0, id, 10.0, /*stamp=*/1.0);
+  m.Set(1, id, 20.0, /*stamp=*/3.0, /*owner=*/5);
+  m.Set(0, id, 30.0, /*stamp=*/2.0);  // older than lane 1's sample
+  // Stamp ties break by owner — the merge stays commutative.
+  m.Set(0, id, 40.0, /*stamp=*/3.0, /*owner=*/1);
+  const std::string json = m.ToJson(5.0);
+  const util::JsonValue doc = util::JsonValue::Parse(json);
+  const util::JsonValue& cost = doc.At("sim").At("gauges").At("cost");
+  EXPECT_EQ(cost.At("value").AsNumber(), 20.0);
+  EXPECT_EQ(cost.At("stamp").AsNumber(), 3.0);
+}
+
+TEST(MetricRegistry, HistogramBucketsSumAndQuantiles) {
+  MetricRegistry m;
+  const MetricId id = m.AddHistogram("lat", {1.0, 10.0, 100.0});
+  m.SetLanes(2);
+  // 10 samples: 4 in (<=1], 3 in (1,10], 2 in (10,100], 1 overflow.
+  for (const double v : {0.5, 0.5, 1.0, 0.25}) m.Observe(0, id, v);
+  for (const double v : {2.0, 10.0, 7.5}) m.Observe(1, id, v);
+  for (const double v : {50.0, 99.0}) m.Observe(0, id, v);
+  m.Observe(1, id, 5000.0);
+  const HistogramSnapshot h = m.Histogram("lat");
+  EXPECT_EQ(h.count, 10u);
+  ASSERT_EQ(h.counts.size(), 4u);  // 3 bounds + the implicit +inf bucket
+  EXPECT_EQ(h.counts[0], 4u);
+  EXPECT_EQ(h.counts[1], 3u);
+  EXPECT_EQ(h.counts[2], 2u);
+  EXPECT_EQ(h.counts[3], 1u);
+  EXPECT_EQ(h.min, 0.25);
+  EXPECT_EQ(h.max, 5000.0);
+  // The sum is fixed-point: every sample here is representable at 2^-20
+  // resolution, so the mean is exact.
+  EXPECT_EQ(h.Mean(), 5170.75 / 10.0);
+  // Bucket-resolution quantiles: the upper bound of the containing
+  // bucket; the extremes report observed min/max, as does the +inf
+  // bucket.
+  EXPECT_EQ(h.Quantile(0.0), 0.25);
+  EXPECT_EQ(h.Quantile(0.4), 1.0);
+  EXPECT_EQ(h.Quantile(0.5), 10.0);
+  EXPECT_EQ(h.Quantile(0.9), 100.0);
+  EXPECT_EQ(h.Quantile(0.95), 5000.0);
+  EXPECT_EQ(h.Quantile(1.0), 5000.0);
+}
+
+TEST(MetricRegistry, RegistrationIsIdempotentPerName) {
+  MetricRegistry m;
+  const MetricId a = m.AddCounter("x");
+  const MetricId b = m.AddCounter("x");
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_THROW(m.AddGauge("x"), std::logic_error);
+  EXPECT_THROW(m.AddCounter("x", Domain::kKernel), std::logic_error);
+  EXPECT_THROW(m.AddHistogram("h", {3.0, 2.0}), std::invalid_argument);
+}
+
+TEST(MetricRegistry, ExportIsLaneAssignmentInvariant) {
+  // The determinism contract at the unit level: the same multiset of
+  // observations, scattered across different lane counts and orders,
+  // exports byte-identical JSON.
+  util::Rng rng(99);
+  std::vector<double> samples(500);
+  for (double& s : samples) s = rng.uniform(0.0, 250.0);
+
+  const auto build = [&samples](std::size_t lanes,
+                                std::uint64_t scatter_seed) {
+    MetricRegistry m;
+    const MetricId count = m.AddCounter("n");
+    const MetricId hist = m.AddHistogram("v", {1.0, 10.0, 50.0, 100.0});
+    const MetricId gauge = m.AddGauge("last");
+    m.SetLanes(lanes);
+    util::Rng scatter(scatter_seed);
+    for (std::size_t k = 0; k < samples.size(); ++k) {
+      const std::size_t lane =
+          static_cast<std::size_t>(scatter.uniform(0.0, 1.0) *
+                                   static_cast<double>(lanes)) %
+          lanes;
+      m.Count(lane, count);
+      m.Observe(lane, hist, samples[k]);
+      // Stamped by k: the surviving sample is the last one regardless of
+      // which lane it landed in.
+      m.Set(lane, gauge, samples[k], static_cast<double>(k));
+    }
+    return m.ToJson(1000.0);
+  };
+
+  const std::string reference = build(1, 7);
+  EXPECT_EQ(build(2, 8), reference);
+  EXPECT_EQ(build(7, 9), reference);
+}
+
+TEST(MetricRegistry, FingerprintExcludesKernelDomain) {
+  MetricRegistry m;
+  const MetricId sim = m.AddCounter("sim.events", Domain::kSim);
+  const MetricId kernel = m.AddCounter("pdes.windows", Domain::kKernel);
+  m.Count(0, sim, 5);
+  m.Count(0, kernel, 17);
+  const std::string fingerprint = m.FingerprintJson(1.0);
+  // Kernel metrics legitimately vary with the shard plan: more windows
+  // must move the full export but not the fingerprint.
+  m.Count(0, kernel, 1000);
+  EXPECT_EQ(m.FingerprintJson(1.0), fingerprint);
+  EXPECT_EQ(fingerprint.find("pdes.windows"), std::string::npos);
+  const util::JsonValue full = util::JsonValue::Parse(m.ToJson(1.0));
+  EXPECT_EQ(full.At("kernel").At("counters").At("pdes.windows").AsNumber(),
+            1017.0);
+  EXPECT_EQ(full.At("sim").At("counters").At("sim.events").AsNumber(), 5.0);
+}
+
+}  // namespace
+}  // namespace delaylb::obs

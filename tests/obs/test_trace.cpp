@@ -1,0 +1,131 @@
+// The flight-recorder trace: Chrome-trace JSON well-formedness, the
+// (sim_time, content key) total order that makes the sim process
+// shard-plan independent, and the opt-in wall lanes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace delaylb::obs {
+namespace {
+
+/// Collects the events of one pid from a parsed Chrome-trace document,
+/// skipping the "M" metadata records.
+std::vector<const util::JsonValue*> EventsOfPid(const util::JsonValue& doc,
+                                                TracePid pid) {
+  std::vector<const util::JsonValue*> out;
+  for (const util::JsonValue& e : doc.At("traceEvents").AsArray()) {
+    if (e.At("ph").AsString() == "M") continue;
+    if (e.At("pid").AsNumber() == static_cast<double>(pid)) out.push_back(&e);
+  }
+  return out;
+}
+
+TEST(TraceRecorder, ExportsWellFormedChromeTrace) {
+  TraceRecorder t;
+  t.SetLanes(2);
+  t.ThreadName(TracePid::kSim, 0, "mine iterations");
+  t.Span(0, TracePid::kSim, 0, "iteration", "mine", 1.0, 1.0,
+         TraceKey{2, 7, 0}, {{"cost", 12.5}, {"balances", 3.0}});
+  t.Instant(1, TracePid::kKernel, 0, "window", "pdes", 2.5, TraceKey{0, 1, 0});
+  const util::JsonValue doc = util::JsonValue::Parse(t.ToJson());
+  EXPECT_EQ(doc.At("displayTimeUnit").AsString(), "ms");
+
+  const auto sim = EventsOfPid(doc, TracePid::kSim);
+  ASSERT_EQ(sim.size(), 1u);
+  EXPECT_EQ(sim[0]->At("name").AsString(), "iteration");
+  EXPECT_EQ(sim[0]->At("cat").AsString(), "mine");
+  EXPECT_EQ(sim[0]->At("ph").AsString(), "X");
+  // Sim milliseconds export as trace microseconds ×1000 so one sim ms
+  // renders as one trace ms.
+  EXPECT_EQ(sim[0]->At("ts").AsNumber(), 1000.0);
+  EXPECT_EQ(sim[0]->At("dur").AsNumber(), 1000.0);
+  EXPECT_EQ(sim[0]->At("args").At("cost").AsNumber(), 12.5);
+
+  const auto kernel = EventsOfPid(doc, TracePid::kKernel);
+  ASSERT_EQ(kernel.size(), 1u);
+  EXPECT_EQ(kernel[0]->At("ph").AsString(), "i");
+
+  // The process/thread metadata names the tracks.
+  bool named = false;
+  for (const util::JsonValue& e : doc.At("traceEvents").AsArray()) {
+    if (e.At("ph").AsString() == "M" &&
+        e.At("name").AsString() == "thread_name" &&
+        e.At("args").At("name").AsString() == "mine iterations") {
+      named = true;
+    }
+  }
+  EXPECT_TRUE(named);
+}
+
+TEST(TraceRecorder, SimExportOrderIsLaneIndependent) {
+  // The same events recorded into different lanes, in different call
+  // orders, export byte-identically: the (ts, rank, major, minor) sort is
+  // the total order, not arrival.
+  const auto build = [](bool swapped) {
+    TraceRecorder t;
+    t.SetLanes(4);
+    const auto record = [&t](std::size_t lane, double ts, std::uint64_t maj) {
+      t.Span(lane, TracePid::kSim, 0, "ev", "test", ts, 0.5,
+             TraceKey{1, maj, 0});
+    };
+    if (swapped) {
+      record(3, 2.0, 9);
+      record(1, 1.0, 4);
+      record(0, 1.0, 3);
+    } else {
+      record(0, 1.0, 3);
+      record(0, 1.0, 4);
+      record(2, 2.0, 9);
+    }
+    return t.ToJson();
+  };
+  EXPECT_EQ(build(false), build(true));
+}
+
+TEST(TraceRecorder, WallLanesAreOptIn) {
+  TraceRecorder off;
+  off.ThreadName(TracePid::kWall, 0, "worker 0");
+  off.WallSpan(0, 0, "dispatch", "pdes.wall", 10.0, 5.0);
+  EXPECT_EQ(off.events(), 0u);  // dropped at record time
+  const util::JsonValue doc_off = util::JsonValue::Parse(off.ToJson());
+  // No wall process metadata, no wall thread names, when disabled.
+  for (const util::JsonValue& e : doc_off.At("traceEvents").AsArray()) {
+    EXPECT_NE(e.At("pid").AsNumber(),
+              static_cast<double>(TracePid::kWall));
+  }
+
+  TraceRecorder on;
+  on.set_wall_enabled(true);
+  on.WallSpan(0, 0, "dispatch", "pdes.wall", 10.0, 5.0,
+              {{"stall_us", 1.25}});
+  const util::JsonValue doc_on = util::JsonValue::Parse(on.ToJson());
+  const auto wall = EventsOfPid(doc_on, TracePid::kWall);
+  ASSERT_EQ(wall.size(), 1u);
+  // Wall timestamps are already microseconds — no ×1000.
+  EXPECT_EQ(wall[0]->At("ts").AsNumber(), 10.0);
+  EXPECT_EQ(wall[0]->At("args").At("stall_us").AsNumber(), 1.25);
+}
+
+TEST(TraceRecorder, CapsArgsAtMaxArgs) {
+  TraceRecorder t;
+  t.Span(0, TracePid::kSim, 0, "ev", "test", 1.0, 1.0, TraceKey{},
+         {{"a", 1.0},
+          {"b", 2.0},
+          {"c", 3.0},
+          {"d", 4.0},
+          {"e", 5.0},
+          {"f", 6.0},
+          {"dropped", 7.0}});
+  const util::JsonValue doc = util::JsonValue::Parse(t.ToJson());
+  const auto sim = EventsOfPid(doc, TracePid::kSim);
+  ASSERT_EQ(sim.size(), 1u);
+  EXPECT_EQ(sim[0]->At("args").AsObject().size(), TraceRecorder::kMaxArgs);
+  EXPECT_EQ(sim[0]->At("args").Find("dropped"), nullptr);
+}
+
+}  // namespace
+}  // namespace delaylb::obs

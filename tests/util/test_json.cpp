@@ -1,0 +1,124 @@
+// The minimal JSON writer/parser backing the observability exports: the
+// writer's comma/escape handling, the parser's DOM and error paths, and
+// the writer → parser round trip the obs tests rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/json.h"
+
+namespace delaylb::util {
+namespace {
+
+TEST(JsonWriter, PlacesCommasAndEscapes) {
+  std::string out;
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.Key("n");
+  w.UInt(3);
+  w.Key("label");
+  w.String("a \"b\"\n\t\\c");
+  w.Key("xs");
+  w.BeginArray();
+  w.Number(1.5);
+  w.Int(-2);
+  w.Bool(true);
+  w.Null();
+  w.EndArray();
+  w.Key("empty");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(out,
+            "{\"n\":3,\"label\":\"a \\\"b\\\"\\n\\t\\\\c\","
+            "\"xs\":[1.5,-2,true,null],\"empty\":{}}");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  std::string out;
+  JsonWriter w(&out);
+  w.BeginArray();
+  w.Number(std::numeric_limits<double>::infinity());
+  w.Number(std::nan(""));
+  w.EndArray();
+  EXPECT_EQ(out, "[null,null]");
+}
+
+TEST(JsonNumber, RoundTripsDoubles) {
+  // Round-trip precision: the printed form parses back to the exact bits.
+  for (const double v : {0.1, 1234.56789, 1e-300, -3.0, 1e17 + 1.0}) {
+    const JsonValue parsed = JsonValue::Parse(JsonNumber(v));
+    EXPECT_EQ(parsed.AsNumber(), v) << JsonNumber(v);
+  }
+}
+
+TEST(JsonValue, ParsesDomPreservingMemberOrder) {
+  const JsonValue doc = JsonValue::Parse(
+      "  {\"b\": [1, 2.5, \"x\"], \"a\": {\"nested\": true},"
+      " \"z\": null, \"neg\": -1e2 } ");
+  ASSERT_TRUE(doc.IsObject());
+  const auto& members = doc.AsObject();
+  ASSERT_EQ(members.size(), 4u);
+  EXPECT_EQ(members[0].first, "b");  // insertion order, not sorted
+  EXPECT_EQ(members[1].first, "a");
+  ASSERT_TRUE(doc.At("b").IsArray());
+  EXPECT_EQ(doc.At("b").AsArray().size(), 3u);
+  EXPECT_EQ(doc.At("b").AsArray()[2].AsString(), "x");
+  EXPECT_TRUE(doc.At("a").At("nested").AsBool());
+  EXPECT_TRUE(doc.At("z").IsNull());
+  EXPECT_EQ(doc.At("neg").AsNumber(), -100.0);
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+  EXPECT_EQ(doc.GetNumber("neg", 7.0), -100.0);
+  EXPECT_EQ(doc.GetNumber("missing", 7.0), 7.0);
+}
+
+TEST(JsonValue, ParsesEscapesAndUnicode) {
+  const JsonValue doc =
+      JsonValue::Parse("\"a\\\"\\\\\\/\\n\\t\\r\\b\\f\\u0041\"");
+  EXPECT_EQ(doc.AsString(), "a\"\\/\n\t\r\b\fA");
+}
+
+TEST(JsonValue, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "1.2.3",
+        "\"unterminated", "[1] trailing", "{\"a\":1,}", "nul"}) {
+    EXPECT_THROW(JsonValue::Parse(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(JsonValue, TypedAccessorsThrowOnKindMismatch) {
+  const JsonValue doc = JsonValue::Parse("[1]");
+  EXPECT_THROW(doc.AsObject(), std::invalid_argument);
+  EXPECT_THROW(doc.AsString(), std::invalid_argument);
+  EXPECT_THROW(doc.At("k"), std::invalid_argument);
+  EXPECT_THROW(doc.AsArray()[0].AsBool(), std::invalid_argument);
+}
+
+TEST(JsonRoundTrip, WriterOutputParsesBack) {
+  std::string out;
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.Key("schema");
+  w.String("delaylb-test-1");
+  w.Key("rows");
+  w.BeginArray();
+  for (int k = 0; k < 3; ++k) {
+    w.BeginObject();
+    w.Key("k");
+    w.Int(k);
+    w.Key("v");
+    w.Number(0.5 * k);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  const JsonValue doc = JsonValue::Parse(out);
+  EXPECT_EQ(doc.At("schema").AsString(), "delaylb-test-1");
+  ASSERT_EQ(doc.At("rows").AsArray().size(), 3u);
+  EXPECT_EQ(doc.At("rows").AsArray()[2].At("v").AsNumber(), 1.0);
+}
+
+}  // namespace
+}  // namespace delaylb::util

@@ -1,0 +1,71 @@
+// Leveled logging: level parsing (the DELAYLB_LOG vocabulary), the
+// global threshold, and the sim-time prefix hook the DistributedRuntime
+// installs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "util/logging.h"
+
+namespace delaylb::util {
+namespace {
+
+/// RAII: restores the global log level and clears the sim clock, so these
+/// tests cannot leak state into the rest of the suite.
+class LoggingStateGuard {
+ public:
+  LoggingStateGuard() : saved_(GetLogLevel()) {}
+  ~LoggingStateGuard() {
+    SetLogLevel(saved_);
+    SetLogSimTime(nullptr);
+  }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Logging, ParsesLevelNamesAndNumbers) {
+  EXPECT_EQ(ParseLogLevel("debug", LogLevel::kError), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO", LogLevel::kError), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warning", LogLevel::kError), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("warn", LogLevel::kError), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error", LogLevel::kDebug), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("0", LogLevel::kError), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("3", LogLevel::kDebug), LogLevel::kError);
+  // Anything else falls back (the DELAYLB_LOG contract: typos never
+  // crash, they keep the default).
+  EXPECT_EQ(ParseLogLevel("verbose", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("7", LogLevel::kInfo), LogLevel::kInfo);
+}
+
+TEST(Logging, ThresholdDropsLowerLevels) {
+  LoggingStateGuard guard;
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  LogWarn() << "dropped";
+  LogError() << "kept";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR] kept"), std::string::npos);
+}
+
+TEST(Logging, SimTimePrefixHook) {
+  LoggingStateGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  std::atomic<double> clock{1234.5678};
+  SetLogSimTime(&clock);
+  ::testing::internal::CaptureStderr();
+  LogInfo() << "stamped";
+  SetLogSimTime(nullptr);
+  LogInfo() << "unstamped";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  // The registered clock prefixes the line with the sim time...
+  EXPECT_NE(out.find("[INFO][t=1234.568] stamped"), std::string::npos) << out;
+  // ...and clearing it removes the prefix.
+  EXPECT_NE(out.find("[INFO] unstamped"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace delaylb::util

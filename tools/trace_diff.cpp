@@ -1,0 +1,228 @@
+// trace_diff: divergence bisection over two digest exports (obs/digest.h).
+//
+// The runtime's determinism contract is pass/fail — two runs either
+// produce bit-identical traces or they don't. When they don't, this tool
+// says WHERE: it loads two `--digest-out` documents, walks their
+// per-window digest streams, and reports the first sim-time window whose
+// (event count, digest) pair differs. With `--digest-events` exports it
+// additionally lists the events present on only one side of that window,
+// turning "fingerprint mismatch" into an actionable diff.
+//
+// Usage:
+//   trace_diff A.json B.json            compare two digest exports
+//   trace_diff --expect-divergence A B  invert the exit code (CI checks
+//                                       that an injected fault IS found)
+//   trace_diff --self-check             end-to-end proof: run the same
+//                                       small distributed scenario twice,
+//                                       corrupt one export with a known
+//                                       perturbation time, and verify the
+//                                       bisection lands on exactly that
+//                                       window (exercises Record →
+//                                       ToJson → Parse → FromJson →
+//                                       Compare, the full pipeline)
+//
+// Exit codes: 0 = streams identical (or, under --expect-divergence /
+// --self-check, the divergence was correctly localized), 1 = diverged
+// (or expected divergence missing), 2 = usage/parse error.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/instance.h"
+#include "core/workload.h"
+#include "dist/runtime.h"
+#include "obs/hub.h"
+#include "util/cli.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace delaylb {
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+void PrintEvents(const char* side,
+                 const std::vector<obs::DigestStream::Event>& events) {
+  for (const obs::DigestStream::Event& e : events) {
+    std::printf("  only in %s: t=%.17g type=%d rank=%d major=%llu "
+                "minor=%llu hash=%016llx\n",
+                side, e.time, e.type, e.rank,
+                static_cast<unsigned long long>(e.major),
+                static_cast<unsigned long long>(e.minor),
+                static_cast<unsigned long long>(e.hash));
+  }
+}
+
+/// Compares two parsed snapshots, printing a human-readable report.
+/// Returns 0 when identical, 1 when diverged, 2 when not comparable.
+int Compare(const obs::DigestStream::Snapshot& a,
+            const obs::DigestStream::Snapshot& b) {
+  const obs::DigestStream::CompareResult result =
+      obs::DigestStream::Compare(a, b);
+  if (!result.comparable) {
+    std::fprintf(stderr,
+                 "trace_diff: digest windows differ in width (%.17g vs "
+                 "%.17g) — re-export with matching --digest-window\n",
+                 a.width, b.width);
+    return 2;
+  }
+  if (!result.diverged) {
+    std::printf("identical: %llu windows, %llu events, fingerprint "
+                "%016llx\n",
+                static_cast<unsigned long long>(a.windows.size()),
+                static_cast<unsigned long long>(a.total_events),
+                static_cast<unsigned long long>(a.Fingerprint()));
+    return 0;
+  }
+  std::printf("DIVERGED at window %llu, sim time [%.17g, %.17g) ms: "
+              "%llu vs %llu events\n",
+              static_cast<unsigned long long>(result.window), result.t0,
+              result.t1, static_cast<unsigned long long>(result.count_a),
+              static_cast<unsigned long long>(result.count_b));
+  if (a.has_events && b.has_events) {
+    PrintEvents("A", result.only_a);
+    PrintEvents("B", result.only_b);
+  } else {
+    std::printf("  (re-export with --digest-events to list the events "
+                "inside the window)\n");
+  }
+  return 1;
+}
+
+/// End-to-end self check: two identical runs, one export corrupted at a
+/// known sim time; the bisection must land on exactly that window.
+int SelfCheck() {
+  util::Rng rng(7);
+  core::ScenarioParams params;
+  params.m = 12;
+  params.network = core::NetworkKind::kPlanetLab;
+  params.load_distribution = util::LoadDistribution::kExponential;
+  params.mean_load = 100.0;
+  const core::Instance instance = core::MakeScenario(params, rng);
+
+  const double perturb_at = 1234.5;  // inside the run, off any boundary
+  std::string docs[2];
+  for (int run = 0; run < 2; ++run) {
+    obs::HubOptions hub_options;
+    hub_options.digest_events = true;
+    // Corrupt the SECOND export only — at export time; the simulated
+    // runs stay identical.
+    hub_options.perturb_at = run == 1 ? perturb_at : -1.0;
+    obs::Hub hub(hub_options);
+    dist::RuntimeOptions options;
+    options.seed = 42;
+    options.shards = run == 1 ? 3 : 1;  // shard plan must not matter
+    options.obs = &hub;
+    dist::DistributedRuntime runtime(instance, options);
+    runtime.RunUntil(3000.0);
+    docs[run] = hub.DigestJson();
+  }
+
+  const obs::DigestStream::Snapshot a =
+      obs::DigestStream::FromJson(util::JsonValue::Parse(docs[0]));
+  const obs::DigestStream::Snapshot b =
+      obs::DigestStream::FromJson(util::JsonValue::Parse(docs[1]));
+  const obs::DigestStream::CompareResult result =
+      obs::DigestStream::Compare(a, b);
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(perturb_at / a.width);
+  if (!result.diverged) {
+    std::fprintf(stderr, "self-check FAIL: injected perturbation at t=%g "
+                         "not detected\n",
+                 perturb_at);
+    return 1;
+  }
+  if (result.window != expected) {
+    std::fprintf(stderr,
+                 "self-check FAIL: divergence localized to window %llu, "
+                 "expected %llu (t=%g, width=%g)\n",
+                 static_cast<unsigned long long>(result.window),
+                 static_cast<unsigned long long>(expected), perturb_at,
+                 a.width);
+    return 1;
+  }
+  // The perturbation flips one event hash inside the window, so the
+  // event diff must be non-empty and confined to that window.
+  if (result.only_a.empty() && result.only_b.empty()) {
+    std::fprintf(stderr,
+                 "self-check FAIL: divergent window has no event diff\n");
+    return 1;
+  }
+  std::printf("self-check OK: perturbation at t=%g localized to window "
+              "%llu [%.17g, %.17g) across shard plans 1 vs 3\n",
+              perturb_at, static_cast<unsigned long long>(result.window),
+              result.t0, result.t1);
+  return 0;
+}
+
+/// True when `text` is one of util::Cli's boolean-flag spellings.
+bool IsBoolWord(const std::string& text) {
+  return text == "true" || text == "1" || text == "yes" || text == "on" ||
+         text == "false" || text == "0" || text == "no" || text == "off";
+}
+
+int Run(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  if (cli.Has("self-check")) return SelfCheck();
+  // util::Cli binds "--flag value" greedily, so "--expect-divergence
+  // A.json B.json" parses A.json as the flag's value. Reclaim it as the
+  // first file so the natural spelling works.
+  const bool expect_divergence = cli.Has("expect-divergence");
+  std::vector<std::string> files;
+  const std::string swallowed = cli.GetString("expect-divergence", "");
+  if (!swallowed.empty() && !IsBoolWord(swallowed)) {
+    files.push_back(swallowed);
+  }
+  files.insert(files.end(), cli.positional().begin(),
+               cli.positional().end());
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: trace_diff [--expect-divergence] A.json B.json\n"
+                 "       trace_diff --self-check\n");
+    return 2;
+  }
+  obs::DigestStream::Snapshot snapshots[2];
+  for (int k = 0; k < 2; ++k) {
+    const std::string& path = files[k];
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      std::fprintf(stderr, "trace_diff: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    try {
+      snapshots[k] =
+          obs::DigestStream::FromJson(util::JsonValue::Parse(text));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trace_diff: %s: %s\n", path.c_str(), e.what());
+      return 2;
+    }
+  }
+  const int outcome = Compare(snapshots[0], snapshots[1]);
+  if (outcome == 2) return 2;
+  if (expect_divergence) {
+    if (outcome == 1) {
+      std::printf("(divergence expected: OK)\n");
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "trace_diff: streams identical but --expect-divergence "
+                 "was set\n");
+    return 1;
+  }
+  return outcome;
+}
+
+}  // namespace
+}  // namespace delaylb
+
+int main(int argc, char** argv) { return delaylb::Run(argc, argv); }
