@@ -16,6 +16,9 @@ namespace delaylb::bench {
 /// (one vocabulary across benches and examples; see core/mine_flags.h).
 using core::ApplyEngineFlags;
 
+/// The shared --engine flag: selects a core::MakeEngine catalog entry.
+using core::EngineNameFlag;
+
 /// The shared observability flag family (obs/flags.h):
 /// --metrics-out/--trace-out/--digest-out plus --trace-wall,
 /// --digest-window, --digest-events, --perturb-at.

@@ -1,0 +1,274 @@
+// The engine bake-off: quality vs wall-clock frontier of every catalog
+// engine (core/engine.h) on the paper's PlanetLab scenario family.
+//
+// Each engine starts from the identity allocation and gets a FIXED
+// per-(engine, size) iteration budget — fixed so the final objective is a
+// deterministic function of the instance and engine, never of machine
+// speed; the wall-clock column is where the hardware shows up. The table
+// reports exact SumC, time, and the relative gap to the best engine at
+// that size; BENCH_engines.json records the full-scale
+// (m in {512, 2000, 5000}) run.
+//
+// Quick mode (the default, m in {64, 160}) doubles as the CI determinism
+// smoke: every engine's final SumC is compared against the fingerprints
+// embedded below and the run exits nonzero on divergence. The comparison
+// is bitwise except for "ips", whose exp()-driven updates may differ by a
+// few ulps across libm builds (compared at 1e-9 relative instead).
+// --print-fingerprints re-emits the table in source form after an
+// intentional change.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/cost.h"
+#include "core/engine.h"
+#include "core/workload.h"
+
+namespace delaylb {
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Fixed iteration budget per engine and size: roughly equal small-size
+/// budgets, scaled down superlinearly for the engines whose per-iteration
+/// cost grows faster than the frontier's wall-clock axis tolerates.
+std::size_t IterationCap(const std::string& engine, std::size_t m) {
+  if (engine == "mine" || engine == "mine-nc") {
+    if (m <= 512) return 200;
+    if (m <= 2000) return 12;
+    return 3;  // one exact-partner Step is ~minutes at m = 5000
+  }
+  if (engine == "mine-fast") {
+    if (m <= 512) return 200;
+    return 60;
+  }
+  if (engine == "coordinate-descent") {
+    if (m <= 160) return 400;
+    if (m <= 512) return 40;
+    if (m <= 2000) return 15;
+    return 8;
+  }
+  if (engine == "waterfill") {
+    if (m <= 160) return 600;
+    if (m <= 512) return 60;
+    if (m <= 2000) return 20;
+    return 10;
+  }
+  if (engine == "mcmf") return 2;  // one-shot; the 2nd Step certifies
+  // The first-order engines: ips, projected-gradient, frank-wolfe.
+  if (m <= 160) return 4000;
+  if (m <= 512) return 1200;
+  if (m <= 2000) return 250;
+  return 100;
+}
+
+struct Fingerprint {
+  const char* engine;
+  std::size_t m;
+  double cost;
+};
+
+/// Quick-mode (m = 64 / 160) final SumC per engine, recorded on the
+/// baseline x86-64 container (Release and Debug agree bit-for-bit — the
+/// build uses no fast-math and no FMA contraction). Re-record with
+/// --print-fingerprints.
+constexpr Fingerprint kQuickFingerprints[] = {
+    {"mine", 64, 31281.518537887277},
+    {"mine-fast", 64, 31281.518646940251},
+    {"mine-nc", 64, 31281.518537887361},
+    {"ips", 64, 31281.583010269886},
+    {"projected-gradient", 64, 31281.51857705017},
+    {"frank-wolfe", 64, 31284.147790725943},
+    {"coordinate-descent", 64, 31281.518532627015},
+    {"waterfill", 64, 31281.518536459698},
+    {"mcmf", 64, 31410.401898309457},
+    {"mine", 160, 79042.347095089484},
+    {"mine-fast", 160, 79043.199624750647},
+    {"mine-nc", 160, 79042.299097210067},
+    {"ips", 160, 79042.668331832014},
+    {"projected-gradient", 160, 79042.594379381248},
+    {"frank-wolfe", 160, 79050.74570417263},
+    {"coordinate-descent", 160, 79042.377002180758},
+    {"waterfill", 160, 79042.525209564803},
+    {"mcmf", 160, 81240.781523063808},
+};
+
+bool FingerprintMatches(const std::string& engine, double expected,
+                        double actual) {
+  if (engine == "ips") {
+    const double scale = std::max(1.0, std::fabs(expected));
+    return std::fabs(actual - expected) <= 1e-9 * scale;
+  }
+  return actual == expected;  // bitwise
+}
+
+struct CellResult {
+  std::string engine;
+  std::size_t m = 0;
+  std::size_t iterations = 0;
+  bool converged = false;
+  bool gated = false;
+  double ms = 0.0;
+  double cost = 0.0;
+  double gap = 0.0;
+};
+
+int Run(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool full = bench::FullScale(cli) && !cli.GetBool("quick", false);
+  const bool print_fingerprints = cli.GetBool("print-fingerprints", false);
+  const std::string json_out = cli.GetString("json-out", "");
+  const std::string only = cli.GetString("engine", "");
+  if (!only.empty() && !core::KnownEngine(only)) {
+    std::cerr << "unknown --engine '" << only
+              << "' (known: " << core::EngineNames() << ")\n";
+    return 2;
+  }
+  bench::Banner("Engine frontier: quality vs wall-clock across the catalog",
+                full);
+
+  const std::vector<std::size_t> sizes =
+      full ? std::vector<std::size_t>{512, 2000, 5000}
+           : std::vector<std::size_t>{64, 160};
+
+  std::vector<CellResult> results;
+  for (const std::size_t m : sizes) {
+    util::Rng rng(m * 17 + 3);
+    core::ScenarioParams params;
+    params.m = m;
+    params.network = core::NetworkKind::kPlanetLab;
+    params.mean_load = 50.0;
+    const core::Instance inst = core::MakeScenario(params, rng);
+
+    double best = std::numeric_limits<double>::infinity();
+    const std::size_t first_row = results.size();
+    for (const core::EngineInfo& info : core::EngineCatalog()) {
+      if (!only.empty() && only != info.name) continue;
+      CellResult cell;
+      cell.engine = info.name;
+      cell.m = m;
+      if (!core::EngineSupports(info.name, m)) {
+        cell.gated = true;
+        results.push_back(cell);
+        continue;
+      }
+      core::Allocation alloc(inst);  // identity start for every engine
+      const std::size_t cap = IterationCap(cell.engine, m);
+      const double t0 = NowMs();
+      const std::unique_ptr<core::Engine> engine =
+          core::MakeEngine(info.name, inst);
+      const core::MinERun run = engine->Run(alloc, cap, 1e-10);
+      cell.ms = NowMs() - t0;
+      cell.iterations = run.trace.size();
+      cell.converged = run.converged;
+      cell.cost = run.final_cost;
+      best = std::min(best, cell.cost);
+      results.push_back(cell);
+      std::cerr << "  m=" << m << " " << cell.engine << ": SumC "
+                << cell.cost << " in " << cell.iterations << " it / "
+                << cell.ms << " ms\n";
+    }
+    for (std::size_t r = first_row; r < results.size(); ++r) {
+      if (!results[r].gated) {
+        results[r].gap = (results[r].cost - best) / best;
+      }
+    }
+  }
+
+  util::Table table({"m", "engine", "iters", "conv", "time (ms)", "SumC",
+                     "rel. gap to best"});
+  for (const CellResult& cell : results) {
+    util::Table& row = table.Row().Cell(cell.m).Cell(cell.engine);
+    if (cell.gated) {
+      row.Cell("-").Cell("-").Cell("-").Cell("size-gated").Cell("-");
+      continue;
+    }
+    row.Cell(cell.iterations)
+        .Cell(cell.converged ? "yes" : "no")
+        .Cell(cell.ms, 1)
+        .Cell(cell.cost, 1)
+        .Cell(cell.gap, 6);
+  }
+  bench::Emit(cli, table);
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    out << "{\n  \"results\": [\n";
+    char buf[64];
+    for (std::size_t r = 0; r < results.size(); ++r) {
+      const CellResult& cell = results[r];
+      out << "    {\"m\": " << cell.m << ", \"engine\": \"" << cell.engine
+          << "\"";
+      if (cell.gated) {
+        out << ", \"gated\": true}";
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", cell.cost);
+        out << ", \"iterations\": " << cell.iterations
+            << ", \"converged\": " << (cell.converged ? "true" : "false")
+            << ", \"time_ms\": " << cell.ms << ", \"sumc\": " << buf;
+        std::snprintf(buf, sizeof(buf), "%.6g", cell.gap);
+        out << ", \"rel_gap_to_best\": " << buf << "}";
+      }
+      out << (r + 1 < results.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << json_out << "\n";
+  }
+
+  if (print_fingerprints) {
+    std::cout << "\nconstexpr Fingerprint kQuickFingerprints[] = {\n";
+    for (const CellResult& cell : results) {
+      if (cell.gated) continue;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", cell.cost);
+      std::cout << "    {\"" << cell.engine << "\", " << cell.m << ", "
+                << buf << "},\n";
+    }
+    std::cout << "};\n";
+    return 0;
+  }
+
+  // Determinism check: quick mode only (full-scale numbers live in
+  // BENCH_engines.json and are checked by eye, not by CI).
+  int divergences = 0;
+  if (!full) {
+    for (const Fingerprint& fp : kQuickFingerprints) {
+      if (!only.empty() && only != fp.engine) continue;
+      const CellResult* found = nullptr;
+      for (const CellResult& cell : results) {
+        if (cell.m == fp.m && cell.engine == fp.engine) found = &cell;
+      }
+      if (found == nullptr || found->gated) continue;
+      if (!FingerprintMatches(fp.engine, fp.cost, found->cost)) {
+        char want[64];
+        char got[64];
+        std::snprintf(want, sizeof(want), "%.17g", fp.cost);
+        std::snprintf(got, sizeof(got), "%.17g", found->cost);
+        std::cerr << "FINGERPRINT DIVERGENCE: " << fp.engine << " m=" << fp.m
+                  << " expected " << want << " got " << got << "\n";
+        ++divergences;
+      }
+    }
+    if (divergences == 0) {
+      std::cout << "fingerprints: all engines match the recorded values\n";
+    }
+  }
+  return divergences == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace delaylb
+
+int main(int argc, char** argv) { return delaylb::Run(argc, argv); }

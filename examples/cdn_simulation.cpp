@@ -5,12 +5,15 @@
 // Parameterized by scenario packs (ext/scenario.h): --scenario picks a
 // pack ("cdn-diurnal" by default; --list enumerates them), and the example
 // replays its timeline on the synchronous engine — every epoch the
-// regional demand shifts and a warm-started MinE tracks it, compared
-// against the per-epoch converged optimum.
+// regional demand shifts and a warm-started engine tracks it, compared
+// against the per-epoch converged optimum. --engine swaps the tracking
+// engine (core/engine.h catalog; "mine" by default) — the reference stays
+// converged MinE, so gaps are comparable across engines.
 
 #include <iostream>
 
 #include "core/cost.h"
+#include "core/mine_flags.h"
 #include "ext/scenario.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -39,10 +42,10 @@ int main(int argc, char** argv) {
             << pack->m << " edge sites, horizon " << pack->horizon
             << " ms in " << pack->epoch << " ms epochs\n";
 
-  const auto trace =
-      ext::ReplayOnMinE(*pack, instance,
-                        static_cast<std::size_t>(cli.GetInt("steps", 3)),
-                        static_cast<std::uint64_t>(cli.GetInt("seed", 2024)));
+  const auto trace = ext::ReplayOnEngine(
+      core::EngineNameFlag(cli), *pack, instance,
+      static_cast<std::size_t>(cli.GetInt("steps", 3)),
+      static_cast<std::uint64_t>(cli.GetInt("seed", 2024)));
 
   util::Table table({"time (ms)", "members", "SumC tracked", "SumC optimal",
                      "gap", "avg latency/req (ms)"});

@@ -15,6 +15,7 @@
 
 #include "core/cost.h"
 #include "core/mine.h"
+#include "dist/flags.h"
 #include "ext/scenario.h"
 #include "game/best_response.h"
 #include "game/homogeneous.h"
@@ -83,6 +84,9 @@ int main(int argc, char** argv) {
   dist::RuntimeOptions runtime_options;
   runtime_options.shards =
       static_cast<std::size_t>(cli.GetInt("shards", 1));
+  // --local-engine ips swaps the agents' pairwise kernel (the IPS
+  // entrant of the engine bake-off) for Algorithm 1.
+  dist::ApplyLocalEngineFlag(cli, runtime_options.agent);
   const ext::ScenarioRunResult replay =
       ext::ReplayOnRuntime(*pack, instance, runtime_options);
   util::Table dyn({"time (ms)", "SumC", "members", "messages", "dropped"});

@@ -23,6 +23,7 @@
 #include "core/cost.h"
 #include "core/mine.h"
 #include "core/workload.h"
+#include "dist/flags.h"
 #include "dist/runtime.h"
 #include "ext/scenario.h"
 #include "obs/flags.h"
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
     const core::Instance instance = ext::MakeInstance(*pack, rng);
     dist::RuntimeOptions options;
     options.shards = static_cast<std::size_t>(cli.GetInt("shards", 1));
+    dist::ApplyLocalEngineFlag(cli, options.agent);
     const std::unique_ptr<obs::Hub> hub = obs::HubFromCli(cli);
     options.obs = hub.get();
     const ext::ScenarioRunResult replay =
@@ -100,6 +102,9 @@ int main(int argc, char** argv) {
   // seed for any shard count.
   dist::RuntimeOptions options;
   options.shards = static_cast<std::size_t>(cli.GetInt("shards", 1));
+  // --local-engine ips swaps the agents' pairwise kernel (see
+  // core::BalanceColumnsIps) for the paper's exact Algorithm 1.
+  dist::ApplyLocalEngineFlag(cli, options.agent);
   // The flight recorder (null unless an --*-out flag was passed).
   const std::unique_ptr<obs::Hub> hub = obs::HubFromCli(cli);
   options.obs = hub.get();

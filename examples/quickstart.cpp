@@ -2,10 +2,14 @@
 // distributed MinE algorithm, and inspect the result.
 //
 //   $ ./quickstart [--threads N] [--step-mode sequential|concurrent]
+//                  [--engine NAME]
 //
 // Walks through the library's core objects: Instance (servers, loads,
-// latencies), Allocation (who runs what where), MinEBalancer (the paper's
-// Algorithm 2), and the cost functions. `--step-mode concurrent` runs the
+// latencies), Allocation (who runs what where), the engine catalog
+// (core/engine.h — the paper's Algorithm 2 as "mine", plus the
+// centralized solvers behind the same Step interface), and the cost
+// functions. `--engine ips` (or any other catalog name) swaps the solver
+// without changing anything else; `--step-mode concurrent` runs the MinE
 // engine's disjoint-pair concurrent iteration pipeline on `--threads`
 // workers (0 = one per hardware thread) — same per-seed results for any
 // thread count.
@@ -14,6 +18,7 @@
 #include <string>
 
 #include "core/cost.h"
+#include "core/engine.h"
 #include "core/error_bound.h"
 #include "core/mine.h"
 #include "core/mine_flags.h"
@@ -40,24 +45,30 @@ int main(int argc, char** argv) {
   std::cout << "initial SumC (everyone at home): "
             << core::TotalCost(instance, alloc) << "\n";
 
-  // 3. Balance with the distributed algorithm. One Step() is one round in
+  // 3. Balance with an engine from the catalog. The default is "mine",
+  //    the paper's distributed algorithm: one Step() is one round in
   //    which every server picks its best partner and exchanges load
   //    (Algorithms 1-2 of the paper). Under the concurrent mode a round
   //    instead claims a maximal set of disjoint pairs and balances them
-  //    in parallel — the paper's asynchronous execution model.
-  core::MinEOptions options;
-  options.threads = 1;  // serial by default; --threads overrides
-  core::ApplyEngineFlags(cli, options);
+  //    in parallel — the paper's asynchronous execution model. Any other
+  //    --engine name drives the same loop through a centralized solver.
+  core::EngineOptions options;
+  options.mine.threads = 1;  // serial by default; --threads overrides
+  core::ApplyEngineFlags(cli, options.mine);
+  const std::string engine_name = core::EngineNameFlag(cli);
   // --metrics-out/--trace-out hook the flight recorder into the engine.
   const std::unique_ptr<obs::Hub> hub = obs::HubFromCli(cli);
-  options.obs = hub.get();
-  if (options.step_mode == core::StepMode::kConcurrent) {
+  options.mine.obs = hub.get();
+  if (options.mine.step_mode == core::StepMode::kConcurrent) {
     std::cout << "engine: concurrent Step pipeline, threads="
-              << options.threads << " (0 = all cores)\n";
+              << options.mine.threads << " (0 = all cores)\n";
+  } else if (engine_name != "mine") {
+    std::cout << "engine: " << engine_name << "\n";
   }
-  core::MinEBalancer balancer(instance, options);
+  const std::unique_ptr<core::Engine> engine =
+      core::MakeEngine(engine_name, instance, options);
   for (int iteration = 1; iteration <= 5; ++iteration) {
-    const core::IterationStats stats = balancer.Step(alloc);
+    const core::IterationStats stats = engine->Step(alloc);
     std::cout << "after iteration " << iteration
               << ": SumC = " << stats.total_cost << " (moved "
               << stats.transferred << " requests)\n";

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/cost.h"
+#include "core/mine_flags.h"
 #include "ext/replication.h"
 #include "ext/rounding.h"
 #include "ext/scenario.h"
@@ -99,10 +100,11 @@ int main(int argc, char** argv) {
             << "% of the catalogue volume)\n\n";
 
   // The pack's churn timeline on the synchronous engine: the catalogue
-  // demand surges and sites rotate out/in, while a warm-started MinE keeps
-  // re-placing; the gap column is the price of tracking vs re-converging.
-  const auto churn = ext::ReplayOnMinE(
-      *pack, ext::MakeInstance(*pack, rng),
+  // demand surges and sites rotate out/in, while a warm-started engine
+  // (--engine, "mine" by default) keeps re-placing; the gap column is the
+  // price of tracking vs re-converging.
+  const auto churn = ext::ReplayOnEngine(
+      core::EngineNameFlag(cli), *pack, ext::MakeInstance(*pack, rng),
       static_cast<std::size_t>(cli.GetInt("steps", 3)),
       static_cast<std::uint64_t>(cli.GetInt("seed", 4242)));
   util::Table dyn({"time (ms)", "members", "SumC tracked", "SumC optimal",

@@ -1,0 +1,563 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "core/cost.h"
+#include "core/qp_form.h"
+#include "obs/hub.h"
+#include "opt/mcmf.h"
+#include "opt/waterfill.h"
+
+namespace delaylb::core {
+
+MinERun Engine::Run(Allocation& alloc, std::size_t max_iterations,
+                    double relative_tolerance) {
+  // MinEBalancer::Run verbatim — the "mine" adapter's trace through this
+  // loop must stay bit-identical to driving the balancer directly.
+  MinERun run;
+  run.initial_cost = TotalCost(instance_, alloc);
+  double previous = run.initial_cost;
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    const IterationStats stats = Step(alloc);
+    run.trace.push_back(stats);
+    const double scale = std::max(1.0, std::fabs(previous));
+    if (previous - stats.total_cost < relative_tolerance * scale) {
+      run.converged = true;
+      previous = stats.total_cost;
+      break;
+    }
+    previous = stats.total_cost;
+  }
+  run.final_cost = previous;
+  return run;
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::size_t kMcmfSizeCap = 256;
+
+// ------------------------------------------------------------ MinE family ---
+
+class MineEngine final : public Engine {
+ public:
+  MineEngine(const Instance& instance, const char* name, MinEOptions options)
+      : Engine(instance), name_(name), balancer_(instance, options) {}
+  const char* name() const noexcept override { return name_; }
+  IterationStats Step(Allocation& alloc) override {
+    return balancer_.Step(alloc);
+  }
+
+ private:
+  const char* name_;
+  MinEBalancer balancer_;
+};
+
+// ---------------------------------------------------------- solver shell ---
+
+/// Shared shell of the opt/-backed engines: keeps the solver's iterate
+/// between Steps, re-seeds it whenever the caller hands in an allocation
+/// this engine did not produce (warm starts across scenario epochs), and
+/// mirrors MinE's per-iteration observability under the "engine.*" metric
+/// family with the engine's name as the trace category.
+class SolverEngine : public Engine {
+ public:
+  IterationStats Step(Allocation& alloc) override {
+    const std::vector<double> incoming = VectorFromAllocation(alloc);
+    if (!started_ || incoming != last_written_) {
+      StartFrom(incoming);
+      started_ = true;
+    }
+    const double cost_before = TotalCost(instance_, alloc);
+    StepOnce();
+    const std::vector<double>& x = CurrentX();
+    double moved = 0.0;
+    for (std::size_t k = 0; k < x.size(); ++k) {
+      moved += std::fabs(x[k] - incoming[k]);
+    }
+    last_written_ = x;
+    alloc = AllocationFromVector(instance_, last_written_);
+
+    IterationStats stats;
+    stats.iteration = ++iteration_;
+    stats.total_cost = TotalCost(instance_, alloc);
+    stats.improvement = cost_before - stats.total_cost;
+    // Every moved request leaves one coordinate and enters another.
+    stats.transferred = 0.5 * moved;
+    if (obs_ != nullptr) RecordIteration(stats);
+    return stats;
+  }
+
+ protected:
+  SolverEngine(const Instance& instance, obs::Hub* obs)
+      : Engine(instance), obs_(obs) {
+    if (obs_ != nullptr) {
+      obs::MetricRegistry& metrics = obs_->metrics();
+      iterations_id_ = metrics.AddCounter("engine.iterations");
+      improvement_id_ = metrics.AddHistogram(
+          "engine.iteration_improvement",
+          {0, 1e-9, 1e-6, 1e-3, 1, 1e3, 1e6, 1e9});
+      transferred_id_ = metrics.AddHistogram(
+          "engine.iteration_transferred",
+          {0, 1e-6, 1e-3, 1, 10, 100, 1e3, 1e4, 1e5, 1e6});
+      cost_id_ = metrics.AddGauge("engine.total_cost");
+      obs_->trace().ThreadName(obs::TracePid::kSim, 0, "engine iterations");
+    }
+  }
+
+  /// (Re)builds the solver state at iterate `x0` (row-major, feasible up
+  /// to the Allocation tolerance).
+  virtual void StartFrom(const std::vector<double>& x0) = 0;
+  /// Advances the internal iterate by one solver iteration (a no-op once
+  /// the solver reached its own fixed point — Run's plateau rule then
+  /// terminates the loop).
+  virtual void StepOnce() = 0;
+  /// The internal iterate.
+  virtual const std::vector<double>& CurrentX() const = 0;
+
+ private:
+  void RecordIteration(const IterationStats& stats) {
+    obs::Hub& hub = *obs_;
+    obs::MetricRegistry& metrics = hub.metrics();
+    metrics.Count(0, iterations_id_);
+    metrics.Observe(0, improvement_id_, stats.improvement);
+    metrics.Observe(0, transferred_id_, stats.transferred);
+    metrics.Set(0, cost_id_, stats.total_cost,
+                static_cast<double>(stats.iteration));
+    // One sim-lane span per iteration tiling [it-1, it), exactly like the
+    // MinE engine — the iteration count is the engines' shared time axis.
+    hub.trace().Span(0, obs::TracePid::kSim, 0, "iteration", name(),
+                     static_cast<double>(stats.iteration - 1), 1.0,
+                     obs::TraceKey{2, stats.iteration, 0},
+                     {{"cost", stats.total_cost},
+                      {"improvement", stats.improvement},
+                      {"transferred", stats.transferred}});
+  }
+
+  obs::Hub* obs_;
+  obs::MetricId iterations_id_;
+  obs::MetricId improvement_id_;
+  obs::MetricId transferred_id_;
+  obs::MetricId cost_id_;
+  bool started_ = false;
+  std::size_t iteration_ = 0;
+  std::vector<double> last_written_;
+};
+
+// ------------------------------------------------------------ QP adapters ---
+
+class ProjectedGradientEngine final : public SolverEngine {
+ public:
+  ProjectedGradientEngine(const Instance& instance,
+                          const EngineOptions& options)
+      : SolverEngine(instance, options.mine.obs),
+        problem_(MakeRequestSpaceProblem(instance)),
+        options_(options.projected_gradient) {}
+  const char* name() const noexcept override { return "projected-gradient"; }
+
+ protected:
+  void StartFrom(const std::vector<double>& x0) override {
+    state_ = opt::StartProjectedGradient(problem_, x0);
+  }
+  void StepOnce() override {
+    if (state_.converged) return;
+    // A momentum restart rolls the iterate back without a convergence
+    // check; retry immediately so one engine Step never reports a
+    // spurious zero-improvement plateau mid-descent.
+    if (opt::ProjectedGradientIterateOnce(problem_, options_, state_) &&
+        !state_.converged) {
+      opt::ProjectedGradientIterateOnce(problem_, options_, state_);
+    }
+  }
+  const std::vector<double>& CurrentX() const override { return state_.x; }
+
+ private:
+  opt::SimplexQpProblem problem_;
+  opt::ProjectedGradientOptions options_;
+  opt::ProjectedGradientState state_;
+};
+
+class FrankWolfeEngine final : public SolverEngine {
+ public:
+  FrankWolfeEngine(const Instance& instance, const EngineOptions& options)
+      : SolverEngine(instance, options.mine.obs),
+        problem_(MakeRequestSpaceProblem(instance)),
+        options_(options.frank_wolfe) {}
+  const char* name() const noexcept override { return "frank-wolfe"; }
+
+ protected:
+  void StartFrom(const std::vector<double>& x0) override {
+    state_ = opt::StartFrankWolfe(problem_, x0);
+  }
+  void StepOnce() override {
+    if (state_.converged) return;
+    opt::FrankWolfeIterateOnce(problem_, options_, state_);
+  }
+  const std::vector<double>& CurrentX() const override { return state_.x; }
+
+ private:
+  opt::SimplexQpProblem problem_;
+  opt::FrankWolfeOptions options_;
+  opt::FrankWolfeState state_;
+};
+
+class IpsEngine final : public SolverEngine {
+ public:
+  IpsEngine(const Instance& instance, const EngineOptions& options)
+      : SolverEngine(instance, options.mine.obs),
+        problem_(MakeRequestSpaceProblem(instance)),
+        options_(options.ips) {}
+  const char* name() const noexcept override { return "ips"; }
+
+ protected:
+  void StartFrom(const std::vector<double>& x0) override {
+    state_ = opt::StartIps(problem_, x0, options_);
+    // StartIps blends interior_mix of uniform-on-allowed into every row (a
+    // zero coordinate can never be revived by the multiplicative update),
+    // which costs more than the incoming allocation. Remember the incoming
+    // value so the first Step can burn that penalty down — otherwise Run's
+    // plateau rule reads the blend as a cost increase and stops after one
+    // iteration.
+    seed_value_ = problem_.value(x0);
+    burn_in_ = true;
+  }
+  void StepOnce() override {
+    if (state_.converged) return;
+    opt::IpsIterateOnce(problem_, options_, state_);
+    if (burn_in_) {
+      constexpr std::size_t kBurnInCap = 512;
+      for (std::size_t extra = 0; extra < kBurnInCap &&
+                                  !state_.converged &&
+                                  state_.value > seed_value_;
+           ++extra) {
+        opt::IpsIterateOnce(problem_, options_, state_);
+      }
+      burn_in_ = false;
+    }
+  }
+  const std::vector<double>& CurrentX() const override { return state_.x; }
+
+ private:
+  opt::SimplexQpProblem problem_;
+  opt::IpsOptions options_;
+  opt::IpsState state_;
+  double seed_value_ = 0.0;
+  bool burn_in_ = false;
+};
+
+class CoordinateDescentEngine final : public SolverEngine {
+ public:
+  CoordinateDescentEngine(const Instance& instance,
+                          const EngineOptions& options)
+      : SolverEngine(instance, options.mine.obs),
+        model_(MakeBlockQpModel(instance)),
+        options_(options.coordinate_descent) {}
+  const char* name() const noexcept override { return "coordinate-descent"; }
+
+ protected:
+  void StartFrom(const std::vector<double>& x0) override {
+    state_ = opt::StartCoordinateDescent(model_, x0);
+  }
+  void StepOnce() override {
+    if (state_.converged) return;
+    opt::CoordinateDescentRoundOnce(model_, options_, state_);
+  }
+  const std::vector<double>& CurrentX() const override { return state_.x; }
+
+ private:
+  opt::BlockQpModel model_;
+  opt::CoordinateDescentOptions options_;
+  opt::CoordinateDescentState state_;
+};
+
+// -------------------------------------------------------------- waterfill ---
+
+/// Damped Jacobi water-filling: every row best-responds (socially — the
+/// CD intercepts, not the selfish ones) to the SAME load snapshot, and the
+/// iterate moves a backtracked fraction alpha toward that target. The
+/// synchronous sweep is embarrassingly parallel in principle, which is the
+/// point of benching it against the sequential Gauss-Seidel form
+/// (coordinate-descent); undamped it oscillates, so alpha backtracks until
+/// the objective does not increase.
+class WaterfillEngine final : public SolverEngine {
+ public:
+  WaterfillEngine(const Instance& instance, const EngineOptions& options)
+      : SolverEngine(instance, options.mine.obs),
+        model_(MakeBlockQpModel(instance)),
+        alpha_max_(std::clamp(options.waterfill_damping, 1e-3, 1.0)),
+        alpha_(alpha_max_) {}
+  const char* name() const noexcept override { return "waterfill"; }
+
+ protected:
+  void StartFrom(const std::vector<double>& x0) override {
+    x_ = x0;
+    const std::size_t m = model_.m;
+    loads_.assign(m, 0.0);
+    for (std::size_t j = 0; j < m; ++j) {
+      for (std::size_t i = 0; i < m; ++i) loads_[j] += x_[i * m + j];
+    }
+    a_.resize(m);
+    target_.resize(x_.size());
+    trial_.resize(x_.size());
+    value_ = opt::BlockObjective(model_, x_);
+    alpha_ = alpha_max_;
+    done_ = false;
+  }
+
+  void StepOnce() override {
+    if (done_) return;
+    const std::size_t m = model_.m;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t base = i * m;
+      const double n_i = model_.row_totals[i];
+      if (n_i <= 0.0) {
+        std::copy(x_.begin() + base, x_.begin() + base + m,
+                  target_.begin() + base);
+        continue;
+      }
+      bool any_finite = false;
+      for (std::size_t j = 0; j < m; ++j) {
+        const double c = model_.latencies[base + j];
+        if (!std::isfinite(c)) {
+          a_[j] = kInf;
+          continue;
+        }
+        any_finite = true;
+        a_[j] = (loads_[j] - x_[base + j]) / model_.speeds[j] + c;
+      }
+      if (!any_finite) {
+        std::copy(x_.begin() + base, x_.begin() + base + m,
+                  target_.begin() + base);
+        continue;
+      }
+      const opt::WaterfillResult wf = opt::Waterfill(model_.speeds, a_, n_i);
+      std::copy(wf.x.begin(), wf.x.end(), target_.begin() + base);
+    }
+    double alpha = alpha_;
+    for (int bt = 0; bt < 30; ++bt) {
+      for (std::size_t k = 0; k < x_.size(); ++k) {
+        trial_[k] = x_[k] + alpha * (target_[k] - x_[k]);
+      }
+      const double trial_value = opt::BlockObjective(model_, trial_);
+      if (trial_value <= value_) {
+        x_.swap(trial_);
+        value_ = trial_value;
+        alpha_ = std::min(alpha * 1.25, alpha_max_);
+        loads_.assign(m, 0.0);
+        for (std::size_t j = 0; j < m; ++j) {
+          for (std::size_t i = 0; i < m; ++i) loads_[j] += x_[i * m + j];
+        }
+        return;
+      }
+      alpha *= 0.5;
+    }
+    done_ = true;  // no damping makes progress: fixed point
+  }
+
+  const std::vector<double>& CurrentX() const override { return x_; }
+
+ private:
+  opt::BlockQpModel model_;
+  double alpha_max_;
+  double alpha_;
+  std::vector<double> x_, loads_, a_, target_, trial_;
+  double value_ = 0.0;
+  bool done_ = false;
+};
+
+// ------------------------------------------------------------------- mcmf ---
+
+/// One-shot transportation solve: the quadratic per-server load cost is
+/// discretized into `segments` constant-marginal blocks ((k+0.5)B/s_j per
+/// unit on block k), turning the whole problem into a min-cost max-flow on
+/// source -> organizations -> servers -> (segment arcs) -> sink. The first
+/// Step replaces the iterate with the flow's allocation; further Steps are
+/// no-ops, so Run converges right after. Accuracy is bounded by the
+/// segment resolution — this is the "how close does a pure LP/flow solver
+/// get" baseline, not a competitor on final objective.
+class McmfEngine final : public SolverEngine {
+ public:
+  McmfEngine(const Instance& instance, const EngineOptions& options)
+      : SolverEngine(instance, options.mine.obs),
+        segments_(std::max<std::size_t>(2, options.mcmf_segments)) {}
+  const char* name() const noexcept override { return "mcmf"; }
+
+ protected:
+  void StartFrom(const std::vector<double>& x0) override {
+    x_ = x0;
+    solved_ = false;
+  }
+
+  void StepOnce() override {
+    if (solved_) return;
+    solved_ = true;
+    const std::size_t m = instance_.size();
+    const double total = instance_.total_load();
+    if (m == 0 || total <= 0.0) return;
+    const double block = total / static_cast<double>(segments_);
+
+    // Nodes: 0 = source, 1..m organizations, m+1..2m servers, 2m+1 sink.
+    opt::MinCostMaxFlow flow(2 * m + 2);
+    const std::size_t source = 0;
+    const std::size_t sink = 2 * m + 1;
+    std::vector<std::size_t> transport_edge(m * m,
+                                            std::numeric_limits<std::size_t>::max());
+    for (std::size_t i = 0; i < m; ++i) {
+      const double n_i = instance_.load(i);
+      if (n_i <= 0.0) continue;
+      flow.AddEdge(source, 1 + i, n_i, 0.0);
+      for (std::size_t j = 0; j < m; ++j) {
+        const double c = instance_.latency(i, j);
+        if (!std::isfinite(c)) continue;
+        transport_edge[i * m + j] = flow.AddEdge(1 + i, m + 1 + j, n_i, c);
+      }
+    }
+    double total_speed = 0.0;
+    for (std::size_t j = 0; j < m; ++j) total_speed += instance_.speed(j);
+    for (std::size_t j = 0; j < m; ++j) {
+      // Discretize each server's load range around its speed-proportional
+      // fair share, not the instance total: the segments of server j cover
+      // [0, 4 * share_j], so the marginal-cost staircase has ~share/4
+      // resolution where loads actually land. Capacities still sum to
+      // 4 * total across the fleet, so feasibility is never at stake.
+      const double share =
+          total * (instance_.speed(j) / total_speed);
+      const double block_j =
+          std::max(4.0 * share, block) / static_cast<double>(segments_);
+      for (std::size_t k = 0; k < segments_; ++k) {
+        const double marginal =
+            (static_cast<double>(k) + 0.5) * block_j / instance_.speed(j);
+        flow.AddEdge(m + 1 + j, sink, block_j, marginal);
+      }
+    }
+
+    const opt::MinCostMaxFlow::Result result = flow.Solve(source, sink);
+    if (result.flow < total * (1.0 - 1e-6)) return;  // keep the iterate
+
+    std::vector<double> x(m * m, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double n_i = instance_.load(i);
+      if (n_i <= 0.0) continue;
+      double row_sum = 0.0;
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::size_t id = transport_edge[i * m + j];
+        if (id == std::numeric_limits<std::size_t>::max()) continue;
+        x[i * m + j] = flow.flow_on(id);
+        row_sum += x[i * m + j];
+      }
+      if (row_sum <= 0.0) {
+        x[i * m + i] = n_i;  // unreachable row: cannot happen on our nets
+        continue;
+      }
+      // The solver's kEps residual slack would trip the Allocation row-sum
+      // check at scale; rescale each row exactly.
+      const double scale = n_i / row_sum;
+      for (std::size_t j = 0; j < m; ++j) x[i * m + j] *= scale;
+    }
+    x_ = std::move(x);
+  }
+
+  const std::vector<double>& CurrentX() const override { return x_; }
+
+ private:
+  std::size_t segments_;
+  std::vector<double> x_;
+  bool solved_ = false;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- catalog ---
+
+const std::vector<EngineInfo>& EngineCatalog() {
+  static const std::vector<EngineInfo> catalog = {
+      {"mine", "the paper's distributed MinE engine (Algorithm 2)", 0},
+      {"mine-fast", "MinE under the sampling partner policy", 0},
+      {"mine-nc",
+       "MinE with periodic negative-cycle removal (Bellman-Ford + MCMF)",
+       2000},
+      {"ips", "iterative proportional scaling (entropic mirror descent)", 0},
+      {"projected-gradient", "projected gradient with FISTA momentum", 0},
+      {"frank-wolfe", "conditional gradient with exact line search", 0},
+      {"coordinate-descent", "exact row minimization by water-filling", 0},
+      {"waterfill", "damped Jacobi water-filling sweep", 0},
+      {"mcmf", "one-shot piecewise-linearized min-cost max-flow",
+       kMcmfSizeCap},
+  };
+  return catalog;
+}
+
+bool KnownEngine(std::string_view name) noexcept {
+  for (const EngineInfo& info : EngineCatalog()) {
+    if (name == info.name) return true;
+  }
+  return false;
+}
+
+bool EngineSupports(std::string_view name, std::size_t m) noexcept {
+  for (const EngineInfo& info : EngineCatalog()) {
+    if (name == info.name) {
+      return info.size_cap == 0 || m <= info.size_cap;
+    }
+  }
+  return false;
+}
+
+std::string EngineNames() {
+  std::string names;
+  for (const EngineInfo& info : EngineCatalog()) {
+    if (!names.empty()) names += ", ";
+    names += info.name;
+  }
+  return names;
+}
+
+std::unique_ptr<Engine> MakeEngine(std::string_view name,
+                                   const Instance& instance,
+                                   const EngineOptions& options) {
+  if (!KnownEngine(name)) {
+    throw std::invalid_argument("MakeEngine: unknown engine '" +
+                                std::string(name) + "' (known: " +
+                                EngineNames() + ")");
+  }
+  if (!EngineSupports(name, instance.size())) {
+    throw std::invalid_argument("MakeEngine: engine '" + std::string(name) +
+                                "' is size-gated below m = " +
+                                std::to_string(instance.size()));
+  }
+  if (name == "mine") {
+    return std::make_unique<MineEngine>(instance, "mine", options.mine);
+  }
+  if (name == "mine-fast") {
+    MinEOptions fast = options.mine;
+    fast.policy = PartnerPolicy::kFast;
+    return std::make_unique<MineEngine>(instance, "mine-fast", fast);
+  }
+  if (name == "mine-nc") {
+    MinEOptions nc = options.mine;
+    if (nc.cycle_removal_period == 0) nc.cycle_removal_period = 4;
+    return std::make_unique<MineEngine>(instance, "mine-nc", nc);
+  }
+  if (name == "ips") {
+    return std::make_unique<IpsEngine>(instance, options);
+  }
+  if (name == "projected-gradient") {
+    return std::make_unique<ProjectedGradientEngine>(instance, options);
+  }
+  if (name == "frank-wolfe") {
+    return std::make_unique<FrankWolfeEngine>(instance, options);
+  }
+  if (name == "coordinate-descent") {
+    return std::make_unique<CoordinateDescentEngine>(instance, options);
+  }
+  if (name == "waterfill") {
+    return std::make_unique<WaterfillEngine>(instance, options);
+  }
+  return std::make_unique<McmfEngine>(instance, options);
+}
+
+}  // namespace delaylb::core

@@ -1,0 +1,135 @@
+#pragma once
+// Pluggable solver engines: every optimizer in the library behind the
+// Step/Run shape of core::MinEBalancer.
+//
+// The paper's headline claim (Sections I/III) is that the distributed MinE
+// algorithm beats standard centralized solvers even on a single CPU. To
+// make that claim testable end to end, every solver in src/opt/ — plus
+// MinE itself and an Iterative Proportional Scaling entrant — is adapted
+// to one interface: Step(alloc) advances one iteration in place and
+// returns the same IterationStats MinE reports (total_cost is always the
+// exact SumC of the written-back allocation, so the objective column is
+// comparable across engines), Run drives Step with exactly
+// MinEBalancer::Run's termination rule. Any engine can therefore drive the
+// scenario packs (ext/scenario.h ReplayOnEngine), the examples, the
+// benches (bench_engine_frontier records the quality-vs-wall-clock
+// frontier), and — through dist::AgentOptions::local_engine — the pairwise
+// decisions of the distributed runtime.
+//
+// Engines by catalog name:
+//   mine                the paper's engine (Algorithm 2); driving it
+//                       through this interface is bit-identical to driving
+//                       MinEBalancer directly (the determinism fingerprints
+//                       in BENCH_mine.json keep holding)
+//   mine-fast           MinE under the sampling partner policy
+//   mine-nc             MinE + periodic negative-cycle removal (the
+//                       Bellman-Ford / MCMF machinery of Appendix A)
+//   ips                 iterative proportional scaling (opt/ips.h)
+//   projected-gradient  FISTA (opt/projected_gradient.h)
+//   frank-wolfe         conditional gradient (opt/frank_wolfe.h)
+//   coordinate-descent  exact row minimization (opt/coordinate_descent.h)
+//   waterfill           damped Jacobi water-filling sweep: all rows best-
+//                       respond to the same load snapshot, blended in with
+//                       a backtracked damping factor
+//   mcmf                one-shot piecewise-linearized min-cost max-flow
+//                       (opt/mcmf.h); size-gated — successive shortest
+//                       paths are superlinear in m
+//
+// Solver engines keep an internal solver state between Steps and re-seed
+// it whenever the caller hands them an allocation they did not produce
+// (warm starts across scenario epochs work out of the box). With an
+// obs::Hub attached they record per-iteration spans and convergence
+// metrics like MinE does, under the "engine.*" metric family and the
+// engine's name as the trace category.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/instance.h"
+#include "core/mine.h"
+#include "opt/coordinate_descent.h"
+#include "opt/frank_wolfe.h"
+#include "opt/ips.h"
+#include "opt/projected_gradient.h"
+
+namespace delaylb::core {
+
+/// Options shared by every engine plus the per-solver knobs. The MinE
+/// block doubles as the engine-independent part: `mine.seed` seeds any
+/// randomized engine, `mine.threads`/`mine.step_mode` configure the MinE
+/// variants, and `mine.obs` hooks the flight recorder into whichever
+/// engine runs.
+struct EngineOptions {
+  MinEOptions mine;
+  opt::ProjectedGradientOptions projected_gradient;
+  opt::FrankWolfeOptions frank_wolfe;
+  opt::CoordinateDescentOptions coordinate_descent;
+  opt::IpsOptions ips;
+  /// Initial blend factor of the "waterfill" engine's Jacobi sweep
+  /// (x <- (1-alpha) x + alpha x_waterfill); backtracked per Step so the
+  /// objective never increases.
+  double waterfill_damping = 0.5;
+  /// Piecewise-linear segments per server in the "mcmf" reduction (the
+  /// quadratic load cost is discretized into this many constant-marginal
+  /// blocks).
+  std::size_t mcmf_segments = 16;
+};
+
+/// One solver behind MinEBalancer's Step/Run shape.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Catalog name ("mine", "ips", ...). Static storage.
+  virtual const char* name() const noexcept = 0;
+
+  /// One iteration on `alloc`, in place. stats.iteration counts from 1;
+  /// stats.total_cost is the exact SumC of the updated allocation.
+  virtual IterationStats Step(Allocation& alloc) = 0;
+
+  /// MinEBalancer::Run's loop verbatim over this->Step: stop after
+  /// max_iterations or once an iteration improves the cost by less than
+  /// relative_tolerance * max(1, |previous|). For the "mine" engine the
+  /// returned trace is bit-identical to driving the balancer directly.
+  MinERun Run(Allocation& alloc, std::size_t max_iterations,
+              double relative_tolerance = 1e-12);
+
+ protected:
+  explicit Engine(const Instance& instance) : instance_(instance) {}
+  const Instance& instance_;
+};
+
+/// Catalog row: the selectable engines and their self-imposed size gates.
+struct EngineInfo {
+  const char* name;
+  const char* summary;
+  /// Instances with more than this many servers are gated off (0 = no
+  /// gate). "mcmf" caps because successive shortest paths pay O(m)
+  /// Dijkstra sweeps over an O(m^2)-edge graph; "mine-nc" because the
+  /// Bellman-Ford certificate pass is O(m) relaxation rounds over the
+  /// same O(m^2) edges.
+  std::size_t size_cap;
+};
+
+/// Every selectable engine, in the order benches report them.
+const std::vector<EngineInfo>& EngineCatalog();
+
+/// True when `name` names a catalog engine.
+bool KnownEngine(std::string_view name) noexcept;
+
+/// True when the engine exists and is not size-gated at `m` servers.
+bool EngineSupports(std::string_view name, std::size_t m) noexcept;
+
+/// Comma-separated catalog names, for usage strings.
+std::string EngineNames();
+
+/// Builds an engine by catalog name. Throws std::invalid_argument for an
+/// unknown name or a size-gated instance.
+std::unique_ptr<Engine> MakeEngine(std::string_view name,
+                                   const Instance& instance,
+                                   const EngineOptions& options = {});
+
+}  // namespace delaylb::core

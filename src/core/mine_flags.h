@@ -10,13 +10,30 @@
 // callers set their own defaults first.
 
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "core/engine.h"
 #include "core/mine.h"
 #include "util/cli.h"
 
 namespace delaylb::core {
+
+/// The shared --engine flag: selects a core::MakeEngine catalog entry by
+/// name ("mine", "ips", "projected-gradient", ...). Absent flag returns
+/// `fallback`; an unknown name prints the catalog and exits — a typo
+/// silently benching the default would poison recorded numbers.
+inline std::string EngineNameFlag(const util::Cli& cli,
+                                  const std::string& fallback = "mine") {
+  const std::string name = cli.GetString("engine", fallback);
+  if (!KnownEngine(name)) {
+    std::cerr << "unknown --engine '" << name << "' (known: " << EngineNames()
+              << ")\n";
+    std::exit(2);
+  }
+  return name;
+}
 
 inline void ApplyEngineFlags(const util::Cli& cli, MinEOptions& options) {
   options.threads = static_cast<std::size_t>(

@@ -244,6 +244,174 @@ PairBalanceResult BalanceColumns(const ColumnBalanceInput& input,
   return result;
 }
 
+PairBalanceResult BalanceColumnsIps(const ColumnBalanceInput& input,
+                                    PairBalanceWorkspace& ws,
+                                    std::size_t max_iterations) {
+  // Tuned for the distributed hot path: a handful of multiplicative
+  // sweeps per balance message, not a full solve. interior_mix revives
+  // zero coordinates on movable organizations (the update cannot).
+  constexpr double kMix = 0.05;
+  constexpr double kTolerance = 1e-12;
+  constexpr double kMinExpArg = -700.0;
+  constexpr int kMaxBacktracks = 30;
+
+  PairBalanceResult result;
+  const std::size_t m = input.r_i.size();
+  const double s_i = input.s_i;
+  const double s_j = input.s_j;
+
+  ws.pool.resize(m);
+  ws.new_rki.resize(m);
+  ws.new_rkj.resize(m);
+  ws.trial_rki.resize(m);
+  ws.trial_rkj.resize(m);
+  ws.order.clear();  // the movable subset, as in BalanceColumns phase 1
+
+  // Initialization: organizations that can reach only one endpoint are
+  // pinned there (same cases as BalanceColumns); both-reachable pools get
+  // an interior split blending the incoming proportions with an even one.
+  double old_li = 0.0;
+  double old_lj = 0.0;
+  double old_comm = 0.0;
+  double li = 0.0;
+  double lj = 0.0;
+  double comm = 0.0;
+  for (std::size_t k = 0; k < m; ++k) {
+    const double rki = input.r_i[k];
+    const double rkj = input.r_j[k];
+    const double c_ki = input.c_i[k];
+    const double c_kj = input.c_j[k];
+    old_li += rki;
+    old_lj += rkj;
+    const double pool = rki + rkj;
+    ws.pool[k] = pool;
+    if (pool == 0.0) {
+      ws.new_rki[k] = 0.0;
+      ws.new_rkj[k] = 0.0;
+      continue;
+    }
+    old_comm += (rki == 0.0 ? 0.0 : rki * c_ki) +
+                (rkj == 0.0 ? 0.0 : rkj * c_kj);
+    const bool can_i = std::isfinite(c_ki);
+    const bool can_j = std::isfinite(c_kj);
+    double to_i;
+    double to_j;
+    if (can_i && can_j) {
+      to_i = (1.0 - kMix) * rki + kMix * (0.5 * pool);
+      to_j = pool - to_i;
+      ws.order.push_back(k);
+    } else if (can_i) {
+      to_i = pool;
+      to_j = 0.0;
+    } else if (can_j) {
+      to_i = 0.0;
+      to_j = pool;
+    } else {
+      to_i = rki;  // unreachable on both sides: leave the split untouched
+      to_j = rkj;
+    }
+    ws.new_rki[k] = to_i;
+    ws.new_rkj[k] = to_j;
+    li += to_i;
+    lj += to_j;
+    comm += (to_i == 0.0 ? 0.0 : to_i * c_ki) +
+            (to_j == 0.0 ? 0.0 : to_j * c_kj);
+  }
+  const double old_cost = old_li * old_li / (2.0 * s_i) +
+                          old_lj * old_lj / (2.0 * s_j) + old_comm;
+
+  if (!ws.order.empty()) {
+    double value = li * li / (2.0 * s_i) + lj * lj / (2.0 * s_j) + comm;
+    // Auto-tuned step: 2 / max per-organization gradient spread at the
+    // start (the same rule opt::StartIps uses).
+    double spread = 0.0;
+    for (const std::size_t k : ws.order) {
+      const double gap = std::fabs((li / s_i + input.c_i[k]) -
+                                   (lj / s_j + input.c_j[k]));
+      spread = std::max(spread, gap);
+    }
+    double eta = spread > 0.0 ? 2.0 / spread : 1.0;
+
+    for (std::size_t it = 0; it < max_iterations; ++it) {
+      const double g_base_i = li / s_i;
+      const double g_base_j = lj / s_j;
+      bool accepted = false;
+      double trial_value = value;
+      double trial_li = li;
+      double trial_lj = lj;
+      for (int bt = 0; bt <= kMaxBacktracks; ++bt) {
+        trial_li = li;
+        trial_lj = lj;
+        double trial_comm = comm;
+        for (const std::size_t k : ws.order) {
+          const double x_i = ws.new_rki[k];
+          const double x_j = ws.new_rkj[k];
+          const double g_i = g_base_i + input.c_i[k];
+          const double g_j = g_base_j + input.c_j[k];
+          const double g_min = std::min(g_i, g_j);
+          const double w_i =
+              x_i == 0.0 ? 0.0
+                         : x_i * std::exp(std::max(kMinExpArg,
+                                                   -eta * (g_i - g_min)));
+          const double w_j =
+              x_j == 0.0 ? 0.0
+                         : x_j * std::exp(std::max(kMinExpArg,
+                                                   -eta * (g_j - g_min)));
+          const double scale = ws.pool[k] / (w_i + w_j);
+          const double t_i = w_i * scale;
+          const double t_j = w_j * scale;
+          ws.trial_rki[k] = t_i;
+          ws.trial_rkj[k] = t_j;
+          trial_li += t_i - x_i;
+          trial_lj += t_j - x_j;
+          trial_comm += (t_i - x_i) * input.c_i[k] +
+                        (t_j - x_j) * input.c_j[k];
+        }
+        trial_value = trial_li * trial_li / (2.0 * s_i) +
+                      trial_lj * trial_lj / (2.0 * s_j) + trial_comm;
+        if (trial_value <= value) {
+          accepted = true;
+          break;
+        }
+        eta *= 0.5;
+      }
+      if (!accepted) break;  // numerical fixed point
+      for (const std::size_t k : ws.order) {
+        ws.new_rki[k] = ws.trial_rki[k];
+        ws.new_rkj[k] = ws.trial_rkj[k];
+      }
+      const double drop = value - trial_value;
+      li = trial_li;
+      lj = trial_lj;
+      value = trial_value;
+      // Rebuild comm from the accepted loads/value so the incremental
+      // trial_comm updates cannot drift across iterations.
+      comm = value - li * li / (2.0 * s_i) - lj * lj / (2.0 * s_j);
+      eta *= 1.1;
+      if (drop < kTolerance * std::max(1.0, std::fabs(value))) break;
+    }
+  }
+
+  const double new_cost =
+      li * li / (2.0 * s_i) + lj * lj / (2.0 * s_j) + comm;
+  if (!(new_cost < old_cost)) {
+    // Monotone fallback: the interior mix (or fp noise) ate the gain;
+    // hand back the incoming columns unchanged.
+    std::copy(input.r_i.begin(), input.r_i.end(), ws.new_rki.begin());
+    std::copy(input.r_j.begin(), input.r_j.end(), ws.new_rkj.begin());
+    result.improvement = 0.0;
+    result.transferred = 0.0;
+    result.new_load_i = old_li;
+    result.new_load_j = old_lj;
+    return result;
+  }
+  result.improvement = old_cost - new_cost;
+  result.transferred = std::fabs(li - old_li);
+  result.new_load_i = li;
+  result.new_load_j = lj;
+  return result;
+}
+
 PairBalanceResult PairBalancePreview(const Instance& instance,
                                      const Allocation& alloc, std::size_t i,
                                      std::size_t j,

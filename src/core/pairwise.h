@@ -64,6 +64,7 @@ struct PairBalanceWorkspace {
   std::vector<std::size_t> order;      // organizations sorted by c_kj - c_ki
   std::vector<double> lat_i, lat_j;    // latency-column copies (internal)
   std::vector<std::uint32_t> order_scratch;  // PairOrderCache spill buffer
+  std::vector<double> trial_rki, trial_rkj;  // BalanceColumnsIps line search
 };
 
 /// Inputs of a pair balance expressed as raw columns; this is the form the
@@ -118,6 +119,20 @@ struct PairBalanceResult {
 /// message-passing paths.
 PairBalanceResult BalanceColumns(const ColumnBalanceInput& input,
                                  PairBalanceWorkspace& ws);
+
+/// Iterative-proportional-scaling variant of the pairwise balance: same
+/// input/output contract as BalanceColumns (balanced columns land in
+/// `ws.new_rki` / `ws.new_rkj`), but each organization's pool is split by
+/// entropic mirror-descent updates on its two-point simplex instead of the
+/// exact Lemma-1 pass — this is the kernel behind
+/// dist::LocalEngine::kIps. Monotone by construction: every step
+/// backtracks on the step size, and when no step improves on the incoming
+/// columns the result is the incoming columns with zero improvement.
+/// Ignores `presorted` / `order_cache` (the update needs no ordering) and
+/// `abort_below` (IPS has no admissible improvement bound to prune with).
+PairBalanceResult BalanceColumnsIps(const ColumnBalanceInput& input,
+                                    PairBalanceWorkspace& ws,
+                                    std::size_t max_iterations = 60);
 
 /// Computes the balanced state for servers (i, j) without mutating `alloc`.
 /// The per-organization result rows are left in `ws.new_rki` / `ws.new_rkj`.

@@ -308,6 +308,11 @@ core::PairBalanceResult Agent::BalanceAgainst(
     input.c_i = workspace.lat_i;
     input.c_j = workspace.lat_j;
   }
+  if (options_.local_engine == LocalEngine::kIps) {
+    // The IPS kernel has no admissible improvement bound, so no pruning;
+    // below-min_gain results are declined by the caller as usual.
+    return core::BalanceColumnsIps(input, workspace);
+  }
   // Early-exit once the admissible improvement bound falls below the gain
   // we would decline anyway: near convergence most requests end in kNoGain
   // and then pay only the phase-0 bound check, not the Lemma-1 pass (or a

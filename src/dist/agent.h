@@ -87,6 +87,19 @@
 
 namespace delaylb::dist {
 
+/// Pairwise kernel an agent runs when it responds to a balance request.
+enum class LocalEngine : std::uint8_t {
+  /// The paper's exact pairwise balance (core::BalanceColumns,
+  /// Algorithm 1). Default; all determinism fingerprints assume it.
+  kAlgorithm1 = 0,
+  /// Iterative proportional scaling on the exchanged columns
+  /// (core::BalanceColumnsIps): multiplicative updates with a backtracked
+  /// step instead of the exact Lemma-1 pass. Monotone and convergent but
+  /// approximate per exchange — the bake-off engine for the runtime's
+  /// local decision path.
+  kIps = 1,
+};
+
 struct AgentOptions {
   /// One balance attempt is started every `balance_period` ms (when idle).
   double balance_period = 100.0;
@@ -154,6 +167,10 @@ struct AgentOptions {
   /// it deregisters, seeding the rumor; digest reconciliation spreads it
   /// from there.
   std::size_t departure_fanout = 3;
+  /// Pairwise kernel used to answer balance requests (see LocalEngine).
+  /// Anything other than kAlgorithm1 changes the simulated history, so the
+  /// recorded determinism fingerprints only apply to the default.
+  LocalEngine local_engine = LocalEngine::kAlgorithm1;
 };
 
 struct AgentStats {

@@ -1,0 +1,31 @@
+#pragma once
+// The shared --local-engine CLI flag for binaries that drive the
+// distributed runtime:
+//   --local-engine NAME   "algorithm1" (the paper's exact pairwise
+//                         balance, the default) or "ips" (iterative
+//                         proportional scaling on the exchanged columns;
+//                         see core::BalanceColumnsIps)
+// Values already present in `options` are kept when the flag is absent.
+
+#include <iostream>
+#include <string>
+
+#include "dist/agent.h"
+#include "util/cli.h"
+
+namespace delaylb::dist {
+
+inline void ApplyLocalEngineFlag(const util::Cli& cli,
+                                 AgentOptions& options) {
+  const std::string name = cli.GetString("local-engine", "");
+  if (name == "ips") {
+    options.local_engine = LocalEngine::kIps;
+  } else if (name == "algorithm1") {
+    options.local_engine = LocalEngine::kAlgorithm1;
+  } else if (!name.empty()) {
+    std::cerr << "unknown --local-engine '" << name
+              << "' (want algorithm1|ips), keeping default\n";
+  }
+}
+
+}  // namespace delaylb::dist

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/cost.h"
+#include "core/engine.h"
 #include "core/mine.h"
 #include "exp/dynamic.h"
 #include "ext/tasks.h"
@@ -279,16 +280,17 @@ ScenarioRunResult ReplayOnRuntime(const ScenarioPack& pack,
   return result;
 }
 
-std::vector<ScenarioEpochCost> ReplayOnMinE(const ScenarioPack& pack,
-                                            const core::Instance& instance,
-                                            std::size_t iterations_per_epoch,
-                                            std::uint64_t seed) {
+std::vector<ScenarioEpochCost> ReplayOnEngine(std::string_view engine,
+                                              const ScenarioPack& pack,
+                                              const core::Instance& instance,
+                                              std::size_t iterations_per_epoch,
+                                              std::uint64_t seed) {
   if (instance.size() != pack.m) {
     throw std::invalid_argument(
-        "ReplayOnMinE: instance size differs from pack.m");
+        "ReplayOnEngine: instance size differs from pack.m");
   }
-  core::MinEOptions engine_options;
-  engine_options.seed = seed;
+  core::EngineOptions engine_options;
+  engine_options.mine.seed = seed;
 
   std::vector<ScenarioEpochCost> trace;
   core::Instance current = EffectiveInstance(pack, instance, 0.0);
@@ -296,15 +298,20 @@ std::vector<ScenarioEpochCost> ReplayOnMinE(const ScenarioPack& pack,
   for (double t = pack.epoch; t <= pack.horizon + 1e-9; t += pack.epoch) {
     current = EffectiveInstance(pack, instance, t);
     warm = exp::CarryOverAllocation(current, warm);
-    core::MinEBalancer balancer(current, engine_options);
+    // A fresh engine per epoch, warm-started from the carried allocation
+    // (solver engines seed their internal iterate from it on first Step).
+    const std::unique_ptr<core::Engine> stepper =
+        core::MakeEngine(engine, current, engine_options);
     for (std::size_t it = 0; it < iterations_per_epoch; ++it) {
-      balancer.Step(warm);
+      stepper->Step(warm);
     }
     ScenarioEpochCost point;
     point.time = t;
     point.warm_cost = core::TotalCost(current, warm);
+    // The reference stays converged MinE for EVERY engine, so per-epoch
+    // gaps are comparable across the catalog.
     const core::Allocation reference =
-        core::SolveWithMinE(current, engine_options, 200, 1e-10);
+        core::SolveWithMinE(current, engine_options.mine, 200, 1e-10);
     point.reference_cost = core::TotalCost(current, reference);
     point.gap = point.reference_cost > 0.0
                     ? point.warm_cost / point.reference_cost - 1.0
@@ -315,6 +322,13 @@ std::vector<ScenarioEpochCost> ReplayOnMinE(const ScenarioPack& pack,
     trace.push_back(point);
   }
   return trace;
+}
+
+std::vector<ScenarioEpochCost> ReplayOnMinE(const ScenarioPack& pack,
+                                            const core::Instance& instance,
+                                            std::size_t iterations_per_epoch,
+                                            std::uint64_t seed) {
+  return ReplayOnEngine("mine", pack, instance, iterations_per_epoch, seed);
 }
 
 const std::vector<ScenarioPack>& BuiltinPacks() {

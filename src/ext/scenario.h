@@ -143,7 +143,19 @@ struct ScenarioEpochCost {
   std::size_t members = 0;
 };
 
-/// Mirrors the pack's timeline on the synchronous engine, epoch by epoch.
+/// Mirrors the pack's timeline on any engine of the core::MakeEngine
+/// catalog, epoch by epoch: the carried-over allocation warm-starts a
+/// fresh engine per epoch (solver engines re-seed from it), which gets
+/// `iterations_per_epoch` Steps; the reference stays per-epoch converged
+/// MinE so gaps are comparable across engines. Throws on an unknown or
+/// size-gated engine name.
+std::vector<ScenarioEpochCost> ReplayOnEngine(
+    std::string_view engine, const ScenarioPack& pack,
+    const core::Instance& instance, std::size_t iterations_per_epoch = 3,
+    std::uint64_t seed = 1);
+
+/// ReplayOnEngine("mine", ...): the paper's engine, bit-identical to
+/// driving MinEBalancer directly.
 std::vector<ScenarioEpochCost> ReplayOnMinE(
     const ScenarioPack& pack, const core::Instance& instance,
     std::size_t iterations_per_epoch = 3, std::uint64_t seed = 1);

@@ -7,9 +7,8 @@
 #include "opt/waterfill.h"
 
 namespace delaylb::opt {
-namespace {
 
-double Objective(const BlockQpModel& model, std::span<const double> x) {
+double BlockObjective(const BlockQpModel& model, std::span<const double> x) {
   const std::size_t m = model.m;
   double total = 0.0;
   for (std::size_t j = 0; j < m; ++j) {
@@ -26,61 +25,83 @@ double Objective(const BlockQpModel& model, std::span<const double> x) {
   return total;
 }
 
-}  // namespace
-
-CoordinateDescentResult SolveCoordinateDescent(
-    const BlockQpModel& model, std::span<const double> x0,
-    const CoordinateDescentOptions& options) {
+CoordinateDescentState StartCoordinateDescent(const BlockQpModel& model,
+                                              std::span<const double> x0) {
   const std::size_t m = model.m;
   if (x0.size() != m * m || model.speeds.size() != m ||
       model.row_totals.size() != m || model.latencies.size() != m * m) {
     throw std::invalid_argument("SolveCoordinateDescent: shape mismatch");
   }
-  CoordinateDescentResult result;
-  result.x.assign(x0.begin(), x0.end());
-
-  std::vector<double> loads(m, 0.0);
+  CoordinateDescentState state;
+  state.x.assign(x0.begin(), x0.end());
+  state.loads.assign(m, 0.0);
   for (std::size_t j = 0; j < m; ++j) {
-    for (std::size_t i = 0; i < m; ++i) loads[j] += result.x[i * m + j];
+    for (std::size_t i = 0; i < m; ++i) state.loads[j] += state.x[i * m + j];
   }
+  state.a.assign(m, 0.0);
+  state.value = BlockObjective(model, state.x);
+  return state;
+}
 
-  std::vector<double> a(m, 0.0);
-  double value = Objective(model, result.x);
-  for (std::size_t round = 0; round < options.max_rounds; ++round) {
-    for (std::size_t i = 0; i < m; ++i) {
-      const double n_i = model.row_totals[i];
-      if (n_i <= 0.0) continue;
-      // Social marginal intercepts: a_j = l^{-i}_j / s_j + c_ij. The
-      // quadratic coefficient matches Waterfill's x^2/(2 s_j) exactly
-      // because the row's own contribution to l_j^2/(2 s_j) expands to
-      // x^2/(2 s_j) + x l^{-i}_j / s_j + const.
-      for (std::size_t j = 0; j < m; ++j) {
-        const double c = model.latencies[i * m + j];
-        if (!std::isfinite(c)) {
-          a[j] = std::numeric_limits<double>::infinity();
-          continue;
-        }
-        const double l_other = loads[j] - result.x[i * m + j];
-        a[j] = l_other / model.speeds[j] + c;
+void CoordinateDescentRoundOnce(const BlockQpModel& model,
+                                const CoordinateDescentOptions& options,
+                                CoordinateDescentState& state) {
+  const std::size_t m = model.m;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double n_i = model.row_totals[i];
+    if (n_i <= 0.0) continue;
+    // Social marginal intercepts: a_j = l^{-i}_j / s_j + c_ij. The
+    // quadratic coefficient matches Waterfill's x^2/(2 s_j) exactly
+    // because the row's own contribution to l_j^2/(2 s_j) expands to
+    // x^2/(2 s_j) + x l^{-i}_j / s_j + const.
+    bool any_finite = false;
+    for (std::size_t j = 0; j < m; ++j) {
+      const double c = model.latencies[i * m + j];
+      if (!std::isfinite(c)) {
+        state.a[j] = std::numeric_limits<double>::infinity();
+        continue;
       }
-      const WaterfillResult wf = Waterfill(model.speeds, a, n_i);
-      for (std::size_t j = 0; j < m; ++j) {
-        loads[j] += wf.x[j] - result.x[i * m + j];
-        result.x[i * m + j] = wf.x[j];
-      }
+      any_finite = true;
+      const double l_other = state.loads[j] - state.x[i * m + j];
+      state.a[j] = l_other / model.speeds[j] + c;
     }
-    const double new_value = Objective(model, result.x);
-    result.rounds = round + 1;
-    const double scale = std::max(1.0, std::fabs(value));
-    if (value - new_value >= 0.0 &&
-        value - new_value < options.relative_tolerance * scale) {
-      value = new_value;
-      result.converged = true;
-      break;
+    // A row that cannot reach any server has no feasible move; leave its
+    // allocation untouched rather than asking Waterfill for one (it would
+    // throw and abort the whole solve).
+    if (!any_finite) continue;
+    const WaterfillResult wf = Waterfill(model.speeds, state.a, n_i);
+    for (std::size_t j = 0; j < m; ++j) {
+      state.loads[j] += wf.x[j] - state.x[i * m + j];
+      state.x[i * m + j] = wf.x[j];
     }
-    value = new_value;
   }
-  result.value = Objective(model, result.x);
+  const double new_value = BlockObjective(model, state.x);
+  state.rounds += 1;
+  const double scale = std::max(1.0, std::fabs(state.value));
+  // Absolute improvement: at the fixed point the recomputed objective can
+  // land an ulp ABOVE the previous round's value, and the historical
+  // signed guard (improvement >= 0 && < tol) then never fired.
+  if (std::fabs(state.value - new_value) <
+      options.relative_tolerance * scale) {
+    state.value = new_value;
+    state.converged = true;
+    return;
+  }
+  state.value = new_value;
+}
+
+CoordinateDescentResult SolveCoordinateDescent(
+    const BlockQpModel& model, std::span<const double> x0,
+    const CoordinateDescentOptions& options) {
+  CoordinateDescentState state = StartCoordinateDescent(model, x0);
+  while (state.rounds < options.max_rounds && !state.converged) {
+    CoordinateDescentRoundOnce(model, options, state);
+  }
+  CoordinateDescentResult result;
+  result.x = std::move(state.x);
+  result.rounds = state.rounds;
+  result.converged = state.converged;
+  result.value = BlockObjective(model, result.x);
   return result;
 }
 

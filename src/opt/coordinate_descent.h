@@ -40,6 +40,37 @@ struct BlockQpModel {
   std::vector<double> latencies;     ///< row-major c_ij, m*m (may hold +inf)
 };
 
+/// SumC(x) = sum_j l_j^2/(2 s_j) + sum_ij c_ij x_ij evaluated on the
+/// model's data (the block solvers' shared objective oracle; +inf
+/// latencies only count when the matching x entry is nonzero).
+double BlockObjective(const BlockQpModel& model, std::span<const double> x);
+
+/// The solver's loop state, exposed one round at a time for the engine
+/// registry (core/engine.h). SolveCoordinateDescent is exactly a Start +
+/// RoundOnce loop, so both entry points share one implementation.
+struct CoordinateDescentState {
+  std::vector<double> x;      ///< current iterate
+  std::vector<double> loads;  ///< per-server column sums of x
+  std::vector<double> a;      ///< per-row intercept scratch
+  double value = 0.0;         ///< objective at x
+  std::size_t rounds = 0;
+  bool converged = false;
+};
+
+/// Validates the model and initializes the loop state at x0.
+CoordinateDescentState StartCoordinateDescent(const BlockQpModel& model,
+                                              std::span<const double> x0);
+
+/// One full round of exact row minimizations. Rows whose latencies are all
+/// infinite are skipped (their allocation is left untouched) instead of
+/// letting Waterfill throw mid-solve. Convergence fires on the *absolute*
+/// per-round improvement |f - f'| — at the fixed point rounding noise can
+/// push the objective up by an ulp, and a signed guard would never
+/// terminate on that.
+void CoordinateDescentRoundOnce(const BlockQpModel& model,
+                                const CoordinateDescentOptions& options,
+                                CoordinateDescentState& state);
+
 /// Minimizes SumC(x) = sum_j l_j^2/(2 s_j) + sum_ij c_ij x_ij over the
 /// product of scaled simplices by exact row minimization. x0 must be
 /// feasible (row sums match, non-negative, zero on unreachable pairs).

@@ -7,9 +7,8 @@
 
 namespace delaylb::opt {
 
-FrankWolfeResult SolveFrankWolfe(const SimplexQpProblem& problem,
-                                 std::span<const double> x0,
-                                 const FrankWolfeOptions& options) {
+FrankWolfeState StartFrankWolfe(const SimplexQpProblem& problem,
+                                std::span<const double> x0) {
   const std::size_t n = problem.rows * problem.cols;
   if (x0.size() != n) {
     throw std::invalid_argument("SolveFrankWolfe: x0 size mismatch");
@@ -18,66 +17,99 @@ FrankWolfeResult SolveFrankWolfe(const SimplexQpProblem& problem,
     throw std::invalid_argument("SolveFrankWolfe: curvature callback needed");
   }
 
-  FrankWolfeResult result;
-  result.x.assign(x0.begin(), x0.end());
-  std::vector<double> grad(n, 0.0);
-  std::vector<double> direction(n, 0.0);
-
-  double value = problem.value(result.x);
-  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-    problem.gradient(result.x, grad);
-
-    // Linear minimization oracle: per row, all mass on the smallest
-    // (allowed) gradient coordinate. direction = s - x.
-    double gap = 0.0;
-    for (std::size_t i = 0; i < problem.rows; ++i) {
-      std::size_t best = problem.cols;  // invalid
-      double best_g = std::numeric_limits<double>::infinity();
-      for (std::size_t j = 0; j < problem.cols; ++j) {
-        const std::size_t k = i * problem.cols + j;
-        if (!problem.allowed.empty() && !problem.allowed[k]) continue;
-        if (grad[k] < best_g) {
-          best_g = grad[k];
-          best = j;
-        }
-      }
-      if (best == problem.cols) {
-        if (problem.row_totals[i] > 0.0) {
-          throw std::invalid_argument("SolveFrankWolfe: row fully masked");
-        }
-        for (std::size_t j = 0; j < problem.cols; ++j) {
-          direction[i * problem.cols + j] = -result.x[i * problem.cols + j];
-        }
-        continue;
-      }
-      for (std::size_t j = 0; j < problem.cols; ++j) {
-        const std::size_t k = i * problem.cols + j;
-        const double s = (j == best) ? problem.row_totals[i] : 0.0;
-        direction[k] = s - result.x[k];
-        gap += grad[k] * (result.x[k] - s);
-      }
-    }
-    result.duality_gap = gap;
-    result.iterations = iter + 1;
-    const double scale = std::max(1.0, std::fabs(value));
-    if (gap <= options.gap_tolerance * scale) {
-      result.converged = true;
-      break;
-    }
-
-    // Exact line search for the quadratic: gamma* = gap / (d^T H d).
-    const double curv = problem.curvature(direction);
-    double gamma = 1.0;
-    if (curv > 0.0) gamma = std::clamp(gap / curv, 0.0, 1.0);
-    if (gamma <= 0.0) {  // numeric dead end
-      result.converged = true;
-      break;
-    }
+  FrankWolfeState state;
+  state.x.assign(x0.begin(), x0.end());
+  // Residual mass on a masked coordinate can never be zeroed by a partial
+  // step (direction[k] = -x[k] only clears it at gamma = 1), so such a
+  // start point would violate the mask forever. Project it once; feasible
+  // starts are left bitwise untouched.
+  if (!problem.allowed.empty()) {
+    bool mask_violated = false;
     for (std::size_t k = 0; k < n; ++k) {
-      result.x[k] += gamma * direction[k];
+      if (!problem.allowed[k] && state.x[k] != 0.0) {
+        mask_violated = true;
+        break;
+      }
     }
-    value = problem.value(result.x);
+    if (mask_violated) ProjectRows(problem, state.x);
   }
+  state.grad.assign(n, 0.0);
+  state.direction.assign(n, 0.0);
+  state.value = problem.value(state.x);
+  return state;
+}
+
+void FrankWolfeIterateOnce(const SimplexQpProblem& problem,
+                           const FrankWolfeOptions& options,
+                           FrankWolfeState& state) {
+  const std::size_t n = state.x.size();
+  problem.gradient(state.x, state.grad);
+
+  // Linear minimization oracle: per row, all mass on the smallest
+  // (allowed) gradient coordinate. direction = s - x.
+  double gap = 0.0;
+  for (std::size_t i = 0; i < problem.rows; ++i) {
+    std::size_t best = problem.cols;  // invalid
+    double best_g = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < problem.cols; ++j) {
+      const std::size_t k = i * problem.cols + j;
+      if (!problem.allowed.empty() && !problem.allowed[k]) continue;
+      if (state.grad[k] < best_g) {
+        best_g = state.grad[k];
+        best = j;
+      }
+    }
+    if (best == problem.cols) {
+      if (problem.row_totals[i] > 0.0) {
+        throw std::invalid_argument("SolveFrankWolfe: row fully masked");
+      }
+      for (std::size_t j = 0; j < problem.cols; ++j) {
+        state.direction[i * problem.cols + j] =
+            -state.x[i * problem.cols + j];
+      }
+      continue;
+    }
+    for (std::size_t j = 0; j < problem.cols; ++j) {
+      const std::size_t k = i * problem.cols + j;
+      const double s = (j == best) ? problem.row_totals[i] : 0.0;
+      state.direction[k] = s - state.x[k];
+      gap += state.grad[k] * (state.x[k] - s);
+    }
+  }
+  state.duality_gap = gap;
+  state.iterations += 1;
+  const double scale = std::max(1.0, std::fabs(state.value));
+  if (gap <= options.gap_tolerance * scale) {
+    state.converged = true;
+    return;
+  }
+
+  // Exact line search for the quadratic: gamma* = gap / (d^T H d).
+  const double curv = problem.curvature(state.direction);
+  double gamma = 1.0;
+  if (curv > 0.0) gamma = std::clamp(gap / curv, 0.0, 1.0);
+  if (gamma <= 0.0) {  // numeric dead end
+    state.converged = true;
+    return;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    state.x[k] += gamma * state.direction[k];
+  }
+  state.value = problem.value(state.x);
+}
+
+FrankWolfeResult SolveFrankWolfe(const SimplexQpProblem& problem,
+                                 std::span<const double> x0,
+                                 const FrankWolfeOptions& options) {
+  FrankWolfeState state = StartFrankWolfe(problem, x0);
+  while (state.iterations < options.max_iterations && !state.converged) {
+    FrankWolfeIterateOnce(problem, options, state);
+  }
+  FrankWolfeResult result;
+  result.x = std::move(state.x);
+  result.duality_gap = state.duality_gap;
+  result.iterations = state.iterations;
+  result.converged = state.converged;
   result.value = problem.value(result.x);
   return result;
 }

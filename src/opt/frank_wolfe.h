@@ -26,6 +26,35 @@ struct FrankWolfeResult : SolveResult {
   double duality_gap = 0.0;  ///< certified upper bound on f(x) - f(x*)
 };
 
+/// The solver's loop state, exposed one iteration at a time for the engine
+/// registry (core/engine.h). SolveFrankWolfe is exactly a Start +
+/// IterateOnce loop, so both entry points share one implementation.
+struct FrankWolfeState {
+  std::vector<double> x;          ///< current iterate
+  std::vector<double> grad;       ///< gradient scratch
+  std::vector<double> direction;  ///< LMO direction s - x
+  double value = 0.0;             ///< objective at x
+  double duality_gap = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Validates the problem and initializes the loop state at x0. A start
+/// point carrying mass on masked coordinates is projected onto the masked
+/// simplices first: the per-row LMO can only write direction[k] = -x[k]
+/// there, so a partial step gamma < 1 would merely decay the violation
+/// geometrically and the mask would never be satisfied. Feasible starts
+/// pass through untouched (bit-identical to the historical behavior).
+FrankWolfeState StartFrankWolfe(const SimplexQpProblem& problem,
+                                std::span<const double> x0);
+
+/// One conditional-gradient iteration: gradient, per-row LMO + duality
+/// gap, exact line search, update. Sets state.converged when the gap
+/// certificate (or a numeric dead end) says stop.
+void FrankWolfeIterateOnce(const SimplexQpProblem& problem,
+                           const FrankWolfeOptions& options,
+                           FrankWolfeState& state);
+
 /// Minimizes the problem starting from x0 (must be feasible). Requires
 /// problem.curvature to be set.
 FrankWolfeResult SolveFrankWolfe(const SimplexQpProblem& problem,

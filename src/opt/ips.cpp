@@ -1,0 +1,175 @@
+#include "opt/ips.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace delaylb::opt {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// exp() underflows to 0 well before -745; clamping the argument keeps the
+/// update away from subnormals without changing which coordinates survive.
+constexpr double kMinExpArg = -700.0;
+
+bool Allowed(const SimplexQpProblem& problem, std::size_t k) {
+  return problem.allowed.empty() || problem.allowed[k] != 0;
+}
+
+/// One multiplicative update + proportional row rescale at step size eta.
+void BuildTrial(const SimplexQpProblem& problem,
+                const std::vector<double>& x, const std::vector<double>& grad,
+                double eta, std::vector<double>& trial) {
+  trial.resize(x.size());
+  for (std::size_t i = 0; i < problem.rows; ++i) {
+    const std::size_t base = i * problem.cols;
+    const double total = problem.row_totals[i];
+    if (total <= 0.0) {
+      for (std::size_t j = 0; j < problem.cols; ++j) trial[base + j] = 0.0;
+      continue;
+    }
+    // Shift by the row's minimum gradient over the carrying coordinates so
+    // the exponent argument is always <= 0 (the scale-invariance of the
+    // rescale makes the shift free).
+    double g_min = kInf;
+    for (std::size_t j = 0; j < problem.cols; ++j) {
+      if (x[base + j] > 0.0) g_min = std::min(g_min, grad[base + j]);
+    }
+    double sum_w = 0.0;
+    for (std::size_t j = 0; j < problem.cols; ++j) {
+      const double xj = x[base + j];
+      if (xj <= 0.0) {
+        trial[base + j] = 0.0;
+        continue;
+      }
+      const double arg =
+          std::max(kMinExpArg, -eta * (grad[base + j] - g_min));
+      const double w = xj * std::exp(arg);
+      trial[base + j] = w;
+      sum_w += w;
+    }
+    // The g_min coordinate keeps w = x > 0, so sum_w > 0 whenever the row
+    // carries mass.
+    const double scale = total / sum_w;
+    for (std::size_t j = 0; j < problem.cols; ++j) trial[base + j] *= scale;
+  }
+}
+
+}  // namespace
+
+IpsState StartIps(const SimplexQpProblem& problem, std::span<const double> x0,
+                  const IpsOptions& options) {
+  const std::size_t n = problem.rows * problem.cols;
+  if (x0.size() != n) {
+    throw std::invalid_argument("SolveIps: x0 size mismatch");
+  }
+  if (problem.row_totals.size() != problem.rows) {
+    throw std::invalid_argument("SolveIps: row_totals mismatch");
+  }
+  if (!problem.allowed.empty() && problem.allowed.size() != n) {
+    throw std::invalid_argument("SolveIps: mask size mismatch");
+  }
+  if (!problem.value || !problem.gradient) {
+    throw std::invalid_argument("SolveIps: missing callbacks");
+  }
+
+  IpsState state;
+  state.x.assign(n, 0.0);
+  const double mix = std::clamp(options.interior_mix, 0.0, 1.0);
+  for (std::size_t i = 0; i < problem.rows; ++i) {
+    const std::size_t base = i * problem.cols;
+    const double total = problem.row_totals[i];
+    if (total <= 0.0) continue;
+    std::size_t allowed_count = 0;
+    double mass = 0.0;
+    for (std::size_t j = 0; j < problem.cols; ++j) {
+      if (!Allowed(problem, base + j)) continue;
+      ++allowed_count;
+      mass += std::max(0.0, x0[base + j]);
+    }
+    if (allowed_count == 0) {
+      throw std::invalid_argument("SolveIps: row fully masked");
+    }
+    const double uniform = total / static_cast<double>(allowed_count);
+    for (std::size_t j = 0; j < problem.cols; ++j) {
+      if (!Allowed(problem, base + j)) continue;
+      const double carried =
+          mass > 0.0 ? std::max(0.0, x0[base + j]) * (total / mass) : uniform;
+      state.x[base + j] = (1.0 - mix) * carried + mix * uniform;
+    }
+  }
+
+  state.grad.assign(n, 0.0);
+  problem.gradient(state.x, state.grad);
+  if (options.initial_step > 0.0) {
+    state.eta = options.initial_step;
+  } else {
+    // 2 / spread puts one multiplicative update within a factor ~e^2 across
+    // the worst row — aggressive but immediately correctable by the
+    // backtracking halvings.
+    double spread = 0.0;
+    for (std::size_t i = 0; i < problem.rows; ++i) {
+      const std::size_t base = i * problem.cols;
+      if (problem.row_totals[i] <= 0.0) continue;
+      double lo = kInf;
+      double hi = -kInf;
+      for (std::size_t j = 0; j < problem.cols; ++j) {
+        if (!Allowed(problem, base + j)) continue;
+        lo = std::min(lo, state.grad[base + j]);
+        hi = std::max(hi, state.grad[base + j]);
+      }
+      if (hi > lo) spread = std::max(spread, hi - lo);
+    }
+    state.eta = spread > 0.0 ? 2.0 / spread : 1.0;
+  }
+  state.value = problem.value(state.x);
+  return state;
+}
+
+bool IpsIterateOnce(const SimplexQpProblem& problem, const IpsOptions& options,
+                    IpsState& state) {
+  problem.gradient(state.x, state.grad);
+  double eta = state.eta;
+  double trial_value = state.value;
+  bool accepted = false;
+  for (std::size_t bt = 0; bt <= options.max_backtracks; ++bt) {
+    BuildTrial(problem, state.x, state.grad, eta, state.trial);
+    trial_value = problem.value(state.trial);
+    if (trial_value <= state.value) {
+      accepted = true;
+      break;
+    }
+    eta *= 0.5;
+  }
+  state.iterations += 1;
+  if (!accepted) {
+    // Even a vanishing step increases the objective: numerical fixed point.
+    state.converged = true;
+    return false;
+  }
+  std::swap(state.x, state.trial);
+  const double scale = std::max(1.0, std::fabs(state.value));
+  const double drop = state.value - trial_value;
+  state.value = trial_value;
+  state.eta = eta * options.step_growth;
+  if (drop < options.relative_tolerance * scale) state.converged = true;
+  return true;
+}
+
+IpsResult SolveIps(const SimplexQpProblem& problem, std::span<const double> x0,
+                   const IpsOptions& options) {
+  IpsState state = StartIps(problem, x0, options);
+  while (state.iterations < options.max_iterations && !state.converged) {
+    IpsIterateOnce(problem, options, state);
+  }
+  IpsResult result;
+  result.x = std::move(state.x);
+  result.value = problem.value(result.x);
+  result.iterations = state.iterations;
+  result.converged = state.converged;
+  return result;
+}
+
+}  // namespace delaylb::opt

@@ -1,0 +1,94 @@
+#pragma once
+// Iterative proportional scaling (IPS) for simplex-constrained QPs.
+//
+// The allocation matrix's constraints are row marginals — organization i
+// ships exactly n_i requests — which is the natural habitat of iterative
+// proportional scaling: multiplicative per-entry updates followed by a
+// proportional rescale that restores the marginals exactly
+// (arxiv 1610.02588 frames IPS as coordinate descent over the scaling
+// factors, and the convergence machinery transfers from that view). Here
+// the multiplicative factor is the exponentiated negative gradient, i.e.
+// entropic mirror descent on each row's scaled simplex:
+//
+//   w_ij = x_ij * exp(-eta * (g_ij - min_k g_ik)),
+//   x_i <- n_i * w_i / sum_j w_ij.
+//
+// Properties that make this a good fit for the load-balancing QP:
+//  * the update preserves zeros, so masked (unreachable) pairs never
+//    receive mass and no projection step is needed;
+//  * row sums hold exactly after every iteration by construction;
+//  * a monotone backtracking line search on eta keeps the objective
+//    non-increasing, so the solver is safe to warm-start mid-descent.
+// The flip side of zero preservation: the start point must be interior
+// with respect to the mask (a zero on an allowed coordinate can never be
+// revived), which StartIps enforces by blending a small uniform component
+// into every row.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "opt/projected_gradient.h"  // SimplexQpProblem
+
+namespace delaylb::opt {
+
+struct IpsOptions {
+  std::size_t max_iterations = 2000;
+  /// Stop when an accepted step improves the objective by less than this,
+  /// relatively.
+  double relative_tolerance = 1e-12;
+  /// Fraction of each row blended toward uniform-on-allowed at Start. The
+  /// multiplicative update cannot revive a zero coordinate, so the start
+  /// must put (a little) mass everywhere the mask allows.
+  double interior_mix = 0.05;
+  /// Initial step size; 0 auto-tunes to 2 / max-row-gradient-spread at the
+  /// start point.
+  double initial_step = 0.0;
+  /// Accepted steps grow eta by this factor (halved on rejection).
+  double step_growth = 1.1;
+  /// Backtracking halvings per iteration before declaring a fixed point.
+  std::size_t max_backtracks = 40;
+};
+
+struct IpsResult {
+  std::vector<double> x;
+  double value = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// The solver's loop state, exposed one iteration at a time for the engine
+/// registry (core/engine.h). SolveIps is exactly a Start + IterateOnce
+/// loop, so both entry points share one implementation.
+struct IpsState {
+  std::vector<double> x;      ///< current iterate (interior w.r.t. mask)
+  std::vector<double> grad;   ///< gradient scratch
+  std::vector<double> trial;  ///< line-search scratch
+  double value = 0.0;         ///< objective at x
+  double eta = 1.0;           ///< current step size
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Validates the problem and initializes the state: x0 is sanitized
+/// against the mask (masked coordinates zeroed, negatives clamped, rows
+/// rescaled to their totals) and blended with options.interior_mix of the
+/// uniform-on-allowed row. Throws std::invalid_argument on shape
+/// mismatches or a fully masked row with positive total.
+IpsState StartIps(const SimplexQpProblem& problem, std::span<const double> x0,
+                  const IpsOptions& options = {});
+
+/// One IPS iteration: multiplicative update + row rescale at the current
+/// eta, backtracking (halving eta) until the objective does not increase.
+/// Returns true when a step was accepted; false means the line search hit
+/// max_backtracks without progress and the state is a numerical fixed
+/// point (converged is set).
+bool IpsIterateOnce(const SimplexQpProblem& problem, const IpsOptions& options,
+                    IpsState& state);
+
+/// Minimizes the problem starting from x0 (see StartIps for how the start
+/// point is interiorized).
+IpsResult SolveIps(const SimplexQpProblem& problem, std::span<const double> x0,
+                   const IpsOptions& options = {});
+
+}  // namespace delaylb::opt

@@ -64,61 +64,76 @@ void ProjectRows(const SimplexQpProblem& problem, std::span<double> x) {
   }
 }
 
+ProjectedGradientState StartProjectedGradient(const SimplexQpProblem& problem,
+                                              std::span<const double> x0) {
+  CheckProblem(problem, x0.size());
+  ProjectedGradientState state;
+  state.x.assign(x0.begin(), x0.end());
+  state.y = state.x;
+  state.x_prev = state.x;
+  state.grad.assign(x0.size(), 0.0);
+  state.value = problem.value(state.x);
+  return state;
+}
+
+bool ProjectedGradientIterateOnce(const SimplexQpProblem& problem,
+                                  const ProjectedGradientOptions& options,
+                                  ProjectedGradientState& state) {
+  const std::size_t n = state.x.size();
+  const double step = 1.0 / problem.lipschitz;
+
+  problem.gradient(state.y, state.grad);
+  state.x_prev = state.x;
+  for (std::size_t k = 0; k < n; ++k) {
+    state.x[k] = state.y[k] - step * state.grad[k];
+  }
+  ProjectRows(problem, state.x);
+
+  const double new_value = problem.value(state.x);
+  state.iterations += 1;
+
+  if (options.use_momentum) {
+    if (new_value > state.value) {
+      // Objective increased: restart momentum from the last good point
+      // (adaptive restart keeps FISTA monotone on our QPs).
+      state.t = 1.0;
+      state.y = state.x_prev;
+      state.x = state.x_prev;
+      return true;
+    }
+    const double t_next =
+        0.5 * (1.0 + std::sqrt(1.0 + 4.0 * state.t * state.t));
+    const double beta = (state.t - 1.0) / t_next;
+    for (std::size_t k = 0; k < n; ++k) {
+      state.y[k] = state.x[k] + beta * (state.x[k] - state.x_prev[k]);
+    }
+    state.t = t_next;
+  } else {
+    state.y = state.x;
+  }
+
+  const double scale = std::max(1.0, std::fabs(state.value));
+  if (state.value - new_value >= 0.0 &&
+      state.value - new_value < options.relative_tolerance * scale) {
+    state.value = new_value;
+    state.converged = true;
+    return false;
+  }
+  state.value = new_value;
+  return false;
+}
+
 SolveResult SolveProjectedGradient(const SimplexQpProblem& problem,
                                    std::span<const double> x0,
                                    const ProjectedGradientOptions& options) {
-  CheckProblem(problem, x0.size());
-  const std::size_t n = x0.size();
-  const double step = 1.0 / problem.lipschitz;
-
-  SolveResult result;
-  result.x.assign(x0.begin(), x0.end());
-  std::vector<double> y(result.x);   // extrapolation point
-  std::vector<double> x_prev(result.x);
-  std::vector<double> grad(n, 0.0);
-
-  double value = problem.value(result.x);
-  double t = 1.0;  // FISTA momentum parameter
-
-  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-    problem.gradient(y, grad);
-    x_prev = result.x;
-    for (std::size_t k = 0; k < n; ++k) {
-      result.x[k] = y[k] - step * grad[k];
-    }
-    ProjectRows(problem, result.x);
-
-    const double new_value = problem.value(result.x);
-    result.iterations = iter + 1;
-
-    if (options.use_momentum) {
-      if (new_value > value) {
-        // Objective increased: restart momentum from the last good point
-        // (adaptive restart keeps FISTA monotone on our QPs).
-        t = 1.0;
-        y = x_prev;
-        result.x = x_prev;
-        continue;
-      }
-      const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
-      const double beta = (t - 1.0) / t_next;
-      for (std::size_t k = 0; k < n; ++k) {
-        y[k] = result.x[k] + beta * (result.x[k] - x_prev[k]);
-      }
-      t = t_next;
-    } else {
-      y = result.x;
-    }
-
-    const double scale = std::max(1.0, std::fabs(value));
-    if (value - new_value >= 0.0 &&
-        value - new_value < options.relative_tolerance * scale) {
-      value = new_value;
-      result.converged = true;
-      break;
-    }
-    value = new_value;
+  ProjectedGradientState state = StartProjectedGradient(problem, x0);
+  while (state.iterations < options.max_iterations && !state.converged) {
+    ProjectedGradientIterateOnce(problem, options, state);
   }
+  SolveResult result;
+  result.x = std::move(state.x);
+  result.iterations = state.iterations;
+  result.converged = state.converged;
   result.value = problem.value(result.x);
   return result;
 }

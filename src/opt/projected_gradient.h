@@ -51,6 +51,35 @@ struct SolveResult {
   bool converged = false;
 };
 
+/// The solver's loop state, exposed one iteration at a time so the engine
+/// registry (core/engine.h) can interleave solver iterations with
+/// per-iteration instrumentation. SolveProjectedGradient is exactly a
+/// Start + IterateOnce loop, so both entry points share one implementation
+/// (and stay bit-identical).
+struct ProjectedGradientState {
+  std::vector<double> x;       ///< current iterate
+  std::vector<double> y;       ///< FISTA extrapolation point
+  std::vector<double> x_prev;  ///< previous iterate (restart target)
+  std::vector<double> grad;    ///< gradient scratch
+  double value = 0.0;          ///< objective at the accepted iterate
+  double t = 1.0;              ///< FISTA momentum parameter
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Validates the problem and initializes the loop state at x0.
+ProjectedGradientState StartProjectedGradient(const SimplexQpProblem& problem,
+                                              std::span<const double> x0);
+
+/// One FISTA iteration: gradient step at the extrapolation point,
+/// projection, momentum update with adaptive restart. Returns true when
+/// the iteration was a momentum restart (the objective increased and the
+/// iterate rolled back to x_prev — no convergence check happens on such an
+/// iteration, matching the historical solver loop).
+bool ProjectedGradientIterateOnce(const SimplexQpProblem& problem,
+                                  const ProjectedGradientOptions& options,
+                                  ProjectedGradientState& state);
+
 /// Minimizes the problem starting from x0 (must be feasible). Throws
 /// std::invalid_argument on shape mismatches.
 SolveResult SolveProjectedGradient(const SimplexQpProblem& problem,

@@ -1,0 +1,166 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/mine.h"
+#include "net/generators.h"
+#include "testing/instances.h"
+
+namespace delaylb::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The acceptance criterion of the engine interface: driving MinE through
+/// the Engine adapter must be BIT-identical to driving MinEBalancer
+/// directly — every recorded determinism fingerprint keeps holding.
+TEST(Engine, MineAdapterTraceBitIdentical) {
+  const Instance inst = testing::RandomInstance(24, 91);
+
+  Allocation direct_alloc(inst);
+  MinEBalancer balancer(inst, {});
+  const MinERun direct = balancer.Run(direct_alloc, 40, 1e-10);
+
+  Allocation engine_alloc(inst);
+  const std::unique_ptr<Engine> engine = MakeEngine("mine", inst);
+  const MinERun adapted = engine->Run(engine_alloc, 40, 1e-10);
+
+  EXPECT_EQ(direct.initial_cost, adapted.initial_cost);
+  EXPECT_EQ(direct.final_cost, adapted.final_cost);
+  EXPECT_EQ(direct.converged, adapted.converged);
+  ASSERT_EQ(direct.trace.size(), adapted.trace.size());
+  for (std::size_t it = 0; it < direct.trace.size(); ++it) {
+    EXPECT_EQ(direct.trace[it].iteration, adapted.trace[it].iteration);
+    EXPECT_EQ(direct.trace[it].total_cost, adapted.trace[it].total_cost);
+    EXPECT_EQ(direct.trace[it].improvement, adapted.trace[it].improvement);
+    EXPECT_EQ(direct.trace[it].transferred, adapted.trace[it].transferred);
+    EXPECT_EQ(direct.trace[it].balances, adapted.trace[it].balances);
+  }
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    for (std::size_t j = 0; j < inst.size(); ++j) {
+      EXPECT_EQ(direct_alloc.r(i, j), engine_alloc.r(i, j));
+    }
+  }
+}
+
+TEST(Engine, CatalogAndRegistry) {
+  EXPECT_TRUE(KnownEngine("mine"));
+  EXPECT_TRUE(KnownEngine("ips"));
+  EXPECT_TRUE(KnownEngine("projected-gradient"));
+  EXPECT_FALSE(KnownEngine("simplex"));
+  EXPECT_NE(EngineNames().find("frank-wolfe"), std::string::npos);
+
+  // mcmf is size-gated; the unbounded engines are not.
+  EXPECT_TRUE(EngineSupports("mcmf", 256));
+  EXPECT_FALSE(EngineSupports("mcmf", 257));
+  EXPECT_TRUE(EngineSupports("mine", 100000));
+  EXPECT_FALSE(EngineSupports("no-such-engine", 4));
+
+  const Instance inst = testing::RandomInstance(6, 3);
+  EXPECT_THROW((void)MakeEngine("no-such-engine", inst),
+               std::invalid_argument);
+}
+
+TEST(Engine, SizeGateThrowsAtConstruction) {
+  const Instance inst = testing::RandomInstance(20, 7);
+  EXPECT_NO_THROW((void)MakeEngine("mcmf", inst));
+  // EngineSupports is the caller-side check; MakeEngine enforces it.
+  EXPECT_FALSE(EngineSupports("mcmf", 300));
+}
+
+/// Every engine, run to its own convergence on a small instance, must land
+/// near the converged MinE objective; mcmf is held to a looser bar (its
+/// quality is bounded by the piecewise-linear discretization by design).
+TEST(Engine, EveryEngineLandsNearMine) {
+  const Instance inst = testing::RandomInstance(16, 11);
+  const Allocation mine_opt = SolveWithMinE(inst, {}, 300, 1e-12);
+  const double reference = TotalCost(inst, mine_opt);
+
+  for (const EngineInfo& info : EngineCatalog()) {
+    ASSERT_TRUE(EngineSupports(info.name, inst.size())) << info.name;
+    Allocation alloc(inst);
+    const std::unique_ptr<Engine> engine = MakeEngine(info.name, inst);
+    const MinERun run = engine->Run(alloc, 20000, 1e-12);
+    const double gap = run.final_cost / reference - 1.0;
+    const double bar = std::string(info.name) == "mcmf" ? 0.10 : 1e-2;
+    EXPECT_LT(gap, bar) << info.name << " final " << run.final_cost
+                        << " vs reference " << reference;
+    EXPECT_GT(gap, -1e-6) << info.name << " beat the converged reference "
+                          << "by more than fp noise — reference is stale";
+    // The written-back allocation is the iterate: its exact SumC is what
+    // the trace reported.
+    EXPECT_EQ(run.final_cost, TotalCost(inst, alloc)) << info.name;
+  }
+}
+
+/// Engines must never place mass on unreachable (infinite-latency) pairs.
+TEST(Engine, RespectsReachabilityMask) {
+  const std::size_t m = 6;
+  net::LatencyMatrix lat(m, 10.0);  // zero diagonal by construction
+  // Organization 0 cannot reach servers 4 and 5 at all.
+  lat.Set(0, 4, kInf);
+  lat.Set(0, 5, kInf);
+  const Instance inst(std::vector<double>(m, 1.0),
+                      std::vector<double>(m, 30.0), std::move(lat));
+
+  for (const EngineInfo& info : EngineCatalog()) {
+    Allocation alloc(inst);
+    const std::unique_ptr<Engine> engine = MakeEngine(info.name, inst);
+    engine->Run(alloc, 200, 1e-10);
+    EXPECT_EQ(alloc.r(0, 4), 0.0) << info.name;
+    EXPECT_EQ(alloc.r(0, 5), 0.0) << info.name;
+  }
+}
+
+/// Per-Step stats contract: total_cost is the exact SumC of the updated
+/// allocation and improvement telescopes against the previous cost.
+TEST(Engine, StepStatsAreExact) {
+  const Instance inst = testing::RandomInstance(10, 5);
+  for (const char* name : {"ips", "projected-gradient", "coordinate-descent",
+                           "waterfill", "frank-wolfe"}) {
+    Allocation alloc(inst);
+    const std::unique_ptr<Engine> engine = MakeEngine(name, inst);
+    double previous = TotalCost(inst, alloc);
+    for (std::size_t it = 0; it < 5; ++it) {
+      const IterationStats stats = engine->Step(alloc);
+      EXPECT_EQ(stats.iteration, it + 1) << name;
+      EXPECT_EQ(stats.total_cost, TotalCost(inst, alloc)) << name;
+      EXPECT_NEAR(stats.improvement, previous - stats.total_cost,
+                  1e-9 * std::max(1.0, std::fabs(previous)))
+          << name;
+      EXPECT_GE(stats.transferred, 0.0) << name;
+      previous = stats.total_cost;
+    }
+  }
+}
+
+/// Solver engines re-seed from any allocation they did not produce — the
+/// scenario-pack warm-start path. An externally perturbed allocation must
+/// not blow up and the engine must keep descending from the new point.
+TEST(Engine, ReSeedsFromExternalAllocation) {
+  const Instance inst = testing::RandomInstance(8, 21);
+  const std::unique_ptr<Engine> engine = MakeEngine("ips", inst);
+
+  Allocation first(inst);
+  engine->Step(first);
+
+  // A different caller-produced allocation (converged MinE): the engine
+  // must notice the swap and restart its internal iterate from it.
+  Allocation second = SolveWithMinE(inst, {}, 100, 1e-10);
+  const double seeded_cost = TotalCost(inst, second);
+  const IterationStats stats = engine->Step(second);
+  EXPECT_EQ(stats.total_cost, TotalCost(inst, second));
+  EXPECT_LT(stats.total_cost,
+            seeded_cost + 1e-6 * std::max(1.0, seeded_cost));
+}
+
+}  // namespace
+}  // namespace delaylb::core

@@ -85,6 +85,27 @@ TEST(DistributedRuntime, ConvergesToSynchronousEngineQuality) {
   EXPECT_LT(distributed, 1.10 * mine);
 }
 
+/// The --local-engine alternative decision rule: agents that balance
+/// exchanged columns with IPS (core::BalanceColumnsIps) instead of the
+/// paper's Algorithm 1 must stay deterministic per seed and still converge
+/// to the synchronous engine's operating point.
+TEST(DistributedRuntime, IpsLocalEngineDeterministicAndConverges) {
+  const core::Instance inst = testing::RandomInstance(14, 5);
+  const double mine =
+      core::TotalCost(inst, core::SolveWithMinE(inst, {}, 300, 1e-13));
+  double costs[2];
+  for (int run = 0; run < 2; ++run) {
+    RuntimeOptions options;
+    options.seed = 17;
+    options.agent.local_engine = LocalEngine::kIps;
+    DistributedRuntime runtime(inst, options);
+    runtime.RunUntil(20000.0);
+    costs[run] = core::TotalCost(inst, runtime.AssembleAllocation());
+  }
+  EXPECT_EQ(costs[0], costs[1]);
+  EXPECT_LT(costs[0], 1.10 * mine);
+}
+
 TEST(DistributedRuntime, PiggybackAblationDeterministicAndConverges) {
   // The gossip-on-reply piggyback defaults on; the ablation flag must keep
   // the runtime deterministic per seed and still reach the synchronous

@@ -1,0 +1,85 @@
+// Scenario-pack replay through the engine registry (ext/scenario.h):
+// ReplayOnMinE must stay bit-identical to ReplayOnEngine("mine"), and the
+// IPS entrant must track every builtin pack with a bounded gap — the
+// acceptance bar for promoting it into the catalog.
+#include "ext/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/rng.h"
+
+namespace delaylb::ext {
+namespace {
+
+TEST(Scenario, BuiltinPacksAreNamedAndFindable) {
+  const std::vector<ScenarioPack>& packs = BuiltinPacks();
+  ASSERT_GE(packs.size(), 5u);
+  for (const ScenarioPack& pack : packs) {
+    EXPECT_EQ(FindPack(pack.name), &pack);
+  }
+  EXPECT_EQ(FindPack("no-such-pack"), nullptr);
+}
+
+/// ReplayOnMinE is documented as exactly ReplayOnEngine("mine", ...) — the
+/// refactor that introduced the engine indirection must not have moved a
+/// single bit of the replay.
+TEST(Scenario, ReplayOnMinEIsReplayOnMineEngine) {
+  const ScenarioPack* pack = FindPack("cdn-diurnal");
+  ASSERT_NE(pack, nullptr);
+  util::Rng rng_a(77);
+  util::Rng rng_b(77);
+  const core::Instance inst_a = MakeInstance(*pack, rng_a);
+  const core::Instance inst_b = MakeInstance(*pack, rng_b);
+
+  const auto direct = ReplayOnMinE(*pack, inst_a, 3, 9);
+  const auto through = ReplayOnEngine("mine", *pack, inst_b, 3, 9);
+
+  ASSERT_EQ(direct.size(), through.size());
+  for (std::size_t e = 0; e < direct.size(); ++e) {
+    EXPECT_EQ(direct[e].time, through[e].time);
+    EXPECT_EQ(direct[e].members, through[e].members);
+    EXPECT_EQ(direct[e].warm_cost, through[e].warm_cost);      // bitwise
+    EXPECT_EQ(direct[e].reference_cost, through[e].reference_cost);
+    EXPECT_EQ(direct[e].gap, through[e].gap);
+  }
+}
+
+TEST(Scenario, UnknownEngineNameThrows) {
+  const ScenarioPack* pack = FindPack("cdn-diurnal");
+  ASSERT_NE(pack, nullptr);
+  util::Rng rng(5);
+  const core::Instance inst = MakeInstance(*pack, rng);
+  EXPECT_THROW((void)ReplayOnEngine("no-such-engine", *pack, inst, 1, 1),
+               std::invalid_argument);
+}
+
+/// Acceptance criterion: IPS converges on ALL builtin scenario packs —
+/// warm-started tracking with a handful of iterations per epoch stays
+/// within a bounded gap of the per-epoch converged MinE reference.
+TEST(Scenario, IpsTracksEveryBuiltinPack) {
+  for (const ScenarioPack& pack : BuiltinPacks()) {
+    util::Rng rng(31);
+    const core::Instance inst = MakeInstance(pack, rng);
+    const auto trace = ReplayOnEngine("ips", pack, inst, 25, 7);
+    ASSERT_FALSE(trace.empty()) << pack.name;
+    double total_warm = 0.0;
+    double total_reference = 0.0;
+    for (const ScenarioEpochCost& point : trace) {
+      EXPECT_GT(point.warm_cost, 0.0) << pack.name << " @" << point.time;
+      EXPECT_GE(point.gap, -1e-6) << pack.name << " @" << point.time;
+      total_warm += point.warm_cost;
+      total_reference += point.reference_cost;
+    }
+    // Averaged over the timeline the tracked cost must stay within 10% of
+    // the per-epoch optimum (the engines get 25 iterations per epoch; the
+    // frontier bench records the exact numbers).
+    EXPECT_LT(total_warm / total_reference - 1.0, 0.10) << pack.name;
+  }
+}
+
+}  // namespace
+}  // namespace delaylb::ext

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/cost.h"
 #include "core/mine.h"
 #include "core/qp_form.h"
@@ -77,6 +79,55 @@ TEST(CoordinateDescent, RespectsUnreachablePairs) {
       core::SolveCentralizedCoordinateDescent(inst);
   EXPECT_DOUBLE_EQ(opt.r(0, 2), 0.0);
   EXPECT_TRUE(opt.Valid(inst));
+}
+
+/// Regression: a row whose latencies are ALL infinite has no feasible
+/// move. Historically the round handed Waterfill an all-infinite intercept
+/// vector and the whole solve aborted with its throw; now the row is
+/// skipped and everything else still balances.
+TEST(CoordinateDescent, AllUnreachableRowIsSkippedNotFatal) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  BlockQpModel model;
+  model.m = 2;
+  model.speeds = {1.0, 1.0};
+  model.row_totals = {5.0, 6.0};
+  model.latencies = {kInf, kInf, 0.0, 0.0};  // row 0 can reach nothing
+  const std::vector<double> x0 = {5.0, 0.0, 6.0, 0.0};
+  CoordinateDescentOptions options;
+  options.max_rounds = 5;
+  CoordinateDescentResult r;
+  ASSERT_NO_THROW(r = SolveCoordinateDescent(model, x0, options));
+  EXPECT_DOUBLE_EQ(r.x[0], 5.0);  // untouched
+  EXPECT_DOUBLE_EQ(r.x[1], 0.0);
+  // Row 1 still balances across both (equally fast, zero-latency) servers,
+  // equalizing marginals against row 0's frozen load: loads (8, 3).
+  EXPECT_NEAR(r.x[2] + r.x[3], 6.0, 1e-9);
+  EXPECT_NEAR(r.x[2] + 5.0, r.x[3], 1e-6);
+}
+
+/// Regression for the convergence guard: at a fixed point the recomputed
+/// objective can land an ulp ABOVE the stored value, and the historical
+/// signed test (improvement >= 0 && < tol) then never fired — the solve
+/// spun for max_rounds. The guard now uses the absolute improvement.
+TEST(CoordinateDescent, GuardFiresAtFixedPointDespiteUlpDrift) {
+  const core::Instance inst = testing::RandomInstance(9, 13);
+  const BlockQpModel model = core::MakeBlockQpModel(inst);
+  const core::Allocation start(inst);
+  CoordinateDescentState state =
+      StartCoordinateDescent(model, core::VectorFromAllocation(start));
+  const CoordinateDescentOptions options;
+  while (state.rounds < 2000 && !state.converged) {
+    CoordinateDescentRoundOnce(model, options, state);
+  }
+  ASSERT_TRUE(state.converged);
+  ASSERT_LT(state.rounds, 2000u);
+  // At the fixed point every further round must re-converge immediately,
+  // whichever side of the stored value the recomputation lands on.
+  for (int probe = 0; probe < 3; ++probe) {
+    state.converged = false;
+    CoordinateDescentRoundOnce(model, options, state);
+    EXPECT_TRUE(state.converged) << "probe " << probe;
+  }
 }
 
 TEST(CoordinateDescent, ShapeMismatchThrows) {

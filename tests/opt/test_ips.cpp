@@ -1,0 +1,131 @@
+// Iterative proportional scaling (opt/ips.h) on synthetic simplex QPs and
+// the request-space problem, plus its stepwise Start/IterateOnce contract.
+#include "opt/ips.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/mine.h"
+#include "core/qp_form.h"
+#include "opt/projected_gradient.h"
+#include "opt/simplex_projection.h"
+#include "testing/instances.h"
+
+namespace delaylb::opt {
+namespace {
+
+/// min sum_i (x_i - t_i)^2 over the simplex — same oracle the PG/FW tests
+/// use, optimum = ProjectToSimplex(t).
+SimplexQpProblem TargetProblem(std::vector<double> target) {
+  SimplexQpProblem p;
+  p.rows = 1;
+  p.cols = target.size();
+  p.row_totals = {1.0};
+  auto t = std::make_shared<std::vector<double>>(std::move(target));
+  p.value = [t](std::span<const double> x) {
+    double v = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      v += (x[i] - (*t)[i]) * (x[i] - (*t)[i]);
+    }
+    return v;
+  };
+  p.gradient = [t](std::span<const double> x, std::span<double> g) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      g[i] = 2.0 * (x[i] - (*t)[i]);
+    }
+  };
+  p.lipschitz = 2.0;
+  return p;
+}
+
+TEST(Ips, SolvesProjectionProblem) {
+  const std::vector<double> target = {0.5, 0.4, 0.2, 0.6};
+  const SimplexQpProblem p = TargetProblem(target);
+  const std::vector<double> x0 = {0.25, 0.25, 0.25, 0.25};
+  IpsOptions options;
+  options.max_iterations = 20000;
+  const IpsResult r = SolveIps(p, x0, options);
+  EXPECT_TRUE(r.converged);
+  const auto expected = ProjectToSimplex(target, 1.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(r.x[i], expected[i], 1e-4);
+  }
+}
+
+TEST(Ips, RespectsMaskAndPreservesRowSums) {
+  SimplexQpProblem p = TargetProblem({0.9, 0.9, 0.1});
+  p.allowed = {1, 0, 1};
+  const std::vector<double> x0 = {0.5, 0.0, 0.5};
+  const IpsResult r = SolveIps(p, x0);
+  EXPECT_DOUBLE_EQ(r.x[1], 0.0);  // multiplicative updates preserve zeros
+  EXPECT_NEAR(r.x[0] + r.x[2], 1.0, 1e-12);
+}
+
+TEST(Ips, InteriorizesZeroStartOnAllowedCoordinates) {
+  // x0 carries everything on coordinate 0; the optimum needs mass on 2.
+  SimplexQpProblem p = TargetProblem({0.1, 0.0, 0.9});
+  p.allowed = {1, 0, 1};
+  const std::vector<double> x0 = {1.0, 0.0, 0.0};
+  const IpsResult r = SolveIps(p, x0);
+  EXPECT_GT(r.x[2], 0.5);  // revived by the interior mix, then grown
+  EXPECT_DOUBLE_EQ(r.x[1], 0.0);
+}
+
+TEST(Ips, MonotoneFromStart) {
+  const SimplexQpProblem p = TargetProblem({0.3, 0.8, -0.2, 0.4, 0.7});
+  const std::vector<double> x0(5, 0.2);
+  IpsState state = StartIps(p, x0, {});
+  double previous = state.value;
+  for (int it = 0; it < 200 && !state.converged; ++it) {
+    IpsIterateOnce(p, {}, state);
+    EXPECT_LE(state.value, previous);  // backtracking keeps it monotone
+    previous = state.value;
+  }
+}
+
+TEST(Ips, StepwiseLoopMatchesSolve) {
+  const SimplexQpProblem p = TargetProblem({0.6, 0.1, 0.5, -0.1});
+  const std::vector<double> x0 = {0.4, 0.3, 0.2, 0.1};
+  IpsOptions options;
+  options.max_iterations = 500;
+  const IpsResult solved = SolveIps(p, x0, options);
+  IpsState state = StartIps(p, x0, options);
+  while (state.iterations < options.max_iterations && !state.converged) {
+    IpsIterateOnce(p, options, state);
+  }
+  ASSERT_EQ(solved.x.size(), state.x.size());
+  for (std::size_t i = 0; i < state.x.size(); ++i) {
+    EXPECT_EQ(solved.x[i], state.x[i]);  // bitwise: same loop, same path
+  }
+  EXPECT_EQ(solved.iterations, state.iterations);
+}
+
+TEST(Ips, FullyMaskedRowThrows) {
+  SimplexQpProblem p = TargetProblem({0.5, 0.5});
+  p.allowed = {0, 0};
+  EXPECT_THROW(SolveIps(p, std::vector<double>{0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(Ips, NearsOptimumOnRequestSpaceProblem) {
+  const core::Instance inst = testing::RandomInstance(12, 17);
+  const SimplexQpProblem p = core::MakeRequestSpaceProblem(inst);
+  const core::Allocation start(inst);
+  const std::vector<double> x0 = core::VectorFromAllocation(start);
+
+  IpsOptions options;
+  options.max_iterations = 20000;
+  const IpsResult ips = SolveIps(p, x0, options);
+
+  const core::Allocation mine = core::SolveWithMinE(inst, {}, 300, 1e-12);
+  const double reference = core::TotalCost(inst, mine);
+  EXPECT_LT(ips.value / reference - 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace delaylb::opt

@@ -121,6 +121,69 @@ TEST(Solvers, AgreeOnRandomQuadratics) {
   }
 }
 
+/// Regression: a start point carrying mass on a MASKED coordinate. The
+/// per-row LMO can only shrink that mass geometrically (direction -x[k],
+/// gamma < 1), so historically the mask was never satisfied; StartFrankWolfe
+/// now projects infeasible starts onto the masked simplices first.
+TEST(FrankWolfe, MaskViolatingStartIsRepaired) {
+  SimplexQpProblem p = TargetProblem({0.1, 0.8, 0.9});
+  p.allowed = {1, 0, 1};
+  const std::vector<double> x0 = {0.0, 1.0, 0.0};  // all mass masked
+  const FrankWolfeResult r = SolveFrankWolfe(p, x0);
+  EXPECT_DOUBLE_EQ(r.x[1], 0.0);
+  EXPECT_NEAR(r.x[0] + r.x[2], 1.0, 1e-9);
+  EXPECT_GT(r.x[2], r.x[0]);  // descended toward the allowed optimum
+}
+
+TEST(FrankWolfe, FeasibleStartUnaffectedByRepairPath) {
+  SimplexQpProblem p = TargetProblem({0.6, 0.2, 0.4});
+  p.allowed = {1, 0, 1};
+  const std::vector<double> x0 = {0.5, 0.0, 0.5};
+  // Feasible start: the sanitizer must pass it through bit-identically.
+  const FrankWolfeState state = StartFrankWolfe(p, x0);
+  for (std::size_t i = 0; i < x0.size(); ++i) {
+    EXPECT_EQ(state.x[i], x0[i]);
+  }
+}
+
+/// The Solve entry points are documented as exactly a Start + IterateOnce
+/// loop — the engine adapters (core/engine.h) rely on that being bitwise
+/// true, not merely approximately.
+TEST(ProjectedGradient, StepwiseLoopMatchesSolve) {
+  const SimplexQpProblem p = TargetProblem({0.7, -0.1, 0.3, 0.4});
+  const std::vector<double> x0 = {0.25, 0.25, 0.25, 0.25};
+  ProjectedGradientOptions options;
+  options.max_iterations = 3000;
+  const SolveResult solved = SolveProjectedGradient(p, x0, options);
+  ProjectedGradientState state = StartProjectedGradient(p, x0);
+  while (state.iterations < options.max_iterations && !state.converged) {
+    ProjectedGradientIterateOnce(p, options, state);
+  }
+  EXPECT_EQ(solved.iterations, state.iterations);
+  ASSERT_EQ(solved.x.size(), state.x.size());
+  for (std::size_t i = 0; i < state.x.size(); ++i) {
+    EXPECT_EQ(solved.x[i], state.x[i]);
+  }
+}
+
+TEST(FrankWolfe, StepwiseLoopMatchesSolve) {
+  const SimplexQpProblem p = TargetProblem({0.5, 0.2, -0.3, 0.6});
+  const std::vector<double> x0 = {0.25, 0.25, 0.25, 0.25};
+  FrankWolfeOptions options;
+  options.max_iterations = 3000;
+  const FrankWolfeResult solved = SolveFrankWolfe(p, x0, options);
+  FrankWolfeState state = StartFrankWolfe(p, x0);
+  while (state.iterations < options.max_iterations && !state.converged) {
+    FrankWolfeIterateOnce(p, options, state);
+  }
+  EXPECT_EQ(solved.iterations, state.iterations);
+  EXPECT_EQ(solved.duality_gap, state.duality_gap);
+  ASSERT_EQ(solved.x.size(), state.x.size());
+  for (std::size_t i = 0; i < state.x.size(); ++i) {
+    EXPECT_EQ(solved.x[i], state.x[i]);
+  }
+}
+
 TEST(Solvers, MultiRowProblem) {
   // Two independent rows with different totals.
   SimplexQpProblem p;

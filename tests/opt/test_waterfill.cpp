@@ -95,6 +95,31 @@ TEST(Waterfill, BeatsRandomFeasiblePoints) {
   }
 }
 
+/// Randomized KKT certificate: every returned point must satisfy the full
+/// first-order conditions — marginal x_j/s_j + a_j equal to the water
+/// level lambda on the active set, and at least lambda off it.
+TEST(Waterfill, KktHoldsOnRandomProblems) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + rng.below(8);
+    std::vector<double> s(n), a(n);
+    for (auto& v : s) v = rng.uniform(0.25, 4.0);
+    for (auto& v : a) v = rng.uniform(0.0, 6.0);
+    const double total = rng.uniform(0.5, 60.0);
+    const auto r = Waterfill(s, a, total);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (r.x[j] > 1e-9) {
+        EXPECT_NEAR(r.x[j] / s[j] + a[j], r.lambda,
+                    1e-6 * std::max(1.0, std::fabs(r.lambda)))
+            << "trial " << trial << " server " << j;
+      } else {
+        EXPECT_GE(a[j], r.lambda - 1e-9)
+            << "trial " << trial << " server " << j;
+      }
+    }
+  }
+}
+
 TEST(Waterfill, UnreachableServersExcluded) {
   const std::vector<double> s = {1.0, 1.0, 1.0};
   const std::vector<double> a = {1.0, kInf, 2.0};
